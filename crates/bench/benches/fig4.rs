@@ -1,0 +1,22 @@
+//! Bench: regenerate Figure 4 (Experiment 1 latencies, all protocols and
+//! contention levels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig4(c: &mut Criterion) {
+    let report = ezbft_harness::experiments::fig4(10);
+    println!("\n{}", report.render());
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("experiment1_all_protocols", |b| {
+        b.iter(|| {
+            let r = ezbft_harness::experiments::fig4(3);
+            criterion::black_box(r.series.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench: regenerate Figures 5a and 5b (Experiment 2 latencies and the
+//! Zyzzyva primary-placement sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig5(c: &mut Criterion) {
+    let a = ezbft_harness::experiments::fig5a(10);
+    println!("\n{}", a.render());
+    let b_report = ezbft_harness::experiments::fig5b(10);
+    println!("\n{}", b_report.render());
+    println!(
+        "max ezBFT gain over worst Zyzzyva placement: {:.0}%\n",
+        b_report.max_gain_over_zyzzyva() * 100.0
+    );
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("experiment2_placement_sweep", |b| {
+        b.iter(|| {
+            let r = ezbft_harness::experiments::fig5b(3);
+            criterion::black_box(r.max_gain_over_zyzzyva())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

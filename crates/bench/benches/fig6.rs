@@ -1,0 +1,21 @@
+//! Bench: regenerate Figure 6 (latency vs connected clients per region).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig6(c: &mut Criterion) {
+    let report = ezbft_harness::experiments::fig6(&[1, 16, 48], 3);
+    println!("\n{}", report.render());
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("client_scalability_point", |b| {
+        b.iter(|| {
+            let r = ezbft_harness::experiments::fig6(&[8], 2);
+            criterion::black_box(r.surfaces.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench: regenerate Figure 7 (peak throughput without batching).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ezbft_smr::Micros;
+
+fn bench_fig7(c: &mut Criterion) {
+    let report = ezbft_harness::experiments::fig7(150, Micros::from_secs(8));
+    println!("\n{}", report.render());
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("throughput_measurement", |b| {
+        b.iter(|| {
+            let r = ezbft_harness::experiments::fig7(60, Micros::from_secs(2));
+            criterion::black_box(r.bars.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Microbenchmarks for the substrates: crypto primitives, the wire codec,
+//! dependency tracking, the execution-order algorithm and the simulator's
+//! event loop. These bound the per-message costs behind the cost model in
+//! EXPERIMENTS.md.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ezbft_core::{execution_order, DepTracker, ExecNode, InstanceId};
+use ezbft_crypto::{hmac_sha256, sha256, Digest, MerkleKeychain, WotsKeypair};
+use ezbft_smr::{ConflictKey, ReplicaId};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let payload = vec![0xA5u8; 256];
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("sha256_256B", |b| b.iter(|| sha256(&payload)));
+    group.bench_function("hmac_sha256_256B", |b| b.iter(|| hmac_sha256(b"key", &payload)));
+
+    let kp = WotsKeypair::from_seed(b"bench");
+    let digest = Digest::of(&payload);
+    group.bench_function("wots_sign", |b| b.iter(|| kp.sign(&digest)));
+    let sig = kp.sign(&digest);
+    group.bench_function("wots_verify", |b| {
+        b.iter(|| ezbft_crypto::wots::verify(&kp.public_key(), &digest, &sig))
+    });
+    group.bench_function("merkle_sign", |b| {
+        b.iter_batched(
+            || MerkleKeychain::from_seed(b"bench", 4),
+            |mut kc| kc.sign(&digest).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let value: Vec<(u64, String, Vec<u8>)> = (0..64)
+        .map(|i| (i, format!("key-{i}"), vec![i as u8; 16]))
+        .collect();
+    let bytes = ezbft_wire::to_bytes(&value).unwrap();
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_kv_batch", |b| {
+        b.iter(|| ezbft_wire::to_bytes(&value).unwrap())
+    });
+    group.bench_function("decode_kv_batch", |b| {
+        b.iter(|| {
+            ezbft_wire::from_bytes::<Vec<(u64, String, Vec<u8>)>>(&bytes).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_protocol_datastructures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+
+    group.bench_function("dep_tracker_collect_register", |b| {
+        b.iter_batched(
+            DepTracker::new,
+            |mut t| {
+                for slot in 0..256u64 {
+                    let inst = InstanceId::new(ReplicaId::new((slot % 4) as u8), slot / 4);
+                    let keys = [ConflictKey::write(slot % 32)];
+                    criterion::black_box(t.collect_and_register(inst, &keys));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // A 512-node dependency chain with an extra back-edge every 8 nodes.
+    let mut nodes: BTreeMap<InstanceId, ExecNode> = BTreeMap::new();
+    let mut prev: Option<InstanceId> = None;
+    for slot in 0..512u64 {
+        let id = InstanceId::new(ReplicaId::new((slot % 4) as u8), slot / 4);
+        let mut deps: std::collections::BTreeSet<InstanceId> = prev.into_iter().collect();
+        if slot % 8 == 7 {
+            if let Some(back) = nodes.keys().nth((slot - 7) as usize) {
+                deps.insert(*back);
+            }
+        }
+        nodes.insert(id, ExecNode { seq: slot + 1, deps });
+        prev = Some(id);
+    }
+    group.bench_function("execution_order_512", |b| {
+        b.iter(|| execution_order(&nodes, |_| false))
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use ezbft_harness::{ClusterBuilder, ProtocolKind};
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("ezbft_40_requests_wan", |b| {
+        b.iter(|| {
+            let report = ClusterBuilder::new(ProtocolKind::EzBft)
+                .clients_per_region(&[1, 1, 1, 1])
+                .requests_per_client(10)
+                .run();
+            criterion::black_box(report.completed())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_wire,
+    bench_protocol_datastructures,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: regenerate Table I (Zyzzyva latency vs primary placement).
+//!
+//! The measured value is harness wall-clock; the experiment's *output*
+//! (virtual-time latencies) is printed once so `cargo bench` runs double as
+//! result generators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let report = ezbft_harness::experiments::table1(10);
+    println!("\n{}", report.render());
+    assert!(report.diagonal_is_columnwise_minimum());
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("zyzzyva_primary_sweep", |b| {
+        b.iter(|| {
+            let r = ezbft_harness::experiments::table1(3);
+            criterion::black_box(r.matrix[0][0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

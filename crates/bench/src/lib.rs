@@ -1,0 +1,12 @@
+//! Benchmark support crate.
+//!
+//! The actual benchmarks live in `benches/` (one Criterion target per paper
+//! table/figure — see `DESIGN.md` §4). This library only hosts small shared
+//! helpers for those targets.
+
+#![forbid(unsafe_code)]
+
+/// Standard sample-count reduction for simulation-heavy benches: full WAN
+/// simulations take seconds of wall-clock per iteration, so benches use few
+/// samples and rely on the determinism of the simulator for stability.
+pub const SIM_SAMPLE_SIZE: usize = 10;

@@ -1,0 +1,183 @@
+//! Byzantine replica behaviours for fault-injection testing.
+//!
+//! A byzantine node in this workspace is an honest [`Replica`] wrapped by a
+//! behaviour that rewrites its *outgoing* actions — exactly the power a
+//! byzantine node has (it can say anything, but cannot forge other nodes'
+//! signatures). The wrappers re-sign what they mutate with their **own**
+//! keys, so the protocol's signature checks pass and the lie must be caught
+//! by the protocol logic itself, not by the crypto layer.
+
+use ezbft_crypto::{Audience, KeyStore};
+use ezbft_smr::{Action, Actions, Application, NodeId, ProtocolNode, TimerId};
+
+use crate::msg::{Msg, SpecReply};
+use crate::replica::Replica;
+
+/// What the wrapped replica lies about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Behaviour {
+    /// As command-leader, send SPECORDERs with different sequence numbers
+    /// to different peers (content equivocation: same instance, different
+    /// signed body — detectable by clients via the embedded headers,
+    /// §IV-D step 4.4).
+    EquivocateSeq,
+    /// As command-leader, send SPECORDERs with different *instance numbers*
+    /// to different peers (the paper's canonical misbehaviour: "the
+    /// command-leader is said to misbehave if it sends SPECORDER messages
+    /// with different instance numbers to different replicas").
+    EquivocateInstance,
+    /// As follower, reply with an emptied dependency set and a minimal
+    /// sequence number (the Fig. 3 misbehaviour).
+    DropDeps,
+    /// As command-leader, accept requests but never order them (and stay
+    /// silent towards clients), forcing the client-driven owner change of
+    /// §IV-D step 4.3. The replica behaves correctly for other spaces.
+    MuteLeader,
+}
+
+/// An honest replica wrapped with a byzantine output filter.
+pub struct ByzantineReplica<A: Application> {
+    inner: Replica<A>,
+    keys: KeyStore,
+    behaviour: Behaviour,
+    n: usize,
+}
+
+impl<A: Application> std::fmt::Debug for ByzantineReplica<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByzantineReplica")
+            .field("behaviour", &self.behaviour)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl<A: Application> ByzantineReplica<A> {
+    /// Wraps `inner` with `behaviour`. `keys` must be a keystore for the
+    /// same replica identity (used to re-sign mutated messages).
+    pub fn new(inner: Replica<A>, keys: KeyStore, behaviour: Behaviour, n: usize) -> Self {
+        assert_eq!(keys.me(), ProtocolNode::id(&inner), "keystore identity mismatch");
+        ByzantineReplica { inner, keys, behaviour, n }
+    }
+
+    /// The wrapped honest replica (for state inspection in tests).
+    pub fn inner(&self) -> &Replica<A> {
+        &self.inner
+    }
+
+    fn my_replica(&self) -> ezbft_smr::ReplicaId {
+        ProtocolNode::id(&self.inner).as_replica().expect("replicas wrap replicas")
+    }
+
+    fn transform(
+        &mut self,
+        actions: Vec<Action<Msg<A::Command, A::Response>, A::Response>>,
+        out: &mut Actions<Msg<A::Command, A::Response>, A::Response>,
+    ) {
+        let me = self.my_replica();
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let mutated = self.mutate(me, to, msg);
+                    if let Some(msg) = mutated {
+                        out.send(to, msg);
+                    }
+                }
+                Action::SetTimer { id, after } => out.set_timer(id, after),
+                Action::CancelTimer { id } => out.cancel_timer(id),
+                Action::Deliver(d) => out.deliver(d.ts, d.response, d.fast_path),
+            }
+        }
+    }
+
+    fn mutate(
+        &mut self,
+        me: ezbft_smr::ReplicaId,
+        to: NodeId,
+        msg: Msg<A::Command, A::Response>,
+    ) -> Option<Msg<A::Command, A::Response>> {
+        match (&self.behaviour, msg) {
+            (Behaviour::EquivocateSeq, Msg::SpecOrder(mut so)) if so.body.inst.space == me => {
+                // Lie to the odd-indexed peers about the sequence number.
+                if to.as_replica().map(|r| r.index() % 2 == 1).unwrap_or(false) {
+                    so.body.seq += 100;
+                    let audience = Audience::replicas(self.n).and(so.req.client);
+                    so.sig = self.keys.sign(&so.body.signed_payload(), &audience);
+                }
+                Some(Msg::SpecOrder(so))
+            }
+            (Behaviour::EquivocateInstance, Msg::SpecOrder(mut so))
+                if so.body.inst.space == me =>
+            {
+                if to.as_replica().map(|r| r.index() % 2 == 1).unwrap_or(false) {
+                    so.body.inst.slot += 1;
+                    let audience = Audience::replicas(self.n).and(so.req.client);
+                    so.sig = self.keys.sign(&so.body.signed_payload(), &audience);
+                }
+                Some(Msg::SpecOrder(so))
+            }
+            (Behaviour::DropDeps, Msg::SpecReply(reply)) if reply.sender == me => {
+                let mut body = reply.body.clone();
+                body.deps.clear();
+                body.seq = 1;
+                let payload =
+                    SpecReply::<A::Command, A::Response>::signed_payload(&body, &reply.response);
+                let audience = Audience::replicas(self.n).and(body.client);
+                let sig = self.keys.sign(&payload, &audience);
+                Some(Msg::SpecReply(SpecReply::new(
+                    body,
+                    me,
+                    reply.response,
+                    sig,
+                    reply.spec_order,
+                )))
+            }
+            (Behaviour::MuteLeader, Msg::SpecOrder(so)) if so.body.inst.space == me => None,
+            (Behaviour::MuteLeader, Msg::SpecReply(reply))
+                if reply.body.inst.space == me && reply.sender == me =>
+            {
+                None
+            }
+            (_, msg) => Some(msg),
+        }
+    }
+}
+
+impl<A: Application> ProtocolNode for ByzantineReplica<A> {
+    type Message = Msg<A::Command, A::Response>;
+    type Response = A::Response;
+
+    fn id(&self) -> NodeId {
+        ProtocolNode::id(&self.inner)
+    }
+
+    fn on_start(&mut self, out: &mut Actions<Self::Message, Self::Response>) {
+        let mut staged = Actions::new(out.now());
+        self.inner.on_start(&mut staged);
+        let actions = staged.take();
+        self.transform(actions, out);
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        out: &mut Actions<Self::Message, Self::Response>,
+    ) {
+        let mut staged = Actions::new(out.now());
+        self.inner.on_message(from, msg, &mut staged);
+        let actions = staged.take();
+        self.transform(actions, out);
+    }
+
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<Self::Message, Self::Response>) {
+        let mut staged = Actions::new(out.now());
+        self.inner.on_timer(id, &mut staged);
+        let actions = staged.take();
+        self.transform(actions, out);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}

@@ -1,0 +1,438 @@
+//! The ezBFT client (paper §IV-A steps 1 and 4, §IV-C, §IV-D).
+//!
+//! "In EZBFT, the client is actively involved in the consensus process. It
+//! is responsible for collecting messages from the replicas and ensuring
+//! that they have committed to a single order before delivering the reply"
+//! (§III). Concretely the client:
+//!
+//! - sends its (signed) request to the nearest replica;
+//! - collects SPECREPLYs; on `3f + 1` matching replies it delivers the
+//!   result and asynchronously broadcasts COMMITFAST (fast path);
+//! - on unequal replies (contention) or the slow-path timer, combines the
+//!   designated slow quorum's dependency sets (union) and sequence numbers
+//!   (max) into a signed COMMIT, then waits for `2f + 1` matching
+//!   COMMITREPLYs (slow path);
+//! - inspects the SPECORDER headers embedded in replies for proofs of
+//!   command-leader misbehaviour and broadcasts a POM when found (§IV-D);
+//! - on timeout, re-broadcasts the request tagged with the original
+//!   command-leader, and eventually rotates to a different replica.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ezbft_crypto::{Audience, Digest, KeyStore};
+use ezbft_smr::{
+    Actions, ClientId, ClientNode, NodeId, ProtocolNode, ReplicaId, TimerId, Timestamp,
+};
+
+use crate::config::EzConfig;
+use crate::instance::InstanceId;
+use crate::msg::{
+    Commit, CommitBody, CommitFast, CommitReply, Msg, Pom, Request, SpecOrderHeader, SpecReply,
+    WirePayload,
+};
+
+/// Counters exposed for tests and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests completed on the fast path.
+    pub fast: u64,
+    /// Requests completed on the slow path.
+    pub slow: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Proofs of misbehaviour broadcast.
+    pub poms: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Collecting SPECREPLYs.
+    Spec,
+    /// COMMIT sent; collecting COMMITREPLYs.
+    Committing,
+}
+
+struct Pending<C, R> {
+    cmd: C,
+    ts: Timestamp,
+    req_digest: Digest,
+    phase: Phase,
+    /// Latest SPECREPLY per replica.
+    replies: HashMap<ReplicaId, SpecReply<C, R>>,
+    /// Matching COMMITREPLY tally.
+    commit_groups: HashMap<Digest, HashMap<ReplicaId, CommitReply<R>>>,
+    /// Distinct leader-signed headers seen (POM detection).
+    headers: Vec<SpecOrderHeader>,
+    /// The replica currently asked to lead.
+    leader: ReplicaId,
+    retries: u64,
+    /// Once the slow-path timer fired, every further reply re-attempts the
+    /// slow path (faulty replicas may never complete the reply set).
+    slow_timer_fired: bool,
+}
+
+/// The ezBFT client node.
+pub struct Client<C, R> {
+    id: ClientId,
+    cfg: EzConfig,
+    keys: KeyStore,
+    /// Preferred (nearest) replica.
+    preferred: ReplicaId,
+    next_ts: Timestamp,
+    pending: Option<Pending<C, R>>,
+    stats: ClientStats,
+}
+
+impl<C, R> std::fmt::Debug for Client<C, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("id", &self.id)
+            .field("preferred", &self.preferred)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+const TIMER_SLOW: u64 = 0;
+const TIMER_RETRY: u64 = 1;
+
+impl<C: WirePayload, R: WirePayload> Client<C, R> {
+    /// Creates a client that targets `preferred` (its nearest replica).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` does not belong to `id`.
+    pub fn new(id: ClientId, cfg: EzConfig, keys: KeyStore, preferred: ReplicaId) -> Self {
+        assert_eq!(keys.me(), NodeId::Client(id), "keystore identity mismatch");
+        Client {
+            id,
+            cfg,
+            keys,
+            preferred,
+            next_ts: Timestamp::ZERO,
+            pending: None,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// This client's id.
+    pub fn client_id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Counters for tests and reports.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    fn slow_timer(&self) -> TimerId {
+        TimerId(TIMER_SLOW)
+    }
+
+    fn retry_timer(&self) -> TimerId {
+        TimerId(TIMER_RETRY)
+    }
+
+    fn complete(
+        &mut self,
+        response: R,
+        fast: bool,
+        out: &mut Actions<Msg<C, R>, R>,
+    ) {
+        let pending = self.pending.take().expect("completing a pending request");
+        out.cancel_timer(self.slow_timer());
+        out.cancel_timer(self.retry_timer());
+        if fast {
+            self.stats.fast += 1;
+        } else {
+            self.stats.slow += 1;
+        }
+        out.deliver(pending.ts, response, fast);
+    }
+
+    fn on_spec_reply(&mut self, reply: SpecReply<C, R>, out: &mut Actions<Msg<C, R>, R>) {
+        let Some(pending) = &mut self.pending else { return };
+        if pending.phase != Phase::Spec
+            || reply.body.client != self.id
+            || reply.body.ts != pending.ts
+            || reply.body.req_digest != pending.req_digest
+        {
+            return;
+        }
+        // Verify the replying replica's signature over (body, response).
+        let payload = SpecReply::<C, R>::signed_payload(&reply.body, &reply.response);
+        if self
+            .keys
+            .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
+            .is_err()
+        {
+            return;
+        }
+        // Verify the embedded leader-signed SPECORDER header.
+        let leader = reply.spec_order.body.owner.owner(&self.cfg.cluster);
+        if reply.spec_order.body.req_digest != pending.req_digest
+            || self
+                .keys
+                .verify(
+                    NodeId::Replica(leader),
+                    &reply.spec_order.body.signed_payload(),
+                    &reply.spec_order.sig,
+                )
+                .is_err()
+        {
+            return;
+        }
+
+        // POM detection (§IV-D step 4.4): two leader-signed headers for the
+        // same request under the same owner must agree.
+        let header = reply.spec_order.clone();
+        let conflict = pending.headers.iter().find(|h| {
+            h.body.owner == header.body.owner
+                && h.body != header.body
+                && (h.body.req_digest == header.body.req_digest
+                    || h.body.inst == header.body.inst)
+        });
+        if let Some(existing) = conflict {
+            let pom = Pom {
+                space: header.body.inst.space,
+                owner: header.body.owner,
+                first: existing.clone(),
+                second: header.clone(),
+            };
+            if pom.is_structurally_valid() {
+                let msg = Msg::Pom(pom);
+                let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
+                out.send_all(replicas, &msg);
+                self.stats.poms += 1;
+            }
+        }
+        if !pending.headers.iter().any(|h| h.body == header.body) {
+            pending.headers.push(header);
+        }
+
+        pending.replies.insert(reply.sender, reply);
+
+        // Fast path: 3f+1 matching replies (§IV-A step 4.1).
+        let mut groups: HashMap<Digest, Vec<ReplicaId>> = HashMap::new();
+        for (sender, r) in &pending.replies {
+            groups.entry(r.match_key()).or_default().push(*sender);
+        }
+        let fast_quorum = self.cfg.cluster.fast_quorum();
+        if let Some((_, members)) =
+            groups.iter().find(|(_, members)| members.len() >= fast_quorum)
+        {
+            let representative = pending.replies[&members[0]].clone();
+            let cc: Vec<SpecReply<C, R>> =
+                members.iter().map(|m| pending.replies[m].clone()).collect();
+            let inst = representative.body.inst;
+            let response = representative.response.clone();
+            let msg = Msg::CommitFast(CommitFast { client: self.id, inst, cc });
+            let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
+            out.send_all(replicas, &msg);
+            self.complete(response, true, out);
+            return;
+        }
+
+        // All replies arrived but they are unequal: no point waiting for
+        // the slow-path timer (contention, not faults). After the timer
+        // fired, each new reply re-attempts the slow path.
+        let ready = self
+            .pending
+            .as_ref()
+            .map(|p| p.replies.len() == self.cfg.cluster.n() || p.slow_timer_fired)
+            .unwrap_or(false);
+        if ready {
+            self.try_slow_path(out);
+        }
+    }
+
+    /// Attempts the slow path (§IV-C step 4.2): requires ≥ 2f+1 replies
+    /// from the command-leader's designated slow quorum agreeing on the
+    /// instance.
+    fn try_slow_path(&mut self, out: &mut Actions<Msg<C, R>, R>) {
+        let Some(pending) = &mut self.pending else { return };
+        if pending.phase != Phase::Spec {
+            return;
+        }
+        // Group candidate replies by (owner, inst); a correct leader yields
+        // exactly one group.
+        let mut groups: HashMap<(u64, InstanceId), Vec<ReplicaId>> = HashMap::new();
+        for (sender, r) in &pending.replies {
+            groups.entry((r.body.owner.0, r.body.inst)).or_default().push(*sender);
+        }
+        let slow_quorum_size = self.cfg.cluster.slow_quorum();
+        let timer_fired = pending.slow_timer_fired;
+        for ((owner, inst), members) in groups {
+            let leader = crate::instance::OwnerNum(owner).owner(&self.cfg.cluster);
+            let designated = self.cfg.designated_slow_quorum(leader);
+            // Prefer the leader-designated quorum (§IV-C nitpick: it makes
+            // the dependency combination deterministic when more than 2f+1
+            // replies arrive). If designated members are faulty and the
+            // timer has expired, fall back to any 2f+1 repliers: the COMMIT
+            // is client-signed, so which replies back it affects only the
+            // determinism of the combination, not safety.
+            let mut usable: Vec<ReplicaId> =
+                members.iter().copied().filter(|m| designated.contains(*m)).collect();
+            if usable.len() < slow_quorum_size && timer_fired {
+                usable = members;
+                usable.sort();
+            }
+            if usable.len() < slow_quorum_size {
+                continue;
+            }
+            // Combine: union of dependency sets, max sequence number.
+            let mut deps: BTreeSet<InstanceId> = BTreeSet::new();
+            let mut seq = 0u64;
+            let mut cc = Vec::with_capacity(usable.len());
+            for m in &usable {
+                let r = &pending.replies[m];
+                deps.extend(r.body.deps.iter().copied());
+                seq = seq.max(r.body.seq);
+                cc.push(r.clone());
+            }
+            let body = CommitBody {
+                client: self.id,
+                inst,
+                deps,
+                seq,
+                req_digest: pending.req_digest,
+            };
+            let sig = self
+                .keys
+                .sign(&body.signed_payload(), &Audience::replicas(self.cfg.cluster.n()));
+            let msg = Msg::Commit(Commit { body, sig, cc });
+            let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
+            out.send_all(replicas, &msg);
+            pending.phase = Phase::Committing;
+            return;
+        }
+        // Not enough usable replies yet; the retry timer remains armed.
+    }
+
+    fn on_commit_reply(&mut self, reply: CommitReply<R>, out: &mut Actions<Msg<C, R>, R>) {
+        let Some(pending) = &mut self.pending else { return };
+        if reply.client != self.id || reply.ts != pending.ts {
+            return;
+        }
+        let payload = CommitReply::<R>::signed_payload(
+            reply.inst,
+            reply.client,
+            reply.ts,
+            &reply.response,
+        );
+        if self
+            .keys
+            .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
+            .is_err()
+        {
+            return;
+        }
+        let key = reply.match_key();
+        let group = pending.commit_groups.entry(key).or_default();
+        group.insert(reply.sender, reply);
+        if group.len() >= self.cfg.cluster.slow_quorum() {
+            let response = group.values().next().expect("non-empty").response.clone();
+            self.complete(response, false, out);
+        }
+    }
+
+    fn on_retry(&mut self, out: &mut Actions<Msg<C, R>, R>) {
+        let Some(pending) = &mut self.pending else { return };
+        self.stats.retries += 1;
+        pending.retries += 1;
+        let payload = Request::<C>::signed_payload(self.id, pending.ts, &pending.cmd);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        if pending.retries == 1 {
+            // First retry: re-broadcast tagged with the original leader so
+            // every replica nudges it (§IV-D step 4.3).
+            let req = Request {
+                client: self.id,
+                ts: pending.ts,
+                cmd: pending.cmd.clone(),
+                original: Some(pending.leader),
+                sig,
+            };
+            let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
+            out.send_all(replicas, &Msg::Request(req));
+        } else {
+            // Subsequent retries: rotate to the next replica and ask it to
+            // lead directly (the original leader's space may be frozen).
+            let next =
+                ReplicaId::new(((pending.leader.index() + 1) % self.cfg.cluster.n()) as u8);
+            pending.leader = next;
+            let req = Request {
+                client: self.id,
+                ts: pending.ts,
+                cmd: pending.cmd.clone(),
+                original: None,
+                sig,
+            };
+            out.send(NodeId::Replica(next), Msg::Request(req));
+        }
+        out.set_timer(self.retry_timer(), self.cfg.retry_delay);
+    }
+}
+
+impl<C: WirePayload, R: WirePayload> ProtocolNode for Client<C, R> {
+    type Message = Msg<C, R>;
+    type Response = R;
+
+    fn id(&self) -> NodeId {
+        NodeId::Client(self.id)
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Self::Message, out: &mut Actions<Msg<C, R>, R>) {
+        match msg {
+            Msg::SpecReply(reply) => self.on_spec_reply(reply, out),
+            Msg::CommitReply(reply) => self.on_commit_reply(reply, out),
+            // Clients ignore replica-bound traffic.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<Msg<C, R>, R>) {
+        match id.0 {
+            TIMER_SLOW => {
+                if let Some(p) = &mut self.pending {
+                    p.slow_timer_fired = true;
+                }
+                self.try_slow_path(out);
+            }
+            TIMER_RETRY => self.on_retry(out),
+            _ => {}
+        }
+    }
+}
+
+impl<C: WirePayload + ezbft_smr::Command, R: WirePayload> ClientNode for Client<C, R> {
+    type Command = C;
+
+    fn submit(&mut self, cmd: C, out: &mut Actions<Msg<C, R>, R>) {
+        assert!(self.pending.is_none(), "one outstanding request per client");
+        self.next_ts = self.next_ts.next();
+        let ts = self.next_ts;
+        let payload = Request::<C>::signed_payload(self.id, ts, &cmd);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request { client: self.id, ts, cmd: cmd.clone(), original: None, sig };
+        let req_digest = req.digest();
+        out.send(NodeId::Replica(self.preferred), Msg::Request(req));
+        out.set_timer(self.slow_timer(), self.cfg.slow_path_delay);
+        out.set_timer(self.retry_timer(), self.cfg.retry_delay);
+        self.pending = Some(Pending {
+            cmd,
+            ts,
+            req_digest,
+            phase: Phase::Spec,
+            replies: HashMap::new(),
+            commit_groups: HashMap::new(),
+            headers: Vec::new(),
+            leader: self.preferred,
+            retries: 0,
+            slow_timer_fired: false,
+        });
+    }
+
+    fn in_flight(&self) -> bool {
+        self.pending.is_some()
+    }
+}

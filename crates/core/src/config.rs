@@ -1,0 +1,80 @@
+//! ezBFT protocol configuration.
+
+use ezbft_smr::{ClusterConfig, Micros, QuorumSet, ReplicaId};
+
+/// Tunable protocol parameters shared by replicas and clients.
+#[derive(Clone, Copy, Debug)]
+pub struct EzConfig {
+    /// The cluster (N = 3f + 1 and quorum sizes).
+    pub cluster: ClusterConfig,
+    /// Client-side timer after which the slow path is attempted with
+    /// whatever (≥ 2f+1) replies arrived (§IV-C step 4.2). In the fault-free
+    /// contended case the slow path triggers *before* this timer, as soon as
+    /// all N (unequal) replies arrived.
+    pub slow_path_delay: Micros,
+    /// Client-side timer after which the request is re-broadcast to all
+    /// replicas, tagged with the original command-leader (§IV-D step 4.3).
+    pub retry_delay: Micros,
+    /// Replica-side timer: after forwarding a RESENDREQ to the original
+    /// command-leader, how long to wait for the corresponding SPECORDER
+    /// before initiating an ownership change (§IV-D step 4.3).
+    pub resend_timeout: Micros,
+    /// Compact an instance space's executed prefix whenever it grows by
+    /// this many slots (the paper's "since the last checkpoint" watermark,
+    /// §IV-E; the checkpoint algorithm itself is unspecified there — see
+    /// DESIGN.md §5). Compaction is local: stability of committed entries
+    /// makes an executed contiguous prefix final, so dropping it frees
+    /// memory without a message round.
+    pub compaction_interval: u64,
+}
+
+impl EzConfig {
+    /// Defaults tuned for WAN simulations (hundreds of ms round trips).
+    pub fn new(cluster: ClusterConfig) -> Self {
+        EzConfig {
+            cluster,
+            slow_path_delay: Micros::from_millis(600),
+            retry_delay: Micros::from_millis(1_500),
+            resend_timeout: Micros::from_millis(600),
+            compaction_interval: 256,
+        }
+    }
+
+    /// The designated slow quorum for a command-leader (§IV-C nitpick:
+    /// "Each command-leader specifies a known set of 2f+1 replicas that
+    /// will form the slow path quorum"). Deterministic — the leader and the
+    /// next `2f` replicas in ring order — so leaders, followers and clients
+    /// all agree without extra messages.
+    pub fn designated_slow_quorum(&self, leader: ReplicaId) -> QuorumSet {
+        let n = self.cluster.n();
+        (0..self.cluster.slow_quorum())
+            .map(|k| ReplicaId::new(((leader.index() + k) % n) as u8))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn designated_slow_quorum_wraps_ring() {
+        let cfg = EzConfig::new(ClusterConfig::for_faults(1));
+        let q = cfg.designated_slow_quorum(ReplicaId::new(3));
+        assert_eq!(q.len(), 3);
+        assert!(q.contains(ReplicaId::new(3)));
+        assert!(q.contains(ReplicaId::new(0)));
+        assert!(q.contains(ReplicaId::new(1)));
+        assert!(!q.contains(ReplicaId::new(2)));
+    }
+
+    #[test]
+    fn designated_slow_quorum_includes_leader() {
+        let cfg = EzConfig::new(ClusterConfig::for_faults(2));
+        for r in cfg.cluster.replicas() {
+            let q = cfg.designated_slow_quorum(r);
+            assert_eq!(q.len(), 5);
+            assert!(q.contains(r));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Dependency collection (paper §III, "Dependencies").
+//!
+//! "The dependency set D for command L is every other command L′ that
+//! interferes with L." Tracking *every* interfering command verbatim would
+//! grow dependency sets without bound; like EPaxos, it suffices to depend on
+//! the most recent interfering command per conflict key, because the
+//! execution algorithm (§IV-B) honours dependencies transitively: if W₂
+//! depends on W₁ and R depends on W₂, then R executes after W₁ everywhere.
+//!
+//! Per conflict key the tracker keeps the interference *frontier*:
+//! - the last plain write,
+//! - the reads issued since that write (a subsequent write must order after
+//!   every one of them, since each read's response pins the pre-write
+//!   value),
+//! - the commuting writes since the last read/write barrier (they commute
+//!   with each other but not with reads or plain writes).
+
+use std::collections::{BTreeSet, HashMap};
+
+use ezbft_smr::{AccessMode, ConflictKey};
+
+use crate::instance::InstanceId;
+
+#[derive(Clone, Debug, Default)]
+struct KeyFrontier {
+    last_write: Option<InstanceId>,
+    reads: Vec<InstanceId>,
+    commuting: Vec<InstanceId>,
+}
+
+/// Tracks the interference frontier across all instance spaces at one
+/// replica, answering "which instances must command L depend on?".
+#[derive(Clone, Debug, Default)]
+pub struct DepTracker {
+    keys: HashMap<u64, KeyFrontier>,
+}
+
+impl DepTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collects the dependencies for a command touching `conflict_keys`,
+    /// then registers `inst` as the newest accessor of those keys.
+    ///
+    /// The returned set never contains `inst` itself.
+    pub fn collect_and_register(
+        &mut self,
+        inst: InstanceId,
+        conflict_keys: &[ConflictKey],
+    ) -> BTreeSet<InstanceId> {
+        let mut deps = BTreeSet::new();
+        for ck in conflict_keys {
+            let frontier = self.keys.entry(ck.key).or_default();
+            match ck.mode {
+                AccessMode::Write => {
+                    deps.extend(frontier.last_write);
+                    deps.extend(frontier.reads.iter().copied());
+                    deps.extend(frontier.commuting.iter().copied());
+                    frontier.last_write = Some(inst);
+                    frontier.reads.clear();
+                    frontier.commuting.clear();
+                }
+                AccessMode::Read => {
+                    deps.extend(frontier.last_write);
+                    deps.extend(frontier.commuting.iter().copied());
+                    if !frontier.reads.contains(&inst) {
+                        frontier.reads.push(inst);
+                    }
+                }
+                AccessMode::CommutingWrite => {
+                    deps.extend(frontier.last_write);
+                    deps.extend(frontier.reads.iter().copied());
+                    if !frontier.commuting.contains(&inst) {
+                        frontier.commuting.push(inst);
+                    }
+                }
+            }
+        }
+        deps.remove(&inst);
+        deps
+    }
+
+    /// Registers `inst` without collecting (used when adopting recovered
+    /// entries whose dependencies were decided elsewhere).
+    pub fn register(&mut self, inst: InstanceId, conflict_keys: &[ConflictKey]) {
+        let _ = self.collect_and_register(inst, conflict_keys);
+    }
+
+    /// Number of tracked conflict keys.
+    pub fn tracked_keys(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezbft_smr::ReplicaId;
+
+    fn inst(space: u8, slot: u64) -> InstanceId {
+        InstanceId::new(ReplicaId::new(space), slot)
+    }
+
+    #[test]
+    fn disjoint_keys_no_deps() {
+        let mut t = DepTracker::new();
+        let d1 = t.collect_and_register(inst(0, 0), &[ConflictKey::write(1)]);
+        let d2 = t.collect_and_register(inst(1, 0), &[ConflictKey::write(2)]);
+        assert!(d1.is_empty());
+        assert!(d2.is_empty());
+        assert_eq!(t.tracked_keys(), 2);
+    }
+
+    #[test]
+    fn write_after_write_depends_on_previous() {
+        let mut t = DepTracker::new();
+        t.collect_and_register(inst(0, 0), &[ConflictKey::write(1)]);
+        let d = t.collect_and_register(inst(1, 0), &[ConflictKey::write(1)]);
+        assert_eq!(d, BTreeSet::from([inst(0, 0)]));
+        // The frontier moved: a third write depends only on the second.
+        let d3 = t.collect_and_register(inst(2, 0), &[ConflictKey::write(1)]);
+        assert_eq!(d3, BTreeSet::from([inst(1, 0)]));
+    }
+
+    #[test]
+    fn reads_depend_on_write_not_each_other() {
+        let mut t = DepTracker::new();
+        t.collect_and_register(inst(0, 0), &[ConflictKey::write(1)]);
+        let r1 = t.collect_and_register(inst(1, 0), &[ConflictKey::read(1)]);
+        let r2 = t.collect_and_register(inst(2, 0), &[ConflictKey::read(1)]);
+        assert_eq!(r1, BTreeSet::from([inst(0, 0)]));
+        assert_eq!(r2, BTreeSet::from([inst(0, 0)]));
+    }
+
+    #[test]
+    fn write_after_reads_depends_on_all_reads() {
+        let mut t = DepTracker::new();
+        t.collect_and_register(inst(0, 0), &[ConflictKey::write(1)]);
+        t.collect_and_register(inst(1, 0), &[ConflictKey::read(1)]);
+        t.collect_and_register(inst(2, 0), &[ConflictKey::read(1)]);
+        let w = t.collect_and_register(inst(3, 0), &[ConflictKey::write(1)]);
+        assert_eq!(w, BTreeSet::from([inst(0, 0), inst(1, 0), inst(2, 0)]));
+    }
+
+    #[test]
+    fn commuting_writes_skip_each_other_but_not_reads_or_writes() {
+        let mut t = DepTracker::new();
+        t.collect_and_register(inst(0, 0), &[ConflictKey::write(1)]);
+        let b1 = t.collect_and_register(inst(1, 0), &[ConflictKey::commuting_write(1)]);
+        let b2 = t.collect_and_register(inst(2, 0), &[ConflictKey::commuting_write(1)]);
+        assert_eq!(b1, BTreeSet::from([inst(0, 0)]));
+        assert_eq!(b2, BTreeSet::from([inst(0, 0)])); // not on b1
+        // A read after the bumps depends on the write and both bumps.
+        let r = t.collect_and_register(inst(3, 0), &[ConflictKey::read(1)]);
+        assert_eq!(r, BTreeSet::from([inst(0, 0), inst(1, 0), inst(2, 0)]));
+        // A write depends on everything outstanding.
+        let w = t.collect_and_register(inst(0, 1), &[ConflictKey::write(1)]);
+        assert_eq!(
+            w,
+            BTreeSet::from([inst(0, 0), inst(1, 0), inst(2, 0), inst(3, 0)])
+        );
+        // And the frontier is reset afterwards.
+        let r2 = t.collect_and_register(inst(1, 1), &[ConflictKey::read(1)]);
+        assert_eq!(r2, BTreeSet::from([inst(0, 1)]));
+    }
+
+    #[test]
+    fn multi_key_commands_union_dependencies() {
+        let mut t = DepTracker::new();
+        t.collect_and_register(inst(0, 0), &[ConflictKey::write(1)]);
+        t.collect_and_register(inst(1, 0), &[ConflictKey::write(2)]);
+        let d = t.collect_and_register(
+            inst(2, 0),
+            &[ConflictKey::write(1), ConflictKey::write(2)],
+        );
+        assert_eq!(d, BTreeSet::from([inst(0, 0), inst(1, 0)]));
+    }
+
+    #[test]
+    fn self_dependency_excluded() {
+        let mut t = DepTracker::new();
+        // A command reading and writing the same key must not depend on
+        // itself.
+        let d = t.collect_and_register(
+            inst(0, 0),
+            &[ConflictKey::read(1), ConflictKey::write(1)],
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn transitivity_frontier_matches_epaxos_shape() {
+        // w1 <- w2 <- w3: depending only on the predecessor is enough, the
+        // execution engine walks deps transitively.
+        let mut t = DepTracker::new();
+        t.collect_and_register(inst(0, 0), &[ConflictKey::write(9)]);
+        t.collect_and_register(inst(1, 0), &[ConflictKey::write(9)]);
+        let d = t.collect_and_register(inst(2, 0), &[ConflictKey::write(9)]);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&inst(1, 0)));
+    }
+}

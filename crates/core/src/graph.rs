@@ -1,0 +1,326 @@
+//! The execution-order algorithm (paper §IV-B).
+//!
+//! Given the committed-but-not-yet-executed entries at a replica:
+//!
+//! 1. build the dependency graph (edges point from a command to each of its
+//!    dependencies),
+//! 2. find strongly connected components and sort them topologically,
+//! 3. process components in inverse topological order (dependencies first),
+//!    executing the commands inside each component in sequence-number order,
+//!    breaking ties with the instance-space (replica) identifier.
+//!
+//! Entries whose dependencies are not yet committed locally — and every
+//! entry that transitively depends on them — are *blocked* and excluded
+//! from the returned order; they become executable once the missing
+//! dependencies commit.
+//!
+//! The algorithm is deterministic: all inputs are ordered collections, so
+//! every correct replica computes the same order from the same committed
+//! state — the heart of the consistency argument (§IV-F).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::instance::InstanceId;
+
+/// Metadata the planner needs per committed-unexecuted entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecNode {
+    /// The entry's final sequence number.
+    pub seq: u64,
+    /// The entry's final dependency set.
+    pub deps: BTreeSet<InstanceId>,
+}
+
+/// Computes the executable prefix of the committed-unexecuted set.
+///
+/// `is_executed(d)` must return whether dependency `d` (not present in
+/// `nodes`) has already been finally executed; a dependency that is neither
+/// in `nodes` nor executed blocks its dependents.
+///
+/// Returns instances in execution order.
+pub fn execution_order(
+    nodes: &BTreeMap<InstanceId, ExecNode>,
+    mut is_executed: impl FnMut(InstanceId) -> bool,
+) -> Vec<InstanceId> {
+    if nodes.is_empty() {
+        return Vec::new();
+    }
+
+    // Adjacency restricted to the committed-unexecuted subgraph, plus the
+    // set of directly blocked nodes.
+    let mut adj: HashMap<InstanceId, Vec<InstanceId>> = HashMap::with_capacity(nodes.len());
+    let mut directly_blocked: BTreeSet<InstanceId> = BTreeSet::new();
+    for (&id, node) in nodes {
+        let mut edges = Vec::new();
+        for &d in &node.deps {
+            if d == id {
+                continue;
+            }
+            if nodes.contains_key(&d) {
+                edges.push(d);
+            } else if !is_executed(d) {
+                directly_blocked.insert(id);
+            }
+        }
+        adj.insert(id, edges);
+    }
+
+    // Iterative Tarjan. SCCs are emitted dependencies-first (an SCC is
+    // completed only after every SCC it can reach).
+    let mut index: HashMap<InstanceId, u32> = HashMap::with_capacity(nodes.len());
+    let mut lowlink: HashMap<InstanceId, u32> = HashMap::with_capacity(nodes.len());
+    let mut on_stack: BTreeSet<InstanceId> = BTreeSet::new();
+    let mut stack: Vec<InstanceId> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut sccs: Vec<Vec<InstanceId>> = Vec::new();
+    // Map node → SCC index (filled as SCCs pop).
+    let mut scc_of: HashMap<InstanceId, usize> = HashMap::with_capacity(nodes.len());
+
+    // Explicit DFS frames: (node, next neighbour position).
+    let mut frames: Vec<(InstanceId, usize)> = Vec::new();
+
+    for &root in nodes.keys() {
+        if index.contains_key(&root) {
+            continue;
+        }
+        frames.push((root, 0));
+        index.insert(root, next_index);
+        lowlink.insert(root, next_index);
+        next_index += 1;
+        stack.push(root);
+        on_stack.insert(root);
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let neighbours = &adj[&v];
+            if *pos < neighbours.len() {
+                let w = neighbours[*pos];
+                *pos += 1;
+                if !index.contains_key(&w) {
+                    frames.push((w, 0));
+                    index.insert(w, next_index);
+                    lowlink.insert(w, next_index);
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack.insert(w);
+                } else if on_stack.contains(&w) {
+                    let lw = index[&w];
+                    let lv = lowlink[&v];
+                    if lw < lv {
+                        lowlink.insert(v, lw);
+                    }
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let lv = lowlink[&v];
+                    let lp = lowlink[&parent];
+                    if lv < lp {
+                        lowlink.insert(parent, lv);
+                    }
+                }
+                if lowlink[&v] == index[&v] {
+                    // Pop a complete SCC.
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack underflow");
+                        on_stack.remove(&w);
+                        scc_of.insert(w, sccs.len());
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(component);
+                }
+            }
+        }
+    }
+
+    // Propagate blockage: process SCCs in emission (dependencies-first)
+    // order; an SCC is blocked if a member is directly blocked or points to
+    // a blocked SCC.
+    let mut scc_blocked = vec![false; sccs.len()];
+    let mut order = Vec::new();
+    for (i, component) in sccs.iter().enumerate() {
+        let mut blocked = component.iter().any(|n| directly_blocked.contains(n));
+        if !blocked {
+            'outer: for n in component {
+                for w in &adj[n] {
+                    let target = scc_of[w];
+                    if target != i && scc_blocked[target] {
+                        blocked = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        scc_blocked[i] = blocked;
+        if blocked {
+            continue;
+        }
+        // Inside an SCC: sequence-number order, ties by instance-space id
+        // then slot (slot cannot actually tie: ids are unique).
+        let mut members = component.clone();
+        members.sort_by_key(|m| (nodes[m].seq, m.space, m.slot));
+        order.extend(members);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezbft_smr::ReplicaId;
+
+    fn inst(space: u8, slot: u64) -> InstanceId {
+        InstanceId::new(ReplicaId::new(space), slot)
+    }
+
+    fn node(seq: u64, deps: &[InstanceId]) -> ExecNode {
+        ExecNode { seq, deps: deps.iter().copied().collect() }
+    }
+
+    fn order(
+        nodes: &BTreeMap<InstanceId, ExecNode>,
+        executed: &[InstanceId],
+    ) -> Vec<InstanceId> {
+        let executed: BTreeSet<_> = executed.iter().copied().collect();
+        execution_order(nodes, |d| executed.contains(&d))
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(order(&BTreeMap::new(), &[]).is_empty());
+    }
+
+    #[test]
+    fn independent_nodes_all_execute() {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(inst(0, 0), node(1, &[]));
+        nodes.insert(inst(1, 0), node(1, &[]));
+        let o = order(&nodes, &[]);
+        assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    fn chain_executes_dependency_first() {
+        // c depends on b depends on a.
+        let (a, b, c) = (inst(0, 0), inst(1, 0), inst(2, 0));
+        let mut nodes = BTreeMap::new();
+        nodes.insert(a, node(1, &[]));
+        nodes.insert(b, node(2, &[a]));
+        nodes.insert(c, node(3, &[b]));
+        assert_eq!(order(&nodes, &[]), vec![a, b, c]);
+    }
+
+    #[test]
+    fn cycle_broken_by_sequence_number() {
+        // The paper's Fig. 2 scenario: L1 and L2 depend on each other;
+        // both end with seq 2 vs 2? In Fig. 2 both get seq 2 and replica ids
+        // break the tie; here give distinct seqs first.
+        let (l1, l2) = (inst(0, 0), inst(3, 0));
+        let mut nodes = BTreeMap::new();
+        nodes.insert(l1, node(1, &[l2]));
+        nodes.insert(l2, node(2, &[l1]));
+        assert_eq!(order(&nodes, &[]), vec![l1, l2]);
+    }
+
+    #[test]
+    fn cycle_equal_seq_broken_by_replica_id() {
+        // Fig. 2: "Since the sequence numbers for both the commands are the
+        // same …, the replica IDs are used. Thus, L1 gets precedence."
+        let (l1, l2) = (inst(0, 0), inst(3, 0));
+        let mut nodes = BTreeMap::new();
+        nodes.insert(l1, node(2, &[l2]));
+        nodes.insert(l2, node(2, &[l1]));
+        assert_eq!(order(&nodes, &[]), vec![l1, l2]);
+    }
+
+    #[test]
+    fn executed_dependencies_are_satisfied() {
+        let (a, b) = (inst(0, 0), inst(1, 0));
+        let mut nodes = BTreeMap::new();
+        nodes.insert(b, node(2, &[a]));
+        // a is not in the committed set but already executed.
+        assert_eq!(order(&nodes, &[a]), vec![b]);
+    }
+
+    #[test]
+    fn missing_dependency_blocks_transitively() {
+        // b → a(missing), c → b: both blocked; d independent executes.
+        let (a, b, c, d) = (inst(0, 0), inst(1, 0), inst(2, 0), inst(3, 0));
+        let mut nodes = BTreeMap::new();
+        nodes.insert(b, node(1, &[a]));
+        nodes.insert(c, node(2, &[b]));
+        nodes.insert(d, node(1, &[]));
+        assert_eq!(order(&nodes, &[]), vec![d]);
+    }
+
+    #[test]
+    fn blocked_cycle_excluded_entirely() {
+        // Cycle {b, c} where b also depends on missing a: whole SCC blocked.
+        let (a, b, c) = (inst(0, 0), inst(1, 0), inst(2, 0));
+        let mut nodes = BTreeMap::new();
+        nodes.insert(b, node(1, &[a, c]));
+        nodes.insert(c, node(2, &[b]));
+        assert!(order(&nodes, &[]).is_empty());
+    }
+
+    #[test]
+    fn diamond_order_is_deterministic() {
+        //   d depends on b, c; b and c depend on a.
+        let (a, b, c, d) = (inst(0, 0), inst(1, 0), inst(2, 0), inst(3, 0));
+        let mut nodes = BTreeMap::new();
+        nodes.insert(a, node(1, &[]));
+        nodes.insert(b, node(2, &[a]));
+        nodes.insert(c, node(3, &[a]));
+        nodes.insert(d, node(4, &[b, c]));
+        let o = order(&nodes, &[]);
+        assert_eq!(o.len(), 4);
+        let pos = |x: InstanceId| o.iter().position(|&y| y == x).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+        // Rerunning yields the identical order (determinism).
+        assert_eq!(o, order(&nodes, &[]));
+    }
+
+    #[test]
+    fn three_cycle_sorted_by_seq_then_space() {
+        let (x, y, z) = (inst(2, 0), inst(0, 0), inst(1, 0));
+        let mut nodes = BTreeMap::new();
+        nodes.insert(x, node(5, &[y]));
+        nodes.insert(y, node(5, &[z]));
+        nodes.insert(z, node(4, &[x]));
+        // One SCC; z has the smallest seq, then tie (5,R0) < (5,R2).
+        assert_eq!(order(&nodes, &[]), vec![z, y, x]);
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow_stack() {
+        // 10_000-deep dependency chain — the iterative Tarjan must cope.
+        let mut nodes = BTreeMap::new();
+        let mut prev: Option<InstanceId> = None;
+        for slot in 0..10_000u64 {
+            let id = inst((slot % 4) as u8, slot / 4);
+            let deps: Vec<_> = prev.into_iter().collect();
+            nodes.insert(id, node(slot + 1, &deps));
+            prev = Some(id);
+        }
+        let o = order(&nodes, &[]);
+        assert_eq!(o.len(), 10_000);
+        // Seq increases along the chain, so order follows seq.
+        for w in o.windows(2) {
+            assert!(nodes[&w[0]].seq < nodes[&w[1]].seq);
+        }
+    }
+
+    #[test]
+    fn self_dependency_is_ignored() {
+        let a = inst(0, 0);
+        let mut nodes = BTreeMap::new();
+        nodes.insert(a, node(1, &[a]));
+        assert_eq!(order(&nodes, &[]), vec![a]);
+    }
+}

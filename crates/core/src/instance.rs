@@ -1,0 +1,132 @@
+//! Instance spaces, instance numbers and owner numbers (paper §III).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ezbft_smr::{ClusterConfig, ReplicaId};
+
+/// An instance number: a slot in one replica's instance space.
+///
+/// "An instance number, denoted I, is a tuple of the instance space (or
+/// replica) identifier and a slot identifier" (§III).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId {
+    /// The instance space (= proposing replica) this slot belongs to.
+    pub space: ReplicaId,
+    /// Slot within the space, starting at 0.
+    pub slot: u64,
+}
+
+impl InstanceId {
+    /// Creates an instance id.
+    pub const fn new(space: ReplicaId, slot: u64) -> Self {
+        InstanceId { space, slot }
+    }
+
+    /// A unique 128-bit tag (used to key speculative executions).
+    pub fn tag(self) -> u128 {
+        ((self.space.index() as u128) << 64) | self.slot as u128
+    }
+}
+
+impl fmt::Debug for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.space, self.slot)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An owner number for an instance space.
+///
+/// "An owner number O is a monotonically increasing number that is used to
+/// identify the owner of an instance space … The owner of a replica R0's
+/// instance space can be identified from its owner number using the formula
+/// O mod N" (§III). Initially each space's owner number equals its owner's
+/// replica index.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct OwnerNum(pub u64);
+
+impl OwnerNum {
+    /// The initial owner number for `space` (the space owner's own index).
+    pub fn initial(space: ReplicaId) -> Self {
+        OwnerNum(space.index() as u64)
+    }
+
+    /// The owner number after one ownership change.
+    pub fn next(self) -> Self {
+        OwnerNum(self.0 + 1)
+    }
+
+    /// The replica that owns a space at this owner number.
+    pub fn owner(self, cluster: &ClusterConfig) -> ReplicaId {
+        cluster.owner_of(self.0)
+    }
+}
+
+/// Lifecycle of a command in a replica's log (paper's TLA+ `Status`, with
+/// the additional `Executed` terminal state used by the execution engine).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum EntryStatus {
+    /// Speculatively ordered: a SPECORDER was received/produced and the
+    /// command was speculatively executed.
+    SpecOrdered,
+    /// Committed via COMMITFAST, COMMIT or owner-change recovery; awaiting
+    /// final execution.
+    Committed,
+    /// Finally executed.
+    Executed,
+}
+
+impl EntryStatus {
+    /// Whether the entry has durably committed (committed or executed).
+    pub fn is_committed(self) -> bool {
+        matches!(self, EntryStatus::Committed | EntryStatus::Executed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_tag_is_injective_across_spaces_and_slots() {
+        let a = InstanceId::new(ReplicaId::new(0), 1);
+        let b = InstanceId::new(ReplicaId::new(1), 0);
+        let c = InstanceId::new(ReplicaId::new(0), 2);
+        assert_ne!(a.tag(), b.tag());
+        assert_ne!(a.tag(), c.tag());
+        assert_eq!(a.tag(), InstanceId::new(ReplicaId::new(0), 1).tag());
+    }
+
+    #[test]
+    fn instance_orders_by_space_then_slot() {
+        let a = InstanceId::new(ReplicaId::new(0), 9);
+        let b = InstanceId::new(ReplicaId::new(1), 0);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "R0.9");
+    }
+
+    #[test]
+    fn owner_number_rotation() {
+        let cluster = ClusterConfig::for_faults(1);
+        let o = OwnerNum::initial(ReplicaId::new(2));
+        assert_eq!(o.owner(&cluster), ReplicaId::new(2));
+        assert_eq!(o.next().owner(&cluster), ReplicaId::new(3));
+        assert_eq!(o.next().next().owner(&cluster), ReplicaId::new(0));
+    }
+
+    #[test]
+    fn status_commitment() {
+        assert!(!EntryStatus::SpecOrdered.is_committed());
+        assert!(EntryStatus::Committed.is_committed());
+        assert!(EntryStatus::Executed.is_committed());
+    }
+}

@@ -1,0 +1,65 @@
+//! # ezbft-core — the ezBFT protocol
+//!
+//! A faithful implementation of *"ezBFT: Decentralizing Byzantine
+//! Fault-Tolerant State Machine Replication"* (Arun, Peluso, Ravindran —
+//! ICDCS 2019) as sans-io state machines:
+//!
+//! - [`Replica`] — command-leader + follower roles over per-replica
+//!   instance spaces (§IV-A), speculative execution with SCC-based final
+//!   execution (§IV-B), slow-path commitment (§IV-C) and the owner-change
+//!   protocol (§IV-E);
+//! - [`Client`] — the actively-participating client: fast-path matching,
+//!   dependency combining, proof-of-misbehaviour detection and
+//!   retransmission (§IV-A step 4, §IV-C, §IV-D);
+//! - [`ByzantineReplica`] — pluggable byzantine behaviours for fault
+//!   injection.
+//!
+//! The protocol tolerates `f` byzantine replicas with `N = 3f + 1`,
+//! committing in **three communication steps** (client → leader →
+//! replicas → client) when there is no contention and no faults, and in
+//! five steps otherwise.
+//!
+//! # Example
+//!
+//! Build a replica and a client over the KV application:
+//!
+//! ```
+//! use ezbft_core::{EzConfig, Replica, Client};
+//! use ezbft_crypto::{CryptoKind, KeyStore};
+//! use ezbft_kv::{KvStore, KvOp, KvResponse};
+//! use ezbft_smr::{ClusterConfig, ClientId, NodeId, ReplicaId};
+//!
+//! let cluster = ClusterConfig::for_faults(1);
+//! let cfg = EzConfig::new(cluster);
+//! let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+//! nodes.push(NodeId::Client(ClientId::new(0)));
+//! let mut keys = KeyStore::cluster(CryptoKind::Mac, b"example", &nodes);
+//! let client_keys = keys.pop().unwrap();
+//!
+//! let replica0 = Replica::new(ReplicaId::new(0), cfg, keys.remove(0), KvStore::new());
+//! let client: Client<KvOp, KvResponse> =
+//!     Client::new(ClientId::new(0), cfg, client_keys, ReplicaId::new(0));
+//! # let _ = (replica0, client);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod byzantine;
+mod client;
+mod config;
+mod deps;
+mod graph;
+mod instance;
+pub mod msg;
+mod owner;
+mod replica;
+
+pub use byzantine::{Behaviour, ByzantineReplica};
+pub use client::{Client, ClientStats};
+pub use config::EzConfig;
+pub use deps::DepTracker;
+pub use graph::{execution_order, ExecNode};
+pub use instance::{EntryStatus, InstanceId, OwnerNum};
+pub use msg::Msg;
+pub use replica::{Replica, ReplicaStats};

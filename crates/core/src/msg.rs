@@ -1,0 +1,603 @@
+//! ezBFT protocol messages (paper §IV).
+//!
+//! All signatures are computed over the canonical wire encoding
+//! ([`ezbft_wire::to_bytes`]) of the signed body, so any party holding the
+//! appropriate keys can re-derive and check the signed bytes.
+
+use std::collections::BTreeSet;
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use ezbft_crypto::{Digest, Signature};
+use ezbft_smr::{ClientId, ReplicaId, Timestamp};
+
+use crate::instance::{EntryStatus, InstanceId, OwnerNum};
+
+/// Bound on message type parameters: commands and responses travel inside
+/// messages and under signatures.
+pub trait WirePayload: Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static {}
+impl<T: Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static> WirePayload
+    for T
+{
+}
+
+/// `⟨REQUEST, L, t, c⟩σc` — a signed client request (§IV-A step 1).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Request<C> {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Client-monotonic timestamp for exactly-once execution.
+    pub ts: Timestamp,
+    /// The command to execute.
+    pub cmd: C,
+    /// On re-broadcast (§IV-D step 4.3): the replica originally asked to
+    /// order this command.
+    pub original: Option<ReplicaId>,
+    /// Client signature over [`Request::signed_payload`].
+    pub sig: Signature,
+}
+
+impl<C: WirePayload> Request<C> {
+    /// The bytes the client signs: everything except `original` (which is
+    /// mutated on retransmission) and the signature itself.
+    pub fn signed_payload(client: ClientId, ts: Timestamp, cmd: &C) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(client, ts, cmd)).expect("request payload encodes")
+    }
+
+    /// Digest `d = H(m)` identifying this request (§IV-A step 2).
+    pub fn digest(&self) -> Digest {
+        Digest::of(&Self::signed_payload(self.client, self.ts, &self.cmd))
+    }
+}
+
+/// The signed body of a `SPECORDER` (§IV-A step 2):
+/// `⟨SPECORDER, O, I, D, S, h, d⟩σRi`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SpecOrderBody {
+    /// Owner number of the command-leader's instance space.
+    pub owner: OwnerNum,
+    /// The instance number assigned to the command.
+    pub inst: InstanceId,
+    /// Dependencies collected by the command-leader.
+    pub deps: BTreeSet<InstanceId>,
+    /// Sequence number assigned by the command-leader.
+    pub seq: u64,
+    /// `h`: digest of the command-leader's instance space before this slot.
+    pub log_digest: Digest,
+    /// `d = H(m)`: digest of the client request.
+    pub req_digest: Digest,
+}
+
+impl SpecOrderBody {
+    /// Canonical signed bytes.
+    pub fn signed_payload(&self) -> Vec<u8> {
+        ezbft_wire::to_bytes(self).expect("spec-order body encodes")
+    }
+}
+
+/// `⟨⟨SPECORDER, …⟩σRi, m⟩` — the leader's proposal with the full request
+/// attached.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SpecOrder<C> {
+    /// The signed ordering metadata.
+    pub body: SpecOrderBody,
+    /// Command-leader signature over the body.
+    pub sig: Signature,
+    /// The original client request `m`.
+    pub req: Request<C>,
+}
+
+/// The signed body of a `SPECREPLY` (§IV-A step 3):
+/// `⟨SPECREPLY, O, I, D′, S′, d, c, t⟩σRj` (the response is signed together
+/// with the body; see [`SpecReply::signed_payload`]).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SpecReplyBody {
+    /// Owner number observed for the command's instance space.
+    pub owner: OwnerNum,
+    /// The instance the reply refers to.
+    pub inst: InstanceId,
+    /// Updated dependency set `D′`.
+    pub deps: BTreeSet<InstanceId>,
+    /// Updated sequence number `S′`.
+    pub seq: u64,
+    /// Digest of the client request.
+    pub req_digest: Digest,
+    /// The issuing client.
+    pub client: ClientId,
+    /// The request timestamp.
+    pub ts: Timestamp,
+}
+
+/// `⟨⟨SPECREPLY, …⟩σRj, Rj, rep, SO⟩` — a replica's speculative reply.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SpecReply<C, R> {
+    /// The signed reply metadata.
+    pub body: SpecReplyBody,
+    /// The replying replica `Rj`.
+    pub sender: ReplicaId,
+    /// Speculative execution result `rep`.
+    pub response: R,
+    /// Signature by `sender` over `(body, response)`.
+    pub sig: Signature,
+    /// `SO`: the command-leader's signed SPECORDER header, relayed so the
+    /// client can detect leader equivocation (§IV-D step 4.4).
+    pub spec_order: SpecOrderHeader,
+    #[serde(skip)]
+    _marker: std::marker::PhantomData<C>,
+}
+
+impl<C, R: WirePayload> SpecReply<C, R> {
+    /// Builds a reply (the signature must cover [`Self::signed_payload`]).
+    pub fn new(
+        body: SpecReplyBody,
+        sender: ReplicaId,
+        response: R,
+        sig: Signature,
+        spec_order: SpecOrderHeader,
+    ) -> Self {
+        SpecReply { body, sender, response, sig, spec_order, _marker: std::marker::PhantomData }
+    }
+
+    /// Canonical signed bytes of a reply: the body plus the response.
+    pub fn signed_payload(body: &SpecReplyBody, response: &R) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(body, response)).expect("spec-reply payload encodes")
+    }
+
+    /// The fast-path matching key (§IV-A step 4.1): two replies "match" iff
+    /// owner, instance, deps, seq, client, timestamp and result are all
+    /// identical. The digest of the signed payload captures exactly that
+    /// projection.
+    pub fn match_key(&self) -> Digest {
+        Digest::of(&Self::signed_payload(&self.body, &self.response))
+    }
+}
+
+/// A command-leader's signed SPECORDER header without the request payload
+/// (enough to prove what the leader proposed).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SpecOrderHeader {
+    /// The signed body.
+    pub body: SpecOrderBody,
+    /// The leader's signature over the body.
+    pub sig: Signature,
+}
+
+/// `⟨COMMITFAST, c, I, CC⟩` (§IV-A step 4.1): the commit certificate is
+/// `3f + 1` matching SPECREPLY messages.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CommitFast<C, R> {
+    /// The issuing client.
+    pub client: ClientId,
+    /// The committed instance.
+    pub inst: InstanceId,
+    /// The commit certificate.
+    pub cc: Vec<SpecReply<C, R>>,
+}
+
+/// The client-signed body of a slow-path `COMMIT` (§IV-C step 4.2).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct CommitBody {
+    /// The issuing client.
+    pub client: ClientId,
+    /// The committed instance.
+    pub inst: InstanceId,
+    /// Final dependency set `D′` (union over the slow quorum's replies).
+    pub deps: BTreeSet<InstanceId>,
+    /// Final sequence number `S′` (max over the slow quorum's replies).
+    pub seq: u64,
+    /// Digest of the client request.
+    pub req_digest: Digest,
+}
+
+impl CommitBody {
+    /// Canonical signed bytes.
+    pub fn signed_payload(&self) -> Vec<u8> {
+        ezbft_wire::to_bytes(self).expect("commit body encodes")
+    }
+}
+
+/// `⟨COMMIT, c, I, D′, S′, CC⟩σc` (§IV-C step 4.2).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Commit<C, R> {
+    /// The client-signed final ordering decision.
+    pub body: CommitBody,
+    /// Client signature over the body.
+    pub sig: Signature,
+    /// `CC`: the `2f + 1` SPECREPLY messages the decision was derived from.
+    pub cc: Vec<SpecReply<C, R>>,
+}
+
+/// `⟨COMMITREPLY, L, rep⟩` (§IV-C step 5.2), extended with the identity
+/// fields the client needs to tally `2f + 1` matching replies.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct CommitReply<R> {
+    /// The executed instance.
+    pub inst: InstanceId,
+    /// The issuing client.
+    pub client: ClientId,
+    /// The request timestamp.
+    pub ts: Timestamp,
+    /// The final execution result.
+    pub response: R,
+    /// The replying replica.
+    pub sender: ReplicaId,
+    /// Signature by `sender` over `(inst, client, ts, response)`.
+    pub sig: Signature,
+}
+
+impl<R: WirePayload> CommitReply<R> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(
+        inst: InstanceId,
+        client: ClientId,
+        ts: Timestamp,
+        response: &R,
+    ) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(inst, client, ts, response)).expect("commit reply encodes")
+    }
+
+    /// Matching key for the client's `2f + 1` tally.
+    pub fn match_key(&self) -> Digest {
+        Digest::of(&Self::signed_payload(self.inst, self.client, self.ts, &self.response))
+    }
+}
+
+/// `⟨RESENDREQ, m, Rj⟩` (§IV-D step 4.3): replica `Rj` forwards a client's
+/// re-broadcast request to its original command-leader.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ResendReq<C> {
+    /// The re-broadcast request.
+    pub req: Request<C>,
+    /// The forwarding replica.
+    pub forwarder: ReplicaId,
+}
+
+/// `⟨POM, O, POM⟩` (§IV-D step 4.4): a pair of SPECORDER headers signed by
+/// the same command-leader assigning conflicting orders to one request.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Pom {
+    /// The instance space whose owner misbehaved.
+    pub space: ReplicaId,
+    /// The owner number under which the misbehaviour happened.
+    pub owner: OwnerNum,
+    /// First signed header.
+    pub first: SpecOrderHeader,
+    /// Second, conflicting signed header.
+    pub second: SpecOrderHeader,
+}
+
+impl Pom {
+    /// Whether the two headers structurally prove misbehaviour: same
+    /// command (request digest) with different instances, or same instance
+    /// with different content, signed under the same owner number.
+    ///
+    /// Signature validity is checked separately by the receiving replica.
+    pub fn is_structurally_valid(&self) -> bool {
+        let (a, b) = (&self.first.body, &self.second.body);
+        if a.owner != self.owner || b.owner != self.owner {
+            return false;
+        }
+        if a.inst.space != self.space || b.inst.space != self.space {
+            return false;
+        }
+        let same_cmd_diff_inst = a.req_digest == b.req_digest && a.inst != b.inst;
+        let same_inst_diff_content = a.inst == b.inst && a != b;
+        same_cmd_diff_inst || same_inst_diff_content
+    }
+}
+
+/// `⟨STARTOWNERCHANGE, Ri, ORi⟩` (§IV-E).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct StartOwnerChange {
+    /// The suspected space (its original owner's id).
+    pub space: ReplicaId,
+    /// The owner number being abandoned.
+    pub owner: OwnerNum,
+    /// The suspecting replica.
+    pub sender: ReplicaId,
+    /// Signature by `sender` over `(space, owner)`.
+    pub sig: Signature,
+}
+
+impl StartOwnerChange {
+    /// Canonical signed bytes.
+    pub fn signed_payload(space: ReplicaId, owner: OwnerNum) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"start-oc", space, owner)).expect("start-oc encodes")
+    }
+}
+
+/// Evidence attached to an entry in an OWNERCHANGE snapshot, proving how far
+/// the entry had progressed (used by Conditions 1 and 2 of §IV-E).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Evidence<C, R> {
+    /// The entry was spec-ordered: the command-leader's signed header.
+    SpecOrdered(SpecOrderHeader),
+    /// The entry was slow-path committed: the client's signed COMMIT body.
+    SlowCommit {
+        /// The client-signed decision.
+        body: CommitBody,
+        /// The client's signature.
+        sig: Signature,
+    },
+    /// The entry was fast-path committed: the 3f+1-reply certificate.
+    FastCommit {
+        /// The matching replies.
+        replies: Vec<SpecReply<C, R>>,
+    },
+}
+
+/// One entry of a replica's view of a (suspected) instance space, shipped
+/// inside OWNERCHANGE.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EntrySnapshot<C, R> {
+    /// The instance.
+    pub inst: InstanceId,
+    /// Owner number under which the entry was accepted.
+    pub owner: OwnerNum,
+    /// The full client request.
+    pub req: Request<C>,
+    /// Local dependency view.
+    pub deps: BTreeSet<InstanceId>,
+    /// Local sequence number.
+    pub seq: u64,
+    /// Local status.
+    pub status: EntryStatus,
+    /// Progress proof.
+    pub evidence: Evidence<C, R>,
+}
+
+/// `⟨OWNERCHANGE⟩` (§IV-E): a replica's signed view of the suspected
+/// space, sent to the prospective new owner.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct OwnerChange<C, R> {
+    /// The suspected space.
+    pub space: ReplicaId,
+    /// The owner number the space is moving to.
+    pub new_owner: OwnerNum,
+    /// The reporting replica.
+    pub sender: ReplicaId,
+    /// The first slot the reporting replica still holds (slots below were
+    /// compacted after execution — "since the last checkpoint", §IV-E).
+    pub floor: u64,
+    /// The reporting replica's entries for the space since the last
+    /// checkpoint.
+    pub entries: Vec<EntrySnapshot<C, R>>,
+    /// Signature by `sender` over `(space, new_owner, floor, entry digests)`.
+    pub sig: Signature,
+}
+
+impl<C: WirePayload, R: WirePayload> OwnerChange<C, R> {
+    /// Canonical signed bytes: space, new owner, floor and a digest of the
+    /// entries (signing the digest keeps the signature payload small).
+    pub fn signed_payload(
+        space: ReplicaId,
+        new_owner: OwnerNum,
+        floor: u64,
+        entries: &[EntrySnapshot<C, R>],
+    ) -> Vec<u8> {
+        let entries_digest =
+            Digest::of(&ezbft_wire::to_bytes(entries).expect("entries encode"));
+        ezbft_wire::to_bytes(&(b"owner-change", space, new_owner, floor, entries_digest))
+            .expect("owner-change encodes")
+    }
+}
+
+/// `⟨NEWOWNER⟩` (§IV-E): the new owner's decision, carrying the proof set
+/// `P` and the safe instance set `G`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NewOwner<C, R> {
+    /// The recovered space.
+    pub space: ReplicaId,
+    /// The new owner number `O′`.
+    pub new_owner: OwnerNum,
+    /// `P`: the OWNERCHANGE messages justifying `G`.
+    pub proof: Vec<OwnerChange<C, R>>,
+    /// `G`: the safe instances every replica must adopt.
+    pub safe: Vec<EntrySnapshot<C, R>>,
+    /// The new owner replica.
+    pub sender: ReplicaId,
+    /// Signature by `sender` over `(space, new_owner, digest(safe))`.
+    pub sig: Signature,
+}
+
+impl<C: WirePayload, R: WirePayload> NewOwner<C, R> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(
+        space: ReplicaId,
+        new_owner: OwnerNum,
+        safe: &[EntrySnapshot<C, R>],
+    ) -> Vec<u8> {
+        let safe_digest = Digest::of(&ezbft_wire::to_bytes(safe).expect("safe set encodes"));
+        ezbft_wire::to_bytes(&(b"new-owner", space, new_owner, safe_digest))
+            .expect("new-owner encodes")
+    }
+}
+
+/// The ezBFT wire message.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum Msg<C, R> {
+    /// Client → replica: order this command.
+    Request(Request<C>),
+    /// Command-leader → replicas: proposed order.
+    SpecOrder(SpecOrder<C>),
+    /// Replica → client: speculative result + dependency view.
+    SpecReply(SpecReply<C, R>),
+    /// Client → replicas: fast-path commit certificate.
+    CommitFast(CommitFast<C, R>),
+    /// Client → replicas: slow-path final order.
+    Commit(Commit<C, R>),
+    /// Replica → client: final execution result.
+    CommitReply(CommitReply<R>),
+    /// Replica → command-leader: please order this (retransmitted) request.
+    ResendReq(ResendReq<C>),
+    /// Client → replicas: proof of command-leader misbehaviour.
+    Pom(Pom),
+    /// Replica → replicas: suspicion of a space's owner.
+    StartOwnerChange(StartOwnerChange),
+    /// Replica → new owner: history transfer.
+    OwnerChange(OwnerChange<C, R>),
+    /// New owner → replicas: recovered history.
+    NewOwner(NewOwner<C, R>),
+}
+
+impl<C, R> Msg<C, R> {
+    /// Short kind tag (for traces and cost models).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Request(_) => "request",
+            Msg::SpecOrder(_) => "spec-order",
+            Msg::SpecReply(_) => "spec-reply",
+            Msg::CommitFast(_) => "commit-fast",
+            Msg::Commit(_) => "commit",
+            Msg::CommitReply(_) => "commit-reply",
+            Msg::ResendReq(_) => "resend-req",
+            Msg::Pom(_) => "pom",
+            Msg::StartOwnerChange(_) => "start-owner-change",
+            Msg::OwnerChange(_) => "owner-change",
+            Msg::NewOwner(_) => "new-owner",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(owner: u64, space: u8, slot: u64, req: &[u8]) -> SpecOrderHeader {
+        SpecOrderHeader {
+            body: SpecOrderBody {
+                owner: OwnerNum(owner),
+                inst: InstanceId::new(ReplicaId::new(space), slot),
+                deps: BTreeSet::new(),
+                seq: 1,
+                log_digest: Digest::ZERO,
+                req_digest: Digest::of(req),
+            },
+            sig: Signature::Null,
+        }
+    }
+
+    #[test]
+    fn request_digest_covers_identity_not_routing() {
+        let payload = Request::<u32>::signed_payload(ClientId::new(1), Timestamp(2), &7);
+        let a = Request {
+            client: ClientId::new(1),
+            ts: Timestamp(2),
+            cmd: 7u32,
+            original: None,
+            sig: Signature::Null,
+        };
+        let b = Request { original: Some(ReplicaId::new(3)), ..a.clone() };
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest(), Digest::of(&payload));
+    }
+
+    #[test]
+    fn spec_reply_match_key_captures_all_matching_fields() {
+        let body = SpecReplyBody {
+            owner: OwnerNum(0),
+            inst: InstanceId::new(ReplicaId::new(0), 0),
+            deps: BTreeSet::new(),
+            seq: 1,
+            req_digest: Digest::of(b"m"),
+            client: ClientId::new(1),
+            ts: Timestamp(1),
+        };
+        let so = header(0, 0, 0, b"m");
+        let a: SpecReply<u32, u32> =
+            SpecReply::new(body.clone(), ReplicaId::new(0), 9, Signature::Null, so.clone());
+        let b: SpecReply<u32, u32> =
+            SpecReply::new(body.clone(), ReplicaId::new(1), 9, Signature::Null, so.clone());
+        // Different senders still match (matching ignores the sender).
+        assert_eq!(a.match_key(), b.match_key());
+        // Different response breaks the match.
+        let c: SpecReply<u32, u32> = SpecReply::new(body.clone(), ReplicaId::new(2), 8, Signature::Null, so.clone());
+        assert_ne!(a.match_key(), c.match_key());
+        // Different deps break the match.
+        let mut body2 = body;
+        body2.deps.insert(InstanceId::new(ReplicaId::new(1), 0));
+        let d: SpecReply<u32, u32> = SpecReply::new(body2, ReplicaId::new(3), 9, Signature::Null, so);
+        assert_ne!(a.match_key(), d.match_key());
+    }
+
+    #[test]
+    fn pom_same_cmd_different_instance_is_valid() {
+        let pom = Pom {
+            space: ReplicaId::new(0),
+            owner: OwnerNum(0),
+            first: header(0, 0, 0, b"m"),
+            second: header(0, 0, 1, b"m"),
+        };
+        assert!(pom.is_structurally_valid());
+    }
+
+    #[test]
+    fn pom_same_instance_different_content_is_valid() {
+        let mut second = header(0, 0, 0, b"m");
+        second.body.seq = 99;
+        let pom = Pom {
+            space: ReplicaId::new(0),
+            owner: OwnerNum(0),
+            first: header(0, 0, 0, b"m"),
+            second,
+        };
+        assert!(pom.is_structurally_valid());
+    }
+
+    #[test]
+    fn pom_identical_headers_invalid() {
+        let pom = Pom {
+            space: ReplicaId::new(0),
+            owner: OwnerNum(0),
+            first: header(0, 0, 0, b"m"),
+            second: header(0, 0, 0, b"m"),
+        };
+        assert!(!pom.is_structurally_valid());
+    }
+
+    #[test]
+    fn pom_wrong_space_or_owner_invalid() {
+        let pom = Pom {
+            space: ReplicaId::new(1), // headers are for space 0
+            owner: OwnerNum(0),
+            first: header(0, 0, 0, b"m"),
+            second: header(0, 0, 1, b"m"),
+        };
+        assert!(!pom.is_structurally_valid());
+        let pom2 = Pom {
+            space: ReplicaId::new(0),
+            owner: OwnerNum(4), // headers carry owner 0
+            first: header(0, 0, 0, b"m"),
+            second: header(0, 0, 1, b"m"),
+        };
+        assert!(!pom2.is_structurally_valid());
+    }
+
+    #[test]
+    fn msg_kinds_are_distinct() {
+        let m: Msg<u32, u32> = Msg::Pom(Pom {
+            space: ReplicaId::new(0),
+            owner: OwnerNum(0),
+            first: header(0, 0, 0, b"m"),
+            second: header(0, 0, 1, b"m"),
+        });
+        assert_eq!(m.kind(), "pom");
+    }
+
+    #[test]
+    fn messages_roundtrip_on_the_wire() {
+        let req = Request {
+            client: ClientId::new(5),
+            ts: Timestamp(9),
+            cmd: 1234u32,
+            original: Some(ReplicaId::new(2)),
+            sig: Signature::Null,
+        };
+        let msg: Msg<u32, u32> = Msg::Request(req);
+        let bytes = ezbft_wire::to_bytes(&msg).unwrap();
+        let back: Msg<u32, u32> = ezbft_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+}

@@ -1,0 +1,406 @@
+//! Owner-change recovery logic (paper §IV-E).
+//!
+//! When a command-leader is suspected, every committed replica sends the
+//! prospective new owner its view of the suspected instance space
+//! (OWNERCHANGE). From a weak quorum (`f + 1`) of such reports, the new
+//! owner computes the *safe instance set* `G`:
+//!
+//! - **Condition 1**: an entry proven by a commit certificate (a
+//!   client-signed COMMIT or a 3f+1 fast certificate) with the highest
+//!   owner number is adopted with its committed dependencies;
+//! - **Condition 2**: an entry whose identical leader-signed SPECORDER is
+//!   reported by at least `f + 1` replicas (with the highest owner number)
+//!   is adopted with the leader's proposed dependencies. (On the fast path
+//!   all `3f + 1` replies match the leader's proposal exactly — the leader
+//!   itself replies with `D' = D` — so a fast-committed command always
+//!   re-commits with the same dependencies.)
+//!
+//! `G` is the longest prefix of slots recoverable this way; the extension
+//! rules of the paper are realised by the slot-by-slot scan (a later slot
+//! may be proven by either condition as long as every earlier slot was).
+//!
+//! The computation is deterministic in the report set, so every replica
+//! can re-derive `G` from the proof `P` carried by NEWOWNER and reject a
+//! byzantine new owner that lies about it.
+//!
+//! **Known caveat** (documented in DESIGN.md §5): with only `f + 1`
+//! reports, a slow-path commit certificate held by `2f + 1` replicas is
+//! guaranteed to intersect the report set in at least one replica, but that
+//! replica may be byzantine and withhold the evidence; later literature
+//! identified this as a weakness of the published protocol. We implement
+//! the protocol as published and encode the behaviour in tests.
+
+use std::collections::BTreeSet;
+
+use ezbft_crypto::{Digest, KeyStore};
+use ezbft_smr::{NodeId, ReplicaId};
+
+use crate::config::EzConfig;
+use crate::instance::InstanceId;
+use crate::msg::{CommitBody, EntrySnapshot, Evidence, OwnerChange, SpecReply, WirePayload};
+
+/// Verifies an OWNERCHANGE message: sender signature and entry shape.
+pub(crate) fn verify_owner_change<C: WirePayload, R: WirePayload>(
+    keys: &mut KeyStore,
+    cfg: &EzConfig,
+    oc: &OwnerChange<C, R>,
+) -> bool {
+    if !cfg.cluster.contains(oc.sender) || !cfg.cluster.contains(oc.space) {
+        return false;
+    }
+    let payload = OwnerChange::signed_payload(oc.space, oc.new_owner, oc.floor, &oc.entries);
+    if keys.verify(NodeId::Replica(oc.sender), &payload, &oc.sig).is_err() {
+        return false;
+    }
+    oc.entries.iter().all(|e| e.inst.space == oc.space && e.inst.slot >= oc.floor)
+}
+
+/// Validates a slow-commit evidence body against its snapshot.
+fn slow_commit_valid<C: WirePayload, R: WirePayload>(
+    keys: &mut KeyStore,
+    snap: &EntrySnapshot<C, R>,
+    body: &CommitBody,
+    sig: &ezbft_crypto::Signature,
+) -> bool {
+    body.inst == snap.inst
+        && body.req_digest == snap.req.digest()
+        && keys.verify(NodeId::Client(body.client), &body.signed_payload(), sig).is_ok()
+}
+
+/// Validates a fast-commit certificate against its snapshot.
+fn fast_commit_valid<C: WirePayload, R: WirePayload>(
+    keys: &mut KeyStore,
+    cfg: &EzConfig,
+    snap: &EntrySnapshot<C, R>,
+    replies: &[SpecReply<C, R>],
+) -> bool {
+    if replies.len() < cfg.cluster.fast_quorum() {
+        return false;
+    }
+    let Some(first) = replies.first() else { return false };
+    let key = first.match_key();
+    let mut senders = BTreeSet::new();
+    for reply in replies {
+        if reply.body.inst != snap.inst
+            || reply.body.req_digest != snap.req.digest()
+            || reply.match_key() != key
+            || !senders.insert(reply.sender)
+        {
+            return false;
+        }
+        let payload = SpecReply::<C, R>::signed_payload(&reply.body, &reply.response);
+        if keys.verify(NodeId::Replica(reply.sender), &payload, &reply.sig).is_err() {
+            return false;
+        }
+    }
+    senders.len() >= cfg.cluster.fast_quorum()
+}
+
+/// Computes the safe instance set `G` from a proof set of OWNERCHANGE
+/// reports. Deterministic in the report set (reports are scanned in sender
+/// order).
+pub(crate) fn compute_safe_set<C: WirePayload, R: WirePayload>(
+    keys: &mut KeyStore,
+    cfg: &EzConfig,
+    space: ReplicaId,
+    proof: &[OwnerChange<C, R>],
+) -> Vec<EntrySnapshot<C, R>> {
+    let mut reports: Vec<&OwnerChange<C, R>> = proof.iter().collect();
+    reports.sort_by_key(|r| r.sender);
+
+    let mut safe = Vec::new();
+    // Start at the lowest floor among the reports: a slot below every
+    // reporting replica's floor was executed (hence committed) at each of
+    // them, so it is final and needs no recovery; a slot below only *some*
+    // floors is still recoverable from the replicas that kept it.
+    let mut slot = reports.iter().map(|r| r.floor).min().unwrap_or(0);
+    loop {
+        let inst = InstanceId::new(space, slot);
+        let candidates: Vec<(&OwnerChange<C, R>, &EntrySnapshot<C, R>)> = reports
+            .iter()
+            .flat_map(|r| {
+                r.entries.iter().filter(|e| e.inst == inst).map(move |e| (*r, e))
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+
+        // Condition 1: a valid commit certificate, preferring the highest
+        // owner number.
+        let mut committed: Vec<&EntrySnapshot<C, R>> = Vec::new();
+        for (_, snap) in &candidates {
+            match &snap.evidence {
+                Evidence::SlowCommit { body, sig } => {
+                    if slow_commit_valid(keys, snap, body, sig) {
+                        committed.push(snap);
+                    }
+                }
+                Evidence::FastCommit { replies } => {
+                    if fast_commit_valid(keys, cfg, snap, replies) {
+                        committed.push(snap);
+                    }
+                }
+                Evidence::SpecOrdered(_) => {}
+            }
+        }
+        if let Some(best) = committed.iter().max_by_key(|s| (s.owner, s.inst.slot)) {
+            let mut adopted = (*best).clone();
+            if let Evidence::SlowCommit { body, .. } = &adopted.evidence {
+                adopted.deps = body.deps.clone();
+                adopted.seq = body.seq;
+            }
+            safe.push(adopted);
+            slot += 1;
+            continue;
+        }
+
+        // Condition 2: f+1 identical, validly-signed SPECORDER headers.
+        use std::collections::HashMap;
+        let mut groups: HashMap<Digest, (BTreeSet<ReplicaId>, &EntrySnapshot<C, R>)> =
+            HashMap::new();
+        for (report, snap) in &candidates {
+            let Evidence::SpecOrdered(header) = &snap.evidence else { continue };
+            let leader = header.body.owner.owner(&cfg.cluster);
+            if header.body.req_digest != snap.req.digest() {
+                continue;
+            }
+            if keys
+                .verify(NodeId::Replica(leader), &header.body.signed_payload(), &header.sig)
+                .is_err()
+            {
+                continue;
+            }
+            let key = Digest::of(&header.body.signed_payload());
+            let slot_entry = groups.entry(key).or_insert_with(|| (BTreeSet::new(), snap));
+            slot_entry.0.insert(report.sender);
+        }
+        let winner = groups
+            .values()
+            .filter(|(senders, _)| senders.len() >= cfg.cluster.weak_quorum())
+            .max_by_key(|(senders, snap)| (snap.owner, senders.len()));
+        if let Some((_, snap)) = winner {
+            let mut adopted = (*snap).clone();
+            // Adopt the leader's proposed order exactly (see module docs).
+            if let Evidence::SpecOrdered(header) = &adopted.evidence {
+                adopted.deps = header.body.deps.clone();
+                adopted.seq = header.body.seq;
+            }
+            safe.push(adopted);
+            slot += 1;
+            continue;
+        }
+
+        break;
+    }
+    safe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{EntryStatus, OwnerNum};
+    use crate::msg::{Request, SpecOrderBody, SpecOrderHeader};
+    use ezbft_crypto::{Audience, CryptoKind, Signature};
+    use ezbft_smr::{ClientId, ClusterConfig, Timestamp};
+
+    type Snap = EntrySnapshot<u32, u32>;
+    type Oc = OwnerChange<u32, u32>;
+
+    struct Setup {
+        cfg: EzConfig,
+        stores: Vec<KeyStore>,
+        client_store: KeyStore,
+    }
+
+    fn setup() -> Setup {
+        let cluster = ClusterConfig::for_faults(1);
+        let mut nodes: Vec<NodeId> =
+            cluster.replicas().map(NodeId::Replica).collect();
+        nodes.push(NodeId::Client(ClientId::new(0)));
+        let mut stores = KeyStore::cluster(CryptoKind::Mac, b"test", &nodes);
+        let client_store = stores.pop().unwrap();
+        Setup { cfg: EzConfig::new(cluster), stores, client_store }
+    }
+
+    fn request(setup: &mut Setup, cmd: u32) -> Request<u32> {
+        let client = ClientId::new(0);
+        let ts = Timestamp(1);
+        let payload = Request::signed_payload(client, ts, &cmd);
+        let sig = setup
+            .client_store
+            .sign(&payload, &Audience::replicas(setup.cfg.cluster.n()));
+        Request { client, ts, cmd, original: None, sig }
+    }
+
+    fn signed_header(setup: &mut Setup, leader: usize, inst: InstanceId, req: &Request<u32>) -> SpecOrderHeader {
+        let body = SpecOrderBody {
+            owner: OwnerNum(leader as u64),
+            inst,
+            deps: BTreeSet::new(),
+            seq: 1,
+            log_digest: Digest::ZERO,
+            req_digest: req.digest(),
+        };
+        let audience = Audience::replicas(setup.cfg.cluster.n()).and(ClientId::new(0));
+        let sig = setup.stores[leader].sign(&body.signed_payload(), &audience);
+        SpecOrderHeader { body, sig }
+    }
+
+    fn spec_snapshot(header: SpecOrderHeader, req: Request<u32>) -> Snap {
+        EntrySnapshot {
+            inst: header.body.inst,
+            owner: header.body.owner,
+            req,
+            deps: header.body.deps.clone(),
+            seq: header.body.seq,
+            status: EntryStatus::SpecOrdered,
+            evidence: Evidence::SpecOrdered(header),
+        }
+    }
+
+    fn signed_report(setup: &mut Setup, sender: usize, entries: Vec<Snap>) -> Oc {
+        let space = ReplicaId::new(0);
+        let new_owner = OwnerNum(1);
+        let payload = OwnerChange::signed_payload(space, new_owner, 0, &entries);
+        let sig = setup.stores[sender]
+            .sign(&payload, &Audience::replicas(setup.cfg.cluster.n()));
+        OwnerChange {
+            space,
+            new_owner,
+            sender: ReplicaId::new(sender as u8),
+            floor: 0,
+            entries,
+            sig,
+        }
+    }
+
+    #[test]
+    fn condition2_recovers_with_f_plus_1_matching_headers() {
+        let mut s = setup();
+        let req = request(&mut s, 42);
+        let inst = InstanceId::new(ReplicaId::new(0), 0);
+        let header = signed_header(&mut s, 0, inst, &req);
+        let snap = spec_snapshot(header, req);
+        let r1 = signed_report(&mut s, 1, vec![snap.clone()]);
+        let r2 = signed_report(&mut s, 2, vec![snap.clone()]);
+        let cfg = s.cfg;
+        let safe = compute_safe_set(&mut s.stores[1], &cfg, ReplicaId::new(0), &[r1, r2]);
+        assert_eq!(safe.len(), 1);
+        assert_eq!(safe[0].inst, inst);
+    }
+
+    #[test]
+    fn single_report_is_not_enough_for_condition2() {
+        let mut s = setup();
+        let req = request(&mut s, 42);
+        let inst = InstanceId::new(ReplicaId::new(0), 0);
+        let header = signed_header(&mut s, 0, inst, &req);
+        let snap = spec_snapshot(header, req);
+        let r1 = signed_report(&mut s, 1, vec![snap.clone()]);
+        let r2 = signed_report(&mut s, 2, vec![]); // second report is empty
+        let cfg = s.cfg;
+        let safe = compute_safe_set(&mut s.stores[1], &cfg, ReplicaId::new(0), &[r1, r2]);
+        assert!(safe.is_empty());
+    }
+
+    #[test]
+    fn condition1_slow_commit_overrides_headers() {
+        let mut s = setup();
+        let req = request(&mut s, 42);
+        let inst = InstanceId::new(ReplicaId::new(0), 0);
+        let header = signed_header(&mut s, 0, inst, &req);
+        // A committed snapshot with different (final) deps.
+        let mut deps = BTreeSet::new();
+        deps.insert(InstanceId::new(ReplicaId::new(2), 0));
+        let body = CommitBody {
+            client: ClientId::new(0),
+            inst,
+            deps: deps.clone(),
+            seq: 9,
+            req_digest: req.digest(),
+        };
+        let sig = s
+            .client_store
+            .sign(&body.signed_payload(), &Audience::replicas(s.cfg.cluster.n()));
+        let committed_snap = EntrySnapshot {
+            inst,
+            owner: OwnerNum(0),
+            req: req.clone(),
+            deps: deps.clone(),
+            seq: 9,
+            status: EntryStatus::Committed,
+            evidence: Evidence::SlowCommit { body, sig },
+        };
+        let spec_snap = spec_snapshot(header, req);
+        let r1 = signed_report(&mut s, 1, vec![committed_snap]);
+        let r2 = signed_report(&mut s, 2, vec![spec_snap.clone()]);
+        let r3 = signed_report(&mut s, 3, vec![spec_snap]);
+        let cfg = s.cfg;
+        let safe = compute_safe_set(&mut s.stores[1], &cfg, ReplicaId::new(0), &[r1, r2, r3]);
+        assert_eq!(safe.len(), 1);
+        // The committed deps (not the leader's empty proposal) win.
+        assert_eq!(safe[0].deps, deps);
+        assert_eq!(safe[0].seq, 9);
+    }
+
+    #[test]
+    fn recovery_stops_at_first_gap() {
+        let mut s = setup();
+        let req = request(&mut s, 42);
+        let inst0 = InstanceId::new(ReplicaId::new(0), 0);
+        let inst2 = InstanceId::new(ReplicaId::new(0), 2); // gap at slot 1
+        let h0 = signed_header(&mut s, 0, inst0, &req);
+        let h2 = signed_header(&mut s, 0, inst2, &req);
+        let s0 = spec_snapshot(h0, req.clone());
+        let s2 = spec_snapshot(h2, req);
+        let r1 = signed_report(&mut s, 1, vec![s0.clone(), s2.clone()]);
+        let r2 = signed_report(&mut s, 2, vec![s0, s2]);
+        let cfg = s.cfg;
+        let safe = compute_safe_set(&mut s.stores[1], &cfg, ReplicaId::new(0), &[r1, r2]);
+        assert_eq!(safe.len(), 1);
+        assert_eq!(safe[0].inst, inst0);
+    }
+
+    #[test]
+    fn forged_header_is_ignored() {
+        let mut s = setup();
+        let req = request(&mut s, 42);
+        let inst = InstanceId::new(ReplicaId::new(0), 0);
+        // Replica 3 (byzantine) forges a header "from replica 0" with its
+        // own key.
+        let body = SpecOrderBody {
+            owner: OwnerNum(0),
+            inst,
+            deps: BTreeSet::new(),
+            seq: 1,
+            log_digest: Digest::ZERO,
+            req_digest: req.digest(),
+        };
+        let audience = Audience::replicas(s.cfg.cluster.n());
+        let forged_sig = s.stores[3].sign(&body.signed_payload(), &audience);
+        let forged = SpecOrderHeader { body, sig: forged_sig };
+        let snap = spec_snapshot(forged, req);
+        let r1 = signed_report(&mut s, 1, vec![snap.clone()]);
+        let r2 = signed_report(&mut s, 2, vec![snap]);
+        let cfg = s.cfg;
+        let safe = compute_safe_set(&mut s.stores[1], &cfg, ReplicaId::new(0), &[r1, r2]);
+        assert!(safe.is_empty());
+    }
+
+    #[test]
+    fn verify_owner_change_rejects_bad_signature() {
+        let mut s = setup();
+        let req = request(&mut s, 42);
+        let inst = InstanceId::new(ReplicaId::new(0), 0);
+        let header = signed_header(&mut s, 0, inst, &req);
+        let snap = spec_snapshot(header, req);
+        let mut oc = signed_report(&mut s, 1, vec![snap]);
+        let cfg = s.cfg;
+        assert!(verify_owner_change(&mut s.stores[2], &cfg, &oc));
+        oc.sender = ReplicaId::new(2); // signature no longer matches sender
+        assert!(!verify_owner_change(&mut s.stores[2], &cfg, &oc));
+        oc.sig = Signature::Null;
+        assert!(!verify_owner_change(&mut s.stores[2], &cfg, &oc));
+    }
+}

@@ -1,0 +1,1385 @@
+//! The ezBFT replica (paper §IV).
+//!
+//! A replica plays two roles at once:
+//!
+//! - **command-leader** for requests its clients send to it: assign the next
+//!   slot in *its own* instance space, collect dependencies, assign a
+//!   sequence number, broadcast SPECORDER (§IV-A step 2);
+//! - **follower** for every other replica's instance space: validate
+//!   SPECORDER, extend the dependency set from the local log, speculatively
+//!   execute and reply to the client (§IV-A step 3).
+//!
+//! Commitment arrives from clients (COMMITFAST / COMMIT); final execution
+//! follows the SCC algorithm in [`crate::graph`]; misbehaving
+//! command-leaders are removed by the owner-change protocol in
+//! [`crate::owner`] (§IV-E).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use ezbft_crypto::{Audience, Digest, KeyStore};
+use ezbft_smr::{
+    Actions, Application, ClientId, CloneReplay, Command, Micros, NodeId, ProtocolNode,
+    ReplicaId, TimerId, Timestamp, VoteTally,
+};
+
+use crate::config::EzConfig;
+use crate::graph::{execution_order, ExecNode};
+use crate::instance::{EntryStatus, InstanceId, OwnerNum};
+use crate::msg::{
+    Commit, CommitFast, CommitReply, Evidence, Msg, NewOwner, OwnerChange, Pom, Request,
+    ResendReq, SpecOrder, SpecOrderBody, SpecOrderHeader, SpecReply, SpecReplyBody,
+    StartOwnerChange,
+};
+use crate::owner::{compute_safe_set, verify_owner_change};
+
+use crate::deps::DepTracker;
+
+/// One slot's state in an instance space.
+#[derive(Clone, Debug)]
+pub(crate) struct Entry<C, R> {
+    pub req: Request<C>,
+    pub owner: OwnerNum,
+    pub deps: BTreeSet<InstanceId>,
+    pub seq: u64,
+    pub status: EntryStatus,
+    pub spec_response: Option<R>,
+    pub final_response: Option<R>,
+    /// Send COMMITREPLY to the client after final execution (slow path and
+    /// recovered entries).
+    pub reply_on_final: bool,
+    /// The command-leader's signed header (owner-change evidence, POM raw
+    /// material).
+    pub header: SpecOrderHeader,
+    /// Commitment proof, once committed.
+    pub commit_evidence: Option<Evidence<C, R>>,
+}
+
+/// One instance space as seen by this replica.
+#[derive(Clone, Debug)]
+pub(crate) struct Space<C, R> {
+    pub owner: OwnerNum,
+    /// Frozen spaces accept no further SPECORDERs (post owner change).
+    pub frozen: bool,
+    /// First non-compacted slot: everything below was executed and
+    /// discarded ("since the last checkpoint", §IV-E).
+    pub compact_floor: u64,
+    /// Whether this replica committed to an ownership change away from
+    /// `owner` (stops participation until NEWOWNER arrives).
+    pub committed_to_change: bool,
+    pub next_slot: u64,
+    /// Rolling digest `h` over accepted slots.
+    pub log_digest: Digest,
+    pub entries: BTreeMap<u64, Entry<C, R>>,
+    /// Out-of-order SPECORDER buffer (network reordering).
+    pub pending_orders: BTreeMap<u64, SpecOrder<C>>,
+    /// Commit decisions that arrived before their SPECORDER.
+    pub pending_commits: BTreeMap<u64, PendingCommit<R>>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum PendingCommit<R> {
+    Fast { deps: BTreeSet<InstanceId>, seq: u64, _marker: std::marker::PhantomData<R> },
+    Slow { deps: BTreeSet<InstanceId>, seq: u64 },
+}
+
+impl<C, R> Space<C, R> {
+    fn new(space_owner: ReplicaId) -> Self {
+        Space {
+            owner: OwnerNum::initial(space_owner),
+            frozen: false,
+            compact_floor: 0,
+            committed_to_change: false,
+            next_slot: 0,
+            log_digest: Digest::ZERO,
+            entries: BTreeMap::new(),
+            pending_orders: BTreeMap::new(),
+            pending_commits: BTreeMap::new(),
+        }
+    }
+}
+
+/// Per-client bookkeeping: exactly-once guard and cached replies.
+#[derive(Clone, Debug)]
+struct ClientRecord<C, R> {
+    /// Highest timestamp seen in a proposal by this replica.
+    last_ts: Timestamp,
+    /// Instance assigned to the highest-timestamp proposal (if this replica
+    /// has seen it ordered anywhere).
+    last_inst: Option<InstanceId>,
+    /// Highest timestamp finally executed and its response (exactly-once).
+    executed_ts: Timestamp,
+    executed_response: Option<R>,
+    /// Cached replies for retransmission handling.
+    cached_spec: Option<SpecReply<C, R>>,
+    cached_commit: Option<CommitReply<R>>,
+    /// Instances holding (possibly duplicate) proposals of this client's
+    /// not-yet-executed requests. When one executes, the others are
+    /// neutralised so they cannot block dependents (exactly-once).
+    live: Vec<(Timestamp, InstanceId)>,
+}
+
+impl<C, R> Default for ClientRecord<C, R> {
+    fn default() -> Self {
+        ClientRecord {
+            last_ts: Timestamp::ZERO,
+            last_inst: None,
+            executed_ts: Timestamp::ZERO,
+            executed_response: None,
+            cached_spec: None,
+            cached_commit: None,
+            live: Vec::new(),
+        }
+    }
+}
+
+/// Counters exposed for tests and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Commands this replica led.
+    pub led: u64,
+    /// SPECORDERs accepted as follower.
+    pub followed: u64,
+    /// Fast-path commits applied.
+    pub fast_commits: u64,
+    /// Slow-path commits applied.
+    pub slow_commits: u64,
+    /// Commands finally executed.
+    pub executed: u64,
+    /// Valid proofs of misbehaviour received.
+    pub poms: u64,
+    /// Owner changes completed (NEWOWNER applied).
+    pub owner_changes: u64,
+    /// Messages dropped by validation.
+    pub rejected: u64,
+}
+
+enum ReplicaTimer {
+    /// Waiting for the original command-leader to SPECORDER a forwarded
+    /// request (§IV-D step 4.3).
+    ResendWait { space: ReplicaId, client: ClientId, ts: Timestamp },
+    /// Waiting for a committed entry's dependency to commit locally. If it
+    /// never does (e.g. a byzantine replica invented the dependency, or its
+    /// leader died before propagating it), the dep's space owner is
+    /// suspected so the owner change can resolve the slot either way.
+    /// (Dependency resolution is left unspecified by the paper; see
+    /// DESIGN.md §5.)
+    DepWait { dep: InstanceId },
+}
+
+/// The ezBFT replica node.
+pub struct Replica<A: Application> {
+    id: ReplicaId,
+    cfg: EzConfig,
+    keys: KeyStore,
+    engine: CloneReplay<A>,
+    spaces: Vec<Space<A::Command, A::Response>>,
+    max_seq: u64,
+    deps: DepTracker,
+    clients: HashMap<ClientId, ClientRecord<A::Command, A::Response>>,
+    /// Committed-but-unexecuted instances (execution worklist).
+    committed_pending: BTreeSet<InstanceId>,
+    timers: HashMap<u64, ReplicaTimer>,
+    resend_waits: HashMap<(ClientId, Timestamp), u64>,
+    dep_waits: HashMap<InstanceId, u64>,
+    next_timer: u64,
+    /// STARTOWNERCHANGE tallies keyed by (space, owner being abandoned).
+    oc_votes: HashMap<(ReplicaId, OwnerNum), VoteTally>,
+    /// Whether we already broadcast STARTOWNERCHANGE for the key.
+    oc_started: HashMap<(ReplicaId, OwnerNum), bool>,
+    /// OWNERCHANGE messages collected by a prospective new owner.
+    oc_reports: HashMap<(ReplicaId, OwnerNum), Vec<OwnerChange<A::Command, A::Response>>>,
+    /// Finally-executed instances in execution order (safety checkers).
+    executed_log: Vec<InstanceId>,
+    stats: ReplicaStats,
+}
+
+impl<A: Application> std::fmt::Debug for Replica<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("max_seq", &self.max_seq)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+type Out<A> = Actions<Msg<<A as Application>::Command, <A as Application>::Response>, <A as Application>::Response>;
+
+impl<A: Application> Replica<A> {
+    /// Creates a replica with identity `id`, running `app`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` does not belong to `id`.
+    pub fn new(id: ReplicaId, cfg: EzConfig, keys: KeyStore, app: A) -> Self {
+        assert_eq!(keys.me(), NodeId::Replica(id), "keystore identity mismatch");
+        let spaces = cfg.cluster.replicas().map(Space::new).collect();
+        Replica {
+            id,
+            cfg,
+            keys,
+            engine: CloneReplay::new(app),
+            spaces,
+            max_seq: 0,
+            deps: DepTracker::new(),
+            clients: HashMap::new(),
+            committed_pending: BTreeSet::new(),
+            timers: HashMap::new(),
+            resend_waits: HashMap::new(),
+            dep_waits: HashMap::new(),
+            next_timer: 0,
+            oc_votes: HashMap::new(),
+            oc_started: HashMap::new(),
+            oc_reports: HashMap::new(),
+            executed_log: Vec::new(),
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn replica_id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Counters for tests and reports.
+    pub fn stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// The application's final state (post finally-executed commands).
+    pub fn app(&self) -> &A {
+        self.engine.final_state()
+    }
+
+    /// Status of an instance as known locally.
+    pub fn instance_status(&self, inst: InstanceId) -> Option<EntryStatus> {
+        self.spaces[inst.space.index()].entries.get(&inst.slot).map(|e| e.status)
+    }
+
+    /// The finally-executed commands in execution order is not tracked
+    /// globally; this returns the count.
+    pub fn executed_count(&self) -> u64 {
+        self.stats.executed
+    }
+
+    /// Current owner number of `space`.
+    pub fn space_owner(&self, space: ReplicaId) -> OwnerNum {
+        self.spaces[space.index()].owner
+    }
+
+    /// Finally-executed instances, in local execution order.
+    pub fn executed_log(&self) -> &[InstanceId] {
+        &self.executed_log
+    }
+
+    /// The command ordered at `inst`, if known locally.
+    pub fn command_of(&self, inst: InstanceId) -> Option<&A::Command> {
+        self.spaces[inst.space.index()].entries.get(&inst.slot).map(|e| &e.req.cmd)
+    }
+
+    fn reply_audience(&self, client: ClientId) -> Audience {
+        Audience::replicas(self.cfg.cluster.n()).and(client)
+    }
+
+    /// Highest sequence number among the given (locally known) instances.
+    fn max_seq_of(&self, insts: &BTreeSet<InstanceId>) -> u64 {
+        insts
+            .iter()
+            .filter_map(|i| self.spaces[i.space.index()].entries.get(&i.slot).map(|e| e.seq))
+            .max()
+            .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Request handling (§IV-A steps 1-2, §IV-D step 4.3)
+    // ------------------------------------------------------------------
+
+    fn on_request(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
+        let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
+        if self.keys.verify(NodeId::Client(req.client), &payload, &req.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+
+        // Retransmission addressed at another replica (§IV-D 4.3).
+        if let Some(original) = req.original {
+            if original != self.id {
+                self.handle_retransmission(req, original, out);
+                return;
+            }
+        }
+
+        let record = self.clients.entry(req.client).or_default();
+        if req.ts < record.last_ts {
+            self.stats.rejected += 1;
+            return;
+        }
+        if req.ts == record.last_ts {
+            // Duplicate: resend cached replies if the ordered entry is
+            // still alive, otherwise re-propose (the original order was
+            // lost to an owner change).
+            let alive = record
+                .last_inst
+                .map(|i| self.spaces[i.space.index()].entries.contains_key(&i.slot))
+                .unwrap_or(false);
+            if alive {
+                let record = self.clients.get(&req.client).expect("just inserted");
+                if let Some(cached) = &record.cached_commit {
+                    out.send(NodeId::Client(req.client), Msg::CommitReply(cached.clone()));
+                } else if let Some(cached) = &record.cached_spec {
+                    out.send(NodeId::Client(req.client), Msg::SpecReply(cached.clone()));
+                }
+                return;
+            }
+        }
+
+        self.lead(req, out);
+    }
+
+    /// Become the command-leader for `req` (§IV-A step 2).
+    fn lead(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
+        let space = &mut self.spaces[self.id.index()];
+        if space.frozen || space.committed_to_change {
+            // Our own space was taken from us; we cannot lead. The client
+            // will rotate to another replica.
+            self.stats.rejected += 1;
+            return;
+        }
+        let slot = space.next_slot;
+        let inst = InstanceId::new(self.id, slot);
+        let owner = space.owner;
+        let log_digest = space.log_digest;
+
+        let conflict_keys = req.cmd.conflict_keys();
+        let deps = self.deps.collect_and_register(inst, &conflict_keys);
+        // "A sequence number S … is calculated as the maximum of sequence
+        // numbers of all commands in the dependency set" plus one (§IV-A
+        // step 2 with the TLA+ +1): non-interfering commands keep seq 1,
+        // which is what lets concurrent independent commands match on the
+        // fast path.
+        let seq = 1 + self.max_seq_of(&deps);
+
+        let req_digest = req.digest();
+        let body = SpecOrderBody { owner, inst, deps: deps.clone(), seq, log_digest, req_digest };
+        let sig = self.keys.sign(&body.signed_payload(), &self.reply_audience(req.client));
+        let header = SpecOrderHeader { body: body.clone(), sig };
+
+        // Record the entry and speculatively execute.
+        let spec_response = self.engine.spec_apply(inst.tag(), &req.cmd);
+        let record = self.clients.entry(req.client).or_default();
+        record.last_ts = req.ts;
+        record.last_inst = Some(inst);
+        record.live.push((req.ts, inst));
+
+        let entry = Entry {
+            req: req.clone(),
+            owner,
+            deps: deps.clone(),
+            seq,
+            status: EntryStatus::SpecOrdered,
+            spec_response: Some(spec_response.clone()),
+            final_response: None,
+            reply_on_final: false,
+            header: header.clone(),
+            commit_evidence: None,
+        };
+        let space = &mut self.spaces[self.id.index()];
+        space.entries.insert(slot, entry);
+        space.next_slot = slot + 1;
+        space.log_digest = space.log_digest.chain(&req_digest);
+
+        self.stats.led += 1;
+
+        // Broadcast SPECORDER to the other replicas.
+        let so = Msg::SpecOrder(SpecOrder { body: body.clone(), sig: header.sig.clone(), req: req.clone() });
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &so);
+
+        // The leader also replies speculatively to the client.
+        self.send_spec_reply(inst, req.client, req.ts, req_digest, out);
+
+        // A pending RESENDREQ wait for this request is now satisfied.
+        self.cancel_resend_wait(req.client, req.ts, out);
+    }
+
+    fn handle_retransmission(
+        &mut self,
+        req: Request<A::Command>,
+        original: ReplicaId,
+        out: &mut Out<A>,
+    ) {
+        let record = self.clients.entry(req.client).or_default();
+        if req.ts <= record.last_ts {
+            // We have seen this (or a newer) request: return cached replies.
+            if let Some(cached) = &record.cached_commit {
+                if cached.ts == req.ts {
+                    out.send(NodeId::Client(req.client), Msg::CommitReply(cached.clone()));
+                    return;
+                }
+            }
+            if let Some(cached) = &record.cached_spec {
+                if cached.body.ts == req.ts {
+                    out.send(NodeId::Client(req.client), Msg::SpecReply(cached.clone()));
+                    return;
+                }
+            }
+            if req.ts < record.last_ts {
+                return;
+            }
+        }
+        // Unknown request: nudge the original command-leader and start the
+        // suspicion timer.
+        out.send(
+            NodeId::Replica(original),
+            Msg::ResendReq(ResendReq { req: req.clone(), forwarder: self.id }),
+        );
+        let timer = self.arm_timer(
+            ReplicaTimer::ResendWait { space: original, client: req.client, ts: req.ts },
+            self.cfg.resend_timeout,
+            out,
+        );
+        self.resend_waits.insert((req.client, req.ts), timer);
+    }
+
+    fn on_resend_req(&mut self, rr: ResendReq<A::Command>, out: &mut Out<A>) {
+        let req = rr.req;
+        let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
+        if self.keys.verify(NodeId::Client(req.client), &payload, &req.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+        // If we already ordered it, rebroadcast the SPECORDER (it may have
+        // been lost) and refresh the client's reply.
+        let record = self.clients.entry(req.client).or_default();
+        if req.ts == record.last_ts {
+            if let Some(inst) = record.last_inst {
+                if inst.space == self.id {
+                    if let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) {
+                        let so = Msg::SpecOrder(SpecOrder {
+                            body: entry.header.body.clone(),
+                            sig: entry.header.sig.clone(),
+                            req: entry.req.clone(),
+                        });
+                        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+                        out.send_all(peers, &so);
+                        let req_digest = entry.req.digest();
+                        let (client, ts) = (entry.req.client, entry.req.ts);
+                        self.send_spec_reply(inst, client, ts, req_digest, out);
+                        return;
+                    }
+                }
+            }
+        }
+        // Otherwise order it now.
+        let mut fresh = req;
+        fresh.original = None;
+        self.on_request(fresh, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Follower path (§IV-A step 3)
+    // ------------------------------------------------------------------
+
+    fn on_spec_order(&mut self, so: SpecOrder<A::Command>, from: NodeId, out: &mut Out<A>) {
+        let space_id = so.body.inst.space;
+        if !self.cfg.cluster.contains(space_id) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let leader = so.body.owner.owner(&self.cfg.cluster);
+        // Only the current owner of a space may order into it, and the
+        // message must come from that owner.
+        if from != NodeId::Replica(leader) {
+            self.stats.rejected += 1;
+            return;
+        }
+        {
+            let space = &self.spaces[space_id.index()];
+            if space.frozen || space.committed_to_change || so.body.owner != space.owner {
+                self.stats.rejected += 1;
+                return;
+            }
+        }
+        // Verify the leader's signature and the embedded client request.
+        if self
+            .keys
+            .verify(NodeId::Replica(leader), &so.body.signed_payload(), &so.sig)
+            .is_err()
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        let payload = Request::signed_payload(so.req.client, so.req.ts, &so.req.cmd);
+        if self.keys.verify(NodeId::Client(so.req.client), &payload, &so.req.sig).is_err()
+            || so.req.digest() != so.body.req_digest
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+
+        let slot = so.body.inst.slot;
+        let space = &mut self.spaces[space_id.index()];
+        if slot < space.next_slot {
+            // Duplicate of an accepted slot: refresh the client's reply.
+            if space.entries.contains_key(&slot) {
+                let inst = so.body.inst;
+                let (client, ts, digest) = (so.req.client, so.req.ts, so.body.req_digest);
+                self.send_spec_reply(inst, client, ts, digest, out);
+            }
+            return;
+        }
+        if slot > space.next_slot {
+            // Gap: buffer until contiguous (the quasi-reliable network may
+            // reorder, §II).
+            space.pending_orders.insert(slot, so);
+            return;
+        }
+        self.accept_spec_order(so, out);
+        // Drain any now-contiguous buffered orders.
+        loop {
+            let space = &mut self.spaces[space_id.index()];
+            let Some(next) = space.pending_orders.remove(&space.next_slot) else { break };
+            self.accept_spec_order(next, out);
+        }
+    }
+
+    /// Validated, contiguous SPECORDER: extend deps, spec-execute, reply.
+    fn accept_spec_order(&mut self, so: SpecOrder<A::Command>, out: &mut Out<A>) {
+        let inst = so.body.inst;
+        let space_id = inst.space;
+
+        // The leader's space digest must match ours at this point; a
+        // mismatch means the leader equivocated on an earlier slot.
+        {
+            let space = &self.spaces[space_id.index()];
+            if so.body.log_digest != space.log_digest {
+                self.stats.rejected += 1;
+                return;
+            }
+        }
+
+        // D' = D ∪ (local interfering instances ∖ D); S' = max(S, 1 + max
+        // seq of the locally known interfering commands) (§IV-A step 3).
+        let conflict_keys = so.req.cmd.conflict_keys();
+        let local = self.deps.collect_and_register(inst, &conflict_keys);
+        let seq = so.body.seq.max(1 + self.max_seq_of(&local));
+        let mut deps = so.body.deps.clone();
+        deps.extend(local);
+        deps.remove(&inst);
+
+        let spec_response = self.engine.spec_apply(inst.tag(), &so.req.cmd);
+
+        let record = self.clients.entry(so.req.client).or_default();
+        if so.req.ts > record.last_ts {
+            record.last_ts = so.req.ts;
+            record.last_inst = Some(inst);
+        }
+        record.live.push((so.req.ts, inst));
+
+        let header = SpecOrderHeader { body: so.body.clone(), sig: so.sig.clone() };
+        let entry = Entry {
+            req: so.req.clone(),
+            owner: so.body.owner,
+            deps: deps.clone(),
+            seq,
+            status: EntryStatus::SpecOrdered,
+            spec_response: Some(spec_response),
+            final_response: None,
+            reply_on_final: false,
+            header,
+            commit_evidence: None,
+        };
+        let space = &mut self.spaces[space_id.index()];
+        space.entries.insert(inst.slot, entry);
+        space.next_slot = inst.slot + 1;
+        space.log_digest = space.log_digest.chain(&so.body.req_digest);
+        self.stats.followed += 1;
+
+        let (client, ts, digest) = (so.req.client, so.req.ts, so.body.req_digest);
+        self.send_spec_reply(inst, client, ts, digest, out);
+        self.cancel_resend_wait(client, ts, out);
+
+        // A commit decision may have arrived before the SPECORDER.
+        let pending = self.spaces[space_id.index()].pending_commits.remove(&inst.slot);
+        if let Some(pc) = pending {
+            match pc {
+                PendingCommit::Fast { deps, seq, .. } => self.commit_entry(inst, deps, seq, false, out),
+                PendingCommit::Slow { deps, seq } => self.commit_entry(inst, deps, seq, true, out),
+            }
+        }
+    }
+
+    fn send_spec_reply(
+        &mut self,
+        inst: InstanceId,
+        client: ClientId,
+        ts: Timestamp,
+        req_digest: Digest,
+        out: &mut Out<A>,
+    ) {
+        let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) else {
+            return;
+        };
+        let body = SpecReplyBody {
+            owner: entry.owner,
+            inst,
+            deps: entry.deps.clone(),
+            seq: entry.seq,
+            req_digest,
+            client,
+            ts,
+        };
+        let response =
+            entry.spec_response.clone().expect("spec-ordered entries carry a response");
+        let header = entry.header.clone();
+        let payload = SpecReply::<A::Command, A::Response>::signed_payload(&body, &response);
+        let sig = self.keys.sign(&payload, &self.reply_audience(client));
+        let reply = SpecReply::new(body, self.id, response, sig, header);
+        self.clients.entry(client).or_default().cached_spec = Some(reply.clone());
+        out.send(NodeId::Client(client), Msg::SpecReply(reply));
+    }
+
+    // ------------------------------------------------------------------
+    // Commitment (§IV-A step 5.1, §IV-C step 5.2)
+    // ------------------------------------------------------------------
+
+    fn on_commit_fast(&mut self, cf: CommitFast<A::Command, A::Response>, out: &mut Out<A>) {
+        let Some((deps, seq)) = self.validate_fast_certificate(cf.inst, &cf.cc) else {
+            self.stats.rejected += 1;
+            return;
+        };
+        let space = &mut self.spaces[cf.inst.space.index()];
+        if !space.entries.contains_key(&cf.inst.slot) {
+            space.pending_commits.insert(
+                cf.inst.slot,
+                PendingCommit::Fast { deps, seq, _marker: std::marker::PhantomData },
+            );
+            return;
+        }
+        if let Some(entry) = space.entries.get_mut(&cf.inst.slot) {
+            entry.commit_evidence = Some(Evidence::FastCommit { replies: cf.cc });
+        }
+        self.commit_entry(cf.inst, deps, seq, false, out);
+        self.stats.fast_commits += 1;
+    }
+
+    fn on_commit(&mut self, cm: Commit<A::Command, A::Response>, out: &mut Out<A>) {
+        if self
+            .keys
+            .verify(NodeId::Client(cm.body.client), &cm.body.signed_payload(), &cm.sig)
+            .is_err()
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        if !self.validate_slow_certificate(&cm.body.inst, &cm.body.deps, cm.body.seq, &cm.cc) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let inst = cm.body.inst;
+        let space = &mut self.spaces[inst.space.index()];
+        if !space.entries.contains_key(&inst.slot) {
+            space.pending_commits.insert(
+                inst.slot,
+                PendingCommit::Slow { deps: cm.body.deps.clone(), seq: cm.body.seq },
+            );
+            return;
+        }
+        if let Some(entry) = space.entries.get_mut(&inst.slot) {
+            entry.commit_evidence =
+                Some(Evidence::SlowCommit { body: cm.body.clone(), sig: cm.sig.clone() });
+        }
+        self.commit_entry(inst, cm.body.deps, cm.body.seq, true, out);
+        self.stats.slow_commits += 1;
+    }
+
+    /// Checks a fast-path certificate: `3f + 1` matching, validly signed
+    /// SPECREPLYs from distinct replicas. Returns the agreed (deps, seq).
+    fn validate_fast_certificate(
+        &mut self,
+        inst: InstanceId,
+        cc: &[SpecReply<A::Command, A::Response>],
+    ) -> Option<(BTreeSet<InstanceId>, u64)> {
+        if cc.len() < self.cfg.cluster.fast_quorum() {
+            return None;
+        }
+        let mut senders = BTreeSet::new();
+        let key = cc.first()?.match_key();
+        for reply in cc {
+            if reply.body.inst != inst || reply.match_key() != key {
+                return None;
+            }
+            if !senders.insert(reply.sender) {
+                return None;
+            }
+            let payload = SpecReply::<A::Command, A::Response>::signed_payload(
+                &reply.body,
+                &reply.response,
+            );
+            if self
+                .keys
+                .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
+                .is_err()
+            {
+                return None;
+            }
+        }
+        if senders.len() < self.cfg.cluster.fast_quorum() {
+            return None;
+        }
+        let first = cc.first()?;
+        Some((first.body.deps.clone(), first.body.seq))
+    }
+
+    /// Checks a slow-path certificate: `2f + 1` validly signed SPECREPLYs
+    /// from distinct replicas whose union/max matches the decision. The
+    /// client *prefers* the leader-designated quorum (§IV-C nitpick, for
+    /// deterministic combination under contention) but may certify with
+    /// any 2f+1 repliers when designated members are faulty, so the
+    /// replica accepts any distinct sender set.
+    fn validate_slow_certificate(
+        &mut self,
+        inst: &InstanceId,
+        deps: &BTreeSet<InstanceId>,
+        seq: u64,
+        cc: &[SpecReply<A::Command, A::Response>],
+    ) -> bool {
+        if cc.len() < self.cfg.cluster.slow_quorum() {
+            return false;
+        }
+        let Some(first) = cc.first() else { return false };
+        let mut senders = BTreeSet::new();
+        let mut union: BTreeSet<InstanceId> = BTreeSet::new();
+        let mut max_seq = 0u64;
+        for reply in cc {
+            if reply.body.inst != *inst
+                || reply.body.req_digest != first.body.req_digest
+                || reply.body.owner != first.body.owner
+            {
+                return false;
+            }
+            if !self.cfg.cluster.contains(reply.sender) || !senders.insert(reply.sender) {
+                return false;
+            }
+            let payload = SpecReply::<A::Command, A::Response>::signed_payload(
+                &reply.body,
+                &reply.response,
+            );
+            if self
+                .keys
+                .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
+                .is_err()
+            {
+                return false;
+            }
+            union.extend(reply.body.deps.iter().copied());
+            max_seq = max_seq.max(reply.body.seq);
+        }
+        senders.len() >= self.cfg.cluster.slow_quorum() && union == *deps && max_seq == seq
+    }
+
+    /// Marks `inst` committed with the final (deps, seq); invalidates the
+    /// speculative result if the decision differs from the speculation
+    /// (§IV-C step 5.2); enqueues final execution.
+    fn commit_entry(
+        &mut self,
+        inst: InstanceId,
+        deps: BTreeSet<InstanceId>,
+        seq: u64,
+        reply_on_final: bool,
+        out: &mut Out<A>,
+    ) {
+        {
+            let space = &mut self.spaces[inst.space.index()];
+            let Some(entry) = space.entries.get_mut(&inst.slot) else { return };
+            if entry.status.is_committed() {
+                // Already committed (duplicate certificate): nothing to do.
+                return;
+            }
+            let speculation_matches = entry.deps == deps && entry.seq == seq;
+            if !speculation_matches {
+                // "The state produced after the speculative execution of L
+                // is invalidated" (§IV-C 5.2).
+                self.engine.invalidate(inst.tag());
+                entry.spec_response = None;
+            }
+            entry.deps = deps;
+            entry.seq = seq;
+            entry.status = EntryStatus::Committed;
+            entry.reply_on_final = entry.reply_on_final || reply_on_final;
+            self.max_seq = self.max_seq.max(seq);
+        }
+        self.committed_pending.insert(inst);
+        // Watch dependencies we have not seen committed: a dependency that
+        // never commits (phantom or orphaned) must eventually trigger an
+        // owner change so the execution of `inst` can proceed.
+        let unresolved: Vec<InstanceId> = {
+            let entry = &self.spaces[inst.space.index()].entries[&inst.slot];
+            entry
+                .deps
+                .iter()
+                .copied()
+                .filter(|d| self.dep_needs_watch(*d))
+                .collect()
+        };
+        for dep in unresolved {
+            if self.dep_waits.contains_key(&dep) {
+                continue;
+            }
+            let id = self.arm_timer(
+                ReplicaTimer::DepWait { dep },
+                self.cfg.resend_timeout,
+                out,
+            );
+            self.dep_waits.insert(dep, id);
+        }
+        self.try_execute(out);
+    }
+
+    /// Whether dependency `d` still needs a watchdog: it is neither
+    /// committed/executed locally nor permanently resolved as a phantom
+    /// (its space froze without recovering the slot). Spec-ordered-only
+    /// dependencies are watched too — their client may be gone, in which
+    /// case only an owner change can commit or discard them.
+    fn dep_needs_watch(&self, d: InstanceId) -> bool {
+        let space = &self.spaces[d.space.index()];
+        if d.slot < space.compact_floor {
+            return false;
+        }
+        match space.entries.get(&d.slot) {
+            Some(e) => !e.status.is_committed(),
+            None => !space.frozen,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Final execution (§IV-B)
+    // ------------------------------------------------------------------
+
+    fn try_execute(&mut self, out: &mut Out<A>) {
+        if self.committed_pending.is_empty() {
+            return;
+        }
+        let mut nodes: BTreeMap<InstanceId, ExecNode> = BTreeMap::new();
+        for &inst in &self.committed_pending {
+            if let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) {
+                nodes.insert(inst, ExecNode { seq: entry.seq, deps: entry.deps.clone() });
+            }
+        }
+        let spaces = &self.spaces;
+        let order = execution_order(&nodes, |d| {
+            let space = &spaces[d.space.index()];
+            if d.slot < space.compact_floor {
+                return true; // compacted ⇒ executed long ago
+            }
+            match space.entries.get(&d.slot) {
+                Some(e) => e.status == EntryStatus::Executed,
+                // A dependency absent from a frozen space is a phantom: the
+                // owner change recovered the space without it, so it can
+                // never commit anywhere. All correct replicas adopt the
+                // same recovered history, so this resolution is uniform.
+                None => space.frozen,
+            }
+        });
+        for inst in order {
+            self.execute_one(inst, out);
+        }
+    }
+
+    fn execute_one(&mut self, inst: InstanceId, out: &mut Out<A>) {
+        self.committed_pending.remove(&inst);
+        let (req, reply_on_final) = {
+            let entry = self.spaces[inst.space.index()]
+                .entries
+                .get(&inst.slot)
+                .expect("executing a known entry");
+            (entry.req.clone(), entry.reply_on_final)
+        };
+
+        // Exactly-once: a duplicate proposal of an already-executed request
+        // must not re-apply (§IV-A step 1: timestamps ensure exactly-once).
+        let record = self.clients.entry(req.client).or_default();
+        let response = if req.ts <= record.executed_ts {
+            match record.executed_response.clone() {
+                Some(r) if req.ts == record.executed_ts => {
+                    self.engine.invalidate(inst.tag());
+                    r
+                }
+                _ => {
+                    // Stale duplicate below the executed watermark: drop its
+                    // speculation and do not reply.
+                    self.engine.invalidate(inst.tag());
+                    let entry = self.spaces[inst.space.index()]
+                        .entries
+                        .get_mut(&inst.slot)
+                        .expect("entry exists");
+                    entry.status = EntryStatus::Executed;
+                    return;
+                }
+            }
+        } else {
+            let response = self.engine.final_apply(inst.tag(), &req.cmd);
+            let record = self.clients.entry(req.client).or_default();
+            record.executed_ts = req.ts;
+            record.executed_response = Some(response.clone());
+            response
+        };
+
+        {
+            let entry = self.spaces[inst.space.index()]
+                .entries
+                .get_mut(&inst.slot)
+                .expect("entry exists");
+            entry.status = EntryStatus::Executed;
+            entry.final_response = Some(response.clone());
+        }
+        self.executed_log.push(inst);
+        self.stats.executed += 1;
+        self.maybe_compact(inst.space);
+
+        // Neutralise duplicate proposals of this (or an older) request so
+        // they cannot block dependents: they are terminal no-ops now.
+        let stale: Vec<InstanceId> = {
+            let record = self.clients.entry(req.client).or_default();
+            let stale = record
+                .live
+                .iter()
+                .filter(|(ts, i)| *ts <= req.ts && *i != inst)
+                .map(|(_, i)| *i)
+                .collect();
+            record.live.retain(|(ts, _)| *ts > req.ts);
+            stale
+        };
+        for dup in stale {
+            if let Some(entry) = self.spaces[dup.space.index()].entries.get_mut(&dup.slot) {
+                if entry.status != EntryStatus::Executed {
+                    entry.status = EntryStatus::Executed;
+                    self.engine.invalidate(dup.tag());
+                    self.committed_pending.remove(&dup);
+                }
+            }
+        }
+
+        if reply_on_final {
+            let payload = CommitReply::<A::Response>::signed_payload(
+                inst,
+                req.client,
+                req.ts,
+                &response,
+            );
+            let sig = self.keys.sign(&payload, &Audience::nodes([NodeId::Client(req.client)]));
+            let reply = CommitReply {
+                inst,
+                client: req.client,
+                ts: req.ts,
+                response,
+                sender: self.id,
+                sig,
+            };
+            self.clients.entry(req.client).or_default().cached_commit = Some(reply.clone());
+            out.send(NodeId::Client(req.client), Msg::CommitReply(reply));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Owner change (§IV-D, §IV-E)
+    // ------------------------------------------------------------------
+
+    fn on_pom(&mut self, pom: Pom, out: &mut Out<A>) {
+        if !pom.is_structurally_valid() {
+            self.stats.rejected += 1;
+            return;
+        }
+        let leader = pom.owner.owner(&self.cfg.cluster);
+        let ok_first = self
+            .keys
+            .verify(NodeId::Replica(leader), &pom.first.body.signed_payload(), &pom.first.sig)
+            .is_ok();
+        let ok_second = self
+            .keys
+            .verify(NodeId::Replica(leader), &pom.second.body.signed_payload(), &pom.second.sig)
+            .is_ok();
+        if !ok_first || !ok_second {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.stats.poms += 1;
+        self.start_owner_change(pom.space, pom.owner, out);
+    }
+
+    /// Broadcasts STARTOWNERCHANGE for `(space, owner)` once.
+    fn start_owner_change(&mut self, space: ReplicaId, owner: OwnerNum, out: &mut Out<A>) {
+        if self.spaces[space.index()].owner != owner {
+            return; // already moved on
+        }
+        let key = (space, owner);
+        if *self.oc_started.get(&key).unwrap_or(&false) {
+            return;
+        }
+        self.oc_started.insert(key, true);
+        let payload = StartOwnerChange::signed_payload(space, owner);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let msg = Msg::StartOwnerChange(StartOwnerChange { space, owner, sender: self.id, sig });
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &msg);
+        // Count our own vote.
+        self.oc_votes.entry(key).or_default().vote(self.id);
+        self.maybe_commit_owner_change(space, owner, out);
+    }
+
+    fn on_start_owner_change(&mut self, soc: StartOwnerChange, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(soc.sender) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let payload = StartOwnerChange::signed_payload(soc.space, soc.owner);
+        if self.keys.verify(NodeId::Replica(soc.sender), &payload, &soc.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+        if self.spaces[soc.space.index()].owner != soc.owner {
+            return; // stale
+        }
+        self.oc_votes.entry((soc.space, soc.owner)).or_default().vote(soc.sender);
+        self.maybe_commit_owner_change(soc.space, soc.owner, out);
+    }
+
+    fn maybe_commit_owner_change(&mut self, space: ReplicaId, owner: OwnerNum, out: &mut Out<A>) {
+        let votes = self.oc_votes.get(&(space, owner)).map(|t| t.count()).unwrap_or(0);
+        if votes < self.cfg.cluster.weak_quorum() {
+            return;
+        }
+        // Amplify so every correct replica reaches f+1 (§IV-E: committing
+        // replicas stop participating and report to the new owner).
+        self.start_owner_change(space, owner, out);
+        let sp = &mut self.spaces[space.index()];
+        if sp.committed_to_change || sp.owner != owner {
+            return;
+        }
+        sp.committed_to_change = true;
+        let new_owner = owner.next();
+        let new_leader = new_owner.owner(&self.cfg.cluster);
+
+        // Snapshot our view of the space (spec-ordered/committed entries).
+        let entries: Vec<_> = sp
+            .entries
+            .values()
+            .map(|e| crate::msg::EntrySnapshot {
+                inst: e.header.body.inst,
+                owner: e.owner,
+                req: e.req.clone(),
+                deps: e.deps.clone(),
+                seq: e.seq,
+                status: e.status,
+                evidence: e
+                    .commit_evidence
+                    .clone()
+                    .unwrap_or(Evidence::SpecOrdered(e.header.clone())),
+            })
+            .collect();
+        let floor = self.spaces[space.index()].compact_floor;
+        let payload = OwnerChange::signed_payload(space, new_owner, floor, &entries);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let oc = OwnerChange { space, new_owner, sender: self.id, floor, entries, sig };
+        if new_leader == self.id {
+            self.on_owner_change(oc, NodeId::Replica(self.id), out);
+        } else {
+            out.send(NodeId::Replica(new_leader), Msg::OwnerChange(oc));
+        }
+    }
+
+    fn on_owner_change(
+        &mut self,
+        oc: OwnerChange<A::Command, A::Response>,
+        from: NodeId,
+        out: &mut Out<A>,
+    ) {
+        if from != NodeId::Replica(oc.sender) {
+            self.stats.rejected += 1;
+            return;
+        }
+        if oc.new_owner.owner(&self.cfg.cluster) != self.id {
+            self.stats.rejected += 1;
+            return;
+        }
+        if !verify_owner_change(&mut self.keys, &self.cfg, &oc) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let key = (oc.space, oc.new_owner);
+        let reports = self.oc_reports.entry(key).or_default();
+        if reports.iter().any(|r| r.sender == oc.sender) {
+            return;
+        }
+        reports.push(oc);
+        if reports.len() < self.cfg.cluster.weak_quorum() {
+            return;
+        }
+        let proof = reports.clone();
+        let (space, new_owner) = key;
+        let safe = compute_safe_set(&mut self.keys, &self.cfg, space, &proof);
+        let payload = NewOwner::signed_payload(space, new_owner, &safe);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let no = NewOwner { space, new_owner, proof, safe, sender: self.id, sig };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &Msg::NewOwner(no.clone()));
+        self.apply_new_owner(no, out);
+    }
+
+    fn on_new_owner(
+        &mut self,
+        no: NewOwner<A::Command, A::Response>,
+        from: NodeId,
+        out: &mut Out<A>,
+    ) {
+        if from != NodeId::Replica(no.sender)
+            || no.new_owner.owner(&self.cfg.cluster) != no.sender
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        let payload = NewOwner::signed_payload(no.space, no.new_owner, &no.safe);
+        if self.keys.verify(NodeId::Replica(no.sender), &payload, &no.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+        // Validate the proof set and recompute the safe set ourselves.
+        if no.proof.len() < self.cfg.cluster.weak_quorum() {
+            self.stats.rejected += 1;
+            return;
+        }
+        let mut senders = BTreeSet::new();
+        for oc in &no.proof {
+            if oc.space != no.space
+                || oc.new_owner != no.new_owner
+                || !senders.insert(oc.sender)
+                || !verify_owner_change(&mut self.keys, &self.cfg, oc)
+            {
+                self.stats.rejected += 1;
+                return;
+            }
+        }
+        let recomputed = compute_safe_set(&mut self.keys, &self.cfg, no.space, &no.proof);
+        if recomputed != no.safe {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.apply_new_owner(no, out);
+    }
+
+    /// Adopts the recovered history `G` (§IV-E): applies safe instances,
+    /// rolls back divergent speculation, freezes the space.
+    fn apply_new_owner(&mut self, no: NewOwner<A::Command, A::Response>, out: &mut Out<A>) {
+        let space_idx = no.space.index();
+        if self.spaces[space_idx].owner >= no.new_owner && self.spaces[space_idx].frozen {
+            return; // already applied
+        }
+
+        let safe_slots: BTreeSet<u64> = no.safe.iter().map(|s| s.inst.slot).collect();
+        // Slots below every reporter's floor are final; the recovery scan
+        // started at the minimum reported floor.
+        let base = no.proof.iter().map(|r| r.floor).min().unwrap_or(0);
+
+        // Drop local entries not in G (the faulty leader's unrecoverable
+        // speculation) and roll their speculative effects back.
+        let local_slots: Vec<u64> =
+            self.spaces[space_idx].entries.keys().copied().collect();
+        for slot in local_slots {
+            if slot >= base && !safe_slots.contains(&slot) {
+                let inst = InstanceId::new(no.space, slot);
+                let entry = self.spaces[space_idx].entries.get(&slot).expect("listed");
+                if entry.status == EntryStatus::Executed {
+                    // Stability: executed entries are never dropped. A
+                    // correct majority cannot produce a G missing one.
+                    continue;
+                }
+                self.engine.invalidate(inst.tag());
+                self.spaces[space_idx].entries.remove(&slot);
+                self.committed_pending.remove(&inst);
+            }
+        }
+
+        // Adopt every safe instance.
+        for snap in &no.safe {
+            let inst = snap.inst;
+            let existing = self.spaces[space_idx].entries.get(&inst.slot);
+            let matches = existing
+                .map(|e| {
+                    e.req.digest() == snap.req.digest()
+                        && e.deps == snap.deps
+                        && e.seq == snap.seq
+                })
+                .unwrap_or(false);
+            if let Some(e) = existing {
+                if e.status == EntryStatus::Executed {
+                    continue;
+                }
+            }
+            if !matches {
+                self.engine.invalidate(inst.tag());
+            }
+            let header = match &snap.evidence {
+                Evidence::SpecOrdered(h) => h.clone(),
+                _ => existing.map(|e| e.header.clone()).unwrap_or(SpecOrderHeader {
+                    body: SpecOrderBody {
+                        owner: snap.owner,
+                        inst,
+                        deps: snap.deps.clone(),
+                        seq: snap.seq,
+                        log_digest: Digest::ZERO,
+                        req_digest: snap.req.digest(),
+                    },
+                    sig: ezbft_crypto::Signature::Null,
+                }),
+            };
+            let entry = Entry {
+                req: snap.req.clone(),
+                owner: snap.owner,
+                deps: snap.deps.clone(),
+                seq: snap.seq,
+                status: EntryStatus::Committed,
+                spec_response: None,
+                final_response: None,
+                reply_on_final: true,
+                header,
+                commit_evidence: Some(snap.evidence.clone()),
+            };
+            self.max_seq = self.max_seq.max(snap.seq);
+            self.deps.register(inst, &snap.req.cmd.conflict_keys());
+            let space = &mut self.spaces[space_idx];
+            space.entries.insert(inst.slot, entry);
+            space.next_slot = space.next_slot.max(inst.slot + 1);
+            self.committed_pending.insert(inst);
+        }
+
+        let space = &mut self.spaces[space_idx];
+        space.owner = no.new_owner;
+        space.frozen = true;
+        space.committed_to_change = false;
+        space.pending_orders.clear();
+        self.stats.owner_changes += 1;
+
+        self.try_execute(out);
+    }
+
+    // ------------------------------------------------------------------
+    // Log compaction ("since the last checkpoint", §IV-E; see DESIGN.md §5)
+    // ------------------------------------------------------------------
+
+    /// Number of retained (non-compacted) entries across all spaces.
+    pub fn live_entries(&self) -> usize {
+        self.spaces.iter().map(|s| s.entries.len()).sum()
+    }
+
+    /// First non-compacted slot of `space`.
+    pub fn compact_floor(&self, space: ReplicaId) -> u64 {
+        self.spaces[space.index()].compact_floor
+    }
+
+    /// Compacts `space`'s executed contiguous prefix once it outgrows the
+    /// configured interval. Stability (§III) makes this safe locally: an
+    /// executed entry is committed and can never change, so its payload is
+    /// no longer needed; owner-change reports advertise the floor so the
+    /// recovery scan starts where the slowest reporter still has data.
+    fn maybe_compact(&mut self, space_id: ReplicaId) {
+        let interval = self.cfg.compaction_interval.max(1);
+        let space = &mut self.spaces[space_id.index()];
+        // Advance over the executed contiguous prefix.
+        let mut prefix = space.compact_floor;
+        while space
+            .entries
+            .get(&prefix)
+            .map(|e| e.status == EntryStatus::Executed)
+            .unwrap_or(false)
+        {
+            prefix += 1;
+        }
+        if prefix.saturating_sub(space.compact_floor) < interval {
+            return;
+        }
+        for slot in space.compact_floor..prefix {
+            space.entries.remove(&slot);
+        }
+        space.compact_floor = prefix;
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn arm_timer(&mut self, timer: ReplicaTimer, after: Micros, out: &mut Out<A>) -> u64 {
+        let id = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(id, timer);
+        out.set_timer(TimerId(id), after);
+        id
+    }
+
+    fn cancel_resend_wait(&mut self, client: ClientId, ts: Timestamp, out: &mut Out<A>) {
+        if let Some(id) = self.resend_waits.remove(&(client, ts)) {
+            self.timers.remove(&id);
+            out.cancel_timer(TimerId(id));
+        }
+    }
+}
+
+impl<A: Application> ProtocolNode for Replica<A> {
+    type Message = Msg<A::Command, A::Response>;
+    type Response = A::Response;
+
+    fn id(&self) -> NodeId {
+        NodeId::Replica(self.id)
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, out: &mut Out<A>) {
+        match msg {
+            Msg::Request(req) => {
+                // Requests come from their client (or a forwarding replica
+                // on retransmission; signature still binds the client).
+                self.on_request(req, out);
+            }
+            Msg::SpecOrder(so) => self.on_spec_order(so, from, out),
+            Msg::CommitFast(cf) => self.on_commit_fast(cf, out),
+            Msg::Commit(cm) => self.on_commit(cm, out),
+            Msg::ResendReq(rr) => self.on_resend_req(rr, out),
+            Msg::Pom(pom) => self.on_pom(pom, out),
+            Msg::StartOwnerChange(soc) => self.on_start_owner_change(soc, from, out),
+            Msg::OwnerChange(oc) => self.on_owner_change(oc, from, out),
+            Msg::NewOwner(no) => self.on_new_owner(no, from, out),
+            Msg::SpecReply(_) | Msg::CommitReply(_) => {
+                // Client-bound messages; a replica receiving one ignores it.
+                self.stats.rejected += 1;
+            }
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_timer(&mut self, id: TimerId, out: &mut Out<A>) {
+        let Some(timer) = self.timers.remove(&id.0) else { return };
+        match timer {
+            ReplicaTimer::ResendWait { space, client, ts } => {
+                self.resend_waits.remove(&(client, ts));
+                // No SPECORDER arrived for the forwarded request: suspect
+                // the space's owner (§IV-D step 4.3).
+                let owner = self.spaces[space.index()].owner;
+                self.start_owner_change(space, owner, out);
+            }
+            ReplicaTimer::DepWait { dep } => {
+                self.dep_waits.remove(&dep);
+                let space = &self.spaces[dep.space.index()];
+                let committed = space
+                    .entries
+                    .get(&dep.slot)
+                    .map(|e| e.status.is_committed())
+                    .unwrap_or(false);
+                if !committed && !space.frozen {
+                    let owner = space.owner;
+                    self.start_owner_change(dep.space, owner, out);
+                }
+            }
+        }
+    }
+}

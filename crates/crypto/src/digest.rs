@@ -1,0 +1,110 @@
+//! The 256-bit digest newtype used throughout the workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-byte digest (SHA-256 output).
+///
+/// The paper uses digests for request identity (`d = H(m)`, §IV-A) and for
+/// instance-space summaries (`h`); Zyzzyva additionally chains them into
+/// history hashes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// The all-zero digest (used as the empty-history root).
+    pub const ZERO: Digest = Digest([0; 32]);
+
+    /// Wraps raw bytes as a digest.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// The raw bytes.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Digest of `data` (convenience re-export of [`crate::sha256`]).
+    pub fn of(data: &[u8]) -> Self {
+        crate::sha256::sha256(data)
+    }
+
+    /// Chained digest: `H(self || other)` — used for history hashes and
+    /// Merkle-tree interior nodes.
+    pub fn chain(&self, other: &Digest) -> Digest {
+        let mut h = crate::sha256::Sha256::new();
+        h.update(&self.0);
+        h.update(&other.0);
+        h.finalize()
+    }
+
+    /// Short hex prefix, handy in traces.
+    pub fn short_hex(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.short_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_matches_sha256() {
+        assert_eq!(Digest::of(b"abc"), crate::sha256::sha256(b"abc"));
+    }
+
+    #[test]
+    fn chain_is_order_sensitive() {
+        let a = Digest::of(b"a");
+        let b = Digest::of(b"b");
+        assert_ne!(a.chain(&b), b.chain(&a));
+        assert_ne!(a.chain(&b), a);
+    }
+
+    #[test]
+    fn display_is_full_hex() {
+        let d = Digest::ZERO;
+        assert_eq!(d.to_string(), "0".repeat(64));
+        assert_eq!(format!("{d:?}"), "#00000000");
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut raw = [0u8; 32];
+        raw[0] = 0xab;
+        let d = Digest::from_bytes(raw);
+        assert_eq!(d.as_bytes(), &raw);
+        assert_eq!(Digest::from(raw), d);
+        assert_eq!(d.as_ref(), &raw[..]);
+        assert_eq!(d.short_hex(), "ab000000");
+    }
+}

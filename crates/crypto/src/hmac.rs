@@ -1,0 +1,137 @@
+//! HMAC-SHA256 (RFC 2104), validated against the RFC 4231 test vectors.
+
+use crate::digest::Digest;
+use crate::sha256::{sha256, Sha256};
+
+const BLOCK: usize = 64;
+
+/// A reusable HMAC key (pre-computed inner/outer pads).
+#[derive(Clone)]
+pub struct HmacKey {
+    ipad: [u8; BLOCK],
+    opad: [u8; BLOCK],
+}
+
+impl std::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("HmacKey(..)")
+    }
+}
+
+impl HmacKey {
+    /// Derives pads from raw key bytes (keys longer than one block are
+    /// hashed first, per the RFC).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            k[..32].copy_from_slice(sha256(key).as_bytes());
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK];
+        let mut opad = [0x5cu8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        HmacKey { ipad, opad }
+    }
+
+    /// Computes `HMAC(key, msg)`.
+    pub fn mac(&self, msg: &[u8]) -> Digest {
+        let mut inner = Sha256::new();
+        inner.update(&self.ipad);
+        inner.update(msg);
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// Computes a truncated 16-byte tag, the size carried in MAC
+    /// authenticators (PBFT uses 10-byte tags; 16 is comfortably above).
+    pub fn tag(&self, msg: &[u8]) -> [u8; 16] {
+        let full = self.mac(msg);
+        let mut t = [0u8; 16];
+        t.copy_from_slice(&full.as_bytes()[..16]);
+        t
+    }
+}
+
+/// One-shot `HMAC-SHA256(key, msg)`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+    HmacKey::new(key).mac(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &Digest) -> String {
+        d.as_bytes().iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let d = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&d),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let d = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&d),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let d = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&d),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let d = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&d),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn tag_is_prefix_of_mac() {
+        let k = HmacKey::new(b"key");
+        let full = k.mac(b"msg");
+        assert_eq!(&k.tag(b"msg")[..], &full.as_bytes()[..16]);
+    }
+
+    #[test]
+    fn different_keys_different_macs() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+
+    #[test]
+    fn debug_hides_key_material() {
+        assert_eq!(format!("{:?}", HmacKey::new(b"secret")), "HmacKey(..)");
+    }
+}

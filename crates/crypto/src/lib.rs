@@ -1,0 +1,51 @@
+//! Authentication substrate for the ezBFT workspace.
+//!
+//! The paper authenticates messages with HMAC and ECDSA (§V). This crate
+//! provides the equivalent building blocks without external dependencies:
+//!
+//! - [`sha256`]: a from-scratch SHA-256, validated against the NIST vectors;
+//! - [`hmac`]: HMAC-SHA256, validated against RFC 4231;
+//! - [`auth`]: PBFT-style pairwise MAC authenticators (the "HMAC" half);
+//! - [`wots`] + [`merkle`]: a hash-based Winternitz/Merkle many-time
+//!   signature scheme — the true-asymmetric substitute for ECDSA (no
+//!   elliptic-curve crate exists in the allowed offline set; hash-based
+//!   signatures provide the same property the protocols rely on:
+//!   unforgeability by byzantine nodes, with third-party verifiability);
+//! - [`provider`]: the [`KeyStore`] facade protocols use to sign and verify,
+//!   with `Null` / `Mac` / `HashSig` providers selectable at cluster setup.
+//!
+//! # Example
+//!
+//! ```
+//! use ezbft_crypto::{KeyStore, CryptoKind, Audience};
+//! use ezbft_smr::{NodeId, ReplicaId, ClientId};
+//!
+//! let nodes = vec![
+//!     NodeId::Replica(ReplicaId::new(0)),
+//!     NodeId::Replica(ReplicaId::new(1)),
+//!     NodeId::Client(ClientId::new(0)),
+//! ];
+//! let mut stores = KeyStore::cluster(CryptoKind::Mac, b"seed", &nodes);
+//! let sig = stores[0].sign(b"hello", &Audience::nodes(nodes.clone()));
+//! assert!(stores[2].verify(nodes[0], b"hello", &sig).is_ok());
+//! assert!(stores[2].verify(nodes[1], b"hello", &sig).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod auth;
+pub mod digest;
+pub mod hmac;
+pub mod merkle;
+pub mod provider;
+pub mod sha256;
+pub mod wots;
+
+pub use auth::{MacAuthenticator, PairwiseKeys};
+pub use digest::Digest;
+pub use hmac::{hmac_sha256, HmacKey};
+pub use merkle::{MerkleKeychain, MerklePublicKey, MerkleSignature};
+pub use provider::{Audience, AuthError, CryptoKind, KeyStore, Signature};
+pub use sha256::{sha256, Sha256};
+pub use wots::{WotsKeypair, WotsPublicKey, WotsSignature};

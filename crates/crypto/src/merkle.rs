@@ -1,0 +1,213 @@
+//! A Merkle many-time signature scheme over WOTS leaves (an XMSS-like
+//! construction).
+//!
+//! A [`MerkleKeychain`] holds `2^h` one-time [`crate::wots`] keypairs; the
+//! public key is the Merkle root over their public keys. Each signature
+//! consumes one leaf and carries the leaf index plus the authentication
+//! path, so any third party holding only the 32-byte root can verify —
+//! exactly the property ECDSA gives the paper's protocols for commit
+//! certificates and proofs of misbehaviour.
+
+use serde::{Deserialize, Serialize};
+
+use crate::digest::Digest;
+use crate::hmac::HmacKey;
+use crate::wots::{self, WotsKeypair, WotsSignature};
+
+/// A many-time public key: the Merkle root.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct MerklePublicKey(pub Digest);
+
+/// A many-time signature: leaf index, one-time signature and auth path.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct MerkleSignature {
+    leaf: u32,
+    wots: WotsSignature,
+    path: Vec<Digest>,
+}
+
+impl MerkleSignature {
+    /// Serialized size in bytes (approximate; values + path).
+    pub fn size(&self) -> usize {
+        4 + self.wots.size() + self.path.len() * 32
+    }
+
+    /// The leaf index used.
+    pub fn leaf_index(&self) -> u32 {
+        self.leaf
+    }
+}
+
+/// Hash of a leaf (a WOTS public key) in the tree.
+fn leaf_digest(pk: &wots::WotsPublicKey) -> Digest {
+    let mut h = crate::sha256::Sha256::new();
+    h.update(b"merkle-leaf");
+    h.update(pk.0.as_bytes());
+    h.finalize()
+}
+
+/// A keychain of `2^height` one-time keys.
+#[derive(Clone)]
+pub struct MerkleKeychain {
+    keys: Vec<WotsKeypair>,
+    /// Full tree, level by level: `levels[0]` = leaf digests, last = [root].
+    levels: Vec<Vec<Digest>>,
+    next_leaf: u32,
+}
+
+impl std::fmt::Debug for MerkleKeychain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MerkleKeychain")
+            .field("capacity", &self.keys.len())
+            .field("used", &self.next_leaf)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MerkleKeychain {
+    /// Deterministically generates a keychain of `2^height` one-time keys
+    /// from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height > 16` (65 536 leaves) — beyond that, generation
+    /// cost is prohibitive for this workspace's use cases.
+    pub fn from_seed(seed: &[u8], height: u32) -> Self {
+        assert!(height <= 16, "keychain height {height} too large");
+        let count = 1usize << height;
+        let master = HmacKey::new(seed);
+        let keys: Vec<WotsKeypair> = (0..count)
+            .map(|i| {
+                let leaf_seed = master.mac(&(i as u32).to_be_bytes());
+                WotsKeypair::from_seed(leaf_seed.as_bytes())
+            })
+            .collect();
+
+        let mut levels = Vec::with_capacity(height as usize + 1);
+        levels.push(keys.iter().map(|k| leaf_digest(&k.public_key())).collect::<Vec<_>>());
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let next: Vec<Digest> =
+                prev.chunks(2).map(|pair| pair[0].chain(&pair[1])).collect();
+            levels.push(next);
+        }
+        MerkleKeychain { keys, levels, next_leaf: 0 }
+    }
+
+    /// The many-time public key (Merkle root).
+    pub fn public_key(&self) -> MerklePublicKey {
+        MerklePublicKey(self.levels.last().unwrap()[0])
+    }
+
+    /// Remaining signature capacity.
+    pub fn remaining(&self) -> usize {
+        self.keys.len() - self.next_leaf as usize
+    }
+
+    /// Signs digest `msg`, consuming one leaf.
+    ///
+    /// Returns `None` when the keychain is exhausted; callers in this
+    /// workspace size keychains generously and treat exhaustion as a fatal
+    /// configuration error.
+    pub fn sign(&mut self, msg: &Digest) -> Option<MerkleSignature> {
+        let leaf = self.next_leaf;
+        if leaf as usize >= self.keys.len() {
+            return None;
+        }
+        self.next_leaf += 1;
+        let wots_sig = self.keys[leaf as usize].sign(msg);
+        let mut path = Vec::with_capacity(self.levels.len() - 1);
+        let mut idx = leaf as usize;
+        for level in &self.levels[..self.levels.len() - 1] {
+            path.push(level[idx ^ 1]);
+            idx >>= 1;
+        }
+        Some(MerkleSignature { leaf, wots: wots_sig, path })
+    }
+}
+
+/// Verifies `sig` over `msg` against the many-time public key `pk`.
+pub fn verify(pk: &MerklePublicKey, msg: &Digest, sig: &MerkleSignature) -> bool {
+    let Some(candidate) = sig.wots.recover_public_key(msg) else {
+        return false;
+    };
+    let mut node = leaf_digest(&candidate);
+    let mut idx = sig.leaf as usize;
+    for sibling in &sig.path {
+        node = if idx & 1 == 0 { node.chain(sibling) } else { sibling.chain(&node) };
+        idx >>= 1;
+    }
+    node == pk.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut kc = MerkleKeychain::from_seed(b"seed", 2);
+        let pk = kc.public_key();
+        for i in 0..4u8 {
+            let msg = Digest::of(&[i]);
+            let sig = kc.sign(&msg).expect("capacity");
+            assert!(verify(&pk, &msg, &sig), "leaf {i}");
+        }
+        assert_eq!(kc.remaining(), 0);
+        assert!(kc.sign(&Digest::of(b"over")).is_none());
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut kc = MerkleKeychain::from_seed(b"seed", 1);
+        let pk = kc.public_key();
+        let sig = kc.sign(&Digest::of(b"a")).unwrap();
+        assert!(!verify(&pk, &Digest::of(b"b"), &sig));
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let mut kc1 = MerkleKeychain::from_seed(b"seed-1", 1);
+        let kc2 = MerkleKeychain::from_seed(b"seed-2", 1);
+        let msg = Digest::of(b"m");
+        let sig = kc1.sign(&msg).unwrap();
+        assert!(!verify(&kc2.public_key(), &msg, &sig));
+    }
+
+    #[test]
+    fn tampered_path_rejected() {
+        let mut kc = MerkleKeychain::from_seed(b"seed", 2);
+        let pk = kc.public_key();
+        let msg = Digest::of(b"m");
+        let mut sig = kc.sign(&msg).unwrap();
+        sig.path[0] = Digest::of(b"bogus");
+        assert!(!verify(&pk, &msg, &sig));
+    }
+
+    #[test]
+    fn tampered_leaf_index_rejected() {
+        let mut kc = MerkleKeychain::from_seed(b"seed", 2);
+        let pk = kc.public_key();
+        let msg = Digest::of(b"m");
+        let mut sig = kc.sign(&msg).unwrap();
+        sig.leaf = 3;
+        assert!(!verify(&pk, &msg, &sig));
+    }
+
+    #[test]
+    fn deterministic_public_key() {
+        let a = MerkleKeychain::from_seed(b"same", 2);
+        let b = MerkleKeychain::from_seed(b"same", 2);
+        assert_eq!(a.public_key(), b.public_key());
+        let c = MerkleKeychain::from_seed(b"different", 2);
+        assert_ne!(a.public_key(), c.public_key());
+    }
+
+    #[test]
+    fn remaining_decrements() {
+        let mut kc = MerkleKeychain::from_seed(b"seed", 2);
+        assert_eq!(kc.remaining(), 4);
+        kc.sign(&Digest::of(b"x")).unwrap();
+        assert_eq!(kc.remaining(), 3);
+    }
+}

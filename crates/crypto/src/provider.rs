@@ -1,0 +1,314 @@
+//! The [`KeyStore`] facade protocols use to sign and verify messages.
+//!
+//! Three providers, selectable per cluster:
+//!
+//! - [`CryptoKind::Null`] — no authentication; for pure latency studies
+//!   where the cost model accounts for crypto separately.
+//! - [`CryptoKind::Mac`] — pairwise HMAC authenticators (the paper's HMAC
+//!   mode). Cheap, but verifiable only by the audience.
+//! - [`CryptoKind::HashSig`] — Merkle/WOTS hash-based signatures (the
+//!   paper's ECDSA substitute): anyone holding the signer's 32-byte public
+//!   key can verify, so certificates transfer between parties.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ezbft_smr::NodeId;
+
+use crate::auth::{MacAuthenticator, PairwiseKeys};
+use crate::digest::Digest;
+use crate::hmac::HmacKey;
+use crate::merkle::{self, MerkleKeychain, MerklePublicKey, MerkleSignature};
+
+/// Which provider a cluster uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CryptoKind {
+    /// No authentication (signatures are empty and always verify).
+    Null,
+    /// Pairwise HMAC authenticators.
+    Mac,
+    /// Hash-based many-time signatures with `2^height` capacity per node.
+    HashSig {
+        /// Merkle tree height (capacity = `2^height` signatures per node).
+        height: u32,
+    },
+}
+
+/// The set of nodes that must be able to verify a signature.
+///
+/// Only meaningful for the MAC provider; hash signatures are universally
+/// verifiable and the null provider ignores it.
+#[derive(Clone, Debug, Default)]
+pub struct Audience {
+    nodes: Vec<NodeId>,
+}
+
+impl Audience {
+    /// An audience of exactly these nodes.
+    pub fn nodes(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        Audience { nodes: nodes.into_iter().collect() }
+    }
+
+    /// Every replica of a cluster with `n` replicas.
+    pub fn replicas(n: usize) -> Self {
+        Audience {
+            nodes: (0..n as u8)
+                .map(|i| NodeId::Replica(ezbft_smr::ReplicaId::new(i)))
+                .collect(),
+        }
+    }
+
+    /// Extends the audience with one more node (builder style).
+    pub fn and(mut self, node: impl Into<NodeId>) -> Self {
+        self.nodes.push(node.into());
+        self
+    }
+
+    /// The audience members.
+    pub fn members(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+/// A signature produced by a [`KeyStore`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Signature {
+    /// Null-provider signature.
+    Null,
+    /// MAC authenticator.
+    Mac(MacAuthenticator),
+    /// Hash-based signature.
+    Hash(Box<MerkleSignature>),
+}
+
+impl Default for Signature {
+    fn default() -> Self {
+        Signature::Null
+    }
+}
+
+/// Why verification failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AuthError {
+    /// The signature does not verify for the claimed signer and message.
+    BadSignature,
+    /// The claimed signer is not known to this keystore (no public key).
+    UnknownSigner,
+    /// Signature kind does not match the cluster's provider.
+    WrongKind,
+    /// The signing keychain ran out of one-time leaves.
+    Exhausted,
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::BadSignature => write!(f, "signature verification failed"),
+            AuthError::UnknownSigner => write!(f, "unknown signer"),
+            AuthError::WrongKind => write!(f, "signature kind does not match provider"),
+            AuthError::Exhausted => write!(f, "signing key exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+enum Inner {
+    Null,
+    Mac(PairwiseKeys),
+    Hash { chain: MerkleKeychain, directory: HashMap<NodeId, MerklePublicKey> },
+}
+
+/// One node's view of the cluster's keys: its own signing key plus whatever
+/// is needed to verify every other node.
+pub struct KeyStore {
+    me: NodeId,
+    inner: Inner,
+}
+
+impl fmt::Debug for KeyStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.inner {
+            Inner::Null => "Null",
+            Inner::Mac(_) => "Mac",
+            Inner::Hash { .. } => "HashSig",
+        };
+        f.debug_struct("KeyStore").field("me", &self.me).field("kind", &kind).finish()
+    }
+}
+
+impl KeyStore {
+    /// Builds one keystore per node for a whole cluster, from a master seed.
+    ///
+    /// The returned stores are in the same order as `nodes`. For the
+    /// hash-signature provider this generates every node's keychain and
+    /// distributes the public keys — exactly the trusted-setup step a real
+    /// deployment performs out of band.
+    pub fn cluster(kind: CryptoKind, master_seed: &[u8], nodes: &[NodeId]) -> Vec<KeyStore> {
+        match kind {
+            CryptoKind::Null => {
+                nodes.iter().map(|&me| KeyStore { me, inner: Inner::Null }).collect()
+            }
+            CryptoKind::Mac => nodes
+                .iter()
+                .map(|&me| KeyStore { me, inner: Inner::Mac(PairwiseKeys::new(me, master_seed)) })
+                .collect(),
+            CryptoKind::HashSig { height } => {
+                let master = HmacKey::new(master_seed);
+                let chains: Vec<(NodeId, MerkleKeychain)> = nodes
+                    .iter()
+                    .map(|&me| {
+                        let mut tag = Vec::new();
+                        tag.extend_from_slice(b"node-seed");
+                        tag.extend_from_slice(&format!("{me:?}").into_bytes());
+                        let seed = master.mac(&tag);
+                        (me, MerkleKeychain::from_seed(seed.as_bytes(), height))
+                    })
+                    .collect();
+                let directory: HashMap<NodeId, MerklePublicKey> =
+                    chains.iter().map(|(id, c)| (*id, c.public_key())).collect();
+                chains
+                    .into_iter()
+                    .map(|(me, chain)| KeyStore {
+                        me,
+                        inner: Inner::Hash { chain, directory: directory.clone() },
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// A single null-provider keystore (for unit tests and examples).
+    pub fn null(me: NodeId) -> KeyStore {
+        KeyStore { me, inner: Inner::Null }
+    }
+
+    /// The node this keystore belongs to.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Signs `msg` so that every member of `audience` (and, for hash
+    /// signatures, anyone) can verify it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hash-signature keychain is exhausted — a configuration
+    /// error in this workspace (size keychains to the workload).
+    pub fn sign(&mut self, msg: &[u8], audience: &Audience) -> Signature {
+        match &mut self.inner {
+            Inner::Null => Signature::Null,
+            Inner::Mac(keys) => Signature::Mac(MacAuthenticator::compute(
+                keys,
+                msg,
+                audience.members().iter().copied(),
+            )),
+            Inner::Hash { chain, .. } => {
+                let digest = Digest::of(msg);
+                let sig = chain.sign(&digest).expect("signing keychain exhausted");
+                Signature::Hash(Box::new(sig))
+            }
+        }
+    }
+
+    /// Verifies that `signer` produced `sig` over `msg`.
+    pub fn verify(&mut self, signer: NodeId, msg: &[u8], sig: &Signature) -> Result<(), AuthError> {
+        match (&mut self.inner, sig) {
+            (Inner::Null, Signature::Null) => Ok(()),
+            (Inner::Null, _) | (_, Signature::Null) => Err(AuthError::WrongKind),
+            (Inner::Mac(keys), Signature::Mac(auth)) => {
+                if auth.verify(keys, signer, msg) {
+                    Ok(())
+                } else {
+                    Err(AuthError::BadSignature)
+                }
+            }
+            (Inner::Hash { directory, .. }, Signature::Hash(sig)) => {
+                let pk = directory.get(&signer).ok_or(AuthError::UnknownSigner)?;
+                if merkle::verify(pk, &Digest::of(msg), sig) {
+                    Ok(())
+                } else {
+                    Err(AuthError::BadSignature)
+                }
+            }
+            _ => Err(AuthError::WrongKind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezbft_smr::{ClientId, ReplicaId};
+
+    fn nodes() -> Vec<NodeId> {
+        vec![
+            NodeId::Replica(ReplicaId::new(0)),
+            NodeId::Replica(ReplicaId::new(1)),
+            NodeId::Replica(ReplicaId::new(2)),
+            NodeId::Client(ClientId::new(0)),
+        ]
+    }
+
+    #[test]
+    fn null_provider_accepts_everything_of_its_kind() {
+        let ns = nodes();
+        let mut stores = KeyStore::cluster(CryptoKind::Null, b"s", &ns);
+        let sig = stores[0].sign(b"m", &Audience::nodes(ns.clone()));
+        assert!(stores[1].verify(ns[0], b"m", &sig).is_ok());
+        // Even a "forged" claim passes — that's the point of Null.
+        assert!(stores[1].verify(ns[2], b"other", &sig).is_ok());
+    }
+
+    #[test]
+    fn mac_provider_end_to_end() {
+        let ns = nodes();
+        let mut stores = KeyStore::cluster(CryptoKind::Mac, b"s", &ns);
+        let audience = Audience::replicas(3).and(ClientId::new(0));
+        let sig = stores[0].sign(b"m", &audience);
+        for verifier in 1..4 {
+            let signer = ns[0];
+            assert!(stores[verifier].verify(signer, b"m", &sig).is_ok());
+            assert_eq!(
+                stores[verifier].verify(signer, b"x", &sig),
+                Err(AuthError::BadSignature)
+            );
+            assert_eq!(
+                stores[verifier].verify(ns[1], b"m", &sig),
+                Err(AuthError::BadSignature)
+            );
+        }
+    }
+
+    #[test]
+    fn hashsig_provider_end_to_end() {
+        let ns = nodes();
+        let mut stores = KeyStore::cluster(CryptoKind::HashSig { height: 2 }, b"s", &ns);
+        let sig = stores[0].sign(b"m", &Audience::default());
+        assert!(stores[1].verify(ns[0], b"m", &sig).is_ok());
+        assert_eq!(stores[1].verify(ns[0], b"x", &sig), Err(AuthError::BadSignature));
+        assert_eq!(stores[1].verify(ns[1], b"m", &sig), Err(AuthError::BadSignature));
+        let stranger = NodeId::Client(ClientId::new(99));
+        assert_eq!(stores[1].verify(stranger, b"m", &sig), Err(AuthError::UnknownSigner));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let ns = nodes();
+        let mut mac_stores = KeyStore::cluster(CryptoKind::Mac, b"s", &ns);
+        let mut null_store = KeyStore::null(ns[0]);
+        let mac_sig = mac_stores[0].sign(b"m", &Audience::nodes(ns.clone()));
+        assert_eq!(null_store.verify(ns[0], b"m", &mac_sig), Err(AuthError::WrongKind));
+        let null_sig = null_store.sign(b"m", &Audience::default());
+        assert_eq!(mac_stores[1].verify(ns[0], b"m", &null_sig), Err(AuthError::WrongKind));
+    }
+
+    #[test]
+    fn audience_builders() {
+        let a = Audience::replicas(2).and(ClientId::new(7));
+        assert_eq!(a.members().len(), 3);
+        assert!(a.members().contains(&NodeId::Client(ClientId::new(7))));
+    }
+}

@@ -1,0 +1,205 @@
+//! Winternitz one-time signatures (WOTS) over SHA-256.
+//!
+//! This is the one-time building block of the [`crate::merkle`] many-time
+//! scheme. Parameters: Winternitz `w = 16` (4-bit digits), message digests
+//! of 32 bytes → 64 message digits + 3 checksum digits = 67 hash chains.
+//!
+//! Security intuition (sufficient for the BFT threat model here): signing
+//! reveals intermediate chain values; forging a signature for a different
+//! message requires *inverting* SHA-256 on at least one chain because the
+//! checksum guarantees some digit must decrease.
+
+use serde::{Deserialize, Serialize};
+
+use crate::digest::Digest;
+use crate::hmac::HmacKey;
+use crate::sha256::Sha256;
+
+/// Number of 4-bit message digits in a 32-byte digest.
+const MSG_DIGITS: usize = 64;
+/// Number of checksum digits (max checksum = 64 * 15 = 960 < 16^3).
+const CSUM_DIGITS: usize = 3;
+/// Total hash chains.
+pub(crate) const CHAINS: usize = MSG_DIGITS + CSUM_DIGITS;
+/// Chain length − 1 (digits range over `0..=15`).
+const W_MAX: u8 = 15;
+
+/// Applies the chain function `steps` times: `H(tag || chain_idx || value)`.
+fn chain(value: &[u8; 32], chain_idx: u8, from: u8, steps: u8) -> [u8; 32] {
+    let mut v = *value;
+    for step in from..from + steps {
+        let mut h = Sha256::new();
+        h.update(b"wots-chain");
+        h.update(&[chain_idx, step]);
+        h.update(&v);
+        v = *h.finalize().as_bytes();
+    }
+    v
+}
+
+/// Splits a digest into 67 base-16 digits (64 message + 3 checksum).
+fn digits(msg: &Digest) -> [u8; CHAINS] {
+    let mut out = [0u8; CHAINS];
+    for (i, b) in msg.as_bytes().iter().enumerate() {
+        out[2 * i] = b >> 4;
+        out[2 * i + 1] = b & 0x0f;
+    }
+    let csum: u32 = out[..MSG_DIGITS].iter().map(|&d| (W_MAX - d) as u32).sum();
+    out[MSG_DIGITS] = ((csum >> 8) & 0x0f) as u8;
+    out[MSG_DIGITS + 1] = ((csum >> 4) & 0x0f) as u8;
+    out[MSG_DIGITS + 2] = (csum & 0x0f) as u8;
+    out
+}
+
+/// A WOTS public key: the digest of all chain tops.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct WotsPublicKey(pub Digest);
+
+/// A WOTS signature: one intermediate chain value per digit.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct WotsSignature {
+    values: Vec<[u8; 32]>,
+}
+
+impl WotsSignature {
+    /// Serialized size in bytes (values only).
+    pub fn size(&self) -> usize {
+        self.values.len() * 32
+    }
+
+    /// Recomputes the candidate public key this signature corresponds to
+    /// for digest `msg`. Verification succeeds iff the result equals the
+    /// signer's public key.
+    pub fn recover_public_key(&self, msg: &Digest) -> Option<WotsPublicKey> {
+        if self.values.len() != CHAINS {
+            return None;
+        }
+        let d = digits(msg);
+        let mut h = Sha256::new();
+        h.update(b"wots-pk");
+        for i in 0..CHAINS {
+            let top = chain(&self.values[i], i as u8, d[i], W_MAX - d[i]);
+            h.update(&top);
+        }
+        Some(WotsPublicKey(h.finalize()))
+    }
+}
+
+/// A WOTS keypair. **One-time**: signing two different digests with the same
+/// keypair breaks its security (the Merkle layer enforces single use).
+#[derive(Clone)]
+pub struct WotsKeypair {
+    secrets: Vec<[u8; 32]>,
+    public: WotsPublicKey,
+}
+
+impl std::fmt::Debug for WotsKeypair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WotsKeypair").field("public", &self.public).finish_non_exhaustive()
+    }
+}
+
+impl WotsKeypair {
+    /// Deterministically derives a keypair from `seed` (secret chain starts
+    /// are `HMAC(seed, chain_index)`).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let k = HmacKey::new(seed);
+        let mut secrets = Vec::with_capacity(CHAINS);
+        for i in 0..CHAINS {
+            secrets.push(*k.mac(&[i as u8]).as_bytes());
+        }
+        let mut h = Sha256::new();
+        h.update(b"wots-pk");
+        for (i, s) in secrets.iter().enumerate() {
+            h.update(&chain(s, i as u8, 0, W_MAX));
+        }
+        WotsKeypair { secrets, public: WotsPublicKey(h.finalize()) }
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> WotsPublicKey {
+        self.public
+    }
+
+    /// Signs digest `msg`.
+    pub fn sign(&self, msg: &Digest) -> WotsSignature {
+        let d = digits(msg);
+        let values = (0..CHAINS)
+            .map(|i| chain(&self.secrets[i], i as u8, 0, d[i]))
+            .collect();
+        WotsSignature { values }
+    }
+}
+
+/// Verifies `sig` over `msg` against `pk`.
+pub fn verify(pk: &WotsPublicKey, msg: &Digest, sig: &WotsSignature) -> bool {
+    sig.recover_public_key(msg).is_some_and(|candidate| candidate == *pk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = WotsKeypair::from_seed(b"seed-1");
+        let msg = Digest::of(b"hello");
+        let sig = kp.sign(&msg);
+        assert!(verify(&kp.public_key(), &msg, &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = WotsKeypair::from_seed(b"seed-1");
+        let sig = kp.sign(&Digest::of(b"hello"));
+        assert!(!verify(&kp.public_key(), &Digest::of(b"other"), &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = WotsKeypair::from_seed(b"seed-1");
+        let kp2 = WotsKeypair::from_seed(b"seed-2");
+        let msg = Digest::of(b"hello");
+        let sig = kp1.sign(&msg);
+        assert!(!verify(&kp2.public_key(), &msg, &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = WotsKeypair::from_seed(b"seed-1");
+        let msg = Digest::of(b"hello");
+        let mut sig = kp.sign(&msg);
+        sig.values[10][0] ^= 0xff;
+        assert!(!verify(&kp.public_key(), &msg, &sig));
+    }
+
+    #[test]
+    fn truncated_signature_rejected() {
+        let kp = WotsKeypair::from_seed(b"seed-1");
+        let msg = Digest::of(b"hello");
+        let mut sig = kp.sign(&msg);
+        sig.values.pop();
+        assert!(!verify(&kp.public_key(), &msg, &sig));
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = WotsKeypair::from_seed(b"same");
+        let b = WotsKeypair::from_seed(b"same");
+        assert_eq!(a.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn digits_checksum_in_range() {
+        let d = digits(&Digest::of(b"x"));
+        assert_eq!(d.len(), CHAINS);
+        assert!(d.iter().all(|&v| v <= W_MAX));
+    }
+
+    #[test]
+    fn signature_size_is_67_chains() {
+        let kp = WotsKeypair::from_seed(b"s");
+        let sig = kp.sign(&Digest::of(b"m"));
+        assert_eq!(sig.size(), 67 * 32);
+    }
+}

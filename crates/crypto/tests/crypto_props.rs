@@ -1,0 +1,95 @@
+//! Property tests for the crypto substrate: the primitives must behave
+//! like the ideal objects the protocols assume.
+
+use ezbft_crypto::{
+    hmac_sha256, sha256, Audience, CryptoKind, Digest, KeyStore, MerkleKeychain, Sha256,
+    WotsKeypair,
+};
+use ezbft_smr::{ClientId, NodeId, ReplicaId};
+use proptest::prelude::*;
+
+proptest! {
+    /// Streaming and one-shot SHA-256 agree for every chunking.
+    #[test]
+    fn sha256_streaming_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        chunk in 1usize..257,
+    ) {
+        let mut h = Sha256::new();
+        for piece in data.chunks(chunk) {
+            h.update(piece);
+        }
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Distinct inputs produce distinct digests (collision would be a bug
+    /// in this implementation, not a cryptanalytic event).
+    #[test]
+    fn sha256_injective_on_samples(a in any::<Vec<u8>>(), b in any::<Vec<u8>>()) {
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    /// HMAC separates keys and messages.
+    #[test]
+    fn hmac_separates_keys_and_messages(
+        k1 in proptest::collection::vec(any::<u8>(), 1..64),
+        k2 in proptest::collection::vec(any::<u8>(), 1..64),
+        m in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        if k1 != k2 {
+            prop_assert_ne!(hmac_sha256(&k1, &m), hmac_sha256(&k2, &m));
+        }
+        prop_assert_eq!(hmac_sha256(&k1, &m), hmac_sha256(&k1, &m));
+    }
+
+    /// WOTS: valid signatures verify; any single-bit flip in the message
+    /// digest breaks verification.
+    #[test]
+    fn wots_bitflip_rejected(seed in any::<u64>(), flip_byte in 0usize..32, flip_bit in 0u8..8) {
+        let kp = WotsKeypair::from_seed(&seed.to_le_bytes());
+        let msg = Digest::of(&seed.to_be_bytes());
+        let sig = kp.sign(&msg);
+        prop_assert!(ezbft_crypto::wots::verify(&kp.public_key(), &msg, &sig));
+        let mut tampered = *msg.as_bytes();
+        tampered[flip_byte] ^= 1 << flip_bit;
+        let tampered = Digest::from_bytes(tampered);
+        prop_assert!(!ezbft_crypto::wots::verify(&kp.public_key(), &tampered, &sig));
+    }
+
+    /// Merkle many-time signatures: every leaf verifies against the root,
+    /// and signatures do not transfer between messages.
+    #[test]
+    fn merkle_leaves_verify_and_do_not_transfer(seed in any::<u64>()) {
+        let mut kc = MerkleKeychain::from_seed(&seed.to_le_bytes(), 2);
+        let pk = kc.public_key();
+        let m1 = Digest::of(b"one");
+        let m2 = Digest::of(b"two");
+        let s1 = kc.sign(&m1).unwrap();
+        prop_assert!(ezbft_crypto::merkle::verify(&pk, &m1, &s1));
+        prop_assert!(!ezbft_crypto::merkle::verify(&pk, &m2, &s1));
+    }
+
+    /// The MAC keystore: only the genuine signer verifies, for every
+    /// audience member; non-members always fail.
+    #[test]
+    fn keystore_mac_unforgeability(msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let nodes = vec![
+            NodeId::Replica(ReplicaId::new(0)),
+            NodeId::Replica(ReplicaId::new(1)),
+            NodeId::Replica(ReplicaId::new(2)),
+            NodeId::Client(ClientId::new(7)),
+        ];
+        let mut stores = KeyStore::cluster(CryptoKind::Mac, b"prop", &nodes);
+        let audience = Audience::nodes(vec![nodes[1], nodes[3]]);
+        let sig = stores[0].sign(&msg, &audience);
+        // Audience members verify against the true signer...
+        prop_assert!(stores[1].verify(nodes[0], &msg, &sig).is_ok());
+        prop_assert!(stores[3].verify(nodes[0], &msg, &sig).is_ok());
+        // ...but not against an impostor.
+        prop_assert!(stores[1].verify(nodes[2], &msg, &sig).is_err());
+        // Non-members cannot verify at all.
+        prop_assert!(stores[2].verify(nodes[0], &msg, &sig).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! # ezbft-fab — the FaB baseline
+//!
+//! A message-pattern-faithful implementation of Parameterized FaB Paxos
+//! (Martin & Alvisi, "Fast Byzantine Consensus") in its `t = 0`
+//! configuration, which runs on `N = 3f + 1` replicas — the configuration
+//! the ezBFT paper deploys on four nodes. The common case takes **four
+//! communication steps**: client → leader (PROPOSE) → acceptors (ACCEPT) →
+//! learners execute and reply → client, completing on `f + 1` matching
+//! replies.
+//!
+//! A learner learns a value once `⌈(N + f + 1) / 2⌉` acceptors accepted it
+//! (for `N = 4, f = 1`: 3 accepts). Recovery uses the same simplified
+//! accusation → leader-election pattern as the other baselines in this
+//! workspace (see DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod client;
+mod msg;
+mod replica;
+
+pub use client::{FabClient, FabClientStats};
+pub use msg::{Accept, Msg, Propose, ProposeBody, Request};
+pub use replica::{FabConfig, FabReplica, FabStats};
+
+/// Static protocol properties (paper Table II context).
+pub mod properties {
+    /// Resilience in the t=0 parameterized configuration.
+    pub const RESILIENCE: &str = "f < n/3";
+    /// Best-case communication steps (client-inclusive).
+    pub const BEST_CASE_STEPS: u32 = 4;
+    /// Extra steps on the slow path.
+    pub const SLOW_PATH_EXTRA_STEPS: u32 = 1;
+    /// Leadership structure.
+    pub const LEADER: &str = "single";
+}

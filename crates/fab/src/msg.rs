@@ -1,0 +1,266 @@
+//! FaB protocol messages.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use ezbft_crypto::{Digest, Signature};
+use ezbft_smr::{ClientId, ReplicaId, Timestamp};
+
+/// Bound on message payload types.
+pub trait Payload:
+    Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static
+{
+}
+impl<T: Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static> Payload
+    for T
+{
+}
+
+/// A signed client request.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Request<C> {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Client-monotonic timestamp.
+    pub ts: Timestamp,
+    /// The command.
+    pub cmd: C,
+    /// Client signature.
+    pub sig: Signature,
+}
+
+impl<C: Payload> Request<C> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(client: ClientId, ts: Timestamp, cmd: &C) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"fab-req", client, ts, cmd)).expect("request encodes")
+    }
+
+    /// Request digest.
+    pub fn digest(&self) -> Digest {
+        Digest::of(&Self::signed_payload(self.client, self.ts, &self.cmd))
+    }
+}
+
+/// The leader-signed body of PROPOSE.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ProposeBody {
+    /// Proposer number (view).
+    pub view: u64,
+    /// Sequence number.
+    pub n: u64,
+    /// Request digest.
+    pub req_digest: Digest,
+}
+
+impl ProposeBody {
+    /// Canonical signed bytes.
+    pub fn signed_payload(&self) -> Vec<u8> {
+        ezbft_wire::to_bytes(self).expect("propose body encodes")
+    }
+}
+
+/// PROPOSE with the request piggybacked.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Propose<C> {
+    /// Signed proposal metadata.
+    pub body: ProposeBody,
+    /// Leader signature.
+    pub sig: Signature,
+    /// The request.
+    pub req: Request<C>,
+}
+
+/// ACCEPT: an acceptor's endorsement, sent to all learners.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Accept {
+    /// View.
+    pub view: u64,
+    /// Sequence number.
+    pub n: u64,
+    /// Request digest.
+    pub req_digest: Digest,
+    /// The accepting replica.
+    pub sender: ReplicaId,
+    /// Signature over `(view, n, d)`.
+    pub sig: Signature,
+}
+
+impl Accept {
+    /// Canonical signed bytes.
+    pub fn signed_payload(view: u64, n: u64, d: Digest) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"fab-accept", view, n, d)).expect("encodes")
+    }
+}
+
+/// REPLY to the client from a learner.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Reply<R> {
+    /// View.
+    pub view: u64,
+    /// The client.
+    pub client: ClientId,
+    /// The request timestamp.
+    pub ts: Timestamp,
+    /// Execution result.
+    pub response: R,
+    /// The replying replica.
+    pub sender: ReplicaId,
+    /// Signature over `(client, ts, response)`.
+    pub sig: Signature,
+}
+
+impl<R: Payload> Reply<R> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(client: ClientId, ts: Timestamp, response: &R) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"fab-reply", client, ts, response)).expect("encodes")
+    }
+
+    /// Matching key for the client's `f + 1` tally.
+    pub fn match_key(&self) -> Digest {
+        Digest::of(&ezbft_wire::to_bytes(&(self.ts, &self.response)).expect("encodes"))
+    }
+}
+
+/// One accepted entry carried in an ELECTME report.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct AcceptedEntry<C> {
+    /// The leader-signed proposal.
+    pub body: ProposeBody,
+    /// The old leader's signature.
+    pub sig: Signature,
+    /// The request.
+    pub req: Request<C>,
+}
+
+/// Leader-election report (simplified recovery; see crate docs).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ElectMe<C> {
+    /// The view being moved to.
+    pub new_view: u64,
+    /// The reporting replica's accepted history.
+    pub accepted: Vec<AcceptedEntry<C>>,
+    /// The reporting replica.
+    pub sender: ReplicaId,
+    /// Signature over `(new_view, digest(accepted))`.
+    pub sig: Signature,
+}
+
+impl<C: Payload> ElectMe<C> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(new_view: u64, accepted: &[AcceptedEntry<C>]) -> Vec<u8> {
+        let d = Digest::of(&ezbft_wire::to_bytes(accepted).expect("encodes"));
+        ezbft_wire::to_bytes(&(b"fab-electme", new_view, d)).expect("encodes")
+    }
+}
+
+/// NEW-LEADER: the new leader's adopted history.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NewLeader<C> {
+    /// The installed view.
+    pub new_view: u64,
+    /// The `2f + 1` ELECTME proof.
+    pub proof: Vec<ElectMe<C>>,
+    /// Re-issued proposals.
+    pub proposals: Vec<Propose<C>>,
+    /// The new leader.
+    pub sender: ReplicaId,
+    /// Signature over `(new_view, digest(proposals))`.
+    pub sig: Signature,
+}
+
+impl<C: Payload> NewLeader<C> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(new_view: u64, proposals: &[Propose<C>]) -> Vec<u8> {
+        let d = Digest::of(&ezbft_wire::to_bytes(proposals).expect("encodes"));
+        ezbft_wire::to_bytes(&(b"fab-new-leader", new_view, d)).expect("encodes")
+    }
+}
+
+/// Accusation against the current leader.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Accuse {
+    /// The accused view.
+    pub view: u64,
+    /// The accusing replica.
+    pub sender: ReplicaId,
+    /// Signature over `(view)`.
+    pub sig: Signature,
+}
+
+impl Accuse {
+    /// Canonical signed bytes.
+    pub fn signed_payload(view: u64) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"fab-accuse", view)).expect("encodes")
+    }
+}
+
+/// The FaB wire message.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum Msg<C, R> {
+    /// Client → leader.
+    Request(Request<C>),
+    /// Client → all replicas (retransmission).
+    RequestBroadcast(Request<C>),
+    /// Leader → acceptors.
+    Propose(Propose<C>),
+    /// Acceptor → learners.
+    Accept(Accept),
+    /// Learner → client.
+    Reply(Reply<R>),
+    /// Replica → replicas.
+    Accuse(Accuse),
+    /// Replica → new leader.
+    ElectMe(ElectMe<C>),
+    /// New leader → replicas.
+    NewLeader(NewLeader<C>),
+}
+
+impl<C, R> Msg<C, R> {
+    /// Short kind tag (traces, cost models).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Request(_) => "request",
+            Msg::RequestBroadcast(_) => "request-broadcast",
+            Msg::Propose(_) => "propose",
+            Msg::Accept(_) => "accept",
+            Msg::Reply(_) => "reply",
+            Msg::Accuse(_) => "accuse",
+            Msg::ElectMe(_) => "elect-me",
+            Msg::NewLeader(_) => "new-leader",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_match_key_ignores_sender_and_view() {
+        let a: Reply<u32> = Reply {
+            view: 0,
+            client: ClientId::new(1),
+            ts: Timestamp(2),
+            response: 9,
+            sender: ReplicaId::new(0),
+            sig: Signature::Null,
+        };
+        let b = Reply { view: 3, sender: ReplicaId::new(1), ..a.clone() };
+        assert_eq!(a.match_key(), b.match_key());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let m: Msg<u32, u32> = Msg::Accept(Accept {
+            view: 1,
+            n: 2,
+            req_digest: Digest::of(b"x"),
+            sender: ReplicaId::new(3),
+            sig: Signature::Null,
+        });
+        let bytes = ezbft_wire::to_bytes(&m).unwrap();
+        assert_eq!(ezbft_wire::from_bytes::<Msg<u32, u32>>(&bytes).unwrap(), m);
+        assert_eq!(m.kind(), "accept");
+    }
+}

@@ -1,0 +1,642 @@
+//! The FaB replica: proposer + acceptor + learner in one node.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use ezbft_crypto::{Audience, KeyStore};
+use ezbft_smr::{
+    Actions, Application, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
+    TimerId, Timestamp, VoteTally,
+};
+
+use crate::msg::{
+    Accept, AcceptedEntry, Accuse, ElectMe, Msg, NewLeader, Propose, ProposeBody, Reply,
+    Request,
+};
+
+/// FaB configuration (parameterized, `t = 0`).
+#[derive(Clone, Copy, Debug)]
+pub struct FabConfig {
+    /// The cluster (N = 3f + 1).
+    pub cluster: ClusterConfig,
+    /// The leader of view 0.
+    pub first_leader: ReplicaId,
+    /// Client retransmission timer.
+    pub retry_delay: Micros,
+    /// Replica accusation timer.
+    pub accuse_timeout: Micros,
+}
+
+impl FabConfig {
+    /// Defaults for WAN simulations.
+    pub fn new(cluster: ClusterConfig, first_leader: ReplicaId) -> Self {
+        FabConfig {
+            cluster,
+            first_leader,
+            retry_delay: Micros::from_millis(1_500),
+            accuse_timeout: Micros::from_millis(800),
+        }
+    }
+
+    /// The leader of `view`.
+    pub fn leader(&self, view: u64) -> ReplicaId {
+        let n = self.cluster.n() as u64;
+        ReplicaId::new(((self.first_leader.index() as u64 + view) % n) as u8)
+    }
+
+    /// The learning quorum `⌈(N + f + 1) / 2⌉` (3 for N = 4, f = 1).
+    pub fn learn_quorum(&self) -> usize {
+        (self.cluster.n() + self.cluster.f() + 1).div_ceil(2)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot<C> {
+    proposal: Option<Propose<C>>,
+    accepts: BTreeSet<ReplicaId>,
+    learned: bool,
+    executed: bool,
+    accept_sent: bool,
+}
+
+impl<C> Default for Slot<C> {
+    fn default() -> Self {
+        Slot {
+            proposal: None,
+            accepts: BTreeSet::new(),
+            learned: false,
+            executed: false,
+            accept_sent: false,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ClientRec<R> {
+    last_executed_ts: Timestamp,
+    in_pipeline: Timestamp,
+    cached: Option<Reply<R>>,
+}
+
+impl<R> Default for ClientRec<R> {
+    fn default() -> Self {
+        ClientRec {
+            last_executed_ts: Timestamp::ZERO,
+            in_pipeline: Timestamp::ZERO,
+            cached: None,
+        }
+    }
+}
+
+/// Counters for tests and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabStats {
+    /// Requests proposed (leader role).
+    pub proposed: u64,
+    /// Requests learned and executed.
+    pub executed: u64,
+    /// Leader elections completed.
+    pub elections: u64,
+    /// Messages rejected by validation.
+    pub rejected: u64,
+}
+
+enum Timer {
+    Accuse { client: ClientId, ts: Timestamp },
+}
+
+/// The FaB replica node.
+pub struct FabReplica<A: Application> {
+    id: ReplicaId,
+    cfg: FabConfig,
+    keys: KeyStore,
+    initial: A,
+    app: A,
+    view: u64,
+    electing: bool,
+    next_n: u64,
+    slots: BTreeMap<u64, Slot<A::Command>>,
+    exec_upto: u64,
+    clients: HashMap<ClientId, ClientRec<A::Response>>,
+    accuse_votes: HashMap<u64, VoteTally>,
+    elect_reports: HashMap<u64, Vec<ElectMe<A::Command>>>,
+    timers: HashMap<u64, Timer>,
+    accuse_waits: HashMap<(ClientId, Timestamp), u64>,
+    next_timer: u64,
+    stats: FabStats,
+}
+
+impl<A: Application> std::fmt::Debug for FabReplica<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FabReplica")
+            .field("id", &self.id)
+            .field("view", &self.view)
+            .field("exec_upto", &self.exec_upto)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+type Out<A> = Actions<
+    Msg<<A as Application>::Command, <A as Application>::Response>,
+    <A as Application>::Response,
+>;
+
+impl<A: Application> FabReplica<A> {
+    /// Creates a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` does not belong to `id`.
+    pub fn new(id: ReplicaId, cfg: FabConfig, keys: KeyStore, app: A) -> Self {
+        assert_eq!(keys.me(), NodeId::Replica(id), "keystore identity mismatch");
+        FabReplica {
+            id,
+            cfg,
+            keys,
+            initial: app.clone(),
+            app,
+            view: 0,
+            electing: false,
+            next_n: 1,
+            slots: BTreeMap::new(),
+            exec_upto: 0,
+            clients: HashMap::new(),
+            accuse_votes: HashMap::new(),
+            elect_reports: HashMap::new(),
+            timers: HashMap::new(),
+            accuse_waits: HashMap::new(),
+            next_timer: 0,
+            stats: FabStats::default(),
+        }
+    }
+
+    /// Counters for tests and reports.
+    pub fn stats(&self) -> FabStats {
+        self.stats
+    }
+
+    /// The application state.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Highest executed sequence number.
+    pub fn executed_upto(&self) -> u64 {
+        self.exec_upto
+    }
+
+    fn is_leader(&self) -> bool {
+        self.cfg.leader(self.view) == self.id
+    }
+
+    fn audience(&self) -> Audience {
+        Audience::replicas(self.cfg.cluster.n())
+    }
+
+    fn verify_request(&mut self, req: &Request<A::Command>) -> bool {
+        let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
+        self.keys.verify(NodeId::Client(req.client), &payload, &req.sig).is_ok()
+    }
+
+    fn on_request(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
+        if !self.verify_request(&req) {
+            self.stats.rejected += 1;
+            return;
+        }
+        if !self.is_leader() || self.electing {
+            return;
+        }
+        let rec = self.clients.entry(req.client).or_default();
+        if req.ts <= rec.last_executed_ts {
+            if let Some(cached) = rec.cached.clone() {
+                if cached.ts == req.ts {
+                    out.send(NodeId::Client(req.client), Msg::Reply(cached));
+                }
+            }
+            return;
+        }
+        if req.ts <= rec.in_pipeline {
+            return;
+        }
+        rec.in_pipeline = req.ts;
+
+        let n = self.next_n;
+        self.next_n += 1;
+        let body = ProposeBody { view: self.view, n, req_digest: req.digest() };
+        let sig = self.keys.sign(&body.signed_payload(), &self.audience());
+        let proposal = Propose { body, sig, req };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &Msg::Propose(proposal.clone()));
+        self.stats.proposed += 1;
+        self.accept_proposal(proposal, out);
+    }
+
+    fn on_request_broadcast(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
+        if !self.verify_request(&req) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let rec = self.clients.entry(req.client).or_default();
+        if req.ts <= rec.last_executed_ts {
+            if let Some(cached) = rec.cached.clone() {
+                if cached.ts == req.ts {
+                    out.send(NodeId::Client(req.client), Msg::Reply(cached));
+                    return;
+                }
+            }
+            if req.ts < rec.last_executed_ts {
+                return;
+            }
+        }
+        if self.is_leader() {
+            self.on_request(req, out);
+            return;
+        }
+        let leader = self.cfg.leader(self.view);
+        let key = (req.client, req.ts);
+        out.send(NodeId::Replica(leader), Msg::Request(req));
+        if !self.accuse_waits.contains_key(&key) {
+            let id = self.next_timer;
+            self.next_timer += 1;
+            self.timers.insert(id, Timer::Accuse { client: key.0, ts: key.1 });
+            self.accuse_waits.insert(key, id);
+            out.set_timer(TimerId(id), self.cfg.accuse_timeout);
+        }
+    }
+
+    fn on_propose(&mut self, p: Propose<A::Command>, from: NodeId, out: &mut Out<A>) {
+        if self.electing || p.body.view != self.view {
+            return;
+        }
+        let leader = self.cfg.leader(p.body.view);
+        if from != NodeId::Replica(leader) || leader == self.id {
+            self.stats.rejected += 1;
+            return;
+        }
+        if self
+            .keys
+            .verify(NodeId::Replica(leader), &p.body.signed_payload(), &p.sig)
+            .is_err()
+            || p.req.digest() != p.body.req_digest
+            || !self.verify_request(&p.req)
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        // Equivocation defence: one proposal per (view, n).
+        if let Some(slot) = self.slots.get(&p.body.n) {
+            if let Some(existing) = &slot.proposal {
+                if existing.body.req_digest != p.body.req_digest {
+                    self.stats.rejected += 1;
+                }
+                return;
+            }
+        }
+        self.accept_proposal(p, out);
+    }
+
+    /// Acceptor role: record the proposal and broadcast ACCEPT to all
+    /// learners (every replica).
+    fn accept_proposal(&mut self, p: Propose<A::Command>, out: &mut Out<A>) {
+        let n = p.body.n;
+        let d = p.body.req_digest;
+        let view = p.body.view;
+        let rec = self.clients.entry(p.req.client).or_default();
+        rec.in_pipeline = rec.in_pipeline.max(p.req.ts);
+        if let Some(id) = self.accuse_waits.remove(&(p.req.client, p.req.ts)) {
+            self.timers.remove(&id);
+            out.cancel_timer(TimerId(id));
+        }
+        let slot = self.slots.entry(n).or_default();
+        slot.proposal = Some(p);
+        if !slot.accept_sent {
+            slot.accept_sent = true;
+            let payload = Accept::signed_payload(view, n, d);
+            let sig = self.keys.sign(&payload, &self.audience());
+            let accept = Accept { view, n, req_digest: d, sender: self.id, sig };
+            let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+            out.send_all(peers, &Msg::Accept(accept.clone()));
+            self.record_accept(accept, out);
+        }
+    }
+
+    fn on_accept(&mut self, a: Accept, from: NodeId, out: &mut Out<A>) {
+        if a.view != self.view || self.electing || from != NodeId::Replica(a.sender) {
+            return;
+        }
+        let payload = Accept::signed_payload(a.view, a.n, a.req_digest);
+        if self.keys.verify(NodeId::Replica(a.sender), &payload, &a.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.record_accept(a, out);
+    }
+
+    fn record_accept(&mut self, a: Accept, out: &mut Out<A>) {
+        let quorum = self.cfg.learn_quorum();
+        {
+            let slot = self.slots.entry(a.n).or_default();
+            slot.accepts.insert(a.sender);
+            if slot.learned || slot.accepts.len() < quorum || slot.proposal.is_none() {
+                if !(slot.accepts.len() >= quorum && slot.proposal.is_some()) {
+                    return;
+                }
+            }
+            slot.learned = true;
+        }
+        self.execute_ready(out);
+    }
+
+    fn execute_ready(&mut self, out: &mut Out<A>) {
+        loop {
+            let n = self.exec_upto + 1;
+            let ready = self
+                .slots
+                .get(&n)
+                .map(|s| s.learned && !s.executed && s.proposal.is_some())
+                .unwrap_or(false);
+            if !ready {
+                break;
+            }
+            let (client, ts, cmd) = {
+                let slot = self.slots.get(&n).expect("checked");
+                let p = slot.proposal.as_ref().expect("checked");
+                (p.req.client, p.req.ts, p.req.cmd.clone())
+            };
+            let rec = self.clients.entry(client).or_default();
+            let response = if ts <= rec.last_executed_ts {
+                rec.cached.as_ref().map(|c| c.response.clone())
+            } else {
+                Some(self.app.apply(&cmd))
+            };
+            self.exec_upto = n;
+            if let Some(slot) = self.slots.get_mut(&n) {
+                slot.executed = true;
+            }
+            self.stats.executed += 1;
+            if let Some(response) = response {
+                let payload = Reply::<A::Response>::signed_payload(client, ts, &response);
+                let sig = self
+                    .keys
+                    .sign(&payload, &Audience::nodes([NodeId::Client(client)]));
+                let reply = Reply {
+                    view: self.view,
+                    client,
+                    ts,
+                    response,
+                    sender: self.id,
+                    sig,
+                };
+                let rec = self.clients.entry(client).or_default();
+                rec.last_executed_ts = rec.last_executed_ts.max(ts);
+                rec.cached = Some(reply.clone());
+                out.send(NodeId::Client(client), Msg::Reply(reply));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Leader election (simplified recovery)
+    // ------------------------------------------------------------------
+
+    fn accuse(&mut self, out: &mut Out<A>) {
+        let view = self.view;
+        let votes = self.accuse_votes.entry(view).or_default();
+        if votes.has_voted(self.id) {
+            return;
+        }
+        votes.vote(self.id);
+        let payload = Accuse::signed_payload(view);
+        let sig = self.keys.sign(&payload, &self.audience());
+        let msg = Msg::Accuse(Accuse { view, sender: self.id, sig });
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &msg);
+        self.check_accusations(view, out);
+    }
+
+    fn on_accuse(&mut self, a: Accuse, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(a.sender) || a.view != self.view {
+            return;
+        }
+        let payload = Accuse::signed_payload(a.view);
+        if self.keys.verify(NodeId::Replica(a.sender), &payload, &a.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.accuse_votes.entry(a.view).or_default().vote(a.sender);
+        self.check_accusations(a.view, out);
+    }
+
+    fn check_accusations(&mut self, view: u64, out: &mut Out<A>) {
+        let reached = self
+            .accuse_votes
+            .get(&view)
+            .map(|v| v.reached(self.cfg.cluster.weak_quorum()))
+            .unwrap_or(false);
+        if reached && view == self.view {
+            self.accuse(out); // amplify
+            self.start_election(out);
+        }
+    }
+
+    fn start_election(&mut self, out: &mut Out<A>) {
+        if self.electing {
+            return;
+        }
+        self.electing = true;
+        let new_view = self.view + 1;
+        let accepted: Vec<AcceptedEntry<A::Command>> = self
+            .slots
+            .values()
+            .filter_map(|s| s.proposal.as_ref())
+            .map(|p| AcceptedEntry { body: p.body.clone(), sig: p.sig.clone(), req: p.req.clone() })
+            .collect();
+        let payload = ElectMe::signed_payload(new_view, &accepted);
+        let sig = self.keys.sign(&payload, &self.audience());
+        let em = ElectMe { new_view, accepted, sender: self.id, sig };
+        let new_leader = self.cfg.leader(new_view);
+        if new_leader == self.id {
+            self.on_elect_me(em, NodeId::Replica(self.id), out);
+        } else {
+            out.send(NodeId::Replica(new_leader), Msg::ElectMe(em));
+        }
+    }
+
+    fn verify_elect_me(&mut self, em: &ElectMe<A::Command>) -> bool {
+        let payload = ElectMe::signed_payload(em.new_view, &em.accepted);
+        self.keys.verify(NodeId::Replica(em.sender), &payload, &em.sig).is_ok()
+    }
+
+    fn on_elect_me(&mut self, em: ElectMe<A::Command>, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(em.sender)
+            || self.cfg.leader(em.new_view) != self.id
+            || em.new_view <= self.view
+        {
+            return;
+        }
+        if !self.verify_elect_me(&em) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let reports = self.elect_reports.entry(em.new_view).or_default();
+        if reports.iter().any(|r| r.sender == em.sender) {
+            return;
+        }
+        reports.push(em);
+        if reports.len() < self.cfg.cluster.slow_quorum() {
+            return;
+        }
+        let new_view = reports[0].new_view;
+        let proof = reports.clone();
+        let adopted = Self::adopt_accepted(&mut self.keys, &self.cfg, &proof);
+        let mut proposals = Vec::with_capacity(adopted.len());
+        for (i, ae) in adopted.into_iter().enumerate() {
+            let body = ProposeBody {
+                view: new_view,
+                n: i as u64 + 1,
+                req_digest: ae.req.digest(),
+            };
+            let sig = self.keys.sign(&body.signed_payload(), &self.audience());
+            proposals.push(Propose { body, sig, req: ae.req });
+        }
+        let payload = NewLeader::signed_payload(new_view, &proposals);
+        let sig = self.keys.sign(&payload, &self.audience());
+        let nl = NewLeader { new_view, proof, proposals, sender: self.id, sig };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &Msg::NewLeader(nl.clone()));
+        self.install_new_leader(nl, out);
+    }
+
+    fn adopt_accepted(
+        keys: &mut KeyStore,
+        cfg: &FabConfig,
+        proof: &[ElectMe<A::Command>],
+    ) -> Vec<AcceptedEntry<A::Command>> {
+        let mut by_n: BTreeMap<u64, AcceptedEntry<A::Command>> = BTreeMap::new();
+        let mut sorted: Vec<&ElectMe<A::Command>> = proof.iter().collect();
+        sorted.sort_by_key(|em| em.sender);
+        for em in sorted {
+            for ae in &em.accepted {
+                let old_leader = cfg.leader(ae.body.view);
+                if keys
+                    .verify(NodeId::Replica(old_leader), &ae.body.signed_payload(), &ae.sig)
+                    .is_err()
+                {
+                    continue;
+                }
+                by_n.entry(ae.body.n).or_insert_with(|| ae.clone());
+            }
+        }
+        let mut adopted = Vec::new();
+        let mut n = 1u64;
+        while let Some(ae) = by_n.remove(&n) {
+            adopted.push(ae);
+            n += 1;
+        }
+        adopted
+    }
+
+    fn on_new_leader(&mut self, nl: NewLeader<A::Command>, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(nl.sender)
+            || self.cfg.leader(nl.new_view) != nl.sender
+            || nl.new_view <= self.view
+        {
+            return;
+        }
+        let payload = NewLeader::signed_payload(nl.new_view, &nl.proposals);
+        if self.keys.verify(NodeId::Replica(nl.sender), &payload, &nl.sig).is_err()
+            || nl.proof.len() < self.cfg.cluster.slow_quorum()
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        let mut senders = BTreeSet::new();
+        for em in &nl.proof {
+            if em.new_view != nl.new_view
+                || !senders.insert(em.sender)
+                || !self.verify_elect_me(em)
+            {
+                self.stats.rejected += 1;
+                return;
+            }
+        }
+        let adopted = Self::adopt_accepted(&mut self.keys, &self.cfg, &nl.proof);
+        let consistent = adopted.len() == nl.proposals.len()
+            && adopted
+                .iter()
+                .zip(&nl.proposals)
+                .all(|(a, b)| a.req.digest() == b.body.req_digest);
+        if !consistent {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.install_new_leader(nl, out);
+    }
+
+    fn install_new_leader(&mut self, nl: NewLeader<A::Command>, out: &mut Out<A>) {
+        self.view = nl.new_view;
+        self.electing = false;
+        self.slots.clear();
+        self.clients.clear();
+        self.app = self.initial.clone();
+        self.exec_upto = 0;
+        self.next_n = nl.proposals.len() as u64 + 1;
+        self.stats.elections += 1;
+        for (_, id) in self.accuse_waits.drain() {
+            self.timers.remove(&id);
+            out.cancel_timer(TimerId(id));
+        }
+        let leader = nl.sender;
+        let is_leader = self.is_leader();
+        for p in nl.proposals {
+            if is_leader {
+                self.accept_proposal(p, out);
+            } else {
+                self.on_propose(p, NodeId::Replica(leader), out);
+            }
+        }
+    }
+}
+
+impl<A: Application> ProtocolNode for FabReplica<A> {
+    type Message = Msg<A::Command, A::Response>;
+    type Response = A::Response;
+
+    fn id(&self) -> NodeId {
+        NodeId::Replica(self.id)
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, out: &mut Out<A>) {
+        match msg {
+            Msg::Request(req) => self.on_request(req, out),
+            Msg::RequestBroadcast(req) => self.on_request_broadcast(req, out),
+            Msg::Propose(p) => self.on_propose(p, from, out),
+            Msg::Accept(a) => self.on_accept(a, from, out),
+            Msg::Accuse(a) => self.on_accuse(a, from, out),
+            Msg::ElectMe(em) => self.on_elect_me(em, from, out),
+            Msg::NewLeader(nl) => self.on_new_leader(nl, from, out),
+            Msg::Reply(_) => {
+                self.stats.rejected += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, out: &mut Out<A>) {
+        let Some(timer) = self.timers.remove(&id.0) else { return };
+        match timer {
+            Timer::Accuse { client, ts } => {
+                self.accuse_waits.remove(&(client, ts));
+                self.accuse(out);
+            }
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}

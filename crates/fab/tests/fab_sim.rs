@@ -1,0 +1,169 @@
+//! End-to-end FaB over the WAN simulator.
+
+use std::collections::VecDeque;
+
+use ezbft_crypto::{CryptoKind, KeyStore};
+use ezbft_fab::{FabClient, FabConfig, FabReplica, Msg};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_smr::{
+    Actions, Application as _, ClientId, ClientNode, ClusterConfig, Micros, NodeId,
+    ProtocolNode, ReplicaId, TimerId,
+};
+use ezbft_simnet::{Region, SimConfig, SimNet, Topology};
+
+type KvMsg = Msg<KvOp, KvResponse>;
+
+struct ScriptedClient {
+    inner: FabClient<KvOp, KvResponse>,
+    script: VecDeque<KvOp>,
+}
+
+impl ScriptedClient {
+    fn pump(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        if !self.inner.in_flight() {
+            if let Some(op) = self.script.pop_front() {
+                self.inner.submit(op, out);
+            }
+        }
+    }
+}
+
+impl ProtocolNode for ScriptedClient {
+    type Message = KvMsg;
+    type Response = KvResponse;
+
+    fn id(&self) -> NodeId {
+        ProtocolNode::id(&self.inner)
+    }
+    fn on_start(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        self.pump(out);
+    }
+    fn on_message(&mut self, from: NodeId, msg: KvMsg, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_message(from, msg, out);
+        self.pump(out);
+    }
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_timer(id, out);
+        self.pump(out);
+    }
+}
+
+fn build(
+    leader: u8,
+    clients: Vec<(u64, usize, Vec<KvOp>)>,
+    seed: u64,
+) -> (SimNet<KvMsg, KvResponse>, usize) {
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = FabConfig::new(cluster, ReplicaId::new(leader));
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    for (id, ..) in &clients {
+        nodes.push(NodeId::Client(ClientId::new(*id)));
+    }
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"fab-sim", &nodes);
+    let client_stores = stores.split_off(cluster.n());
+    let mut sim: SimNet<KvMsg, KvResponse> =
+        SimNet::new(Topology::exp1(), SimConfig { seed, ..Default::default() });
+    for (i, rid) in cluster.replicas().enumerate() {
+        let replica = FabReplica::new(rid, cfg, stores.remove(0), KvStore::new());
+        sim.add_node(Region(i % 4), Box::new(replica));
+    }
+    let mut total = 0;
+    for ((id, region, script), keys) in clients.into_iter().zip(client_stores) {
+        total += script.len();
+        let client = FabClient::new(ClientId::new(id), cfg, keys);
+        sim.add_node(
+            Region(region),
+            Box::new(ScriptedClient { inner: client, script: script.into() }),
+        );
+    }
+    (sim, total)
+}
+
+fn put(c: u64, i: u64) -> KvOp {
+    KvOp::Put { key: Key(c * 100 + i), value: vec![i as u8; 16] }
+}
+
+fn replica<'a>(sim: &'a SimNet<KvMsg, KvResponse>, r: u8) -> &'a FabReplica<KvStore> {
+    sim.inspect(NodeId::Replica(ReplicaId::new(r)))
+        .unwrap()
+        .downcast_ref::<FabReplica<KvStore>>()
+        .unwrap()
+}
+
+#[test]
+fn learn_quorum_is_ceil() {
+    let cfg = FabConfig::new(ClusterConfig::for_faults(1), ReplicaId::new(0));
+    assert_eq!(cfg.learn_quorum(), 3);
+    let cfg2 = FabConfig::new(ClusterConfig::for_faults(2), ReplicaId::new(0));
+    assert_eq!(cfg2.learn_quorum(), 5);
+}
+
+#[test]
+fn fault_free_multi_client() {
+    let clients =
+        (0..4u64).map(|c| (c, c as usize, (0..4).map(|i| put(c, i)).collect())).collect();
+    let (mut sim, total) = build(0, clients, 1);
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total);
+    let deadline = sim.now() + Micros::from_secs(2);
+    sim.run_until_time(deadline);
+    let fp0 = replica(&sim, 0).app().fingerprint();
+    for r in 1..4u8 {
+        assert_eq!(replica(&sim, r).app().fingerprint(), fp0);
+        assert_eq!(replica(&sim, r).executed_upto(), total as u64);
+    }
+}
+
+#[test]
+fn four_step_latency_between_pbft_and_zyzzyva() {
+    // Client co-located with the Virginia leader: FaB takes 4 steps —
+    // request (local), propose, accept, reply. The accept round means a
+    // learner needs ⌈(N+f+1)/2⌉ = 3 accepts, so latency sits above the
+    // one-round 200ms but below PBFT's two inter-replica rounds.
+    let (mut sim, _) = build(0, vec![(0, 0, vec![put(0, 0)])], 2);
+    sim.run_until_deliveries(1);
+    let at = sim.deliveries()[0].at;
+    assert!(
+        at > Micros::from_millis(200) && at < Micros::from_millis(330),
+        "FaB Virginia latency {at:?}"
+    );
+}
+
+#[test]
+fn leader_crash_election_liveness() {
+    let (mut sim, total) = build(0, vec![(0, 1, (0..2).map(|i| put(0, i)).collect())], 3);
+    sim.faults_mut().crash(ReplicaId::new(0));
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total, "liveness across leader election");
+    for r in [1u8, 2, 3] {
+        assert!(replica(&sim, r).view() >= 1);
+        assert!(replica(&sim, r).stats().elections >= 1);
+    }
+    let fp1 = replica(&sim, 1).app().fingerprint();
+    assert_eq!(replica(&sim, 2).app().fingerprint(), fp1);
+    assert_eq!(replica(&sim, 3).app().fingerprint(), fp1);
+}
+
+#[test]
+fn mid_run_leader_crash_preserves_state() {
+    let script: Vec<KvOp> = (0..6).map(|i| put(0, i)).collect();
+    let (mut sim, total) = build(0, vec![(0, 0, script)], 4);
+    sim.schedule_crash(ReplicaId::new(0), Micros::from_millis(800));
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total);
+    for i in 0..6u64 {
+        assert!(replica(&sim, 1).app().get(Key(i)).is_some(), "write {i} lost");
+    }
+}
+
+#[test]
+fn deterministic_runs() {
+    let run = |seed| {
+        let clients =
+            (0..2u64).map(|c| (c, c as usize, (0..3).map(|i| put(c, i)).collect())).collect();
+        let (mut sim, total) = build(0, clients, seed);
+        sim.run_until_deliveries(total);
+        sim.deliveries().iter().map(|d| d.at.as_micros()).collect::<Vec<_>>()
+    };
+    assert_eq!(run(8), run(8));
+}

@@ -1,0 +1,60 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|all] [--quick]
+//! ```
+//!
+//! `--quick` reduces per-configuration request counts for a fast smoke run;
+//! the default counts match those recorded in EXPERIMENTS.md.
+
+use ezbft_harness::experiments;
+use ezbft_smr::Micros;
+
+fn run_one(target: &str, quick: bool) -> bool {
+    let reqs = if quick { 5 } else { 30 };
+    match target {
+        "table1" => println!("{}", experiments::table1(reqs).render()),
+        "fig4" => println!("{}", experiments::fig4(reqs).render()),
+        "fig5a" => println!("{}", experiments::fig5a(reqs).render()),
+        "fig5b" => println!("{}", experiments::fig5b(reqs).render()),
+        "fig6" => {
+            let counts: &[usize] = if quick { &[1, 20, 60] } else { &[1, 5, 10, 20, 50, 100] };
+            println!("{}", experiments::fig6(counts, if quick { 4 } else { 10 }).render());
+        }
+        "fig7" => {
+            let budget = Micros::from_secs(if quick { 20 } else { 60 });
+            println!("{}", experiments::fig7(if quick { 120 } else { 240 }, budget).render());
+        }
+        "table2" => println!("{}", experiments::table2().render()),
+        "ablation" => println!("{}", experiments::ablation(if quick { 6 } else { 20 }).render()),
+        "all" => {
+            for t in ["table1", "fig4", "fig5a", "fig5b", "fig6", "fig7", "table2", "ablation"] {
+                run_one(t, quick);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!(
+                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|all] [--quick]"
+            );
+            return false;
+        }
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let targets = if targets.is_empty() { vec!["all"] } else { targets };
+    for target in targets {
+        if !run_one(target, quick) {
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Generic cluster runner: build any protocol's cluster over the WAN
+//! simulator, drive contention-θ workloads, collect latency/throughput.
+
+use std::collections::HashMap;
+
+use ezbft_crypto::{CryptoKind, KeyStore};
+use ezbft_kv::{KvResponse, Workload, WorkloadConfig};
+use ezbft_simnet::{Histogram, Region, SimConfig, SimNet, Topology};
+use ezbft_smr::{
+    Actions, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
+};
+
+use crate::cost::CostParams;
+use crate::family::{
+    DynClient, EzBftFamily, FabFamily, PbftFamily, ProtocolFamily, Setup, ZyzzyvaFamily,
+};
+
+/// Which protocol to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// The paper's contribution.
+    EzBft,
+    /// PBFT baseline.
+    Pbft,
+    /// Zyzzyva baseline.
+    Zyzzyva,
+    /// FaB baseline.
+    Fab,
+}
+
+impl ProtocolKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::EzBft => EzBftFamily::NAME,
+            ProtocolKind::Pbft => PbftFamily::NAME,
+            ProtocolKind::Zyzzyva => ZyzzyvaFamily::NAME,
+            ProtocolKind::Fab => FabFamily::NAME,
+        }
+    }
+}
+
+/// A closed-loop workload-driven client wrapper.
+struct DrivenClient<M> {
+    inner: Box<dyn DynClient<M>>,
+    workload: Workload,
+    remaining: usize,
+}
+
+impl<M: Clone + Send + 'static> DrivenClient<M> {
+    fn pump(&mut self, out: &mut Actions<M, KvResponse>) {
+        if self.remaining > 0 && self.inner.idle() {
+            let op = self.workload.next_op();
+            self.remaining -= 1;
+            self.inner.submit_op(op, out);
+        }
+    }
+}
+
+impl<M: Clone + Send + 'static> ProtocolNode for DrivenClient<M> {
+    type Message = M;
+    type Response = KvResponse;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+    fn on_start(&mut self, out: &mut Actions<M, KvResponse>) {
+        self.inner.on_start(out);
+        self.pump(out);
+    }
+    fn on_message(&mut self, from: NodeId, msg: M, out: &mut Actions<M, KvResponse>) {
+        self.inner.on_message(from, msg, out);
+        self.pump(out);
+    }
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<M, KvResponse>) {
+        self.inner.on_timer(id, out);
+        self.pump(out);
+    }
+}
+
+/// The outcome of one simulated deployment.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Protocol display name.
+    pub protocol: &'static str,
+    /// Latency histograms grouped by client region.
+    pub per_region: Vec<Histogram>,
+    /// Region names (parallel to `per_region`).
+    pub region_names: Vec<&'static str>,
+    /// Requests that completed on the protocol's fast path.
+    pub fast: u64,
+    /// Requests that completed on a slow/committed path.
+    pub slow: u64,
+    /// Virtual time at the end of the run.
+    pub duration: Micros,
+    /// Completion timestamps (virtual) for throughput analysis.
+    completions: Vec<Micros>,
+}
+
+impl RunReport {
+    /// Total completed requests.
+    pub fn completed(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Mean latency in milliseconds for clients in `region`.
+    pub fn mean_latency_ms(&self, region: usize) -> f64 {
+        self.per_region[region].mean().as_millis_f64()
+    }
+
+    /// Fraction of requests that used the fast path.
+    pub fn fast_fraction(&self) -> f64 {
+        let total = self.fast + self.slow;
+        if total == 0 {
+            return 0.0;
+        }
+        self.fast as f64 / total as f64
+    }
+
+    /// Steady-state throughput (ops per virtual second), excluding the
+    /// first quarter of the run as warm-up.
+    pub fn throughput(&self) -> f64 {
+        if self.completions.len() < 4 {
+            return 0.0;
+        }
+        let start = self.completions[self.completions.len() / 4];
+        let end = *self.completions.last().expect("non-empty");
+        let window = end.saturating_sub(start).as_secs_f64();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        (self.completions.len() - self.completions.len() / 4 - 1) as f64 / window
+    }
+}
+
+/// Builds and runs one simulated deployment.
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    kind: ProtocolKind,
+    topology: Topology,
+    primary: ReplicaId,
+    clients_per_region: Vec<usize>,
+    requests_per_client: usize,
+    contention_pct: u32,
+    cost: Option<CostParams>,
+    seed: u64,
+    crypto: CryptoKind,
+    time_limit: Option<Micros>,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for `kind` with Experiment-1 defaults: exp1
+    /// topology, primary at Virginia, one client in Virginia, 10 requests,
+    /// zero contention, no cost model, null crypto (propagation-dominated
+    /// latency studies; correctness is covered by the MAC/HashSig tests).
+    pub fn new(kind: ProtocolKind) -> Self {
+        ClusterBuilder {
+            kind,
+            topology: Topology::exp1(),
+            primary: ReplicaId::new(0),
+            clients_per_region: vec![1, 0, 0, 0],
+            requests_per_client: 10,
+            contention_pct: 0,
+            cost: None,
+            seed: 0xE2BF,
+            crypto: CryptoKind::Null,
+            time_limit: None,
+        }
+    }
+
+    /// Sets the topology (one replica per region; the region count must
+    /// equal the cluster size).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Places the view-0 primary/leader (ignored by ezBFT).
+    pub fn primary(mut self, primary: ReplicaId) -> Self {
+        self.primary = primary;
+        self
+    }
+
+    /// Sets how many clients run in each region.
+    pub fn clients_per_region(mut self, counts: &[usize]) -> Self {
+        self.clients_per_region = counts.to_vec();
+        self
+    }
+
+    /// Sets the closed-loop request count per client.
+    pub fn requests_per_client(mut self, n: usize) -> Self {
+        self.requests_per_client = n;
+        self
+    }
+
+    /// Sets the contention percentage θ (paper §V).
+    pub fn contention_pct(mut self, pct: u32) -> Self {
+        self.contention_pct = pct;
+        self
+    }
+
+    /// Installs the server-side cost model (Figures 6 and 7).
+    pub fn cost_model(mut self, cost: CostParams) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// Sets the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the authentication provider.
+    pub fn crypto(mut self, crypto: CryptoKind) -> Self {
+        self.crypto = crypto;
+        self
+    }
+
+    /// Caps the run at a virtual-time budget instead of waiting for every
+    /// request (throughput runs).
+    pub fn time_limit(mut self, limit: Micros) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Runs the deployment to completion and collects the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's region count does not match the `3f + 1`
+    /// cluster size (the harness pins one replica per region).
+    pub fn run(self) -> RunReport {
+        match self.kind {
+            ProtocolKind::EzBft => self.run_family::<EzBftFamily>(),
+            ProtocolKind::Pbft => self.run_family::<PbftFamily>(),
+            ProtocolKind::Zyzzyva => self.run_family::<ZyzzyvaFamily>(),
+            ProtocolKind::Fab => self.run_family::<FabFamily>(),
+        }
+    }
+
+    fn run_family<F: ProtocolFamily>(self) -> RunReport {
+        let cluster = ClusterConfig::try_for_replicas(self.topology.len())
+            .expect("topology region count must be 3f + 1");
+        let setup = Setup { cluster, primary: self.primary };
+
+        // Enumerate nodes: replicas then clients (region-major).
+        let mut node_ids: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+        let mut client_regions: HashMap<NodeId, usize> = HashMap::new();
+        let mut next_client = 0u64;
+        let mut client_specs: Vec<(ClientId, usize)> = Vec::new();
+        for (region, &count) in self.clients_per_region.iter().enumerate() {
+            for _ in 0..count {
+                let id = ClientId::new(next_client);
+                next_client += 1;
+                node_ids.push(NodeId::Client(id));
+                client_regions.insert(NodeId::Client(id), region);
+                client_specs.push((id, region));
+            }
+        }
+        let mut stores = KeyStore::cluster(self.crypto, b"harness", &node_ids);
+        let client_stores = stores.split_off(cluster.n());
+
+        let sim_cfg = SimConfig {
+            seed: self.seed,
+            max_virtual_time: self.time_limit.unwrap_or(Micros::from_secs(3_600)),
+            ..Default::default()
+        };
+        let mut sim: SimNet<F::Msg, KvResponse> = SimNet::new(self.topology.clone(), sim_cfg);
+        if let Some(params) = self.cost {
+            sim.set_cost_fn(F::cost_fn(params));
+        }
+
+        for (i, rid) in cluster.replicas().enumerate() {
+            let replica = F::replica(setup, rid, stores.remove(0));
+            sim.add_node(Region(i), replica);
+        }
+        let wl_cfg = WorkloadConfig::with_contention_pct(self.contention_pct);
+        for (((id, region), keys), idx) in
+            client_specs.iter().zip(client_stores).zip(0u64..)
+        {
+            let nearest = ReplicaId::new(*region as u8);
+            let inner = F::client(setup, *id, keys, nearest);
+            let workload = Workload::new(wl_cfg, idx, self.seed);
+            sim.add_node(
+                Region(*region),
+                Box::new(DrivenClient { inner, workload, remaining: self.requests_per_client }),
+            );
+        }
+
+        let total: usize = self
+            .clients_per_region
+            .iter()
+            .sum::<usize>()
+            .saturating_mul(self.requests_per_client);
+        match self.time_limit {
+            Some(limit) => sim.run_until_time(limit),
+            None => sim.run_until_deliveries(total),
+        }
+
+        // Latency per region: closed-loop clients resubmit at the instant
+        // of delivery, so per-request latency is the gap between a client's
+        // consecutive completions (the first counts from time zero).
+        let mut per_region: Vec<Histogram> =
+            vec![Histogram::new(); self.topology.len()];
+        let mut last_completion: HashMap<NodeId, Micros> = HashMap::new();
+        let mut completions = Vec::with_capacity(sim.deliveries().len());
+        let mut fast = 0u64;
+        let mut slow = 0u64;
+        for d in sim.deliveries() {
+            let region = client_regions[&d.client];
+            let prev = last_completion.insert(d.client, d.at).unwrap_or(Micros::ZERO);
+            per_region[region].record(d.at.saturating_sub(prev));
+            completions.push(d.at);
+            if d.delivery.fast_path {
+                fast += 1;
+            } else {
+                slow += 1;
+            }
+        }
+
+        RunReport {
+            protocol: F::NAME,
+            per_region,
+            region_names: self.topology.regions().map(|r| self.topology.name(r)).collect(),
+            fast,
+            slow,
+            duration: sim.now(),
+            completions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_runs_every_protocol() {
+        for kind in [
+            ProtocolKind::EzBft,
+            ProtocolKind::Zyzzyva,
+            ProtocolKind::Pbft,
+            ProtocolKind::Fab,
+        ] {
+            let report = ClusterBuilder::new(kind).requests_per_client(3).run();
+            assert_eq!(report.completed(), 3, "{} did not complete", kind.name());
+            assert!(report.mean_latency_ms(0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn ezbft_fast_fraction_is_one_without_contention() {
+        let report = ClusterBuilder::new(ProtocolKind::EzBft)
+            .clients_per_region(&[1, 1, 1, 1])
+            .requests_per_client(5)
+            .run();
+        assert_eq!(report.completed(), 20);
+        assert!((report.fast_fraction() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn contention_reduces_fast_fraction() {
+        let report = ClusterBuilder::new(ProtocolKind::EzBft)
+            .clients_per_region(&[1, 1, 1, 1])
+            .requests_per_client(8)
+            .contention_pct(100)
+            .run();
+        assert_eq!(report.completed(), 32);
+        assert!(report.fast_fraction() < 0.5, "θ=100% must mostly take the slow path");
+    }
+
+    #[test]
+    fn time_limited_run_reports_throughput() {
+        let report = ClusterBuilder::new(ProtocolKind::Zyzzyva)
+            .clients_per_region(&[4, 0, 0, 0])
+            .requests_per_client(10_000)
+            .cost_model(CostParams::default())
+            .time_limit(Micros::from_secs(20))
+            .run();
+        assert!(report.completed() > 10);
+        assert!(report.throughput() > 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! **Figure 4**: average client latency per region, Experiment 1
+//! (Virginia, Japan, India, Australia; primaries in Virginia).
+//!
+//! Series: PBFT, FaB, Zyzzyva (primary US-East-1) and ezBFT at contention
+//! θ ∈ {0, 2, 50, 100}%.
+
+use ezbft_simnet::Topology;
+use ezbft_smr::ReplicaId;
+
+use crate::cluster::{ClusterBuilder, ProtocolKind};
+use crate::report::{ms, TextTable};
+
+/// One latency series: a label plus the mean latency per region (ms).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Display label (e.g. "ezBFT-50").
+    pub label: String,
+    /// Mean latency per region, ms.
+    pub latency_ms: Vec<f64>,
+}
+
+/// The Figure 4 data.
+#[derive(Clone, Debug)]
+pub struct Fig4Report {
+    /// Region names.
+    pub regions: Vec<&'static str>,
+    /// All series, in paper order.
+    pub series: Vec<Series>,
+}
+
+impl Fig4Report {
+    /// Renders the figure's data as a table.
+    pub fn render(&self) -> String {
+        let mut header = vec!["protocol"];
+        header.extend(self.regions.iter());
+        let mut t = TextTable::new(&header);
+        for s in &self.series {
+            let mut cells = vec![s.label.clone()];
+            cells.extend(s.latency_ms.iter().map(|v| ms(*v)));
+            t.row(cells);
+        }
+        format!(
+            "Figure 4: Experiment 1 mean latency (ms) per client region, primary = Virginia\n{}",
+            t.render()
+        )
+    }
+
+    /// Looks up a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+/// Runs the Figure 4 experiment.
+pub fn fig4(requests_per_client: usize) -> Fig4Report {
+    let topology = Topology::exp1();
+    let regions: Vec<&'static str> = topology.regions().map(|r| topology.name(r)).collect();
+    let n = regions.len();
+    let mut series = Vec::new();
+
+    for (kind, label) in [
+        (ProtocolKind::Pbft, "PBFT".to_string()),
+        (ProtocolKind::Fab, "FaB".to_string()),
+        (ProtocolKind::Zyzzyva, "Zyzzyva".to_string()),
+    ] {
+        let report = ClusterBuilder::new(kind)
+            .topology(topology.clone())
+            .primary(ReplicaId::new(0))
+            .clients_per_region(&vec![1; n])
+            .requests_per_client(requests_per_client)
+            .seed(40)
+            .run();
+        series.push(Series {
+            label,
+            latency_ms: (0..n).map(|r| report.mean_latency_ms(r)).collect(),
+        });
+    }
+
+    for theta in [0u32, 2, 50, 100] {
+        let report = ClusterBuilder::new(ProtocolKind::EzBft)
+            .topology(topology.clone())
+            .clients_per_region(&vec![1; n])
+            .requests_per_client(requests_per_client)
+            .contention_pct(theta)
+            .seed(41 + theta as u64)
+            .run();
+        series.push(Series {
+            label: format!("ezBFT-{theta}"),
+            latency_ms: (0..n).map(|r| report.mean_latency_ms(r)).collect(),
+        });
+    }
+
+    Fig4Report { regions, series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_holds() {
+        let report = fig4(6);
+        let pbft = report.series("PBFT").unwrap();
+        let fab = report.series("FaB").unwrap();
+        let zyzzyva = report.series("Zyzzyva").unwrap();
+        let ez0 = report.series("ezBFT-0").unwrap();
+        let ez100 = report.series("ezBFT-100").unwrap();
+
+        for region in 0..4 {
+            let name = report.regions[region];
+            // Step-count ordering among the primary-based protocols.
+            assert!(
+                pbft.latency_ms[region] > fab.latency_ms[region],
+                "{name}: PBFT ({:.0}) should exceed FaB ({:.0})",
+                pbft.latency_ms[region],
+                fab.latency_ms[region]
+            );
+            assert!(
+                fab.latency_ms[region] > zyzzyva.latency_ms[region],
+                "{name}: FaB should exceed Zyzzyva"
+            );
+            // ezBFT at zero contention is at least as good as Zyzzyva
+            // everywhere (equal in the primary's region).
+            assert!(
+                ez0.latency_ms[region] <= zyzzyva.latency_ms[region] + 10.0,
+                "{name}: ezBFT-0 ({:.0}) should not exceed Zyzzyva ({:.0})",
+                ez0.latency_ms[region],
+                zyzzyva.latency_ms[region]
+            );
+        }
+        // In non-primary regions ezBFT wins clearly (paper: up to 40%).
+        let japan_gain =
+            1.0 - ez0.latency_ms[1] / zyzzyva.latency_ms[1];
+        assert!(
+            japan_gain > 0.2,
+            "Japan should gain >20% over Zyzzyva, got {:.0}%",
+            japan_gain * 100.0
+        );
+        // At θ=100% ezBFT degrades towards PBFT territory.
+        for region in 0..4 {
+            assert!(
+                ez100.latency_ms[region] > ez0.latency_ms[region],
+                "contention must cost latency in {}",
+                report.regions[region]
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! **Figure 7**: peak server-side throughput.
+//!
+//! "We co-located ten clients with the primary replica in US-East-1 …
+//! clients send requests in an open-loop … The requests consist of an
+//! 8-byte key and a 16-byte value … The contention was set to 0%, and no
+//! batching was done."
+//!
+//! Open-loop injection is emulated with a pool of closed-loop virtual
+//! clients large enough to saturate the bottleneck server (the paper's ten
+//! open-loop senders keep many requests in flight; N closed-loop clients
+//! keep exactly N in flight — the saturation throughput is the same, see
+//! EXPERIMENTS.md).
+
+use ezbft_simnet::Topology;
+use ezbft_smr::{Micros, ReplicaId};
+
+use crate::cluster::{ClusterBuilder, ProtocolKind};
+use crate::cost::CostParams;
+use crate::report::TextTable;
+
+/// One throughput bar.
+#[derive(Clone, Debug)]
+pub struct Bar {
+    /// Display label.
+    pub label: String,
+    /// Steady-state ops per (virtual) second.
+    pub ops_per_sec: f64,
+}
+
+/// The Figure 7 data.
+#[derive(Clone, Debug)]
+pub struct Fig7Report {
+    /// All bars, in paper order.
+    pub bars: Vec<Bar>,
+}
+
+impl Fig7Report {
+    /// Renders the figure's data.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["protocol", "ops/s"]);
+        for bar in &self.bars {
+            t.row(vec![bar.label.clone(), format!("{:.0}", bar.ops_per_sec)]);
+        }
+        format!("Figure 7: peak throughput (no batching, θ = 0%)\n{}", t.render())
+    }
+
+    /// Looks up a bar by label.
+    pub fn bar(&self, label: &str) -> Option<&Bar> {
+        self.bars.iter().find(|b| b.label == label)
+    }
+}
+
+/// Runs the Figure 7 experiment with `virtual_clients` emulating the
+/// open-loop senders and a virtual-time budget per bar.
+pub fn fig7(virtual_clients: usize, budget: Micros) -> Fig7Report {
+    let topology = Topology::exp1();
+    let cost = CostParams::default();
+    let mut bars = Vec::new();
+
+    // Single-leader protocols + ezBFT, all clients in US-East-1.
+    for (kind, label) in [
+        (ProtocolKind::Pbft, "PBFT (US)"),
+        (ProtocolKind::Fab, "FaB (US)"),
+        (ProtocolKind::Zyzzyva, "Zyzzyva (US)"),
+        (ProtocolKind::EzBft, "ezBFT"),
+    ] {
+        let report = ClusterBuilder::new(kind)
+            .topology(topology.clone())
+            .primary(ReplicaId::new(0))
+            .clients_per_region(&[virtual_clients, 0, 0, 0])
+            .requests_per_client(usize::MAX / 2)
+            .cost_model(cost)
+            .time_limit(budget)
+            .seed(70)
+            .run();
+        bars.push(Bar { label: label.to_string(), ops_per_sec: report.throughput() });
+    }
+
+    // ezBFT with clients in every region: all replicas lead. Each region
+    // hosts a full saturating pool — peak throughput measures server
+    // capacity, so every bottleneck must be offered enough load (the
+    // US-only configurations saturate their single leader the same way).
+    let report = ClusterBuilder::new(ProtocolKind::EzBft)
+        .topology(topology.clone())
+        .clients_per_region(&vec![virtual_clients; topology.len()])
+        .requests_per_client(usize::MAX / 2)
+        .cost_model(cost)
+        .time_limit(budget)
+        .seed(71)
+        .run();
+    bars.push(Bar {
+        label: "ezBFT (All Regions)".to_string(),
+        ops_per_sec: report.throughput(),
+    });
+
+    Fig7Report { bars }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_ranking_matches_paper() {
+        // 150 closed-loop clients offer ≫ capacity for every protocol
+        // (saturation needs clients ≥ capacity × RTT; PBFT's ~330ms RTT is
+        // the binding constraint).
+        let report = fig7(150, Micros::from_secs(6));
+        let pbft = report.bar("PBFT (US)").unwrap().ops_per_sec;
+        let fab = report.bar("FaB (US)").unwrap().ops_per_sec;
+        let zyz = report.bar("Zyzzyva (US)").unwrap().ops_per_sec;
+        let ez = report.bar("ezBFT").unwrap().ops_per_sec;
+        let ez_all = report.bar("ezBFT (All Regions)").unwrap().ops_per_sec;
+
+        assert!(pbft > 50.0, "PBFT throughput sanity: {pbft:.0}");
+        // Paper ordering: PBFT lowest; Zyzzyva above FaB; ezBFT at par or
+        // slightly better than the others with US-only clients.
+        assert!(zyz > pbft, "Zyzzyva ({zyz:.0}) should beat PBFT ({pbft:.0})");
+        assert!(fab > pbft, "FaB ({fab:.0}) should beat PBFT ({pbft:.0})");
+        assert!(ez > 0.9 * zyz, "ezBFT ({ez:.0}) at par with Zyzzyva ({zyz:.0})");
+        // The headline: spreading clients multiplies ezBFT's throughput
+        // (paper: "as much as four times"; our recv-only cost model yields
+        // ≈3×, see EXPERIMENTS.md).
+        assert!(
+            ez_all > 2.5 * ez,
+            "all-regions ezBFT ({ez_all:.0}) should far exceed US-only ({ez:.0})"
+        );
+    }
+}

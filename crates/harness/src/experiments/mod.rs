@@ -1,0 +1,21 @@
+//! One module per table/figure of the paper's evaluation (§V).
+//!
+//! Every experiment returns a typed report with a `render()` method that
+//! prints the same rows/series the paper reports; `EXPERIMENTS.md` records
+//! the paper-vs-measured comparison.
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod table2;
+
+pub use ablation::{ablation, AblationReport};
+pub use fig4::{fig4, Fig4Report};
+pub use fig5::{fig5a, fig5b, Fig5aReport, Fig5bReport};
+pub use fig6::{fig6, Fig6Report};
+pub use fig7::{fig7, Fig7Report};
+pub use table1::{table1, Table1Report};
+pub use table2::{table2, Table2Report};

@@ -1,0 +1,120 @@
+//! **Table II**: the static protocol-property comparison, generated from
+//! the per-crate property constants so the table cannot drift from the
+//! implementations.
+
+use crate::report::TextTable;
+
+/// One protocol's row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PropertyRow {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Resilience bound.
+    pub resilience: &'static str,
+    /// Best-case communication steps (client-inclusive).
+    pub best_case_steps: u32,
+    /// Extra slow-path steps.
+    pub slow_path_extra: u32,
+    /// Leadership structure.
+    pub leader: &'static str,
+}
+
+/// The Table II data.
+#[derive(Clone, Debug)]
+pub struct Table2Report {
+    /// One row per protocol, in paper order.
+    pub rows: Vec<PropertyRow>,
+}
+
+impl Table2Report {
+    /// Renders the paper-shaped table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "protocol",
+            "resilience",
+            "best-case steps",
+            "slow-path extra",
+            "leader",
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.protocol.to_string(),
+                row.resilience.to_string(),
+                row.best_case_steps.to_string(),
+                row.slow_path_extra.to_string(),
+                row.leader.to_string(),
+            ]);
+        }
+        format!("Table II: protocol comparison\n{}", t.render())
+    }
+}
+
+/// ezBFT's own property constants (the other protocols export theirs from
+/// their crates).
+pub mod ezbft_properties {
+    /// Resilience: f < n/3.
+    pub const RESILIENCE: &str = "f < n/3";
+    /// Best-case communication steps (client-inclusive).
+    pub const BEST_CASE_STEPS: u32 = 3;
+    /// Extra steps on the slow path.
+    pub const SLOW_PATH_EXTRA_STEPS: u32 = 2;
+    /// Leadership structure.
+    pub const LEADER: &'static str = "leaderless";
+}
+
+/// Builds Table II.
+pub fn table2() -> Table2Report {
+    Table2Report {
+        rows: vec![
+            PropertyRow {
+                protocol: "PBFT",
+                resilience: ezbft_pbft::properties::RESILIENCE,
+                best_case_steps: ezbft_pbft::properties::BEST_CASE_STEPS,
+                slow_path_extra: ezbft_pbft::properties::SLOW_PATH_EXTRA_STEPS,
+                leader: ezbft_pbft::properties::LEADER,
+            },
+            PropertyRow {
+                protocol: "FaB",
+                resilience: ezbft_fab::properties::RESILIENCE,
+                best_case_steps: ezbft_fab::properties::BEST_CASE_STEPS,
+                slow_path_extra: ezbft_fab::properties::SLOW_PATH_EXTRA_STEPS,
+                leader: ezbft_fab::properties::LEADER,
+            },
+            PropertyRow {
+                protocol: "Zyzzyva",
+                resilience: ezbft_zyzzyva::properties::RESILIENCE,
+                best_case_steps: ezbft_zyzzyva::properties::BEST_CASE_STEPS,
+                slow_path_extra: ezbft_zyzzyva::properties::SLOW_PATH_EXTRA_STEPS,
+                leader: ezbft_zyzzyva::properties::LEADER,
+            },
+            PropertyRow {
+                protocol: "ezBFT",
+                resilience: ezbft_properties::RESILIENCE,
+                best_case_steps: ezbft_properties::BEST_CASE_STEPS,
+                slow_path_extra: ezbft_properties::SLOW_PATH_EXTRA_STEPS,
+                leader: ezbft_properties::LEADER,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table2() {
+        let t = table2();
+        let get = |name: &str| t.rows.iter().find(|r| r.protocol == name).unwrap();
+        assert_eq!(get("PBFT").best_case_steps, 5);
+        assert_eq!(get("Zyzzyva").best_case_steps, 3);
+        assert_eq!(get("ezBFT").best_case_steps, 3);
+        assert_eq!(get("ezBFT").slow_path_extra, 2);
+        assert_eq!(get("ezBFT").leader, "leaderless");
+        assert_eq!(get("Zyzzyva").leader, "single");
+        for row in &t.rows {
+            assert_eq!(row.resilience, "f < n/3");
+        }
+        assert!(t.render().contains("leaderless"));
+    }
+}

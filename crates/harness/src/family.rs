@@ -1,0 +1,224 @@
+//! Protocol families: a uniform constructor/cost interface over ezBFT and
+//! the three baselines, all replicating the KV store.
+
+use ezbft_crypto::KeyStore;
+use ezbft_kv::{KvOp, KvResponse, KvStore};
+use ezbft_smr::{
+    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
+};
+
+use crate::cost::{CostBucket, CostParams};
+
+/// Everything a family needs to instantiate nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct Setup {
+    /// The cluster.
+    pub cluster: ClusterConfig,
+    /// Primary/leader of view 0 (ignored by the leaderless family).
+    pub primary: ReplicaId,
+}
+
+/// Object-safe client interface used by the workload driver.
+pub trait DynClient<M>: ProtocolNode<Message = M, Response = KvResponse> {
+    /// Submits one KV operation.
+    fn submit_op(&mut self, op: KvOp, out: &mut Actions<M, KvResponse>);
+    /// Whether a request is in flight.
+    fn idle(&self) -> bool;
+}
+
+impl<M, T> DynClient<M> for T
+where
+    T: ClientNode<Message = M, Response = KvResponse, Command = KvOp>,
+{
+    fn submit_op(&mut self, op: KvOp, out: &mut Actions<M, KvResponse>) {
+        self.submit(op, out);
+    }
+    fn idle(&self) -> bool {
+        !self.in_flight()
+    }
+}
+
+/// A protocol family: replica/client constructors plus the cost
+/// classification of its messages.
+pub trait ProtocolFamily: 'static {
+    /// Display name (reports).
+    const NAME: &'static str;
+    /// The wire message type.
+    type Msg: Clone + Send + 'static;
+
+    /// Builds a replica node.
+    fn replica(
+        setup: Setup,
+        id: ReplicaId,
+        keys: KeyStore,
+    ) -> Box<dyn ProtocolNode<Message = Self::Msg, Response = KvResponse>>;
+
+    /// Builds a client node; `nearest` is the replica co-located with the
+    /// client (used by the leaderless family).
+    fn client(setup: Setup, id: ClientId, keys: KeyStore, nearest: ReplicaId)
+        -> Box<dyn DynClient<Self::Msg>>;
+
+    /// Classifies a message for the cost model.
+    fn cost_bucket(msg: &Self::Msg) -> CostBucket;
+
+    /// Cost-model closure for the simulator.
+    fn cost_fn(params: CostParams) -> impl FnMut(NodeId, &Self::Msg) -> Micros + Send + 'static {
+        move |node, msg| params.for_node(node, Self::cost_bucket(msg))
+    }
+}
+
+/// The ezBFT family (leaderless: clients talk to their nearest replica).
+#[derive(Debug)]
+pub struct EzBftFamily;
+
+impl ProtocolFamily for EzBftFamily {
+    const NAME: &'static str = "ezBFT";
+    type Msg = ezbft_core::Msg<KvOp, KvResponse>;
+
+    fn replica(
+        setup: Setup,
+        id: ReplicaId,
+        keys: KeyStore,
+    ) -> Box<dyn ProtocolNode<Message = Self::Msg, Response = KvResponse>> {
+        let cfg = ezbft_core::EzConfig::new(setup.cluster);
+        Box::new(ezbft_core::Replica::new(id, cfg, keys, KvStore::new()))
+    }
+
+    fn client(
+        setup: Setup,
+        id: ClientId,
+        keys: KeyStore,
+        nearest: ReplicaId,
+    ) -> Box<dyn DynClient<Self::Msg>> {
+        let cfg = ezbft_core::EzConfig::new(setup.cluster);
+        Box::new(ezbft_core::Client::<KvOp, KvResponse>::new(id, cfg, keys, nearest))
+    }
+
+    fn cost_bucket(msg: &Self::Msg) -> CostBucket {
+        use ezbft_core::Msg as M;
+        match msg {
+            M::Request(_) | M::ResendReq(_) => CostBucket::Order,
+            M::SpecOrder(_) => CostBucket::Follow,
+            M::CommitFast(_) | M::Commit(_) => CostBucket::Commit,
+            M::SpecReply(_) | M::CommitReply(_) => CostBucket::Free,
+            _ => CostBucket::Other,
+        }
+    }
+}
+
+/// The PBFT family.
+#[derive(Debug)]
+pub struct PbftFamily;
+
+impl ProtocolFamily for PbftFamily {
+    const NAME: &'static str = "PBFT";
+    type Msg = ezbft_pbft::Msg<KvOp, KvResponse>;
+
+    fn replica(
+        setup: Setup,
+        id: ReplicaId,
+        keys: KeyStore,
+    ) -> Box<dyn ProtocolNode<Message = Self::Msg, Response = KvResponse>> {
+        let cfg = ezbft_pbft::PbftConfig::new(setup.cluster, setup.primary);
+        Box::new(ezbft_pbft::PbftReplica::new(id, cfg, keys, KvStore::new()))
+    }
+
+    fn client(
+        setup: Setup,
+        id: ClientId,
+        keys: KeyStore,
+        _nearest: ReplicaId,
+    ) -> Box<dyn DynClient<Self::Msg>> {
+        let cfg = ezbft_pbft::PbftConfig::new(setup.cluster, setup.primary);
+        Box::new(ezbft_pbft::PbftClient::<KvOp, KvResponse>::new(id, cfg, keys))
+    }
+
+    fn cost_bucket(msg: &Self::Msg) -> CostBucket {
+        use ezbft_pbft::Msg as M;
+        match msg {
+            M::Request(_) | M::RequestBroadcast(_) => CostBucket::Order,
+            M::PrePrepare(_) => CostBucket::Follow,
+            M::Prepare(_) | M::Commit(_) => CostBucket::Commit,
+            M::Reply(_) => CostBucket::Free,
+            _ => CostBucket::Other,
+        }
+    }
+}
+
+/// The Zyzzyva family.
+#[derive(Debug)]
+pub struct ZyzzyvaFamily;
+
+impl ProtocolFamily for ZyzzyvaFamily {
+    const NAME: &'static str = "Zyzzyva";
+    type Msg = ezbft_zyzzyva::Msg<KvOp, KvResponse>;
+
+    fn replica(
+        setup: Setup,
+        id: ReplicaId,
+        keys: KeyStore,
+    ) -> Box<dyn ProtocolNode<Message = Self::Msg, Response = KvResponse>> {
+        let cfg = ezbft_zyzzyva::ZyzzyvaConfig::new(setup.cluster, setup.primary);
+        Box::new(ezbft_zyzzyva::ZyzzyvaReplica::new(id, cfg, keys, KvStore::new()))
+    }
+
+    fn client(
+        setup: Setup,
+        id: ClientId,
+        keys: KeyStore,
+        _nearest: ReplicaId,
+    ) -> Box<dyn DynClient<Self::Msg>> {
+        let cfg = ezbft_zyzzyva::ZyzzyvaConfig::new(setup.cluster, setup.primary);
+        Box::new(ezbft_zyzzyva::ZyzzyvaClient::<KvOp, KvResponse>::new(id, cfg, keys))
+    }
+
+    fn cost_bucket(msg: &Self::Msg) -> CostBucket {
+        use ezbft_zyzzyva::Msg as M;
+        match msg {
+            M::Request(_) | M::RequestBroadcast(_) => CostBucket::Order,
+            M::OrderReq(_) => CostBucket::Follow,
+            M::Commit(_) => CostBucket::Commit,
+            M::SpecResponse(_) | M::LocalCommit(_) => CostBucket::Free,
+            _ => CostBucket::Other,
+        }
+    }
+}
+
+/// The FaB family.
+#[derive(Debug)]
+pub struct FabFamily;
+
+impl ProtocolFamily for FabFamily {
+    const NAME: &'static str = "FaB";
+    type Msg = ezbft_fab::Msg<KvOp, KvResponse>;
+
+    fn replica(
+        setup: Setup,
+        id: ReplicaId,
+        keys: KeyStore,
+    ) -> Box<dyn ProtocolNode<Message = Self::Msg, Response = KvResponse>> {
+        let cfg = ezbft_fab::FabConfig::new(setup.cluster, setup.primary);
+        Box::new(ezbft_fab::FabReplica::new(id, cfg, keys, KvStore::new()))
+    }
+
+    fn client(
+        setup: Setup,
+        id: ClientId,
+        keys: KeyStore,
+        _nearest: ReplicaId,
+    ) -> Box<dyn DynClient<Self::Msg>> {
+        let cfg = ezbft_fab::FabConfig::new(setup.cluster, setup.primary);
+        Box::new(ezbft_fab::FabClient::<KvOp, KvResponse>::new(id, cfg, keys))
+    }
+
+    fn cost_bucket(msg: &Self::Msg) -> CostBucket {
+        use ezbft_fab::Msg as M;
+        match msg {
+            M::Request(_) | M::RequestBroadcast(_) => CostBucket::Order,
+            M::Propose(_) => CostBucket::Follow,
+            M::Accept(_) => CostBucket::Commit,
+            M::Reply(_) => CostBucket::Free,
+            _ => CostBucket::Other,
+        }
+    }
+}

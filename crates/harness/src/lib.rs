@@ -1,0 +1,28 @@
+//! # ezbft-harness — the experiment harness
+//!
+//! Reproduces every table and figure of the ezBFT paper's evaluation (§V)
+//! over the calibrated WAN simulator:
+//!
+//! | Module | Paper result |
+//! |---|---|
+//! | [`experiments::table1`] | Table I — Zyzzyva latency vs primary placement |
+//! | [`experiments::fig4`]   | Fig. 4 — Experiment 1 latencies (4 protocols, 4 contention levels) |
+//! | [`experiments::fig5`]   | Fig. 5a/5b — Experiment 2 latencies and primary-placement sweep |
+//! | [`experiments::fig6`]   | Fig. 6 — latency vs connected clients (1–100 per region) |
+//! | [`experiments::fig7`]   | Fig. 7 — peak server-side throughput |
+//! | [`experiments::table2`] | Table II — protocol property comparison |
+//!
+//! The building blocks ([`cluster::ClusterBuilder`], [`family`], [`cost`])
+//! are public so downstream users can script their own deployments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod cluster;
+pub mod cost;
+pub mod experiments;
+pub mod family;
+pub mod report;
+
+pub use cluster::{ClusterBuilder, ProtocolKind, RunReport};
+pub use cost::CostParams;

@@ -1,0 +1,178 @@
+//! KV commands, responses and the interference relation.
+
+use serde::{Deserialize, Serialize};
+
+use ezbft_smr::{Command, ConflictKey};
+
+/// A key in the store. The paper's workload uses 8-byte keys, which map
+/// exactly onto a `u64`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Key(pub u64);
+
+impl From<u64> for Key {
+    fn from(k: u64) -> Self {
+        Key(k)
+    }
+}
+
+/// A value in the store. The paper's workload uses 16-byte values.
+pub type Value = Vec<u8>;
+
+/// One key-value operation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum KvOp {
+    /// Read a key.
+    Get {
+        /// The key to read.
+        key: Key,
+    },
+    /// Write a value, returning nothing.
+    Put {
+        /// The key to write.
+        key: Key,
+        /// The value to store.
+        value: Value,
+    },
+    /// Delete a key, returning whether it existed.
+    Del {
+        /// The key to delete.
+        key: Key,
+    },
+    /// Compare-and-swap: store `new` iff the current value equals `expect`
+    /// (`None` = key absent). Returns whether the swap happened.
+    Cas {
+        /// The key to update.
+        key: Key,
+        /// Expected current value.
+        expect: Option<Value>,
+        /// Replacement value.
+        new: Value,
+    },
+    /// Add `by` to the numeric value at `key` and return the new value.
+    /// Order-sensitive only through its return value — see [`KvOp::Bump`]
+    /// for the commuting variant.
+    Incr {
+        /// The counter key.
+        key: Key,
+        /// The addend.
+        by: u64,
+    },
+    /// Blind increment: adds `by` and returns nothing, so two `Bump`s on
+    /// the same key commute (the paper's "commutative mutative operation").
+    Bump {
+        /// The counter key.
+        key: Key,
+        /// The addend.
+        by: u64,
+    },
+    /// Does nothing and touches nothing; never interferes. Useful for
+    /// no-contention baselines and tests.
+    Noop,
+}
+
+impl KvOp {
+    /// The key this operation touches, if any.
+    pub fn key(&self) -> Option<Key> {
+        match self {
+            KvOp::Get { key }
+            | KvOp::Put { key, .. }
+            | KvOp::Del { key }
+            | KvOp::Cas { key, .. }
+            | KvOp::Incr { key, .. }
+            | KvOp::Bump { key, .. } => Some(*key),
+            KvOp::Noop => None,
+        }
+    }
+
+    /// Whether the operation can change state.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, KvOp::Get { .. } | KvOp::Noop)
+    }
+}
+
+impl Command for KvOp {
+    fn conflict_keys(&self) -> Vec<ConflictKey> {
+        match self {
+            KvOp::Get { key } => vec![ConflictKey::read(key.0)],
+            KvOp::Put { key, .. } | KvOp::Del { key } | KvOp::Cas { key, .. } => {
+                vec![ConflictKey::write(key.0)]
+            }
+            // Incr returns the post-increment value, so its *response*
+            // depends on ordering: treat as a plain write.
+            KvOp::Incr { key, .. } => vec![ConflictKey::write(key.0)],
+            KvOp::Bump { key, .. } => vec![ConflictKey::commuting_write(key.0)],
+            KvOp::Noop => Vec::new(),
+        }
+    }
+}
+
+/// Response to a [`KvOp`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum KvResponse {
+    /// Result of a `Get` (or `Del`, reporting the removed value).
+    Value(Option<Value>),
+    /// A write completed with nothing to report.
+    Ok,
+    /// Result of a `Cas`: whether the swap happened.
+    Swapped(bool),
+    /// Result of an `Incr`: the post-increment value.
+    Counter(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_do_not_interfere() {
+        let a = KvOp::Get { key: Key(1) };
+        let b = KvOp::Get { key: Key(1) };
+        assert!(!a.interferes(&b));
+    }
+
+    #[test]
+    fn writes_on_same_key_interfere() {
+        let a = KvOp::Put { key: Key(1), value: vec![1] };
+        let b = KvOp::Get { key: Key(1) };
+        let c = KvOp::Del { key: Key(1) };
+        assert!(a.interferes(&b));
+        assert!(a.interferes(&c));
+        assert!(b.interferes(&c));
+    }
+
+    #[test]
+    fn different_keys_never_interfere() {
+        let a = KvOp::Put { key: Key(1), value: vec![] };
+        let b = KvOp::Put { key: Key(2), value: vec![] };
+        assert!(!a.interferes(&b));
+    }
+
+    #[test]
+    fn bumps_commute_incrs_do_not() {
+        let a = KvOp::Bump { key: Key(1), by: 1 };
+        let b = KvOp::Bump { key: Key(1), by: 2 };
+        assert!(!a.interferes(&b));
+        let c = KvOp::Incr { key: Key(1), by: 1 };
+        assert!(c.interferes(&c.clone()));
+        assert!(a.interferes(&c)); // bump vs incr: incr reads the total
+    }
+
+    #[test]
+    fn noop_is_inert() {
+        let n = KvOp::Noop;
+        assert!(!n.interferes(&KvOp::Put { key: Key(1), value: vec![] }));
+        assert!(!n.interferes(&n.clone()));
+        assert_eq!(n.key(), None);
+        assert!(!n.is_write());
+    }
+
+    #[test]
+    fn key_and_is_write_projections() {
+        assert_eq!(KvOp::Get { key: Key(9) }.key(), Some(Key(9)));
+        assert!(KvOp::Cas { key: Key(1), expect: None, new: vec![] }.is_write());
+        assert!(!KvOp::Get { key: Key(1) }.is_write());
+        assert!(KvOp::Bump { key: Key(1), by: 1 }.is_write());
+    }
+}

@@ -1,0 +1,27 @@
+//! The replicated key-value store used by the paper's evaluation (§V).
+//!
+//! The paper's workload stores 8-byte keys and 16-byte values; contention θ
+//! is the fraction of requests that target one shared key while the rest
+//! target the issuing client's private keyspace. This crate provides:
+//!
+//! - [`KvStore`]: the deterministic state machine;
+//! - [`KvOp`]/[`KvResponse`]: the command set with its interference relation
+//!   (reads commute; writes to the same key interfere; blind increments
+//!   commute with each other, matching the paper's remark that "mutative
+//!   operations (such as incrementing a variable) are commutative", §VI);
+//! - [`SpecKvStore`]: an undo-free speculative overlay equivalent to the
+//!   generic clone-replay engine but with O(1) reads/writes;
+//! - [`Workload`]: the contention-θ request generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cmd;
+mod spec;
+mod store;
+mod workload;
+
+pub use cmd::{Key, KvOp, KvResponse, Value};
+pub use spec::SpecKvStore;
+pub use store::KvStore;
+pub use workload::{Workload, WorkloadConfig};

@@ -1,0 +1,232 @@
+//! An efficient speculative overlay over [`KvStore`].
+//!
+//! Semantically identical to [`ezbft_smr::CloneReplay<KvStore>`] (the
+//! property tests below compare against it as an oracle), but speculative
+//! reads and writes are O(1): speculative state is represented as a sparse
+//! overlay map of `key → Option<Value>` on top of the final store, rebuilt
+//! only when an invalidation or out-of-order finalisation occurs.
+
+use std::collections::HashMap;
+
+use ezbft_smr::Application as _;
+
+use crate::cmd::{Key, KvOp, KvResponse, Value};
+use crate::store::KvStore;
+
+/// Speculative execution engine for the KV store.
+#[derive(Clone, Debug, Default)]
+pub struct SpecKvStore {
+    final_store: KvStore,
+    /// `key → Some(v)` = speculative value; `key → None` = speculatively
+    /// deleted.
+    overlay: HashMap<Key, Option<Value>>,
+    /// Speculative commands in local execution order, keyed by caller tag.
+    spec_log: Vec<(u128, KvOp)>,
+}
+
+impl SpecKvStore {
+    /// Wraps an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing final state.
+    pub fn from_store(store: KvStore) -> Self {
+        SpecKvStore { final_store: store, overlay: HashMap::new(), spec_log: Vec::new() }
+    }
+
+    /// Read-only access to the final state.
+    pub fn final_store(&self) -> &KvStore {
+        &self.final_store
+    }
+
+    /// Number of outstanding speculative commands.
+    pub fn spec_len(&self) -> usize {
+        self.spec_log.len()
+    }
+
+    /// Current speculative view of `key`.
+    pub fn spec_get(&self, key: Key) -> Option<Value> {
+        match self.overlay.get(&key) {
+            Some(v) => v.clone(),
+            None => self.final_store.get(key).cloned(),
+        }
+    }
+
+    fn spec_numeric(&self, key: Key) -> u64 {
+        self.spec_get(key)
+            .map(|v| {
+                let mut bytes = [0u8; 8];
+                let n = v.len().min(8);
+                bytes[..n].copy_from_slice(&v[..n]);
+                u64::from_le_bytes(bytes)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Executes `cmd` against the overlay, recording it under `tag`.
+    pub fn spec_apply(&mut self, tag: u128, cmd: &KvOp) -> KvResponse {
+        self.spec_log.push((tag, cmd.clone()));
+        self.apply_to_overlay(cmd)
+    }
+
+    fn apply_to_overlay(&mut self, cmd: &KvOp) -> KvResponse {
+        match cmd {
+            KvOp::Get { key } => KvResponse::Value(self.spec_get(*key)),
+            KvOp::Put { key, value } => {
+                self.overlay.insert(*key, Some(value.clone()));
+                KvResponse::Ok
+            }
+            KvOp::Del { key } => {
+                let old = self.spec_get(*key);
+                self.overlay.insert(*key, None);
+                KvResponse::Value(old)
+            }
+            KvOp::Cas { key, expect, new } => {
+                if self.spec_get(*key) == *expect {
+                    self.overlay.insert(*key, Some(new.clone()));
+                    KvResponse::Swapped(true)
+                } else {
+                    KvResponse::Swapped(false)
+                }
+            }
+            KvOp::Incr { key, by } => {
+                let next = self.spec_numeric(*key).wrapping_add(*by);
+                self.overlay.insert(*key, Some(next.to_le_bytes().to_vec()));
+                KvResponse::Counter(next)
+            }
+            KvOp::Bump { key, by } => {
+                let next = self.spec_numeric(*key).wrapping_add(*by);
+                self.overlay.insert(*key, Some(next.to_le_bytes().to_vec()));
+                KvResponse::Ok
+            }
+            KvOp::Noop => KvResponse::Ok,
+        }
+    }
+
+    /// Executes `cmd` on the **final** state. If `tag` heads the speculative
+    /// log (the common, in-order case) the overlay is kept as is; otherwise
+    /// the overlay is rebuilt from the surviving speculative suffix.
+    pub fn final_apply(&mut self, tag: u128, cmd: &KvOp) -> KvResponse {
+        let resp = self.final_store.apply(cmd);
+        if self.spec_log.first().map(|(t, _)| *t) == Some(tag) {
+            self.spec_log.remove(0);
+            if self.spec_log.is_empty() {
+                self.overlay.clear();
+            }
+            // Overlay still shadows the final store correctly: the final
+            // store just advanced by the exact command the overlay already
+            // accounted for first.
+        } else {
+            let had = self.spec_log.iter().any(|(t, _)| *t == tag);
+            if had {
+                self.spec_log.retain(|(t, _)| *t != tag);
+            }
+            self.rebuild();
+        }
+        resp
+    }
+
+    /// Discards the speculative execution tagged `tag`, if present.
+    pub fn invalidate(&mut self, tag: u128) {
+        let before = self.spec_log.len();
+        self.spec_log.retain(|(t, _)| *t != tag);
+        if self.spec_log.len() != before {
+            self.rebuild();
+        }
+    }
+
+    /// Discards all speculative state.
+    pub fn invalidate_all(&mut self) {
+        self.spec_log.clear();
+        self.overlay.clear();
+    }
+
+    fn rebuild(&mut self) {
+        self.overlay.clear();
+        let log = std::mem::take(&mut self.spec_log);
+        for (_, cmd) in &log {
+            self.apply_to_overlay(cmd);
+        }
+        self.spec_log = log;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_reads_see_spec_writes() {
+        let mut s = SpecKvStore::new();
+        s.spec_apply(1, &KvOp::Put { key: Key(1), value: vec![7] });
+        assert_eq!(
+            s.spec_apply(2, &KvOp::Get { key: Key(1) }),
+            KvResponse::Value(Some(vec![7]))
+        );
+        // Final store untouched.
+        assert_eq!(s.final_store().get(Key(1)), None);
+    }
+
+    #[test]
+    fn in_order_finalisation_is_cheap_and_correct() {
+        let mut s = SpecKvStore::new();
+        s.spec_apply(1, &KvOp::Put { key: Key(1), value: vec![1] });
+        s.spec_apply(2, &KvOp::Incr { key: Key(2), by: 5 });
+        assert_eq!(
+            s.final_apply(1, &KvOp::Put { key: Key(1), value: vec![1] }),
+            KvResponse::Ok
+        );
+        assert_eq!(
+            s.final_apply(2, &KvOp::Incr { key: Key(2), by: 5 }),
+            KvResponse::Counter(5)
+        );
+        assert_eq!(s.spec_len(), 0);
+        assert_eq!(s.spec_get(Key(1)), Some(vec![1]));
+    }
+
+    #[test]
+    fn out_of_order_finalisation_rebuilds() {
+        let mut s = SpecKvStore::new();
+        s.spec_apply(1, &KvOp::Incr { key: Key(1), by: 1 }); // spec: 1
+        s.spec_apply(2, &KvOp::Incr { key: Key(1), by: 10 }); // spec: 11
+        // Final order is 2 then 1.
+        assert_eq!(
+            s.final_apply(2, &KvOp::Incr { key: Key(1), by: 10 }),
+            KvResponse::Counter(10)
+        );
+        // Speculative view = final(10) + replay of tag 1 → 11.
+        assert_eq!(s.spec_get(Key(1)), Some(11u64.to_le_bytes().to_vec()));
+        assert_eq!(
+            s.final_apply(1, &KvOp::Incr { key: Key(1), by: 1 }),
+            KvResponse::Counter(11)
+        );
+    }
+
+    #[test]
+    fn invalidate_discards_spec_effects() {
+        let mut s = SpecKvStore::new();
+        s.spec_apply(1, &KvOp::Put { key: Key(1), value: vec![1] });
+        s.spec_apply(2, &KvOp::Put { key: Key(2), value: vec![2] });
+        s.invalidate(1);
+        assert_eq!(s.spec_get(Key(1)), None);
+        assert_eq!(s.spec_get(Key(2)), Some(vec![2]));
+        s.invalidate_all();
+        assert_eq!(s.spec_get(Key(2)), None);
+        assert_eq!(s.spec_len(), 0);
+    }
+
+    #[test]
+    fn spec_delete_shadows_final_value() {
+        let mut base = KvStore::new();
+        base.apply(&KvOp::Put { key: Key(1), value: vec![9] });
+        let mut s = SpecKvStore::from_store(base);
+        assert_eq!(
+            s.spec_apply(1, &KvOp::Del { key: Key(1) }),
+            KvResponse::Value(Some(vec![9]))
+        );
+        assert_eq!(s.spec_get(Key(1)), None);
+        // Final store still has it until final execution.
+        assert_eq!(s.final_store().get(Key(1)), Some(&vec![9]));
+    }
+}

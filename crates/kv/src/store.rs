@@ -1,0 +1,201 @@
+//! The deterministic key-value state machine.
+
+use std::collections::HashMap;
+
+use ezbft_smr::Application;
+
+use crate::cmd::{Key, KvOp, KvResponse, Value};
+
+/// An in-memory key-value store.
+///
+/// Deterministic by construction: every operation's result is a pure
+/// function of the store contents, so replicas applying the same command
+/// sequence converge byte-for-byte (asserted by the cross-replica safety
+/// checker in the integration tests).
+#[derive(Clone, Debug, Default)]
+pub struct KvStore {
+    map: HashMap<Key, Value>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Direct read access (for assertions and state comparison).
+    pub fn get(&self, key: Key) -> Option<&Value> {
+        self.map.get(&key)
+    }
+
+    /// A canonical fingerprint of the full state: the sorted key/value
+    /// pairs hashed together. Two replicas are consistent iff fingerprints
+    /// match.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut pairs: Vec<(&Key, &Value)> = self.map.iter().collect();
+        pairs.sort();
+        let mut h = DefaultHasher::new();
+        pairs.hash(&mut h);
+        h.finish()
+    }
+
+    fn numeric(&self, key: Key) -> u64 {
+        self.map
+            .get(&key)
+            .map(|v| {
+                let mut bytes = [0u8; 8];
+                let n = v.len().min(8);
+                bytes[..n].copy_from_slice(&v[..n]);
+                u64::from_le_bytes(bytes)
+            })
+            .unwrap_or(0)
+    }
+}
+
+impl Application for KvStore {
+    type Command = KvOp;
+    type Response = KvResponse;
+
+    fn apply(&mut self, cmd: &KvOp) -> KvResponse {
+        match cmd {
+            KvOp::Get { key } => KvResponse::Value(self.map.get(key).cloned()),
+            KvOp::Put { key, value } => {
+                self.map.insert(*key, value.clone());
+                KvResponse::Ok
+            }
+            KvOp::Del { key } => KvResponse::Value(self.map.remove(key)),
+            KvOp::Cas { key, expect, new } => {
+                let current = self.map.get(key);
+                if current == expect.as_ref() {
+                    self.map.insert(*key, new.clone());
+                    KvResponse::Swapped(true)
+                } else {
+                    KvResponse::Swapped(false)
+                }
+            }
+            KvOp::Incr { key, by } => {
+                let next = self.numeric(*key).wrapping_add(*by);
+                self.map.insert(*key, next.to_le_bytes().to_vec());
+                KvResponse::Counter(next)
+            }
+            KvOp::Bump { key, by } => {
+                let next = self.numeric(*key).wrapping_add(*by);
+                self.map.insert(*key, next.to_le_bytes().to_vec());
+                KvResponse::Ok
+            }
+            KvOp::Noop => KvResponse::Ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_del() {
+        let mut s = KvStore::new();
+        assert_eq!(s.apply(&KvOp::Get { key: Key(1) }), KvResponse::Value(None));
+        assert_eq!(
+            s.apply(&KvOp::Put { key: Key(1), value: vec![9] }),
+            KvResponse::Ok
+        );
+        assert_eq!(
+            s.apply(&KvOp::Get { key: Key(1) }),
+            KvResponse::Value(Some(vec![9]))
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s.apply(&KvOp::Del { key: Key(1) }),
+            KvResponse::Value(Some(vec![9]))
+        );
+        assert!(s.is_empty());
+        assert_eq!(s.apply(&KvOp::Del { key: Key(1) }), KvResponse::Value(None));
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let mut s = KvStore::new();
+        // CAS on absent key with expect=None succeeds.
+        assert_eq!(
+            s.apply(&KvOp::Cas { key: Key(1), expect: None, new: vec![1] }),
+            KvResponse::Swapped(true)
+        );
+        // Wrong expectation fails and leaves state unchanged.
+        assert_eq!(
+            s.apply(&KvOp::Cas { key: Key(1), expect: Some(vec![2]), new: vec![3] }),
+            KvResponse::Swapped(false)
+        );
+        assert_eq!(s.get(Key(1)), Some(&vec![1]));
+        // Right expectation succeeds.
+        assert_eq!(
+            s.apply(&KvOp::Cas { key: Key(1), expect: Some(vec![1]), new: vec![3] }),
+            KvResponse::Swapped(true)
+        );
+        assert_eq!(s.get(Key(1)), Some(&vec![3]));
+    }
+
+    #[test]
+    fn incr_and_bump() {
+        let mut s = KvStore::new();
+        assert_eq!(s.apply(&KvOp::Incr { key: Key(7), by: 5 }), KvResponse::Counter(5));
+        assert_eq!(s.apply(&KvOp::Incr { key: Key(7), by: 3 }), KvResponse::Counter(8));
+        assert_eq!(s.apply(&KvOp::Bump { key: Key(7), by: 2 }), KvResponse::Ok);
+        assert_eq!(s.apply(&KvOp::Incr { key: Key(7), by: 0 }), KvResponse::Counter(10));
+    }
+
+    #[test]
+    fn incr_on_non_numeric_value_uses_le_prefix() {
+        let mut s = KvStore::new();
+        s.apply(&KvOp::Put { key: Key(1), value: vec![1, 0, 0, 0, 0, 0, 0, 0, 99] });
+        // Only the first 8 bytes are interpreted.
+        assert_eq!(s.apply(&KvOp::Incr { key: Key(1), by: 1 }), KvResponse::Counter(2));
+    }
+
+    #[test]
+    fn fingerprint_tracks_state() {
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.apply(&KvOp::Put { key: Key(1), value: vec![1] });
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.apply(&KvOp::Put { key: Key(1), value: vec![1] });
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn bump_order_does_not_matter() {
+        let ops = [KvOp::Bump { key: Key(1), by: 10 }, KvOp::Bump { key: Key(1), by: 32 }];
+        let mut fwd = KvStore::new();
+        fwd.apply(&ops[0]);
+        fwd.apply(&ops[1]);
+        let mut rev = KvStore::new();
+        rev.apply(&ops[1]);
+        rev.apply(&ops[0]);
+        assert_eq!(fwd.fingerprint(), rev.fingerprint());
+    }
+
+    #[test]
+    fn incr_order_matters_for_responses() {
+        let ops = [KvOp::Incr { key: Key(1), by: 10 }, KvOp::Incr { key: Key(1), by: 32 }];
+        let mut fwd = KvStore::new();
+        let r1 = fwd.apply(&ops[0]);
+        let mut rev = KvStore::new();
+        rev.apply(&ops[1]);
+        let r2 = rev.apply(&ops[0]);
+        assert_ne!(r1, r2); // 10 vs 42: responses diverge with order
+        assert_eq!(fwd.get(Key(1)).is_some(), true);
+    }
+}

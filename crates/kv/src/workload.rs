@@ -1,0 +1,173 @@
+//! The contention-θ workload generator (paper §V).
+//!
+//! "Contention, in the context of a replicated key-value store, is defined
+//! as the percentage of requests that concurrently access the same key …
+//! the remaining requests target clients' own (non-overlapping) set of
+//! keys." The paper evaluates θ ∈ {0, 2, 50, 100}%.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cmd::{Key, KvOp};
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Fraction of requests targeting the shared hot key, in `[0, 1]`.
+    pub contention: f64,
+    /// Number of private keys per client.
+    pub private_keys: u64,
+    /// Value size in bytes (the paper uses 16).
+    pub value_size: usize,
+    /// Fraction of *private-key* requests that are reads (hot-key requests
+    /// are always writes, since only writes contend).
+    pub read_fraction: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig { contention: 0.0, private_keys: 64, value_size: 16, read_fraction: 0.0 }
+    }
+}
+
+impl WorkloadConfig {
+    /// A write-only workload at the given contention percentage (the
+    /// paper's setup).
+    pub fn with_contention_pct(pct: u32) -> Self {
+        WorkloadConfig { contention: f64::from(pct) / 100.0, ..Default::default() }
+    }
+}
+
+/// A per-client deterministic request generator.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    cfg: WorkloadConfig,
+    client_index: u64,
+    rng: SmallRng,
+    issued: u64,
+}
+
+/// The single hot key shared by all clients.
+const HOT_KEY: Key = Key(u64::MAX);
+
+impl Workload {
+    /// Creates the generator for client number `client_index` (distinct
+    /// indices get disjoint private keyspaces) with a deterministic seed.
+    pub fn new(cfg: WorkloadConfig, client_index: u64, seed: u64) -> Self {
+        Workload {
+            cfg,
+            client_index,
+            rng: SmallRng::seed_from_u64(seed ^ client_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            issued: 0,
+        }
+    }
+
+    /// The shared hot key.
+    pub fn hot_key() -> Key {
+        HOT_KEY
+    }
+
+    /// Produces the next operation.
+    pub fn next_op(&mut self) -> KvOp {
+        self.issued += 1;
+        let contended = self.cfg.contention > 0.0 && self.rng.gen::<f64>() < self.cfg.contention;
+        if contended {
+            return KvOp::Put { key: HOT_KEY, value: self.value() };
+        }
+        let key = Key(self.client_index * self.cfg.private_keys.max(1)
+            + self.rng.gen_range(0..self.cfg.private_keys.max(1)));
+        if self.cfg.read_fraction > 0.0 && self.rng.gen::<f64>() < self.cfg.read_fraction {
+            KvOp::Get { key }
+        } else {
+            KvOp::Put { key, value: self.value() }
+        }
+    }
+
+    /// Number of operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    fn value(&mut self) -> Vec<u8> {
+        let mut v = vec![0u8; self.cfg.value_size];
+        self.rng.fill(v.as_mut_slice());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezbft_smr::Command;
+
+    #[test]
+    fn zero_contention_private_keys_disjoint() {
+        let cfg = WorkloadConfig::with_contention_pct(0);
+        let mut a = Workload::new(cfg, 0, 42);
+        let mut b = Workload::new(cfg, 1, 42);
+        for _ in 0..200 {
+            let (oa, ob) = (a.next_op(), b.next_op());
+            assert!(!oa.interferes(&ob), "{oa:?} vs {ob:?}");
+        }
+    }
+
+    #[test]
+    fn full_contention_always_hot_key() {
+        let cfg = WorkloadConfig::with_contention_pct(100);
+        let mut w = Workload::new(cfg, 3, 42);
+        for _ in 0..50 {
+            assert_eq!(w.next_op().key(), Some(Workload::hot_key()));
+        }
+        assert_eq!(w.issued(), 50);
+    }
+
+    #[test]
+    fn contention_rate_is_approximately_theta() {
+        let cfg = WorkloadConfig::with_contention_pct(50);
+        let mut w = Workload::new(cfg, 0, 7);
+        let hot = (0..10_000)
+            .filter(|_| w.next_op().key() == Some(Workload::hot_key()))
+            .count();
+        assert!((4_000..6_000).contains(&hot), "hot={hot}");
+    }
+
+    #[test]
+    fn two_percent_contention_is_rare_but_present() {
+        let cfg = WorkloadConfig::with_contention_pct(2);
+        let mut w = Workload::new(cfg, 0, 7);
+        let hot = (0..10_000)
+            .filter(|_| w.next_op().key() == Some(Workload::hot_key()))
+            .count();
+        assert!((100..400).contains(&hot), "hot={hot}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = WorkloadConfig::with_contention_pct(50);
+        let mut a = Workload::new(cfg, 5, 99);
+        let mut b = Workload::new(cfg, 5, 99);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn value_size_respected() {
+        let cfg = WorkloadConfig { value_size: 16, ..Default::default() };
+        let mut w = Workload::new(cfg, 0, 1);
+        for _ in 0..20 {
+            if let KvOp::Put { value, .. } = w.next_op() {
+                assert_eq!(value.len(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn read_fraction_generates_gets() {
+        let cfg = WorkloadConfig { read_fraction: 1.0, ..Default::default() };
+        let mut w = Workload::new(cfg, 0, 1);
+        for _ in 0..20 {
+            assert!(matches!(w.next_op(), KvOp::Get { .. }));
+        }
+    }
+}

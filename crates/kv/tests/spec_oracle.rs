@@ -1,0 +1,92 @@
+//! Property test: [`SpecKvStore`] is observationally equivalent to the
+//! generic clone-replay engine ([`ezbft_smr::CloneReplay<KvStore>`]) under
+//! arbitrary interleavings of speculative execution, finalisation and
+//! invalidation.
+
+use ezbft_kv::{Key, KvOp, KvStore, SpecKvStore};
+use ezbft_smr::{Application, CloneReplay};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Spec(KvOp),
+    /// Finalise the i-th oldest outstanding speculative command.
+    Finalize(usize),
+    /// Invalidate the i-th oldest outstanding speculative command.
+    Invalidate(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = KvOp> {
+    let key = (0u64..4).prop_map(Key);
+    prop_oneof![
+        key.clone().prop_map(|key| KvOp::Get { key }),
+        (key.clone(), proptest::collection::vec(any::<u8>(), 0..4))
+            .prop_map(|(key, value)| KvOp::Put { key, value }),
+        key.clone().prop_map(|key| KvOp::Del { key }),
+        (key.clone(), 1u64..10).prop_map(|(key, by)| KvOp::Incr { key, by }),
+        (key.clone(), 1u64..10).prop_map(|(key, by)| KvOp::Bump { key, by }),
+        (key, proptest::option::of(proptest::collection::vec(any::<u8>(), 0..2)),
+         proptest::collection::vec(any::<u8>(), 0..2))
+            .prop_map(|(key, expect, new)| KvOp::Cas { key, expect, new }),
+    ]
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => op_strategy().prop_map(Step::Spec),
+        2 => (0usize..4).prop_map(Step::Finalize),
+        1 => (0usize..4).prop_map(Step::Invalidate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn spec_store_matches_clone_replay_oracle(steps in proptest::collection::vec(step_strategy(), 0..40)) {
+        let mut fast = SpecKvStore::new();
+        let mut oracle = CloneReplay::new(KvStore::new());
+        // Outstanding speculative commands, oldest first: (tag, op).
+        let mut outstanding: Vec<(u128, KvOp)> = Vec::new();
+        let mut next_tag: u128 = 0;
+
+        for step in steps {
+            match step {
+                Step::Spec(op) => {
+                    let tag = next_tag;
+                    next_tag += 1;
+                    let a = fast.spec_apply(tag, &op);
+                    let b = oracle.spec_apply(tag, &op);
+                    prop_assert_eq!(a, b, "spec responses diverge");
+                    outstanding.push((tag, op));
+                }
+                Step::Finalize(i) => {
+                    if outstanding.is_empty() { continue; }
+                    let (tag, op) = outstanding.remove(i % outstanding.len());
+                    let a = fast.final_apply(tag, &op);
+                    let b = oracle.final_apply(tag, &op);
+                    prop_assert_eq!(a, b, "final responses diverge");
+                }
+                Step::Invalidate(i) => {
+                    if outstanding.is_empty() { continue; }
+                    let (tag, _) = outstanding.remove(i % outstanding.len());
+                    fast.invalidate(tag);
+                    oracle.invalidate(tag);
+                }
+            }
+            // Compare observable state on every probe key.
+            for k in 0..4u64 {
+                prop_assert_eq!(
+                    fast.spec_get(Key(k)),
+                    oracle.spec_state().get(Key(k)).cloned(),
+                    "spec view diverges at key {}", k
+                );
+                prop_assert_eq!(
+                    fast.final_store().get(Key(k)),
+                    oracle.final_state().get(Key(k)),
+                    "final view diverges at key {}", k
+                );
+            }
+            prop_assert_eq!(fast.spec_len(), outstanding.len());
+        }
+    }
+}

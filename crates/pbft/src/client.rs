@@ -1,0 +1,157 @@
+//! The PBFT client: sends to the primary, accepts a result once `f + 1`
+//! replicas report the same response.
+
+use std::collections::HashMap;
+
+use ezbft_crypto::{Audience, Digest, KeyStore};
+use ezbft_smr::{
+    Actions, ClientId, ClientNode, NodeId, ProtocolNode, ReplicaId, TimerId, Timestamp,
+};
+
+use crate::msg::{Msg, Payload, Reply, Request};
+use crate::replica::PbftConfig;
+
+/// Counters for tests and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PbftClientStats {
+    /// Requests completed.
+    pub completed: u64,
+    /// Retransmissions.
+    pub retries: u64,
+}
+
+struct Pending<C, R> {
+    cmd: C,
+    ts: Timestamp,
+    replies: HashMap<Digest, HashMap<ReplicaId, Reply<R>>>,
+}
+
+/// The PBFT client node.
+pub struct PbftClient<C, R> {
+    id: ClientId,
+    cfg: PbftConfig,
+    keys: KeyStore,
+    next_ts: Timestamp,
+    view: u64,
+    pending: Option<Pending<C, R>>,
+    stats: PbftClientStats,
+}
+
+impl<C, R> std::fmt::Debug for PbftClient<C, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PbftClient")
+            .field("id", &self.id)
+            .field("view", &self.view)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+const TIMER_RETRY: u64 = 0;
+
+impl<C: Payload, R: Payload> PbftClient<C, R> {
+    /// Creates a client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` does not belong to `id`.
+    pub fn new(id: ClientId, cfg: PbftConfig, keys: KeyStore) -> Self {
+        assert_eq!(keys.me(), NodeId::Client(id), "keystore identity mismatch");
+        PbftClient {
+            id,
+            cfg,
+            keys,
+            next_ts: Timestamp::ZERO,
+            view: 0,
+            pending: None,
+            stats: PbftClientStats::default(),
+        }
+    }
+
+    /// Counters for tests and reports.
+    pub fn stats(&self) -> PbftClientStats {
+        self.stats
+    }
+
+    fn on_reply(&mut self, reply: Reply<R>, out: &mut Actions<Msg<C, R>, R>) {
+        let Some(pending) = &mut self.pending else { return };
+        if reply.client != self.id || reply.ts != pending.ts {
+            return;
+        }
+        let payload =
+            Reply::<R>::signed_payload(reply.view, reply.client, reply.ts, &reply.response);
+        if self
+            .keys
+            .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
+            .is_err()
+        {
+            return;
+        }
+        self.view = self.view.max(reply.view);
+        let key = reply.match_key();
+        let group = pending.replies.entry(key).or_default();
+        group.insert(reply.sender, reply);
+        if group.len() >= self.cfg.cluster.weak_quorum() {
+            let response = group.values().next().expect("non-empty").response.clone();
+            let ts = pending.ts;
+            self.pending = None;
+            out.cancel_timer(TimerId(TIMER_RETRY));
+            self.stats.completed += 1;
+            // PBFT has a single path; report it as the non-speculative one.
+            out.deliver(ts, response, false);
+        }
+    }
+
+    fn on_retry(&mut self, out: &mut Actions<Msg<C, R>, R>) {
+        let Some(pending) = &self.pending else { return };
+        self.stats.retries += 1;
+        let payload = Request::<C>::signed_payload(self.id, pending.ts, &pending.cmd);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request { client: self.id, ts: pending.ts, cmd: pending.cmd.clone(), sig };
+        let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
+        out.send_all(replicas, &Msg::RequestBroadcast(req));
+        out.set_timer(TimerId(TIMER_RETRY), self.cfg.retry_delay);
+    }
+}
+
+impl<C: Payload, R: Payload> ProtocolNode for PbftClient<C, R> {
+    type Message = Msg<C, R>;
+    type Response = R;
+
+    fn id(&self) -> NodeId {
+        NodeId::Client(self.id)
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Self::Message, out: &mut Actions<Msg<C, R>, R>) {
+        if let Msg::Reply(reply) = msg {
+            self.on_reply(reply, out);
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<Msg<C, R>, R>) {
+        if id.0 == TIMER_RETRY {
+            self.on_retry(out);
+        }
+    }
+}
+
+impl<C: Payload, R: Payload> ClientNode for PbftClient<C, R> {
+    type Command = C;
+
+    fn submit(&mut self, cmd: C, out: &mut Actions<Msg<C, R>, R>) {
+        assert!(self.pending.is_none(), "one outstanding request per client");
+        self.next_ts = self.next_ts.next();
+        let ts = self.next_ts;
+        let payload = Request::<C>::signed_payload(self.id, ts, &cmd);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request { client: self.id, ts, cmd: cmd.clone(), sig };
+        let primary = self.cfg.primary(self.view);
+        out.send(NodeId::Replica(primary), Msg::Request(req));
+        out.set_timer(TimerId(TIMER_RETRY), self.cfg.retry_delay);
+        self.pending = Some(Pending { cmd, ts, replies: HashMap::new() });
+    }
+
+    fn in_flight(&self) -> bool {
+        self.pending.is_some()
+    }
+}

@@ -1,0 +1,36 @@
+//! # ezbft-pbft — the PBFT baseline
+//!
+//! A message-pattern-faithful implementation of Practical Byzantine Fault
+//! Tolerance (Castro & Liskov, OSDI '99): the canonical five-step BFT
+//! protocol the ezBFT paper compares against (client → primary →
+//! PRE-PREPARE → PREPARE → COMMIT → reply).
+//!
+//! Implemented: the three-phase agreement protocol with in-order execution
+//! and client reply caching, `f + 1`-matching client completion,
+//! retransmission with primary forwarding, stable checkpoints with log
+//! truncation, and a view-change protocol (VIEW-CHANGE / NEW-VIEW carrying
+//! the prepared-entry certificates; the proactive-recovery machinery of the
+//! 2002 journal version is out of scope — see DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod client;
+mod msg;
+mod replica;
+
+pub use client::{PbftClient, PbftClientStats};
+pub use msg::{Msg, PrePrepare, PrePrepareBody, Reply, Request};
+pub use replica::{PbftConfig, PbftReplica, PbftStats};
+
+/// Static protocol properties (paper Table II row).
+pub mod properties {
+    /// Resilience: f < n/3.
+    pub const RESILIENCE: &str = "f < n/3";
+    /// Best-case communication steps (client-inclusive).
+    pub const BEST_CASE_STEPS: u32 = 5;
+    /// Extra steps on the slow path (none: PBFT has a single path).
+    pub const SLOW_PATH_EXTRA_STEPS: u32 = 0;
+    /// Leadership structure.
+    pub const LEADER: &str = "single";
+}

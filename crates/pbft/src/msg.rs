@@ -1,0 +1,286 @@
+//! PBFT protocol messages.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use ezbft_crypto::{Digest, Signature};
+use ezbft_smr::{ClientId, ReplicaId, Timestamp};
+
+/// Bound on message payload types.
+pub trait Payload:
+    Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static
+{
+}
+impl<T: Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static> Payload
+    for T
+{
+}
+
+/// A signed client request.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Request<C> {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Client-monotonic timestamp.
+    pub ts: Timestamp,
+    /// The command.
+    pub cmd: C,
+    /// Client signature.
+    pub sig: Signature,
+}
+
+impl<C: Payload> Request<C> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(client: ClientId, ts: Timestamp, cmd: &C) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"pbft-req", client, ts, cmd)).expect("request encodes")
+    }
+
+    /// Request digest `d`.
+    pub fn digest(&self) -> Digest {
+        Digest::of(&Self::signed_payload(self.client, self.ts, &self.cmd))
+    }
+}
+
+/// The primary-signed body of PRE-PREPARE: `⟨PP, v, n, d⟩`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PrePrepareBody {
+    /// View.
+    pub view: u64,
+    /// Sequence number.
+    pub n: u64,
+    /// Request digest.
+    pub req_digest: Digest,
+}
+
+impl PrePrepareBody {
+    /// Canonical signed bytes.
+    pub fn signed_payload(&self) -> Vec<u8> {
+        ezbft_wire::to_bytes(self).expect("pre-prepare body encodes")
+    }
+}
+
+/// PRE-PREPARE with the request piggybacked.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PrePrepare<C> {
+    /// Signed ordering metadata.
+    pub body: PrePrepareBody,
+    /// Primary signature.
+    pub sig: Signature,
+    /// The request.
+    pub req: Request<C>,
+}
+
+/// PREPARE / COMMIT share a shape: `⟨phase, v, n, d, i⟩`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PhaseVote {
+    /// View.
+    pub view: u64,
+    /// Sequence number.
+    pub n: u64,
+    /// Request digest.
+    pub req_digest: Digest,
+    /// The voting replica.
+    pub sender: ReplicaId,
+    /// Signature over `(phase-tag, view, n, d)`.
+    pub sig: Signature,
+}
+
+impl PhaseVote {
+    /// Canonical signed bytes for a given phase tag (`b"prepare"` or
+    /// `b"commit"`).
+    pub fn signed_payload(tag: &'static [u8], view: u64, n: u64, d: Digest) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(tag, view, n, d)).expect("phase vote encodes")
+    }
+}
+
+/// REPLY to the client.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Reply<R> {
+    /// View in which the request executed.
+    pub view: u64,
+    /// The client.
+    pub client: ClientId,
+    /// The request timestamp.
+    pub ts: Timestamp,
+    /// Execution result.
+    pub response: R,
+    /// The replying replica.
+    pub sender: ReplicaId,
+    /// Signature over `(view, client, ts, response)`.
+    pub sig: Signature,
+}
+
+impl<R: Payload> Reply<R> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(view: u64, client: ClientId, ts: Timestamp, response: &R) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"pbft-reply", view, client, ts, response)).expect("encodes")
+    }
+
+    /// Matching key for the client's `f + 1` tally (response identity; the
+    /// view is excluded so replies straddling a view change still match).
+    pub fn match_key(&self) -> Digest {
+        Digest::of(&ezbft_wire::to_bytes(&(self.ts, &self.response)).expect("encodes"))
+    }
+}
+
+/// CHECKPOINT: `⟨n, state-digest, i⟩`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Sequence number of the checkpointed prefix.
+    pub n: u64,
+    /// Digest of the application state after executing `n`.
+    pub state_digest: Digest,
+    /// The reporting replica.
+    pub sender: ReplicaId,
+    /// Signature.
+    pub sig: Signature,
+}
+
+impl Checkpoint {
+    /// Canonical signed bytes.
+    pub fn signed_payload(n: u64, state_digest: Digest) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"checkpoint", n, state_digest)).expect("encodes")
+    }
+}
+
+/// One prepared entry carried inside VIEW-CHANGE.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PreparedEntry<C> {
+    /// The primary-signed PRE-PREPARE body.
+    pub body: PrePrepareBody,
+    /// The old primary's signature.
+    pub sig: Signature,
+    /// The request.
+    pub req: Request<C>,
+}
+
+/// VIEW-CHANGE.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ViewChange<C> {
+    /// The view being moved to.
+    pub new_view: u64,
+    /// The sender's prepared (or better) entries above its stable
+    /// checkpoint.
+    pub prepared: Vec<PreparedEntry<C>>,
+    /// The sender's stable-checkpoint sequence number.
+    pub stable_n: u64,
+    /// The reporting replica.
+    pub sender: ReplicaId,
+    /// Signature over `(new_view, stable_n, digest(prepared))`.
+    pub sig: Signature,
+}
+
+impl<C: Payload> ViewChange<C> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(new_view: u64, stable_n: u64, prepared: &[PreparedEntry<C>]) -> Vec<u8> {
+        let d = Digest::of(&ezbft_wire::to_bytes(prepared).expect("encodes"));
+        ezbft_wire::to_bytes(&(b"pbft-view-change", new_view, stable_n, d)).expect("encodes")
+    }
+}
+
+/// NEW-VIEW.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NewView<C> {
+    /// The installed view.
+    pub new_view: u64,
+    /// The `2f + 1` VIEW-CHANGE proof.
+    pub proof: Vec<ViewChange<C>>,
+    /// Re-issued PRE-PREPAREs for the adopted entries.
+    pub pre_prepares: Vec<PrePrepare<C>>,
+    /// The new primary.
+    pub sender: ReplicaId,
+    /// Signature over `(new_view, digest(pre_prepares))`.
+    pub sig: Signature,
+}
+
+impl<C: Payload> NewView<C> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(new_view: u64, pre_prepares: &[PrePrepare<C>]) -> Vec<u8> {
+        let d = Digest::of(&ezbft_wire::to_bytes(pre_prepares).expect("encodes"));
+        ezbft_wire::to_bytes(&(b"pbft-new-view", new_view, d)).expect("encodes")
+    }
+}
+
+/// The PBFT wire message.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum Msg<C, R> {
+    /// Client → primary.
+    Request(Request<C>),
+    /// Client → all replicas (retransmission).
+    RequestBroadcast(Request<C>),
+    /// Primary → replicas.
+    PrePrepare(PrePrepare<C>),
+    /// Replica → replicas.
+    Prepare(PhaseVote),
+    /// Replica → replicas.
+    Commit(PhaseVote),
+    /// Replica → client.
+    Reply(Reply<R>),
+    /// Replica → replicas (garbage collection).
+    Checkpoint(Checkpoint),
+    /// Replica → new primary.
+    ViewChange(ViewChange<C>),
+    /// New primary → replicas.
+    NewView(NewView<C>),
+}
+
+impl<C, R> Msg<C, R> {
+    /// Short kind tag (traces, cost models).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Request(_) => "request",
+            Msg::RequestBroadcast(_) => "request-broadcast",
+            Msg::PrePrepare(_) => "pre-prepare",
+            Msg::Prepare(_) => "prepare",
+            Msg::Commit(_) => "commit",
+            Msg::Reply(_) => "reply",
+            Msg::Checkpoint(_) => "checkpoint",
+            Msg::ViewChange(_) => "view-change",
+            Msg::NewView(_) => "new-view",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_match_key_ignores_view_and_sender() {
+        let a: Reply<u32> = Reply {
+            view: 0,
+            client: ClientId::new(1),
+            ts: Timestamp(1),
+            response: 7,
+            sender: ReplicaId::new(0),
+            sig: Signature::Null,
+        };
+        let b = Reply { view: 5, sender: ReplicaId::new(2), ..a.clone() };
+        assert_eq!(a.match_key(), b.match_key());
+        let c = Reply { response: 8, ..a.clone() };
+        assert_ne!(a.match_key(), c.match_key());
+    }
+
+    #[test]
+    fn phase_payload_distinguishes_phases() {
+        let d = Digest::of(b"m");
+        assert_ne!(
+            PhaseVote::signed_payload(b"prepare", 0, 1, d),
+            PhaseVote::signed_payload(b"commit", 0, 1, d)
+        );
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let m: Msg<u32, u32> = Msg::Checkpoint(Checkpoint {
+            n: 100,
+            state_digest: Digest::of(b"s"),
+            sender: ReplicaId::new(2),
+            sig: Signature::Null,
+        });
+        let bytes = ezbft_wire::to_bytes(&m).unwrap();
+        assert_eq!(ezbft_wire::from_bytes::<Msg<u32, u32>>(&bytes).unwrap(), m);
+        assert_eq!(m.kind(), "checkpoint");
+    }
+}

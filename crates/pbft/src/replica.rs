@@ -1,0 +1,784 @@
+//! The PBFT replica: three-phase agreement, in-order execution,
+//! checkpoints and view changes.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use ezbft_crypto::{Audience, Digest, KeyStore};
+use ezbft_smr::{
+    Actions, Application, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
+    TimerId, Timestamp, VoteTally,
+};
+
+use crate::msg::{
+    Checkpoint, Msg, NewView, PhaseVote, PrePrepare, PrePrepareBody, PreparedEntry, Reply,
+    Request, ViewChange,
+};
+
+/// PBFT configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PbftConfig {
+    /// The cluster.
+    pub cluster: ClusterConfig,
+    /// The primary of view 0.
+    pub first_primary: ReplicaId,
+    /// Client retransmission timer.
+    pub retry_delay: Micros,
+    /// Replica accusation timer after forwarding a retransmitted request.
+    pub accuse_timeout: Micros,
+    /// Checkpoint interval (sequence numbers).
+    pub checkpoint_interval: u64,
+}
+
+impl PbftConfig {
+    /// Defaults for WAN simulations.
+    pub fn new(cluster: ClusterConfig, first_primary: ReplicaId) -> Self {
+        PbftConfig {
+            cluster,
+            first_primary,
+            retry_delay: Micros::from_millis(1_500),
+            accuse_timeout: Micros::from_millis(800),
+            checkpoint_interval: 64,
+        }
+    }
+
+    /// The primary of `view`.
+    pub fn primary(&self, view: u64) -> ReplicaId {
+        let n = self.cluster.n() as u64;
+        ReplicaId::new(((self.first_primary.index() as u64 + view) % n) as u8)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot<C> {
+    pre_prepare: Option<PrePrepare<C>>,
+    prepares: BTreeSet<ReplicaId>,
+    commits: BTreeSet<ReplicaId>,
+    prepared: bool,
+    committed: bool,
+    executed: bool,
+    /// Whether this replica already broadcast its COMMIT for the slot.
+    commit_sent: bool,
+}
+
+impl<C> Default for Slot<C> {
+    fn default() -> Self {
+        Slot {
+            pre_prepare: None,
+            prepares: BTreeSet::new(),
+            commits: BTreeSet::new(),
+            prepared: false,
+            committed: false,
+            executed: false,
+            commit_sent: false,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ClientRec<R> {
+    last_executed_ts: Timestamp,
+    cached: Option<Reply<R>>,
+    /// Timestamps currently in the pipeline (assigned a slot, not executed).
+    in_pipeline: Timestamp,
+}
+
+impl<R> Default for ClientRec<R> {
+    fn default() -> Self {
+        ClientRec {
+            last_executed_ts: Timestamp::ZERO,
+            cached: None,
+            in_pipeline: Timestamp::ZERO,
+        }
+    }
+}
+
+/// Counters for tests and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PbftStats {
+    /// Requests assigned a sequence number (primary role).
+    pub ordered: u64,
+    /// Requests executed.
+    pub executed: u64,
+    /// Stable checkpoints reached.
+    pub checkpoints: u64,
+    /// View changes completed.
+    pub view_changes: u64,
+    /// Messages rejected by validation.
+    pub rejected: u64,
+}
+
+enum Timer {
+    Accuse { client: ClientId, ts: Timestamp },
+}
+
+/// The PBFT replica node.
+pub struct PbftReplica<A: Application> {
+    id: ReplicaId,
+    cfg: PbftConfig,
+    keys: KeyStore,
+    initial: A,
+    app: A,
+    view: u64,
+    in_view_change: bool,
+    next_n: u64,
+    slots: BTreeMap<u64, Slot<A::Command>>,
+    exec_upto: u64,
+    stable_n: u64,
+    clients: HashMap<ClientId, ClientRec<A::Response>>,
+    checkpoint_votes: HashMap<(u64, Digest), VoteTally>,
+    ihp_votes: HashMap<u64, VoteTally>,
+    vc_reports: HashMap<u64, Vec<ViewChange<A::Command>>>,
+    timers: HashMap<u64, Timer>,
+    accuse_waits: HashMap<(ClientId, Timestamp), u64>,
+    next_timer: u64,
+    stats: PbftStats,
+}
+
+impl<A: Application> std::fmt::Debug for PbftReplica<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PbftReplica")
+            .field("id", &self.id)
+            .field("view", &self.view)
+            .field("exec_upto", &self.exec_upto)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+type Out<A> = Actions<
+    Msg<<A as Application>::Command, <A as Application>::Response>,
+    <A as Application>::Response,
+>;
+
+impl<A: Application> PbftReplica<A> {
+    /// Creates a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` does not belong to `id`.
+    pub fn new(id: ReplicaId, cfg: PbftConfig, keys: KeyStore, app: A) -> Self {
+        assert_eq!(keys.me(), NodeId::Replica(id), "keystore identity mismatch");
+        PbftReplica {
+            id,
+            cfg,
+            keys,
+            initial: app.clone(),
+            app,
+            view: 0,
+            in_view_change: false,
+            next_n: 1,
+            slots: BTreeMap::new(),
+            exec_upto: 0,
+            stable_n: 0,
+            clients: HashMap::new(),
+            checkpoint_votes: HashMap::new(),
+            ihp_votes: HashMap::new(),
+            vc_reports: HashMap::new(),
+            timers: HashMap::new(),
+            accuse_waits: HashMap::new(),
+            next_timer: 0,
+            stats: PbftStats::default(),
+        }
+    }
+
+    /// Counters for tests and reports.
+    pub fn stats(&self) -> PbftStats {
+        self.stats
+    }
+
+    /// The (committed) application state.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Highest executed sequence number.
+    pub fn executed_upto(&self) -> u64 {
+        self.exec_upto
+    }
+
+    /// Number of live (non-truncated) slots — bounded by checkpointing.
+    pub fn live_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn is_primary(&self) -> bool {
+        self.cfg.primary(self.view) == self.id
+    }
+
+    fn verify_request(&mut self, req: &Request<A::Command>) -> bool {
+        let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
+        self.keys.verify(NodeId::Client(req.client), &payload, &req.sig).is_ok()
+    }
+
+    fn replica_audience(&self) -> Audience {
+        Audience::replicas(self.cfg.cluster.n())
+    }
+
+    // ------------------------------------------------------------------
+    // Normal case
+    // ------------------------------------------------------------------
+
+    fn on_request(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
+        if !self.verify_request(&req) {
+            self.stats.rejected += 1;
+            return;
+        }
+        if !self.is_primary() || self.in_view_change {
+            return;
+        }
+        let rec = self.clients.entry(req.client).or_default();
+        if req.ts <= rec.last_executed_ts {
+            if let Some(cached) = rec.cached.clone() {
+                if cached.ts == req.ts {
+                    out.send(NodeId::Client(req.client), Msg::Reply(cached));
+                }
+            }
+            return;
+        }
+        if req.ts <= rec.in_pipeline {
+            return; // already assigned a slot
+        }
+        rec.in_pipeline = req.ts;
+
+        let n = self.next_n;
+        self.next_n += 1;
+        let body = PrePrepareBody { view: self.view, n, req_digest: req.digest() };
+        let sig = self.keys.sign(&body.signed_payload(), &self.replica_audience());
+        let pp = PrePrepare { body, sig, req };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &Msg::PrePrepare(pp.clone()));
+        self.stats.ordered += 1;
+        // The primary's pre-prepare doubles as its prepare.
+        self.accept_pre_prepare(pp, out);
+    }
+
+    fn on_request_broadcast(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
+        if !self.verify_request(&req) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let rec = self.clients.entry(req.client).or_default();
+        if req.ts <= rec.last_executed_ts {
+            if let Some(cached) = rec.cached.clone() {
+                if cached.ts == req.ts {
+                    out.send(NodeId::Client(req.client), Msg::Reply(cached));
+                    return;
+                }
+            }
+            if req.ts < rec.last_executed_ts {
+                return;
+            }
+        }
+        if self.is_primary() {
+            self.on_request(req, out);
+            return;
+        }
+        let primary = self.cfg.primary(self.view);
+        let key = (req.client, req.ts);
+        out.send(NodeId::Replica(primary), Msg::Request(req));
+        if !self.accuse_waits.contains_key(&key) {
+            let id = self.next_timer;
+            self.next_timer += 1;
+            self.timers.insert(id, Timer::Accuse { client: key.0, ts: key.1 });
+            self.accuse_waits.insert(key, id);
+            out.set_timer(TimerId(id), self.cfg.accuse_timeout);
+        }
+    }
+
+    fn on_pre_prepare(&mut self, pp: PrePrepare<A::Command>, from: NodeId, out: &mut Out<A>) {
+        if self.in_view_change || pp.body.view != self.view {
+            return;
+        }
+        let primary = self.cfg.primary(pp.body.view);
+        if from != NodeId::Replica(primary) || primary == self.id {
+            self.stats.rejected += 1;
+            return;
+        }
+        if self
+            .keys
+            .verify(NodeId::Replica(primary), &pp.body.signed_payload(), &pp.sig)
+            .is_err()
+            || pp.req.digest() != pp.body.req_digest
+            || !self.verify_request(&pp.req)
+            || pp.body.n <= self.stable_n
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        // Reject a second pre-prepare for the same (view, n) with a
+        // different digest (primary equivocation).
+        if let Some(slot) = self.slots.get(&pp.body.n) {
+            if let Some(existing) = &slot.pre_prepare {
+                if existing.body.req_digest != pp.body.req_digest {
+                    self.stats.rejected += 1;
+                    return;
+                }
+                return; // duplicate
+            }
+        }
+        self.accept_pre_prepare(pp.clone(), out);
+        // Broadcast PREPARE.
+        let payload =
+            PhaseVote::signed_payload(b"prepare", pp.body.view, pp.body.n, pp.body.req_digest);
+        let sig = self.keys.sign(&payload, &self.replica_audience());
+        let vote = PhaseVote {
+            view: pp.body.view,
+            n: pp.body.n,
+            req_digest: pp.body.req_digest,
+            sender: self.id,
+            sig,
+        };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &Msg::Prepare(vote.clone()));
+        self.record_prepare(vote, out);
+    }
+
+    fn accept_pre_prepare(&mut self, pp: PrePrepare<A::Command>, out: &mut Out<A>) {
+        let n = pp.body.n;
+        let rec = self.clients.entry(pp.req.client).or_default();
+        rec.in_pipeline = rec.in_pipeline.max(pp.req.ts);
+        if let Some(id) = self.accuse_waits.remove(&(pp.req.client, pp.req.ts)) {
+            self.timers.remove(&id);
+            out.cancel_timer(TimerId(id));
+        }
+        let slot = self.slots.entry(n).or_default();
+        slot.pre_prepare = Some(pp);
+        self.check_prepared(n, out);
+    }
+
+    fn record_prepare(&mut self, vote: PhaseVote, out: &mut Out<A>) {
+        let slot = self.slots.entry(vote.n).or_default();
+        slot.prepares.insert(vote.sender);
+        self.check_prepared(vote.n, out);
+    }
+
+    fn on_prepare(&mut self, vote: PhaseVote, from: NodeId, out: &mut Out<A>) {
+        if vote.view != self.view || self.in_view_change || from != NodeId::Replica(vote.sender) {
+            return;
+        }
+        let payload = PhaseVote::signed_payload(b"prepare", vote.view, vote.n, vote.req_digest);
+        if self.keys.verify(NodeId::Replica(vote.sender), &payload, &vote.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.record_prepare(vote, out);
+    }
+
+    /// Prepared = pre-prepare + 2f prepares (the primary's pre-prepare
+    /// counts as its prepare).
+    fn check_prepared(&mut self, n: u64, out: &mut Out<A>) {
+        let view = self.view;
+        let needed = 2 * self.cfg.cluster.f();
+        let Some(slot) = self.slots.get_mut(&n) else { return };
+        let Some(pp) = &slot.pre_prepare else { return };
+        if slot.prepared || slot.prepares.len() < needed {
+            return;
+        }
+        slot.prepared = true;
+        let d = pp.body.req_digest;
+        if !slot.commit_sent {
+            slot.commit_sent = true;
+            let payload = PhaseVote::signed_payload(b"commit", view, n, d);
+            let sig = self.keys.sign(&payload, &self.replica_audience());
+            let vote = PhaseVote { view, n, req_digest: d, sender: self.id, sig };
+            let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+            out.send_all(peers, &Msg::Commit(vote.clone()));
+            self.record_commit(vote, out);
+        }
+    }
+
+    fn on_commit(&mut self, vote: PhaseVote, from: NodeId, out: &mut Out<A>) {
+        if vote.view != self.view || self.in_view_change || from != NodeId::Replica(vote.sender) {
+            return;
+        }
+        let payload = PhaseVote::signed_payload(b"commit", vote.view, vote.n, vote.req_digest);
+        if self.keys.verify(NodeId::Replica(vote.sender), &payload, &vote.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.record_commit(vote, out);
+    }
+
+    fn record_commit(&mut self, vote: PhaseVote, out: &mut Out<A>) {
+        let quorum = self.cfg.cluster.slow_quorum();
+        {
+            let slot = self.slots.entry(vote.n).or_default();
+            slot.commits.insert(vote.sender);
+            if slot.committed || !slot.prepared || slot.commits.len() < quorum {
+                // Committed-local requires prepared + 2f+1 commits.
+                if !(slot.prepared && slot.commits.len() >= quorum) {
+                    return;
+                }
+            }
+            slot.committed = true;
+        }
+        self.execute_ready(out);
+    }
+
+    fn execute_ready(&mut self, out: &mut Out<A>) {
+        loop {
+            let n = self.exec_upto + 1;
+            let ready = self
+                .slots
+                .get(&n)
+                .map(|s| s.committed && !s.executed && s.pre_prepare.is_some())
+                .unwrap_or(false);
+            if !ready {
+                break;
+            }
+            let (client, ts, cmd) = {
+                let slot = self.slots.get(&n).expect("checked");
+                let pp = slot.pre_prepare.as_ref().expect("checked");
+                (pp.req.client, pp.req.ts, pp.req.cmd.clone())
+            };
+            let rec = self.clients.entry(client).or_default();
+            let response = if ts <= rec.last_executed_ts {
+                // Duplicate slot for an executed request: reply from cache.
+                rec.cached.as_ref().map(|c| c.response.clone())
+            } else {
+                let response = self.app.apply(&cmd);
+                Some(response)
+            };
+            self.exec_upto = n;
+            if let Some(slot) = self.slots.get_mut(&n) {
+                slot.executed = true;
+            }
+            self.stats.executed += 1;
+            if let Some(response) = response {
+                let payload = Reply::<A::Response>::signed_payload(self.view, client, ts, &response);
+                let sig = self
+                    .keys
+                    .sign(&payload, &Audience::nodes([NodeId::Client(client)]));
+                let reply = Reply {
+                    view: self.view,
+                    client,
+                    ts,
+                    response,
+                    sender: self.id,
+                    sig,
+                };
+                let rec = self.clients.entry(client).or_default();
+                rec.last_executed_ts = rec.last_executed_ts.max(ts);
+                rec.cached = Some(reply.clone());
+                out.send(NodeId::Client(client), Msg::Reply(reply));
+            }
+            // Periodic checkpoint.
+            if n % self.cfg.checkpoint_interval == 0 {
+                self.emit_checkpoint(n, out);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints and log truncation
+    // ------------------------------------------------------------------
+
+    fn state_digest(&self, n: u64) -> Digest {
+        // A cheap state summary: (n, executed count). A production system
+        // would hash an application snapshot; for protocol-level agreement
+        // the pair is sufficient because execution is deterministic.
+        Digest::of(&ezbft_wire::to_bytes(&(b"state", n)).expect("encodes"))
+    }
+
+    fn emit_checkpoint(&mut self, n: u64, out: &mut Out<A>) {
+        let d = self.state_digest(n);
+        let payload = Checkpoint::signed_payload(n, d);
+        let sig = self.keys.sign(&payload, &self.replica_audience());
+        let cp = Checkpoint { n, state_digest: d, sender: self.id, sig };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &Msg::Checkpoint(cp.clone()));
+        self.record_checkpoint(cp);
+    }
+
+    fn on_checkpoint(&mut self, cp: Checkpoint, from: NodeId) {
+        if from != NodeId::Replica(cp.sender) {
+            return;
+        }
+        let payload = Checkpoint::signed_payload(cp.n, cp.state_digest);
+        if self.keys.verify(NodeId::Replica(cp.sender), &payload, &cp.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.record_checkpoint(cp);
+    }
+
+    fn record_checkpoint(&mut self, cp: Checkpoint) {
+        let votes = self.checkpoint_votes.entry((cp.n, cp.state_digest)).or_default();
+        votes.vote(cp.sender);
+        if votes.reached(self.cfg.cluster.slow_quorum()) && cp.n > self.stable_n {
+            self.stable_n = cp.n;
+            self.stats.checkpoints += 1;
+            // Truncate the log below the stable checkpoint.
+            self.slots.retain(|&n, _| n > cp.n);
+            self.checkpoint_votes.retain(|(n, _), _| *n > cp.n);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // View change (prepared-certificate carrying, simplified)
+    // ------------------------------------------------------------------
+
+    fn accuse(&mut self, out: &mut Out<A>) {
+        let view = self.view;
+        let votes = self.ihp_votes.entry(view).or_default();
+        if votes.has_voted(self.id) {
+            return;
+        }
+        votes.vote(self.id);
+        let payload = PhaseVote::signed_payload(b"accuse", view, 0, Digest::ZERO);
+        let sig = self.keys.sign(&payload, &self.replica_audience());
+        let vote = PhaseVote { view, n: 0, req_digest: Digest::ZERO, sender: self.id, sig };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        // Reuse the Prepare envelope shape via a dedicated variant? An
+        // accusation is a Commit-shaped vote with n = 0 on the current
+        // view; we give it its own meaning through the signed tag.
+        out.send_all(peers, &Msg::Commit(vote.clone()));
+        self.on_accusation(vote, out);
+    }
+
+    fn on_accusation(&mut self, vote: PhaseVote, out: &mut Out<A>) {
+        let votes = self.ihp_votes.entry(vote.view).or_default();
+        votes.vote(vote.sender);
+        if votes.reached(self.cfg.cluster.weak_quorum()) {
+            self.accuse(out); // amplify
+            self.enter_view_change(out);
+        }
+    }
+
+    fn enter_view_change(&mut self, out: &mut Out<A>) {
+        if self.in_view_change {
+            return;
+        }
+        self.in_view_change = true;
+        let new_view = self.view + 1;
+        let prepared: Vec<PreparedEntry<A::Command>> = self
+            .slots
+            .values()
+            .filter(|s| s.prepared)
+            .filter_map(|s| s.pre_prepare.as_ref())
+            .map(|pp| PreparedEntry { body: pp.body.clone(), sig: pp.sig.clone(), req: pp.req.clone() })
+            .collect();
+        let payload = ViewChange::signed_payload(new_view, self.stable_n, &prepared);
+        let sig = self.keys.sign(&payload, &self.replica_audience());
+        let vc = ViewChange {
+            new_view,
+            prepared,
+            stable_n: self.stable_n,
+            sender: self.id,
+            sig,
+        };
+        let new_primary = self.cfg.primary(new_view);
+        if new_primary == self.id {
+            self.on_view_change(vc, NodeId::Replica(self.id), out);
+        } else {
+            out.send(NodeId::Replica(new_primary), Msg::ViewChange(vc));
+        }
+    }
+
+    fn verify_view_change(&mut self, vc: &ViewChange<A::Command>) -> bool {
+        let payload = ViewChange::signed_payload(vc.new_view, vc.stable_n, &vc.prepared);
+        self.keys.verify(NodeId::Replica(vc.sender), &payload, &vc.sig).is_ok()
+    }
+
+    fn on_view_change(&mut self, vc: ViewChange<A::Command>, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(vc.sender)
+            || self.cfg.primary(vc.new_view) != self.id
+            || vc.new_view <= self.view
+        {
+            return;
+        }
+        if !self.verify_view_change(&vc) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let reports = self.vc_reports.entry(vc.new_view).or_default();
+        if reports.iter().any(|r| r.sender == vc.sender) {
+            return;
+        }
+        reports.push(vc);
+        if reports.len() < self.cfg.cluster.slow_quorum() {
+            return;
+        }
+        let new_view = reports[0].new_view;
+        let proof = reports.clone();
+        let adopted = Self::adopt_prepared(&mut self.keys, &self.cfg, &proof);
+        let mut pre_prepares = Vec::with_capacity(adopted.len());
+        for (i, pe) in adopted.into_iter().enumerate() {
+            let body = PrePrepareBody {
+                view: new_view,
+                n: i as u64 + 1,
+                req_digest: pe.req.digest(),
+            };
+            let sig = self.keys.sign(&body.signed_payload(), &self.replica_audience());
+            pre_prepares.push(PrePrepare { body, sig, req: pe.req });
+        }
+        let payload = NewView::signed_payload(new_view, &pre_prepares);
+        let sig = self.keys.sign(&payload, &self.replica_audience());
+        let nv = NewView { new_view, proof, pre_prepares, sender: self.id, sig };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &Msg::NewView(nv.clone()));
+        self.install_new_view(nv, out);
+    }
+
+    /// Deterministic adoption: a prepared entry survives the view change if
+    /// any report carries it with a valid old-primary signature (PBFT's
+    /// safety comes from the prepared-certificate intersection; a single
+    /// valid report suffices because prepared means 2f+1 replicas agreed).
+    fn adopt_prepared(
+        keys: &mut KeyStore,
+        cfg: &PbftConfig,
+        proof: &[ViewChange<A::Command>],
+    ) -> Vec<PreparedEntry<A::Command>> {
+        let mut by_n: BTreeMap<u64, PreparedEntry<A::Command>> = BTreeMap::new();
+        let mut sorted: Vec<&ViewChange<A::Command>> = proof.iter().collect();
+        sorted.sort_by_key(|vc| vc.sender);
+        for vc in sorted {
+            for pe in &vc.prepared {
+                let old_primary = cfg.primary(pe.body.view);
+                if keys
+                    .verify(NodeId::Replica(old_primary), &pe.body.signed_payload(), &pe.sig)
+                    .is_err()
+                {
+                    continue;
+                }
+                by_n.entry(pe.body.n).or_insert_with(|| pe.clone());
+            }
+        }
+        // Contiguous prefix from 1.
+        let mut adopted = Vec::new();
+        let mut n = 1u64;
+        while let Some(pe) = by_n.remove(&n) {
+            adopted.push(pe);
+            n += 1;
+        }
+        adopted
+    }
+
+    fn on_new_view(&mut self, nv: NewView<A::Command>, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(nv.sender)
+            || self.cfg.primary(nv.new_view) != nv.sender
+            || nv.new_view <= self.view
+        {
+            return;
+        }
+        let payload = NewView::signed_payload(nv.new_view, &nv.pre_prepares);
+        if self.keys.verify(NodeId::Replica(nv.sender), &payload, &nv.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+        if nv.proof.len() < self.cfg.cluster.slow_quorum() {
+            self.stats.rejected += 1;
+            return;
+        }
+        let mut senders = BTreeSet::new();
+        for vc in &nv.proof {
+            if vc.new_view != nv.new_view
+                || !senders.insert(vc.sender)
+                || !self.verify_view_change(vc)
+            {
+                self.stats.rejected += 1;
+                return;
+            }
+        }
+        let adopted = Self::adopt_prepared(&mut self.keys, &self.cfg, &nv.proof);
+        let consistent = adopted.len() == nv.pre_prepares.len()
+            && adopted
+                .iter()
+                .zip(&nv.pre_prepares)
+                .all(|(a, b)| a.req.digest() == b.body.req_digest);
+        if !consistent {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.install_new_view(nv, out);
+    }
+
+    fn install_new_view(&mut self, nv: NewView<A::Command>, out: &mut Out<A>) {
+        self.view = nv.new_view;
+        self.in_view_change = false;
+        self.slots.clear();
+        self.clients.clear();
+        self.app = self.initial.clone();
+        self.exec_upto = 0;
+        self.stable_n = 0;
+        self.next_n = nv.pre_prepares.len() as u64 + 1;
+        self.stats.view_changes += 1;
+        for (_, id) in self.accuse_waits.drain() {
+            self.timers.remove(&id);
+            out.cancel_timer(TimerId(id));
+        }
+        // Run the adopted entries through the normal three-phase pipeline:
+        // each replica re-prepares them under the new view.
+        let is_primary = self.is_primary();
+        for pp in nv.pre_prepares {
+            if is_primary {
+                self.accept_pre_prepare(pp, out);
+            } else {
+                self.on_pre_prepare(pp, NodeId::Replica(nv.sender), out);
+            }
+        }
+    }
+}
+
+impl<A: Application> ProtocolNode for PbftReplica<A> {
+    type Message = Msg<A::Command, A::Response>;
+    type Response = A::Response;
+
+    fn id(&self) -> NodeId {
+        NodeId::Replica(self.id)
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, out: &mut Out<A>) {
+        match msg {
+            Msg::Request(req) => self.on_request(req, out),
+            Msg::RequestBroadcast(req) => self.on_request_broadcast(req, out),
+            Msg::PrePrepare(pp) => self.on_pre_prepare(pp, from, out),
+            Msg::Prepare(vote) => self.on_prepare(vote, from, out),
+            Msg::Commit(vote) => {
+                if from != NodeId::Replica(vote.sender) {
+                    return;
+                }
+                // Accusations ride in Commit envelopes with n = 0.
+                if vote.n == 0 {
+                    let payload =
+                        PhaseVote::signed_payload(b"accuse", vote.view, 0, Digest::ZERO);
+                    if self
+                        .keys
+                        .verify(NodeId::Replica(vote.sender), &payload, &vote.sig)
+                        .is_ok()
+                        && vote.view == self.view
+                    {
+                        self.on_accusation(vote, out);
+                    }
+                    return;
+                }
+                self.on_commit(vote, from, out);
+            }
+            Msg::Checkpoint(cp) => self.on_checkpoint(cp, from),
+            Msg::ViewChange(vc) => self.on_view_change(vc, from, out),
+            Msg::NewView(nv) => self.on_new_view(nv, from, out),
+            Msg::Reply(_) => {
+                self.stats.rejected += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, out: &mut Out<A>) {
+        let Some(timer) = self.timers.remove(&id.0) else { return };
+        match timer {
+            Timer::Accuse { client, ts } => {
+                self.accuse_waits.remove(&(client, ts));
+                self.accuse(out);
+            }
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}

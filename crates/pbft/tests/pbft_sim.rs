@@ -1,0 +1,191 @@
+//! End-to-end PBFT over the WAN simulator.
+
+use std::collections::VecDeque;
+
+use ezbft_crypto::{CryptoKind, KeyStore};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_pbft::{Msg, PbftClient, PbftConfig, PbftReplica};
+use ezbft_smr::{
+    Actions, Application as _, ClientId, ClientNode, ClusterConfig, Micros, NodeId,
+    ProtocolNode, ReplicaId, TimerId,
+};
+use ezbft_simnet::{Region, SimConfig, SimNet, Topology};
+
+type KvMsg = Msg<KvOp, KvResponse>;
+
+struct ScriptedClient {
+    inner: PbftClient<KvOp, KvResponse>,
+    script: VecDeque<KvOp>,
+}
+
+impl ScriptedClient {
+    fn pump(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        if !self.inner.in_flight() {
+            if let Some(op) = self.script.pop_front() {
+                self.inner.submit(op, out);
+            }
+        }
+    }
+}
+
+impl ProtocolNode for ScriptedClient {
+    type Message = KvMsg;
+    type Response = KvResponse;
+
+    fn id(&self) -> NodeId {
+        ProtocolNode::id(&self.inner)
+    }
+    fn on_start(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        self.pump(out);
+    }
+    fn on_message(&mut self, from: NodeId, msg: KvMsg, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_message(from, msg, out);
+        self.pump(out);
+    }
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_timer(id, out);
+        self.pump(out);
+    }
+}
+
+fn build(
+    primary: u8,
+    checkpoint_interval: u64,
+    clients: Vec<(u64, usize, Vec<KvOp>)>,
+    seed: u64,
+) -> (SimNet<KvMsg, KvResponse>, usize) {
+    let cluster = ClusterConfig::for_faults(1);
+    let mut cfg = PbftConfig::new(cluster, ReplicaId::new(primary));
+    cfg.checkpoint_interval = checkpoint_interval;
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    for (id, ..) in &clients {
+        nodes.push(NodeId::Client(ClientId::new(*id)));
+    }
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"pbft-sim", &nodes);
+    let client_stores = stores.split_off(cluster.n());
+    let mut sim: SimNet<KvMsg, KvResponse> =
+        SimNet::new(Topology::exp1(), SimConfig { seed, ..Default::default() });
+    for (i, rid) in cluster.replicas().enumerate() {
+        let replica = PbftReplica::new(rid, cfg, stores.remove(0), KvStore::new());
+        sim.add_node(Region(i % 4), Box::new(replica));
+    }
+    let mut total = 0;
+    for ((id, region, script), keys) in clients.into_iter().zip(client_stores) {
+        total += script.len();
+        let client = PbftClient::new(ClientId::new(id), cfg, keys);
+        sim.add_node(
+            Region(region),
+            Box::new(ScriptedClient { inner: client, script: script.into() }),
+        );
+    }
+    (sim, total)
+}
+
+fn put(c: u64, i: u64) -> KvOp {
+    KvOp::Put { key: Key(c * 100 + i), value: vec![i as u8; 16] }
+}
+
+fn replica<'a>(sim: &'a SimNet<KvMsg, KvResponse>, r: u8) -> &'a PbftReplica<KvStore> {
+    sim.inspect(NodeId::Replica(ReplicaId::new(r)))
+        .unwrap()
+        .downcast_ref::<PbftReplica<KvStore>>()
+        .unwrap()
+}
+
+#[test]
+fn fault_free_multi_client() {
+    let clients =
+        (0..4u64).map(|c| (c, c as usize, (0..4).map(|i| put(c, i)).collect())).collect();
+    let (mut sim, total) = build(0, 64, clients, 1);
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total);
+    let deadline = sim.now() + Micros::from_secs(2);
+    sim.run_until_time(deadline);
+    let fp0 = replica(&sim, 0).app().fingerprint();
+    for r in 1..4u8 {
+        assert_eq!(replica(&sim, r).app().fingerprint(), fp0, "replica {r} diverged");
+        assert_eq!(replica(&sim, r).executed_upto(), total as u64);
+    }
+}
+
+#[test]
+fn latency_is_five_steps() {
+    // Client co-located with the primary in Virginia: the five-step pattern
+    // (request, pre-prepare, prepare, commit, reply) costs at least two
+    // inter-replica round trips: prepare and commit quorums each wait on
+    // the 2f+1-th fastest replica.
+    let (mut sim, _) = build(0, 64, vec![(0, 0, vec![put(0, 0)])], 2);
+    sim.run_until_deliveries(1);
+    let at = sim.deliveries()[0].at;
+    // Analytic lower bound: pre-prepare to India (92) + prepare round (the
+    // slowest pair inside the quorum) + reply: ≳ 276ms for the exp1 matrix.
+    assert!(
+        at >= Micros::from_millis(270) && at <= Micros::from_millis(420),
+        "PBFT Virginia latency {at:?}"
+    );
+}
+
+#[test]
+fn pbft_is_slower_than_one_round() {
+    // PBFT can never beat the 3-step protocols: even co-located clients pay
+    // the inter-replica agreement rounds.
+    let (mut sim, _) = build(0, 64, vec![(0, 0, vec![put(0, 0)])], 3);
+    sim.run_until_deliveries(1);
+    // One-round protocols finish in ≈ max RTT (200ms); PBFT must exceed it.
+    assert!(sim.deliveries()[0].at > Micros::from_millis(210));
+}
+
+#[test]
+fn checkpointing_truncates_log() {
+    let script: Vec<KvOp> = (0..12).map(|i| put(0, i)).collect();
+    let (mut sim, total) = build(0, 4, vec![(0, 0, script)], 4);
+    sim.run_until_deliveries(total);
+    let deadline = sim.now() + Micros::from_secs(2);
+    sim.run_until_time(deadline);
+    for r in 0..4u8 {
+        let rep = replica(&sim, r);
+        assert!(rep.stats().checkpoints >= 1, "replica {r} never checkpointed");
+        assert!(
+            rep.live_slots() < 12,
+            "replica {r} keeps {} slots despite checkpoints",
+            rep.live_slots()
+        );
+    }
+}
+
+#[test]
+fn primary_crash_view_change_liveness() {
+    let (mut sim, total) = build(0, 64, vec![(0, 1, (0..2).map(|i| put(0, i)).collect())], 5);
+    sim.faults_mut().crash(ReplicaId::new(0));
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total, "liveness across view change");
+    for r in [1u8, 2, 3] {
+        assert!(replica(&sim, r).view() >= 1);
+    }
+    let fp1 = replica(&sim, 1).app().fingerprint();
+    assert_eq!(replica(&sim, 2).app().fingerprint(), fp1);
+    assert_eq!(replica(&sim, 3).app().fingerprint(), fp1);
+}
+
+#[test]
+fn mid_run_primary_crash_preserves_state() {
+    let script: Vec<KvOp> = (0..6).map(|i| put(0, i)).collect();
+    let (mut sim, total) = build(0, 64, vec![(0, 0, script)], 6);
+    sim.schedule_crash(ReplicaId::new(0), Micros::from_millis(900));
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total);
+    let fp1 = replica(&sim, 1).app().fingerprint();
+    assert_eq!(replica(&sim, 2).app().fingerprint(), fp1);
+    assert_eq!(replica(&sim, 3).app().fingerprint(), fp1);
+    for i in 0..6u64 {
+        assert!(replica(&sim, 1).app().get(Key(i)).is_some(), "write {i} lost");
+    }
+}
+
+#[test]
+fn message_loss_recovered_by_retransmission() {
+    let (mut sim, total) = build(0, 64, vec![(0, 0, (0..3).map(|i| put(0, i)).collect())], 7);
+    sim.faults_mut().set_drop_probability(0.02);
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total);
+}

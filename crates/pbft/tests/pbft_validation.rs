@@ -1,0 +1,149 @@
+//! Message-level validation tests for PBFT: primary equivocation, forged
+//! votes and replay handling.
+
+use ezbft_crypto::{Audience, CryptoKind, KeyStore, Signature};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_pbft::{Msg, PbftConfig, PbftReplica, PrePrepare, PrePrepareBody, Request};
+use ezbft_smr::{
+    Actions, Action, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
+    Timestamp,
+};
+
+type KvMsg = Msg<KvOp, KvResponse>;
+type Out = Actions<KvMsg, KvResponse>;
+
+struct Fixture {
+    cfg: PbftConfig,
+    replicas: Vec<PbftReplica<KvStore>>,
+    client_keys: KeyStore,
+    primary_keys_copy: KeyStore,
+}
+
+fn fixture() -> Fixture {
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = PbftConfig::new(cluster, ReplicaId::new(0));
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    nodes.push(NodeId::Client(ClientId::new(0)));
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"pbft-validation", &nodes);
+    let client_keys = stores.pop().unwrap();
+    // A second keystore for the primary: lets the test sign equivocating
+    // pre-prepares "as" the (byzantine) primary.
+    let primary_keys_copy = {
+        let extra = KeyStore::cluster(CryptoKind::Mac, b"pbft-validation", &nodes);
+        extra.into_iter().next().unwrap()
+    };
+    let replicas = cluster
+        .replicas()
+        .map(|rid| PbftReplica::new(rid, cfg, stores.remove(0), KvStore::new()))
+        .collect();
+    Fixture { cfg, replicas, client_keys, primary_keys_copy }
+}
+
+fn out() -> Out {
+    Actions::new(Micros::ZERO)
+}
+
+fn signed_request(fx: &mut Fixture, ts: u64, op: KvOp) -> Request<KvOp> {
+    let client = ClientId::new(0);
+    let payload = Request::signed_payload(client, Timestamp(ts), &op);
+    let sig = fx.client_keys.sign(&payload, &Audience::replicas(fx.cfg.cluster.n()));
+    Request { client, ts: Timestamp(ts), cmd: op, sig }
+}
+
+fn signed_pre_prepare(fx: &mut Fixture, n: u64, req: Request<KvOp>) -> PrePrepare<KvOp> {
+    let body = PrePrepareBody { view: 0, n, req_digest: req.digest() };
+    let sig = fx
+        .primary_keys_copy
+        .sign(&body.signed_payload(), &Audience::replicas(fx.cfg.cluster.n()));
+    PrePrepare { body, sig, req }
+}
+
+#[test]
+fn primary_equivocation_on_a_slot_is_rejected() {
+    let mut fx = fixture();
+    let req_a = signed_request(&mut fx, 1, KvOp::Put { key: Key(1), value: vec![1] });
+    let req_b = signed_request(&mut fx, 2, KvOp::Put { key: Key(2), value: vec![2] });
+    let pp_a = signed_pre_prepare(&mut fx, 1, req_a);
+    let pp_b = signed_pre_prepare(&mut fx, 1, req_b); // same n, different digest
+
+    let mut o = out();
+    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::PrePrepare(pp_a), &mut o);
+    // The first pre-prepare triggers a PREPARE broadcast.
+    assert!(o
+        .as_slice()
+        .iter()
+        .any(|a| matches!(a, Action::Send { msg: Msg::Prepare(_), .. })));
+
+    let rejected_before = fx.replicas[1].stats().rejected;
+    let mut o2 = out();
+    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::PrePrepare(pp_b), &mut o2);
+    assert!(o2.is_empty(), "conflicting pre-prepare must produce no actions");
+    assert_eq!(fx.replicas[1].stats().rejected, rejected_before + 1);
+}
+
+#[test]
+fn pre_prepare_from_non_primary_is_rejected() {
+    let mut fx = fixture();
+    let req = signed_request(&mut fx, 1, KvOp::Put { key: Key(1), value: vec![1] });
+    let pp = signed_pre_prepare(&mut fx, 1, req);
+    let mut o = out();
+    // Claimed sender is replica 2, not the view-0 primary.
+    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(2)), Msg::PrePrepare(pp), &mut o);
+    assert!(o.is_empty());
+    assert!(fx.replicas[1].stats().rejected >= 1);
+}
+
+#[test]
+fn unsigned_request_to_primary_is_rejected() {
+    let mut fx = fixture();
+    let req = Request {
+        client: ClientId::new(0),
+        ts: Timestamp(1),
+        cmd: KvOp::Put { key: Key(1), value: vec![1] },
+        sig: Signature::Null,
+    };
+    let mut o = out();
+    fx.replicas[0].on_message(NodeId::Client(ClientId::new(0)), Msg::Request(req), &mut o);
+    assert!(o.is_empty());
+    assert_eq!(fx.replicas[0].stats().ordered, 0);
+}
+
+#[test]
+fn duplicate_pre_prepare_is_idempotent() {
+    let mut fx = fixture();
+    let req = signed_request(&mut fx, 1, KvOp::Put { key: Key(1), value: vec![1] });
+    let pp = signed_pre_prepare(&mut fx, 1, req);
+    let mut o = out();
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::PrePrepare(pp.clone()),
+        &mut o,
+    );
+    let mut o2 = out();
+    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::PrePrepare(pp), &mut o2);
+    // No second prepare broadcast for the same slot.
+    assert!(!o2
+        .as_slice()
+        .iter()
+        .any(|a| matches!(a, Action::Send { msg: Msg::Prepare(_), .. })));
+}
+
+#[test]
+fn primary_orders_fresh_requests_in_sequence() {
+    let mut fx = fixture();
+    for ts in 1..=3u64 {
+        let req = signed_request(&mut fx, ts, KvOp::Put { key: Key(ts), value: vec![] });
+        let mut o = out();
+        fx.replicas[0].on_message(NodeId::Client(ClientId::new(0)), Msg::Request(req), &mut o);
+        let n = o
+            .as_slice()
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { msg: Msg::PrePrepare(pp), .. } => Some(pp.body.n),
+                _ => None,
+            })
+            .expect("primary broadcasts a pre-prepare");
+        assert_eq!(n, ts, "sequence numbers are dense and ordered");
+    }
+    assert_eq!(fx.replicas[0].stats().ordered, 3);
+}

@@ -1,0 +1,31 @@
+//! Deterministic discrete-event WAN simulator.
+//!
+//! This crate is the reproduction's substitute for the paper's AWS EC2
+//! deployment (see `DESIGN.md` §2). It runs unmodified sans-io
+//! [`ezbft_smr::ProtocolNode`] state machines over:
+//!
+//! - a **virtual clock** (microsecond resolution, [`ezbft_smr::Micros`]);
+//! - a **latency topology** ([`topology`]) with one-way-delay matrices
+//!   calibrated against Table I of the paper, plus deterministic jitter;
+//! - a **processing-cost model** ([`net::CostModel`]) that turns each node
+//!   into a FIFO server, exposing the queueing effects behind Figures 6-7;
+//! - **fault injection** ([`net::FaultPlan`]): message drops, partitions,
+//!   and crash-stop nodes (byzantine *behaviours* are implemented as node
+//!   wrappers in the protocol crates and run unchanged here).
+//!
+//! Determinism: given the same seed and the same node set, a simulation
+//! delivers exactly the same event sequence — ties in the event queue are
+//! broken by insertion order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod metrics;
+pub mod net;
+pub mod topology;
+pub mod trace;
+
+pub use metrics::{Histogram, LatencyRecorder, ThroughputCounter};
+pub use net::{CostModel, FaultPlan, SimConfig, SimNet};
+pub use topology::{Region, Topology};
+pub use trace::{Trace, TraceEvent};

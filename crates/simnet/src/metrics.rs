@@ -1,0 +1,243 @@
+//! Latency and throughput metrics collected from simulations.
+
+use ezbft_smr::Micros;
+
+/// A simple exact histogram over microsecond samples.
+///
+/// Keeps every sample (simulations produce at most a few hundred thousand);
+/// percentile queries sort lazily. This favours exactness over memory,
+/// which is the right trade for reproducing published numbers.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: Micros) {
+        self.samples.push(value.as_micros());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> Micros {
+        if self.samples.is_empty() {
+            return Micros::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        Micros((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) using nearest-rank, or zero if empty.
+    pub fn quantile(&mut self, q: f64) -> Micros {
+        if self.samples.is_empty() {
+            return Micros::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        Micros(self.samples[rank - 1])
+    }
+
+    /// Median.
+    pub fn median(&mut self) -> Micros {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> Micros {
+        self.quantile(0.99)
+    }
+
+    /// Maximum sample, or zero if empty.
+    pub fn max(&self) -> Micros {
+        Micros(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Minimum sample, or zero if empty.
+    pub fn min(&self) -> Micros {
+        Micros(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// Records request latencies keyed by an arbitrary group (e.g. region).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    groups: Vec<Histogram>,
+}
+
+impl LatencyRecorder {
+    /// Creates a recorder with `groups` groups.
+    pub fn new(groups: usize) -> Self {
+        LatencyRecorder { groups: vec![Histogram::new(); groups] }
+    }
+
+    /// Records a latency sample in `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn record(&mut self, group: usize, latency: Micros) {
+        self.groups[group].record(latency);
+    }
+
+    /// The histogram for `group`.
+    pub fn group(&self, group: usize) -> &Histogram {
+        &self.groups[group]
+    }
+
+    /// Mutable histogram for `group` (for quantile queries).
+    pub fn group_mut(&mut self, group: usize) -> &mut Histogram {
+        &mut self.groups[group]
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total samples across groups.
+    pub fn total(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).sum()
+    }
+}
+
+/// Counts completed operations over a virtual-time window to report
+/// throughput.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThroughputCounter {
+    completed: u64,
+    first: Option<Micros>,
+    last: Micros,
+}
+
+impl ThroughputCounter {
+    /// Creates an idle counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completion at virtual time `now`.
+    pub fn record(&mut self, now: Micros) {
+        self.completed += 1;
+        if self.first.is_none() {
+            self.first = Some(now);
+        }
+        self.last = now;
+    }
+
+    /// Number of completions recorded.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Throughput in operations per (virtual) second over the observed
+    /// window, or zero with fewer than two completions.
+    pub fn ops_per_sec(&self) -> f64 {
+        let Some(first) = self.first else { return 0.0 };
+        let window = self.last.saturating_sub(first).as_secs_f64();
+        if window <= 0.0 || self.completed < 2 {
+            return 0.0;
+        }
+        (self.completed - 1) as f64 / window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            h.record(Micros(v));
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.mean(), Micros(30));
+        assert_eq!(h.median(), Micros(30));
+        assert_eq!(h.min(), Micros(10));
+        assert_eq!(h.max(), Micros(50));
+        assert_eq!(h.quantile(1.0), Micros(50));
+        assert_eq!(h.quantile(0.0), Micros(10));
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), Micros::ZERO);
+        assert_eq!(h.median(), Micros::ZERO);
+        assert_eq!(h.max(), Micros::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(Micros(1));
+        let mut b = Histogram::new();
+        b.record(Micros(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), Micros(2));
+    }
+
+    #[test]
+    fn p99_of_hundred() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(Micros(v));
+        }
+        assert_eq!(h.p99(), Micros(99));
+    }
+
+    #[test]
+    fn recorder_groups() {
+        let mut r = LatencyRecorder::new(2);
+        r.record(0, Micros(5));
+        r.record(1, Micros(7));
+        r.record(1, Micros(9));
+        assert_eq!(r.groups(), 2);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.group(0).len(), 1);
+        // Nearest-rank median of {7, 9} is the lower sample.
+        assert_eq!(r.group_mut(1).median(), Micros(7));
+    }
+
+    #[test]
+    fn throughput_counter() {
+        let mut t = ThroughputCounter::new();
+        assert_eq!(t.ops_per_sec(), 0.0);
+        // 11 completions, 1 per 100ms: 10 intervals over 1s → 10 ops/s.
+        for i in 0..11u64 {
+            t.record(Micros(i * 100_000));
+        }
+        assert_eq!(t.completed(), 11);
+        assert!((t.ops_per_sec() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,804 @@
+//! The discrete-event simulator.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ezbft_smr::{Action, Actions, ClientDelivery, Micros, NodeId, ProtocolNode, TimerId};
+
+use crate::topology::{Region, Topology};
+use crate::trace::{Trace, TraceEvent};
+
+/// Per-run limits and the determinism seed.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Seed for jitter and drop randomness.
+    pub seed: u64,
+    /// Hard cap on virtual time; the run stops when reached.
+    pub max_virtual_time: Micros,
+    /// Hard cap on processed events (runaway guard).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x657a_6266_74_u64, // "ezbft"
+            max_virtual_time: Micros::from_secs(3_600),
+            max_events: 200_000_000,
+        }
+    }
+}
+
+/// Computes the processing (service) cost a node pays for one received
+/// message. `None` models infinitely fast servers — appropriate for
+/// latency experiments where propagation dominates (§V-A); the throughput
+/// and scalability experiments (§V-B, §V-C) install protocol-specific cost
+/// models.
+pub type CostFn<M> = Box<dyn FnMut(NodeId, &M) -> Micros + Send>;
+
+/// A convenience constructor bundle for [`CostFn`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Service time charged for every received message.
+    pub recv: Micros,
+}
+
+impl CostModel {
+    /// A uniform per-message cost model.
+    pub fn uniform(recv: Micros) -> CostModel {
+        CostModel { recv }
+    }
+
+    /// Turns the model into a [`CostFn`].
+    pub fn into_fn<M>(self) -> CostFn<M> {
+        Box::new(move |_, _| self.recv)
+    }
+}
+
+/// Declarative fault injection: crash-stop nodes, severed links, and
+/// uniform message loss.
+///
+/// Byzantine *behaviour* (lying, equivocating) is not injected here — it is
+/// implemented as wrapper nodes in the protocol crates, which this simulator
+/// runs like any other node. The plan only controls what the *network* does.
+#[derive(Default)]
+pub struct FaultPlan {
+    crashed: HashSet<NodeId>,
+    cut: HashSet<(NodeId, NodeId)>,
+    drop_prob: f64,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("crashed", &self.crashed.len())
+            .field("cut_links", &self.cut.len())
+            .field("drop_prob", &self.drop_prob)
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// Marks `node` crashed: it receives nothing and sends nothing from now
+    /// on (crash-stop).
+    pub fn crash(&mut self, node: impl Into<NodeId>) {
+        self.crashed.insert(node.into());
+    }
+
+    /// Whether `node` is crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Severs the directed link `from → to`.
+    pub fn cut_link(&mut self, from: impl Into<NodeId>, to: impl Into<NodeId>) {
+        self.cut.insert((from.into(), to.into()));
+    }
+
+    /// Severs both directions between `a` and `b`.
+    pub fn cut_between(&mut self, a: impl Into<NodeId>, b: impl Into<NodeId>) {
+        let (a, b) = (a.into(), b.into());
+        self.cut.insert((a, b));
+        self.cut.insert((b, a));
+    }
+
+    /// Restores all severed links.
+    pub fn heal_links(&mut self) {
+        self.cut.clear();
+    }
+
+    /// Sets a uniform probability in `[0, 1]` of dropping any message.
+    pub fn set_drop_probability(&mut self, p: f64) {
+        self.drop_prob = p.clamp(0.0, 1.0);
+    }
+
+    fn blocks(&self, from: NodeId, to: NodeId) -> bool {
+        self.crashed.contains(&from)
+            || self.crashed.contains(&to)
+            || self.cut.contains(&(from, to))
+    }
+}
+
+/// Aggregate statistics from a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// Messages handed to the network (after fault filtering at send time).
+    pub messages_sent: u64,
+    /// Messages delivered to nodes.
+    pub messages_delivered: u64,
+    /// Messages dropped by faults.
+    pub messages_dropped: u64,
+    /// Timer firings delivered.
+    pub timers_fired: u64,
+    /// Total events processed.
+    pub events: u64,
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { id: TimerId, generation: u64 },
+    Crash,
+}
+
+struct Event<M> {
+    at: Micros,
+    node: NodeId,
+    kind: EventKind<M>,
+}
+
+/// Heap entry ordered by (earliest time, insertion order); the event payload
+/// does not participate in the ordering.
+struct QueueItem<M> {
+    key: Reverse<(u64, u64)>,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for QueueItem<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<M> Eq for QueueItem<M> {}
+
+impl<M> PartialOrd for QueueItem<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for QueueItem<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+struct NodeEntry<M, R> {
+    node: Box<dyn ProtocolNode<Message = M, Response = R>>,
+    region: Region,
+    busy_until: Micros,
+    timer_generation: HashMap<TimerId, u64>,
+    /// Monotonic generation source: never reused, so stale queued timer
+    /// events can never match a re-armed timer.
+    next_generation: u64,
+}
+
+/// A completed client request observed by the simulator.
+#[derive(Clone, Debug)]
+pub struct DeliveryRecord<R> {
+    /// The client that completed a request.
+    pub client: NodeId,
+    /// Virtual time of completion.
+    pub at: Micros,
+    /// The delivery payload (timestamp, response, fast/slow path).
+    pub delivery: ClientDelivery<R>,
+}
+
+/// The deterministic discrete-event network simulator.
+///
+/// Generic over the protocol's message type `M` and client response type
+/// `R`; all nodes in one simulation speak the same protocol.
+pub struct SimNet<M, R> {
+    topology: Topology,
+    config: SimConfig,
+    nodes: HashMap<NodeId, NodeEntry<M, R>>,
+    queue: BinaryHeap<QueueItem<M>>,
+    now: Micros,
+    seq: u64,
+    rng: SmallRng,
+    cost_fn: Option<CostFn<M>>,
+    faults: FaultPlan,
+    stats: SimStats,
+    deliveries: Vec<DeliveryRecord<R>>,
+    started: bool,
+    #[allow(clippy::type_complexity)]
+    trace: Option<(Trace, Box<dyn Fn(&M) -> &'static str + Send>)>,
+}
+
+impl<M, R> fmt::Debug for SimNet<M, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNet")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<M, R> SimNet<M, R>
+where
+    M: Clone + Send + 'static,
+    R: Clone + Send + 'static,
+{
+    /// Creates an empty simulation over `topology`.
+    pub fn new(topology: Topology, config: SimConfig) -> Self {
+        SimNet {
+            topology,
+            config,
+            nodes: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: Micros::ZERO,
+            seq: 0,
+            rng: SmallRng::seed_from_u64(config.seed),
+            cost_fn: None,
+            faults: FaultPlan::default(),
+            stats: SimStats::default(),
+            deliveries: Vec::new(),
+            started: false,
+            trace: None,
+        }
+    }
+
+    /// Enables message tracing, retaining the last `capacity` events.
+    /// `kind` classifies messages for the rendered trace (protocol crates
+    /// expose `Msg::kind()` for exactly this).
+    pub fn enable_trace(
+        &mut self,
+        capacity: usize,
+        kind: impl Fn(&M) -> &'static str + Send + 'static,
+    ) {
+        self.trace = Some((Trace::new(capacity), Box::new(kind)));
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref().map(|(t, _)| t)
+    }
+
+    /// Registers a node located in `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node with the same id is already registered, or the
+    /// region is out of range for the topology.
+    pub fn add_node(
+        &mut self,
+        region: Region,
+        node: Box<dyn ProtocolNode<Message = M, Response = R>>,
+    ) {
+        assert!(region.index() < self.topology.len(), "region out of range");
+        let id = node.id();
+        let prev = self.nodes.insert(
+            id,
+            NodeEntry {
+                node,
+                region,
+                busy_until: Micros::ZERO,
+                timer_generation: HashMap::new(),
+                next_generation: 0,
+            },
+        );
+        assert!(prev.is_none(), "duplicate node {id:?}");
+    }
+
+    /// Installs a processing-cost function (FIFO server per node).
+    pub fn set_cost_fn(&mut self, f: impl FnMut(NodeId, &M) -> Micros + Send + 'static) {
+        self.cost_fn = Some(Box::new(f));
+    }
+
+    /// Mutable access to the fault plan.
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    /// Schedules a crash-stop of `node` at virtual time `at`.
+    pub fn schedule_crash(&mut self, node: impl Into<NodeId>, at: Micros) {
+        let node = node.into();
+        self.push_event(at, node, EventKind::Crash);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Region of a registered node.
+    pub fn region_of(&self, node: NodeId) -> Option<Region> {
+        self.nodes.get(&node).map(|e| e.region)
+    }
+
+    /// Introspects a node's state (nodes opt in via
+    /// [`ProtocolNode::as_any`]). Used by safety checkers after a run.
+    pub fn inspect(&self, node: NodeId) -> Option<&dyn std::any::Any> {
+        self.nodes.get(&node).and_then(|e| e.node.as_any())
+    }
+
+    /// Completed client requests observed so far, in completion order.
+    pub fn deliveries(&self) -> &[DeliveryRecord<R>] {
+        &self.deliveries
+    }
+
+    /// Drains the recorded deliveries (useful between phases of a long run).
+    pub fn take_deliveries(&mut self) -> Vec<DeliveryRecord<R>> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// Runs until the event queue empties or a configured cap is hit.
+    pub fn run(&mut self) {
+        self.run_inner(|_| false);
+    }
+
+    /// Runs until virtual time reaches `deadline` (or the queue empties).
+    pub fn run_until_time(&mut self, deadline: Micros) {
+        self.run_inner(|sim| sim.now >= deadline);
+    }
+
+    /// Runs until `target` total client deliveries have been observed (or a
+    /// cap / queue exhaustion stops the run).
+    pub fn run_until_deliveries(&mut self, target: usize) {
+        self.run_inner(|sim| sim.deliveries.len() >= target);
+    }
+
+    fn start_nodes(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort(); // deterministic start order regardless of map layout
+        for id in ids {
+            let mut out = Actions::new(self.now);
+            if let Some(entry) = self.nodes.get_mut(&id) {
+                entry.node.on_start(&mut out);
+            }
+            self.apply_actions(id, out);
+        }
+    }
+
+    fn run_inner(&mut self, mut stop: impl FnMut(&SimNet<M, R>) -> bool) {
+        self.start_nodes();
+        while !stop(self) {
+            if self.now >= self.config.max_virtual_time
+                || self.stats.events >= self.config.max_events
+            {
+                break;
+            }
+            let Some(QueueItem { event, .. }) = self.queue.pop() else { break };
+            debug_assert!(event.at >= self.now, "time went backwards");
+            self.now = event.at;
+            self.stats.events += 1;
+            self.dispatch(event);
+        }
+    }
+
+    fn dispatch(&mut self, event: Event<M>) {
+        let node_id = event.node;
+        match event.kind {
+            EventKind::Crash => {
+                self.faults.crash(node_id);
+            }
+            EventKind::Timer { id, generation } => {
+                if self.faults.is_crashed(node_id) {
+                    return;
+                }
+                let Some(entry) = self.nodes.get_mut(&node_id) else { return };
+                if entry.timer_generation.get(&id).copied() != Some(generation) {
+                    return; // cancelled or re-armed
+                }
+                entry.timer_generation.remove(&id);
+                self.stats.timers_fired += 1;
+                if let Some((trace, _)) = &mut self.trace {
+                    trace.record(TraceEvent::Timer { at: self.now, node: node_id });
+                }
+                let entry = self.nodes.get_mut(&node_id).expect("present");
+                let mut out = Actions::new(self.now);
+                entry.node.on_timer(id, &mut out);
+                self.apply_actions(node_id, out);
+            }
+            EventKind::Deliver { from, msg } => {
+                if self.faults.blocks(from, node_id) {
+                    self.stats.messages_dropped += 1;
+                    return;
+                }
+                // FIFO server: queue behind the node's in-progress work,
+                // then pay the service cost; the node observes the world at
+                // service completion.
+                let (start, service) = {
+                    let Some(entry) = self.nodes.get(&node_id) else { return };
+                    let start = self.now.max(entry.busy_until);
+                    let service = match &mut self.cost_fn {
+                        Some(f) => f(node_id, &msg),
+                        None => Micros::ZERO,
+                    };
+                    (start, service)
+                };
+                let completion = start + service;
+                if let Some((trace, kind)) = &mut self.trace {
+                    trace.record(TraceEvent::Delivered {
+                        at: completion,
+                        from,
+                        to: node_id,
+                        kind: kind(&msg),
+                    });
+                }
+                let entry = self.nodes.get_mut(&node_id).expect("checked above");
+                entry.busy_until = completion;
+                self.stats.messages_delivered += 1;
+                let mut out = Actions::new(completion);
+                entry.node.on_message(from, msg, &mut out);
+                // Advance the clock view for action scheduling: actions take
+                // effect at service completion.
+                let saved_now = self.now;
+                self.now = completion;
+                self.apply_actions(node_id, out);
+                self.now = saved_now;
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, origin: NodeId, mut out: Actions<M, R>) {
+        for action in out.take() {
+            match action {
+                Action::Send { to, msg } => self.send_message(origin, to, msg),
+                Action::SetTimer { id, after } => {
+                    let generation = {
+                        let Some(entry) = self.nodes.get_mut(&origin) else { continue };
+                        entry.next_generation += 1;
+                        let g = entry.next_generation;
+                        entry.timer_generation.insert(id, g);
+                        g
+                    };
+                    self.push_event(self.now + after, origin, EventKind::Timer { id, generation });
+                }
+                Action::CancelTimer { id } => {
+                    if let Some(entry) = self.nodes.get_mut(&origin) {
+                        entry.timer_generation.remove(&id);
+                    }
+                }
+                Action::Deliver(delivery) => {
+                    self.deliveries.push(DeliveryRecord {
+                        client: origin,
+                        at: self.now,
+                        delivery,
+                    });
+                }
+            }
+        }
+    }
+
+    fn send_message(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if self.faults.blocks(from, to)
+            || (self.faults.drop_prob > 0.0 && self.rng.gen::<f64>() < self.faults.drop_prob)
+        {
+            self.stats.messages_dropped += 1;
+            if let Some((trace, _)) = &mut self.trace {
+                trace.record(TraceEvent::Dropped { at: self.now, from, to });
+            }
+            return;
+        }
+        if let Some((trace, kind)) = &mut self.trace {
+            trace.record(TraceEvent::Sent { at: self.now, from, to, kind: kind(&msg) });
+        }
+        let Some(from_entry) = self.nodes.get(&from) else { return };
+        let Some(to_entry) = self.nodes.get(&to) else { return };
+        let base = self.topology.owd(from_entry.region, to_entry.region);
+        let jitter_bound = self.topology.jitter_bound().as_micros();
+        let jitter = if jitter_bound == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=jitter_bound)
+        };
+        self.stats.messages_sent += 1;
+        self.push_event(
+            self.now + base + Micros(jitter),
+            to,
+            EventKind::Deliver { from, msg },
+        );
+    }
+
+    fn push_event(&mut self, at: Micros, node: NodeId, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueueItem {
+            key: Reverse((at.as_micros(), seq)),
+            event: Event { at, node, kind },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezbft_smr::{ClientId, ReplicaId, Timestamp};
+
+    /// Ping-pong test protocol: node 0 sends `k` to node 1, node 1 replies
+    /// `k + 1`, until a bound; completions are reported as deliveries.
+    struct Pinger {
+        me: NodeId,
+        peer: NodeId,
+        limit: u32,
+        active: bool,
+    }
+
+    impl ProtocolNode for Pinger {
+        type Message = u32;
+        type Response = u32;
+
+        fn id(&self) -> NodeId {
+            self.me
+        }
+
+        fn on_start(&mut self, out: &mut Actions<u32, u32>) {
+            if self.active {
+                out.send(self.peer, 0);
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: u32, out: &mut Actions<u32, u32>) {
+            if msg >= self.limit {
+                out.deliver(Timestamp(msg as u64), msg, true);
+                return;
+            }
+            out.send(self.peer, msg + 1);
+        }
+    }
+
+    /// A node that exercises timers: arms, re-arms, cancels.
+    struct TimerNode {
+        me: NodeId,
+        fired: Vec<u64>,
+    }
+
+    impl ProtocolNode for TimerNode {
+        type Message = u32;
+        type Response = u32;
+
+        fn id(&self) -> NodeId {
+            self.me
+        }
+
+        fn on_start(&mut self, out: &mut Actions<u32, u32>) {
+            out.set_timer(TimerId(1), Micros(100));
+            out.set_timer(TimerId(2), Micros(200));
+            out.set_timer(TimerId(2), Micros(300)); // re-arm: only 300 fires
+            out.set_timer(TimerId(3), Micros(50));
+            out.cancel_timer(TimerId(3)); // never fires
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: u32, _out: &mut Actions<u32, u32>) {}
+
+        fn on_timer(&mut self, id: TimerId, out: &mut Actions<u32, u32>) {
+            self.fired.push(id.0);
+            out.deliver(Timestamp(id.0), id.0 as u32, false);
+        }
+    }
+
+    fn two_node_sim() -> SimNet<u32, u32> {
+        // Both nodes in the same region: each hop pays the 100us local delay.
+        let mut sim = SimNet::new(Topology::lan(1).with_jitter(Micros::ZERO), SimConfig::default());
+        let a = NodeId::Replica(ReplicaId::new(0));
+        let b = NodeId::Replica(ReplicaId::new(1));
+        sim.add_node(Region(0), Box::new(Pinger { me: a, peer: b, limit: 10, active: true }));
+        sim.add_node(Region(0), Box::new(Pinger { me: b, peer: a, limit: 10, active: false }));
+        sim
+    }
+
+    #[test]
+    fn ping_pong_completes() {
+        let mut sim = two_node_sim();
+        sim.run_until_deliveries(1);
+        assert_eq!(sim.deliveries().len(), 1);
+        assert_eq!(sim.deliveries()[0].delivery.response, 10);
+        // Message k arrives at (k+1) * 100us; delivery on receipt of msg 10.
+        assert_eq!(sim.deliveries()[0].at, Micros(11 * 100));
+        assert!(sim.stats().messages_delivered >= 10);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_run() {
+        let run = |seed: u64| {
+            let mut sim = SimNet::new(Topology::exp1(), SimConfig { seed, ..Default::default() });
+            let a = NodeId::Replica(ReplicaId::new(0));
+            let b = NodeId::Replica(ReplicaId::new(1));
+            sim.add_node(Region(0), Box::new(Pinger { me: a, peer: b, limit: 20, active: true }));
+            sim.add_node(Region(3), Box::new(Pinger { me: b, peer: a, limit: 20, active: false }));
+            sim.run_until_deliveries(1);
+            (sim.now(), sim.stats().messages_sent)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0); // different jitter
+    }
+
+    #[test]
+    fn timers_fire_rearm_cancel() {
+        let mut sim: SimNet<u32, u32> =
+            SimNet::new(Topology::lan(1).with_jitter(Micros::ZERO), SimConfig::default());
+        let me = NodeId::Client(ClientId::new(0));
+        sim.add_node(Region(0), Box::new(TimerNode { me, fired: Vec::new() }));
+        sim.run();
+        // Timer 3 cancelled; timer 2 re-armed to 300; timer 1 at 100.
+        let fired: Vec<u64> =
+            sim.deliveries().iter().map(|d| d.delivery.response as u64).collect();
+        assert_eq!(fired, vec![1, 2]);
+        assert_eq!(sim.deliveries()[0].at, Micros(100));
+        assert_eq!(sim.deliveries()[1].at, Micros(300));
+        assert_eq!(sim.stats().timers_fired, 2);
+    }
+
+    #[test]
+    fn crashed_node_is_silent() {
+        let mut sim = two_node_sim();
+        sim.faults_mut().crash(ReplicaId::new(1));
+        sim.run_until_time(Micros::from_secs(1));
+        assert_eq!(sim.deliveries().len(), 0);
+        assert!(sim.stats().messages_dropped >= 1);
+    }
+
+    #[test]
+    fn scheduled_crash_stops_progress_midway() {
+        let mut sim = two_node_sim();
+        // Each hop takes 100us; crash node 1 at 450us → roughly 4 hops happen.
+        sim.schedule_crash(ReplicaId::new(1), Micros(450));
+        sim.run_until_time(Micros::from_secs(1));
+        assert_eq!(sim.deliveries().len(), 0);
+        let delivered = sim.stats().messages_delivered;
+        assert!(delivered >= 3 && delivered <= 6, "delivered={delivered}");
+    }
+
+    #[test]
+    fn cut_link_blocks_direction() {
+        let mut sim = two_node_sim();
+        sim.faults_mut().cut_link(ReplicaId::new(0), ReplicaId::new(1));
+        sim.run_until_time(Micros::from_secs(1));
+        // The opening ping is dropped; nothing ever happens.
+        assert_eq!(sim.stats().messages_delivered, 0);
+    }
+
+    #[test]
+    fn wan_delay_applied() {
+        let mut sim = SimNet::new(
+            Topology::exp1().with_jitter(Micros::ZERO),
+            SimConfig::default(),
+        );
+        let a = NodeId::Replica(ReplicaId::new(0));
+        let b = NodeId::Replica(ReplicaId::new(1));
+        // Virginia <-> Australia: 100ms one-way; ping out + pong back.
+        sim.add_node(Region(0), Box::new(Pinger { me: a, peer: b, limit: 1, active: true }));
+        sim.add_node(Region(3), Box::new(Pinger { me: b, peer: a, limit: 1, active: false }));
+        sim.run_until_deliveries(1);
+        assert_eq!(sim.deliveries()[0].at, Micros::from_millis(200));
+    }
+
+    #[test]
+    fn cost_model_queues_messages_fifo() {
+        // One receiver, two messages arriving together: the second waits for
+        // the first's service to finish.
+        struct Burst {
+            me: NodeId,
+            peer: NodeId,
+        }
+        impl ProtocolNode for Burst {
+            type Message = u32;
+            type Response = u32;
+            fn id(&self) -> NodeId {
+                self.me
+            }
+            fn on_start(&mut self, out: &mut Actions<u32, u32>) {
+                out.send(self.peer, 1);
+                out.send(self.peer, 2);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u32, _o: &mut Actions<u32, u32>) {}
+        }
+        struct Sink {
+            me: NodeId,
+        }
+        impl ProtocolNode for Sink {
+            type Message = u32;
+            type Response = u32;
+            fn id(&self) -> NodeId {
+                self.me
+            }
+            fn on_message(&mut self, _f: NodeId, m: u32, out: &mut Actions<u32, u32>) {
+                out.deliver(Timestamp(m as u64), m, true);
+            }
+        }
+        let mut sim = SimNet::new(Topology::lan(1).with_jitter(Micros::ZERO), SimConfig::default());
+        let a = NodeId::Replica(ReplicaId::new(0));
+        let b = NodeId::Replica(ReplicaId::new(1));
+        sim.add_node(Region(0), Box::new(Burst { me: a, peer: b }));
+        sim.add_node(Region(0), Box::new(Sink { me: b }));
+        sim.set_cost_fn(|_, _| Micros(1_000));
+        sim.run();
+        let times: Vec<u64> = sim.deliveries().iter().map(|d| d.at.as_micros()).collect();
+        // Arrivals at 100us; service 1ms each, FIFO: completions at 1.1ms, 2.1ms.
+        assert_eq!(times, vec![1_100, 2_100]);
+    }
+
+    #[test]
+    fn drop_probability_loses_messages() {
+        let mut sim = two_node_sim();
+        sim.faults_mut().set_drop_probability(1.0);
+        sim.run_until_time(Micros::from_secs(1));
+        assert_eq!(sim.stats().messages_delivered, 0);
+        assert!(sim.stats().messages_dropped >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_node_rejected() {
+        let mut sim: SimNet<u32, u32> = SimNet::new(Topology::lan(1), SimConfig::default());
+        let a = NodeId::Replica(ReplicaId::new(0));
+        sim.add_node(Region(0), Box::new(Pinger { me: a, peer: a, limit: 1, active: false }));
+        sim.add_node(Region(0), Box::new(Pinger { me: a, peer: a, limit: 1, active: false }));
+    }
+
+    #[test]
+    fn trace_records_send_deliver_and_drops() {
+        let mut sim = two_node_sim();
+        sim.enable_trace(64, |_m| "ping");
+        sim.faults_mut().set_drop_probability(0.0);
+        sim.run_until_deliveries(1);
+        let trace = sim.trace().expect("enabled");
+        assert!(trace.recorded() >= 10, "recorded {}", trace.recorded());
+        let rendered = trace.render();
+        assert!(rendered.contains("send ping"));
+        assert!(rendered.contains("recv ping"));
+        // Times are non-decreasing within the window.
+        let times: Vec<u64> =
+            trace.events().map(|e| e.at().as_micros()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn max_events_cap_stops_runaway() {
+        struct Storm {
+            me: NodeId,
+        }
+        impl ProtocolNode for Storm {
+            type Message = u32;
+            type Response = u32;
+            fn id(&self) -> NodeId {
+                self.me
+            }
+            fn on_start(&mut self, out: &mut Actions<u32, u32>) {
+                out.send(self.me, 0);
+            }
+            fn on_message(&mut self, _f: NodeId, m: u32, out: &mut Actions<u32, u32>) {
+                out.send(self.me, m);
+            }
+        }
+        let mut sim = SimNet::new(
+            Topology::lan(1),
+            SimConfig { max_events: 1_000, ..Default::default() },
+        );
+        let a = NodeId::Replica(ReplicaId::new(0));
+        sim.add_node(Region(0), Box::new(Storm { me: a }));
+        sim.run();
+        assert!(sim.stats().events <= 1_001);
+    }
+}

@@ -1,0 +1,187 @@
+//! Optional message tracing for debugging simulations.
+//!
+//! A [`Trace`] records a bounded window of network-level events (sends,
+//! deliveries, drops, timer firings) with virtual timestamps; the protocol
+//! crates' `Msg::kind()` tags make the rendered trace readable. Disabled by
+//! default — the recorder costs one enum per message.
+
+use std::collections::VecDeque;
+
+use ezbft_smr::{Micros, NodeId};
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message entered the network.
+    Sent {
+        /// Virtual send time.
+        at: Micros,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Message kind tag.
+        kind: &'static str,
+    },
+    /// A message was handed to its destination.
+    Delivered {
+        /// Virtual delivery time (post service).
+        at: Micros,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Message kind tag.
+        kind: &'static str,
+    },
+    /// A message was dropped by fault injection.
+    Dropped {
+        /// Virtual drop time.
+        at: Micros,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+    },
+    /// A timer fired at a node.
+    Timer {
+        /// Virtual fire time.
+        at: Micros,
+        /// The node whose timer fired.
+        node: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// The event's virtual time.
+    pub fn at(&self) -> Micros {
+        match self {
+            TraceEvent::Sent { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::Dropped { at, .. }
+            | TraceEvent::Timer { at, .. } => *at,
+        }
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl Trace {
+    /// Creates a trace retaining the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace { events: VecDeque::with_capacity(capacity.min(4096)), capacity, recorded: 0 }
+    }
+
+    /// Records an event, evicting the oldest if full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+        self.recorded += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the retained window as one line per event.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Sent { at, from, to, kind } => {
+                    let _ = writeln!(out, "{at:?}  {from:?} → {to:?}  send {kind}");
+                }
+                TraceEvent::Delivered { at, from, to, kind } => {
+                    let _ = writeln!(out, "{at:?}  {from:?} → {to:?}  recv {kind}");
+                }
+                TraceEvent::Dropped { at, from, to } => {
+                    let _ = writeln!(out, "{at:?}  {from:?} → {to:?}  DROPPED");
+                }
+                TraceEvent::Timer { at, node } => {
+                    let _ = writeln!(out, "{at:?}  {node:?}  timer");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezbft_smr::ReplicaId;
+
+    fn node(i: u8) -> NodeId {
+        NodeId::Replica(ReplicaId::new(i))
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::new(8);
+        assert!(t.is_empty());
+        t.record(TraceEvent::Sent { at: Micros(1), from: node(0), to: node(1), kind: "a" });
+        t.record(TraceEvent::Delivered { at: Micros(2), from: node(0), to: node(1), kind: "a" });
+        assert_eq!(t.len(), 2);
+        let times: Vec<u64> = t.events().map(|e| e.at().as_micros()).collect();
+        assert_eq!(times, vec![1, 2]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5u64 {
+            t.record(TraceEvent::Timer { at: Micros(i), node: node(0) });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 5);
+        let times: Vec<u64> = t.events().map(|e| e.at().as_micros()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = Trace::new(0);
+        t.record(TraceEvent::Timer { at: Micros(1), node: node(0) });
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 0);
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut t = Trace::new(4);
+        t.record(TraceEvent::Sent { at: Micros(1), from: node(0), to: node(1), kind: "req" });
+        t.record(TraceEvent::Dropped { at: Micros(2), from: node(1), to: node(0) });
+        let text = t.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("send req"));
+        assert!(text.contains("DROPPED"));
+    }
+}

@@ -1,0 +1,210 @@
+//! The replicated application interface.
+
+use std::fmt::Debug;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::command::Command;
+
+/// A deterministic replicated state machine.
+///
+/// Determinism is the only semantic requirement: applying the same sequence
+/// of commands to two instances created by the same constructor must produce
+/// identical responses and identical states. Every protocol in this
+/// workspace replicates an `Application`.
+///
+/// `Clone` is required so execution engines can maintain a speculative copy
+/// of the state alongside the final one (see [`CloneReplay`]).
+pub trait Application: Clone + Send + 'static {
+    /// The command type this application executes.
+    type Command: Command;
+    /// The response returned to the client for each command.
+    type Response: Clone + Debug + Eq + std::hash::Hash + Serialize + DeserializeOwned + Send + 'static;
+
+    /// Executes one command against the state, returning the response.
+    fn apply(&mut self, cmd: &Self::Command) -> Self::Response;
+}
+
+/// A speculative execution wrapper built from any [`Application`]
+/// (paper §IV-B).
+///
+/// ezBFT and Zyzzyva execute commands *speculatively* before their order is
+/// final, then re-execute on the *final* state once commitment is reached.
+/// `CloneReplay` keeps two copies of the application:
+///
+/// - the **final** state, advanced only by finally-executed commands, and
+/// - the **speculative** state, equal to the final state plus every
+///   speculatively executed (not yet finalised) command, replayed in local
+///   arrival order.
+///
+/// Invalidation (a command's final order differs from its speculative order,
+/// §IV-C step 5.2) rebuilds the speculative state from the final state by
+/// replaying the surviving speculative suffix — simple, obviously correct,
+/// and fast enough for simulation-scale workloads. The KV crate additionally
+/// provides an undo-log overlay with the same semantics for benchmarks.
+#[derive(Clone, Debug)]
+pub struct CloneReplay<A: Application> {
+    final_state: A,
+    spec_state: A,
+    /// Speculatively executed commands (with a caller-chosen key) in local
+    /// execution order, not yet finalised.
+    spec_log: Vec<(u128, A::Command)>,
+}
+
+impl<A: Application> CloneReplay<A> {
+    /// Wraps a fresh application state.
+    pub fn new(app: A) -> Self {
+        CloneReplay { final_state: app.clone(), spec_state: app, spec_log: Vec::new() }
+    }
+
+    /// Executes `cmd` speculatively (on top of final state + earlier
+    /// speculative commands), tagging it with `key` for later finalisation
+    /// or invalidation.
+    pub fn spec_apply(&mut self, key: u128, cmd: &A::Command) -> A::Response {
+        self.spec_log.push((key, cmd.clone()));
+        self.spec_state.apply(cmd)
+    }
+
+    /// Executes `cmd` on the **final** state (final execution). If the same
+    /// key was speculatively executed it is removed from the speculative log
+    /// and the speculative state is rebuilt — except in the common, in-order
+    /// case (the key heads the speculative log), where the overlay already
+    /// accounts for exactly this command and no rebuild is needed.
+    pub fn final_apply(&mut self, key: u128, cmd: &A::Command) -> A::Response {
+        let resp = self.final_state.apply(cmd);
+        if self.spec_log.first().map(|(k, _)| *k) == Some(key) {
+            // spec_state = final_before + [cmd] + rest = final_after + rest:
+            // already consistent, no rebuild.
+            self.spec_log.remove(0);
+            return resp;
+        }
+        let had_spec = self.spec_log.iter().any(|(k, _)| *k == key);
+        if had_spec {
+            self.spec_log.retain(|(k, _)| *k != key);
+        }
+        self.rebuild_spec();
+        resp
+    }
+
+    /// Discards the speculative execution tagged `key` (if any) and rebuilds
+    /// the speculative state without it.
+    pub fn invalidate(&mut self, key: u128) {
+        let before = self.spec_log.len();
+        self.spec_log.retain(|(k, _)| *k != key);
+        if self.spec_log.len() != before {
+            self.rebuild_spec();
+        }
+    }
+
+    /// Discards *all* speculative executions, resetting the speculative
+    /// state to the final state.
+    pub fn invalidate_all(&mut self) {
+        self.spec_log.clear();
+        self.spec_state = self.final_state.clone();
+    }
+
+    /// Number of outstanding speculative commands.
+    pub fn spec_len(&self) -> usize {
+        self.spec_log.len()
+    }
+
+    /// Read-only access to the final state.
+    pub fn final_state(&self) -> &A {
+        &self.final_state
+    }
+
+    /// Read-only access to the speculative state.
+    pub fn spec_state(&self) -> &A {
+        &self.spec_state
+    }
+
+    fn rebuild_spec(&mut self) {
+        self.spec_state = self.final_state.clone();
+        for (_, cmd) in &self.spec_log {
+            self.spec_state.apply(cmd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{Command, ConflictKey};
+    use serde::{Deserialize, Serialize};
+
+    /// A toy register machine: `Set(v)` returns the old value.
+    #[derive(Clone, Debug, Default)]
+    struct Register {
+        value: u64,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+    struct Set(u64);
+
+    impl Command for Set {
+        fn conflict_keys(&self) -> Vec<ConflictKey> {
+            vec![ConflictKey::write(0)]
+        }
+    }
+
+    impl Application for Register {
+        type Command = Set;
+        type Response = u64;
+        fn apply(&mut self, cmd: &Set) -> u64 {
+            let old = self.value;
+            self.value = cmd.0;
+            old
+        }
+    }
+
+    #[test]
+    fn spec_then_final_same_order_is_transparent() {
+        let mut s = CloneReplay::new(Register::default());
+        assert_eq!(s.spec_apply(1, &Set(10)), 0);
+        assert_eq!(s.spec_apply(2, &Set(20)), 10);
+        // Finalise in the same order: final responses match speculative ones.
+        assert_eq!(s.final_apply(1, &Set(10)), 0);
+        assert_eq!(s.final_apply(2, &Set(20)), 10);
+        assert_eq!(s.final_state().value, 20);
+        assert_eq!(s.spec_state().value, 20);
+        assert_eq!(s.spec_len(), 0);
+    }
+
+    #[test]
+    fn final_in_different_order_rebuilds_spec() {
+        let mut s = CloneReplay::new(Register::default());
+        s.spec_apply(1, &Set(10)); // spec order: 1, 2
+        s.spec_apply(2, &Set(20));
+        // Final order is 2 then 1.
+        assert_eq!(s.final_apply(2, &Set(20)), 0);
+        // Spec state now = final(value=20) + replay of key 1.
+        assert_eq!(s.spec_state().value, 10);
+        assert_eq!(s.final_apply(1, &Set(10)), 20);
+        assert_eq!(s.final_state().value, 10);
+        assert_eq!(s.spec_state().value, 10);
+    }
+
+    #[test]
+    fn invalidate_removes_only_target() {
+        let mut s = CloneReplay::new(Register::default());
+        s.spec_apply(1, &Set(10));
+        s.spec_apply(2, &Set(20));
+        s.invalidate(1);
+        assert_eq!(s.spec_len(), 1);
+        // Spec state replays only Set(20) over final state 0.
+        assert_eq!(s.spec_state().value, 20);
+        s.invalidate_all();
+        assert_eq!(s.spec_len(), 0);
+        assert_eq!(s.spec_state().value, 0);
+    }
+
+    #[test]
+    fn invalidate_missing_key_is_noop() {
+        let mut s = CloneReplay::new(Register::default());
+        s.spec_apply(1, &Set(10));
+        s.invalidate(99);
+        assert_eq!(s.spec_len(), 1);
+        assert_eq!(s.spec_state().value, 10);
+    }
+}

@@ -1,0 +1,167 @@
+//! Commands and the interference relation (paper §III).
+//!
+//! ezBFT orders only *interfering* commands with respect to each other: two
+//! commands `L0`, `L1` interfere if executing them in different orders after
+//! some common prefix can produce different final states. Applications
+//! declare interference structurally through [`ConflictKey`]s: each command
+//! touches a set of abstract keys with an [`AccessMode`], and two commands
+//! interfere iff they share a key on which at least one of them performs a
+//! non-commuting write.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+/// How a command accesses one of its conflict keys.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// Read-only access: commutes with other reads and with commuting writes?
+    /// No — reads observe state, so a read conflicts with any write
+    /// (including commuting writes) but not with other reads.
+    Read,
+    /// A write whose effect depends on ordering relative to other accesses.
+    Write,
+    /// A write that commutes with other commuting writes on the same key
+    /// (e.g. a blind increment that returns no value, §VI: "mutative
+    /// operations (such as incrementing a variable) are commutative").
+    /// It still conflicts with reads and plain writes.
+    CommutingWrite,
+}
+
+impl AccessMode {
+    /// Whether two accesses to the *same* key interfere.
+    pub fn conflicts_with(self, other: AccessMode) -> bool {
+        use AccessMode::*;
+        match (self, other) {
+            (Read, Read) => false,
+            (CommutingWrite, CommutingWrite) => false,
+            _ => true,
+        }
+    }
+}
+
+/// An abstract conflict key: a 64-bit identity (typically a hash of the
+/// application-level key) plus the access mode.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ConflictKey {
+    /// Identity of the state fragment being accessed.
+    pub key: u64,
+    /// How the fragment is accessed.
+    pub mode: AccessMode,
+}
+
+impl ConflictKey {
+    /// A read access to `key`.
+    pub const fn read(key: u64) -> Self {
+        ConflictKey { key, mode: AccessMode::Read }
+    }
+
+    /// A write access to `key`.
+    pub const fn write(key: u64) -> Self {
+        ConflictKey { key, mode: AccessMode::Write }
+    }
+
+    /// A commuting-write access to `key`.
+    pub const fn commuting_write(key: u64) -> Self {
+        ConflictKey { key, mode: AccessMode::CommutingWrite }
+    }
+}
+
+/// Computes interference between two conflict-key sets.
+///
+/// Two commands interfere iff they share a key with conflicting access modes.
+/// This is the structural realisation of the paper's semantic definition
+/// ("serial execution of Σ, L0, L1 is not equivalent to Σ, L1, L0").
+pub fn interferes_by_keys(a: &[ConflictKey], b: &[ConflictKey]) -> bool {
+    // Key sets are tiny (1-2 entries for a KV store), so the quadratic scan
+    // beats building hash sets.
+    a.iter().any(|ka| {
+        b.iter().any(|kb| ka.key == kb.key && ka.mode.conflicts_with(kb.mode))
+    })
+}
+
+/// A replicated command.
+///
+/// Protocols are generic over the command type: they never inspect the
+/// payload beyond the interference metadata, and they move commands around
+/// by value (serialising them into messages as needed).
+pub trait Command:
+    Clone + Debug + Eq + Hash + Serialize + DeserializeOwned + Send + 'static
+{
+    /// The conflict keys this command touches.
+    fn conflict_keys(&self) -> Vec<ConflictKey>;
+
+    /// Whether this command interferes with `other`.
+    ///
+    /// The default derives interference from [`Command::conflict_keys`];
+    /// override only if the application has a cheaper structural test.
+    fn interferes(&self, other: &Self) -> bool {
+        interferes_by_keys(&self.conflict_keys(), &other.conflict_keys())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+    struct TestCmd(Vec<ConflictKey>);
+
+    impl Command for TestCmd {
+        fn conflict_keys(&self) -> Vec<ConflictKey> {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn reads_commute() {
+        assert!(!AccessMode::Read.conflicts_with(AccessMode::Read));
+        let a = TestCmd(vec![ConflictKey::read(1)]);
+        let b = TestCmd(vec![ConflictKey::read(1)]);
+        assert!(!a.interferes(&b));
+    }
+
+    #[test]
+    fn write_conflicts_with_everything_on_same_key() {
+        for mode in [AccessMode::Read, AccessMode::Write, AccessMode::CommutingWrite] {
+            assert!(AccessMode::Write.conflicts_with(mode));
+            assert!(mode.conflicts_with(AccessMode::Write));
+        }
+    }
+
+    #[test]
+    fn commuting_writes_commute_with_each_other_only() {
+        assert!(!AccessMode::CommutingWrite.conflicts_with(AccessMode::CommutingWrite));
+        assert!(AccessMode::CommutingWrite.conflicts_with(AccessMode::Read));
+        assert!(AccessMode::CommutingWrite.conflicts_with(AccessMode::Write));
+    }
+
+    #[test]
+    fn disjoint_keys_never_interfere() {
+        let a = TestCmd(vec![ConflictKey::write(1)]);
+        let b = TestCmd(vec![ConflictKey::write(2)]);
+        assert!(!a.interferes(&b));
+    }
+
+    #[test]
+    fn shared_key_write_interferes() {
+        let a = TestCmd(vec![ConflictKey::write(9), ConflictKey::read(1)]);
+        let b = TestCmd(vec![ConflictKey::read(9)]);
+        assert!(a.interferes(&b));
+        assert!(b.interferes(&a));
+    }
+
+    #[test]
+    fn interference_is_symmetric_over_samples() {
+        let modes = [AccessMode::Read, AccessMode::Write, AccessMode::CommutingWrite];
+        for &ma in &modes {
+            for &mb in &modes {
+                let a = TestCmd(vec![ConflictKey { key: 5, mode: ma }]);
+                let b = TestCmd(vec![ConflictKey { key: 5, mode: mb }]);
+                assert_eq!(a.interferes(&b), b.interferes(&a), "{ma:?} vs {mb:?}");
+            }
+        }
+    }
+}

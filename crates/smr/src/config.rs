@@ -1,0 +1,204 @@
+//! Cluster configuration and quorum arithmetic (paper §II).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::ReplicaId;
+
+/// Error constructing a [`ClusterConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `n` does not satisfy `n = 3f + 1` for any `f >= 0`, or is too small.
+    InvalidSize {
+        /// The offending replica count.
+        n: usize,
+    },
+    /// More replicas than [`ReplicaId`] can address.
+    TooManyReplicas {
+        /// The offending replica count.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidSize { n } => {
+                write!(f, "cluster size {n} is not of the form 3f + 1 with f >= 1")
+            }
+            ConfigError::TooManyReplicas { n } => {
+                write!(f, "cluster size {n} exceeds the addressable replica range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Static cluster configuration: the replica count `N = 3f + 1` and the
+/// derived quorum sizes.
+///
+/// ezBFT uses two quorums (§II): a *fast quorum* of `3f + 1` replicas and a
+/// *slow quorum* of `2f + 1` replicas. The owner-change protocol (§IV-E)
+/// additionally commits on `f + 1` matching reports (the TLA+ appendix calls
+/// these *weak quorums*). PBFT/Zyzzyva/FaB reuse the same arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    f: usize,
+}
+
+impl ClusterConfig {
+    /// Configuration tolerating `f >= 1` byzantine faults with `N = 3f + 1`
+    /// replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0` or the resulting `N` exceeds the replica id range;
+    /// use [`ClusterConfig::try_for_faults`] for fallible construction.
+    pub fn for_faults(f: usize) -> Self {
+        Self::try_for_faults(f).expect("invalid fault tolerance")
+    }
+
+    /// Fallible variant of [`ClusterConfig::for_faults`].
+    pub fn try_for_faults(f: usize) -> Result<Self, ConfigError> {
+        let n = 3 * f + 1;
+        if f == 0 {
+            return Err(ConfigError::InvalidSize { n });
+        }
+        if n > u8::MAX as usize + 1 {
+            return Err(ConfigError::TooManyReplicas { n });
+        }
+        Ok(ClusterConfig { f })
+    }
+
+    /// Configuration from a replica count `n`, which must equal `3f + 1`.
+    pub fn try_for_replicas(n: usize) -> Result<Self, ConfigError> {
+        if n < 4 || (n - 1) % 3 != 0 {
+            return Err(ConfigError::InvalidSize { n });
+        }
+        Self::try_for_faults((n - 1) / 3)
+    }
+
+    /// Maximum number of byzantine faults tolerated.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Total replica count `N = 3f + 1`.
+    pub fn n(&self) -> usize {
+        3 * self.f + 1
+    }
+
+    /// Fast-quorum size: `3f + 1` (all replicas).
+    pub fn fast_quorum(&self) -> usize {
+        self.n()
+    }
+
+    /// Slow-quorum size: `2f + 1`.
+    pub fn slow_quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Weak-quorum size: `f + 1` (at least one correct replica).
+    pub fn weak_quorum(&self) -> usize {
+        self.f + 1
+    }
+
+    /// Iterator over all replica ids `R0 .. R(N-1)`.
+    pub fn replicas(&self) -> impl Iterator<Item = ReplicaId> + Clone {
+        (0..self.n() as u8).map(ReplicaId::new)
+    }
+
+    /// Iterator over all replicas except `me`.
+    pub fn peers(&self, me: ReplicaId) -> impl Iterator<Item = ReplicaId> + Clone {
+        self.replicas().filter(move |r| *r != me)
+    }
+
+    /// The replica owning owner-number `o` of some instance space:
+    /// `o mod N` (paper §III, "Instance Owners").
+    pub fn owner_of(&self, owner_number: u64) -> ReplicaId {
+        ReplicaId::new((owner_number % self.n() as u64) as u8)
+    }
+
+    /// Whether `id` addresses a replica in this cluster.
+    pub fn contains(&self, id: ReplicaId) -> bool {
+        id.index() < self.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_sizes_f1() {
+        let c = ClusterConfig::for_faults(1);
+        assert_eq!(c.f(), 1);
+        assert_eq!(c.n(), 4);
+        assert_eq!(c.fast_quorum(), 4);
+        assert_eq!(c.slow_quorum(), 3);
+        assert_eq!(c.weak_quorum(), 2);
+    }
+
+    #[test]
+    fn quorum_sizes_f2() {
+        let c = ClusterConfig::for_faults(2);
+        assert_eq!(c.n(), 7);
+        assert_eq!(c.fast_quorum(), 7);
+        assert_eq!(c.slow_quorum(), 5);
+        assert_eq!(c.weak_quorum(), 3);
+    }
+
+    #[test]
+    fn from_replica_count() {
+        assert_eq!(ClusterConfig::try_for_replicas(4), Ok(ClusterConfig::for_faults(1)));
+        assert_eq!(ClusterConfig::try_for_replicas(7), Ok(ClusterConfig::for_faults(2)));
+        assert_eq!(
+            ClusterConfig::try_for_replicas(5),
+            Err(ConfigError::InvalidSize { n: 5 })
+        );
+        assert_eq!(
+            ClusterConfig::try_for_replicas(3),
+            Err(ConfigError::InvalidSize { n: 3 })
+        );
+    }
+
+    #[test]
+    fn zero_faults_rejected() {
+        assert!(ClusterConfig::try_for_faults(0).is_err());
+    }
+
+    #[test]
+    fn replica_iterators() {
+        let c = ClusterConfig::for_faults(1);
+        let all: Vec<_> = c.replicas().collect();
+        assert_eq!(all.len(), 4);
+        let peers: Vec<_> = c.peers(ReplicaId::new(2)).collect();
+        assert_eq!(peers.len(), 3);
+        assert!(!peers.contains(&ReplicaId::new(2)));
+    }
+
+    #[test]
+    fn owner_of_wraps_modulo_n() {
+        let c = ClusterConfig::for_faults(1);
+        assert_eq!(c.owner_of(0), ReplicaId::new(0));
+        assert_eq!(c.owner_of(3), ReplicaId::new(3));
+        assert_eq!(c.owner_of(4), ReplicaId::new(0));
+        assert_eq!(c.owner_of(9), ReplicaId::new(1));
+    }
+
+    #[test]
+    fn quorum_intersection_invariants() {
+        // Any two slow quorums intersect in at least f+1 replicas, and a
+        // slow quorum and the fast quorum intersect in at least 2f+1.
+        for f in 1..=8 {
+            let c = ClusterConfig::for_faults(f);
+            let slow = c.slow_quorum();
+            let fast = c.fast_quorum();
+            let n = c.n();
+            assert!(2 * slow - n >= f + 1, "slow-slow intersection too small for f={f}");
+            assert!(slow + fast - n >= 2 * f + 1, "slow-fast intersection too small for f={f}");
+        }
+    }
+}

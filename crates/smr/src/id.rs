@@ -1,0 +1,191 @@
+//! Node identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a replica, an index in `0..N`.
+///
+/// The paper names replicas `R0 .. R(N-1)`; the identifier doubles as the
+/// instance-space identifier and as the tie-breaker of last resort when
+/// ordering interfering commands with equal sequence numbers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct ReplicaId(u8);
+
+impl ReplicaId {
+    /// Creates a replica id from its index.
+    pub const fn new(index: u8) -> Self {
+        ReplicaId(index)
+    }
+
+    /// The index of this replica in `0..N`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u8` value.
+    pub const fn as_u8(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<u8> for ReplicaId {
+    fn from(index: u8) -> Self {
+        ReplicaId(index)
+    }
+}
+
+/// Identifier of a client process.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct ClientId(u64);
+
+impl ClientId {
+    /// Creates a client id from a raw value.
+    pub const fn new(id: u64) -> Self {
+        ClientId(id)
+    }
+
+    /// The raw `u64` value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<u64> for ClientId {
+    fn from(id: u64) -> Self {
+        ClientId(id)
+    }
+}
+
+/// Identifier of any node in the system: a replica or a client.
+///
+/// Both kinds of nodes exchange messages directly in every protocol of this
+/// workspace (clients are active protocol participants in ezBFT and Zyzzyva),
+/// so the network layers address both uniformly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// A replica node.
+    Replica(ReplicaId),
+    /// A client node.
+    Client(ClientId),
+}
+
+impl NodeId {
+    /// Returns the replica id if this is a replica.
+    pub fn as_replica(self) -> Option<ReplicaId> {
+        match self {
+            NodeId::Replica(r) => Some(r),
+            NodeId::Client(_) => None,
+        }
+    }
+
+    /// Returns the client id if this is a client.
+    pub fn as_client(self) -> Option<ClientId> {
+        match self {
+            NodeId::Replica(_) => None,
+            NodeId::Client(c) => Some(c),
+        }
+    }
+
+    /// Whether this node is a replica.
+    pub fn is_replica(self) -> bool {
+        matches!(self, NodeId::Replica(_))
+    }
+
+    /// Whether this node is a client.
+    pub fn is_client(self) -> bool {
+        matches!(self, NodeId::Client(_))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Replica(r) => write!(f, "{r}"),
+            NodeId::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<ReplicaId> for NodeId {
+    fn from(r: ReplicaId) -> Self {
+        NodeId::Replica(r)
+    }
+}
+
+impl From<ClientId> for NodeId {
+    fn from(c: ClientId) -> Self {
+        NodeId::Client(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_id_roundtrip() {
+        let r = ReplicaId::new(3);
+        assert_eq!(r.index(), 3);
+        assert_eq!(r.as_u8(), 3);
+        assert_eq!(format!("{r}"), "R3");
+        assert_eq!(ReplicaId::from(3u8), r);
+    }
+
+    #[test]
+    fn client_id_roundtrip() {
+        let c = ClientId::new(42);
+        assert_eq!(c.as_u64(), 42);
+        assert_eq!(format!("{c}"), "C42");
+        assert_eq!(ClientId::from(42u64), c);
+    }
+
+    #[test]
+    fn node_id_projections() {
+        let r: NodeId = ReplicaId::new(1).into();
+        let c: NodeId = ClientId::new(7).into();
+        assert!(r.is_replica() && !r.is_client());
+        assert!(c.is_client() && !c.is_replica());
+        assert_eq!(r.as_replica(), Some(ReplicaId::new(1)));
+        assert_eq!(r.as_client(), None);
+        assert_eq!(c.as_client(), Some(ClientId::new(7)));
+        assert_eq!(c.as_replica(), None);
+    }
+
+    #[test]
+    fn node_id_orders_replicas_before_clients() {
+        let r: NodeId = ReplicaId::new(200).into();
+        let c: NodeId = ClientId::new(0).into();
+        assert!(r < c);
+    }
+}

@@ -1,0 +1,41 @@
+//! Common state-machine-replication abstractions shared by the ezBFT
+//! protocol, its baselines (PBFT, Zyzzyva, FaB), the WAN simulator and the
+//! TCP transport.
+//!
+//! The crate is deliberately small and dependency-light: it defines *what a
+//! protocol is* (a sans-io state machine consuming messages and timers and
+//! emitting [`Action`]s), *what an application is* (a deterministic state
+//! machine with command interference metadata), and the cluster/quorum
+//! arithmetic every BFT protocol in this workspace shares.
+//!
+//! # Example
+//!
+//! ```
+//! use ezbft_smr::{ClusterConfig, ReplicaId};
+//!
+//! let cfg = ClusterConfig::for_faults(1); // N = 3f + 1 = 4
+//! assert_eq!(cfg.n(), 4);
+//! assert_eq!(cfg.fast_quorum(), 4);
+//! assert_eq!(cfg.slow_quorum(), 3);
+//! assert_eq!(cfg.weak_quorum(), 2);
+//! assert!(cfg.replicas().any(|r| r == ReplicaId::new(3)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod app;
+mod command;
+mod config;
+mod id;
+mod node;
+mod quorum;
+mod time;
+
+pub use app::{Application, CloneReplay};
+pub use command::{AccessMode, Command, ConflictKey, interferes_by_keys};
+pub use config::{ClusterConfig, ConfigError};
+pub use id::{ClientId, NodeId, ReplicaId};
+pub use node::{Action, Actions, ClientDelivery, ClientNode, ProtocolNode, TimerId};
+pub use quorum::{MatchTally, QuorumSet, VoteTally};
+pub use time::{Micros, Timestamp};

@@ -1,0 +1,261 @@
+//! The sans-io protocol interface.
+//!
+//! Every protocol participant (replica or client, for every protocol in the
+//! workspace) is a [`ProtocolNode`]: a deterministic state machine that
+//! reacts to `on_start` / `on_message` / `on_timer` by pushing [`Action`]s
+//! into an [`Actions`] sink. Drivers — the discrete-event simulator
+//! (`ezbft-simnet`) and the TCP runtime (`ezbft-transport`) — own the clock,
+//! the timers and the wires, and feed the state machines.
+//!
+//! This split is what makes the reproduction trustworthy: the *same* protocol
+//! code runs under the calibrated WAN simulator for the paper's experiments
+//! and over real sockets in the transport integration tests.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeId;
+use crate::time::{Micros, Timestamp};
+
+/// A protocol-chosen timer identifier.
+///
+/// Timer ids are opaque to the driver; a node may encode whatever it wants
+/// in the 64 bits (most nodes keep a side table from id to payload).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TimerId(pub u64);
+
+impl fmt::Debug for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// A completed client request, reported by client nodes to the driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientDelivery<R> {
+    /// The timestamp of the request that completed.
+    pub ts: Timestamp,
+    /// The application response.
+    pub response: R,
+    /// Whether the request completed on the protocol's fast path.
+    pub fast_path: bool,
+}
+
+/// One effect requested by a protocol node.
+#[derive(Clone, Debug)]
+pub enum Action<M, R> {
+    /// Send `msg` to `to`. Sends to self are delivered like any other
+    /// message (drivers may short-circuit them).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// Arm (or re-arm) timer `id` to fire `after` from now.
+    SetTimer {
+        /// Protocol-chosen timer identity.
+        id: TimerId,
+        /// Delay from the current instant.
+        after: Micros,
+    },
+    /// Cancel timer `id` if armed; no-op otherwise.
+    CancelTimer {
+        /// The timer to cancel.
+        id: TimerId,
+    },
+    /// Report a completed client request (client nodes only).
+    Deliver(ClientDelivery<R>),
+}
+
+/// The action sink handed to a node on every upcall.
+///
+/// Carries the current instant (`now`) so nodes never read wall clocks.
+#[derive(Debug)]
+pub struct Actions<M, R> {
+    now: Micros,
+    buf: Vec<Action<M, R>>,
+}
+
+impl<M, R> Actions<M, R> {
+    /// Creates a sink for an upcall happening at `now`.
+    pub fn new(now: Micros) -> Self {
+        Actions { now, buf: Vec::new() }
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Queues a unicast send.
+    pub fn send(&mut self, to: impl Into<NodeId>, msg: M) {
+        self.buf.push(Action::Send { to: to.into(), msg });
+    }
+
+    /// Queues sends of clones of `msg` to every node in `peers`.
+    pub fn send_all<I>(&mut self, peers: I, msg: &M)
+    where
+        M: Clone,
+        I: IntoIterator,
+        I::Item: Into<NodeId>,
+    {
+        for p in peers {
+            self.buf.push(Action::Send { to: p.into(), msg: msg.clone() });
+        }
+    }
+
+    /// Arms timer `id` to fire `after` from now.
+    pub fn set_timer(&mut self, id: TimerId, after: Micros) {
+        self.buf.push(Action::SetTimer { id, after });
+    }
+
+    /// Cancels timer `id`.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.buf.push(Action::CancelTimer { id });
+    }
+
+    /// Reports a completed client request.
+    pub fn deliver(&mut self, ts: Timestamp, response: R, fast_path: bool) {
+        self.buf.push(Action::Deliver(ClientDelivery { ts, response, fast_path }));
+    }
+
+    /// Drains the queued actions.
+    pub fn take(&mut self) -> Vec<Action<M, R>> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Number of queued actions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no actions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Immutable view of the queued actions (used by byzantine wrappers and
+    /// tests to inspect or rewrite a node's output).
+    pub fn as_slice(&self) -> &[Action<M, R>] {
+        &self.buf
+    }
+
+    /// Mutable view of the queued actions (byzantine wrappers rewrite
+    /// outgoing messages here).
+    pub fn as_mut_vec(&mut self) -> &mut Vec<Action<M, R>> {
+        &mut self.buf
+    }
+}
+
+/// A client-side protocol participant that can be driven by a workload:
+/// one outstanding request at a time, submitted via [`ClientNode::submit`],
+/// completed via [`Action::Deliver`].
+pub trait ClientNode: ProtocolNode {
+    /// The application command type this client submits.
+    type Command;
+
+    /// Submits one command for replication. Must only be called when no
+    /// request is in flight.
+    fn submit(
+        &mut self,
+        cmd: Self::Command,
+        out: &mut Actions<Self::Message, Self::Response>,
+    );
+
+    /// Whether a request is currently in flight.
+    fn in_flight(&self) -> bool;
+}
+
+/// A sans-io protocol participant.
+pub trait ProtocolNode: Send {
+    /// Message type exchanged on the wire.
+    type Message;
+    /// Client response type (for [`Action::Deliver`]).
+    type Response;
+
+    /// This node's identity.
+    fn id(&self) -> NodeId;
+
+    /// Called once before any message is delivered.
+    fn on_start(&mut self, _out: &mut Actions<Self::Message, Self::Response>) {}
+
+    /// Called for every delivered message.
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        out: &mut Actions<Self::Message, Self::Response>,
+    );
+
+    /// Called when an armed timer fires (timers that were cancelled or
+    /// re-armed do not fire for the superseded deadline).
+    fn on_timer(&mut self, _id: TimerId, _out: &mut Actions<Self::Message, Self::Response>) {}
+
+    /// Runtime introspection hook: nodes that allow post-run state
+    /// inspection (safety checkers, tests) return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ReplicaId;
+
+    #[test]
+    fn actions_collects_in_order() {
+        let mut out: Actions<&'static str, ()> = Actions::new(Micros(5));
+        assert_eq!(out.now(), Micros(5));
+        assert!(out.is_empty());
+        out.send(ReplicaId::new(1), "a");
+        out.set_timer(TimerId(7), Micros(100));
+        out.cancel_timer(TimerId(7));
+        out.deliver(Timestamp(3), (), true);
+        assert_eq!(out.len(), 4);
+        let acts = out.take();
+        assert!(out.is_empty());
+        match &acts[0] {
+            Action::Send { to, msg } => {
+                assert_eq!(*to, NodeId::Replica(ReplicaId::new(1)));
+                assert_eq!(*msg, "a");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &acts[1] {
+            Action::SetTimer { id, after } => {
+                assert_eq!(*id, TimerId(7));
+                assert_eq!(*after, Micros(100));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(acts[2], Action::CancelTimer { id: TimerId(7) }));
+        match &acts[3] {
+            Action::Deliver(d) => {
+                assert_eq!(d.ts, Timestamp(3));
+                assert!(d.fast_path);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_all_clones_to_each_peer() {
+        let mut out: Actions<u32, ()> = Actions::new(Micros::ZERO);
+        let peers = [ReplicaId::new(0), ReplicaId::new(2)];
+        out.send_all(peers, &9);
+        let acts = out.take();
+        assert_eq!(acts.len(), 2);
+        for (act, r) in acts.iter().zip(peers) {
+            match act {
+                Action::Send { to, msg } => {
+                    assert_eq!(*to, NodeId::Replica(r));
+                    assert_eq!(*msg, 9);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Vote-counting helpers used by clients and replicas.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::id::ReplicaId;
+
+/// A fixed set of replicas (e.g. a designated slow quorum, §IV-C nitpick).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct QuorumSet {
+    members: BTreeSet<ReplicaId>,
+}
+
+impl QuorumSet {
+    /// Builds a quorum set from its members.
+    pub fn new(members: impl IntoIterator<Item = ReplicaId>) -> Self {
+        QuorumSet { members: members.into_iter().collect() }
+    }
+
+    /// Whether `r` belongs to the set.
+    pub fn contains(&self, r: ReplicaId) -> bool {
+        self.members.contains(&r)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates over the members in id order.
+    pub fn iter(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.members.iter().copied()
+    }
+}
+
+impl FromIterator<ReplicaId> for QuorumSet {
+    fn from_iter<I: IntoIterator<Item = ReplicaId>>(iter: I) -> Self {
+        QuorumSet::new(iter)
+    }
+}
+
+/// Counts votes from distinct replicas for a single proposition.
+///
+/// Re-votes from the same replica are ignored, so a byzantine replica cannot
+/// inflate the count by repeating itself.
+#[derive(Clone, Debug, Default)]
+pub struct VoteTally {
+    voters: BTreeSet<ReplicaId>,
+}
+
+impl VoteTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a vote; returns `true` if `voter` had not voted before.
+    pub fn vote(&mut self, voter: ReplicaId) -> bool {
+        self.voters.insert(voter)
+    }
+
+    /// Number of distinct voters.
+    pub fn count(&self) -> usize {
+        self.voters.len()
+    }
+
+    /// Whether at least `threshold` distinct replicas voted.
+    pub fn reached(&self, threshold: usize) -> bool {
+        self.voters.len() >= threshold
+    }
+
+    /// Whether `voter` already voted.
+    pub fn has_voted(&self, voter: ReplicaId) -> bool {
+        self.voters.contains(&voter)
+    }
+
+    /// The voters, in id order.
+    pub fn voters(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.voters.iter().copied()
+    }
+}
+
+/// Counts votes from distinct replicas, *grouped by the value voted for*.
+///
+/// This is the client-side matching machinery: ezBFT's client looks for
+/// `3f + 1` SPECREPLY messages whose `(O, I, D, S, c, t, rep)` projection
+/// matches (§IV-A step 4.1); PBFT's client looks for `f + 1` matching
+/// replies; Zyzzyva for `3f + 1` matching spec-responses, and so on.
+///
+/// A replica that changes its vote moves between groups (its old vote is
+/// withdrawn), so at most one vote per replica is counted at any time.
+#[derive(Clone, Debug)]
+pub struct MatchTally<K, V> {
+    by_key: HashMap<K, HashMap<ReplicaId, V>>,
+    voted: HashMap<ReplicaId, K>,
+}
+
+impl<K: Clone + Eq + Hash, V> Default for MatchTally<K, V> {
+    fn default() -> Self {
+        MatchTally { by_key: HashMap::new(), voted: HashMap::new() }
+    }
+}
+
+impl<K: Clone + Eq + Hash, V> MatchTally<K, V> {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `voter`'s vote for the group identified by `key`, carrying
+    /// payload `value` (typically the full message). Returns the size of
+    /// the group after insertion.
+    pub fn vote(&mut self, voter: ReplicaId, key: K, value: V) -> usize {
+        if let Some(old) = self.voted.insert(voter, key.clone()) {
+            if old != key {
+                if let Some(group) = self.by_key.get_mut(&old) {
+                    group.remove(&voter);
+                    if group.is_empty() {
+                        self.by_key.remove(&old);
+                    }
+                }
+            }
+        }
+        let group = self.by_key.entry(key).or_default();
+        group.insert(voter, value);
+        group.len()
+    }
+
+    /// Size of the group for `key`.
+    pub fn count(&self, key: &K) -> usize {
+        self.by_key.get(key).map_or(0, |g| g.len())
+    }
+
+    /// Total number of distinct voters across all groups.
+    pub fn total(&self) -> usize {
+        self.voted.len()
+    }
+
+    /// The largest group, if any: `(key, size)`.
+    pub fn plurality(&self) -> Option<(&K, usize)> {
+        self.by_key.iter().map(|(k, g)| (k, g.len())).max_by_key(|(_, n)| *n)
+    }
+
+    /// Whether any group reached `threshold`; returns its key.
+    pub fn any_reached(&self, threshold: usize) -> Option<&K> {
+        self.by_key.iter().find(|(_, g)| g.len() >= threshold).map(|(k, _)| k)
+    }
+
+    /// The votes (voter, payload) in the group for `key`.
+    pub fn group(&self, key: &K) -> impl Iterator<Item = (ReplicaId, &V)> + '_ {
+        self.by_key.get(key).into_iter().flat_map(|g| g.iter().map(|(r, v)| (*r, v)))
+    }
+
+    /// Iterates over every recorded vote as `(voter, key, payload)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ReplicaId, &K, &V)> + '_ {
+        self.by_key
+            .iter()
+            .flat_map(|(k, g)| g.iter().map(move |(r, v)| (*r, k, v)))
+    }
+
+    /// Number of distinct groups.
+    pub fn group_count(&self) -> usize {
+        self.by_key.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn quorum_set_basics() {
+        let q = QuorumSet::new([r(0), r(2), r(1), r(2)]);
+        assert_eq!(q.len(), 3);
+        assert!(q.contains(r(1)));
+        assert!(!q.contains(r(3)));
+        let ordered: Vec<_> = q.iter().collect();
+        assert_eq!(ordered, vec![r(0), r(1), r(2)]);
+        assert!(!q.is_empty());
+        assert!(QuorumSet::default().is_empty());
+    }
+
+    #[test]
+    fn vote_tally_dedups() {
+        let mut t = VoteTally::new();
+        assert!(t.vote(r(0)));
+        assert!(!t.vote(r(0)));
+        assert!(t.vote(r(1)));
+        assert_eq!(t.count(), 2);
+        assert!(t.reached(2));
+        assert!(!t.reached(3));
+        assert!(t.has_voted(r(1)));
+        assert!(!t.has_voted(r(3)));
+    }
+
+    #[test]
+    fn match_tally_groups_by_key() {
+        let mut t: MatchTally<&str, u32> = MatchTally::new();
+        assert_eq!(t.vote(r(0), "a", 10), 1);
+        assert_eq!(t.vote(r(1), "a", 11), 2);
+        assert_eq!(t.vote(r(2), "b", 12), 1);
+        assert_eq!(t.count(&"a"), 2);
+        assert_eq!(t.count(&"b"), 1);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.group_count(), 2);
+        assert_eq!(t.plurality(), Some((&"a", 2)));
+        assert_eq!(t.any_reached(2), Some(&"a"));
+        assert_eq!(t.any_reached(3), None);
+    }
+
+    #[test]
+    fn match_tally_revote_moves_groups() {
+        let mut t: MatchTally<&str, u32> = MatchTally::new();
+        t.vote(r(0), "a", 1);
+        t.vote(r(0), "b", 2);
+        assert_eq!(t.count(&"a"), 0);
+        assert_eq!(t.count(&"b"), 1);
+        assert_eq!(t.total(), 1);
+        // Re-voting the same key replaces the payload without duplication.
+        t.vote(r(0), "b", 3);
+        assert_eq!(t.count(&"b"), 1);
+        let vals: Vec<_> = t.group(&"b").map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![3]);
+    }
+
+    #[test]
+    fn match_tally_byzantine_cannot_inflate() {
+        let mut t: MatchTally<&str, ()> = MatchTally::new();
+        for _ in 0..100 {
+            t.vote(r(3), "evil", ());
+        }
+        assert_eq!(t.count(&"evil"), 1);
+        assert_eq!(t.total(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Time-related newtypes shared by protocols and the simulator.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point or span of virtual time, in microseconds.
+///
+/// Protocols only observe time through the driver (simulator or transport);
+/// the unit is microseconds everywhere to keep WAN latencies (tens of
+/// milliseconds) and processing costs (tens of microseconds) on one scale.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Micros(pub u64);
+
+impl Micros {
+    /// Zero duration / the epoch.
+    pub const ZERO: Micros = Micros(0);
+
+    /// Builds a value from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Micros(ms * 1_000)
+    }
+
+    /// Builds a value from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Micros(s * 1_000_000)
+    }
+
+    /// The raw number of microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This value expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This value expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A client-chosen, monotonically increasing request timestamp.
+///
+/// The paper uses timestamps for exactly-once execution: a replica drops a
+/// request whose timestamp is not greater than the highest it has seen from
+/// that client (§IV-A step 2, nitpick).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp, smaller than any timestamp a client uses.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The next timestamp after this one.
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_conversions() {
+        assert_eq!(Micros::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Micros::from_secs(2).as_micros(), 2_000_000);
+        assert!((Micros(1_500).as_millis_f64() - 1.5).abs() < 1e-9);
+        assert!((Micros(2_500_000).as_secs_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn micros_arithmetic() {
+        let a = Micros(100);
+        let b = Micros(40);
+        assert_eq!(a + b, Micros(140));
+        assert_eq!(a - b, Micros(60));
+        assert_eq!(b.saturating_sub(a), Micros::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Micros(140));
+    }
+
+    #[test]
+    fn micros_debug_scales_units() {
+        assert_eq!(format!("{:?}", Micros(12)), "12us");
+        assert_eq!(format!("{:?}", Micros(12_000)), "12.000ms");
+        assert_eq!(format!("{:?}", Micros(12_000_000)), "12.000s");
+    }
+
+    #[test]
+    fn timestamp_next_is_monotonic() {
+        let t = Timestamp::ZERO;
+        assert!(t.next() > t);
+        assert_eq!(t.next(), Timestamp(1));
+    }
+}

@@ -1,0 +1,72 @@
+//! The address book: where each node listens.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+use ezbft_smr::NodeId;
+
+/// Maps node identities to socket addresses. Shared (by clone) among all
+/// nodes of a deployment.
+#[derive(Clone, Debug, Default)]
+pub struct AddressBook {
+    map: HashMap<NodeId, SocketAddr>,
+}
+
+impl AddressBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a node's address.
+    pub fn insert(&mut self, node: impl Into<NodeId>, addr: SocketAddr) -> &mut Self {
+        self.map.insert(node.into(), addr);
+        self
+    }
+
+    /// Looks up a node's address.
+    pub fn get(&self, node: NodeId) -> Option<SocketAddr> {
+        self.map.get(&node).copied()
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl FromIterator<(NodeId, SocketAddr)> for AddressBook {
+    fn from_iter<I: IntoIterator<Item = (NodeId, SocketAddr)>>(iter: I) -> Self {
+        AddressBook { map: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezbft_smr::ReplicaId;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut book = AddressBook::new();
+        assert!(book.is_empty());
+        let addr: SocketAddr = "127.0.0.1:9000".parse().unwrap();
+        book.insert(ReplicaId::new(0), addr);
+        assert_eq!(book.len(), 1);
+        assert_eq!(book.get(NodeId::Replica(ReplicaId::new(0))), Some(addr));
+        assert_eq!(book.get(NodeId::Replica(ReplicaId::new(1))), None);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let addr: SocketAddr = "127.0.0.1:9001".parse().unwrap();
+        let book: AddressBook =
+            [(NodeId::Replica(ReplicaId::new(2)), addr)].into_iter().collect();
+        assert_eq!(book.get(NodeId::Replica(ReplicaId::new(2))), Some(addr));
+    }
+}

@@ -1,0 +1,27 @@
+//! # ezbft-transport — real TCP transport for the sans-io protocols
+//!
+//! Runs any [`ezbft_smr::ProtocolNode`] over length-prefixed TCP framing
+//! (the gRPC substitute, see DESIGN.md §2): the same state machines that
+//! run under the simulator run here unchanged, which is what makes the
+//! simulation results transferable.
+//!
+//! Architecture (threads per node):
+//! - a **driver** thread owns the state machine, a timer heap and the event
+//!   inbox; it executes actions (sends, timers, deliveries);
+//! - a **listener** thread accepts inbound connections; each connection
+//!   gets a reader thread that decodes frames into the inbox;
+//! - each outbound peer gets a **writer** thread fed by a bounded channel
+//!   (connections are established lazily and identified by a handshake
+//!   frame carrying the sender's [`ezbft_smr::NodeId`]).
+//!
+//! See `tests/tcp_cluster.rs` for an end-to-end ezBFT cluster over
+//! loopback sockets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod addr;
+mod runtime;
+
+pub use addr::AddressBook;
+pub use runtime::{NodeHandle, TransportError};

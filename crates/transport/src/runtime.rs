@@ -1,0 +1,461 @@
+//! The threaded runtime driving one protocol node over TCP.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use ezbft_smr::{Action, Actions, ClientDelivery, Micros, NodeId, ProtocolNode, TimerId};
+use ezbft_wire::{encode_frame, FrameDecoder};
+
+/// Errors from spawning or controlling a transport node.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Binding or connecting failed.
+    Io(std::io::Error),
+    /// A peer had no address in the book.
+    UnknownPeer(NodeId),
+    /// The node's driver thread has already stopped.
+    Stopped,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::UnknownPeer(p) => write!(f, "no address for peer {p:?}"),
+            TransportError::Stopped => write!(f, "node driver already stopped"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+enum Event<M, P: ProtocolNode> {
+    Net { from: NodeId, msg: M },
+    Invoke(Box<dyn FnOnce(&mut P, &mut Actions<M, P::Response>) + Send>),
+    Shutdown,
+}
+
+/// Handle to a running node: inject work, observe deliveries, shut down.
+pub struct NodeHandle<M, P: ProtocolNode> {
+    events: Sender<Event<M, P>>,
+    deliveries: Receiver<ClientDelivery<P::Response>>,
+    driver: Option<JoinHandle<P>>,
+    local_addr: SocketAddr,
+    running: Arc<AtomicBool>,
+}
+
+impl<M, P: ProtocolNode> std::fmt::Debug for NodeHandle<M, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeHandle").field("local_addr", &self.local_addr).finish()
+    }
+}
+
+impl<M, P> NodeHandle<M, P>
+where
+    M: Serialize + DeserializeOwned + Send + 'static,
+    P: ProtocolNode<Message = M> + 'static,
+    P::Response: Send + 'static,
+{
+    /// Spawns `node`, listening on `listen` (use port 0 for an ephemeral
+    /// port; the bound address is available via [`NodeHandle::local_addr`]).
+    ///
+    /// The address book must already contain every peer this node will
+    /// send to; this node's own entry is not required.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind.
+    pub fn spawn(
+        node: P,
+        book: crate::AddressBook,
+        listen: SocketAddr,
+    ) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(listen)?;
+        Self::spawn_with_listener(node, book, listener)
+    }
+
+    /// Like [`NodeHandle::spawn`] but with a pre-bound listener — lets a
+    /// deployment bind every node's port first, build the complete address
+    /// book, and only then start the nodes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener's local address cannot be read.
+    pub fn spawn_with_listener(
+        node: P,
+        book: crate::AddressBook,
+        listener: TcpListener,
+    ) -> Result<Self, TransportError> {
+        let local_addr = listener.local_addr()?;
+        let (event_tx, event_rx) = unbounded::<Event<M, P>>();
+        let (delivery_tx, delivery_rx) = unbounded();
+        let running = Arc::new(AtomicBool::new(true));
+
+        // Listener thread: accept, handshake, spawn readers.
+        {
+            let event_tx = event_tx.clone();
+            let running = Arc::clone(&running);
+            std::thread::spawn(move || {
+                listener
+                    .set_nonblocking(false)
+                    .expect("listener blocking mode");
+                for stream in listener.incoming() {
+                    if !running.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let event_tx = event_tx.clone();
+                    let running = Arc::clone(&running);
+                    std::thread::spawn(move || {
+                        let _ = reader_loop(stream, event_tx, running);
+                    });
+                }
+            });
+        }
+
+        // Driver thread.
+        let driver = {
+            let running = Arc::clone(&running);
+            std::thread::Builder::new()
+                .name(format!("driver-{:?}", node.id()))
+                .spawn(move || driver_loop(node, book, event_rx, delivery_tx, running))
+                .expect("spawn driver")
+        };
+
+        Ok(NodeHandle {
+            events: event_tx,
+            deliveries: delivery_rx,
+            driver: Some(driver),
+            local_addr,
+            running,
+        })
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs a closure against the node inside the driver thread (used by
+    /// tests and workload drivers to submit requests).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TransportError::Stopped`] if the driver has exited.
+    pub fn with_node(
+        &self,
+        f: impl FnOnce(&mut P, &mut Actions<M, P::Response>) + Send + 'static,
+    ) -> Result<(), TransportError> {
+        self.events
+            .send(Event::Invoke(Box::new(f)))
+            .map_err(|_| TransportError::Stopped)
+    }
+
+    /// Receives the next completed client request, waiting up to `timeout`.
+    pub fn recv_delivery(&self, timeout: Duration) -> Option<ClientDelivery<P::Response>> {
+        self.deliveries.recv_timeout(timeout).ok()
+    }
+
+    /// Stops the node and returns the final state machine.
+    pub fn shutdown(mut self) -> Option<P> {
+        self.running.store(false, Ordering::Relaxed);
+        let _ = self.events.send(Event::Shutdown);
+        // Unblock the listener accept loop.
+        let _ = TcpStream::connect(self.local_addr);
+        self.driver.take().and_then(|d| d.join().ok())
+    }
+}
+
+impl<M, P: ProtocolNode> Drop for NodeHandle<M, P> {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::Relaxed);
+        let _ = self.events.send(Event::Shutdown);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(d) = self.driver.take() {
+            let _ = d.join();
+        }
+    }
+}
+
+/// Reads the handshake (sender id) then frames, feeding the inbox.
+fn reader_loop<M: DeserializeOwned, P: ProtocolNode<Message = M>>(
+    mut stream: TcpStream,
+    events: Sender<Event<M, P>>,
+    running: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    let mut decoder = FrameDecoder::new();
+    let mut from: Option<NodeId> = None;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        if !running.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return Ok(()), // closed
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        decoder.extend(&buf[..n]);
+        while let Some(frame) =
+            decoder.next_frame().map_err(|_| std::io::ErrorKind::InvalidData)?
+        {
+            match from {
+                None => {
+                    let id: NodeId = ezbft_wire::from_bytes(&frame)
+                        .map_err(|_| std::io::ErrorKind::InvalidData)?;
+                    from = Some(id);
+                }
+                Some(id) => {
+                    let msg: M = ezbft_wire::from_bytes(&frame)
+                        .map_err(|_| std::io::ErrorKind::InvalidData)?;
+                    if events.send(Event::Net { from: id, msg }).is_err() {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Outbound {
+    tx: Sender<Vec<u8>>,
+}
+
+/// Writer thread: connect, handshake, then forward frames.
+fn writer_loop(addr: SocketAddr, me: NodeId, rx: Receiver<Vec<u8>>) {
+    let Ok(mut stream) = TcpStream::connect(addr) else { return };
+    let hello = ezbft_wire::to_bytes(&me).expect("node id encodes");
+    let Ok(frame) = encode_frame(&hello) else { return };
+    if stream.write_all(&frame).is_err() {
+        return;
+    }
+    while let Ok(bytes) = rx.recv() {
+        let Ok(frame) = encode_frame(&bytes) else { return };
+        if stream.write_all(&frame).is_err() {
+            return;
+        }
+    }
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    id: TimerId,
+    generation: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by deadline.
+        other.deadline.cmp(&self.deadline)
+    }
+}
+
+fn driver_loop<M, P>(
+    mut node: P,
+    book: crate::AddressBook,
+    events: Receiver<Event<M, P>>,
+    deliveries: Sender<ClientDelivery<P::Response>>,
+    running: Arc<AtomicBool>,
+) -> P
+where
+    M: Serialize + Send + 'static,
+    P: ProtocolNode<Message = M>,
+{
+    let start = Instant::now();
+    let mut outbound: HashMap<NodeId, Outbound> = HashMap::new();
+    let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+    let mut generations: HashMap<TimerId, u64> = HashMap::new();
+    let mut next_generation: u64 = 0;
+    let me = node.id();
+
+    let now_micros = |start: Instant| Micros(start.elapsed().as_micros() as u64);
+
+    // Start the node.
+    let mut out = Actions::new(now_micros(start));
+    node.on_start(&mut out);
+    apply(
+        &mut node,
+        out,
+        &book,
+        me,
+        &mut outbound,
+        &mut timers,
+        &mut generations,
+        &mut next_generation,
+        &deliveries,
+        start,
+    );
+
+    loop {
+        if !running.load(Ordering::Relaxed) {
+            return node;
+        }
+        // Wait until the next timer deadline (or a short tick).
+        let wait = timers
+            .peek()
+            .map(|t| t.deadline.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(100))
+            .min(Duration::from_millis(100));
+        match events.recv_timeout(wait) {
+            Ok(Event::Shutdown) => return node,
+            Ok(Event::Net { from, msg }) => {
+                let mut out = Actions::new(now_micros(start));
+                node.on_message(from, msg, &mut out);
+                apply(
+                    &mut node,
+                    out,
+                    &book,
+                    me,
+                    &mut outbound,
+                    &mut timers,
+                    &mut generations,
+                    &mut next_generation,
+                    &deliveries,
+                    start,
+                );
+            }
+            Ok(Event::Invoke(f)) => {
+                let mut out = Actions::new(now_micros(start));
+                f(&mut node, &mut out);
+                apply(
+                    &mut node,
+                    out,
+                    &book,
+                    me,
+                    &mut outbound,
+                    &mut timers,
+                    &mut generations,
+                    &mut next_generation,
+                    &deliveries,
+                    start,
+                );
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return node,
+        }
+        // Fire due timers.
+        let now = Instant::now();
+        while timers.peek().map(|t| t.deadline <= now).unwrap_or(false) {
+            let entry = timers.pop().expect("peeked");
+            if generations.get(&entry.id) != Some(&entry.generation) {
+                continue; // cancelled or re-armed
+            }
+            generations.remove(&entry.id);
+            let mut out = Actions::new(now_micros(start));
+            node.on_timer(entry.id, &mut out);
+            apply(
+                &mut node,
+                out,
+                &book,
+                me,
+                &mut outbound,
+                &mut timers,
+                &mut generations,
+                &mut next_generation,
+                &deliveries,
+                start,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply<M, P>(
+    node: &mut P,
+    mut out: Actions<M, P::Response>,
+    book: &crate::AddressBook,
+    me: NodeId,
+    outbound: &mut HashMap<NodeId, Outbound>,
+    timers: &mut BinaryHeap<TimerEntry>,
+    generations: &mut HashMap<TimerId, u64>,
+    next_generation: &mut u64,
+    deliveries: &Sender<ClientDelivery<P::Response>>,
+    _start: Instant,
+) where
+    M: Serialize + Send + 'static,
+    P: ProtocolNode<Message = M>,
+{
+    for action in out.take() {
+        match action {
+            Action::Send { to, msg } => {
+                if to == me {
+                    // Loopback without the network.
+                    let mut out2 = Actions::new(Micros::ZERO);
+                    node.on_message(me, msg, &mut out2);
+                    // Recursion depth is bounded in practice (self-sends
+                    // are rare); apply nested actions.
+                    apply(
+                        node,
+                        out2,
+                        book,
+                        me,
+                        outbound,
+                        timers,
+                        generations,
+                        next_generation,
+                        deliveries,
+                        _start,
+                    );
+                    continue;
+                }
+                let Ok(bytes) = ezbft_wire::to_bytes(&msg) else { continue };
+                let entry = outbound.entry(to).or_insert_with(|| {
+                    let (tx, rx) = bounded::<Vec<u8>>(4_096);
+                    if let Some(addr) = book.get(to) {
+                        std::thread::spawn(move || writer_loop(addr, me, rx));
+                    }
+                    Outbound { tx }
+                });
+                let _ = entry.tx.try_send(bytes);
+            }
+            Action::SetTimer { id, after } => {
+                *next_generation += 1;
+                generations.insert(id, *next_generation);
+                timers.push(TimerEntry {
+                    deadline: Instant::now() + Duration::from_micros(after.as_micros()),
+                    id,
+                    generation: *next_generation,
+                });
+            }
+            Action::CancelTimer { id } => {
+                generations.remove(&id);
+            }
+            Action::Deliver(d) => {
+                let _ = deliveries.send(d);
+            }
+        }
+    }
+}

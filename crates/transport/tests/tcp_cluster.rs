@@ -1,0 +1,134 @@
+//! End-to-end BFT over real TCP loopback sockets: the same sans-io state
+//! machines the simulator runs, driven by the threaded runtime.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use ezbft_core::{Client, EzConfig, Msg, Replica};
+use ezbft_crypto::{CryptoKind, KeyStore};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_smr::{ClientId, ClientNode, ClusterConfig, NodeId, ReplicaId};
+use ezbft_transport::{AddressBook, NodeHandle};
+
+type KvMsg = Msg<KvOp, KvResponse>;
+
+/// Binds every node's listener up front so the complete address book exists
+/// before any node starts.
+fn bind_all(nodes: &[NodeId]) -> (AddressBook, Vec<TcpListener>) {
+    let mut book = AddressBook::new();
+    let mut listeners = Vec::new();
+    for node in nodes {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        book.insert(*node, listener.local_addr().expect("local addr"));
+        listeners.push(listener);
+    }
+    (book, listeners)
+}
+
+#[test]
+fn ezbft_cluster_over_tcp_loopback() {
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = EzConfig::new(cluster);
+    let client_id = ClientId::new(0);
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    nodes.push(NodeId::Client(client_id));
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"tcp-cluster", &nodes);
+    let client_keys = stores.pop().unwrap();
+
+    let (book, mut listeners) = bind_all(&nodes);
+    let client_listener = listeners.pop().expect("client listener");
+
+    let mut replica_handles: Vec<NodeHandle<KvMsg, Replica<KvStore>>> = Vec::new();
+    for (rid, listener) in cluster.replicas().zip(listeners) {
+        let replica = Replica::new(rid, cfg, stores.remove(0), KvStore::new());
+        replica_handles.push(
+            NodeHandle::spawn_with_listener(replica, book.clone(), listener)
+                .expect("spawn replica"),
+        );
+    }
+    let client: Client<KvOp, KvResponse> =
+        Client::new(client_id, cfg, client_keys, ReplicaId::new(0));
+    let client_handle =
+        NodeHandle::spawn_with_listener(client, book.clone(), client_listener)
+            .expect("spawn client");
+
+    // Submit commands one at a time and await their completions.
+    for i in 0..3u64 {
+        client_handle
+            .with_node(move |c, out| {
+                c.submit(KvOp::Put { key: Key(i), value: vec![i as u8; 16] }, out);
+            })
+            .expect("submit");
+        let delivery = client_handle
+            .recv_delivery(Duration::from_secs(10))
+            .expect("request completes over TCP");
+        assert_eq!(delivery.response, KvResponse::Ok);
+        assert!(delivery.fast_path, "loopback fault-free run uses the fast path");
+    }
+
+    // Let COMMITFAST propagate, then check replica state.
+    std::thread::sleep(Duration::from_millis(400));
+    let mut fingerprints = Vec::new();
+    for h in replica_handles {
+        let replica = h.shutdown().expect("driver returns the state machine");
+        assert_eq!(replica.executed_count(), 3, "replica executed all commands");
+        fingerprints.push(replica.app().fingerprint());
+    }
+    assert!(
+        fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "replica states must agree"
+    );
+    drop(client_handle.shutdown());
+}
+
+#[test]
+fn pbft_cluster_over_tcp_loopback() {
+    use ezbft_pbft::{PbftClient, PbftConfig, PbftReplica};
+    type PbftMsg = ezbft_pbft::Msg<KvOp, KvResponse>;
+
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = PbftConfig::new(cluster, ReplicaId::new(0));
+    let client_id = ClientId::new(0);
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    nodes.push(NodeId::Client(client_id));
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"tcp-pbft", &nodes);
+    let client_keys = stores.pop().unwrap();
+
+    let (book, mut listeners) = bind_all(&nodes);
+    let client_listener = listeners.pop().expect("client listener");
+
+    let mut handles: Vec<NodeHandle<PbftMsg, PbftReplica<KvStore>>> = Vec::new();
+    for (rid, listener) in cluster.replicas().zip(listeners) {
+        let replica = PbftReplica::new(rid, cfg, stores.remove(0), KvStore::new());
+        handles.push(
+            NodeHandle::spawn_with_listener(replica, book.clone(), listener)
+                .expect("spawn replica"),
+        );
+    }
+    let client: PbftClient<KvOp, KvResponse> = PbftClient::new(client_id, cfg, client_keys);
+    let client_handle =
+        NodeHandle::spawn_with_listener(client, book.clone(), client_listener)
+            .expect("spawn client");
+
+    for i in 0..2u64 {
+        client_handle
+            .with_node(move |c, out| {
+                c.submit(KvOp::Incr { key: Key(9), by: i + 1 }, out);
+            })
+            .expect("submit");
+        let delivery = client_handle
+            .recv_delivery(Duration::from_secs(10))
+            .expect("request completes over TCP");
+        assert!(matches!(delivery.response, KvResponse::Counter(_)));
+    }
+
+    std::thread::sleep(Duration::from_millis(300));
+    let mut fingerprints = Vec::new();
+    for h in handles {
+        let replica = h.shutdown().expect("state machine");
+        assert_eq!(replica.executed_upto(), 2);
+        fingerprints.push(replica.app().fingerprint());
+    }
+    assert!(fingerprints.windows(2).all(|w| w[0] == w[1]));
+    drop(client_handle.shutdown());
+}

@@ -1,0 +1,90 @@
+//! Codec error type.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding wire bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// Input continued after the value was complete.
+    TrailingBytes,
+    /// A varint ran past its maximum width.
+    VarintOverflow,
+    /// A length prefix exceeds the input size or the sanity limit.
+    LengthOutOfRange {
+        /// The claimed length.
+        claimed: u64,
+    },
+    /// A byte that should have been a bool was neither 0 nor 1.
+    InvalidBool(u8),
+    /// A `char` value outside the Unicode scalar range.
+    InvalidChar(u32),
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum variant index had no matching variant.
+    InvalidVariant(u32),
+    /// The type asked the codec for a self-describing read
+    /// (`deserialize_any`), which this format cannot support.
+    NotSelfDescribing,
+    /// Sequence serialized without a known length (unsupported).
+    UnknownLength,
+    /// Custom message from serde.
+    Message(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after value"),
+            WireError::VarintOverflow => write!(f, "varint overflows its type"),
+            WireError::LengthOutOfRange { claimed } => {
+                write!(f, "length prefix {claimed} out of range")
+            }
+            WireError::InvalidBool(b) => write!(f, "invalid bool byte {b:#x}"),
+            WireError::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            WireError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            WireError::InvalidVariant(v) => write!(f, "invalid enum variant index {v}"),
+            WireError::NotSelfDescribing => {
+                write!(f, "format is not self-describing (deserialize_any unsupported)")
+            }
+            WireError::UnknownLength => write!(f, "sequence length must be known up front"),
+            WireError::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl serde::ser::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::Message(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(WireError::UnexpectedEof.to_string().contains("end of input"));
+        assert!(WireError::LengthOutOfRange { claimed: 9 }.to_string().contains('9'));
+        assert!(WireError::InvalidVariant(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn serde_custom_constructors() {
+        let e1 = <WireError as serde::ser::Error>::custom("boom");
+        let e2 = <WireError as serde::de::Error>::custom("bang");
+        assert_eq!(e1, WireError::Message("boom".into()));
+        assert_eq!(e2, WireError::Message("bang".into()));
+    }
+}

@@ -1,0 +1,132 @@
+//! Length-prefixed framing for stream transports.
+//!
+//! Frames are `u32` little-endian length followed by that many payload
+//! bytes. [`FrameDecoder`] accumulates stream fragments and yields complete
+//! payloads; [`encode_frame`] produces the bytes for one message.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::WireError;
+
+/// Maximum accepted frame payload (16 MiB). A peer announcing more is
+/// treated as malicious/corrupt and the connection should be dropped.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Encodes one payload into a framed byte buffer.
+pub fn encode_frame(payload: &[u8]) -> Result<Bytes, WireError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::LengthOutOfRange { claimed: payload.len() as u64 });
+    }
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(payload);
+    Ok(buf.freeze())
+}
+
+/// Incremental decoder for a stream of frames.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds newly received stream bytes.
+    pub fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Attempts to extract the next complete frame payload.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::LengthOutOfRange`] if a frame header announces
+    /// a payload larger than [`MAX_FRAME_LEN`]; the stream is then
+    /// unrecoverable and should be closed.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::LengthOutOfRange { claimed: len as u64 });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let framed = encode_frame(b"hello").unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&framed);
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"hello");
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn handles_fragmentation() {
+        let framed = encode_frame(b"fragmented-payload").unwrap();
+        let mut dec = FrameDecoder::new();
+        for chunk in framed.chunks(3) {
+            // Until the last chunk arrives, no frame is ready.
+            dec.extend(chunk);
+        }
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"fragmented-payload");
+    }
+
+    #[test]
+    fn handles_coalesced_frames() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(b"one").unwrap());
+        stream.extend_from_slice(&encode_frame(b"two").unwrap());
+        stream.extend_from_slice(&encode_frame(b"").unwrap());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream);
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"one");
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"two");
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"");
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_header_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(u32::MAX).to_le_bytes());
+        assert!(matches!(dec.next_frame(), Err(WireError::LengthOutOfRange { .. })));
+    }
+
+    #[test]
+    fn oversized_payload_rejected_on_encode() {
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(encode_frame(&huge).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        let mut dec = FrameDecoder::new();
+        assert_eq!(dec.next_frame().unwrap(), None);
+        dec.extend(&[1, 0]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+}

@@ -1,0 +1,169 @@
+//! Compact binary serialization for ezBFT messages (the protobuf
+//! substitute) plus length-prefixed framing for the TCP transport.
+//!
+//! The format is non-self-describing (like bincode/protobuf without field
+//! tags): integers are LEB128 varints (zigzag for signed), sequences carry a
+//! length prefix, enums carry a variant index. Both peers must agree on the
+//! message schema — which they do, since they share the message types.
+//!
+//! Digests and signatures are computed over these canonical bytes, so the
+//! encoding doubles as the canonical message form for authentication.
+//!
+//! # Example
+//!
+//! ```
+//! # use serde::{Serialize, Deserialize};
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Ping { seq: u64, payload: Vec<u8> }
+//!
+//! # fn main() -> Result<(), ezbft_wire::WireError> {
+//! let msg = Ping { seq: 7, payload: vec![1, 2, 3] };
+//! let bytes = ezbft_wire::to_bytes(&msg)?;
+//! let back: Ping = ezbft_wire::from_bytes(&bytes)?;
+//! assert_eq!(back, msg);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod de;
+mod error;
+mod frame;
+mod ser;
+
+pub use de::{from_bytes, Deserializer};
+pub use error::WireError;
+pub use frame::{encode_frame, FrameDecoder, MAX_FRAME_LEN};
+pub use ser::{to_bytes, Serializer};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+    enum Kind {
+        Unit,
+        Newtype(u64),
+        Tuple(u8, i32),
+        Struct { a: String, b: Option<bool> },
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+    struct Everything {
+        b: bool,
+        u8v: u8,
+        u16v: u16,
+        u32v: u32,
+        u64v: u64,
+        i8v: i8,
+        i32v: i32,
+        i64v: i64,
+        f32v: f32,
+        f64v: f64,
+        c: char,
+        s: String,
+        bytes: Vec<u8>,
+        opt_some: Option<u32>,
+        opt_none: Option<u32>,
+        seq: Vec<u16>,
+        map: BTreeMap<String, u64>,
+        tuple: (u8, String),
+        nested: Vec<Kind>,
+        unit: (),
+        arr: [u8; 4],
+    }
+
+    fn sample() -> Everything {
+        let mut map = BTreeMap::new();
+        map.insert("x".to_string(), 1u64);
+        map.insert("y".to_string(), u64::MAX);
+        Everything {
+            b: true,
+            u8v: 250,
+            u16v: 65535,
+            u32v: 1 << 30,
+            u64v: u64::MAX,
+            i8v: -5,
+            i32v: i32::MIN,
+            i64v: -1,
+            f32v: 1.5,
+            f64v: -2.25e100,
+            c: 'λ',
+            s: "hello, wire".to_string(),
+            bytes: (0..=255).collect(),
+            opt_some: Some(9),
+            opt_none: None,
+            seq: vec![0, 1, 2, 300],
+            map,
+            tuple: (3, "t".to_string()),
+            nested: vec![
+                Kind::Unit,
+                Kind::Newtype(42),
+                Kind::Tuple(1, -2),
+                Kind::Struct { a: "a".into(), b: Some(false) },
+            ],
+            unit: (),
+            arr: [9, 8, 7, 6],
+        }
+    }
+
+    #[test]
+    fn roundtrip_everything() {
+        let v = sample();
+        let bytes = to_bytes(&v).unwrap();
+        let back: Everything = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let v = sample();
+        assert_eq!(to_bytes(&v).unwrap(), to_bytes(&v).unwrap());
+    }
+
+    #[test]
+    fn small_ints_are_small() {
+        // Varints: values < 128 take one byte.
+        assert_eq!(to_bytes(&5u64).unwrap().len(), 1);
+        assert_eq!(to_bytes(&5u32).unwrap().len(), 1);
+        // Zigzag: small negatives are small too.
+        assert_eq!(to_bytes(&-3i64).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = to_bytes(&7u64).unwrap();
+        bytes.push(0);
+        let r: Result<u64, _> = from_bytes(&bytes);
+        assert!(matches!(r, Err(WireError::TrailingBytes)));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&sample()).unwrap();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let r: Result<Everything, _> = from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bogus_enum_variant_rejected() {
+        // Kind has 4 variants; variant index 9 must fail.
+        let bytes = to_bytes(&9u32).unwrap();
+        let r: Result<Kind, _> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        // A Vec<u8> claiming u64::MAX elements must fail fast, not OOM.
+        let bytes = to_bytes(&u64::MAX).unwrap();
+        let r: Result<Vec<u8>, _> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,372 @@
+//! The serializer half of the codec.
+
+use serde::ser::{self, Serialize};
+
+use crate::error::WireError;
+
+/// Serializes `value` into its canonical wire bytes.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, WireError> {
+    let mut ser = Serializer::new();
+    value.serialize(&mut ser)?;
+    Ok(ser.into_bytes())
+}
+
+/// A serde serializer producing the compact binary format.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: Vec<u8>,
+}
+
+impl Serializer {
+    /// Creates an empty serializer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the serializer, returning the bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.out.push(byte);
+                return;
+            }
+            self.out.push(byte | 0x80);
+        }
+    }
+
+    fn put_zigzag(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    fn put_len(&mut self, len: usize) {
+        self.put_varint(len as u64);
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = WireError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), WireError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), WireError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), WireError> {
+        self.put_zigzag(v as i64);
+        Ok(())
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), WireError> {
+        self.put_zigzag(v as i64);
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), WireError> {
+        self.put_zigzag(v);
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), WireError> {
+        self.out.push(v);
+        Ok(())
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), WireError> {
+        self.put_varint(v as u64);
+        Ok(())
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), WireError> {
+        self.put_varint(v as u64);
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), WireError> {
+        self.put_varint(v);
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), WireError> {
+        self.put_varint(v as u64);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), WireError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), WireError> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), WireError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), WireError> {
+        self.put_varint(variant_index as u64);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        self.put_varint(variant_index as u64);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, WireError> {
+        let len = len.ok_or(WireError::UnknownLength)?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, WireError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, WireError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, WireError> {
+        self.put_varint(variant_index as u64);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, WireError> {
+        let len = len.ok_or(WireError::UnknownLength)?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, WireError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, WireError> {
+        self.put_varint(variant_index as u64);
+        Ok(Compound { ser: self })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// Compound serializer shared by all sequence-like shapes.
+#[derive(Debug)]
+pub struct Compound<'a> {
+    ser: &'a mut Serializer,
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), WireError> {
+        key.serialize(&mut *self.ser)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_boundaries() {
+        assert_eq!(to_bytes(&0u64).unwrap(), vec![0]);
+        assert_eq!(to_bytes(&127u64).unwrap(), vec![127]);
+        assert_eq!(to_bytes(&128u64).unwrap(), vec![0x80, 0x01]);
+        assert_eq!(to_bytes(&u64::MAX).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn zigzag_encoding() {
+        assert_eq!(to_bytes(&0i64).unwrap(), vec![0]);
+        assert_eq!(to_bytes(&-1i64).unwrap(), vec![1]);
+        assert_eq!(to_bytes(&1i64).unwrap(), vec![2]);
+        assert_eq!(to_bytes(&-2i64).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn u8_and_bool_are_raw_bytes() {
+        assert_eq!(to_bytes(&0xffu8).unwrap(), vec![0xff]);
+        assert_eq!(to_bytes(&true).unwrap(), vec![1]);
+        assert_eq!(to_bytes(&false).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn unit_is_empty() {
+        assert!(to_bytes(&()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn option_tags() {
+        assert_eq!(to_bytes(&None::<u8>).unwrap(), vec![0]);
+        assert_eq!(to_bytes(&Some(7u8)).unwrap(), vec![1, 7]);
+    }
+}

@@ -1,0 +1,258 @@
+//! The Zyzzyva client: completes on `3f + 1` matching speculative
+//! responses; falls back to the commit-certificate path with `2f + 1`.
+
+use std::collections::HashMap;
+
+use ezbft_crypto::{Audience, Digest, KeyStore};
+use ezbft_smr::{
+    Actions, ClientId, ClientNode, NodeId, ProtocolNode, ReplicaId, TimerId, Timestamp,
+};
+
+use crate::msg::{CommitCert, LocalCommit, Msg, Payload, Request, SpecResponse};
+use crate::replica::ZyzzyvaConfig;
+
+/// Counters for tests and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ZyzzyvaClientStats {
+    /// Fast (3f+1) completions.
+    pub fast: u64,
+    /// Commit-certificate completions.
+    pub committed: u64,
+    /// Retransmissions.
+    pub retries: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Spec,
+    Committing,
+}
+
+struct Pending<C, R> {
+    cmd: C,
+    ts: Timestamp,
+    phase: Phase,
+    responses: HashMap<ReplicaId, SpecResponse<R>>,
+    local_commits: HashMap<(u64, u64), HashMap<ReplicaId, LocalCommit>>,
+    commit_timer_fired: bool,
+}
+
+/// The Zyzzyva client node.
+pub struct ZyzzyvaClient<C, R> {
+    id: ClientId,
+    cfg: ZyzzyvaConfig,
+    keys: KeyStore,
+    next_ts: Timestamp,
+    /// Best guess of the current view (updated from responses).
+    view: u64,
+    pending: Option<Pending<C, R>>,
+    stats: ZyzzyvaClientStats,
+}
+
+impl<C, R> std::fmt::Debug for ZyzzyvaClient<C, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZyzzyvaClient")
+            .field("id", &self.id)
+            .field("view", &self.view)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+const TIMER_COMMIT: u64 = 0;
+const TIMER_RETRY: u64 = 1;
+
+impl<C: Payload, R: Payload> ZyzzyvaClient<C, R> {
+    /// Creates a client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` does not belong to `id`.
+    pub fn new(id: ClientId, cfg: ZyzzyvaConfig, keys: KeyStore) -> Self {
+        assert_eq!(keys.me(), NodeId::Client(id), "keystore identity mismatch");
+        ZyzzyvaClient {
+            id,
+            cfg,
+            keys,
+            next_ts: Timestamp::ZERO,
+            view: 0,
+            pending: None,
+            stats: ZyzzyvaClientStats::default(),
+        }
+    }
+
+    /// Counters for tests and reports.
+    pub fn stats(&self) -> ZyzzyvaClientStats {
+        self.stats
+    }
+
+    fn complete(&mut self, response: R, fast: bool, out: &mut Actions<Msg<C, R>, R>) {
+        let pending = self.pending.take().expect("pending");
+        out.cancel_timer(TimerId(TIMER_COMMIT));
+        out.cancel_timer(TimerId(TIMER_RETRY));
+        if fast {
+            self.stats.fast += 1;
+        } else {
+            self.stats.committed += 1;
+        }
+        out.deliver(pending.ts, response, fast);
+    }
+
+    fn on_spec_response(&mut self, resp: SpecResponse<R>, out: &mut Actions<Msg<C, R>, R>) {
+        let Some(pending) = &mut self.pending else { return };
+        if pending.phase != Phase::Spec
+            || resp.body.client != self.id
+            || resp.body.ts != pending.ts
+        {
+            return;
+        }
+        let payload = SpecResponse::<R>::signed_payload(&resp.body, &resp.response);
+        if self
+            .keys
+            .verify(NodeId::Replica(resp.sender), &payload, &resp.sig)
+            .is_err()
+        {
+            return;
+        }
+        self.view = self.view.max(resp.body.view);
+        pending.responses.insert(resp.sender, resp);
+
+        let mut groups: HashMap<Digest, Vec<ReplicaId>> = HashMap::new();
+        for (sender, r) in &pending.responses {
+            groups.entry(r.match_key()).or_default().push(*sender);
+        }
+        // Fast path: all 3f+1 match.
+        if let Some((_, members)) = groups
+            .iter()
+            .find(|(_, m)| m.len() >= self.cfg.cluster.fast_quorum())
+        {
+            let response = pending.responses[&members[0]].response.clone();
+            self.complete(response, true, out);
+            return;
+        }
+        // Commit-certificate path once enough responses are in and either
+        // the timer fired or all replicas answered.
+        let ready = pending.responses.len() == self.cfg.cluster.n() || pending.commit_timer_fired;
+        if ready {
+            self.try_commit_path(out);
+        }
+    }
+
+    fn try_commit_path(&mut self, out: &mut Actions<Msg<C, R>, R>) {
+        let Some(pending) = &mut self.pending else { return };
+        if pending.phase != Phase::Spec {
+            return;
+        }
+        let mut groups: HashMap<Digest, Vec<ReplicaId>> = HashMap::new();
+        for (sender, r) in &pending.responses {
+            groups.entry(r.match_key()).or_default().push(*sender);
+        }
+        let Some((_, members)) = groups
+            .iter()
+            .find(|(_, m)| m.len() >= self.cfg.cluster.slow_quorum())
+        else {
+            return;
+        };
+        let cc: Vec<SpecResponse<R>> =
+            members.iter().map(|m| pending.responses[m].clone()).collect();
+        let msg = Msg::Commit(CommitCert { client: self.id, cc });
+        let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
+        out.send_all(replicas, &msg);
+        pending.phase = Phase::Committing;
+    }
+
+    fn on_local_commit(&mut self, lc: LocalCommit, out: &mut Actions<Msg<C, R>, R>) {
+        let Some(pending) = &mut self.pending else { return };
+        if lc.client != self.id || lc.ts != pending.ts {
+            return;
+        }
+        let payload = LocalCommit::signed_payload(lc.view, lc.n, lc.client, lc.ts);
+        if self.keys.verify(NodeId::Replica(lc.sender), &payload, &lc.sig).is_err() {
+            return;
+        }
+        let group = pending.local_commits.entry((lc.view, lc.n)).or_default();
+        let (view, n) = (lc.view, lc.n);
+        group.insert(lc.sender, lc);
+        if group.len() >= self.cfg.cluster.slow_quorum() {
+            // The speculative response for this (view, n) is now stable.
+            let response = pending
+                .responses
+                .values()
+                .find(|r| r.body.view == view && r.body.n == n)
+                .map(|r| r.response.clone());
+            if let Some(response) = response {
+                self.complete(response, false, out);
+            }
+        }
+    }
+
+    fn on_retry(&mut self, out: &mut Actions<Msg<C, R>, R>) {
+        let Some(pending) = &mut self.pending else { return };
+        self.stats.retries += 1;
+        let payload = Request::<C>::signed_payload(self.id, pending.ts, &pending.cmd);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request { client: self.id, ts: pending.ts, cmd: pending.cmd.clone(), sig };
+        let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
+        out.send_all(replicas, &Msg::RequestBroadcast(req));
+        out.set_timer(TimerId(TIMER_RETRY), self.cfg.retry_delay);
+    }
+}
+
+impl<C: Payload, R: Payload> ProtocolNode for ZyzzyvaClient<C, R> {
+    type Message = Msg<C, R>;
+    type Response = R;
+
+    fn id(&self) -> NodeId {
+        NodeId::Client(self.id)
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Self::Message, out: &mut Actions<Msg<C, R>, R>) {
+        match msg {
+            Msg::SpecResponse(resp) => self.on_spec_response(resp, out),
+            Msg::LocalCommit(lc) => self.on_local_commit(lc, out),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<Msg<C, R>, R>) {
+        match id.0 {
+            TIMER_COMMIT => {
+                if let Some(p) = &mut self.pending {
+                    p.commit_timer_fired = true;
+                }
+                self.try_commit_path(out);
+            }
+            TIMER_RETRY => self.on_retry(out),
+            _ => {}
+        }
+    }
+}
+
+impl<C: Payload, R: Payload> ClientNode for ZyzzyvaClient<C, R> {
+    type Command = C;
+
+    fn submit(&mut self, cmd: C, out: &mut Actions<Msg<C, R>, R>) {
+        assert!(self.pending.is_none(), "one outstanding request per client");
+        self.next_ts = self.next_ts.next();
+        let ts = self.next_ts;
+        let payload = Request::<C>::signed_payload(self.id, ts, &cmd);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request { client: self.id, ts, cmd: cmd.clone(), sig };
+        let primary = self.cfg.primary(self.view);
+        out.send(NodeId::Replica(primary), Msg::Request(req));
+        out.set_timer(TimerId(TIMER_COMMIT), self.cfg.commit_timeout);
+        out.set_timer(TimerId(TIMER_RETRY), self.cfg.retry_delay);
+        self.pending = Some(Pending {
+            cmd,
+            ts,
+            phase: Phase::Spec,
+            responses: HashMap::new(),
+            local_commits: HashMap::new(),
+            commit_timer_fired: false,
+        });
+    }
+
+    fn in_flight(&self) -> bool {
+        self.pending.is_some()
+    }
+}

@@ -1,0 +1,48 @@
+//! # ezbft-zyzzyva — the Zyzzyva baseline
+//!
+//! A message-pattern-faithful implementation of Zyzzyva (Kotla et al.,
+//! SOSP 2007) — the strongest baseline in the ezBFT evaluation: speculative
+//! BFT with **three communication steps** (client → primary → replicas →
+//! client) in the fault-free case.
+//!
+//! Implemented:
+//! - the agreement sub-protocol: ORDER-REQ with chained history digests,
+//!   speculative execution in sequence order, SPEC-RESPONSE to the client;
+//! - the client: `3f + 1` matching spec-responses complete a request;
+//!   with only `2f + 1 .. 3f` matching responses the client broadcasts a
+//!   commit certificate and completes on `2f + 1` LOCAL-COMMIT acks;
+//! - retransmission: clients re-broadcast to all replicas, replicas forward
+//!   to the primary and accuse it (I-HATE-THE-PRIMARY) on timeout;
+//! - a simplified view change: on `f + 1` accusations replicas broadcast
+//!   VIEW-CHANGE carrying their ordered history; the new primary re-issues
+//!   ORDER-REQs for the `2f + 1`-supported prefix. (Zyzzyva's full
+//!   view-change bookkeeping — per-request commit certificates carried
+//!   across views, fill-hole subprotocol — is simplified; the evaluation
+//!   exercises the fault-free path, and the fault tests exercise crash-stop
+//!   primaries.)
+//!
+//! Like every protocol in this workspace it is a sans-io state machine,
+//! driven by the simulator or the TCP transport.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod client;
+mod msg;
+mod replica;
+
+pub use client::{ZyzzyvaClient, ZyzzyvaClientStats};
+pub use msg::{Msg, OrderReq, OrderReqBody, Request, SpecResponse, SpecResponseBody};
+pub use replica::{ZyzzyvaConfig, ZyzzyvaReplica, ZyzzyvaStats};
+
+/// Static protocol properties (paper Table II row).
+pub mod properties {
+    /// Resilience: f < n/3.
+    pub const RESILIENCE: &str = "f < n/3";
+    /// Best-case communication steps (client-inclusive).
+    pub const BEST_CASE_STEPS: u32 = 3;
+    /// Extra steps on the slow path.
+    pub const SLOW_PATH_EXTRA_STEPS: u32 = 2;
+    /// Leadership structure.
+    pub const LEADER: &str = "single";
+}

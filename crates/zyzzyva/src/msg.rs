@@ -1,0 +1,323 @@
+//! Zyzzyva protocol messages.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use ezbft_crypto::{Digest, Signature};
+use ezbft_smr::{ClientId, ReplicaId, Timestamp};
+
+/// Bound on message payload types.
+pub trait Payload:
+    Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static
+{
+}
+impl<T: Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static> Payload
+    for T
+{
+}
+
+/// A signed client request.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Request<C> {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Client-monotonic timestamp.
+    pub ts: Timestamp,
+    /// The command.
+    pub cmd: C,
+    /// Client signature.
+    pub sig: Signature,
+}
+
+impl<C: Payload> Request<C> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(client: ClientId, ts: Timestamp, cmd: &C) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"zyzzyva-req", client, ts, cmd)).expect("request encodes")
+    }
+
+    /// Request digest.
+    pub fn digest(&self) -> Digest {
+        Digest::of(&Self::signed_payload(self.client, self.ts, &self.cmd))
+    }
+}
+
+/// The primary-signed body of ORDER-REQ: `⟨OR, v, n, h_n, d⟩`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct OrderReqBody {
+    /// Current view.
+    pub view: u64,
+    /// Assigned sequence number.
+    pub n: u64,
+    /// History digest after this request: `h_n = H(h_{n-1} || d)`.
+    pub hist: Digest,
+    /// Request digest `d`.
+    pub req_digest: Digest,
+}
+
+impl OrderReqBody {
+    /// Canonical signed bytes.
+    pub fn signed_payload(&self) -> Vec<u8> {
+        ezbft_wire::to_bytes(self).expect("order-req body encodes")
+    }
+}
+
+/// ORDER-REQ: the primary's ordering decision plus the request.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct OrderReq<C> {
+    /// Signed ordering metadata.
+    pub body: OrderReqBody,
+    /// Primary signature over the body.
+    pub sig: Signature,
+    /// The client request.
+    pub req: Request<C>,
+}
+
+/// The replica-signed body of SPEC-RESPONSE.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SpecResponseBody {
+    /// View.
+    pub view: u64,
+    /// Sequence number.
+    pub n: u64,
+    /// History digest after executing n.
+    pub hist: Digest,
+    /// Request digest.
+    pub req_digest: Digest,
+    /// The client.
+    pub client: ClientId,
+    /// The request timestamp.
+    pub ts: Timestamp,
+}
+
+/// SPEC-RESPONSE: speculative result to the client.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SpecResponse<R> {
+    /// Signed metadata.
+    pub body: SpecResponseBody,
+    /// The replying replica.
+    pub sender: ReplicaId,
+    /// Speculative execution result.
+    pub response: R,
+    /// Signature over `(body, response)`.
+    pub sig: Signature,
+}
+
+impl<R: Payload> SpecResponse<R> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(body: &SpecResponseBody, response: &R) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(body, response)).expect("spec-response encodes")
+    }
+
+    /// The client-side matching key: view, n, history, request identity and
+    /// result must all agree.
+    pub fn match_key(&self) -> Digest {
+        Digest::of(&Self::signed_payload(&self.body, &self.response))
+    }
+}
+
+/// COMMIT: the client's certificate of `2f + 1` matching spec-responses.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CommitCert<R> {
+    /// The issuing client.
+    pub client: ClientId,
+    /// The matching responses.
+    pub cc: Vec<SpecResponse<R>>,
+}
+
+/// LOCAL-COMMIT: a replica's ack of a commit certificate.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct LocalCommit {
+    /// View.
+    pub view: u64,
+    /// Sequence number covered.
+    pub n: u64,
+    /// The client.
+    pub client: ClientId,
+    /// The request timestamp.
+    pub ts: Timestamp,
+    /// The acking replica.
+    pub sender: ReplicaId,
+    /// Signature over the above.
+    pub sig: Signature,
+}
+
+impl LocalCommit {
+    /// Canonical signed bytes.
+    pub fn signed_payload(view: u64, n: u64, client: ClientId, ts: Timestamp) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"local-commit", view, n, client, ts)).expect("encodes")
+    }
+}
+
+/// I-HATE-THE-PRIMARY: a replica's accusation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct IHatePrimary {
+    /// The view being accused.
+    pub view: u64,
+    /// The accusing replica.
+    pub sender: ReplicaId,
+    /// Signature over `(view)`.
+    pub sig: Signature,
+}
+
+impl IHatePrimary {
+    /// Canonical signed bytes.
+    pub fn signed_payload(view: u64) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"i-hate-the-primary", view)).expect("encodes")
+    }
+}
+
+/// One ordered entry carried in a VIEW-CHANGE.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct HistoryEntry<C> {
+    /// The primary-signed ORDER-REQ body for this slot.
+    pub body: OrderReqBody,
+    /// The primary's signature.
+    pub sig: Signature,
+    /// The request.
+    pub req: Request<C>,
+}
+
+/// VIEW-CHANGE: a replica's ordered history for the new primary.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ViewChange<C> {
+    /// The new view.
+    pub new_view: u64,
+    /// The reporting replica.
+    pub sender: ReplicaId,
+    /// Its ordered history (n-ascending).
+    pub entries: Vec<HistoryEntry<C>>,
+    /// Signature over `(new_view, digest(entries))`.
+    pub sig: Signature,
+}
+
+impl<C: Payload> ViewChange<C> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(new_view: u64, entries: &[HistoryEntry<C>]) -> Vec<u8> {
+        let d = Digest::of(&ezbft_wire::to_bytes(entries).expect("entries encode"));
+        ezbft_wire::to_bytes(&(b"view-change", new_view, d)).expect("encodes")
+    }
+}
+
+/// NEW-VIEW: the new primary's re-issued history.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NewView<C> {
+    /// The new view.
+    pub new_view: u64,
+    /// The proof: `2f + 1` VIEW-CHANGE messages.
+    pub proof: Vec<ViewChange<C>>,
+    /// The adopted history, re-signed under the new view.
+    pub entries: Vec<HistoryEntry<C>>,
+    /// The new primary.
+    pub sender: ReplicaId,
+    /// Signature over `(new_view, digest(entries))`.
+    pub sig: Signature,
+}
+
+impl<C: Payload> NewView<C> {
+    /// Canonical signed bytes.
+    pub fn signed_payload(new_view: u64, entries: &[HistoryEntry<C>]) -> Vec<u8> {
+        let d = Digest::of(&ezbft_wire::to_bytes(entries).expect("entries encode"));
+        ezbft_wire::to_bytes(&(b"new-view", new_view, d)).expect("encodes")
+    }
+}
+
+/// The Zyzzyva wire message.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum Msg<C, R> {
+    /// Client → primary (or broadcast on retransmission).
+    Request(Request<C>),
+    /// Broadcast retransmission marker: replicas forward to the primary and
+    /// start an accusation timer.
+    RequestBroadcast(Request<C>),
+    /// Primary → replicas.
+    OrderReq(OrderReq<C>),
+    /// Replica → client.
+    SpecResponse(SpecResponse<R>),
+    /// Client → replicas (commit certificate).
+    Commit(CommitCert<R>),
+    /// Replica → client.
+    LocalCommit(LocalCommit),
+    /// Replica → replicas.
+    IHatePrimary(IHatePrimary),
+    /// Replica → new primary.
+    ViewChange(ViewChange<C>),
+    /// New primary → replicas.
+    NewView(NewView<C>),
+}
+
+impl<C, R> Msg<C, R> {
+    /// Short kind tag (traces, cost models).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Request(_) => "request",
+            Msg::RequestBroadcast(_) => "request-broadcast",
+            Msg::OrderReq(_) => "order-req",
+            Msg::SpecResponse(_) => "spec-response",
+            Msg::Commit(_) => "commit",
+            Msg::LocalCommit(_) => "local-commit",
+            Msg::IHatePrimary(_) => "i-hate-the-primary",
+            Msg::ViewChange(_) => "view-change",
+            Msg::NewView(_) => "new-view",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezbft_crypto::Signature;
+
+    #[test]
+    fn request_digest_stable() {
+        let r = Request {
+            client: ClientId::new(1),
+            ts: Timestamp(1),
+            cmd: 5u32,
+            sig: Signature::Null,
+        };
+        assert_eq!(r.digest(), r.clone().digest());
+        let r2 = Request { ts: Timestamp(2), ..r.clone() };
+        assert_ne!(r.digest(), r2.digest());
+    }
+
+    #[test]
+    fn spec_response_match_key_is_sender_independent() {
+        let body = SpecResponseBody {
+            view: 0,
+            n: 1,
+            hist: Digest::ZERO,
+            req_digest: Digest::of(b"m"),
+            client: ClientId::new(1),
+            ts: Timestamp(1),
+        };
+        let a = SpecResponse {
+            body: body.clone(),
+            sender: ReplicaId::new(0),
+            response: 7u32,
+            sig: Signature::Null,
+        };
+        let b = SpecResponse { sender: ReplicaId::new(2), ..a.clone() };
+        assert_eq!(a.match_key(), b.match_key());
+        let c = SpecResponse { response: 8, ..a.clone() };
+        assert_ne!(a.match_key(), c.match_key());
+        // Diverging history digests break matching (inconsistent logs).
+        let mut body2 = body;
+        body2.hist = Digest::of(b"x");
+        let d = SpecResponse { body: body2, ..a.clone() };
+        assert_ne!(a.match_key(), d.match_key());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let m: Msg<u32, u32> = Msg::IHatePrimary(IHatePrimary {
+            view: 3,
+            sender: ReplicaId::new(1),
+            sig: Signature::Null,
+        });
+        let bytes = ezbft_wire::to_bytes(&m).unwrap();
+        let back: Msg<u32, u32> = ezbft_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(m.kind(), "i-hate-the-primary");
+    }
+}

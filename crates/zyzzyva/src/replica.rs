@@ -1,0 +1,666 @@
+//! The Zyzzyva replica.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ezbft_crypto::{Audience, Digest, KeyStore};
+use ezbft_smr::{
+    Actions, Application, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
+    TimerId, Timestamp, VoteTally,
+};
+
+use crate::msg::{
+    CommitCert, HistoryEntry, IHatePrimary, LocalCommit, Msg, NewView, OrderReq, OrderReqBody,
+    Request, SpecResponse, SpecResponseBody, ViewChange,
+};
+
+/// Zyzzyva configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ZyzzyvaConfig {
+    /// The cluster.
+    pub cluster: ClusterConfig,
+    /// The primary of view 0 (experiments place it in a chosen region).
+    pub first_primary: ReplicaId,
+    /// Client-side timer before falling back to the commit-certificate path.
+    pub commit_timeout: Micros,
+    /// Client-side retransmission timer.
+    pub retry_delay: Micros,
+    /// Replica-side timer between forwarding a retransmitted request to the
+    /// primary and accusing it.
+    pub accuse_timeout: Micros,
+}
+
+impl ZyzzyvaConfig {
+    /// Defaults for WAN simulations.
+    pub fn new(cluster: ClusterConfig, first_primary: ReplicaId) -> Self {
+        ZyzzyvaConfig {
+            cluster,
+            first_primary,
+            commit_timeout: Micros::from_millis(600),
+            retry_delay: Micros::from_millis(1_500),
+            accuse_timeout: Micros::from_millis(600),
+        }
+    }
+
+    /// The primary of `view`.
+    pub fn primary(&self, view: u64) -> ReplicaId {
+        let n = self.cluster.n() as u64;
+        ReplicaId::new(((self.first_primary.index() as u64 + view) % n) as u8)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct LogEntry<C, R> {
+    body: OrderReqBody,
+    sig: ezbft_crypto::Signature,
+    req: Request<C>,
+    /// Kept so tests can audit what this replica replied per slot.
+    #[allow(dead_code)]
+    response: Option<R>,
+}
+
+#[derive(Clone, Debug)]
+struct ClientRec<R> {
+    last_ts: Timestamp,
+    cached: Option<SpecResponse<R>>,
+}
+
+impl<R> Default for ClientRec<R> {
+    fn default() -> Self {
+        ClientRec { last_ts: Timestamp::ZERO, cached: None }
+    }
+}
+
+/// Counters for tests and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ZyzzyvaStats {
+    /// Requests ordered (primary role).
+    pub ordered: u64,
+    /// Requests speculatively executed.
+    pub executed: u64,
+    /// Commit certificates acknowledged.
+    pub commits_acked: u64,
+    /// View changes completed.
+    pub view_changes: u64,
+    /// Messages rejected by validation.
+    pub rejected: u64,
+}
+
+enum Timer {
+    Accuse { client: ClientId, ts: Timestamp },
+}
+
+/// The Zyzzyva replica node.
+pub struct ZyzzyvaReplica<A: Application> {
+    id: ReplicaId,
+    cfg: ZyzzyvaConfig,
+    keys: KeyStore,
+    /// Pristine application state, kept for view-change replay.
+    initial: A,
+    app: A,
+    view: u64,
+    in_view_change: bool,
+    /// Primary only: next sequence number to assign (1-based).
+    next_n: u64,
+    log: BTreeMap<u64, LogEntry<A::Command, A::Response>>,
+    /// Highest contiguously executed sequence number.
+    exec_upto: u64,
+    /// History digest after `exec_upto`.
+    hist: Digest,
+    pending_orders: BTreeMap<u64, OrderReq<A::Command>>,
+    clients: HashMap<ClientId, ClientRec<A::Response>>,
+    /// Highest sequence number covered by a commit certificate.
+    max_cc: u64,
+    ihp_votes: HashMap<u64, VoteTally>,
+    vc_reports: HashMap<u64, Vec<ViewChange<A::Command>>>,
+    timers: HashMap<u64, Timer>,
+    accuse_waits: HashMap<(ClientId, Timestamp), u64>,
+    next_timer: u64,
+    stats: ZyzzyvaStats,
+}
+
+impl<A: Application> std::fmt::Debug for ZyzzyvaReplica<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZyzzyvaReplica")
+            .field("id", &self.id)
+            .field("view", &self.view)
+            .field("exec_upto", &self.exec_upto)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+type Out<A> = Actions<
+    Msg<<A as Application>::Command, <A as Application>::Response>,
+    <A as Application>::Response,
+>;
+
+impl<A: Application> ZyzzyvaReplica<A> {
+    /// Creates a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` does not belong to `id`.
+    pub fn new(id: ReplicaId, cfg: ZyzzyvaConfig, keys: KeyStore, app: A) -> Self {
+        assert_eq!(keys.me(), NodeId::Replica(id), "keystore identity mismatch");
+        ZyzzyvaReplica {
+            id,
+            cfg,
+            keys,
+            initial: app.clone(),
+            app,
+            view: 0,
+            in_view_change: false,
+            next_n: 1,
+            log: BTreeMap::new(),
+            exec_upto: 0,
+            hist: Digest::ZERO,
+            pending_orders: BTreeMap::new(),
+            clients: HashMap::new(),
+            max_cc: 0,
+            ihp_votes: HashMap::new(),
+            vc_reports: HashMap::new(),
+            timers: HashMap::new(),
+            accuse_waits: HashMap::new(),
+            next_timer: 0,
+            stats: ZyzzyvaStats::default(),
+        }
+    }
+
+    /// Counters for tests and reports.
+    pub fn stats(&self) -> ZyzzyvaStats {
+        self.stats
+    }
+
+    /// The application state (speculative, per Zyzzyva's design).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Highest executed sequence number.
+    pub fn executed_upto(&self) -> u64 {
+        self.exec_upto
+    }
+
+    fn is_primary(&self) -> bool {
+        self.cfg.primary(self.view) == self.id
+    }
+
+    fn audience(&self, client: ClientId) -> Audience {
+        Audience::replicas(self.cfg.cluster.n()).and(client)
+    }
+
+    fn verify_request(&mut self, req: &Request<A::Command>) -> bool {
+        let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
+        self.keys.verify(NodeId::Client(req.client), &payload, &req.sig).is_ok()
+    }
+
+    // ------------------------------------------------------------------
+    // Ordering (primary) and speculative execution (all replicas)
+    // ------------------------------------------------------------------
+
+    fn on_request(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
+        if !self.verify_request(&req) {
+            self.stats.rejected += 1;
+            return;
+        }
+        if !self.is_primary() || self.in_view_change {
+            // Not ours to order; a client that guessed wrong will
+            // retransmit via broadcast.
+            return;
+        }
+        let rec = self.clients.entry(req.client).or_default();
+        if req.ts < rec.last_ts {
+            return;
+        }
+        if req.ts == rec.last_ts {
+            if let Some(cached) = rec.cached.clone() {
+                out.send(NodeId::Client(req.client), Msg::SpecResponse(cached));
+            }
+            return;
+        }
+
+        let n = self.next_n;
+        self.next_n += 1;
+        let d = req.digest();
+        // hist_n = H(hist_{n-1} || d): chain from the last *ordered* slot.
+        let prev = self
+            .log
+            .get(&(n - 1))
+            .map(|e| e.body.hist)
+            .unwrap_or(if n == 1 { Digest::ZERO } else { self.hist });
+        let hist = prev.chain(&d);
+        let body = OrderReqBody { view: self.view, n, hist, req_digest: d };
+        let sig = self.keys.sign(&body.signed_payload(), &self.audience(req.client));
+        let or = OrderReq { body: body.clone(), sig: sig.clone(), req: req.clone() };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &Msg::OrderReq(or.clone()));
+        self.stats.ordered += 1;
+        self.accept_order(or, out);
+    }
+
+    fn on_request_broadcast(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
+        if !self.verify_request(&req) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let rec = self.clients.entry(req.client).or_default();
+        if req.ts <= rec.last_ts {
+            if let Some(cached) = rec.cached.clone() {
+                if cached.body.ts == req.ts {
+                    out.send(NodeId::Client(req.client), Msg::SpecResponse(cached));
+                    return;
+                }
+            }
+            if req.ts < rec.last_ts {
+                return;
+            }
+        }
+        if self.is_primary() {
+            self.on_request(req, out);
+            return;
+        }
+        // Forward to the primary and accuse it if nothing happens.
+        let primary = self.cfg.primary(self.view);
+        let key = (req.client, req.ts);
+        out.send(NodeId::Replica(primary), Msg::Request(req));
+        if !self.accuse_waits.contains_key(&key) {
+            let id = self.next_timer;
+            self.next_timer += 1;
+            self.timers.insert(id, Timer::Accuse { client: key.0, ts: key.1 });
+            self.accuse_waits.insert(key, id);
+            out.set_timer(TimerId(id), self.cfg.accuse_timeout);
+        }
+    }
+
+    fn on_order_req(&mut self, or: OrderReq<A::Command>, from: NodeId, out: &mut Out<A>) {
+        if self.in_view_change {
+            return;
+        }
+        let primary = self.cfg.primary(or.body.view);
+        if or.body.view != self.view || from != NodeId::Replica(primary) {
+            self.stats.rejected += 1;
+            return;
+        }
+        if self
+            .keys
+            .verify(NodeId::Replica(primary), &or.body.signed_payload(), &or.sig)
+            .is_err()
+            || or.req.digest() != or.body.req_digest
+            || !self.verify_request(&or.req)
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        let n = or.body.n;
+        let expected = self.max_ordered() + 1;
+        if n < expected {
+            // Duplicate: refresh the client's response.
+            if let Some(entry) = self.log.get(&n) {
+                if let Some(cached) =
+                    self.clients.get(&entry.req.client).and_then(|r| r.cached.clone())
+                {
+                    out.send(NodeId::Client(entry.req.client), Msg::SpecResponse(cached));
+                }
+            }
+            return;
+        }
+        if n > expected {
+            self.pending_orders.insert(n, or);
+            return;
+        }
+        self.accept_order(or, out);
+        loop {
+            let next = self.max_ordered() + 1;
+            let Some(or) = self.pending_orders.remove(&next) else { break };
+            self.accept_order(or, out);
+        }
+    }
+
+    fn max_ordered(&self) -> u64 {
+        self.log.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Accepts a contiguous ORDER-REQ: verify the history chain, execute
+    /// speculatively, respond to the client.
+    fn accept_order(&mut self, or: OrderReq<A::Command>, out: &mut Out<A>) {
+        let n = or.body.n;
+        let prev_hist = self.log.get(&(n - 1)).map(|e| e.body.hist).unwrap_or(Digest::ZERO);
+        let expected_hist = prev_hist.chain(&or.body.req_digest);
+        if or.body.hist != expected_hist {
+            // Primary equivocation or corruption.
+            self.stats.rejected += 1;
+            return;
+        }
+
+        let response = self.app.apply(&or.req.cmd);
+        self.exec_upto = n;
+        self.hist = or.body.hist;
+        self.stats.executed += 1;
+
+        let body = SpecResponseBody {
+            view: or.body.view,
+            n,
+            hist: or.body.hist,
+            req_digest: or.body.req_digest,
+            client: or.req.client,
+            ts: or.req.ts,
+        };
+        let payload = SpecResponse::<A::Response>::signed_payload(&body, &response);
+        let sig = self.keys.sign(&payload, &self.audience(or.req.client));
+        let resp = SpecResponse { body, sender: self.id, response: response.clone(), sig };
+
+        let rec = self.clients.entry(or.req.client).or_default();
+        rec.last_ts = rec.last_ts.max(or.req.ts);
+        rec.cached = Some(resp.clone());
+
+        // A pending accusation for this request is satisfied.
+        if let Some(id) = self.accuse_waits.remove(&(or.req.client, or.req.ts)) {
+            self.timers.remove(&id);
+            out.cancel_timer(TimerId(id));
+        }
+
+        self.log.insert(
+            n,
+            LogEntry { body: or.body, sig: or.sig, req: or.req.clone(), response: Some(response) },
+        );
+        out.send(NodeId::Client(or.req.client), Msg::SpecResponse(resp));
+    }
+
+    // ------------------------------------------------------------------
+    // Commit certificates
+    // ------------------------------------------------------------------
+
+    fn on_commit(&mut self, cert: CommitCert<A::Response>, out: &mut Out<A>) {
+        let Some(first) = cert.cc.first() else {
+            self.stats.rejected += 1;
+            return;
+        };
+        if cert.cc.len() < self.cfg.cluster.slow_quorum() {
+            self.stats.rejected += 1;
+            return;
+        }
+        let key = first.match_key();
+        let mut senders = std::collections::BTreeSet::new();
+        for r in &cert.cc {
+            if r.match_key() != key || !senders.insert(r.sender) {
+                self.stats.rejected += 1;
+                return;
+            }
+            let payload = SpecResponse::<A::Response>::signed_payload(&r.body, &r.response);
+            if self.keys.verify(NodeId::Replica(r.sender), &payload, &r.sig).is_err() {
+                self.stats.rejected += 1;
+                return;
+            }
+        }
+        self.max_cc = self.max_cc.max(first.body.n);
+        self.stats.commits_acked += 1;
+        let payload = LocalCommit::signed_payload(
+            first.body.view,
+            first.body.n,
+            first.body.client,
+            first.body.ts,
+        );
+        let sig = self.keys.sign(&payload, &self.audience(first.body.client));
+        let lc = LocalCommit {
+            view: first.body.view,
+            n: first.body.n,
+            client: first.body.client,
+            ts: first.body.ts,
+            sender: self.id,
+            sig,
+        };
+        out.send(NodeId::Client(first.body.client), Msg::LocalCommit(lc));
+    }
+
+    // ------------------------------------------------------------------
+    // View change (simplified; see crate docs)
+    // ------------------------------------------------------------------
+
+    fn on_ihp(&mut self, ihp: IHatePrimary, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(ihp.sender) || ihp.view != self.view {
+            return;
+        }
+        let payload = IHatePrimary::signed_payload(ihp.view);
+        if self.keys.verify(NodeId::Replica(ihp.sender), &payload, &ihp.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+        let votes = self.ihp_votes.entry(ihp.view).or_default();
+        votes.vote(ihp.sender);
+        if votes.reached(self.cfg.cluster.weak_quorum()) {
+            self.accuse(out); // amplify
+            self.enter_view_change(out);
+        }
+    }
+
+    fn accuse(&mut self, out: &mut Out<A>) {
+        let votes = self.ihp_votes.entry(self.view).or_default();
+        if votes.has_voted(self.id) {
+            return;
+        }
+        votes.vote(self.id);
+        let payload = IHatePrimary::signed_payload(self.view);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let msg = Msg::IHatePrimary(IHatePrimary { view: self.view, sender: self.id, sig });
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &msg);
+    }
+
+    fn enter_view_change(&mut self, out: &mut Out<A>) {
+        if self.in_view_change {
+            return;
+        }
+        self.in_view_change = true;
+        let new_view = self.view + 1;
+        let entries: Vec<HistoryEntry<A::Command>> = self
+            .log
+            .values()
+            .map(|e| HistoryEntry { body: e.body.clone(), sig: e.sig.clone(), req: e.req.clone() })
+            .collect();
+        let payload = ViewChange::signed_payload(new_view, &entries);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let vc = ViewChange { new_view, sender: self.id, entries, sig };
+        let new_primary = self.cfg.primary(new_view);
+        if new_primary == self.id {
+            self.on_view_change(vc, NodeId::Replica(self.id), out);
+        } else {
+            out.send(NodeId::Replica(new_primary), Msg::ViewChange(vc));
+        }
+    }
+
+    fn verify_view_change(&mut self, vc: &ViewChange<A::Command>) -> bool {
+        let payload = ViewChange::signed_payload(vc.new_view, &vc.entries);
+        self.keys.verify(NodeId::Replica(vc.sender), &payload, &vc.sig).is_ok()
+    }
+
+    fn on_view_change(&mut self, vc: ViewChange<A::Command>, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(vc.sender)
+            || self.cfg.primary(vc.new_view) != self.id
+            || vc.new_view <= self.view
+        {
+            return;
+        }
+        if !self.verify_view_change(&vc) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let reports = self.vc_reports.entry(vc.new_view).or_default();
+        if reports.iter().any(|r| r.sender == vc.sender) {
+            return;
+        }
+        reports.push(vc);
+        if reports.len() < self.cfg.cluster.slow_quorum() {
+            return;
+        }
+        let new_view = reports[0].new_view;
+        let proof = reports.clone();
+        let adopted = Self::adopt_history(&mut self.keys, &self.cfg, &proof);
+        // Re-sign the adopted history under the new view with a fresh chain.
+        let mut entries = Vec::with_capacity(adopted.len());
+        let mut hist = Digest::ZERO;
+        for (i, he) in adopted.into_iter().enumerate() {
+            let d = he.req.digest();
+            hist = hist.chain(&d);
+            let body = OrderReqBody { view: new_view, n: i as u64 + 1, hist, req_digest: d };
+            let sig = self.keys.sign(&body.signed_payload(), &self.audience(he.req.client));
+            entries.push(HistoryEntry { body, sig, req: he.req });
+        }
+        let payload = NewView::signed_payload(new_view, &entries);
+        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let nv = NewView { new_view, proof, entries, sender: self.id, sig };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.send_all(peers, &Msg::NewView(nv.clone()));
+        self.install_new_view(nv, out);
+    }
+
+    /// Deterministic history adoption: a slot's entry is adopted if the
+    /// same primary-signed body is reported by at least `f + 1` replicas;
+    /// adoption stops at the first unsupported slot.
+    fn adopt_history(
+        keys: &mut KeyStore,
+        cfg: &ZyzzyvaConfig,
+        proof: &[ViewChange<A::Command>],
+    ) -> Vec<HistoryEntry<A::Command>> {
+        let mut adopted = Vec::new();
+        let mut n = 1u64;
+        loop {
+            use std::collections::HashMap as Map;
+            let mut groups: Map<Digest, (std::collections::BTreeSet<ReplicaId>, &HistoryEntry<A::Command>)> =
+                Map::new();
+            for vc in proof {
+                for he in &vc.entries {
+                    if he.body.n != n {
+                        continue;
+                    }
+                    let primary = cfg.primary(he.body.view);
+                    if keys
+                        .verify(NodeId::Replica(primary), &he.body.signed_payload(), &he.sig)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let key = Digest::of(&he.body.signed_payload());
+                    groups.entry(key).or_insert_with(|| (Default::default(), he)).0.insert(vc.sender);
+                }
+            }
+            let winner = groups
+                .values()
+                .filter(|(s, _)| s.len() >= cfg.cluster.weak_quorum())
+                .max_by_key(|(s, _)| s.len());
+            match winner {
+                Some((_, he)) => {
+                    adopted.push((*he).clone());
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        adopted
+    }
+
+    fn on_new_view(&mut self, nv: NewView<A::Command>, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(nv.sender)
+            || self.cfg.primary(nv.new_view) != nv.sender
+            || nv.new_view <= self.view
+        {
+            return;
+        }
+        let payload = NewView::signed_payload(nv.new_view, &nv.entries);
+        if self.keys.verify(NodeId::Replica(nv.sender), &payload, &nv.sig).is_err() {
+            self.stats.rejected += 1;
+            return;
+        }
+        if nv.proof.len() < self.cfg.cluster.slow_quorum() {
+            self.stats.rejected += 1;
+            return;
+        }
+        let mut senders = std::collections::BTreeSet::new();
+        for vc in &nv.proof {
+            if vc.new_view != nv.new_view
+                || !senders.insert(vc.sender)
+                || !self.verify_view_change(vc)
+            {
+                self.stats.rejected += 1;
+                return;
+            }
+        }
+        // The adopted request sequence must match the proof.
+        let adopted = Self::adopt_history(&mut self.keys, &self.cfg, &nv.proof);
+        let same = adopted.len() == nv.entries.len()
+            && adopted
+                .iter()
+                .zip(&nv.entries)
+                .all(|(a, b)| a.req.digest() == b.req.digest());
+        if !same {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.install_new_view(nv, out);
+    }
+
+    fn install_new_view(&mut self, nv: NewView<A::Command>, out: &mut Out<A>) {
+        self.view = nv.new_view;
+        self.in_view_change = false;
+        self.log.clear();
+        self.pending_orders.clear();
+        self.clients.clear();
+        self.app = self.initial.clone();
+        self.exec_upto = 0;
+        self.hist = Digest::ZERO;
+        self.stats.view_changes += 1;
+        // Replay the adopted history.
+        for he in nv.entries {
+            let or = OrderReq { body: he.body, sig: he.sig, req: he.req };
+            self.accept_order(or, out);
+        }
+        self.next_n = self.exec_upto + 1;
+        // Clear stale accusation timers: the new primary starts clean.
+        for (_, id) in self.accuse_waits.drain() {
+            self.timers.remove(&id);
+            out.cancel_timer(TimerId(id));
+        }
+    }
+}
+
+impl<A: Application> ProtocolNode for ZyzzyvaReplica<A> {
+    type Message = Msg<A::Command, A::Response>;
+    type Response = A::Response;
+
+    fn id(&self) -> NodeId {
+        NodeId::Replica(self.id)
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, out: &mut Out<A>) {
+        match msg {
+            Msg::Request(req) => self.on_request(req, out),
+            Msg::RequestBroadcast(req) => self.on_request_broadcast(req, out),
+            Msg::OrderReq(or) => self.on_order_req(or, from, out),
+            Msg::Commit(cert) => self.on_commit(cert, out),
+            Msg::IHatePrimary(ihp) => self.on_ihp(ihp, from, out),
+            Msg::ViewChange(vc) => self.on_view_change(vc, from, out),
+            Msg::NewView(nv) => self.on_new_view(nv, from, out),
+            Msg::SpecResponse(_) | Msg::LocalCommit(_) => {
+                self.stats.rejected += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, out: &mut Out<A>) {
+        let Some(timer) = self.timers.remove(&id.0) else { return };
+        match timer {
+            Timer::Accuse { client, ts } => {
+                self.accuse_waits.remove(&(client, ts));
+                self.accuse(out);
+            }
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}

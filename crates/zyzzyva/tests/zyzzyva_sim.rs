@@ -1,0 +1,197 @@
+//! End-to-end Zyzzyva over the WAN simulator.
+
+use std::collections::VecDeque;
+
+use ezbft_crypto::{CryptoKind, KeyStore};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_smr::{
+    Actions, Application as _, ClientId, ClientNode, ClusterConfig, Micros, NodeId,
+    ProtocolNode, ReplicaId, TimerId,
+};
+use ezbft_simnet::{Region, SimConfig, SimNet, Topology};
+use ezbft_zyzzyva::{Msg, ZyzzyvaClient, ZyzzyvaConfig, ZyzzyvaReplica};
+
+type KvMsg = Msg<KvOp, KvResponse>;
+
+struct ScriptedClient {
+    inner: ZyzzyvaClient<KvOp, KvResponse>,
+    script: VecDeque<KvOp>,
+}
+
+impl ScriptedClient {
+    fn pump(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        if !self.inner.in_flight() {
+            if let Some(op) = self.script.pop_front() {
+                self.inner.submit(op, out);
+            }
+        }
+    }
+}
+
+impl ProtocolNode for ScriptedClient {
+    type Message = KvMsg;
+    type Response = KvResponse;
+
+    fn id(&self) -> NodeId {
+        ProtocolNode::id(&self.inner)
+    }
+    fn on_start(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        self.pump(out);
+    }
+    fn on_message(&mut self, from: NodeId, msg: KvMsg, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_message(from, msg, out);
+        self.pump(out);
+    }
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_timer(id, out);
+        self.pump(out);
+    }
+}
+
+fn build(
+    primary: u8,
+    clients: Vec<(u64, usize, Vec<KvOp>)>,
+    seed: u64,
+) -> (SimNet<KvMsg, KvResponse>, usize) {
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = ZyzzyvaConfig::new(cluster, ReplicaId::new(primary));
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    for (id, ..) in &clients {
+        nodes.push(NodeId::Client(ClientId::new(*id)));
+    }
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"zyzzyva-sim", &nodes);
+    let client_stores = stores.split_off(cluster.n());
+    let mut sim: SimNet<KvMsg, KvResponse> =
+        SimNet::new(Topology::exp1(), SimConfig { seed, ..Default::default() });
+    for (i, rid) in cluster.replicas().enumerate() {
+        let replica = ZyzzyvaReplica::new(rid, cfg, stores.remove(0), KvStore::new());
+        sim.add_node(Region(i % 4), Box::new(replica));
+    }
+    let mut total = 0;
+    for ((id, region, script), keys) in clients.into_iter().zip(client_stores) {
+        total += script.len();
+        let client = ZyzzyvaClient::new(ClientId::new(id), cfg, keys);
+        sim.add_node(Region(region), Box::new(ScriptedClient { inner: client, script: script.into() }));
+    }
+    (sim, total)
+}
+
+fn put(c: u64, i: u64) -> KvOp {
+    KvOp::Put { key: Key(c * 100 + i), value: vec![i as u8; 16] }
+}
+
+fn replica<'a>(sim: &'a SimNet<KvMsg, KvResponse>, r: u8) -> &'a ZyzzyvaReplica<KvStore> {
+    sim.inspect(NodeId::Replica(ReplicaId::new(r)))
+        .unwrap()
+        .downcast_ref::<ZyzzyvaReplica<KvStore>>()
+        .unwrap()
+}
+
+#[test]
+fn fault_free_requests_complete_fast() {
+    let clients = (0..4u64).map(|c| (c, c as usize, (0..5).map(|i| put(c, i)).collect())).collect();
+    let (mut sim, total) = build(0, clients, 1);
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total);
+    for d in sim.deliveries() {
+        assert!(d.delivery.fast_path, "fault-free Zyzzyva completes in one round");
+    }
+    // All replicas executed everything with identical state.
+    let fp0 = replica(&sim, 0).app().fingerprint();
+    for r in 1..4u8 {
+        assert_eq!(replica(&sim, r).app().fingerprint(), fp0);
+        assert_eq!(replica(&sim, r).executed_upto(), total as u64);
+    }
+}
+
+#[test]
+fn latency_matches_analytic_formula() {
+    // Client in Japan, primary in Virginia:
+    //   owd(J,V) + max_j [owd(V,j) + owd(j,J)] = 80 + max(155, 160, 152)
+    //   = 80 + 155 (via Australia) ≈ 235ms... with j = Japan itself:
+    //   owd(V,J) + owd(J,J) ≈ 80: the binding term is Australia: 100+55.
+    let (mut sim, _) = build(0, vec![(0, 1, vec![put(0, 0)])], 2);
+    sim.run_until_deliveries(1);
+    let at = sim.deliveries()[0].at;
+    assert!(
+        at >= Micros::from_millis(235) && at <= Micros::from_millis(250),
+        "Zyzzyva Japan→Virginia-primary latency {at:?}, expected ≈ 235-240ms"
+    );
+}
+
+#[test]
+fn primary_in_client_region_is_fastest() {
+    // Table I shape: co-located primary minimises latency.
+    let mut lat = Vec::new();
+    for primary in 0..4u8 {
+        let (mut sim, _) = build(primary, vec![(0, 0, vec![put(0, 0)])], 3);
+        sim.run_until_deliveries(1);
+        lat.push(sim.deliveries()[0].at);
+    }
+    let min = lat.iter().min().unwrap();
+    assert_eq!(lat[0], *min, "Virginia primary is fastest for a Virginia client: {lat:?}");
+}
+
+#[test]
+fn non_primary_replica_crash_forces_commit_path() {
+    // With one replica down, 3f+1 responses are impossible: the client must
+    // complete through the commit-certificate path.
+    let (mut sim, total) = build(0, vec![(0, 0, (0..3).map(|i| put(0, i)).collect())], 4);
+    sim.faults_mut().crash(ReplicaId::new(2));
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total);
+    for d in sim.deliveries() {
+        assert!(!d.delivery.fast_path);
+    }
+    let fp0 = replica(&sim, 0).app().fingerprint();
+    assert_eq!(replica(&sim, 1).app().fingerprint(), fp0);
+    assert_eq!(replica(&sim, 3).app().fingerprint(), fp0);
+}
+
+#[test]
+fn primary_crash_triggers_view_change() {
+    let (mut sim, total) = build(0, vec![(0, 1, (0..2).map(|i| put(0, i)).collect())], 5);
+    sim.faults_mut().crash(ReplicaId::new(0));
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total, "liveness across the view change");
+    // The survivors moved to view ≥ 1 (primary rotated off the dead node).
+    for r in [1u8, 2, 3] {
+        assert!(replica(&sim, r).view() >= 1, "replica {r} still in view 0");
+        assert!(replica(&sim, r).stats().view_changes >= 1);
+    }
+    let fp1 = replica(&sim, 1).app().fingerprint();
+    assert_eq!(replica(&sim, 2).app().fingerprint(), fp1);
+    assert_eq!(replica(&sim, 3).app().fingerprint(), fp1);
+}
+
+#[test]
+fn mid_run_primary_crash_preserves_completed_state() {
+    let script: Vec<KvOp> = (0..6).map(|i| put(0, i)).collect();
+    let (mut sim, total) = build(0, vec![(0, 0, script)], 6);
+    // Let roughly half the requests finish, then kill the primary.
+    sim.schedule_crash(ReplicaId::new(0), Micros::from_millis(700));
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total);
+    let fp1 = replica(&sim, 1).app().fingerprint();
+    assert_eq!(replica(&sim, 2).app().fingerprint(), fp1);
+    assert_eq!(replica(&sim, 3).app().fingerprint(), fp1);
+    // Every key the client wrote must be present in the surviving state.
+    for i in 0..6u64 {
+        assert!(
+            replica(&sim, 1).app().get(Key(i)).is_some(),
+            "write {i} lost across view change"
+        );
+    }
+}
+
+#[test]
+fn deterministic_runs() {
+    let run = |seed| {
+        let clients =
+            (0..2u64).map(|c| (c, c as usize, (0..3).map(|i| put(c, i)).collect())).collect();
+        let (mut sim, total) = build(0, clients, seed);
+        sim.run_until_deliveries(total);
+        sim.deliveries().iter().map(|d| d.at.as_micros()).collect::<Vec<_>>()
+    };
+    assert_eq!(run(9), run(9));
+}

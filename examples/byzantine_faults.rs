@@ -1,0 +1,130 @@
+//! Byzantine fault injection: a command-leader that equivocates, the
+//! client that catches it, and the owner change that removes it
+//! (paper §IV-D, §IV-E).
+//!
+//! ```text
+//! cargo run --example byzantine_faults
+//! ```
+
+use std::collections::VecDeque;
+
+use ezbft::core::{Behaviour, ByzantineReplica, Client, EzConfig, Msg, Replica};
+use ezbft::crypto::{CryptoKind, KeyStore};
+use ezbft::kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft::simnet::{Region, SimConfig, SimNet, Topology};
+use ezbft::smr::{
+    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
+    TimerId,
+};
+
+type KvMsg = Msg<KvOp, KvResponse>;
+
+/// Submits a fixed script of operations, one at a time.
+struct ScriptedClient {
+    inner: Client<KvOp, KvResponse>,
+    script: VecDeque<KvOp>,
+}
+
+impl ScriptedClient {
+    fn pump(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        if !self.inner.in_flight() {
+            if let Some(op) = self.script.pop_front() {
+                self.inner.submit(op, out);
+            }
+        }
+    }
+}
+
+impl ProtocolNode for ScriptedClient {
+    type Message = KvMsg;
+    type Response = KvResponse;
+
+    fn id(&self) -> NodeId {
+        ProtocolNode::id(&self.inner)
+    }
+    fn on_start(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        self.pump(out);
+    }
+    fn on_message(&mut self, from: NodeId, msg: KvMsg, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_message(from, msg, out);
+        self.pump(out);
+    }
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_timer(id, out);
+        self.pump(out);
+    }
+}
+
+fn main() {
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = EzConfig::new(cluster);
+    let byzantine_replica = ReplicaId::new(1);
+
+    let client_id = ClientId::new(0);
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    nodes.push(NodeId::Client(client_id));
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"byzantine-example", &nodes);
+    let client_keys = stores.pop().unwrap();
+    // The byzantine wrapper re-signs what it mutates with its own key.
+    let mut byz_keys = Some({
+        let extra = KeyStore::cluster(CryptoKind::Mac, b"byzantine-example", &nodes);
+        extra.into_iter().nth(byzantine_replica.index()).unwrap()
+    });
+
+    let mut sim: SimNet<KvMsg, KvResponse> =
+        SimNet::new(Topology::exp1(), SimConfig::default());
+    for (i, rid) in cluster.replicas().enumerate() {
+        let replica = Replica::new(rid, cfg, stores.remove(0), KvStore::new());
+        if rid == byzantine_replica {
+            println!("replica {rid} is byzantine: it will assign different sequence");
+            println!("numbers to different peers for the commands it leads\n");
+            let wrapper = ByzantineReplica::new(
+                replica,
+                byz_keys.take().expect("one byzantine replica"),
+                Behaviour::EquivocateSeq,
+                cluster.n(),
+            );
+            sim.add_node(Region(i), Box::new(wrapper));
+        } else {
+            sim.add_node(Region(i), Box::new(replica));
+        }
+    }
+
+    // The client's nearest replica is — unluckily — the byzantine one.
+    let script: VecDeque<KvOp> =
+        (0..4).map(|i| KvOp::Put { key: Key(i), value: vec![i as u8; 16] }).collect();
+    let total = script.len();
+    let client = Client::new(client_id, cfg, client_keys, byzantine_replica);
+    sim.add_node(Region(1), Box::new(ScriptedClient { inner: client, script }));
+
+    sim.run_until_deliveries(total);
+    let settle = sim.now() + Micros::from_secs(3);
+    sim.run_until_time(settle);
+
+    println!("all {total} requests completed despite the equivocating leader:");
+    for d in sim.deliveries() {
+        println!(
+            "  ts {:?} at {:?} via the {} path",
+            d.delivery.ts,
+            d.at,
+            if d.delivery.fast_path { "fast" } else { "slow" }
+        );
+    }
+
+    println!("\ncorrect replicas' view:");
+    for r in [0u8, 2, 3] {
+        let replica = sim
+            .inspect(NodeId::Replica(ReplicaId::new(r)))
+            .unwrap()
+            .downcast_ref::<Replica<KvStore>>()
+            .unwrap();
+        let stats = replica.stats();
+        println!(
+            "  R{r}: executed={} poms_received={} owner_changes={} (space R1 owner now {:?})",
+            stats.executed,
+            stats.poms,
+            stats.owner_changes,
+            replica.space_owner(byzantine_replica)
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Geo-replication shoot-out: the paper's motivating scenario.
+//!
+//! Deploys ezBFT and the three baselines across the Experiment-1 regions
+//! and shows how the primary's location dominates client latency for
+//! single-leader protocols — and why a leaderless protocol sidesteps the
+//! problem entirely (paper §I, Table I, Figure 4).
+//!
+//! ```text
+//! cargo run --example geo_replication
+//! ```
+
+use ezbft::harness::{ClusterBuilder, ProtocolKind};
+use ezbft::simnet::Topology;
+use ezbft::smr::ReplicaId;
+
+fn main() {
+    let topology = Topology::exp1();
+    let regions: Vec<&str> = topology.regions().map(|r| topology.name(r)).collect();
+    let n = regions.len();
+
+    println!("== Single-leader pain: Zyzzyva latency as the primary moves ==\n");
+    print!("{:<12}", "client \\ primary");
+    for r in &regions {
+        print!("{r:>12}");
+    }
+    println!();
+    let mut matrices = Vec::new();
+    for primary in 0..n {
+        let report = ClusterBuilder::new(ProtocolKind::Zyzzyva)
+            .topology(topology.clone())
+            .primary(ReplicaId::new(primary as u8))
+            .clients_per_region(&vec![1; n])
+            .requests_per_client(10)
+            .seed(primary as u64)
+            .run();
+        matrices.push((0..n).map(|c| report.mean_latency_ms(c)).collect::<Vec<_>>());
+    }
+    for client in 0..n {
+        print!("{:<12}", regions[client]);
+        for m in matrices.iter() {
+            print!("{:>12.0}", m[client]);
+        }
+        println!();
+    }
+
+    println!("\n== Leaderless: ezBFT serves every region locally ==\n");
+    let report = ClusterBuilder::new(ProtocolKind::EzBft)
+        .topology(topology.clone())
+        .clients_per_region(&vec![1; n])
+        .requests_per_client(10)
+        .run();
+    for (i, r) in regions.iter().enumerate() {
+        println!("  {r:<12} {:>7.0} ms", report.mean_latency_ms(i));
+    }
+
+    println!("\n== Full comparison (primary = Virginia) ==\n");
+    print!("{:<10}", "protocol");
+    for r in &regions {
+        print!("{r:>12}");
+    }
+    println!();
+    for (kind, label) in [
+        (ProtocolKind::Pbft, "PBFT"),
+        (ProtocolKind::Fab, "FaB"),
+        (ProtocolKind::Zyzzyva, "Zyzzyva"),
+        (ProtocolKind::EzBft, "ezBFT"),
+    ] {
+        let report = ClusterBuilder::new(kind)
+            .topology(topology.clone())
+            .primary(ReplicaId::new(0))
+            .clients_per_region(&vec![1; n])
+            .requests_per_client(10)
+            .run();
+        print!("{label:<10}");
+        for c in 0..n {
+            print!("{:>12.0}", report.mean_latency_ms(c));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,65 @@
+#![allow(rustdoc::broken_intra_doc_links)]
+//! # ezBFT — leaderless Byzantine fault-tolerant state machine replication
+//!
+//! A full reproduction of *"ezBFT: Decentralizing Byzantine Fault-Tolerant
+//! State Machine Replication"* (Arun, Peluso, Ravindran — ICDCS 2019),
+//! including the protocol, its three evaluation baselines (PBFT, Zyzzyva,
+//! FaB), a replicated key-value store, a calibrated WAN simulator, a real
+//! TCP transport, and the complete experiment harness that regenerates every
+//! table and figure of the paper.
+//!
+//! This facade crate re-exports the workspace crates under short module
+//! names. Depend on the individual `ezbft-*` crates directly if you only
+//! need one layer.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ezbft::harness::{ClusterBuilder, ProtocolKind};
+//! use ezbft::simnet::Topology;
+//!
+//! // Four ezBFT replicas in the paper's Experiment-1 regions, one client in
+//! // Virginia, 10 requests, zero contention.
+//! let report = ClusterBuilder::new(ProtocolKind::EzBft)
+//!     .topology(Topology::exp1())
+//!     .clients_per_region(&[1, 0, 0, 0])
+//!     .requests_per_client(10)
+//!     .run();
+//! assert_eq!(report.completed(), 10);
+//! assert!(report.fast_fraction() > 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Common SMR abstractions (ids, commands, applications, sans-io nodes).
+pub use ezbft_smr as smr;
+
+/// Authentication substrate (SHA-256, HMAC, MAC authenticators, hash sigs).
+pub use ezbft_crypto as crypto;
+
+/// Compact binary codec and framing.
+pub use ezbft_wire as wire;
+
+/// Deterministic discrete-event WAN simulator.
+pub use ezbft_simnet as simnet;
+
+/// Replicated key-value store application.
+pub use ezbft_kv as kv;
+
+/// The ezBFT protocol itself.
+pub use ezbft_core as core;
+
+/// PBFT baseline.
+pub use ezbft_pbft as pbft;
+
+/// Zyzzyva baseline.
+pub use ezbft_zyzzyva as zyzzyva;
+
+/// FaB baseline.
+pub use ezbft_fab as fab;
+
+/// Experiment harness (every paper table/figure).
+pub use ezbft_harness as harness;
+
+/// TCP transport and threaded runtime.
+pub use ezbft_transport as transport;

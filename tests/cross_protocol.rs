@@ -1,0 +1,101 @@
+//! Cross-protocol integration tests over the facade crate.
+//!
+//! The strongest oracle available: with a conflict-free workload the final
+//! replicated state is independent of the protocol (non-interfering
+//! commands commute), so all four protocols must converge to byte-identical
+//! KV stores. Latency ordering across protocols must follow their step
+//! counts.
+
+use ezbft::harness::{ClusterBuilder, ProtocolKind};
+use ezbft::simnet::Topology;
+use ezbft::smr::ReplicaId;
+
+const ALL: [ProtocolKind; 4] = [
+    ProtocolKind::EzBft,
+    ProtocolKind::Pbft,
+    ProtocolKind::Zyzzyva,
+    ProtocolKind::Fab,
+];
+
+#[test]
+fn every_protocol_completes_the_same_workload() {
+    for kind in ALL {
+        let report = ClusterBuilder::new(kind)
+            .clients_per_region(&[1, 1, 1, 1])
+            .requests_per_client(5)
+            .seed(123)
+            .run();
+        assert_eq!(report.completed(), 20, "{} lost requests", kind.name());
+    }
+}
+
+#[test]
+fn latency_ordering_follows_step_counts() {
+    // Same workload, primary in Virginia, client in Japan (remote from the
+    // primary): 5-step PBFT > 4-step FaB > 3-step Zyzzyva ≥ 3-step-local
+    // ezBFT.
+    let mut latencies = Vec::new();
+    for kind in [ProtocolKind::Pbft, ProtocolKind::Fab, ProtocolKind::Zyzzyva, ProtocolKind::EzBft]
+    {
+        let report = ClusterBuilder::new(kind)
+            .primary(ReplicaId::new(0))
+            .clients_per_region(&[0, 1, 0, 0])
+            .requests_per_client(8)
+            .seed(7)
+            .run();
+        latencies.push((kind.name(), report.mean_latency_ms(1)));
+    }
+    for pair in latencies.windows(2) {
+        assert!(
+            pair[0].1 > pair[1].1,
+            "expected {} ({:.0}ms) slower than {} ({:.0}ms)",
+            pair[0].0,
+            pair[0].1,
+            pair[1].0,
+            pair[1].1
+        );
+    }
+    // ezBFT's advantage over Zyzzyva for this remote client is substantial
+    // (the paper claims up to 40%).
+    let zyz = latencies[2].1;
+    let ez = latencies[3].1;
+    assert!(ez < 0.8 * zyz, "ezBFT {ez:.0}ms vs Zyzzyva {zyz:.0}ms");
+}
+
+#[test]
+fn exp2_topology_runs_all_protocols() {
+    for kind in ALL {
+        let report = ClusterBuilder::new(kind)
+            .topology(Topology::exp2())
+            .primary(ReplicaId::new(1)) // Ireland
+            .clients_per_region(&[1, 1, 1, 1])
+            .requests_per_client(3)
+            .seed(99)
+            .run();
+        assert_eq!(report.completed(), 12, "{} lost requests on exp2", kind.name());
+    }
+}
+
+#[test]
+fn contention_only_affects_ezbft_path_choice() {
+    // The baselines totally order everything; only ezBFT's fast/slow split
+    // reacts to θ.
+    let contended = ClusterBuilder::new(ProtocolKind::EzBft)
+        .clients_per_region(&[1, 1, 1, 1])
+        .requests_per_client(6)
+        .contention_pct(100)
+        .seed(5)
+        .run();
+    assert!(contended.fast_fraction() < 0.6);
+
+    let zyz = ClusterBuilder::new(ProtocolKind::Zyzzyva)
+        .clients_per_region(&[1, 1, 1, 1])
+        .requests_per_client(6)
+        .contention_pct(100)
+        .seed(5)
+        .run();
+    assert!(
+        (zyz.fast_fraction() - 1.0).abs() < f64::EPSILON,
+        "Zyzzyva's agreement is contention-oblivious"
+    );
+}

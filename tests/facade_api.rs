@@ -1,0 +1,84 @@
+//! Exercises the facade crate's public surface the way a downstream user
+//! would: re-exports, crypto provider selection, topology customisation
+//! and report introspection.
+
+use ezbft::crypto::CryptoKind;
+use ezbft::harness::{ClusterBuilder, CostParams, ProtocolKind};
+use ezbft::simnet::Topology;
+use ezbft::smr::{ClusterConfig, Micros, ReplicaId};
+
+#[test]
+fn real_mac_authentication_through_the_harness() {
+    // The latency experiments default to Null crypto; a downstream user can
+    // turn on real HMAC authenticators with one builder call.
+    let report = ClusterBuilder::new(ProtocolKind::EzBft)
+        .crypto(CryptoKind::Mac)
+        .clients_per_region(&[1, 1, 0, 0])
+        .requests_per_client(4)
+        .run();
+    assert_eq!(report.completed(), 8);
+    assert!((report.fast_fraction() - 1.0).abs() < f64::EPSILON);
+}
+
+#[test]
+fn real_hash_signatures_through_the_harness() {
+    // Hash-based (WOTS+Merkle) signatures: the asymmetric ECDSA substitute,
+    // end to end. Keychains are sized to the workload (2^7 = 128 sigs/node).
+    let report = ClusterBuilder::new(ProtocolKind::EzBft)
+        .crypto(CryptoKind::HashSig { height: 7 })
+        .clients_per_region(&[1, 0, 0, 0])
+        .requests_per_client(2)
+        .run();
+    assert_eq!(report.completed(), 2);
+}
+
+#[test]
+fn custom_topology_from_raw_matrix() {
+    // A user-defined 4-region topology: two metro pairs far apart.
+    let topology = Topology::from_owd_ms(
+        vec!["east-1", "east-2", "west-1", "west-2"],
+        vec![
+            vec![0, 2, 70, 71],
+            vec![2, 0, 70, 70],
+            vec![70, 70, 0, 2],
+            vec![71, 70, 2, 0],
+        ],
+    );
+    let report = ClusterBuilder::new(ProtocolKind::EzBft)
+        .topology(topology)
+        .clients_per_region(&[1, 0, 0, 1])
+        .requests_per_client(5)
+        .run();
+    assert_eq!(report.completed(), 10);
+    // Both clients pay the cross-country RTT (fast quorum = all replicas).
+    for region in [0usize, 3] {
+        let ms = report.mean_latency_ms(region);
+        assert!((135.0..170.0).contains(&ms), "region {region}: {ms:.1}ms");
+    }
+}
+
+#[test]
+fn cost_model_is_composable_with_any_protocol() {
+    let cost = CostParams { order_us: 500, follow_us: 50, commit_us: 20, other_us: 10 };
+    for kind in [ProtocolKind::Pbft, ProtocolKind::Fab] {
+        let report = ClusterBuilder::new(kind)
+            .primary(ReplicaId::new(0))
+            .clients_per_region(&[2, 0, 0, 0])
+            .requests_per_client(50)
+            .cost_model(cost)
+            .time_limit(Micros::from_secs(30))
+            .run();
+        assert!(report.completed() > 0, "{} made no progress", kind.name());
+        assert!(report.throughput() > 0.0);
+    }
+}
+
+#[test]
+fn cluster_config_reexport_matches_harness_assumptions() {
+    // The harness pins one replica per region; its quorum arithmetic is the
+    // shared smr ClusterConfig.
+    let cfg = ClusterConfig::try_for_replicas(Topology::exp1().len()).unwrap();
+    assert_eq!(cfg.f(), 1);
+    assert_eq!(cfg.fast_quorum(), 4);
+    assert_eq!(cfg.slow_quorum(), 3);
+}
