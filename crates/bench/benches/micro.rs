@@ -15,7 +15,9 @@ fn bench_crypto(c: &mut Criterion) {
     let payload = vec![0xA5u8; 256];
     group.throughput(Throughput::Bytes(payload.len() as u64));
     group.bench_function("sha256_256B", |b| b.iter(|| sha256(&payload)));
-    group.bench_function("hmac_sha256_256B", |b| b.iter(|| hmac_sha256(b"key", &payload)));
+    group.bench_function("hmac_sha256_256B", |b| {
+        b.iter(|| hmac_sha256(b"key", &payload))
+    });
 
     let kp = WotsKeypair::from_seed(b"bench");
     let digest = Digest::of(&payload);
@@ -45,9 +47,7 @@ fn bench_wire(c: &mut Criterion) {
         b.iter(|| ezbft_wire::to_bytes(&value).unwrap())
     });
     group.bench_function("decode_kv_batch", |b| {
-        b.iter(|| {
-            ezbft_wire::from_bytes::<Vec<(u64, String, Vec<u8>)>>(&bytes).unwrap()
-        })
+        b.iter(|| ezbft_wire::from_bytes::<Vec<(u64, String, Vec<u8>)>>(&bytes).unwrap())
     });
     group.finish();
 }
@@ -80,7 +80,13 @@ fn bench_protocol_datastructures(c: &mut Criterion) {
                 deps.insert(*back);
             }
         }
-        nodes.insert(id, ExecNode { seq: slot + 1, deps });
+        nodes.insert(
+            id,
+            ExecNode {
+                seq: slot + 1,
+                deps,
+            },
+        );
         prev = Some(id);
     }
     group.bench_function("execution_order_512", |b| {
@@ -105,11 +111,117 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
+/// A realistic batched SPECORDER message for fan-out encoding benches.
+fn spec_order_msg(batch: usize) -> ezbft_core::Msg<ezbft_kv::KvOp, ezbft_kv::KvResponse> {
+    use ezbft_core::msg::{Request, SpecOrder, SpecOrderBody};
+    use ezbft_core::{InstanceId, OwnerNum};
+    use ezbft_crypto::Signature;
+    use ezbft_kv::{Key, KvOp};
+    use ezbft_smr::{ClientId, Timestamp};
+
+    let reqs: Vec<Request<KvOp>> = (0..batch as u64)
+        .map(|i| Request {
+            client: ClientId::new(i),
+            ts: Timestamp(1),
+            cmd: KvOp::Put {
+                key: Key(i),
+                value: vec![i as u8; 16],
+            },
+            original: None,
+            sig: Signature::Null,
+        })
+        .collect();
+    let body = SpecOrderBody {
+        owner: OwnerNum(0),
+        inst: InstanceId::new(ezbft_smr::ReplicaId::new(0), 9),
+        deps: std::collections::BTreeSet::new(),
+        seq: 1,
+        log_digest: Digest::ZERO,
+        req_digests: reqs.iter().map(Request::digest).collect(),
+    };
+    ezbft_core::Msg::SpecOrder(SpecOrder {
+        body,
+        sig: Signature::Null,
+        reqs,
+    })
+}
+
+/// Serialize-once fan-out vs per-peer re-encoding (DESIGN.md §3): the
+/// broadcast path encodes one frame and hands out reference-counted
+/// handles, the legacy path encodes per peer.
+fn bench_broadcast(c: &mut Criterion) {
+    const FANOUT: usize = 16;
+    let msg = spec_order_msg(8);
+    let encoded = ezbft_wire::to_bytes(&msg).unwrap();
+    let mut group = c.benchmark_group("broadcast");
+    group.throughput(Throughput::Bytes((encoded.len() * FANOUT) as u64));
+    group.bench_function("fanout16_encode_per_peer", |b| {
+        b.iter(|| {
+            for _ in 0..FANOUT {
+                let bytes = ezbft_wire::to_bytes(&msg).unwrap();
+                criterion::black_box(ezbft_wire::encode_frame(&bytes).unwrap());
+            }
+        })
+    });
+    group.bench_function("fanout16_encode_once_share", |b| {
+        b.iter(|| {
+            let bytes = ezbft_wire::to_bytes(&msg).unwrap();
+            let frame = ezbft_wire::encode_frame(&bytes).unwrap();
+            for _ in 0..FANOUT {
+                criterion::black_box(frame.clone());
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Simulated throughput at SPECORDER batch sizes {1, 8, 32} under a
+/// follower-bound cost model; the printed ops/s must rise with the batch.
+fn bench_batching(c: &mut Criterion) {
+    use ezbft_harness::{ClusterBuilder, CostParams, ProtocolKind};
+    use ezbft_simnet::Topology;
+    use ezbft_smr::Micros;
+
+    let run = |batch: usize| {
+        ClusterBuilder::new(ProtocolKind::EzBft)
+            .topology(Topology::lan(4))
+            .clients_per_region(&[6, 6, 6, 6])
+            .requests_per_client(100_000)
+            .cost_model(CostParams {
+                order_us: 300,
+                follow_us: 300,
+                commit_us: 60,
+                other_us: 80,
+            })
+            .batch_size(batch)
+            .batch_delay(Micros::from_millis(1))
+            .time_limit(Micros::from_secs(2))
+            .seed(11)
+            .run()
+    };
+    let mut group = c.benchmark_group("batching");
+    group.sample_size(2);
+    for batch in [1usize, 8, 32] {
+        let report = run(batch);
+        println!(
+            "  batching: batch={batch:>2} → {:.0} ops/s simulated ({} completed)",
+            report.throughput(),
+            report.completed()
+        );
+        group.bench_function(&format!("sim_throughput_batch{batch}"), |b| {
+            b.iter(|| criterion::black_box(run(batch).completed()))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_crypto,
     bench_wire,
     bench_protocol_datastructures,
-    bench_simulator
+    bench_simulator,
+    bench_broadcast,
+    bench_batching
 );
 criterion_main!(benches);

@@ -56,8 +56,17 @@ impl<A: Application> ByzantineReplica<A> {
     /// Wraps `inner` with `behaviour`. `keys` must be a keystore for the
     /// same replica identity (used to re-sign mutated messages).
     pub fn new(inner: Replica<A>, keys: KeyStore, behaviour: Behaviour, n: usize) -> Self {
-        assert_eq!(keys.me(), ProtocolNode::id(&inner), "keystore identity mismatch");
-        ByzantineReplica { inner, keys, behaviour, n }
+        assert_eq!(
+            keys.me(),
+            ProtocolNode::id(&inner),
+            "keystore identity mismatch"
+        );
+        ByzantineReplica {
+            inner,
+            keys,
+            behaviour,
+            n,
+        }
     }
 
     /// The wrapped honest replica (for state inspection in tests).
@@ -66,9 +75,12 @@ impl<A: Application> ByzantineReplica<A> {
     }
 
     fn my_replica(&self) -> ezbft_smr::ReplicaId {
-        ProtocolNode::id(&self.inner).as_replica().expect("replicas wrap replicas")
+        ProtocolNode::id(&self.inner)
+            .as_replica()
+            .expect("replicas wrap replicas")
     }
 
+    #[allow(clippy::type_complexity)]
     fn transform(
         &mut self,
         actions: Vec<Action<Msg<A::Command, A::Response>, A::Response>>,
@@ -81,6 +93,19 @@ impl<A: Application> ByzantineReplica<A> {
                     let mutated = self.mutate(me, to, msg);
                     if let Some(msg) = mutated {
                         out.send(to, msg);
+                    }
+                }
+                Action::Broadcast { peers, msg } => {
+                    // A byzantine node lies *per destination*, so the
+                    // shared fan-out is expanded back into unicasts and
+                    // each copy run through the behaviour. Honest nodes
+                    // keep the serialize-once broadcast; the wrapper
+                    // deliberately pays the clone cost to equivocate.
+                    for to in peers {
+                        let mutated = self.mutate(me, to, (*msg).clone());
+                        if let Some(msg) = mutated {
+                            out.send(to, msg);
+                        }
                     }
                 }
                 Action::SetTimer { id, after } => out.set_timer(id, after),
@@ -101,17 +126,21 @@ impl<A: Application> ByzantineReplica<A> {
                 // Lie to the odd-indexed peers about the sequence number.
                 if to.as_replica().map(|r| r.index() % 2 == 1).unwrap_or(false) {
                     so.body.seq += 100;
-                    let audience = Audience::replicas(self.n).and(so.req.client);
+                    let audience = so
+                        .reqs
+                        .iter()
+                        .fold(Audience::replicas(self.n), |a, r| a.and(r.client));
                     so.sig = self.keys.sign(&so.body.signed_payload(), &audience);
                 }
                 Some(Msg::SpecOrder(so))
             }
-            (Behaviour::EquivocateInstance, Msg::SpecOrder(mut so))
-                if so.body.inst.space == me =>
-            {
+            (Behaviour::EquivocateInstance, Msg::SpecOrder(mut so)) if so.body.inst.space == me => {
                 if to.as_replica().map(|r| r.index() % 2 == 1).unwrap_or(false) {
                     so.body.inst.slot += 1;
-                    let audience = Audience::replicas(self.n).and(so.req.client);
+                    let audience = so
+                        .reqs
+                        .iter()
+                        .fold(Audience::replicas(self.n), |a, r| a.and(r.client));
                     so.sig = self.keys.sign(&so.body.signed_payload(), &audience);
                 }
                 Some(Msg::SpecOrder(so))

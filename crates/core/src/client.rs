@@ -133,12 +133,7 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
         TimerId(TIMER_RETRY)
     }
 
-    fn complete(
-        &mut self,
-        response: R,
-        fast: bool,
-        out: &mut Actions<Msg<C, R>, R>,
-    ) {
+    fn complete(&mut self, response: R, fast: bool, out: &mut Actions<Msg<C, R>, R>) {
         let pending = self.pending.take().expect("completing a pending request");
         out.cancel_timer(self.slow_timer());
         out.cancel_timer(self.retry_timer());
@@ -151,7 +146,9 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
     }
 
     fn on_spec_reply(&mut self, reply: SpecReply<C, R>, out: &mut Actions<Msg<C, R>, R>) {
-        let Some(pending) = &mut self.pending else { return };
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
         if pending.phase != Phase::Spec
             || reply.body.client != self.id
             || reply.body.ts != pending.ts
@@ -168,9 +165,16 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
         {
             return;
         }
-        // Verify the embedded leader-signed SPECORDER header.
+        // Verify the embedded leader-signed SPECORDER header: our request's
+        // digest must sit at exactly the offset the reply claims, so the
+        // signed header pins both membership and position in the batch.
         let leader = reply.spec_order.body.owner.owner(&self.cfg.cluster);
-        if reply.spec_order.body.req_digest != pending.req_digest
+        if reply
+            .spec_order
+            .body
+            .req_digests
+            .get(reply.body.offset as usize)
+            != Some(&pending.req_digest)
             || self
                 .keys
                 .verify(
@@ -189,7 +193,11 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
         let conflict = pending.headers.iter().find(|h| {
             h.body.owner == header.body.owner
                 && h.body != header.body
-                && (h.body.req_digest == header.body.req_digest
+                && (h
+                    .body
+                    .req_digests
+                    .iter()
+                    .any(|d| header.body.req_digests.contains(d))
                     || h.body.inst == header.body.inst)
         });
         if let Some(existing) = conflict {
@@ -202,7 +210,7 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             if pom.is_structurally_valid() {
                 let msg = Msg::Pom(pom);
                 let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
-                out.send_all(replicas, &msg);
+                out.broadcast(replicas, msg);
                 self.stats.poms += 1;
             }
         }
@@ -218,17 +226,22 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             groups.entry(r.match_key()).or_default().push(*sender);
         }
         let fast_quorum = self.cfg.cluster.fast_quorum();
-        if let Some((_, members)) =
-            groups.iter().find(|(_, members)| members.len() >= fast_quorum)
+        if let Some((_, members)) = groups
+            .iter()
+            .find(|(_, members)| members.len() >= fast_quorum)
         {
             let representative = pending.replies[&members[0]].clone();
             let cc: Vec<SpecReply<C, R>> =
                 members.iter().map(|m| pending.replies[m].clone()).collect();
             let inst = representative.body.inst;
             let response = representative.response.clone();
-            let msg = Msg::CommitFast(CommitFast { client: self.id, inst, cc });
+            let msg = Msg::CommitFast(CommitFast {
+                client: self.id,
+                inst,
+                cc,
+            });
             let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
-            out.send_all(replicas, &msg);
+            out.broadcast(replicas, msg);
             self.complete(response, true, out);
             return;
         }
@@ -250,30 +263,47 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
     /// from the command-leader's designated slow quorum agreeing on the
     /// instance.
     fn try_slow_path(&mut self, out: &mut Actions<Msg<C, R>, R>) {
-        let Some(pending) = &mut self.pending else { return };
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
         if pending.phase != Phase::Spec {
             return;
         }
-        // Group candidate replies by (owner, inst); a correct leader yields
-        // exactly one group.
-        let mut groups: HashMap<(u64, InstanceId), Vec<ReplicaId>> = HashMap::new();
+        // Group candidate replies by (owner, inst, offset); a correct
+        // leader yields exactly one group.
+        let mut groups: HashMap<(u64, InstanceId, u32), Vec<ReplicaId>> = HashMap::new();
         for (sender, r) in &pending.replies {
-            groups.entry((r.body.owner.0, r.body.inst)).or_default().push(*sender);
+            groups
+                .entry((r.body.owner.0, r.body.inst, r.body.offset))
+                .or_default()
+                .push(*sender);
         }
         let slow_quorum_size = self.cfg.cluster.slow_quorum();
         let timer_fired = pending.slow_timer_fired;
-        for ((owner, inst), members) in groups {
+        for ((owner, inst, offset), members) in groups {
             let leader = crate::instance::OwnerNum(owner).owner(&self.cfg.cluster);
             let designated = self.cfg.designated_slow_quorum(leader);
             // Prefer the leader-designated quorum (§IV-C nitpick: it makes
             // the dependency combination deterministic when more than 2f+1
             // replies arrive). If designated members are faulty and the
-            // timer has expired, fall back to any 2f+1 repliers: the COMMIT
-            // is client-signed, so which replies back it affects only the
-            // determinism of the combination, not safety.
-            let mut usable: Vec<ReplicaId> =
-                members.iter().copied().filter(|m| designated.contains(*m)).collect();
-            if usable.len() < slow_quorum_size && timer_fired {
+            // timer has expired, fall back to any 2f+1 repliers — but only
+            // for unbatched instances: a batch has several committing
+            // clients, and the designated quorum is what guarantees they
+            // all derive the same (deps, seq) union (DESIGN.md §3). A
+            // batched instance whose designated quorum is unreachable is
+            // recovered through retransmission and leader rotation instead.
+            let batched = pending
+                .replies
+                .values()
+                .find(|r| r.body.inst == inst && r.body.offset == offset)
+                .map(|r| r.spec_order.body.req_digests.len() > 1)
+                .unwrap_or(false);
+            let mut usable: Vec<ReplicaId> = members
+                .iter()
+                .copied()
+                .filter(|m| designated.contains(*m))
+                .collect();
+            if usable.len() < slow_quorum_size && timer_fired && !batched {
                 usable = members;
                 usable.sort();
             }
@@ -297,12 +327,13 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
                 seq,
                 req_digest: pending.req_digest,
             };
-            let sig = self
-                .keys
-                .sign(&body.signed_payload(), &Audience::replicas(self.cfg.cluster.n()));
+            let sig = self.keys.sign(
+                &body.signed_payload(),
+                &Audience::replicas(self.cfg.cluster.n()),
+            );
             let msg = Msg::Commit(Commit { body, sig, cc });
             let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
-            out.send_all(replicas, &msg);
+            out.broadcast(replicas, msg);
             pending.phase = Phase::Committing;
             return;
         }
@@ -310,16 +341,14 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
     }
 
     fn on_commit_reply(&mut self, reply: CommitReply<R>, out: &mut Actions<Msg<C, R>, R>) {
-        let Some(pending) = &mut self.pending else { return };
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
         if reply.client != self.id || reply.ts != pending.ts {
             return;
         }
-        let payload = CommitReply::<R>::signed_payload(
-            reply.inst,
-            reply.client,
-            reply.ts,
-            &reply.response,
-        );
+        let payload =
+            CommitReply::<R>::signed_payload(reply.inst, reply.client, reply.ts, &reply.response);
         if self
             .keys
             .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
@@ -337,11 +366,15 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
     }
 
     fn on_retry(&mut self, out: &mut Actions<Msg<C, R>, R>) {
-        let Some(pending) = &mut self.pending else { return };
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
         self.stats.retries += 1;
         pending.retries += 1;
         let payload = Request::<C>::signed_payload(self.id, pending.ts, &pending.cmd);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
         if pending.retries == 1 {
             // First retry: re-broadcast tagged with the original leader so
             // every replica nudges it (§IV-D step 4.3).
@@ -353,12 +386,11 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
                 sig,
             };
             let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
-            out.send_all(replicas, &Msg::Request(req));
+            out.broadcast(replicas, Msg::Request(req));
         } else {
             // Subsequent retries: rotate to the next replica and ask it to
             // lead directly (the original leader's space may be frozen).
-            let next =
-                ReplicaId::new(((pending.leader.index() + 1) % self.cfg.cluster.n()) as u8);
+            let next = ReplicaId::new(((pending.leader.index() + 1) % self.cfg.cluster.n()) as u8);
             pending.leader = next;
             let req = Request {
                 client: self.id,
@@ -412,8 +444,16 @@ impl<C: WirePayload + ezbft_smr::Command, R: WirePayload> ClientNode for Client<
         self.next_ts = self.next_ts.next();
         let ts = self.next_ts;
         let payload = Request::<C>::signed_payload(self.id, ts, &cmd);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let req = Request { client: self.id, ts, cmd: cmd.clone(), original: None, sig };
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request {
+            client: self.id,
+            ts,
+            cmd: cmd.clone(),
+            original: None,
+            sig,
+        };
         let req_digest = req.digest();
         out.send(NodeId::Replica(self.preferred), Msg::Request(req));
         out.set_timer(self.slow_timer(), self.cfg.slow_path_delay);

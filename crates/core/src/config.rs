@@ -26,6 +26,16 @@ pub struct EzConfig {
     /// makes an executed contiguous prefix final, so dropping it frees
     /// memory without a message round.
     pub compaction_interval: u64,
+    /// Maximum client requests a command-leader aggregates into one
+    /// SPECORDER (DESIGN.md §3). `1` (the default) reproduces the paper's
+    /// one-request-per-instance behaviour exactly; larger values amortise
+    /// ordering, signatures and fan-out across the batch.
+    pub batch_size: usize,
+    /// How long a command-leader holds an under-full batch open waiting
+    /// for more requests before flushing it. `ZERO` flushes at the next
+    /// scheduling point; ignored when [`EzConfig::batch_size`] is 1
+    /// (requests are then ordered inline, with no timer round-trip).
+    pub batch_delay: Micros,
 }
 
 impl EzConfig {
@@ -37,7 +47,21 @@ impl EzConfig {
             retry_delay: Micros::from_millis(1_500),
             resend_timeout: Micros::from_millis(600),
             compaction_interval: 256,
+            batch_size: 1,
+            batch_delay: Micros::ZERO,
         }
+    }
+
+    /// Sets the SPECORDER batching knobs (see [`EzConfig::batch_size`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is 0.
+    pub fn with_batching(mut self, batch_size: usize, batch_delay: Micros) -> Self {
+        assert!(batch_size >= 1, "batch_size must be at least 1");
+        self.batch_size = batch_size;
+        self.batch_delay = batch_delay;
+        self
     }
 
     /// The designated slow quorum for a command-leader (§IV-C nitpick:

@@ -152,7 +152,7 @@ mod tests {
         let b2 = t.collect_and_register(inst(2, 0), &[ConflictKey::commuting_write(1)]);
         assert_eq!(b1, BTreeSet::from([inst(0, 0)]));
         assert_eq!(b2, BTreeSet::from([inst(0, 0)])); // not on b1
-        // A read after the bumps depends on the write and both bumps.
+                                                      // A read after the bumps depends on the write and both bumps.
         let r = t.collect_and_register(inst(3, 0), &[ConflictKey::read(1)]);
         assert_eq!(r, BTreeSet::from([inst(0, 0), inst(1, 0), inst(2, 0)]));
         // A write depends on everything outstanding.
@@ -171,10 +171,7 @@ mod tests {
         let mut t = DepTracker::new();
         t.collect_and_register(inst(0, 0), &[ConflictKey::write(1)]);
         t.collect_and_register(inst(1, 0), &[ConflictKey::write(2)]);
-        let d = t.collect_and_register(
-            inst(2, 0),
-            &[ConflictKey::write(1), ConflictKey::write(2)],
-        );
+        let d = t.collect_and_register(inst(2, 0), &[ConflictKey::write(1), ConflictKey::write(2)]);
         assert_eq!(d, BTreeSet::from([inst(0, 0), inst(1, 0)]));
     }
 
@@ -183,10 +180,7 @@ mod tests {
         let mut t = DepTracker::new();
         // A command reading and writing the same key must not depend on
         // itself.
-        let d = t.collect_and_register(
-            inst(0, 0),
-            &[ConflictKey::read(1), ConflictKey::write(1)],
-        );
+        let d = t.collect_and_register(inst(0, 0), &[ConflictKey::read(1), ConflictKey::write(1)]);
         assert!(d.is_empty());
     }
 

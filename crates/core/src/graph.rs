@@ -95,9 +95,9 @@ pub fn execution_order(
             if *pos < neighbours.len() {
                 let w = neighbours[*pos];
                 *pos += 1;
-                if !index.contains_key(&w) {
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(w) {
                     frames.push((w, 0));
-                    index.insert(w, next_index);
+                    e.insert(next_index);
                     lowlink.insert(w, next_index);
                     next_index += 1;
                     stack.push(w);
@@ -177,13 +177,13 @@ mod tests {
     }
 
     fn node(seq: u64, deps: &[InstanceId]) -> ExecNode {
-        ExecNode { seq, deps: deps.iter().copied().collect() }
+        ExecNode {
+            seq,
+            deps: deps.iter().copied().collect(),
+        }
     }
 
-    fn order(
-        nodes: &BTreeMap<InstanceId, ExecNode>,
-        executed: &[InstanceId],
-    ) -> Vec<InstanceId> {
+    fn order(nodes: &BTreeMap<InstanceId, ExecNode>, executed: &[InstanceId]) -> Vec<InstanceId> {
         let executed: BTreeSet<_> = executed.iter().copied().collect();
         execution_order(nodes, |d| executed.contains(&d))
     }

@@ -28,6 +28,47 @@ impl InstanceId {
     pub fn tag(self) -> u128 {
         ((self.space.index() as u128) << 64) | self.slot as u128
     }
+
+    /// The address of the request at `offset` within this instance's batch.
+    pub const fn at(self, offset: u32) -> ExecRef {
+        ExecRef { inst: self, offset }
+    }
+}
+
+/// The address of one command inside a (possibly batched) instance: the
+/// instance plus the request's offset within the batch (DESIGN.md §3).
+///
+/// Agreement — dependencies, sequence numbers, commitment — stays at
+/// [`InstanceId`] granularity; execution, exactly-once bookkeeping and the
+/// speculative-state engine address individual commands through `ExecRef`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ExecRef {
+    /// The instance holding the batch.
+    pub inst: InstanceId,
+    /// The command's position within the batch, starting at 0.
+    pub offset: u32,
+}
+
+impl ExecRef {
+    /// A unique 128-bit tag keying this command's speculative execution.
+    /// Injective for slots below 2⁸⁸ (the practical universe).
+    pub fn tag(self) -> u128 {
+        ((self.inst.space.index() as u128) << 120)
+            | ((self.inst.slot as u128 & ((1u128 << 88) - 1)) << 32)
+            | self.offset as u128
+    }
+}
+
+impl fmt::Debug for ExecRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}#{}", self.inst, self.offset)
+    }
+}
+
+impl fmt::Display for ExecRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
 }
 
 impl fmt::Debug for InstanceId {
@@ -112,6 +153,20 @@ mod tests {
         let b = InstanceId::new(ReplicaId::new(1), 0);
         assert!(a < b);
         assert_eq!(format!("{a}"), "R0.9");
+    }
+
+    #[test]
+    fn exec_ref_tags_are_injective_across_offsets() {
+        let a = InstanceId::new(ReplicaId::new(0), 1);
+        let b = InstanceId::new(ReplicaId::new(1), 1);
+        assert_ne!(a.at(0).tag(), a.at(1).tag());
+        assert_ne!(a.at(0).tag(), b.at(0).tag());
+        assert_ne!(
+            a.at(1).tag(),
+            InstanceId::new(ReplicaId::new(0), 2).at(0).tag()
+        );
+        assert_eq!(a.at(3).tag(), a.at(3).tag());
+        assert_eq!(format!("{}", a.at(2)), "R0.1#2");
     }
 
     #[test]

@@ -60,6 +60,6 @@ pub use client::{Client, ClientStats};
 pub use config::EzConfig;
 pub use deps::DepTracker;
 pub use graph::{execution_order, ExecNode};
-pub use instance::{EntryStatus, InstanceId, OwnerNum};
+pub use instance::{EntryStatus, ExecRef, InstanceId, OwnerNum};
 pub use msg::Msg;
 pub use replica::{Replica, ReplicaStats};

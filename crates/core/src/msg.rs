@@ -16,7 +16,10 @@ use crate::instance::{EntryStatus, InstanceId, OwnerNum};
 
 /// Bound on message type parameters: commands and responses travel inside
 /// messages and under signatures.
-pub trait WirePayload: Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static {}
+pub trait WirePayload:
+    Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static
+{
+}
 impl<T: Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static> WirePayload
     for T
 {
@@ -52,12 +55,17 @@ impl<C: WirePayload> Request<C> {
 }
 
 /// The signed body of a `SPECORDER` (§IV-A step 2):
-/// `⟨SPECORDER, O, I, D, S, h, d⟩σRi`.
+/// `⟨SPECORDER, O, I, D, S, h, d⃗⟩σRi`.
+///
+/// Extended relative to the paper with request batching (DESIGN.md §3):
+/// one instance orders a *batch* of client requests, and the signed body
+/// carries one digest per request in batch order. A batch of one is
+/// byte-level compatible in spirit with the paper's single `d = H(m)`.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct SpecOrderBody {
     /// Owner number of the command-leader's instance space.
     pub owner: OwnerNum,
-    /// The instance number assigned to the command.
+    /// The instance number assigned to the batch.
     pub inst: InstanceId,
     /// Dependencies collected by the command-leader.
     pub deps: BTreeSet<InstanceId>,
@@ -65,8 +73,11 @@ pub struct SpecOrderBody {
     pub seq: u64,
     /// `h`: digest of the command-leader's instance space before this slot.
     pub log_digest: Digest,
-    /// `d = H(m)`: digest of the client request.
-    pub req_digest: Digest,
+    /// `d⃗`: digest of each batched client request, in execution order.
+    /// Signing the full list lets every client verify *its* request's
+    /// position in the batch from the relayed header alone (POM detection,
+    /// §IV-D step 4.4).
+    pub req_digests: Vec<Digest>,
 }
 
 impl SpecOrderBody {
@@ -76,16 +87,22 @@ impl SpecOrderBody {
     }
 }
 
-/// `⟨⟨SPECORDER, …⟩σRi, m⟩` — the leader's proposal with the full request
-/// attached.
+/// `⟨⟨SPECORDER, …⟩σRi, m⃗⟩` — the leader's proposal with the full request
+/// batch attached.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct SpecOrder<C> {
     /// The signed ordering metadata.
     pub body: SpecOrderBody,
     /// Command-leader signature over the body.
     pub sig: Signature,
-    /// The original client request `m`.
-    pub req: Request<C>,
+    /// The original client requests, in batch order (parallel to
+    /// [`SpecOrderBody::req_digests`]).
+    pub reqs: Vec<Request<C>>,
+}
+
+/// Digests of a request batch, in batch order.
+pub fn batch_digests<C: WirePayload>(reqs: &[Request<C>]) -> Vec<Digest> {
+    reqs.iter().map(Request::digest).collect()
 }
 
 /// The signed body of a `SPECREPLY` (§IV-A step 3):
@@ -97,11 +114,14 @@ pub struct SpecReplyBody {
     pub owner: OwnerNum,
     /// The instance the reply refers to.
     pub inst: InstanceId,
-    /// Updated dependency set `D′`.
+    /// Offset of the client's request within the instance's batch
+    /// (always 0 for unbatched leaders; see DESIGN.md §3).
+    pub offset: u32,
+    /// Updated dependency set `D′` (instance-level: shared by the batch).
     pub deps: BTreeSet<InstanceId>,
-    /// Updated sequence number `S′`.
+    /// Updated sequence number `S′` (instance-level: shared by the batch).
     pub seq: u64,
-    /// Digest of the client request.
+    /// Digest of the client request at `offset`.
     pub req_digest: Digest,
     /// The issuing client.
     pub client: ClientId,
@@ -136,7 +156,14 @@ impl<C, R: WirePayload> SpecReply<C, R> {
         sig: Signature,
         spec_order: SpecOrderHeader,
     ) -> Self {
-        SpecReply { body, sender, response, sig, spec_order, _marker: std::marker::PhantomData }
+        SpecReply {
+            body,
+            sender,
+            response,
+            sig,
+            spec_order,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Canonical signed bytes of a reply: the body plus the response.
@@ -239,7 +266,12 @@ impl<R: WirePayload> CommitReply<R> {
 
     /// Matching key for the client's `2f + 1` tally.
     pub fn match_key(&self) -> Digest {
-        Digest::of(&Self::signed_payload(self.inst, self.client, self.ts, &self.response))
+        Digest::of(&Self::signed_payload(
+            self.inst,
+            self.client,
+            self.ts,
+            &self.response,
+        ))
     }
 }
 
@@ -281,7 +313,10 @@ impl Pom {
         if a.inst.space != self.space || b.inst.space != self.space {
             return false;
         }
-        let same_cmd_diff_inst = a.req_digest == b.req_digest && a.inst != b.inst;
+        // With batching, "same command" means the two signed batches share
+        // any request digest (batches are small, so the scan is cheap).
+        let same_cmd_diff_inst =
+            a.inst != b.inst && a.req_digests.iter().any(|d| b.req_digests.contains(d));
         let same_inst_diff_content = a.inst == b.inst && a != b;
         same_cmd_diff_inst || same_inst_diff_content
     }
@@ -335,8 +370,8 @@ pub struct EntrySnapshot<C, R> {
     pub inst: InstanceId,
     /// Owner number under which the entry was accepted.
     pub owner: OwnerNum,
-    /// The full client request.
-    pub req: Request<C>,
+    /// The full client request batch, in batch order.
+    pub reqs: Vec<Request<C>>,
     /// Local dependency view.
     pub deps: BTreeSet<InstanceId>,
     /// Local sequence number.
@@ -376,8 +411,7 @@ impl<C: WirePayload, R: WirePayload> OwnerChange<C, R> {
         floor: u64,
         entries: &[EntrySnapshot<C, R>],
     ) -> Vec<u8> {
-        let entries_digest =
-            Digest::of(&ezbft_wire::to_bytes(entries).expect("entries encode"));
+        let entries_digest = Digest::of(&ezbft_wire::to_bytes(entries).expect("entries encode"));
         ezbft_wire::to_bytes(&(b"owner-change", space, new_owner, floor, entries_digest))
             .expect("owner-change encodes")
     }
@@ -473,7 +507,7 @@ mod tests {
                 deps: BTreeSet::new(),
                 seq: 1,
                 log_digest: Digest::ZERO,
-                req_digest: Digest::of(req),
+                req_digests: vec![Digest::of(req)],
             },
             sig: Signature::Null,
         }
@@ -489,7 +523,10 @@ mod tests {
             original: None,
             sig: Signature::Null,
         };
-        let b = Request { original: Some(ReplicaId::new(3)), ..a.clone() };
+        let b = Request {
+            original: Some(ReplicaId::new(3)),
+            ..a.clone()
+        };
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a.digest(), Digest::of(&payload));
     }
@@ -499,6 +536,7 @@ mod tests {
         let body = SpecReplyBody {
             owner: OwnerNum(0),
             inst: InstanceId::new(ReplicaId::new(0), 0),
+            offset: 0,
             deps: BTreeSet::new(),
             seq: 1,
             req_digest: Digest::of(b"m"),
@@ -506,19 +544,36 @@ mod tests {
             ts: Timestamp(1),
         };
         let so = header(0, 0, 0, b"m");
-        let a: SpecReply<u32, u32> =
-            SpecReply::new(body.clone(), ReplicaId::new(0), 9, Signature::Null, so.clone());
-        let b: SpecReply<u32, u32> =
-            SpecReply::new(body.clone(), ReplicaId::new(1), 9, Signature::Null, so.clone());
+        let a: SpecReply<u32, u32> = SpecReply::new(
+            body.clone(),
+            ReplicaId::new(0),
+            9,
+            Signature::Null,
+            so.clone(),
+        );
+        let b: SpecReply<u32, u32> = SpecReply::new(
+            body.clone(),
+            ReplicaId::new(1),
+            9,
+            Signature::Null,
+            so.clone(),
+        );
         // Different senders still match (matching ignores the sender).
         assert_eq!(a.match_key(), b.match_key());
         // Different response breaks the match.
-        let c: SpecReply<u32, u32> = SpecReply::new(body.clone(), ReplicaId::new(2), 8, Signature::Null, so.clone());
+        let c: SpecReply<u32, u32> = SpecReply::new(
+            body.clone(),
+            ReplicaId::new(2),
+            8,
+            Signature::Null,
+            so.clone(),
+        );
         assert_ne!(a.match_key(), c.match_key());
         // Different deps break the match.
         let mut body2 = body;
         body2.deps.insert(InstanceId::new(ReplicaId::new(1), 0));
-        let d: SpecReply<u32, u32> = SpecReply::new(body2, ReplicaId::new(3), 9, Signature::Null, so);
+        let d: SpecReply<u32, u32> =
+            SpecReply::new(body2, ReplicaId::new(3), 9, Signature::Null, so);
         assert_ne!(a.match_key(), d.match_key());
     }
 

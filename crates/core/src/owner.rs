@@ -49,10 +49,15 @@ pub(crate) fn verify_owner_change<C: WirePayload, R: WirePayload>(
         return false;
     }
     let payload = OwnerChange::signed_payload(oc.space, oc.new_owner, oc.floor, &oc.entries);
-    if keys.verify(NodeId::Replica(oc.sender), &payload, &oc.sig).is_err() {
+    if keys
+        .verify(NodeId::Replica(oc.sender), &payload, &oc.sig)
+        .is_err()
+    {
         return false;
     }
-    oc.entries.iter().all(|e| e.inst.space == oc.space && e.inst.slot >= oc.floor)
+    oc.entries
+        .iter()
+        .all(|e| e.inst.space == oc.space && e.inst.slot >= oc.floor)
 }
 
 /// Validates a slow-commit evidence body against its snapshot.
@@ -63,8 +68,10 @@ fn slow_commit_valid<C: WirePayload, R: WirePayload>(
     sig: &ezbft_crypto::Signature,
 ) -> bool {
     body.inst == snap.inst
-        && body.req_digest == snap.req.digest()
-        && keys.verify(NodeId::Client(body.client), &body.signed_payload(), sig).is_ok()
+        && snap.reqs.iter().any(|r| r.digest() == body.req_digest)
+        && keys
+            .verify(NodeId::Client(body.client), &body.signed_payload(), sig)
+            .is_ok()
 }
 
 /// Validates a fast-commit certificate against its snapshot.
@@ -77,19 +84,29 @@ fn fast_commit_valid<C: WirePayload, R: WirePayload>(
     if replies.len() < cfg.cluster.fast_quorum() {
         return false;
     }
-    let Some(first) = replies.first() else { return false };
+    let Some(first) = replies.first() else {
+        return false;
+    };
     let key = first.match_key();
     let mut senders = BTreeSet::new();
     for reply in replies {
+        let digest_in_batch = snap
+            .reqs
+            .get(reply.body.offset as usize)
+            .map(|r| r.digest() == reply.body.req_digest)
+            .unwrap_or(false);
         if reply.body.inst != snap.inst
-            || reply.body.req_digest != snap.req.digest()
+            || !digest_in_batch
             || reply.match_key() != key
             || !senders.insert(reply.sender)
         {
             return false;
         }
         let payload = SpecReply::<C, R>::signed_payload(&reply.body, &reply.response);
-        if keys.verify(NodeId::Replica(reply.sender), &payload, &reply.sig).is_err() {
+        if keys
+            .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
+            .is_err()
+        {
             return false;
         }
     }
@@ -116,10 +133,14 @@ pub(crate) fn compute_safe_set<C: WirePayload, R: WirePayload>(
     let mut slot = reports.iter().map(|r| r.floor).min().unwrap_or(0);
     loop {
         let inst = InstanceId::new(space, slot);
+        #[allow(clippy::type_complexity)]
         let candidates: Vec<(&OwnerChange<C, R>, &EntrySnapshot<C, R>)> = reports
             .iter()
             .flat_map(|r| {
-                r.entries.iter().filter(|e| e.inst == inst).map(move |e| (*r, e))
+                r.entries
+                    .iter()
+                    .filter(|e| e.inst == inst)
+                    .map(move |e| (*r, e))
             })
             .collect();
         if candidates.is_empty() {
@@ -160,13 +181,20 @@ pub(crate) fn compute_safe_set<C: WirePayload, R: WirePayload>(
         let mut groups: HashMap<Digest, (BTreeSet<ReplicaId>, &EntrySnapshot<C, R>)> =
             HashMap::new();
         for (report, snap) in &candidates {
-            let Evidence::SpecOrdered(header) = &snap.evidence else { continue };
+            let Evidence::SpecOrdered(header) = &snap.evidence else {
+                continue;
+            };
             let leader = header.body.owner.owner(&cfg.cluster);
-            if header.body.req_digest != snap.req.digest() {
+            let snap_digests: Vec<_> = snap.reqs.iter().map(|r| r.digest()).collect();
+            if header.body.req_digests != snap_digests {
                 continue;
             }
             if keys
-                .verify(NodeId::Replica(leader), &header.body.signed_payload(), &header.sig)
+                .verify(
+                    NodeId::Replica(leader),
+                    &header.body.signed_payload(),
+                    &header.sig,
+                )
                 .is_err()
             {
                 continue;
@@ -215,12 +243,15 @@ mod tests {
 
     fn setup() -> Setup {
         let cluster = ClusterConfig::for_faults(1);
-        let mut nodes: Vec<NodeId> =
-            cluster.replicas().map(NodeId::Replica).collect();
+        let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
         nodes.push(NodeId::Client(ClientId::new(0)));
         let mut stores = KeyStore::cluster(CryptoKind::Mac, b"test", &nodes);
         let client_store = stores.pop().unwrap();
-        Setup { cfg: EzConfig::new(cluster), stores, client_store }
+        Setup {
+            cfg: EzConfig::new(cluster),
+            stores,
+            client_store,
+        }
     }
 
     fn request(setup: &mut Setup, cmd: u32) -> Request<u32> {
@@ -230,17 +261,28 @@ mod tests {
         let sig = setup
             .client_store
             .sign(&payload, &Audience::replicas(setup.cfg.cluster.n()));
-        Request { client, ts, cmd, original: None, sig }
+        Request {
+            client,
+            ts,
+            cmd,
+            original: None,
+            sig,
+        }
     }
 
-    fn signed_header(setup: &mut Setup, leader: usize, inst: InstanceId, req: &Request<u32>) -> SpecOrderHeader {
+    fn signed_header(
+        setup: &mut Setup,
+        leader: usize,
+        inst: InstanceId,
+        req: &Request<u32>,
+    ) -> SpecOrderHeader {
         let body = SpecOrderBody {
             owner: OwnerNum(leader as u64),
             inst,
             deps: BTreeSet::new(),
             seq: 1,
             log_digest: Digest::ZERO,
-            req_digest: req.digest(),
+            req_digests: vec![req.digest()],
         };
         let audience = Audience::replicas(setup.cfg.cluster.n()).and(ClientId::new(0));
         let sig = setup.stores[leader].sign(&body.signed_payload(), &audience);
@@ -251,7 +293,7 @@ mod tests {
         EntrySnapshot {
             inst: header.body.inst,
             owner: header.body.owner,
-            req,
+            reqs: vec![req],
             deps: header.body.deps.clone(),
             seq: header.body.seq,
             status: EntryStatus::SpecOrdered,
@@ -263,8 +305,7 @@ mod tests {
         let space = ReplicaId::new(0);
         let new_owner = OwnerNum(1);
         let payload = OwnerChange::signed_payload(space, new_owner, 0, &entries);
-        let sig = setup.stores[sender]
-            .sign(&payload, &Audience::replicas(setup.cfg.cluster.n()));
+        let sig = setup.stores[sender].sign(&payload, &Audience::replicas(setup.cfg.cluster.n()));
         OwnerChange {
             space,
             new_owner,
@@ -320,13 +361,14 @@ mod tests {
             seq: 9,
             req_digest: req.digest(),
         };
-        let sig = s
-            .client_store
-            .sign(&body.signed_payload(), &Audience::replicas(s.cfg.cluster.n()));
+        let sig = s.client_store.sign(
+            &body.signed_payload(),
+            &Audience::replicas(s.cfg.cluster.n()),
+        );
         let committed_snap = EntrySnapshot {
             inst,
             owner: OwnerNum(0),
-            req: req.clone(),
+            reqs: vec![req.clone()],
             deps: deps.clone(),
             seq: 9,
             status: EntryStatus::Committed,
@@ -375,11 +417,14 @@ mod tests {
             deps: BTreeSet::new(),
             seq: 1,
             log_digest: Digest::ZERO,
-            req_digest: req.digest(),
+            req_digests: vec![req.digest()],
         };
         let audience = Audience::replicas(s.cfg.cluster.n());
         let forged_sig = s.stores[3].sign(&body.signed_payload(), &audience);
-        let forged = SpecOrderHeader { body, sig: forged_sig };
+        let forged = SpecOrderHeader {
+            body,
+            sig: forged_sig,
+        };
         let snap = spec_snapshot(forged, req);
         let r1 = signed_report(&mut s, 1, vec![snap.clone()]);
         let r2 = signed_report(&mut s, 2, vec![snap]);

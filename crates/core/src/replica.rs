@@ -18,40 +18,51 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use ezbft_crypto::{Audience, Digest, KeyStore};
 use ezbft_smr::{
-    Actions, Application, ClientId, CloneReplay, Command, Micros, NodeId, ProtocolNode,
-    ReplicaId, TimerId, Timestamp, VoteTally,
+    Actions, Application, ClientId, CloneReplay, Command, Micros, NodeId, ProtocolNode, ReplicaId,
+    TimerId, Timestamp, VoteTally,
 };
 
 use crate::config::EzConfig;
 use crate::graph::{execution_order, ExecNode};
-use crate::instance::{EntryStatus, InstanceId, OwnerNum};
+use crate::instance::{EntryStatus, ExecRef, InstanceId, OwnerNum};
 use crate::msg::{
-    Commit, CommitFast, CommitReply, Evidence, Msg, NewOwner, OwnerChange, Pom, Request,
-    ResendReq, SpecOrder, SpecOrderBody, SpecOrderHeader, SpecReply, SpecReplyBody,
+    batch_digests, Commit, CommitFast, CommitReply, Evidence, Msg, NewOwner, OwnerChange, Pom,
+    Request, ResendReq, SpecOrder, SpecOrderBody, SpecOrderHeader, SpecReply, SpecReplyBody,
     StartOwnerChange,
 };
 use crate::owner::{compute_safe_set, verify_owner_change};
 
 use crate::deps::DepTracker;
 
-/// One slot's state in an instance space.
+/// One slot's state in an instance space. A slot holds a *batch* of one
+/// or more client requests ordered as a unit (DESIGN.md §3); agreement
+/// state (deps, seq, status) is per slot, responses are per offset.
 #[derive(Clone, Debug)]
 pub(crate) struct Entry<C, R> {
-    pub req: Request<C>,
+    pub reqs: Vec<Request<C>>,
     pub owner: OwnerNum,
     pub deps: BTreeSet<InstanceId>,
     pub seq: u64,
     pub status: EntryStatus,
-    pub spec_response: Option<R>,
-    pub final_response: Option<R>,
-    /// Send COMMITREPLY to the client after final execution (slow path and
-    /// recovered entries).
-    pub reply_on_final: bool,
+    /// Speculative responses, one per offset (dropped on invalidation).
+    pub spec_responses: Option<Vec<R>>,
+    /// Final responses, filled per offset at execution.
+    pub final_responses: Vec<Option<R>>,
+    /// Offsets whose client must receive a COMMITREPLY after final
+    /// execution (slow path and recovered entries).
+    pub reply_on_final: BTreeSet<u32>,
     /// The command-leader's signed header (owner-change evidence, POM raw
     /// material).
     pub header: SpecOrderHeader,
     /// Commitment proof, once committed.
     pub commit_evidence: Option<Evidence<C, R>>,
+}
+
+impl<C, R> Entry<C, R> {
+    /// The request at `offset`, if within the batch.
+    fn req_at(&self, offset: u32) -> Option<&Request<C>> {
+        self.reqs.get(offset as usize)
+    }
 }
 
 /// One instance space as seen by this replica.
@@ -73,13 +84,20 @@ pub(crate) struct Space<C, R> {
     /// Out-of-order SPECORDER buffer (network reordering).
     pub pending_orders: BTreeMap<u64, SpecOrder<C>>,
     /// Commit decisions that arrived before their SPECORDER.
-    pub pending_commits: BTreeMap<u64, PendingCommit<R>>,
+    pub pending_commits: BTreeMap<u64, PendingCommit>,
 }
 
+/// A commit decision that arrived before its SPECORDER. Several clients of
+/// one batch may each deliver a certificate while the order is still in
+/// flight; the first decision's (deps, seq) is kept and every client's
+/// COMMITREPLY obligation accumulates (an overwrite would silently drop an
+/// earlier client's reply).
 #[derive(Clone, Debug)]
-pub(crate) enum PendingCommit<R> {
-    Fast { deps: BTreeSet<InstanceId>, seq: u64, _marker: std::marker::PhantomData<R> },
-    Slow { deps: BTreeSet<InstanceId>, seq: u64 },
+pub(crate) struct PendingCommit {
+    pub deps: BTreeSet<InstanceId>,
+    pub seq: u64,
+    /// Batch offsets whose clients expect a COMMITREPLY after execution.
+    pub reply_offsets: BTreeSet<u32>,
 }
 
 impl<C, R> Space<C, R> {
@@ -103,26 +121,26 @@ impl<C, R> Space<C, R> {
 struct ClientRecord<C, R> {
     /// Highest timestamp seen in a proposal by this replica.
     last_ts: Timestamp,
-    /// Instance assigned to the highest-timestamp proposal (if this replica
-    /// has seen it ordered anywhere).
-    last_inst: Option<InstanceId>,
+    /// Batch position assigned to the highest-timestamp proposal (if this
+    /// replica has seen it ordered anywhere).
+    last_at: Option<ExecRef>,
     /// Highest timestamp finally executed and its response (exactly-once).
     executed_ts: Timestamp,
     executed_response: Option<R>,
     /// Cached replies for retransmission handling.
     cached_spec: Option<SpecReply<C, R>>,
     cached_commit: Option<CommitReply<R>>,
-    /// Instances holding (possibly duplicate) proposals of this client's
-    /// not-yet-executed requests. When one executes, the others are
-    /// neutralised so they cannot block dependents (exactly-once).
-    live: Vec<(Timestamp, InstanceId)>,
+    /// Batch positions holding (possibly duplicate) proposals of this
+    /// client's not-yet-executed requests. When one executes, the others
+    /// are neutralised so they cannot block dependents (exactly-once).
+    live: Vec<(Timestamp, ExecRef)>,
 }
 
 impl<C, R> Default for ClientRecord<C, R> {
     fn default() -> Self {
         ClientRecord {
             last_ts: Timestamp::ZERO,
-            last_inst: None,
+            last_at: None,
             executed_ts: Timestamp::ZERO,
             executed_response: None,
             cached_spec: None,
@@ -156,7 +174,13 @@ pub struct ReplicaStats {
 enum ReplicaTimer {
     /// Waiting for the original command-leader to SPECORDER a forwarded
     /// request (§IV-D step 4.3).
-    ResendWait { space: ReplicaId, client: ClientId, ts: Timestamp },
+    ResendWait {
+        space: ReplicaId,
+        client: ClientId,
+        ts: Timestamp,
+    },
+    /// The batch window expired: flush the pending batch (DESIGN.md §3).
+    BatchFlush,
     /// Waiting for a committed entry's dependency to commit locally. If it
     /// never does (e.g. a byzantine replica invented the dependency, or its
     /// leader died before propagating it), the dep's space owner is
@@ -176,6 +200,11 @@ pub struct Replica<A: Application> {
     max_seq: u64,
     deps: DepTracker,
     clients: HashMap<ClientId, ClientRecord<A::Command, A::Response>>,
+    /// Validated requests awaiting aggregation into the next SPECORDER
+    /// (only ever non-empty when `cfg.batch_size > 1`).
+    pending_batch: Vec<Request<A::Command>>,
+    /// The armed batch-flush timer, if any.
+    batch_timer: Option<u64>,
     /// Committed-but-unexecuted instances (execution worklist).
     committed_pending: BTreeSet<InstanceId>,
     timers: HashMap<u64, ReplicaTimer>,
@@ -187,9 +216,10 @@ pub struct Replica<A: Application> {
     /// Whether we already broadcast STARTOWNERCHANGE for the key.
     oc_started: HashMap<(ReplicaId, OwnerNum), bool>,
     /// OWNERCHANGE messages collected by a prospective new owner.
+    #[allow(clippy::type_complexity)]
     oc_reports: HashMap<(ReplicaId, OwnerNum), Vec<OwnerChange<A::Command, A::Response>>>,
-    /// Finally-executed instances in execution order (safety checkers).
-    executed_log: Vec<InstanceId>,
+    /// Finally-executed commands in execution order (safety checkers).
+    executed_log: Vec<ExecRef>,
     stats: ReplicaStats,
 }
 
@@ -203,7 +233,10 @@ impl<A: Application> std::fmt::Debug for Replica<A> {
     }
 }
 
-type Out<A> = Actions<Msg<<A as Application>::Command, <A as Application>::Response>, <A as Application>::Response>;
+type Out<A> = Actions<
+    Msg<<A as Application>::Command, <A as Application>::Response>,
+    <A as Application>::Response,
+>;
 
 impl<A: Application> Replica<A> {
     /// Creates a replica with identity `id`, running `app`.
@@ -223,6 +256,8 @@ impl<A: Application> Replica<A> {
             max_seq: 0,
             deps: DepTracker::new(),
             clients: HashMap::new(),
+            pending_batch: Vec::new(),
+            batch_timer: None,
             committed_pending: BTreeSet::new(),
             timers: HashMap::new(),
             resend_waits: HashMap::new(),
@@ -253,7 +288,10 @@ impl<A: Application> Replica<A> {
 
     /// Status of an instance as known locally.
     pub fn instance_status(&self, inst: InstanceId) -> Option<EntryStatus> {
-        self.spaces[inst.space.index()].entries.get(&inst.slot).map(|e| e.status)
+        self.spaces[inst.space.index()]
+            .entries
+            .get(&inst.slot)
+            .map(|e| e.status)
     }
 
     /// The finally-executed commands in execution order is not tracked
@@ -267,25 +305,52 @@ impl<A: Application> Replica<A> {
         self.spaces[space.index()].owner
     }
 
-    /// Finally-executed instances, in local execution order.
-    pub fn executed_log(&self) -> &[InstanceId] {
+    /// Finally-executed commands, in local execution order.
+    pub fn executed_log(&self) -> &[ExecRef] {
         &self.executed_log
     }
 
-    /// The command ordered at `inst`, if known locally.
-    pub fn command_of(&self, inst: InstanceId) -> Option<&A::Command> {
-        self.spaces[inst.space.index()].entries.get(&inst.slot).map(|e| &e.req.cmd)
+    /// The command ordered at batch position `at`, if known locally.
+    pub fn command_of(&self, at: ExecRef) -> Option<&A::Command> {
+        self.spaces[at.inst.space.index()]
+            .entries
+            .get(&at.inst.slot)
+            .and_then(|e| e.req_at(at.offset))
+            .map(|r| &r.cmd)
+    }
+
+    /// Number of requests in the batch ordered at `inst` (0 if unknown).
+    pub fn batch_len(&self, inst: InstanceId) -> usize {
+        self.spaces[inst.space.index()]
+            .entries
+            .get(&inst.slot)
+            .map(|e| e.reqs.len())
+            .unwrap_or(0)
     }
 
     fn reply_audience(&self, client: ClientId) -> Audience {
         Audience::replicas(self.cfg.cluster.n()).and(client)
     }
 
+    /// The audience of a SPECORDER: every replica plus every client with a
+    /// request in the batch (each verifies the relayed header, §IV-D 4.4).
+    fn batch_audience(&self, reqs: &[Request<A::Command>]) -> Audience {
+        reqs.iter()
+            .fold(Audience::replicas(self.cfg.cluster.n()), |a, r| {
+                a.and(r.client)
+            })
+    }
+
     /// Highest sequence number among the given (locally known) instances.
     fn max_seq_of(&self, insts: &BTreeSet<InstanceId>) -> u64 {
         insts
             .iter()
-            .filter_map(|i| self.spaces[i.space.index()].entries.get(&i.slot).map(|e| e.seq))
+            .filter_map(|i| {
+                self.spaces[i.space.index()]
+                    .entries
+                    .get(&i.slot)
+                    .map(|e| e.seq)
+            })
             .max()
             .unwrap_or(0)
     }
@@ -296,7 +361,11 @@ impl<A: Application> Replica<A> {
 
     fn on_request(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
         let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
-        if self.keys.verify(NodeId::Client(req.client), &payload, &req.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Client(req.client), &payload, &req.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
@@ -319,8 +388,12 @@ impl<A: Application> Replica<A> {
             // still alive, otherwise re-propose (the original order was
             // lost to an owner change).
             let alive = record
-                .last_inst
-                .map(|i| self.spaces[i.space.index()].entries.contains_key(&i.slot))
+                .last_at
+                .map(|at| {
+                    self.spaces[at.inst.space.index()]
+                        .entries
+                        .contains_key(&at.inst.slot)
+                })
                 .unwrap_or(false);
             if alive {
                 let record = self.clients.get(&req.client).expect("just inserted");
@@ -333,16 +406,60 @@ impl<A: Application> Replica<A> {
             }
         }
 
-        self.lead(req, out);
+        self.enqueue_for_leading(req, out);
     }
 
-    /// Become the command-leader for `req` (§IV-A step 2).
-    fn lead(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
+    /// Admits a validated request to the leader's batch, flushing when the
+    /// batch fills (or immediately when batching is off).
+    fn enqueue_for_leading(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
+        if self.cfg.batch_size <= 1 {
+            self.lead_batch(vec![req], out);
+            return;
+        }
+        // A duplicate may already sit in the open batch (a client retry or
+        // RESENDREQ racing the flush timer): never order it twice. This
+        // must be checked here — client records only advance at flush, so
+        // the timestamp guards upstream cannot see an unflushed request.
+        if self
+            .pending_batch
+            .iter()
+            .any(|r| r.client == req.client && r.ts == req.ts)
+        {
+            return;
+        }
+        self.pending_batch.push(req);
+        if self.pending_batch.len() >= self.cfg.batch_size {
+            self.flush_batch(out);
+        } else if self.batch_timer.is_none() {
+            let id = self.arm_timer(ReplicaTimer::BatchFlush, self.cfg.batch_delay, out);
+            self.batch_timer = Some(id);
+        }
+    }
+
+    /// Orders the currently open batch, if any.
+    fn flush_batch(&mut self, out: &mut Out<A>) {
+        if let Some(id) = self.batch_timer.take() {
+            self.timers.remove(&id);
+            out.cancel_timer(TimerId(id));
+        }
+        let reqs = std::mem::take(&mut self.pending_batch);
+        if reqs.is_empty() {
+            return;
+        }
+        self.lead_batch(reqs, out);
+    }
+
+    /// Become the command-leader for a batch of requests (§IV-A step 2;
+    /// batching per DESIGN.md §3). The whole batch occupies one slot of
+    /// this replica's instance space: one dependency collection, one
+    /// signature, one broadcast — amortised over every request in it.
+    fn lead_batch(&mut self, reqs: Vec<Request<A::Command>>, out: &mut Out<A>) {
+        debug_assert!(!reqs.is_empty(), "never lead an empty batch");
         let space = &mut self.spaces[self.id.index()];
         if space.frozen || space.committed_to_change {
-            // Our own space was taken from us; we cannot lead. The client
+            // Our own space was taken from us; we cannot lead. The clients
             // will rotate to another replica.
-            self.stats.rejected += 1;
+            self.stats.rejected += reqs.len() as u64;
             return;
         }
         let slot = space.next_slot;
@@ -350,8 +467,17 @@ impl<A: Application> Replica<A> {
         let owner = space.owner;
         let log_digest = space.log_digest;
 
-        let conflict_keys = req.cmd.conflict_keys();
-        let deps = self.deps.collect_and_register(inst, &conflict_keys);
+        // Dependencies are collected per command but attributed to the one
+        // shared instance; intra-batch interference needs no edges because
+        // the batch executes in offset order at every replica.
+        let mut deps = BTreeSet::new();
+        for req in &reqs {
+            deps.extend(
+                self.deps
+                    .collect_and_register(inst, &req.cmd.conflict_keys()),
+            );
+        }
+        deps.remove(&inst);
         // "A sequence number S … is calculated as the maximum of sequence
         // numbers of all commands in the dependency set" plus one (§IV-A
         // step 2 with the TLA+ +1): non-interfering commands keep seq 1,
@@ -359,47 +485,72 @@ impl<A: Application> Replica<A> {
         // fast path.
         let seq = 1 + self.max_seq_of(&deps);
 
-        let req_digest = req.digest();
-        let body = SpecOrderBody { owner, inst, deps: deps.clone(), seq, log_digest, req_digest };
-        let sig = self.keys.sign(&body.signed_payload(), &self.reply_audience(req.client));
-        let header = SpecOrderHeader { body: body.clone(), sig };
+        let req_digests = batch_digests(&reqs);
+        let body = SpecOrderBody {
+            owner,
+            inst,
+            deps: deps.clone(),
+            seq,
+            log_digest,
+            req_digests: req_digests.clone(),
+        };
+        let sig = self
+            .keys
+            .sign(&body.signed_payload(), &self.batch_audience(&reqs));
+        let header = SpecOrderHeader {
+            body: body.clone(),
+            sig,
+        };
 
-        // Record the entry and speculatively execute.
-        let spec_response = self.engine.spec_apply(inst.tag(), &req.cmd);
-        let record = self.clients.entry(req.client).or_default();
-        record.last_ts = req.ts;
-        record.last_inst = Some(inst);
-        record.live.push((req.ts, inst));
+        // Record the entry and speculatively execute each command in batch
+        // order.
+        let mut spec_responses = Vec::with_capacity(reqs.len());
+        for (offset, req) in reqs.iter().enumerate() {
+            let at = inst.at(offset as u32);
+            spec_responses.push(self.engine.spec_apply(at.tag(), &req.cmd));
+            let record = self.clients.entry(req.client).or_default();
+            record.last_ts = req.ts;
+            record.last_at = Some(at);
+            record.live.push((req.ts, at));
+        }
 
         let entry = Entry {
-            req: req.clone(),
+            reqs: reqs.clone(),
             owner,
             deps: deps.clone(),
             seq,
             status: EntryStatus::SpecOrdered,
-            spec_response: Some(spec_response.clone()),
-            final_response: None,
-            reply_on_final: false,
+            spec_responses: Some(spec_responses),
+            final_responses: vec![None; reqs.len()],
+            reply_on_final: BTreeSet::new(),
             header: header.clone(),
             commit_evidence: None,
         };
         let space = &mut self.spaces[self.id.index()];
         space.entries.insert(slot, entry);
         space.next_slot = slot + 1;
-        space.log_digest = space.log_digest.chain(&req_digest);
+        for d in &req_digests {
+            space.log_digest = space.log_digest.chain(d);
+        }
 
-        self.stats.led += 1;
+        self.stats.led += reqs.len() as u64;
 
-        // Broadcast SPECORDER to the other replicas.
-        let so = Msg::SpecOrder(SpecOrder { body: body.clone(), sig: header.sig.clone(), req: req.clone() });
+        // Broadcast the one SPECORDER to the other replicas
+        // (serialize-once fan-out at the driver, see Action::Broadcast).
+        let so = Msg::SpecOrder(SpecOrder {
+            body,
+            sig: header.sig.clone(),
+            reqs: reqs.clone(),
+        });
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &so);
+        out.broadcast(peers, so);
 
-        // The leader also replies speculatively to the client.
-        self.send_spec_reply(inst, req.client, req.ts, req_digest, out);
-
-        // A pending RESENDREQ wait for this request is now satisfied.
-        self.cancel_resend_wait(req.client, req.ts, out);
+        // The leader also replies speculatively to each client, and any
+        // pending RESENDREQ waits are now satisfied.
+        for (offset, req) in reqs.iter().enumerate() {
+            self.send_spec_reply(inst.at(offset as u32), out);
+            self.cancel_resend_wait(req.client, req.ts, out);
+        }
     }
 
     fn handle_retransmission(
@@ -431,10 +582,17 @@ impl<A: Application> Replica<A> {
         // suspicion timer.
         out.send(
             NodeId::Replica(original),
-            Msg::ResendReq(ResendReq { req: req.clone(), forwarder: self.id }),
+            Msg::ResendReq(ResendReq {
+                req: req.clone(),
+                forwarder: self.id,
+            }),
         );
         let timer = self.arm_timer(
-            ReplicaTimer::ResendWait { space: original, client: req.client, ts: req.ts },
+            ReplicaTimer::ResendWait {
+                space: original,
+                client: req.client,
+                ts: req.ts,
+            },
             self.cfg.resend_timeout,
             out,
         );
@@ -444,7 +602,11 @@ impl<A: Application> Replica<A> {
     fn on_resend_req(&mut self, rr: ResendReq<A::Command>, out: &mut Out<A>) {
         let req = rr.req;
         let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
-        if self.keys.verify(NodeId::Client(req.client), &payload, &req.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Client(req.client), &payload, &req.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
@@ -452,21 +614,24 @@ impl<A: Application> Replica<A> {
         // been lost) and refresh the client's reply.
         let record = self.clients.entry(req.client).or_default();
         if req.ts == record.last_ts {
-            if let Some(inst) = record.last_inst {
-                if inst.space == self.id {
-                    if let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) {
-                        let so = Msg::SpecOrder(SpecOrder {
-                            body: entry.header.body.clone(),
-                            sig: entry.header.sig.clone(),
-                            req: entry.req.clone(),
-                        });
-                        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-                        out.send_all(peers, &so);
-                        let req_digest = entry.req.digest();
-                        let (client, ts) = (entry.req.client, entry.req.ts);
-                        self.send_spec_reply(inst, client, ts, req_digest, out);
-                        return;
-                    }
+            if let Some(at) = record.last_at {
+                if at.inst.space == self.id
+                    && self.spaces[at.inst.space.index()]
+                        .entries
+                        .contains_key(&at.inst.slot)
+                {
+                    // Rebroadcast the whole batch's SPECORDER (it may
+                    // have been lost) and refresh this client's reply.
+                    let entry = &self.spaces[at.inst.space.index()].entries[&at.inst.slot];
+                    let so = Msg::SpecOrder(SpecOrder {
+                        body: entry.header.body.clone(),
+                        sig: entry.header.sig.clone(),
+                        reqs: entry.reqs.clone(),
+                    });
+                    let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+                    out.broadcast(peers, so);
+                    self.send_spec_reply(at, out);
+                    return;
                 }
             }
         }
@@ -500,7 +665,8 @@ impl<A: Application> Replica<A> {
                 return;
             }
         }
-        // Verify the leader's signature and the embedded client request.
+        // Verify the leader's signature, the batch shape, and every
+        // embedded client request against its signed digest.
         if self
             .keys
             .verify(NodeId::Replica(leader), &so.body.signed_payload(), &so.sig)
@@ -509,22 +675,32 @@ impl<A: Application> Replica<A> {
             self.stats.rejected += 1;
             return;
         }
-        let payload = Request::signed_payload(so.req.client, so.req.ts, &so.req.cmd);
-        if self.keys.verify(NodeId::Client(so.req.client), &payload, &so.req.sig).is_err()
-            || so.req.digest() != so.body.req_digest
-        {
+        if so.reqs.is_empty() || so.reqs.len() != so.body.req_digests.len() {
             self.stats.rejected += 1;
             return;
+        }
+        for (req, digest) in so.reqs.iter().zip(&so.body.req_digests) {
+            let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
+            if self
+                .keys
+                .verify(NodeId::Client(req.client), &payload, &req.sig)
+                .is_err()
+                || req.digest() != *digest
+            {
+                self.stats.rejected += 1;
+                return;
+            }
         }
 
         let slot = so.body.inst.slot;
         let space = &mut self.spaces[space_id.index()];
         if slot < space.next_slot {
-            // Duplicate of an accepted slot: refresh the client's reply.
+            // Duplicate of an accepted slot: refresh every client's reply.
             if space.entries.contains_key(&slot) {
                 let inst = so.body.inst;
-                let (client, ts, digest) = (so.req.client, so.req.ts, so.body.req_digest);
-                self.send_spec_reply(inst, client, ts, digest, out);
+                for offset in 0..so.reqs.len() {
+                    self.send_spec_reply(inst.at(offset as u32), out);
+                }
             }
             return;
         }
@@ -538,7 +714,9 @@ impl<A: Application> Replica<A> {
         // Drain any now-contiguous buffered orders.
         loop {
             let space = &mut self.spaces[space_id.index()];
-            let Some(next) = space.pending_orders.remove(&space.next_slot) else { break };
+            let Some(next) = space.pending_orders.remove(&space.next_slot) else {
+                break;
+            };
             self.accept_spec_order(next, out);
         }
     }
@@ -560,77 +738,98 @@ impl<A: Application> Replica<A> {
 
         // D' = D ∪ (local interfering instances ∖ D); S' = max(S, 1 + max
         // seq of the locally known interfering commands) (§IV-A step 3).
-        let conflict_keys = so.req.cmd.conflict_keys();
-        let local = self.deps.collect_and_register(inst, &conflict_keys);
+        // The union runs over every command in the batch.
+        let mut local = BTreeSet::new();
+        for req in &so.reqs {
+            local.extend(
+                self.deps
+                    .collect_and_register(inst, &req.cmd.conflict_keys()),
+            );
+        }
         let seq = so.body.seq.max(1 + self.max_seq_of(&local));
         let mut deps = so.body.deps.clone();
         deps.extend(local);
         deps.remove(&inst);
 
-        let spec_response = self.engine.spec_apply(inst.tag(), &so.req.cmd);
-
-        let record = self.clients.entry(so.req.client).or_default();
-        if so.req.ts > record.last_ts {
-            record.last_ts = so.req.ts;
-            record.last_inst = Some(inst);
+        let mut spec_responses = Vec::with_capacity(so.reqs.len());
+        for (offset, req) in so.reqs.iter().enumerate() {
+            let at = inst.at(offset as u32);
+            spec_responses.push(self.engine.spec_apply(at.tag(), &req.cmd));
+            let record = self.clients.entry(req.client).or_default();
+            if req.ts > record.last_ts {
+                record.last_ts = req.ts;
+                record.last_at = Some(at);
+            }
+            record.live.push((req.ts, at));
         }
-        record.live.push((so.req.ts, inst));
 
-        let header = SpecOrderHeader { body: so.body.clone(), sig: so.sig.clone() };
+        let header = SpecOrderHeader {
+            body: so.body.clone(),
+            sig: so.sig.clone(),
+        };
         let entry = Entry {
-            req: so.req.clone(),
+            reqs: so.reqs.clone(),
             owner: so.body.owner,
             deps: deps.clone(),
             seq,
             status: EntryStatus::SpecOrdered,
-            spec_response: Some(spec_response),
-            final_response: None,
-            reply_on_final: false,
+            spec_responses: Some(spec_responses),
+            final_responses: vec![None; so.reqs.len()],
+            reply_on_final: BTreeSet::new(),
             header,
             commit_evidence: None,
         };
         let space = &mut self.spaces[space_id.index()];
         space.entries.insert(inst.slot, entry);
         space.next_slot = inst.slot + 1;
-        space.log_digest = space.log_digest.chain(&so.body.req_digest);
+        for d in &so.body.req_digests {
+            space.log_digest = space.log_digest.chain(d);
+        }
         self.stats.followed += 1;
 
-        let (client, ts, digest) = (so.req.client, so.req.ts, so.body.req_digest);
-        self.send_spec_reply(inst, client, ts, digest, out);
-        self.cancel_resend_wait(client, ts, out);
+        for (offset, req) in so.reqs.iter().enumerate() {
+            self.send_spec_reply(inst.at(offset as u32), out);
+            self.cancel_resend_wait(req.client, req.ts, out);
+        }
 
         // A commit decision may have arrived before the SPECORDER.
-        let pending = self.spaces[space_id.index()].pending_commits.remove(&inst.slot);
+        let pending = self.spaces[space_id.index()]
+            .pending_commits
+            .remove(&inst.slot);
         if let Some(pc) = pending {
-            match pc {
-                PendingCommit::Fast { deps, seq, .. } => self.commit_entry(inst, deps, seq, false, out),
-                PendingCommit::Slow { deps, seq } => self.commit_entry(inst, deps, seq, true, out),
-            }
+            self.commit_entry(inst, pc.deps, pc.seq, pc.reply_offsets, out);
         }
     }
 
-    fn send_spec_reply(
-        &mut self,
-        inst: InstanceId,
-        client: ClientId,
-        ts: Timestamp,
-        req_digest: Digest,
-        out: &mut Out<A>,
-    ) {
-        let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) else {
+    /// Sends the speculative reply for the request at batch position `at`
+    /// to its issuing client.
+    fn send_spec_reply(&mut self, at: ExecRef, out: &mut Out<A>) {
+        let Some(entry) = self.spaces[at.inst.space.index()]
+            .entries
+            .get(&at.inst.slot)
+        else {
             return;
         };
+        let Some(req) = entry.req_at(at.offset) else {
+            return;
+        };
+        let (client, ts, req_digest) = (req.client, req.ts, req.digest());
         let body = SpecReplyBody {
             owner: entry.owner,
-            inst,
+            inst: at.inst,
+            offset: at.offset,
             deps: entry.deps.clone(),
             seq: entry.seq,
             req_digest,
             client,
             ts,
         };
-        let response =
-            entry.spec_response.clone().expect("spec-ordered entries carry a response");
+        let Some(responses) = &entry.spec_responses else {
+            // Speculation was invalidated (divergent commit decision); the
+            // client will be answered by COMMITREPLY after final execution.
+            return;
+        };
+        let response = responses[at.offset as usize].clone();
         let header = entry.header.clone();
         let payload = SpecReply::<A::Command, A::Response>::signed_payload(&body, &response);
         let sig = self.keys.sign(&payload, &self.reply_audience(client));
@@ -650,23 +849,33 @@ impl<A: Application> Replica<A> {
         };
         let space = &mut self.spaces[cf.inst.space.index()];
         if !space.entries.contains_key(&cf.inst.slot) {
-            space.pending_commits.insert(
-                cf.inst.slot,
-                PendingCommit::Fast { deps, seq, _marker: std::marker::PhantomData },
-            );
+            space
+                .pending_commits
+                .entry(cf.inst.slot)
+                .or_insert_with(|| PendingCommit {
+                    deps,
+                    seq,
+                    reply_offsets: BTreeSet::new(),
+                });
             return;
         }
         if let Some(entry) = space.entries.get_mut(&cf.inst.slot) {
-            entry.commit_evidence = Some(Evidence::FastCommit { replies: cf.cc });
+            if entry.commit_evidence.is_none() {
+                entry.commit_evidence = Some(Evidence::FastCommit { replies: cf.cc });
+            }
         }
-        self.commit_entry(cf.inst, deps, seq, false, out);
+        self.commit_entry(cf.inst, deps, seq, BTreeSet::new(), out);
         self.stats.fast_commits += 1;
     }
 
     fn on_commit(&mut self, cm: Commit<A::Command, A::Response>, out: &mut Out<A>) {
         if self
             .keys
-            .verify(NodeId::Client(cm.body.client), &cm.body.signed_payload(), &cm.sig)
+            .verify(
+                NodeId::Client(cm.body.client),
+                &cm.body.signed_payload(),
+                &cm.sig,
+            )
             .is_err()
         {
             self.stats.rejected += 1;
@@ -677,19 +886,39 @@ impl<A: Application> Replica<A> {
             return;
         }
         let inst = cm.body.inst;
+        // The committing client's batch offset, from the certificate's
+        // replies (all replies were validated to agree on it).
+        let reply_offset = cm.cc.first().map(|r| r.body.offset);
         let space = &mut self.spaces[inst.space.index()];
         if !space.entries.contains_key(&inst.slot) {
-            space.pending_commits.insert(
-                inst.slot,
-                PendingCommit::Slow { deps: cm.body.deps.clone(), seq: cm.body.seq },
-            );
+            // Merge with any earlier pending decision: the first (deps,
+            // seq) wins, reply obligations accumulate across clients.
+            let pc = space
+                .pending_commits
+                .entry(inst.slot)
+                .or_insert_with(|| PendingCommit {
+                    deps: cm.body.deps.clone(),
+                    seq: cm.body.seq,
+                    reply_offsets: BTreeSet::new(),
+                });
+            pc.reply_offsets.extend(reply_offset);
             return;
         }
         if let Some(entry) = space.entries.get_mut(&inst.slot) {
-            entry.commit_evidence =
-                Some(Evidence::SlowCommit { body: cm.body.clone(), sig: cm.sig.clone() });
+            if entry.commit_evidence.is_none() {
+                entry.commit_evidence = Some(Evidence::SlowCommit {
+                    body: cm.body.clone(),
+                    sig: cm.sig.clone(),
+                });
+            }
         }
-        self.commit_entry(inst, cm.body.deps, cm.body.seq, true, out);
+        self.commit_entry(
+            inst,
+            cm.body.deps,
+            cm.body.seq,
+            reply_offset.into_iter().collect(),
+            out,
+        );
         self.stats.slow_commits += 1;
     }
 
@@ -704,18 +933,20 @@ impl<A: Application> Replica<A> {
             return None;
         }
         let mut senders = BTreeSet::new();
-        let key = cc.first()?.match_key();
+        let first = cc.first()?;
+        let key = first.match_key();
         for reply in cc {
-            if reply.body.inst != inst || reply.match_key() != key {
+            if reply.body.inst != inst
+                || reply.body.offset != first.body.offset
+                || reply.match_key() != key
+            {
                 return None;
             }
             if !senders.insert(reply.sender) {
                 return None;
             }
-            let payload = SpecReply::<A::Command, A::Response>::signed_payload(
-                &reply.body,
-                &reply.response,
-            );
+            let payload =
+                SpecReply::<A::Command, A::Response>::signed_payload(&reply.body, &reply.response);
             if self
                 .keys
                 .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
@@ -747,12 +978,15 @@ impl<A: Application> Replica<A> {
         if cc.len() < self.cfg.cluster.slow_quorum() {
             return false;
         }
-        let Some(first) = cc.first() else { return false };
+        let Some(first) = cc.first() else {
+            return false;
+        };
         let mut senders = BTreeSet::new();
         let mut union: BTreeSet<InstanceId> = BTreeSet::new();
         let mut max_seq = 0u64;
         for reply in cc {
             if reply.body.inst != *inst
+                || reply.body.offset != first.body.offset
                 || reply.body.req_digest != first.body.req_digest
                 || reply.body.owner != first.body.owner
             {
@@ -761,10 +995,8 @@ impl<A: Application> Replica<A> {
             if !self.cfg.cluster.contains(reply.sender) || !senders.insert(reply.sender) {
                 return false;
             }
-            let payload = SpecReply::<A::Command, A::Response>::signed_payload(
-                &reply.body,
-                &reply.response,
-            );
+            let payload =
+                SpecReply::<A::Command, A::Response>::signed_payload(&reply.body, &reply.response);
             if self
                 .keys
                 .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
@@ -779,34 +1011,51 @@ impl<A: Application> Replica<A> {
     }
 
     /// Marks `inst` committed with the final (deps, seq); invalidates the
-    /// speculative result if the decision differs from the speculation
-    /// (§IV-C step 5.2); enqueues final execution.
+    /// speculative results if the decision differs from the speculation
+    /// (§IV-C step 5.2); enqueues final execution. `reply_offset` is the
+    /// batch offset whose client requested a COMMITREPLY after final
+    /// execution (slow path); with batching, later certificates for an
+    /// already-committed instance still register (or immediately answer)
+    /// their client's reply.
     fn commit_entry(
         &mut self,
         inst: InstanceId,
         deps: BTreeSet<InstanceId>,
         seq: u64,
-        reply_on_final: bool,
+        reply_offsets: BTreeSet<u32>,
         out: &mut Out<A>,
     ) {
         {
             let space = &mut self.spaces[inst.space.index()];
-            let Some(entry) = space.entries.get_mut(&inst.slot) else { return };
+            let Some(entry) = space.entries.get_mut(&inst.slot) else {
+                return;
+            };
             if entry.status.is_committed() {
-                // Already committed (duplicate certificate): nothing to do.
+                // Already committed (another client of the same batch, or a
+                // duplicate certificate): only the reply obligations are new.
+                if entry.status == EntryStatus::Executed {
+                    for offset in reply_offsets {
+                        self.send_commit_reply(inst.at(offset), out);
+                    }
+                } else {
+                    entry.reply_on_final.extend(reply_offsets);
+                }
                 return;
             }
             let speculation_matches = entry.deps == deps && entry.seq == seq;
             if !speculation_matches {
                 // "The state produced after the speculative execution of L
-                // is invalidated" (§IV-C 5.2).
-                self.engine.invalidate(inst.tag());
-                entry.spec_response = None;
+                // is invalidated" (§IV-C 5.2) — for every command in the
+                // batch, since they share the agreement state.
+                for offset in 0..entry.reqs.len() as u32 {
+                    self.engine.invalidate(inst.at(offset).tag());
+                }
+                entry.spec_responses = None;
             }
             entry.deps = deps;
             entry.seq = seq;
             entry.status = EntryStatus::Committed;
-            entry.reply_on_final = entry.reply_on_final || reply_on_final;
+            entry.reply_on_final.extend(reply_offsets);
             self.max_seq = self.max_seq.max(seq);
         }
         self.committed_pending.insert(inst);
@@ -826,11 +1075,7 @@ impl<A: Application> Replica<A> {
             if self.dep_waits.contains_key(&dep) {
                 continue;
             }
-            let id = self.arm_timer(
-                ReplicaTimer::DepWait { dep },
-                self.cfg.resend_timeout,
-                out,
-            );
+            let id = self.arm_timer(ReplicaTimer::DepWait { dep }, self.cfg.resend_timeout, out);
             self.dep_waits.insert(dep, id);
         }
         self.try_execute(out);
@@ -863,7 +1108,13 @@ impl<A: Application> Replica<A> {
         let mut nodes: BTreeMap<InstanceId, ExecNode> = BTreeMap::new();
         for &inst in &self.committed_pending {
             if let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) {
-                nodes.insert(inst, ExecNode { seq: entry.seq, deps: entry.deps.clone() });
+                nodes.insert(
+                    inst,
+                    ExecNode {
+                        seq: entry.seq,
+                        deps: entry.deps.clone(),
+                    },
+                );
             }
         }
         let spaces = &self.spaces;
@@ -888,12 +1139,36 @@ impl<A: Application> Replica<A> {
 
     fn execute_one(&mut self, inst: InstanceId, out: &mut Out<A>) {
         self.committed_pending.remove(&inst);
-        let (req, reply_on_final) = {
+        let batch_len = {
             let entry = self.spaces[inst.space.index()]
                 .entries
                 .get(&inst.slot)
                 .expect("executing a known entry");
-            (entry.req.clone(), entry.reply_on_final)
+            entry.reqs.len()
+        };
+        // Commands inside a batch execute in offset order — the same
+        // deterministic order at every replica (DESIGN.md §3).
+        for offset in 0..batch_len as u32 {
+            self.execute_offset(inst.at(offset), out);
+        }
+        let entry = self.spaces[inst.space.index()]
+            .entries
+            .get_mut(&inst.slot)
+            .expect("entry exists");
+        entry.status = EntryStatus::Executed;
+        self.maybe_compact(inst.space);
+    }
+
+    /// Executes the single command at batch position `at`, honouring
+    /// exactly-once semantics per client timestamp.
+    fn execute_offset(&mut self, at: ExecRef, out: &mut Out<A>) {
+        let (req, wants_reply) = {
+            let entry = self.spaces[at.inst.space.index()]
+                .entries
+                .get(&at.inst.slot)
+                .expect("executing a known entry");
+            let req = entry.req_at(at.offset).expect("offset in range").clone();
+            (req, entry.reply_on_final.contains(&at.offset))
         };
 
         // Exactly-once: a duplicate proposal of an already-executed request
@@ -902,23 +1177,18 @@ impl<A: Application> Replica<A> {
         let response = if req.ts <= record.executed_ts {
             match record.executed_response.clone() {
                 Some(r) if req.ts == record.executed_ts => {
-                    self.engine.invalidate(inst.tag());
+                    self.engine.invalidate(at.tag());
                     r
                 }
                 _ => {
                     // Stale duplicate below the executed watermark: drop its
                     // speculation and do not reply.
-                    self.engine.invalidate(inst.tag());
-                    let entry = self.spaces[inst.space.index()]
-                        .entries
-                        .get_mut(&inst.slot)
-                        .expect("entry exists");
-                    entry.status = EntryStatus::Executed;
+                    self.engine.invalidate(at.tag());
                     return;
                 }
             }
         } else {
-            let response = self.engine.final_apply(inst.tag(), &req.cmd);
+            let response = self.engine.final_apply(at.tag(), &req.cmd);
             let record = self.clients.entry(req.client).or_default();
             record.executed_ts = req.ts;
             record.executed_response = Some(response.clone());
@@ -926,50 +1196,42 @@ impl<A: Application> Replica<A> {
         };
 
         {
-            let entry = self.spaces[inst.space.index()]
+            let entry = self.spaces[at.inst.space.index()]
                 .entries
-                .get_mut(&inst.slot)
+                .get_mut(&at.inst.slot)
                 .expect("entry exists");
-            entry.status = EntryStatus::Executed;
-            entry.final_response = Some(response.clone());
+            entry.final_responses[at.offset as usize] = Some(response.clone());
         }
-        self.executed_log.push(inst);
+        self.executed_log.push(at);
         self.stats.executed += 1;
-        self.maybe_compact(inst.space);
 
         // Neutralise duplicate proposals of this (or an older) request so
-        // they cannot block dependents: they are terminal no-ops now.
-        let stale: Vec<InstanceId> = {
+        // they cannot block dependents: their offsets are terminal no-ops
+        // now, and a batch consisting solely of stale duplicates becomes a
+        // terminal no-op entry.
+        let stale: Vec<ExecRef> = {
             let record = self.clients.entry(req.client).or_default();
             let stale = record
                 .live
                 .iter()
-                .filter(|(ts, i)| *ts <= req.ts && *i != inst)
-                .map(|(_, i)| *i)
+                .filter(|(ts, dup)| *ts <= req.ts && *dup != at)
+                .map(|(_, dup)| *dup)
                 .collect();
             record.live.retain(|(ts, _)| *ts > req.ts);
             stale
         };
         for dup in stale {
-            if let Some(entry) = self.spaces[dup.space.index()].entries.get_mut(&dup.slot) {
-                if entry.status != EntryStatus::Executed {
-                    entry.status = EntryStatus::Executed;
-                    self.engine.invalidate(dup.tag());
-                    self.committed_pending.remove(&dup);
-                }
-            }
+            self.neutralise_if_stale(dup.inst);
         }
 
-        if reply_on_final {
-            let payload = CommitReply::<A::Response>::signed_payload(
-                inst,
-                req.client,
-                req.ts,
-                &response,
-            );
-            let sig = self.keys.sign(&payload, &Audience::nodes([NodeId::Client(req.client)]));
+        if wants_reply {
+            let payload =
+                CommitReply::<A::Response>::signed_payload(at.inst, req.client, req.ts, &response);
+            let sig = self
+                .keys
+                .sign(&payload, &Audience::nodes([NodeId::Client(req.client)]));
             let reply = CommitReply {
-                inst,
+                inst: at.inst,
                 client: req.client,
                 ts: req.ts,
                 response,
@@ -979,6 +1241,81 @@ impl<A: Application> Replica<A> {
             self.clients.entry(req.client).or_default().cached_commit = Some(reply.clone());
             out.send(NodeId::Client(req.client), Msg::CommitReply(reply));
         }
+    }
+
+    /// Sends the COMMITREPLY for an already-executed batch position (a
+    /// late commit certificate from another client of the batch).
+    fn send_commit_reply(&mut self, at: ExecRef, out: &mut Out<A>) {
+        let Some(entry) = self.spaces[at.inst.space.index()]
+            .entries
+            .get(&at.inst.slot)
+        else {
+            return;
+        };
+        let Some(req) = entry.req_at(at.offset) else {
+            return;
+        };
+        let Some(response) = entry
+            .final_responses
+            .get(at.offset as usize)
+            .cloned()
+            .flatten()
+        else {
+            return; // the offset was a stale duplicate: nothing to report
+        };
+        let (client, ts) = (req.client, req.ts);
+        let payload = CommitReply::<A::Response>::signed_payload(at.inst, client, ts, &response);
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::nodes([NodeId::Client(client)]));
+        let reply = CommitReply {
+            inst: at.inst,
+            client,
+            ts,
+            response,
+            sender: self.id,
+            sig,
+        };
+        self.clients.entry(client).or_default().cached_commit = Some(reply.clone());
+        out.send(NodeId::Client(client), Msg::CommitReply(reply));
+    }
+
+    /// If the uncommitted entry at `inst` consists entirely of requests at
+    /// or below their clients' executed watermarks, it can never produce
+    /// an effect: mark it terminally executed so dependents stop waiting.
+    fn neutralise_if_stale(&mut self, inst: InstanceId) {
+        let all_stale = {
+            let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) else {
+                return;
+            };
+            if entry.status == EntryStatus::Executed {
+                return;
+            }
+            if entry.status == EntryStatus::Committed {
+                // Committed entries execute through the normal path; the
+                // exactly-once check neutralises their stale offsets there.
+                return;
+            }
+            entry.reqs.iter().all(|r| {
+                self.clients
+                    .get(&r.client)
+                    .map(|rec| r.ts <= rec.executed_ts)
+                    .unwrap_or(false)
+            })
+        };
+        if !all_stale {
+            return;
+        }
+        let entry = self.spaces[inst.space.index()]
+            .entries
+            .get_mut(&inst.slot)
+            .expect("checked above");
+        let len = entry.reqs.len() as u32;
+        entry.status = EntryStatus::Executed;
+        for offset in 0..len {
+            self.engine.invalidate(inst.at(offset).tag());
+        }
+        self.committed_pending.remove(&inst);
     }
 
     // ------------------------------------------------------------------
@@ -993,11 +1330,19 @@ impl<A: Application> Replica<A> {
         let leader = pom.owner.owner(&self.cfg.cluster);
         let ok_first = self
             .keys
-            .verify(NodeId::Replica(leader), &pom.first.body.signed_payload(), &pom.first.sig)
+            .verify(
+                NodeId::Replica(leader),
+                &pom.first.body.signed_payload(),
+                &pom.first.sig,
+            )
             .is_ok();
         let ok_second = self
             .keys
-            .verify(NodeId::Replica(leader), &pom.second.body.signed_payload(), &pom.second.sig)
+            .verify(
+                NodeId::Replica(leader),
+                &pom.second.body.signed_payload(),
+                &pom.second.sig,
+            )
             .is_ok();
         if !ok_first || !ok_second {
             self.stats.rejected += 1;
@@ -1018,10 +1363,17 @@ impl<A: Application> Replica<A> {
         }
         self.oc_started.insert(key, true);
         let payload = StartOwnerChange::signed_payload(space, owner);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let msg = Msg::StartOwnerChange(StartOwnerChange { space, owner, sender: self.id, sig });
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let msg = Msg::StartOwnerChange(StartOwnerChange {
+            space,
+            owner,
+            sender: self.id,
+            sig,
+        });
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &msg);
+        out.broadcast(peers, msg);
         // Count our own vote.
         self.oc_votes.entry(key).or_default().vote(self.id);
         self.maybe_commit_owner_change(space, owner, out);
@@ -1033,19 +1385,30 @@ impl<A: Application> Replica<A> {
             return;
         }
         let payload = StartOwnerChange::signed_payload(soc.space, soc.owner);
-        if self.keys.verify(NodeId::Replica(soc.sender), &payload, &soc.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Replica(soc.sender), &payload, &soc.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
         if self.spaces[soc.space.index()].owner != soc.owner {
             return; // stale
         }
-        self.oc_votes.entry((soc.space, soc.owner)).or_default().vote(soc.sender);
+        self.oc_votes
+            .entry((soc.space, soc.owner))
+            .or_default()
+            .vote(soc.sender);
         self.maybe_commit_owner_change(soc.space, soc.owner, out);
     }
 
     fn maybe_commit_owner_change(&mut self, space: ReplicaId, owner: OwnerNum, out: &mut Out<A>) {
-        let votes = self.oc_votes.get(&(space, owner)).map(|t| t.count()).unwrap_or(0);
+        let votes = self
+            .oc_votes
+            .get(&(space, owner))
+            .map(|t| t.count())
+            .unwrap_or(0);
         if votes < self.cfg.cluster.weak_quorum() {
             return;
         }
@@ -1067,7 +1430,7 @@ impl<A: Application> Replica<A> {
             .map(|e| crate::msg::EntrySnapshot {
                 inst: e.header.body.inst,
                 owner: e.owner,
-                req: e.req.clone(),
+                reqs: e.reqs.clone(),
                 deps: e.deps.clone(),
                 seq: e.seq,
                 status: e.status,
@@ -1079,8 +1442,17 @@ impl<A: Application> Replica<A> {
             .collect();
         let floor = self.spaces[space.index()].compact_floor;
         let payload = OwnerChange::signed_payload(space, new_owner, floor, &entries);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let oc = OwnerChange { space, new_owner, sender: self.id, floor, entries, sig };
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let oc = OwnerChange {
+            space,
+            new_owner,
+            sender: self.id,
+            floor,
+            entries,
+            sig,
+        };
         if new_leader == self.id {
             self.on_owner_change(oc, NodeId::Replica(self.id), out);
         } else {
@@ -1119,10 +1491,19 @@ impl<A: Application> Replica<A> {
         let (space, new_owner) = key;
         let safe = compute_safe_set(&mut self.keys, &self.cfg, space, &proof);
         let payload = NewOwner::signed_payload(space, new_owner, &safe);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let no = NewOwner { space, new_owner, proof, safe, sender: self.id, sig };
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let no = NewOwner {
+            space,
+            new_owner,
+            proof,
+            safe,
+            sender: self.id,
+            sig,
+        };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &Msg::NewOwner(no.clone()));
+        out.broadcast(peers, Msg::NewOwner(no.clone()));
         self.apply_new_owner(no, out);
     }
 
@@ -1132,14 +1513,17 @@ impl<A: Application> Replica<A> {
         from: NodeId,
         out: &mut Out<A>,
     ) {
-        if from != NodeId::Replica(no.sender)
-            || no.new_owner.owner(&self.cfg.cluster) != no.sender
+        if from != NodeId::Replica(no.sender) || no.new_owner.owner(&self.cfg.cluster) != no.sender
         {
             self.stats.rejected += 1;
             return;
         }
         let payload = NewOwner::signed_payload(no.space, no.new_owner, &no.safe);
-        if self.keys.verify(NodeId::Replica(no.sender), &payload, &no.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Replica(no.sender), &payload, &no.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
@@ -1182,8 +1566,7 @@ impl<A: Application> Replica<A> {
 
         // Drop local entries not in G (the faulty leader's unrecoverable
         // speculation) and roll their speculative effects back.
-        let local_slots: Vec<u64> =
-            self.spaces[space_idx].entries.keys().copied().collect();
+        let local_slots: Vec<u64> = self.spaces[space_idx].entries.keys().copied().collect();
         for slot in local_slots {
             if slot >= base && !safe_slots.contains(&slot) {
                 let inst = InstanceId::new(no.space, slot);
@@ -1193,7 +1576,9 @@ impl<A: Application> Replica<A> {
                     // correct majority cannot produce a G missing one.
                     continue;
                 }
-                self.engine.invalidate(inst.tag());
+                for offset in 0..entry.reqs.len() as u32 {
+                    self.engine.invalidate(inst.at(offset).tag());
+                }
                 self.spaces[space_idx].entries.remove(&slot);
                 self.committed_pending.remove(&inst);
             }
@@ -1205,7 +1590,7 @@ impl<A: Application> Replica<A> {
             let existing = self.spaces[space_idx].entries.get(&inst.slot);
             let matches = existing
                 .map(|e| {
-                    e.req.digest() == snap.req.digest()
+                    batch_digests(&e.reqs) == batch_digests(&snap.reqs)
                         && e.deps == snap.deps
                         && e.seq == snap.seq
                 })
@@ -1216,36 +1601,46 @@ impl<A: Application> Replica<A> {
                 }
             }
             if !matches {
-                self.engine.invalidate(inst.tag());
+                let stale_len = existing
+                    .map(|e| e.reqs.len())
+                    .unwrap_or(0)
+                    .max(snap.reqs.len());
+                for offset in 0..stale_len as u32 {
+                    self.engine.invalidate(inst.at(offset).tag());
+                }
             }
             let header = match &snap.evidence {
                 Evidence::SpecOrdered(h) => h.clone(),
-                _ => existing.map(|e| e.header.clone()).unwrap_or(SpecOrderHeader {
-                    body: SpecOrderBody {
-                        owner: snap.owner,
-                        inst,
-                        deps: snap.deps.clone(),
-                        seq: snap.seq,
-                        log_digest: Digest::ZERO,
-                        req_digest: snap.req.digest(),
-                    },
-                    sig: ezbft_crypto::Signature::Null,
-                }),
+                _ => existing
+                    .map(|e| e.header.clone())
+                    .unwrap_or(SpecOrderHeader {
+                        body: SpecOrderBody {
+                            owner: snap.owner,
+                            inst,
+                            deps: snap.deps.clone(),
+                            seq: snap.seq,
+                            log_digest: Digest::ZERO,
+                            req_digests: batch_digests(&snap.reqs),
+                        },
+                        sig: ezbft_crypto::Signature::Null,
+                    }),
             };
             let entry = Entry {
-                req: snap.req.clone(),
+                reqs: snap.reqs.clone(),
                 owner: snap.owner,
                 deps: snap.deps.clone(),
                 seq: snap.seq,
                 status: EntryStatus::Committed,
-                spec_response: None,
-                final_response: None,
-                reply_on_final: true,
+                spec_responses: None,
+                final_responses: vec![None; snap.reqs.len()],
+                reply_on_final: (0..snap.reqs.len() as u32).collect(),
                 header,
                 commit_evidence: Some(snap.evidence.clone()),
             };
             self.max_seq = self.max_seq.max(snap.seq);
-            self.deps.register(inst, &snap.req.cmd.conflict_keys());
+            for req in &snap.reqs {
+                self.deps.register(inst, &req.cmd.conflict_keys());
+            }
             let space = &mut self.spaces[space_idx];
             space.entries.insert(inst.slot, entry);
             space.next_slot = space.next_slot.max(inst.slot + 1);
@@ -1358,8 +1753,14 @@ impl<A: Application> ProtocolNode for Replica<A> {
     }
 
     fn on_timer(&mut self, id: TimerId, out: &mut Out<A>) {
-        let Some(timer) = self.timers.remove(&id.0) else { return };
+        let Some(timer) = self.timers.remove(&id.0) else {
+            return;
+        };
         match timer {
+            ReplicaTimer::BatchFlush => {
+                self.batch_timer = None;
+                self.flush_batch(out);
+            }
             ReplicaTimer::ResendWait { space, client, ts } => {
                 self.resend_waits.remove(&(client, ts));
                 // No SPECORDER arrived for the forwarded request: suspect

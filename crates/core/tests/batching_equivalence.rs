@@ -1,0 +1,320 @@
+//! Batching equivalence (DESIGN.md §3): a run with `batch_size > 1` must
+//! commit the same command order and reach the same final KV state as the
+//! unbatched protocol.
+//!
+//! The provable scope: batching groups a leader's *admission sequence*
+//! into slots without reordering it, so for requests admitted by one
+//! leader the flattened `(slot, offset)` execution order equals the
+//! unbatched slot order. The property tests drive random workloads
+//! through the full simulator at batch sizes 1 and >1 and compare.
+
+use std::collections::VecDeque;
+
+use ezbft_core::{Client, EzConfig, Msg, Replica};
+use ezbft_crypto::{CryptoKind, KeyStore};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_simnet::{Region, SimConfig, SimNet, Topology};
+use ezbft_smr::{
+    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
+};
+use proptest::prelude::*;
+
+type KvMsg = Msg<KvOp, KvResponse>;
+
+struct ScriptedClient {
+    inner: Client<KvOp, KvResponse>,
+    script: VecDeque<KvOp>,
+}
+
+impl ScriptedClient {
+    fn pump(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        if !self.inner.in_flight() {
+            if let Some(op) = self.script.pop_front() {
+                self.inner.submit(op, out);
+            }
+        }
+    }
+}
+
+impl ProtocolNode for ScriptedClient {
+    type Message = KvMsg;
+    type Response = KvResponse;
+
+    fn id(&self) -> NodeId {
+        ProtocolNode::id(&self.inner)
+    }
+    fn on_start(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        self.pump(out);
+    }
+    fn on_message(&mut self, from: NodeId, msg: KvMsg, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_message(from, msg, out);
+        self.pump(out);
+    }
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_timer(id, out);
+        self.pump(out);
+    }
+}
+
+/// The observable outcome of one run.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    completed: usize,
+    /// Commands in replica 0's final execution order.
+    command_order: Vec<KvOp>,
+    /// Final-state fingerprints of all four replicas.
+    fingerprints: Vec<u64>,
+}
+
+/// Runs `scripts` (client id → ops, all clients preferring replica 0, all
+/// co-located with it) to completion under the given batching knobs.
+fn run(scripts: &[Vec<KvOp>], batch_size: usize, seed: u64) -> Outcome {
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = EzConfig::new(cluster).with_batching(batch_size, Micros::from_millis(2));
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    for id in 0..scripts.len() as u64 {
+        nodes.push(NodeId::Client(ClientId::new(id)));
+    }
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"batch-equiv", &nodes);
+    let client_stores = stores.split_off(cluster.n());
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(
+        Topology::exp1(),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    for (i, rid) in cluster.replicas().enumerate() {
+        sim.add_node(
+            Region(i),
+            Box::new(Replica::new(rid, cfg, stores.remove(0), KvStore::new())),
+        );
+    }
+    let total: usize = scripts.iter().map(Vec::len).sum();
+    for ((id, script), keys) in scripts.iter().enumerate().zip(client_stores) {
+        let client = Client::new(ClientId::new(id as u64), cfg, keys, ReplicaId::new(0));
+        sim.add_node(
+            Region(0),
+            Box::new(ScriptedClient {
+                inner: client,
+                script: script.clone().into(),
+            }),
+        );
+    }
+    sim.run_until_deliveries(total);
+    assert_eq!(
+        sim.deliveries().len(),
+        total,
+        "all requests complete (batch={batch_size})"
+    );
+    // Let commit certificates propagate to every replica.
+    let settle = sim.now() + Micros::from_secs(3);
+    sim.run_until_time(settle);
+
+    let replica = |r: u8| {
+        sim.inspect(NodeId::Replica(ReplicaId::new(r)))
+            .expect("inspectable")
+            .downcast_ref::<Replica<KvStore>>()
+            .expect("honest replica")
+    };
+    let command_order: Vec<KvOp> = replica(0)
+        .executed_log()
+        .iter()
+        .map(|&at| {
+            replica(0)
+                .command_of(at)
+                .expect("executed command is known")
+                .clone()
+        })
+        .collect();
+    let fingerprints: Vec<u64> = (0..4).map(|r| replica(r).app().fingerprint()).collect();
+    // Internal safety: all replicas that executed everything agree.
+    let full: Vec<u64> = (0..4u8)
+        .filter(|&r| replica(r).executed_log().len() == replica(0).executed_log().len())
+        .map(|r| replica(r).app().fingerprint())
+        .collect();
+    for w in full.windows(2) {
+        assert_eq!(w[0], w[1], "replica state divergence within one run");
+    }
+    Outcome {
+        completed: sim.deliveries().len(),
+        command_order,
+        fingerprints,
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = KvOp> {
+    // A mix of contended ops (hot key 7) and per-client private puts; ops
+    // are made client-unique below so positions can be matched across runs.
+    prop_oneof![
+        (1u64..5).prop_map(|by| KvOp::Incr { key: Key(7), by }),
+        (1u64..5).prop_map(|by| KvOp::Bump { key: Key(7), by }),
+        proptest::collection::vec(any::<u8>(), 1..4)
+            .prop_map(|value| KvOp::Put { key: Key(0), value }),
+    ]
+}
+
+/// Asserts every interfering pair keeps its relative order across the two
+/// executions. (Non-interfering commands have no canonical cross-instance
+/// order even in the unbatched protocol: independent instances execute in
+/// commit-arrival order.)
+fn assert_interfering_order_preserved(unbatched: &[KvOp], batched: &[KvOp]) {
+    use ezbft_smr::Command as _;
+    let pos = |log: &[KvOp], x: &KvOp| log.iter().position(|y| y == x);
+    for (i, a) in unbatched.iter().enumerate() {
+        for b in unbatched.iter().skip(i + 1) {
+            if !a.interferes(b) {
+                continue;
+            }
+            let (Some(pa), Some(pb)) = (pos(batched, a), pos(batched, b)) else {
+                panic!("interfering command missing from batched order");
+            };
+            assert!(
+                pa < pb,
+                "batching reordered interfering commands: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// One-shot clients racing into one leader: the admission sequence is
+    /// fixed by arrival (same seed ⇒ same arrivals), so any batch size
+    /// must commit the identical command order and final state.
+    #[test]
+    fn batched_runs_commit_identical_order_and_state(
+        ops in proptest::collection::vec(op_strategy(), 2..7),
+        batch_size in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        // One request per client; ops rewritten to be client-unique so
+        // positions can be matched across the two runs.
+        let scripts: Vec<Vec<KvOp>> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let tag = i as u64;
+                let op = match op {
+                    KvOp::Put { value, .. } => {
+                        KvOp::Put { key: Key(100 + tag), value: value.clone() }
+                    }
+                    KvOp::Incr { by, .. } => KvOp::Incr { key: Key(7), by: by + tag * 8 },
+                    KvOp::Bump { by, .. } => KvOp::Bump { key: Key(7), by: by + tag * 8 },
+                    other => other.clone(),
+                };
+                vec![op]
+            })
+            .collect();
+        let unbatched = run(&scripts, 1, seed);
+        let batched = run(&scripts, batch_size, seed);
+        prop_assert_eq!(unbatched.completed, batched.completed);
+        prop_assert_eq!(unbatched.command_order.len(), batched.command_order.len());
+        assert_interfering_order_preserved(&unbatched.command_order, &batched.command_order);
+        prop_assert_eq!(&unbatched.fingerprints, &batched.fingerprints,
+            "final KV state must be batch-size independent");
+    }
+
+    /// Closed-loop clients over disjoint keys: order across clients is
+    /// immaterial (no interference), so the final state must be identical
+    /// for every batch size, and per-client order is submission order.
+    #[test]
+    fn conflict_free_closed_loop_state_is_batch_invariant(
+        per_client in 1usize..4,
+        clients in 2usize..5,
+        batch_size in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let scripts: Vec<Vec<KvOp>> = (0..clients)
+            .map(|c| {
+                (0..per_client)
+                    .map(|i| KvOp::Put {
+                        key: Key((c * 100 + i) as u64),
+                        value: vec![c as u8, i as u8],
+                    })
+                    .collect()
+            })
+            .collect();
+        let unbatched = run(&scripts, 1, seed);
+        let batched = run(&scripts, batch_size, seed);
+        prop_assert_eq!(unbatched.completed, batched.completed);
+        prop_assert_eq!(&unbatched.fingerprints[..1], &batched.fingerprints[..1]);
+        // Per-client project: each client's puts execute in submission order.
+        for (c, script) in scripts.iter().enumerate() {
+            let mine: Vec<&KvOp> = batched
+                .command_order
+                .iter()
+                .filter(|op| matches!(op, KvOp::Put { key, .. } if key.0 / 100 == c as u64))
+                .collect();
+            let want: Vec<&KvOp> = script.iter().collect();
+            prop_assert_eq!(mine, want, "client {} order violated", c);
+        }
+    }
+}
+
+/// Deterministic spot-check: a full batch is ordered in one SPECORDER and
+/// the leader's stats reflect per-request accounting.
+#[test]
+fn full_batch_occupies_one_instance() {
+    let scripts: Vec<Vec<KvOp>> = (0..4u64)
+        .map(|c| {
+            vec![KvOp::Put {
+                key: Key(c),
+                value: vec![c as u8],
+            }]
+        })
+        .collect();
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = EzConfig::new(cluster).with_batching(4, Micros::from_millis(5));
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    for id in 0..4u64 {
+        nodes.push(NodeId::Client(ClientId::new(id)));
+    }
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"batch-one-inst", &nodes);
+    let client_stores = stores.split_off(cluster.n());
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(Topology::exp1(), SimConfig::default());
+    for (i, rid) in cluster.replicas().enumerate() {
+        sim.add_node(
+            Region(i),
+            Box::new(Replica::new(rid, cfg, stores.remove(0), KvStore::new())),
+        );
+    }
+    for ((id, script), keys) in scripts.iter().enumerate().zip(client_stores) {
+        let client = Client::new(ClientId::new(id as u64), cfg, keys, ReplicaId::new(0));
+        sim.add_node(
+            Region(0),
+            Box::new(ScriptedClient {
+                inner: client,
+                script: script.clone().into(),
+            }),
+        );
+    }
+    sim.run_until_deliveries(4);
+    let settle = sim.now() + Micros::from_secs(2);
+    sim.run_until_time(settle);
+    let replica0 = sim
+        .inspect(NodeId::Replica(ReplicaId::new(0)))
+        .unwrap()
+        .downcast_ref::<Replica<KvStore>>()
+        .unwrap();
+    assert_eq!(replica0.stats().led, 4, "leader ordered all four requests");
+    assert_eq!(replica0.executed_log().len(), 4);
+    // All four requests landed in a single slot of R0's space (offsets
+    // 0..=3): the whole round cost one SPECORDER broadcast.
+    let slots: std::collections::BTreeSet<u64> = replica0
+        .executed_log()
+        .iter()
+        .map(|at| at.inst.slot)
+        .collect();
+    assert_eq!(
+        slots.len(),
+        1,
+        "one instance holds the whole batch: {slots:?}"
+    );
+    assert_eq!(
+        replica0.batch_len(replica0.executed_log()[0].inst),
+        4,
+        "batch length is visible through the public API"
+    );
+}

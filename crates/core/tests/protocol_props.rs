@@ -15,7 +15,10 @@ fn inst_strategy() -> impl Strategy<Value = InstanceId> {
 fn graph_strategy() -> impl Strategy<Value = BTreeMap<InstanceId, ExecNode>> {
     proptest::collection::btree_map(
         inst_strategy(),
-        (1u64..6, proptest::collection::btree_set(inst_strategy(), 0..4)),
+        (
+            1u64..6,
+            proptest::collection::btree_set(inst_strategy(), 0..4),
+        ),
         1..24,
     )
     .prop_map(|m| {

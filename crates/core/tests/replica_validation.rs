@@ -5,15 +5,14 @@
 use std::collections::BTreeSet;
 
 use ezbft_core::msg::{
-    Commit, CommitBody, CommitFast, Msg, Request, SpecOrder, SpecOrderBody, SpecReply,
-    SpecReplyBody, SpecOrderHeader,
+    Commit, CommitBody, CommitFast, Msg, Request, SpecOrder, SpecOrderBody, SpecOrderHeader,
+    SpecReply, SpecReplyBody,
 };
 use ezbft_core::{EntryStatus, EzConfig, InstanceId, OwnerNum, Replica};
 use ezbft_crypto::{Audience, CryptoKind, Digest, KeyStore, Signature};
 use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
 use ezbft_smr::{
-    Actions, Application as _, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
-    Timestamp,
+    Actions, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, Timestamp,
 };
 
 type KvMsg = Msg<KvOp, KvResponse>;
@@ -42,7 +41,12 @@ fn fixture() -> Fixture {
         .replicas()
         .map(|rid| Replica::new(rid, cfg, stores.remove(0), KvStore::new()))
         .collect();
-    Fixture { cfg, replicas, client_keys, rogue_keys }
+    Fixture {
+        cfg,
+        replicas,
+        client_keys,
+        rogue_keys,
+    }
 }
 
 fn out() -> Out {
@@ -52,21 +56,43 @@ fn out() -> Out {
 fn signed_request(fx: &mut Fixture, ts: u64, op: KvOp) -> Request<KvOp> {
     let client = ClientId::new(0);
     let payload = Request::signed_payload(client, Timestamp(ts), &op);
-    let sig = fx.client_keys.sign(&payload, &Audience::replicas(fx.cfg.cluster.n()));
-    Request { client, ts: Timestamp(ts), cmd: op, original: None, sig }
+    let sig = fx
+        .client_keys
+        .sign(&payload, &Audience::replicas(fx.cfg.cluster.n()));
+    Request {
+        client,
+        ts: Timestamp(ts),
+        cmd: op,
+        original: None,
+        sig,
+    }
 }
 
 /// Drives replica 0 through leading a request; returns the SPECORDER it
 /// broadcast.
 fn lead_one(fx: &mut Fixture, ts: u64) -> SpecOrder<KvOp> {
-    let req = signed_request(fx, ts, KvOp::Put { key: Key(ts), value: vec![1] });
+    let req = signed_request(
+        fx,
+        ts,
+        KvOp::Put {
+            key: Key(ts),
+            value: vec![1],
+        },
+    );
     let mut o = out();
     fx.replicas[0].on_message(NodeId::Client(ClientId::new(0)), Msg::Request(req), &mut o);
     let so = o
         .as_slice()
         .iter()
         .find_map(|a| match a {
-            ezbft_smr::Action::Send { msg: Msg::SpecOrder(so), .. } => Some(so.clone()),
+            ezbft_smr::Action::Send {
+                msg: Msg::SpecOrder(so),
+                ..
+            } => Some(so.clone()),
+            ezbft_smr::Action::Broadcast { msg, .. } => match &**msg {
+                Msg::SpecOrder(so) => Some(so.clone()),
+                _ => None,
+            },
             _ => None,
         })
         .expect("leader broadcasts a SPECORDER");
@@ -79,7 +105,10 @@ fn unsigned_request_is_rejected() {
     let req = Request {
         client: ClientId::new(0),
         ts: Timestamp(1),
-        cmd: KvOp::Put { key: Key(1), value: vec![1] },
+        cmd: KvOp::Put {
+            key: Key(1),
+            value: vec![1],
+        },
         original: None,
         sig: Signature::Null, // wrong kind entirely
     };
@@ -95,10 +124,21 @@ fn stale_timestamp_is_dropped() {
     let mut fx = fixture();
     lead_one(&mut fx, 5);
     // An older timestamp from the same client must not be ordered.
-    let req = signed_request(&mut fx, 3, KvOp::Put { key: Key(9), value: vec![] });
+    let req = signed_request(
+        &mut fx,
+        3,
+        KvOp::Put {
+            key: Key(9),
+            value: vec![],
+        },
+    );
     let mut o = out();
     fx.replicas[0].on_message(NodeId::Client(ClientId::new(0)), Msg::Request(req), &mut o);
-    assert_eq!(fx.replicas[0].stats().led, 1, "stale ts must not create an instance");
+    assert_eq!(
+        fx.replicas[0].stats().led,
+        1,
+        "stale ts must not create an instance"
+    );
 }
 
 #[test]
@@ -149,11 +189,18 @@ fn valid_spec_order_is_followed_and_duplicate_is_idempotent() {
     // A SPECREPLY goes to the client.
     assert!(o.as_slice().iter().any(|a| matches!(
         a,
-        ezbft_smr::Action::Send { to: NodeId::Client(_), msg: Msg::SpecReply(_) }
+        ezbft_smr::Action::Send {
+            to: NodeId::Client(_),
+            msg: Msg::SpecReply(_)
+        }
     )));
     // Re-delivery does not double-order.
     let mut o2 = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::SpecOrder(so), &mut o2);
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::SpecOrder(so),
+        &mut o2,
+    );
     assert_eq!(fx.replicas[1].stats().followed, 1);
 }
 
@@ -166,20 +213,40 @@ fn commit_fast_requires_full_matching_certificate() {
     let body = SpecReplyBody {
         owner: OwnerNum(0),
         inst,
+        offset: 0,
         deps: BTreeSet::new(),
         seq: 1,
-        req_digest: so.body.req_digest,
+        req_digest: so.body.req_digests[0],
         client: ClientId::new(0),
         ts: Timestamp(1),
     };
-    let header = SpecOrderHeader { body: so.body.clone(), sig: so.sig.clone() };
-    let reply: SpecReply<KvOp, KvResponse> =
-        SpecReply::new(body, ReplicaId::new(3), KvResponse::Ok, Signature::Null, header);
-    let cf = CommitFast { client: ClientId::new(0), inst, cc: vec![reply] };
+    let header = SpecOrderHeader {
+        body: so.body.clone(),
+        sig: so.sig.clone(),
+    };
+    let reply: SpecReply<KvOp, KvResponse> = SpecReply::new(
+        body,
+        ReplicaId::new(3),
+        KvResponse::Ok,
+        Signature::Null,
+        header,
+    );
+    let cf = CommitFast {
+        client: ClientId::new(0),
+        inst,
+        cc: vec![reply],
+    };
     let mut o = out();
-    fx.replicas[0].on_message(NodeId::Client(ClientId::new(0)), Msg::CommitFast(cf), &mut o);
+    fx.replicas[0].on_message(
+        NodeId::Client(ClientId::new(0)),
+        Msg::CommitFast(cf),
+        &mut o,
+    );
     assert_eq!(fx.replicas[0].stats().fast_commits, 0);
-    assert_eq!(fx.replicas[0].instance_status(inst), Some(EntryStatus::SpecOrdered));
+    assert_eq!(
+        fx.replicas[0].instance_status(inst),
+        Some(EntryStatus::SpecOrdered)
+    );
 }
 
 #[test]
@@ -195,16 +262,24 @@ fn commit_with_wrong_combination_is_rejected() {
         inst,
         deps,
         seq: 99,
-        req_digest: so.body.req_digest,
+        req_digest: so.body.req_digests[0],
     };
-    let sig = fx
-        .client_keys
-        .sign(&body.signed_payload(), &Audience::replicas(fx.cfg.cluster.n()));
-    let cm: Commit<KvOp, KvResponse> = Commit { body, sig, cc: Vec::new() };
+    let sig = fx.client_keys.sign(
+        &body.signed_payload(),
+        &Audience::replicas(fx.cfg.cluster.n()),
+    );
+    let cm: Commit<KvOp, KvResponse> = Commit {
+        body,
+        sig,
+        cc: Vec::new(),
+    };
     let mut o = out();
     fx.replicas[0].on_message(NodeId::Client(ClientId::new(0)), Msg::Commit(cm), &mut o);
     assert_eq!(fx.replicas[0].stats().slow_commits, 0);
-    assert_eq!(fx.replicas[0].instance_status(inst), Some(EntryStatus::SpecOrdered));
+    assert_eq!(
+        fx.replicas[0].instance_status(inst),
+        Some(EntryStatus::SpecOrdered)
+    );
 }
 
 #[test]
@@ -212,7 +287,10 @@ fn leader_records_and_executes_nothing_until_commit() {
     let mut fx = fixture();
     let so = lead_one(&mut fx, 1);
     assert_eq!(fx.replicas[0].stats().led, 1);
-    assert_eq!(fx.replicas[0].instance_status(so.body.inst), Some(EntryStatus::SpecOrdered));
+    assert_eq!(
+        fx.replicas[0].instance_status(so.body.inst),
+        Some(EntryStatus::SpecOrdered)
+    );
     assert_eq!(fx.replicas[0].executed_log().len(), 0);
     // Speculative state diverges from final state until commitment: the
     // final application must still be empty.
@@ -239,7 +317,11 @@ fn log_digest_mismatch_rejected() {
     // belongs to R3). Instead corrupt without re-signing: signature check
     // fails first, which is also a rejection path.
     let mut o2 = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::SpecOrder(bad), &mut o2);
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::SpecOrder(bad),
+        &mut o2,
+    );
     assert_eq!(fx.replicas[1].stats().followed, 0);
     assert!(fx.replicas[1].stats().rejected >= 1);
 }
@@ -248,22 +330,260 @@ fn log_digest_mismatch_rejected() {
 fn replica_ignores_client_bound_messages() {
     let mut fx = fixture();
     let so = lead_one(&mut fx, 1);
-    let header = SpecOrderHeader { body: so.body.clone(), sig: so.sig };
+    let header = SpecOrderHeader {
+        body: so.body.clone(),
+        sig: so.sig,
+    };
     let body = SpecReplyBody {
         owner: OwnerNum(0),
         inst: so.body.inst,
+        offset: 0,
         deps: BTreeSet::new(),
         seq: 1,
-        req_digest: so.body.req_digest,
+        req_digest: so.body.req_digests[0],
         client: ClientId::new(0),
         ts: Timestamp(1),
     };
-    let reply: SpecReply<KvOp, KvResponse> =
-        SpecReply::new(body, ReplicaId::new(0), KvResponse::Ok, Signature::Null, header);
+    let reply: SpecReply<KvOp, KvResponse> = SpecReply::new(
+        body,
+        ReplicaId::new(0),
+        KvResponse::Ok,
+        Signature::Null,
+        header,
+    );
     let mut o = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::SpecReply(reply), &mut o);
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::SpecReply(reply),
+        &mut o,
+    );
     assert!(o.is_empty());
     assert_eq!(fx.replicas[1].stats().rejected, 1);
+}
+
+/// Extracts every SPECREPLY (with destination client) from an action sink.
+fn spec_replies(o: &Out) -> Vec<SpecReply<KvOp, KvResponse>> {
+    o.as_slice()
+        .iter()
+        .filter_map(|a| match a {
+            ezbft_smr::Action::Send {
+                msg: Msg::SpecReply(r),
+                ..
+            } => Some(r.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A fixture whose replicas batch up to `batch_size` requests per
+/// SPECORDER, holding under-full batches open practically forever.
+fn fixture_batched(batch_size: usize) -> Fixture {
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = EzConfig::new(cluster).with_batching(batch_size, Micros::from_secs(60));
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    nodes.push(NodeId::Client(ClientId::new(0)));
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"validation", &nodes);
+    let client_keys = stores.pop().unwrap();
+    let rogue_keys = {
+        let extra = KeyStore::cluster(CryptoKind::Mac, b"validation", &nodes);
+        extra.into_iter().nth(3).unwrap()
+    };
+    let replicas = cluster
+        .replicas()
+        .map(|rid| Replica::new(rid, cfg, stores.remove(0), KvStore::new()))
+        .collect();
+    Fixture {
+        cfg,
+        replicas,
+        client_keys,
+        rogue_keys,
+    }
+}
+
+#[test]
+fn duplicate_request_in_open_batch_is_ordered_once() {
+    // A client retry racing the flush timer must not occupy two offsets of
+    // the same batch (double speculative execution would let a fast-path
+    // certificate commit a double-applied response).
+    let mut fx = fixture_batched(2);
+    let req1 = signed_request(
+        &mut fx,
+        1,
+        KvOp::Put {
+            key: Key(1),
+            value: vec![1],
+        },
+    );
+    let mut o = out();
+    fx.replicas[0].on_message(
+        NodeId::Client(ClientId::new(0)),
+        Msg::Request(req1.clone()),
+        &mut o,
+    );
+    // Duplicate delivery of the same request while the batch is open.
+    let mut o2 = out();
+    fx.replicas[0].on_message(
+        NodeId::Client(ClientId::new(0)),
+        Msg::Request(req1),
+        &mut o2,
+    );
+    assert!(
+        !o2.as_slice()
+            .iter()
+            .any(|a| matches!(a, ezbft_smr::Action::Broadcast { .. })),
+        "a duplicate must not fill (and flush) the batch"
+    );
+    // A second, distinct request fills the batch and flushes it.
+    let req2 = signed_request(
+        &mut fx,
+        2,
+        KvOp::Put {
+            key: Key(2),
+            value: vec![2],
+        },
+    );
+    let mut o3 = out();
+    fx.replicas[0].on_message(
+        NodeId::Client(ClientId::new(0)),
+        Msg::Request(req2),
+        &mut o3,
+    );
+    let so = o3
+        .as_slice()
+        .iter()
+        .find_map(|a| match a {
+            ezbft_smr::Action::Broadcast { msg, .. } => match &**msg {
+                Msg::SpecOrder(so) => Some(so.clone()),
+                _ => None,
+            },
+            _ => None,
+        })
+        .expect("full batch flushes one SPECORDER");
+    let ts: Vec<u64> = so.reqs.iter().map(|r| r.ts.0).collect();
+    assert_eq!(ts, vec![1, 2], "each request ordered exactly once: {ts:?}");
+    assert_eq!(fx.replicas[0].stats().led, 2);
+}
+
+#[test]
+fn pending_commits_accumulate_reply_obligations_across_clients() {
+    // Two slow-path certificates for different offsets of one batch reach
+    // a replica before its SPECORDER: both clients' COMMITREPLY
+    // obligations must survive (an overwrite would drop the first).
+    let mut fx = fixture_batched(2);
+    let client = ClientId::new(0);
+    let req1 = signed_request(
+        &mut fx,
+        1,
+        KvOp::Put {
+            key: Key(1),
+            value: vec![1],
+        },
+    );
+    let req2 = signed_request(
+        &mut fx,
+        2,
+        KvOp::Put {
+            key: Key(2),
+            value: vec![2],
+        },
+    );
+    let mut o = out();
+    fx.replicas[0].on_message(NodeId::Client(client), Msg::Request(req1), &mut o);
+    let mut o2 = out();
+    fx.replicas[0].on_message(NodeId::Client(client), Msg::Request(req2), &mut o2);
+    let so = o2
+        .as_slice()
+        .iter()
+        .find_map(|a| match a {
+            ezbft_smr::Action::Broadcast { msg, .. } => match &**msg {
+                Msg::SpecOrder(so) => Some(so.clone()),
+                _ => None,
+            },
+            _ => None,
+        })
+        .expect("batch flushed");
+    let inst = so.body.inst;
+
+    // Collect real SPECREPLYs from the leader and two followers.
+    let mut replies = spec_replies(&o2);
+    for r in 1..=2usize {
+        let mut fo = out();
+        fx.replicas[r].on_message(
+            NodeId::Replica(ReplicaId::new(0)),
+            Msg::SpecOrder(so.clone()),
+            &mut fo,
+        );
+        replies.extend(spec_replies(&fo));
+    }
+
+    // One slow certificate per offset, client-signed.
+    let commit_for = |fx: &mut Fixture, offset: u32| -> Commit<KvOp, KvResponse> {
+        let cc: Vec<SpecReply<KvOp, KvResponse>> = replies
+            .iter()
+            .filter(|r| r.body.offset == offset)
+            .cloned()
+            .collect();
+        assert_eq!(
+            cc.len(),
+            3,
+            "leader + two followers replied for offset {offset}"
+        );
+        let mut deps = BTreeSet::new();
+        let mut seq = 0;
+        for r in &cc {
+            deps.extend(r.body.deps.iter().copied());
+            seq = seq.max(r.body.seq);
+        }
+        let body = CommitBody {
+            client,
+            inst,
+            deps,
+            seq,
+            req_digest: cc[0].body.req_digest,
+        };
+        let sig = fx.client_keys.sign(
+            &body.signed_payload(),
+            &Audience::replicas(fx.cfg.cluster.n()),
+        );
+        Commit { body, sig, cc }
+    };
+    let commit0 = commit_for(&mut fx, 0);
+    let commit1 = commit_for(&mut fx, 1);
+
+    // Replica 3 never saw the SPECORDER: both commits must queue.
+    let mut c0 = out();
+    fx.replicas[3].on_message(NodeId::Client(client), Msg::Commit(commit0), &mut c0);
+    let mut c1 = out();
+    fx.replicas[3].on_message(NodeId::Client(client), Msg::Commit(commit1), &mut c1);
+    assert!(
+        c0.is_empty() && c1.is_empty(),
+        "commits buffer until the order arrives"
+    );
+
+    // The late SPECORDER drains both pending decisions: replica 3 must
+    // answer BOTH clientsʼ requests (ts 1 and ts 2).
+    let mut fin = out();
+    fx.replicas[3].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::SpecOrder(so),
+        &mut fin,
+    );
+    let replied: Vec<u64> = fin
+        .as_slice()
+        .iter()
+        .filter_map(|a| match a {
+            ezbft_smr::Action::Send {
+                msg: Msg::CommitReply(r),
+                ..
+            } => Some(r.ts.0),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        replied.contains(&1) && replied.contains(&2),
+        "both buffered reply obligations must survive the merge: {replied:?}"
+    );
+    assert_eq!(fx.replicas[3].executed_log().len(), 2);
 }
 
 #[test]
@@ -273,10 +593,12 @@ fn spec_order_body_roundtrips_via_wire() {
     let body = SpecOrderBody {
         owner: OwnerNum(2),
         inst: InstanceId::new(ReplicaId::new(2), 9),
-        deps: [InstanceId::new(ReplicaId::new(0), 1)].into_iter().collect(),
+        deps: [InstanceId::new(ReplicaId::new(0), 1)]
+            .into_iter()
+            .collect(),
         seq: 4,
         log_digest: Digest::of(b"h"),
-        req_digest: Digest::of(b"d"),
+        req_digests: vec![Digest::of(b"d")],
     };
     let bytes = ezbft_wire::to_bytes(&body).unwrap();
     let back: SpecOrderBody = ezbft_wire::from_bytes(&bytes).unwrap();

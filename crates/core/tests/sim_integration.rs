@@ -4,16 +4,14 @@
 
 use std::collections::VecDeque;
 
-use ezbft_core::{
-    Behaviour, ByzantineReplica, Client, EzConfig, InstanceId, Msg, Replica,
-};
+use ezbft_core::{Behaviour, ByzantineReplica, Client, ExecRef, EzConfig, Msg, Replica};
 use ezbft_crypto::{CryptoKind, KeyStore};
 use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
-use ezbft_smr::{
-    Actions, Application as _, ClientId, ClientNode, ClusterConfig, Command, Micros, NodeId,
-    ProtocolNode, ReplicaId, TimerId,
-};
 use ezbft_simnet::{Region, SimConfig, SimNet, Topology};
+use ezbft_smr::{
+    Actions, ClientId, ClientNode, ClusterConfig, Command, Micros, NodeId, ProtocolNode, ReplicaId,
+    TimerId,
+};
 
 type KvMsg = Msg<KvOp, KvResponse>;
 
@@ -105,8 +103,13 @@ impl ClusterSpec {
             })
             .collect();
 
-        let mut sim: SimNet<KvMsg, KvResponse> =
-            SimNet::new(self.topology, SimConfig { seed: self.seed, ..Default::default() });
+        let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(
+            self.topology,
+            SimConfig {
+                seed: self.seed,
+                ..Default::default()
+            },
+        );
 
         let mut total_ops = 0;
         let client_stores: Vec<KeyStore> = stores.split_off(cluster.n());
@@ -127,15 +130,15 @@ impl ClusterSpec {
                 None => sim.add_node(region, Box::new(replica)),
             }
         }
-        for ((id, preferred, region, script), keys) in
-            self.clients.into_iter().zip(client_stores)
-        {
+        for ((id, preferred, region, script), keys) in self.clients.into_iter().zip(client_stores) {
             total_ops += script.len();
-            let client =
-                Client::new(ClientId::new(id), cfg, keys, ReplicaId::new(preferred));
+            let client = Client::new(ClientId::new(id), cfg, keys, ReplicaId::new(preferred));
             sim.add_node(
                 Region(region),
-                Box::new(ScriptedClient { inner: client, script: script.into() }),
+                Box::new(ScriptedClient {
+                    inner: client,
+                    script: script.into(),
+                }),
             );
         }
         (sim, total_ops)
@@ -154,7 +157,8 @@ fn check_safety(sim: &SimNet<KvMsg, KvResponse>, correct: &[u8]) {
             let any = sim
                 .inspect(NodeId::Replica(ReplicaId::new(*r)))
                 .expect("replica is inspectable");
-            any.downcast_ref::<Replica<KvStore>>().expect("honest replica")
+            any.downcast_ref::<Replica<KvStore>>()
+                .expect("honest replica")
         })
         .collect();
 
@@ -163,8 +167,7 @@ fn check_safety(sim: &SimNet<KvMsg, KvResponse>, correct: &[u8]) {
             let log_a = a.executed_log();
             let log_b = b.executed_log();
             // Relative order of interfering pairs must agree.
-            let pos =
-                |log: &[InstanceId], x: InstanceId| log.iter().position(|&y| y == x);
+            let pos = |log: &[ExecRef], x: ExecRef| log.iter().position(|&y| y == x);
             for (ai, &x) in log_a.iter().enumerate() {
                 for &y in log_a.iter().skip(ai + 1) {
                     let (Some(cx), Some(cy)) = (a.command_of(x), a.command_of(y)) else {
@@ -185,11 +188,15 @@ fn check_safety(sim: &SimNet<KvMsg, KvResponse>, correct: &[u8]) {
         }
     }
 
-    // Replicas that executed the same command count must have identical
-    // final states.
+    // Replicas that executed the same set of instances must have identical
+    // final states. (Comparing log *lengths* is unsound under message
+    // loss: a duplicate proposal can even out a missing commit, leaving
+    // equal counts over different instance sets.)
     for (i, a) in replicas.iter().enumerate() {
         for b in replicas.iter().skip(i + 1) {
-            if a.executed_log().len() == b.executed_log().len() {
+            let set_a: std::collections::BTreeSet<_> = a.executed_log().iter().copied().collect();
+            let set_b: std::collections::BTreeSet<_> = b.executed_log().iter().copied().collect();
+            if set_a == set_b {
                 assert_eq!(
                     a.app().fingerprint(),
                     b.app().fingerprint(),
@@ -203,7 +210,10 @@ fn check_safety(sim: &SimNet<KvMsg, KvResponse>, correct: &[u8]) {
 }
 
 fn put(client: u64, i: u64) -> KvOp {
-    KvOp::Put { key: Key(client * 1000 + i), value: vec![i as u8; 16] }
+    KvOp::Put {
+        key: Key(client * 1000 + i),
+        value: vec![i as u8; 16],
+    }
 }
 
 #[test]
@@ -231,7 +241,11 @@ fn fast_path_zero_contention_all_regions() {
     for r in 0..4u8 {
         let any = sim.inspect(NodeId::Replica(ReplicaId::new(r))).unwrap();
         let replica = any.downcast_ref::<Replica<KvStore>>().unwrap();
-        assert_eq!(replica.executed_log().len(), total, "replica {r} executed all");
+        assert_eq!(
+            replica.executed_log().len(),
+            total,
+            "replica {r} executed all"
+        );
         assert_eq!(replica.stats().fast_commits, total as u64);
         assert_eq!(replica.stats().slow_commits, 0);
     }
@@ -255,18 +269,33 @@ fn fast_path_latency_matches_max_rtt() {
 fn contention_takes_slow_path_consistently() {
     // Two clients hammer the same key from opposite regions.
     let hot = Key(7);
-    let script_a: Vec<KvOp> =
-        (0..6).map(|i| KvOp::Incr { key: hot, by: 1 + i }).collect();
-    let script_b: Vec<KvOp> =
-        (0..6).map(|i| KvOp::Incr { key: hot, by: 100 + i }).collect();
+    let script_a: Vec<KvOp> = (0..6)
+        .map(|i| KvOp::Incr {
+            key: hot,
+            by: 1 + i,
+        })
+        .collect();
+    let script_b: Vec<KvOp> = (0..6)
+        .map(|i| KvOp::Incr {
+            key: hot,
+            by: 100 + i,
+        })
+        .collect();
     let (mut sim, total) = ClusterSpec::new(Topology::exp1())
         .client(0, 0, 0, script_a)
         .client(1, 3, 3, script_b)
         .build();
     sim.run_until_deliveries(total);
     assert_eq!(sim.deliveries().len(), total);
-    let slow = sim.deliveries().iter().filter(|d| !d.delivery.fast_path).count();
-    assert!(slow > 0, "contending increments must take the slow path sometimes");
+    let slow = sim
+        .deliveries()
+        .iter()
+        .filter(|d| !d.delivery.fast_path)
+        .count();
+    assert!(
+        slow > 0,
+        "contending increments must take the slow path sometimes"
+    );
     let deadline = sim.now() + Micros::from_secs(2);
     sim.run_until_time(deadline);
     check_safety(&sim, &[0, 1, 2, 3]);
@@ -287,7 +316,10 @@ fn interleaved_contention_and_private_ops() {
         (0..8)
             .map(|i| {
                 if i % 2 == 0 {
-                    KvOp::Put { key: hot, value: vec![client as u8, i as u8] }
+                    KvOp::Put {
+                        key: hot,
+                        value: vec![client as u8, i as u8],
+                    }
                 } else {
                     put(client, i as u64)
                 }
@@ -317,7 +349,11 @@ fn byzantine_leader_seq_equivocation_detected_and_survived() {
         .byzantine(1, Behaviour::EquivocateSeq)
         .build();
     sim.run_until_deliveries(total);
-    assert_eq!(sim.deliveries().len(), total, "progress despite equivocation");
+    assert_eq!(
+        sim.deliveries().len(),
+        total,
+        "progress despite equivocation"
+    );
     let deadline = sim.now() + Micros::from_secs(3);
     sim.run_until_time(deadline);
     check_safety(&sim, &[0, 2, 3]);
@@ -342,8 +378,18 @@ fn byzantine_dep_dropper_cannot_break_consistency() {
     // combination rule (union over the slow quorum) must still order the
     // interfering commands consistently.
     let hot = Key(5);
-    let script_a: Vec<KvOp> = (0..4).map(|i| KvOp::Incr { key: hot, by: 1 + i }).collect();
-    let script_b: Vec<KvOp> = (0..4).map(|i| KvOp::Incr { key: hot, by: 50 + i }).collect();
+    let script_a: Vec<KvOp> = (0..4)
+        .map(|i| KvOp::Incr {
+            key: hot,
+            by: 1 + i,
+        })
+        .collect();
+    let script_b: Vec<KvOp> = (0..4)
+        .map(|i| KvOp::Incr {
+            key: hot,
+            by: 50 + i,
+        })
+        .collect();
     let (mut sim, total) = ClusterSpec::new(Topology::exp1())
         .client(0, 0, 0, script_a)
         .client(1, 3, 3, script_b)
@@ -361,13 +407,21 @@ fn crashed_leader_triggers_owner_change_and_client_rotates() {
     // The client's preferred replica is dead from the start: the request
     // must still complete via retransmission, owner change and rotation.
     let script: Vec<KvOp> = (0..2).map(|i| put(0, i)).collect();
-    let (mut sim, total) =
-        ClusterSpec::new(Topology::exp1()).client(0, 0, 0, script).build();
+    let (mut sim, total) = ClusterSpec::new(Topology::exp1())
+        .client(0, 0, 0, script)
+        .build();
     sim.faults_mut().crash(ReplicaId::new(0));
     sim.run_until_deliveries(total);
-    assert_eq!(sim.deliveries().len(), total, "liveness with a crashed leader");
+    assert_eq!(
+        sim.deliveries().len(),
+        total,
+        "liveness with a crashed leader"
+    );
     for d in sim.deliveries() {
-        assert!(!d.delivery.fast_path, "fast path impossible with a dead replica");
+        assert!(
+            !d.delivery.fast_path,
+            "fast path impossible with a dead replica"
+        );
     }
     let deadline = sim.now() + Micros::from_secs(3);
     sim.run_until_time(deadline);
@@ -382,7 +436,10 @@ fn crashed_leader_triggers_owner_change_and_client_rotates() {
             .0
             > 0
     });
-    assert!(moved, "an owner change for the dead replica's space must complete");
+    assert!(
+        moved,
+        "an owner change for the dead replica's space must complete"
+    );
 }
 
 #[test]
@@ -414,7 +471,11 @@ fn message_loss_is_survivable() {
     let (mut sim, total) = spec.build();
     sim.faults_mut().set_drop_probability(0.03);
     sim.run_until_deliveries(total);
-    assert_eq!(sim.deliveries().len(), total, "all requests complete under loss");
+    assert_eq!(
+        sim.deliveries().len(),
+        total,
+        "all requests complete under loss"
+    );
     // Stop dropping, settle, check.
     sim.faults_mut().set_drop_probability(0.0);
     let deadline = sim.now() + Micros::from_secs(3);
@@ -428,8 +489,12 @@ fn determinism_full_protocol_run() {
         let mut spec = ClusterSpec::new(Topology::exp1());
         spec.seed = seed;
         for region in 0..2u64 {
-            let script: Vec<KvOp> =
-                (0..3).map(|i| KvOp::Incr { key: Key(1), by: i + region }).collect();
+            let script: Vec<KvOp> = (0..3)
+                .map(|i| KvOp::Incr {
+                    key: Key(1),
+                    by: i + region,
+                })
+                .collect();
             spec = spec.client(region, region as u8, region as usize, script);
         }
         let (mut sim, total) = spec.build();
@@ -453,8 +518,7 @@ fn log_compaction_bounds_memory_and_preserves_safety() {
     nodes.push(NodeId::Client(ClientId::new(0)));
     let mut stores = KeyStore::cluster(CryptoKind::Mac, b"compaction", &nodes);
     let client_keys = stores.pop().unwrap();
-    let mut sim: SimNet<KvMsg, KvResponse> =
-        SimNet::new(Topology::lan(4), SimConfig::default());
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(Topology::lan(4), SimConfig::default());
     for (i, rid) in cluster.replicas().enumerate() {
         sim.add_node(
             Region(i),
@@ -463,7 +527,13 @@ fn log_compaction_bounds_memory_and_preserves_safety() {
     }
     let script: VecDeque<KvOp> = (0..80).map(|i| put(0, i)).collect();
     let client = Client::new(ClientId::new(0), cfg, client_keys, ReplicaId::new(0));
-    sim.add_node(Region(0), Box::new(ScriptedClient { inner: client, script: script.into() }));
+    sim.add_node(
+        Region(0),
+        Box::new(ScriptedClient {
+            inner: client,
+            script,
+        }),
+    );
 
     sim.run_until_deliveries(80);
     let deadline = sim.now() + Micros::from_secs(2);
@@ -481,7 +551,10 @@ fn log_compaction_bounds_memory_and_preserves_safety() {
             "replica {r} keeps {} live entries despite compaction",
             rep.live_entries()
         );
-        assert!(rep.compact_floor(ReplicaId::new(0)) >= 40, "floor did not advance");
+        assert!(
+            rep.compact_floor(ReplicaId::new(0)) >= 40,
+            "floor did not advance"
+        );
     }
     // All replicas still agree on the final state.
     let fp0 = sim
@@ -521,24 +594,31 @@ fn minority_partition_stalls_then_heals() {
     // commits. Healing the partition lets the retransmission machinery
     // finish the stalled request.
     let script: Vec<KvOp> = (0..2).map(|i| put(0, i)).collect();
-    let (mut sim, total) =
-        ClusterSpec::new(Topology::exp1()).client(0, 0, 0, script).build();
+    let (mut sim, total) = ClusterSpec::new(Topology::exp1())
+        .client(0, 0, 0, script)
+        .build();
     // R2 and R3 unreachable from everyone (and each other): only R0, R1
     // remain connected — fewer than 2f+1.
     for isolated in [2u8, 3] {
         for other in 0..4u8 {
             if other != isolated {
-                sim.faults_mut().cut_between(ReplicaId::new(isolated), ReplicaId::new(other));
+                sim.faults_mut()
+                    .cut_between(ReplicaId::new(isolated), ReplicaId::new(other));
             }
         }
-        sim.faults_mut().cut_between(ReplicaId::new(isolated), ClientId::new(0));
+        sim.faults_mut()
+            .cut_between(ReplicaId::new(isolated), ClientId::new(0));
     }
     sim.run_until_time(Micros::from_secs(4));
     assert_eq!(sim.deliveries().len(), 0, "no quorum inside the partition");
 
     sim.faults_mut().heal_links();
     sim.run_until_deliveries(total);
-    assert_eq!(sim.deliveries().len(), total, "requests complete after healing");
+    assert_eq!(
+        sim.deliveries().len(),
+        total,
+        "requests complete after healing"
+    );
     let deadline = sim.now() + Micros::from_secs(3);
     sim.run_until_time(deadline);
     check_safety(&sim, &[0, 1, 2, 3]);
@@ -554,8 +634,12 @@ fn safety_holds_across_seeds() {
         let mut spec = ClusterSpec::new(Topology::exp1());
         spec.seed = 1000 + seed;
         for c in 0..3u64 {
-            let script: Vec<KvOp> =
-                (0..4).map(|i| KvOp::Incr { key: hot, by: c * 10 + i }).collect();
+            let script: Vec<KvOp> = (0..4)
+                .map(|i| KvOp::Incr {
+                    key: hot,
+                    by: c * 10 + i,
+                })
+                .collect();
             spec = spec.client(c, c as u8, c as usize, script);
         }
         let (mut sim, total) = spec.build();
@@ -579,7 +663,11 @@ fn byzantine_instance_equivocation_survived() {
         .byzantine(1, Behaviour::EquivocateInstance)
         .build();
     sim.run_until_deliveries(total);
-    assert_eq!(sim.deliveries().len(), total, "progress despite instance equivocation");
+    assert_eq!(
+        sim.deliveries().len(),
+        total,
+        "progress despite instance equivocation"
+    );
     let deadline = sim.now() + Micros::from_secs(3);
     sim.run_until_time(deadline);
     check_safety(&sim, &[0, 2, 3]);

@@ -63,7 +63,11 @@ impl std::fmt::Debug for PairwiseKeys {
 impl PairwiseKeys {
     /// Creates the key table for node `me` from the cluster master secret.
     pub fn new(me: NodeId, master_secret: &[u8]) -> Self {
-        PairwiseKeys { me, keys: HashMap::new(), master: HmacKey::new(master_secret) }
+        PairwiseKeys {
+            me,
+            keys: HashMap::new(),
+            master: HmacKey::new(master_secret),
+        }
     }
 
     /// The node these keys belong to.
@@ -72,7 +76,11 @@ impl PairwiseKeys {
     }
 
     fn derive(&self, peer: NodeId) -> HmacKey {
-        let (lo, hi) = if self.me <= peer { (self.me, peer) } else { (peer, self.me) };
+        let (lo, hi) = if self.me <= peer {
+            (self.me, peer)
+        } else {
+            (peer, self.me)
+        };
         let mut material = Vec::with_capacity(18);
         material.extend_from_slice(&node_tag(lo));
         material.extend_from_slice(&node_tag(hi));
@@ -120,7 +128,10 @@ impl MacAuthenticator {
         // The tag was produced under key(signer, me).
         let expected = keys.shared_with(signer).tag(msg);
         // Constant-time-ish comparison; branch-free fold.
-        tag.iter().zip(expected.iter()).fold(0u8, |acc, (a, b)| acc | (a ^ b)) == 0
+        tag.iter()
+            .zip(expected.iter())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+            == 0
     }
 
     /// Number of audience entries.

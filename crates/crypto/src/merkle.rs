@@ -84,14 +84,21 @@ impl MerkleKeychain {
             .collect();
 
         let mut levels = Vec::with_capacity(height as usize + 1);
-        levels.push(keys.iter().map(|k| leaf_digest(&k.public_key())).collect::<Vec<_>>());
+        levels.push(
+            keys.iter()
+                .map(|k| leaf_digest(&k.public_key()))
+                .collect::<Vec<_>>(),
+        );
         while levels.last().unwrap().len() > 1 {
             let prev = levels.last().unwrap();
-            let next: Vec<Digest> =
-                prev.chunks(2).map(|pair| pair[0].chain(&pair[1])).collect();
+            let next: Vec<Digest> = prev.chunks(2).map(|pair| pair[0].chain(&pair[1])).collect();
             levels.push(next);
         }
-        MerkleKeychain { keys, levels, next_leaf: 0 }
+        MerkleKeychain {
+            keys,
+            levels,
+            next_leaf: 0,
+        }
     }
 
     /// The many-time public key (Merkle root).
@@ -122,7 +129,11 @@ impl MerkleKeychain {
             path.push(level[idx ^ 1]);
             idx >>= 1;
         }
-        Some(MerkleSignature { leaf, wots: wots_sig, path })
+        Some(MerkleSignature {
+            leaf,
+            wots: wots_sig,
+            path,
+        })
     }
 }
 
@@ -134,7 +145,11 @@ pub fn verify(pk: &MerklePublicKey, msg: &Digest, sig: &MerkleSignature) -> bool
     let mut node = leaf_digest(&candidate);
     let mut idx = sig.leaf as usize;
     for sibling in &sig.path {
-        node = if idx & 1 == 0 { node.chain(sibling) } else { sibling.chain(&node) };
+        node = if idx & 1 == 0 {
+            node.chain(sibling)
+        } else {
+            sibling.chain(&node)
+        };
         idx >>= 1;
     }
     node == pk.0

@@ -38,7 +38,9 @@ pub struct Sha256 {
 
 impl std::fmt::Debug for Sha256 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sha256").field("len", &self.len).finish_non_exhaustive()
+        f.debug_struct("Sha256")
+            .field("len", &self.len)
+            .finish_non_exhaustive()
     }
 }
 
@@ -51,7 +53,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, len: 0, buf: [0; 64], buf_len: 0 }
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
     }
 
     /// Absorbs `data`.
@@ -89,7 +96,11 @@ impl Sha256 {
         // Padding: 0x80, zeros, 8-byte big-endian bit length.
         let mut pad = [0u8; 72];
         pad[0] = 0x80;
-        let pad_len = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
         self.update(&pad[..pad_len + 8]);
         debug_assert_eq!(self.buf_len, 0);
@@ -186,7 +197,9 @@ mod tests {
     #[test]
     fn nist_two_block() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

@@ -77,8 +77,8 @@ impl WotsSignature {
         let d = digits(msg);
         let mut h = Sha256::new();
         h.update(b"wots-pk");
-        for i in 0..CHAINS {
-            let top = chain(&self.values[i], i as u8, d[i], W_MAX - d[i]);
+        for (i, &di) in d.iter().enumerate() {
+            let top = chain(&self.values[i], i as u8, di, W_MAX - di);
             h.update(&top);
         }
         Some(WotsPublicKey(h.finalize()))
@@ -95,7 +95,9 @@ pub struct WotsKeypair {
 
 impl std::fmt::Debug for WotsKeypair {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WotsKeypair").field("public", &self.public).finish_non_exhaustive()
+        f.debug_struct("WotsKeypair")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
     }
 }
 
@@ -113,7 +115,10 @@ impl WotsKeypair {
         for (i, s) in secrets.iter().enumerate() {
             h.update(&chain(s, i as u8, 0, W_MAX));
         }
-        WotsKeypair { secrets, public: WotsPublicKey(h.finalize()) }
+        WotsKeypair {
+            secrets,
+            public: WotsPublicKey(h.finalize()),
+        }
     }
 
     /// The public key.
@@ -133,7 +138,8 @@ impl WotsKeypair {
 
 /// Verifies `sig` over `msg` against `pk`.
 pub fn verify(pk: &WotsPublicKey, msg: &Digest, sig: &WotsSignature) -> bool {
-    sig.recover_public_key(msg).is_some_and(|candidate| candidate == *pk)
+    sig.recover_public_key(msg)
+        .is_some_and(|candidate| candidate == *pk)
 }
 
 #[cfg(test)]

@@ -73,7 +73,9 @@ impl<C: Payload, R: Payload> FabClient<C, R> {
     }
 
     fn on_reply(&mut self, reply: Reply<R>, out: &mut Actions<Msg<C, R>, R>) {
-        let Some(pending) = &mut self.pending else { return };
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
         if reply.client != self.id || reply.ts != pending.ts {
             return;
         }
@@ -103,10 +105,17 @@ impl<C: Payload, R: Payload> FabClient<C, R> {
         let Some(pending) = &self.pending else { return };
         self.stats.retries += 1;
         let payload = Request::<C>::signed_payload(self.id, pending.ts, &pending.cmd);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let req = Request { client: self.id, ts: pending.ts, cmd: pending.cmd.clone(), sig };
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request {
+            client: self.id,
+            ts: pending.ts,
+            cmd: pending.cmd.clone(),
+            sig,
+        };
         let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
-        out.send_all(replicas, &Msg::RequestBroadcast(req));
+        out.broadcast(replicas, Msg::RequestBroadcast(req));
         out.set_timer(TimerId(TIMER_RETRY), self.cfg.retry_delay);
     }
 }
@@ -140,12 +149,23 @@ impl<C: Payload, R: Payload> ClientNode for FabClient<C, R> {
         self.next_ts = self.next_ts.next();
         let ts = self.next_ts;
         let payload = Request::<C>::signed_payload(self.id, ts, &cmd);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let req = Request { client: self.id, ts, cmd: cmd.clone(), sig };
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request {
+            client: self.id,
+            ts,
+            cmd: cmd.clone(),
+            sig,
+        };
         let leader = self.cfg.leader(self.view);
         out.send(NodeId::Replica(leader), Msg::Request(req));
         out.set_timer(TimerId(TIMER_RETRY), self.cfg.retry_delay);
-        self.pending = Some(Pending { cmd, ts, replies: HashMap::new() });
+        self.pending = Some(Pending {
+            cmd,
+            ts,
+            replies: HashMap::new(),
+        });
     }
 
     fn in_flight(&self) -> bool {

@@ -246,7 +246,11 @@ mod tests {
             sender: ReplicaId::new(0),
             sig: Signature::Null,
         };
-        let b = Reply { view: 3, sender: ReplicaId::new(1), ..a.clone() };
+        let b = Reply {
+            view: 3,
+            sender: ReplicaId::new(1),
+            ..a.clone()
+        };
         assert_eq!(a.match_key(), b.match_key());
     }
 

@@ -9,8 +9,7 @@ use ezbft_smr::{
 };
 
 use crate::msg::{
-    Accept, AcceptedEntry, Accuse, ElectMe, Msg, NewLeader, Propose, ProposeBody, Reply,
-    Request,
+    Accept, AcceptedEntry, Accuse, ElectMe, Msg, NewLeader, Propose, ProposeBody, Reply, Request,
 };
 
 /// FaB configuration (parameterized, `t = 0`).
@@ -200,7 +199,9 @@ impl<A: Application> FabReplica<A> {
 
     fn verify_request(&mut self, req: &Request<A::Command>) -> bool {
         let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
-        self.keys.verify(NodeId::Client(req.client), &payload, &req.sig).is_ok()
+        self.keys
+            .verify(NodeId::Client(req.client), &payload, &req.sig)
+            .is_ok()
     }
 
     fn on_request(&mut self, req: Request<A::Command>, out: &mut Out<A>) {
@@ -227,11 +228,15 @@ impl<A: Application> FabReplica<A> {
 
         let n = self.next_n;
         self.next_n += 1;
-        let body = ProposeBody { view: self.view, n, req_digest: req.digest() };
+        let body = ProposeBody {
+            view: self.view,
+            n,
+            req_digest: req.digest(),
+        };
         let sig = self.keys.sign(&body.signed_payload(), &self.audience());
         let proposal = Propose { body, sig, req };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &Msg::Propose(proposal.clone()));
+        out.broadcast(peers, Msg::Propose(proposal.clone()));
         self.stats.proposed += 1;
         self.accept_proposal(proposal, out);
     }
@@ -263,7 +268,13 @@ impl<A: Application> FabReplica<A> {
         if !self.accuse_waits.contains_key(&key) {
             let id = self.next_timer;
             self.next_timer += 1;
-            self.timers.insert(id, Timer::Accuse { client: key.0, ts: key.1 });
+            self.timers.insert(
+                id,
+                Timer::Accuse {
+                    client: key.0,
+                    ts: key.1,
+                },
+            );
             self.accuse_waits.insert(key, id);
             out.set_timer(TimerId(id), self.cfg.accuse_timeout);
         }
@@ -318,9 +329,15 @@ impl<A: Application> FabReplica<A> {
             slot.accept_sent = true;
             let payload = Accept::signed_payload(view, n, d);
             let sig = self.keys.sign(&payload, &self.audience());
-            let accept = Accept { view, n, req_digest: d, sender: self.id, sig };
+            let accept = Accept {
+                view,
+                n,
+                req_digest: d,
+                sender: self.id,
+                sig,
+            };
             let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-            out.send_all(peers, &Msg::Accept(accept.clone()));
+            out.broadcast(peers, Msg::Accept(accept.clone()));
             self.record_accept(accept, out);
         }
     }
@@ -330,7 +347,11 @@ impl<A: Application> FabReplica<A> {
             return;
         }
         let payload = Accept::signed_payload(a.view, a.n, a.req_digest);
-        if self.keys.verify(NodeId::Replica(a.sender), &payload, &a.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Replica(a.sender), &payload, &a.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
@@ -342,10 +363,10 @@ impl<A: Application> FabReplica<A> {
         {
             let slot = self.slots.entry(a.n).or_default();
             slot.accepts.insert(a.sender);
-            if slot.learned || slot.accepts.len() < quorum || slot.proposal.is_none() {
-                if !(slot.accepts.len() >= quorum && slot.proposal.is_some()) {
-                    return;
-                }
+            if (slot.learned || slot.accepts.len() < quorum || slot.proposal.is_none())
+                && !(slot.accepts.len() >= quorum && slot.proposal.is_some())
+            {
+                return;
             }
             slot.learned = true;
         }
@@ -413,9 +434,13 @@ impl<A: Application> FabReplica<A> {
         votes.vote(self.id);
         let payload = Accuse::signed_payload(view);
         let sig = self.keys.sign(&payload, &self.audience());
-        let msg = Msg::Accuse(Accuse { view, sender: self.id, sig });
+        let msg = Msg::Accuse(Accuse {
+            view,
+            sender: self.id,
+            sig,
+        });
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &msg);
+        out.broadcast(peers, msg);
         self.check_accusations(view, out);
     }
 
@@ -424,7 +449,11 @@ impl<A: Application> FabReplica<A> {
             return;
         }
         let payload = Accuse::signed_payload(a.view);
-        if self.keys.verify(NodeId::Replica(a.sender), &payload, &a.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Replica(a.sender), &payload, &a.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
@@ -454,11 +483,20 @@ impl<A: Application> FabReplica<A> {
             .slots
             .values()
             .filter_map(|s| s.proposal.as_ref())
-            .map(|p| AcceptedEntry { body: p.body.clone(), sig: p.sig.clone(), req: p.req.clone() })
+            .map(|p| AcceptedEntry {
+                body: p.body.clone(),
+                sig: p.sig.clone(),
+                req: p.req.clone(),
+            })
             .collect();
         let payload = ElectMe::signed_payload(new_view, &accepted);
         let sig = self.keys.sign(&payload, &self.audience());
-        let em = ElectMe { new_view, accepted, sender: self.id, sig };
+        let em = ElectMe {
+            new_view,
+            accepted,
+            sender: self.id,
+            sig,
+        };
         let new_leader = self.cfg.leader(new_view);
         if new_leader == self.id {
             self.on_elect_me(em, NodeId::Replica(self.id), out);
@@ -469,7 +507,9 @@ impl<A: Application> FabReplica<A> {
 
     fn verify_elect_me(&mut self, em: &ElectMe<A::Command>) -> bool {
         let payload = ElectMe::signed_payload(em.new_view, &em.accepted);
-        self.keys.verify(NodeId::Replica(em.sender), &payload, &em.sig).is_ok()
+        self.keys
+            .verify(NodeId::Replica(em.sender), &payload, &em.sig)
+            .is_ok()
     }
 
     fn on_elect_me(&mut self, em: ElectMe<A::Command>, from: NodeId, out: &mut Out<A>) {
@@ -502,13 +542,23 @@ impl<A: Application> FabReplica<A> {
                 req_digest: ae.req.digest(),
             };
             let sig = self.keys.sign(&body.signed_payload(), &self.audience());
-            proposals.push(Propose { body, sig, req: ae.req });
+            proposals.push(Propose {
+                body,
+                sig,
+                req: ae.req,
+            });
         }
         let payload = NewLeader::signed_payload(new_view, &proposals);
         let sig = self.keys.sign(&payload, &self.audience());
-        let nl = NewLeader { new_view, proof, proposals, sender: self.id, sig };
+        let nl = NewLeader {
+            new_view,
+            proof,
+            proposals,
+            sender: self.id,
+            sig,
+        };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &Msg::NewLeader(nl.clone()));
+        out.broadcast(peers, Msg::NewLeader(nl.clone()));
         self.install_new_leader(nl, out);
     }
 
@@ -524,7 +574,11 @@ impl<A: Application> FabReplica<A> {
             for ae in &em.accepted {
                 let old_leader = cfg.leader(ae.body.view);
                 if keys
-                    .verify(NodeId::Replica(old_leader), &ae.body.signed_payload(), &ae.sig)
+                    .verify(
+                        NodeId::Replica(old_leader),
+                        &ae.body.signed_payload(),
+                        &ae.sig,
+                    )
                     .is_err()
                 {
                     continue;
@@ -549,7 +603,10 @@ impl<A: Application> FabReplica<A> {
             return;
         }
         let payload = NewLeader::signed_payload(nl.new_view, &nl.proposals);
-        if self.keys.verify(NodeId::Replica(nl.sender), &payload, &nl.sig).is_err()
+        if self
+            .keys
+            .verify(NodeId::Replica(nl.sender), &payload, &nl.sig)
+            .is_err()
             || nl.proof.len() < self.cfg.cluster.slow_quorum()
         {
             self.stats.rejected += 1;
@@ -557,9 +614,7 @@ impl<A: Application> FabReplica<A> {
         }
         let mut senders = BTreeSet::new();
         for em in &nl.proof {
-            if em.new_view != nl.new_view
-                || !senders.insert(em.sender)
-                || !self.verify_elect_me(em)
+            if em.new_view != nl.new_view || !senders.insert(em.sender) || !self.verify_elect_me(em)
             {
                 self.stats.rejected += 1;
                 return;
@@ -627,7 +682,9 @@ impl<A: Application> ProtocolNode for FabReplica<A> {
     }
 
     fn on_timer(&mut self, id: TimerId, out: &mut Out<A>) {
-        let Some(timer) = self.timers.remove(&id.0) else { return };
+        let Some(timer) = self.timers.remove(&id.0) else {
+            return;
+        };
         match timer {
             Timer::Accuse { client, ts } => {
                 self.accuse_waits.remove(&(client, ts));

@@ -5,11 +5,10 @@ use std::collections::VecDeque;
 use ezbft_crypto::{CryptoKind, KeyStore};
 use ezbft_fab::{FabClient, FabConfig, FabReplica, Msg};
 use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
-use ezbft_smr::{
-    Actions, Application as _, ClientId, ClientNode, ClusterConfig, Micros, NodeId,
-    ProtocolNode, ReplicaId, TimerId,
-};
 use ezbft_simnet::{Region, SimConfig, SimNet, Topology};
+use ezbft_smr::{
+    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
+};
 
 type KvMsg = Msg<KvOp, KvResponse>;
 
@@ -61,8 +60,13 @@ fn build(
     }
     let mut stores = KeyStore::cluster(CryptoKind::Mac, b"fab-sim", &nodes);
     let client_stores = stores.split_off(cluster.n());
-    let mut sim: SimNet<KvMsg, KvResponse> =
-        SimNet::new(Topology::exp1(), SimConfig { seed, ..Default::default() });
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(
+        Topology::exp1(),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     for (i, rid) in cluster.replicas().enumerate() {
         let replica = FabReplica::new(rid, cfg, stores.remove(0), KvStore::new());
         sim.add_node(Region(i % 4), Box::new(replica));
@@ -73,17 +77,23 @@ fn build(
         let client = FabClient::new(ClientId::new(id), cfg, keys);
         sim.add_node(
             Region(region),
-            Box::new(ScriptedClient { inner: client, script: script.into() }),
+            Box::new(ScriptedClient {
+                inner: client,
+                script: script.into(),
+            }),
         );
     }
     (sim, total)
 }
 
 fn put(c: u64, i: u64) -> KvOp {
-    KvOp::Put { key: Key(c * 100 + i), value: vec![i as u8; 16] }
+    KvOp::Put {
+        key: Key(c * 100 + i),
+        value: vec![i as u8; 16],
+    }
 }
 
-fn replica<'a>(sim: &'a SimNet<KvMsg, KvResponse>, r: u8) -> &'a FabReplica<KvStore> {
+fn replica(sim: &SimNet<KvMsg, KvResponse>, r: u8) -> &FabReplica<KvStore> {
     sim.inspect(NodeId::Replica(ReplicaId::new(r)))
         .unwrap()
         .downcast_ref::<FabReplica<KvStore>>()
@@ -100,8 +110,9 @@ fn learn_quorum_is_ceil() {
 
 #[test]
 fn fault_free_multi_client() {
-    let clients =
-        (0..4u64).map(|c| (c, c as usize, (0..4).map(|i| put(c, i)).collect())).collect();
+    let clients = (0..4u64)
+        .map(|c| (c, c as usize, (0..4).map(|i| put(c, i)).collect()))
+        .collect();
     let (mut sim, total) = build(0, clients, 1);
     sim.run_until_deliveries(total);
     assert_eq!(sim.deliveries().len(), total);
@@ -134,7 +145,11 @@ fn leader_crash_election_liveness() {
     let (mut sim, total) = build(0, vec![(0, 1, (0..2).map(|i| put(0, i)).collect())], 3);
     sim.faults_mut().crash(ReplicaId::new(0));
     sim.run_until_deliveries(total);
-    assert_eq!(sim.deliveries().len(), total, "liveness across leader election");
+    assert_eq!(
+        sim.deliveries().len(),
+        total,
+        "liveness across leader election"
+    );
     for r in [1u8, 2, 3] {
         assert!(replica(&sim, r).view() >= 1);
         assert!(replica(&sim, r).stats().elections >= 1);
@@ -152,18 +167,25 @@ fn mid_run_leader_crash_preserves_state() {
     sim.run_until_deliveries(total);
     assert_eq!(sim.deliveries().len(), total);
     for i in 0..6u64 {
-        assert!(replica(&sim, 1).app().get(Key(i)).is_some(), "write {i} lost");
+        assert!(
+            replica(&sim, 1).app().get(Key(i)).is_some(),
+            "write {i} lost"
+        );
     }
 }
 
 #[test]
 fn deterministic_runs() {
     let run = |seed| {
-        let clients =
-            (0..2u64).map(|c| (c, c as usize, (0..3).map(|i| put(c, i)).collect())).collect();
+        let clients = (0..2u64)
+            .map(|c| (c, c as usize, (0..3).map(|i| put(c, i)).collect()))
+            .collect();
         let (mut sim, total) = build(0, clients, seed);
         sim.run_until_deliveries(total);
-        sim.deliveries().iter().map(|d| d.at.as_micros()).collect::<Vec<_>>()
+        sim.deliveries()
+            .iter()
+            .map(|d| d.at.as_micros())
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(8), run(8));
 }

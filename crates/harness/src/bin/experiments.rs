@@ -18,17 +18,32 @@ fn run_one(target: &str, quick: bool) -> bool {
         "fig5a" => println!("{}", experiments::fig5a(reqs).render()),
         "fig5b" => println!("{}", experiments::fig5b(reqs).render()),
         "fig6" => {
-            let counts: &[usize] = if quick { &[1, 20, 60] } else { &[1, 5, 10, 20, 50, 100] };
-            println!("{}", experiments::fig6(counts, if quick { 4 } else { 10 }).render());
+            let counts: &[usize] = if quick {
+                &[1, 20, 60]
+            } else {
+                &[1, 5, 10, 20, 50, 100]
+            };
+            println!(
+                "{}",
+                experiments::fig6(counts, if quick { 4 } else { 10 }).render()
+            );
         }
         "fig7" => {
             let budget = Micros::from_secs(if quick { 20 } else { 60 });
-            println!("{}", experiments::fig7(if quick { 120 } else { 240 }, budget).render());
+            println!(
+                "{}",
+                experiments::fig7(if quick { 120 } else { 240 }, budget).render()
+            );
         }
         "table2" => println!("{}", experiments::table2().render()),
-        "ablation" => println!("{}", experiments::ablation(if quick { 6 } else { 20 }).render()),
+        "ablation" => println!(
+            "{}",
+            experiments::ablation(if quick { 6 } else { 20 }).render()
+        ),
         "all" => {
-            for t in ["table1", "fig4", "fig5a", "fig5b", "fig6", "fig7", "table2", "ablation"] {
+            for t in [
+                "table1", "fig4", "fig5a", "fig5b", "fig6", "fig7", "table2", "ablation",
+            ] {
                 run_one(t, quick);
             }
         }
@@ -51,7 +66,11 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
-    let targets = if targets.is_empty() { vec!["all"] } else { targets };
+    let targets = if targets.is_empty() {
+        vec!["all"]
+    } else {
+        targets
+    };
     for target in targets {
         if !run_one(target, quick) {
             std::process::exit(2);

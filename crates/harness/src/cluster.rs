@@ -146,6 +146,8 @@ pub struct ClusterBuilder {
     seed: u64,
     crypto: CryptoKind,
     time_limit: Option<Micros>,
+    batch_size: usize,
+    batch_delay: Micros,
 }
 
 impl ClusterBuilder {
@@ -165,6 +167,8 @@ impl ClusterBuilder {
             seed: 0xE2BF,
             crypto: CryptoKind::Null,
             time_limit: None,
+            batch_size: 1,
+            batch_delay: Micros::ZERO,
         }
     }
 
@@ -224,6 +228,25 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sets the ezBFT SPECORDER batch size (ignored by the baselines);
+    /// 1 reproduces the paper's unbatched protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "batch_size must be at least 1");
+        self.batch_size = n;
+        self
+    }
+
+    /// Sets how long an ezBFT command-leader holds an under-full batch
+    /// open before flushing it (ignored when the batch size is 1).
+    pub fn batch_delay(mut self, delay: Micros) -> Self {
+        self.batch_delay = delay;
+        self
+    }
+
     /// Runs the deployment to completion and collects the report.
     ///
     /// # Panics
@@ -242,7 +265,12 @@ impl ClusterBuilder {
     fn run_family<F: ProtocolFamily>(self) -> RunReport {
         let cluster = ClusterConfig::try_for_replicas(self.topology.len())
             .expect("topology region count must be 3f + 1");
-        let setup = Setup { cluster, primary: self.primary };
+        let setup = Setup {
+            cluster,
+            primary: self.primary,
+            batch_size: self.batch_size,
+            batch_delay: self.batch_delay,
+        };
 
         // Enumerate nodes: replicas then clients (region-major).
         let mut node_ids: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
@@ -276,15 +304,17 @@ impl ClusterBuilder {
             sim.add_node(Region(i), replica);
         }
         let wl_cfg = WorkloadConfig::with_contention_pct(self.contention_pct);
-        for (((id, region), keys), idx) in
-            client_specs.iter().zip(client_stores).zip(0u64..)
-        {
+        for (((id, region), keys), idx) in client_specs.iter().zip(client_stores).zip(0u64..) {
             let nearest = ReplicaId::new(*region as u8);
             let inner = F::client(setup, *id, keys, nearest);
             let workload = Workload::new(wl_cfg, idx, self.seed);
             sim.add_node(
                 Region(*region),
-                Box::new(DrivenClient { inner, workload, remaining: self.requests_per_client }),
+                Box::new(DrivenClient {
+                    inner,
+                    workload,
+                    remaining: self.requests_per_client,
+                }),
             );
         }
 
@@ -301,15 +331,16 @@ impl ClusterBuilder {
         // Latency per region: closed-loop clients resubmit at the instant
         // of delivery, so per-request latency is the gap between a client's
         // consecutive completions (the first counts from time zero).
-        let mut per_region: Vec<Histogram> =
-            vec![Histogram::new(); self.topology.len()];
+        let mut per_region: Vec<Histogram> = vec![Histogram::new(); self.topology.len()];
         let mut last_completion: HashMap<NodeId, Micros> = HashMap::new();
         let mut completions = Vec::with_capacity(sim.deliveries().len());
         let mut fast = 0u64;
         let mut slow = 0u64;
         for d in sim.deliveries() {
             let region = client_regions[&d.client];
-            let prev = last_completion.insert(d.client, d.at).unwrap_or(Micros::ZERO);
+            let prev = last_completion
+                .insert(d.client, d.at)
+                .unwrap_or(Micros::ZERO);
             per_region[region].record(d.at.saturating_sub(prev));
             completions.push(d.at);
             if d.delivery.fast_path {
@@ -322,7 +353,11 @@ impl ClusterBuilder {
         RunReport {
             protocol: F::NAME,
             per_region,
-            region_names: self.topology.regions().map(|r| self.topology.name(r)).collect(),
+            region_names: self
+                .topology
+                .regions()
+                .map(|r| self.topology.name(r))
+                .collect(),
             fast,
             slow,
             duration: sim.now(),
@@ -367,7 +402,46 @@ mod tests {
             .contention_pct(100)
             .run();
         assert_eq!(report.completed(), 32);
-        assert!(report.fast_fraction() < 0.5, "θ=100% must mostly take the slow path");
+        assert!(
+            report.fast_fraction() < 0.5,
+            "θ=100% must mostly take the slow path"
+        );
+    }
+
+    #[test]
+    fn batching_increases_follower_bound_throughput() {
+        // A follower/commit-bound cost profile (cheap admission, pricey
+        // ordering-message processing): batching amortises the SPECORDER
+        // per-message cost across the batch, so simulated throughput at
+        // batch=8 must clearly beat batch=1 on the identical workload.
+        let run = |batch: usize| {
+            ClusterBuilder::new(ProtocolKind::EzBft)
+                // LAN topology: propagation is negligible, so the servers'
+                // service times are the bottleneck the cost model charges.
+                .topology(Topology::lan(4))
+                .clients_per_region(&[6, 6, 6, 6])
+                .requests_per_client(100_000)
+                .cost_model(CostParams {
+                    order_us: 300,
+                    follow_us: 300,
+                    commit_us: 60,
+                    other_us: 80,
+                })
+                .batch_size(batch)
+                .batch_delay(Micros::from_millis(1))
+                .time_limit(Micros::from_secs(3))
+                .seed(11)
+                .run()
+        };
+        let unbatched = run(1);
+        let batched = run(8);
+        assert!(batched.completed() > 0 && unbatched.completed() > 0);
+        assert!(
+            batched.throughput() > unbatched.throughput() * 1.2,
+            "batch=8 at {:.0} ops/s must beat batch=1 at {:.0} ops/s",
+            batched.throughput(),
+            unbatched.throughput()
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ pub struct CostParams {
 
 impl Default for CostParams {
     fn default() -> Self {
-        CostParams { order_us: 2_600, follow_us: 120, commit_us: 60, other_us: 80 }
+        CostParams {
+            order_us: 2_600,
+            follow_us: 120,
+            commit_us: 60,
+            other_us: 80,
+        }
     }
 }
 
@@ -81,7 +86,12 @@ mod tests {
 
     #[test]
     fn buckets_map_to_configured_costs() {
-        let p = CostParams { order_us: 100, follow_us: 20, commit_us: 10, other_us: 5 };
+        let p = CostParams {
+            order_us: 100,
+            follow_us: 20,
+            commit_us: 10,
+            other_us: 5,
+        };
         assert_eq!(p.classify(CostBucket::Order), Micros(100));
         assert_eq!(p.classify(CostBucket::Follow), Micros(20));
         assert_eq!(p.classify(CostBucket::Commit), Micros(10));

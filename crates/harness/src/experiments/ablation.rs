@@ -117,10 +117,18 @@ fn run_arm(label: &'static str, ops_per_client: usize, commuting: bool) -> Ablat
     }
     let mut stores = KeyStore::cluster(CryptoKind::Null, b"ablation", &nodes);
     let client_stores = stores.split_off(cluster.n());
-    let mut sim: SimNet<KvMsg, KvResponse> =
-        SimNet::new(Topology::exp1(), SimConfig { seed: 77, ..Default::default() });
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(
+        Topology::exp1(),
+        SimConfig {
+            seed: 77,
+            ..Default::default()
+        },
+    );
     for (i, rid) in cluster.replicas().enumerate() {
-        sim.add_node(Region(i), Box::new(Replica::new(rid, cfg, stores.remove(0), KvStore::new())));
+        sim.add_node(
+            Region(i),
+            Box::new(Replica::new(rid, cfg, stores.remove(0), KvStore::new())),
+        );
     }
     for (c, keys) in (0..4u64).zip(client_stores) {
         let script: VecDeque<KvOp> = (0..ops_per_client)
@@ -133,7 +141,13 @@ fn run_arm(label: &'static str, ops_per_client: usize, commuting: bool) -> Ablat
             })
             .collect();
         let client = Client::new(ClientId::new(c), cfg, keys, ReplicaId::new(c as u8));
-        sim.add_node(Region(c as usize), Box::new(ScriptedClient { inner: client, script }));
+        sim.add_node(
+            Region(c as usize),
+            Box::new(ScriptedClient {
+                inner: client,
+                script,
+            }),
+        );
     }
     let total = 4 * ops_per_client;
     sim.run_until_deliveries(total);
@@ -143,7 +157,9 @@ fn run_arm(label: &'static str, ops_per_client: usize, commuting: bool) -> Ablat
         std::collections::HashMap::new();
     let mut fast = 0usize;
     for d in sim.deliveries() {
-        let prev = last.insert(d.client, d.at).unwrap_or(ezbft_smr::Micros::ZERO);
+        let prev = last
+            .insert(d.client, d.at)
+            .unwrap_or(ezbft_smr::Micros::ZERO);
         latency.record(d.at.saturating_sub(prev));
         if d.delivery.fast_path {
             fast += 1;

@@ -129,8 +129,7 @@ mod tests {
             );
         }
         // In non-primary regions ezBFT wins clearly (paper: up to 40%).
-        let japan_gain =
-            1.0 - ez0.latency_ms[1] / zyzzyva.latency_ms[1];
+        let japan_gain = 1.0 - ez0.latency_ms[1] / zyzzyva.latency_ms[1];
         assert!(
             japan_gain > 0.2,
             "Japan should gain >20% over Zyzzyva, got {:.0}%",

@@ -25,7 +25,11 @@ pub struct Fig5aReport {
 impl Fig5aReport {
     /// Renders the figure's data.
     pub fn render(&self) -> String {
-        render_series("Figure 5a: Experiment 2 mean latency (ms), primary = Ireland", &self.regions, &self.series)
+        render_series(
+            "Figure 5a: Experiment 2 mean latency (ms), primary = Ireland",
+            &self.regions,
+            &self.series,
+        )
     }
 
     /// Looks up a series by label.
@@ -94,7 +98,10 @@ pub fn fig5a(requests_per_client: usize) -> Fig5aReport {
     let topology = Topology::exp2();
     let regions: Vec<&'static str> = topology.regions().map(|r| topology.name(r)).collect();
     let n = regions.len();
-    let ireland = topology.region_named("Ireland").expect("exp2 has Ireland").index();
+    let ireland = topology
+        .region_named("Ireland")
+        .expect("exp2 has Ireland")
+        .index();
     let mut series = Vec::new();
     for (kind, label) in [
         (ProtocolKind::Pbft, "PBFT (Ireland)"),
@@ -179,6 +186,11 @@ mod tests {
         let report = fig5b(5);
         let gain = report.max_gain_over_zyzzyva();
         // Paper: "up to 45% lower". Require a substantial gain.
-        assert!(gain > 0.35, "expected ≥35% max gain, got {:.0}%\n{}", gain * 100.0, report.render());
+        assert!(
+            gain > 0.35,
+            "expected ≥35% max gain, got {:.0}%\n{}",
+            gain * 100.0,
+            report.render()
+        );
     }
 }

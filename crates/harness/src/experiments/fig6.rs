@@ -71,12 +71,24 @@ pub fn fig6(client_counts: &[usize], requests_per_client: usize) -> Fig6Report {
     // primary saturation, and a larger per-request cost moves the knee to
     // client counts that simulate quickly (the paper's knee sits near 100
     // clients/region on 2019 hardware; ours sits near 40-50).
-    let cost = CostParams { order_us: 3_600, ..CostParams::default() };
+    let cost = CostParams {
+        order_us: 3_600,
+        ..CostParams::default()
+    };
 
     let mut surfaces = vec![
-        Surface { label: "Zyzzyva".into(), latency_ms: Vec::new() },
-        Surface { label: "ezBFT-0".into(), latency_ms: Vec::new() },
-        Surface { label: "ezBFT-50".into(), latency_ms: Vec::new() },
+        Surface {
+            label: "Zyzzyva".into(),
+            latency_ms: Vec::new(),
+        },
+        Surface {
+            label: "ezBFT-0".into(),
+            latency_ms: Vec::new(),
+        },
+        Surface {
+            label: "ezBFT-50".into(),
+            latency_ms: Vec::new(),
+        },
     ];
 
     for &count in client_counts {
@@ -107,7 +119,11 @@ pub fn fig6(client_counts: &[usize], requests_per_client: usize) -> Fig6Report {
         }
     }
 
-    Fig6Report { client_counts: client_counts.to_vec(), regions, surfaces }
+    Fig6Report {
+        client_counts: client_counts.to_vec(),
+        regions,
+        surfaces,
+    }
 }
 
 #[cfg(test)]

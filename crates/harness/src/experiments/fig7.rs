@@ -41,7 +41,10 @@ impl Fig7Report {
         for bar in &self.bars {
             t.row(vec![bar.label.clone(), format!("{:.0}", bar.ops_per_sec)]);
         }
-        format!("Figure 7: peak throughput (no batching, θ = 0%)\n{}", t.render())
+        format!(
+            "Figure 7: peak throughput (no batching, θ = 0%)\n{}",
+            t.render()
+        )
     }
 
     /// Looks up a bar by label.
@@ -73,7 +76,10 @@ pub fn fig7(virtual_clients: usize, budget: Micros) -> Fig7Report {
             .time_limit(budget)
             .seed(70)
             .run();
-        bars.push(Bar { label: label.to_string(), ops_per_sec: report.throughput() });
+        bars.push(Bar {
+            label: label.to_string(),
+            ops_per_sec: report.throughput(),
+        });
     }
 
     // ezBFT with clients in every region: all replicas lead. Each region
@@ -115,9 +121,15 @@ mod tests {
         assert!(pbft > 50.0, "PBFT throughput sanity: {pbft:.0}");
         // Paper ordering: PBFT lowest; Zyzzyva above FaB; ezBFT at par or
         // slightly better than the others with US-only clients.
-        assert!(zyz > pbft, "Zyzzyva ({zyz:.0}) should beat PBFT ({pbft:.0})");
+        assert!(
+            zyz > pbft,
+            "Zyzzyva ({zyz:.0}) should beat PBFT ({pbft:.0})"
+        );
         assert!(fab > pbft, "FaB ({fab:.0}) should beat PBFT ({pbft:.0})");
-        assert!(ez > 0.9 * zyz, "ezBFT ({ez:.0}) at par with Zyzzyva ({zyz:.0})");
+        assert!(
+            ez > 0.9 * zyz,
+            "ezBFT ({ez:.0}) at par with Zyzzyva ({zyz:.0})"
+        );
         // The headline: spreading clients multiplies ezBFT's throughput
         // (paper: "as much as four times"; our recv-only cost model yields
         // ≈3×, see EXPERIMENTS.md).

@@ -31,7 +31,10 @@ impl Table1Report {
             cells.extend(row.iter().map(|v| ms(*v)));
             t.row(cells);
         }
-        format!("Table I: Zyzzyva latency (ms) vs primary placement\n{}", t.render())
+        format!(
+            "Table I: Zyzzyva latency (ms) vs primary placement\n{}",
+            t.render()
+        )
     }
 
     /// The paper's headline property: the per-column minimum sits on the
@@ -72,7 +75,11 @@ mod tests {
     #[test]
     fn diagonal_dominates_as_in_the_paper() {
         let report = table1(3);
-        assert!(report.diagonal_is_columnwise_minimum(), "{}", report.render());
+        assert!(
+            report.diagonal_is_columnwise_minimum(),
+            "{}",
+            report.render()
+        );
     }
 
     #[test]

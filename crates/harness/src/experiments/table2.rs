@@ -59,7 +59,7 @@ pub mod ezbft_properties {
     /// Extra steps on the slow path.
     pub const SLOW_PATH_EXTRA_STEPS: u32 = 2;
     /// Leadership structure.
-    pub const LEADER: &'static str = "leaderless";
+    pub const LEADER: &str = "leaderless";
 }
 
 /// Builds Table II.

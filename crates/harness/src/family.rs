@@ -16,6 +16,10 @@ pub struct Setup {
     pub cluster: ClusterConfig,
     /// Primary/leader of view 0 (ignored by the leaderless family).
     pub primary: ReplicaId,
+    /// SPECORDER batch size (ezBFT only; 1 = the paper's unbatched mode).
+    pub batch_size: usize,
+    /// How long an ezBFT command-leader holds an under-full batch open.
+    pub batch_delay: Micros,
 }
 
 /// Object-safe client interface used by the workload driver.
@@ -55,8 +59,12 @@ pub trait ProtocolFamily: 'static {
 
     /// Builds a client node; `nearest` is the replica co-located with the
     /// client (used by the leaderless family).
-    fn client(setup: Setup, id: ClientId, keys: KeyStore, nearest: ReplicaId)
-        -> Box<dyn DynClient<Self::Msg>>;
+    fn client(
+        setup: Setup,
+        id: ClientId,
+        keys: KeyStore,
+        nearest: ReplicaId,
+    ) -> Box<dyn DynClient<Self::Msg>>;
 
     /// Classifies a message for the cost model.
     fn cost_bucket(msg: &Self::Msg) -> CostBucket;
@@ -80,7 +88,8 @@ impl ProtocolFamily for EzBftFamily {
         id: ReplicaId,
         keys: KeyStore,
     ) -> Box<dyn ProtocolNode<Message = Self::Msg, Response = KvResponse>> {
-        let cfg = ezbft_core::EzConfig::new(setup.cluster);
+        let cfg = ezbft_core::EzConfig::new(setup.cluster)
+            .with_batching(setup.batch_size, setup.batch_delay);
         Box::new(ezbft_core::Replica::new(id, cfg, keys, KvStore::new()))
     }
 
@@ -90,8 +99,11 @@ impl ProtocolFamily for EzBftFamily {
         keys: KeyStore,
         nearest: ReplicaId,
     ) -> Box<dyn DynClient<Self::Msg>> {
-        let cfg = ezbft_core::EzConfig::new(setup.cluster);
-        Box::new(ezbft_core::Client::<KvOp, KvResponse>::new(id, cfg, keys, nearest))
+        let cfg = ezbft_core::EzConfig::new(setup.cluster)
+            .with_batching(setup.batch_size, setup.batch_delay);
+        Box::new(ezbft_core::Client::<KvOp, KvResponse>::new(
+            id, cfg, keys, nearest,
+        ))
     }
 
     fn cost_bucket(msg: &Self::Msg) -> CostBucket {
@@ -130,7 +142,9 @@ impl ProtocolFamily for PbftFamily {
         _nearest: ReplicaId,
     ) -> Box<dyn DynClient<Self::Msg>> {
         let cfg = ezbft_pbft::PbftConfig::new(setup.cluster, setup.primary);
-        Box::new(ezbft_pbft::PbftClient::<KvOp, KvResponse>::new(id, cfg, keys))
+        Box::new(ezbft_pbft::PbftClient::<KvOp, KvResponse>::new(
+            id, cfg, keys,
+        ))
     }
 
     fn cost_bucket(msg: &Self::Msg) -> CostBucket {
@@ -159,7 +173,12 @@ impl ProtocolFamily for ZyzzyvaFamily {
         keys: KeyStore,
     ) -> Box<dyn ProtocolNode<Message = Self::Msg, Response = KvResponse>> {
         let cfg = ezbft_zyzzyva::ZyzzyvaConfig::new(setup.cluster, setup.primary);
-        Box::new(ezbft_zyzzyva::ZyzzyvaReplica::new(id, cfg, keys, KvStore::new()))
+        Box::new(ezbft_zyzzyva::ZyzzyvaReplica::new(
+            id,
+            cfg,
+            keys,
+            KvStore::new(),
+        ))
     }
 
     fn client(
@@ -169,7 +188,9 @@ impl ProtocolFamily for ZyzzyvaFamily {
         _nearest: ReplicaId,
     ) -> Box<dyn DynClient<Self::Msg>> {
         let cfg = ezbft_zyzzyva::ZyzzyvaConfig::new(setup.cluster, setup.primary);
-        Box::new(ezbft_zyzzyva::ZyzzyvaClient::<KvOp, KvResponse>::new(id, cfg, keys))
+        Box::new(ezbft_zyzzyva::ZyzzyvaClient::<KvOp, KvResponse>::new(
+            id, cfg, keys,
+        ))
     }
 
     fn cost_bucket(msg: &Self::Msg) -> CostBucket {

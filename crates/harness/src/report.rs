@@ -12,7 +12,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header arity).
@@ -83,6 +86,6 @@ mod tests {
     #[test]
     fn ms_formats_one_decimal() {
         assert_eq!(ms(199.96), "200.0");
-        assert_eq!(ms(3.14), "3.1");
+        assert_eq!(ms(3.15), "3.1");
     }
 }

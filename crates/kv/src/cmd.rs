@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn writes_on_same_key_interfere() {
-        let a = KvOp::Put { key: Key(1), value: vec![1] };
+        let a = KvOp::Put {
+            key: Key(1),
+            value: vec![1],
+        };
         let b = KvOp::Get { key: Key(1) };
         let c = KvOp::Del { key: Key(1) };
         assert!(a.interferes(&b));
@@ -144,8 +147,14 @@ mod tests {
 
     #[test]
     fn different_keys_never_interfere() {
-        let a = KvOp::Put { key: Key(1), value: vec![] };
-        let b = KvOp::Put { key: Key(2), value: vec![] };
+        let a = KvOp::Put {
+            key: Key(1),
+            value: vec![],
+        };
+        let b = KvOp::Put {
+            key: Key(2),
+            value: vec![],
+        };
         assert!(!a.interferes(&b));
     }
 
@@ -162,7 +171,10 @@ mod tests {
     #[test]
     fn noop_is_inert() {
         let n = KvOp::Noop;
-        assert!(!n.interferes(&KvOp::Put { key: Key(1), value: vec![] }));
+        assert!(!n.interferes(&KvOp::Put {
+            key: Key(1),
+            value: vec![]
+        }));
         assert!(!n.interferes(&n.clone()));
         assert_eq!(n.key(), None);
         assert!(!n.is_write());
@@ -171,7 +183,12 @@ mod tests {
     #[test]
     fn key_and_is_write_projections() {
         assert_eq!(KvOp::Get { key: Key(9) }.key(), Some(Key(9)));
-        assert!(KvOp::Cas { key: Key(1), expect: None, new: vec![] }.is_write());
+        assert!(KvOp::Cas {
+            key: Key(1),
+            expect: None,
+            new: vec![]
+        }
+        .is_write());
         assert!(!KvOp::Get { key: Key(1) }.is_write());
         assert!(KvOp::Bump { key: Key(1), by: 1 }.is_write());
     }

@@ -32,7 +32,11 @@ impl SpecKvStore {
 
     /// Wraps an existing final state.
     pub fn from_store(store: KvStore) -> Self {
-        SpecKvStore { final_store: store, overlay: HashMap::new(), spec_log: Vec::new() }
+        SpecKvStore {
+            final_store: store,
+            overlay: HashMap::new(),
+            spec_log: Vec::new(),
+        }
     }
 
     /// Read-only access to the final state.
@@ -159,7 +163,13 @@ mod tests {
     #[test]
     fn spec_reads_see_spec_writes() {
         let mut s = SpecKvStore::new();
-        s.spec_apply(1, &KvOp::Put { key: Key(1), value: vec![7] });
+        s.spec_apply(
+            1,
+            &KvOp::Put {
+                key: Key(1),
+                value: vec![7],
+            },
+        );
         assert_eq!(
             s.spec_apply(2, &KvOp::Get { key: Key(1) }),
             KvResponse::Value(Some(vec![7]))
@@ -171,10 +181,22 @@ mod tests {
     #[test]
     fn in_order_finalisation_is_cheap_and_correct() {
         let mut s = SpecKvStore::new();
-        s.spec_apply(1, &KvOp::Put { key: Key(1), value: vec![1] });
+        s.spec_apply(
+            1,
+            &KvOp::Put {
+                key: Key(1),
+                value: vec![1],
+            },
+        );
         s.spec_apply(2, &KvOp::Incr { key: Key(2), by: 5 });
         assert_eq!(
-            s.final_apply(1, &KvOp::Put { key: Key(1), value: vec![1] }),
+            s.final_apply(
+                1,
+                &KvOp::Put {
+                    key: Key(1),
+                    value: vec![1]
+                }
+            ),
             KvResponse::Ok
         );
         assert_eq!(
@@ -189,10 +211,22 @@ mod tests {
     fn out_of_order_finalisation_rebuilds() {
         let mut s = SpecKvStore::new();
         s.spec_apply(1, &KvOp::Incr { key: Key(1), by: 1 }); // spec: 1
-        s.spec_apply(2, &KvOp::Incr { key: Key(1), by: 10 }); // spec: 11
-        // Final order is 2 then 1.
+        s.spec_apply(
+            2,
+            &KvOp::Incr {
+                key: Key(1),
+                by: 10,
+            },
+        ); // spec: 11
+           // Final order is 2 then 1.
         assert_eq!(
-            s.final_apply(2, &KvOp::Incr { key: Key(1), by: 10 }),
+            s.final_apply(
+                2,
+                &KvOp::Incr {
+                    key: Key(1),
+                    by: 10
+                }
+            ),
             KvResponse::Counter(10)
         );
         // Speculative view = final(10) + replay of tag 1 → 11.
@@ -206,8 +240,20 @@ mod tests {
     #[test]
     fn invalidate_discards_spec_effects() {
         let mut s = SpecKvStore::new();
-        s.spec_apply(1, &KvOp::Put { key: Key(1), value: vec![1] });
-        s.spec_apply(2, &KvOp::Put { key: Key(2), value: vec![2] });
+        s.spec_apply(
+            1,
+            &KvOp::Put {
+                key: Key(1),
+                value: vec![1],
+            },
+        );
+        s.spec_apply(
+            2,
+            &KvOp::Put {
+                key: Key(2),
+                value: vec![2],
+            },
+        );
         s.invalidate(1);
         assert_eq!(s.spec_get(Key(1)), None);
         assert_eq!(s.spec_get(Key(2)), Some(vec![2]));
@@ -219,7 +265,10 @@ mod tests {
     #[test]
     fn spec_delete_shadows_final_value() {
         let mut base = KvStore::new();
-        base.apply(&KvOp::Put { key: Key(1), value: vec![9] });
+        base.apply(&KvOp::Put {
+            key: Key(1),
+            value: vec![9],
+        });
         let mut s = SpecKvStore::from_store(base);
         assert_eq!(
             s.spec_apply(1, &KvOp::Del { key: Key(1) }),

@@ -109,7 +109,10 @@ mod tests {
         let mut s = KvStore::new();
         assert_eq!(s.apply(&KvOp::Get { key: Key(1) }), KvResponse::Value(None));
         assert_eq!(
-            s.apply(&KvOp::Put { key: Key(1), value: vec![9] }),
+            s.apply(&KvOp::Put {
+                key: Key(1),
+                value: vec![9]
+            }),
             KvResponse::Ok
         );
         assert_eq!(
@@ -130,18 +133,30 @@ mod tests {
         let mut s = KvStore::new();
         // CAS on absent key with expect=None succeeds.
         assert_eq!(
-            s.apply(&KvOp::Cas { key: Key(1), expect: None, new: vec![1] }),
+            s.apply(&KvOp::Cas {
+                key: Key(1),
+                expect: None,
+                new: vec![1]
+            }),
             KvResponse::Swapped(true)
         );
         // Wrong expectation fails and leaves state unchanged.
         assert_eq!(
-            s.apply(&KvOp::Cas { key: Key(1), expect: Some(vec![2]), new: vec![3] }),
+            s.apply(&KvOp::Cas {
+                key: Key(1),
+                expect: Some(vec![2]),
+                new: vec![3]
+            }),
             KvResponse::Swapped(false)
         );
         assert_eq!(s.get(Key(1)), Some(&vec![1]));
         // Right expectation succeeds.
         assert_eq!(
-            s.apply(&KvOp::Cas { key: Key(1), expect: Some(vec![1]), new: vec![3] }),
+            s.apply(&KvOp::Cas {
+                key: Key(1),
+                expect: Some(vec![1]),
+                new: vec![3]
+            }),
             KvResponse::Swapped(true)
         );
         assert_eq!(s.get(Key(1)), Some(&vec![3]));
@@ -150,18 +165,33 @@ mod tests {
     #[test]
     fn incr_and_bump() {
         let mut s = KvStore::new();
-        assert_eq!(s.apply(&KvOp::Incr { key: Key(7), by: 5 }), KvResponse::Counter(5));
-        assert_eq!(s.apply(&KvOp::Incr { key: Key(7), by: 3 }), KvResponse::Counter(8));
+        assert_eq!(
+            s.apply(&KvOp::Incr { key: Key(7), by: 5 }),
+            KvResponse::Counter(5)
+        );
+        assert_eq!(
+            s.apply(&KvOp::Incr { key: Key(7), by: 3 }),
+            KvResponse::Counter(8)
+        );
         assert_eq!(s.apply(&KvOp::Bump { key: Key(7), by: 2 }), KvResponse::Ok);
-        assert_eq!(s.apply(&KvOp::Incr { key: Key(7), by: 0 }), KvResponse::Counter(10));
+        assert_eq!(
+            s.apply(&KvOp::Incr { key: Key(7), by: 0 }),
+            KvResponse::Counter(10)
+        );
     }
 
     #[test]
     fn incr_on_non_numeric_value_uses_le_prefix() {
         let mut s = KvStore::new();
-        s.apply(&KvOp::Put { key: Key(1), value: vec![1, 0, 0, 0, 0, 0, 0, 0, 99] });
+        s.apply(&KvOp::Put {
+            key: Key(1),
+            value: vec![1, 0, 0, 0, 0, 0, 0, 0, 99],
+        });
         // Only the first 8 bytes are interpreted.
-        assert_eq!(s.apply(&KvOp::Incr { key: Key(1), by: 1 }), KvResponse::Counter(2));
+        assert_eq!(
+            s.apply(&KvOp::Incr { key: Key(1), by: 1 }),
+            KvResponse::Counter(2)
+        );
     }
 
     #[test]
@@ -169,15 +199,30 @@ mod tests {
         let mut a = KvStore::new();
         let mut b = KvStore::new();
         assert_eq!(a.fingerprint(), b.fingerprint());
-        a.apply(&KvOp::Put { key: Key(1), value: vec![1] });
+        a.apply(&KvOp::Put {
+            key: Key(1),
+            value: vec![1],
+        });
         assert_ne!(a.fingerprint(), b.fingerprint());
-        b.apply(&KvOp::Put { key: Key(1), value: vec![1] });
+        b.apply(&KvOp::Put {
+            key: Key(1),
+            value: vec![1],
+        });
         assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
     fn bump_order_does_not_matter() {
-        let ops = [KvOp::Bump { key: Key(1), by: 10 }, KvOp::Bump { key: Key(1), by: 32 }];
+        let ops = [
+            KvOp::Bump {
+                key: Key(1),
+                by: 10,
+            },
+            KvOp::Bump {
+                key: Key(1),
+                by: 32,
+            },
+        ];
         let mut fwd = KvStore::new();
         fwd.apply(&ops[0]);
         fwd.apply(&ops[1]);
@@ -189,13 +234,22 @@ mod tests {
 
     #[test]
     fn incr_order_matters_for_responses() {
-        let ops = [KvOp::Incr { key: Key(1), by: 10 }, KvOp::Incr { key: Key(1), by: 32 }];
+        let ops = [
+            KvOp::Incr {
+                key: Key(1),
+                by: 10,
+            },
+            KvOp::Incr {
+                key: Key(1),
+                by: 32,
+            },
+        ];
         let mut fwd = KvStore::new();
         let r1 = fwd.apply(&ops[0]);
         let mut rev = KvStore::new();
         rev.apply(&ops[1]);
         let r2 = rev.apply(&ops[0]);
         assert_ne!(r1, r2); // 10 vs 42: responses diverge with order
-        assert_eq!(fwd.get(Key(1)).is_some(), true);
+        assert!(fwd.get(Key(1)).is_some());
     }
 }

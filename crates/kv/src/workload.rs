@@ -26,7 +26,12 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { contention: 0.0, private_keys: 64, value_size: 16, read_fraction: 0.0 }
+        WorkloadConfig {
+            contention: 0.0,
+            private_keys: 64,
+            value_size: 16,
+            read_fraction: 0.0,
+        }
     }
 }
 
@@ -34,7 +39,10 @@ impl WorkloadConfig {
     /// A write-only workload at the given contention percentage (the
     /// paper's setup).
     pub fn with_contention_pct(pct: u32) -> Self {
-        WorkloadConfig { contention: f64::from(pct) / 100.0, ..Default::default() }
+        WorkloadConfig {
+            contention: f64::from(pct) / 100.0,
+            ..Default::default()
+        }
     }
 }
 
@@ -72,14 +80,20 @@ impl Workload {
         self.issued += 1;
         let contended = self.cfg.contention > 0.0 && self.rng.gen::<f64>() < self.cfg.contention;
         if contended {
-            return KvOp::Put { key: HOT_KEY, value: self.value() };
+            return KvOp::Put {
+                key: HOT_KEY,
+                value: self.value(),
+            };
         }
         let key = Key(self.client_index * self.cfg.private_keys.max(1)
             + self.rng.gen_range(0..self.cfg.private_keys.max(1)));
         if self.cfg.read_fraction > 0.0 && self.rng.gen::<f64>() < self.cfg.read_fraction {
             KvOp::Get { key }
         } else {
-            KvOp::Put { key, value: self.value() }
+            KvOp::Put {
+                key,
+                value: self.value(),
+            }
         }
     }
 
@@ -153,7 +167,10 @@ mod tests {
 
     #[test]
     fn value_size_respected() {
-        let cfg = WorkloadConfig { value_size: 16, ..Default::default() };
+        let cfg = WorkloadConfig {
+            value_size: 16,
+            ..Default::default()
+        };
         let mut w = Workload::new(cfg, 0, 1);
         for _ in 0..20 {
             if let KvOp::Put { value, .. } = w.next_op() {
@@ -164,7 +181,10 @@ mod tests {
 
     #[test]
     fn read_fraction_generates_gets() {
-        let cfg = WorkloadConfig { read_fraction: 1.0, ..Default::default() };
+        let cfg = WorkloadConfig {
+            read_fraction: 1.0,
+            ..Default::default()
+        };
         let mut w = Workload::new(cfg, 0, 1);
         for _ in 0..20 {
             assert!(matches!(w.next_op(), KvOp::Get { .. }));

@@ -4,7 +4,7 @@
 //! invalidation.
 
 use ezbft_kv::{Key, KvOp, KvStore, SpecKvStore};
-use ezbft_smr::{Application, CloneReplay};
+use ezbft_smr::CloneReplay;
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -25,8 +25,11 @@ fn op_strategy() -> impl Strategy<Value = KvOp> {
         key.clone().prop_map(|key| KvOp::Del { key }),
         (key.clone(), 1u64..10).prop_map(|(key, by)| KvOp::Incr { key, by }),
         (key.clone(), 1u64..10).prop_map(|(key, by)| KvOp::Bump { key, by }),
-        (key, proptest::option::of(proptest::collection::vec(any::<u8>(), 0..2)),
-         proptest::collection::vec(any::<u8>(), 0..2))
+        (
+            key,
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..2)),
+            proptest::collection::vec(any::<u8>(), 0..2)
+        )
             .prop_map(|(key, expect, new)| KvOp::Cas { key, expect, new }),
     ]
 }

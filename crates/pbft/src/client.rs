@@ -74,7 +74,9 @@ impl<C: Payload, R: Payload> PbftClient<C, R> {
     }
 
     fn on_reply(&mut self, reply: Reply<R>, out: &mut Actions<Msg<C, R>, R>) {
-        let Some(pending) = &mut self.pending else { return };
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
         if reply.client != self.id || reply.ts != pending.ts {
             return;
         }
@@ -106,10 +108,17 @@ impl<C: Payload, R: Payload> PbftClient<C, R> {
         let Some(pending) = &self.pending else { return };
         self.stats.retries += 1;
         let payload = Request::<C>::signed_payload(self.id, pending.ts, &pending.cmd);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let req = Request { client: self.id, ts: pending.ts, cmd: pending.cmd.clone(), sig };
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request {
+            client: self.id,
+            ts: pending.ts,
+            cmd: pending.cmd.clone(),
+            sig,
+        };
         let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
-        out.send_all(replicas, &Msg::RequestBroadcast(req));
+        out.broadcast(replicas, Msg::RequestBroadcast(req));
         out.set_timer(TimerId(TIMER_RETRY), self.cfg.retry_delay);
     }
 }
@@ -143,12 +152,23 @@ impl<C: Payload, R: Payload> ClientNode for PbftClient<C, R> {
         self.next_ts = self.next_ts.next();
         let ts = self.next_ts;
         let payload = Request::<C>::signed_payload(self.id, ts, &cmd);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let req = Request { client: self.id, ts, cmd: cmd.clone(), sig };
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request {
+            client: self.id,
+            ts,
+            cmd: cmd.clone(),
+            sig,
+        };
         let primary = self.cfg.primary(self.view);
         out.send(NodeId::Replica(primary), Msg::Request(req));
         out.set_timer(TimerId(TIMER_RETRY), self.cfg.retry_delay);
-        self.pending = Some(Pending { cmd, ts, replies: HashMap::new() });
+        self.pending = Some(Pending {
+            cmd,
+            ts,
+            replies: HashMap::new(),
+        });
     }
 
     fn in_flight(&self) -> bool {

@@ -256,9 +256,16 @@ mod tests {
             sender: ReplicaId::new(0),
             sig: Signature::Null,
         };
-        let b = Reply { view: 5, sender: ReplicaId::new(2), ..a.clone() };
+        let b = Reply {
+            view: 5,
+            sender: ReplicaId::new(2),
+            ..a.clone()
+        };
         assert_eq!(a.match_key(), b.match_key());
-        let c = Reply { response: 8, ..a.clone() };
+        let c = Reply {
+            response: 8,
+            ..a.clone()
+        };
         assert_ne!(a.match_key(), c.match_key());
     }
 

@@ -10,8 +10,8 @@ use ezbft_smr::{
 };
 
 use crate::msg::{
-    Checkpoint, Msg, NewView, PhaseVote, PrePrepare, PrePrepareBody, PreparedEntry, Reply,
-    Request, ViewChange,
+    Checkpoint, Msg, NewView, PhaseVote, PrePrepare, PrePrepareBody, PreparedEntry, Reply, Request,
+    ViewChange,
 };
 
 /// PBFT configuration.
@@ -212,7 +212,9 @@ impl<A: Application> PbftReplica<A> {
 
     fn verify_request(&mut self, req: &Request<A::Command>) -> bool {
         let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
-        self.keys.verify(NodeId::Client(req.client), &payload, &req.sig).is_ok()
+        self.keys
+            .verify(NodeId::Client(req.client), &payload, &req.sig)
+            .is_ok()
     }
 
     fn replica_audience(&self) -> Audience {
@@ -247,11 +249,17 @@ impl<A: Application> PbftReplica<A> {
 
         let n = self.next_n;
         self.next_n += 1;
-        let body = PrePrepareBody { view: self.view, n, req_digest: req.digest() };
-        let sig = self.keys.sign(&body.signed_payload(), &self.replica_audience());
+        let body = PrePrepareBody {
+            view: self.view,
+            n,
+            req_digest: req.digest(),
+        };
+        let sig = self
+            .keys
+            .sign(&body.signed_payload(), &self.replica_audience());
         let pp = PrePrepare { body, sig, req };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &Msg::PrePrepare(pp.clone()));
+        out.broadcast(peers, Msg::PrePrepare(pp.clone()));
         self.stats.ordered += 1;
         // The primary's pre-prepare doubles as its prepare.
         self.accept_pre_prepare(pp, out);
@@ -284,7 +292,13 @@ impl<A: Application> PbftReplica<A> {
         if !self.accuse_waits.contains_key(&key) {
             let id = self.next_timer;
             self.next_timer += 1;
-            self.timers.insert(id, Timer::Accuse { client: key.0, ts: key.1 });
+            self.timers.insert(
+                id,
+                Timer::Accuse {
+                    client: key.0,
+                    ts: key.1,
+                },
+            );
             self.accuse_waits.insert(key, id);
             out.set_timer(TimerId(id), self.cfg.accuse_timeout);
         }
@@ -334,7 +348,7 @@ impl<A: Application> PbftReplica<A> {
             sig,
         };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &Msg::Prepare(vote.clone()));
+        out.broadcast(peers, Msg::Prepare(vote.clone()));
         self.record_prepare(vote, out);
     }
 
@@ -362,7 +376,11 @@ impl<A: Application> PbftReplica<A> {
             return;
         }
         let payload = PhaseVote::signed_payload(b"prepare", vote.view, vote.n, vote.req_digest);
-        if self.keys.verify(NodeId::Replica(vote.sender), &payload, &vote.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Replica(vote.sender), &payload, &vote.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
@@ -374,7 +392,9 @@ impl<A: Application> PbftReplica<A> {
     fn check_prepared(&mut self, n: u64, out: &mut Out<A>) {
         let view = self.view;
         let needed = 2 * self.cfg.cluster.f();
-        let Some(slot) = self.slots.get_mut(&n) else { return };
+        let Some(slot) = self.slots.get_mut(&n) else {
+            return;
+        };
         let Some(pp) = &slot.pre_prepare else { return };
         if slot.prepared || slot.prepares.len() < needed {
             return;
@@ -385,9 +405,15 @@ impl<A: Application> PbftReplica<A> {
             slot.commit_sent = true;
             let payload = PhaseVote::signed_payload(b"commit", view, n, d);
             let sig = self.keys.sign(&payload, &self.replica_audience());
-            let vote = PhaseVote { view, n, req_digest: d, sender: self.id, sig };
+            let vote = PhaseVote {
+                view,
+                n,
+                req_digest: d,
+                sender: self.id,
+                sig,
+            };
             let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-            out.send_all(peers, &Msg::Commit(vote.clone()));
+            out.broadcast(peers, Msg::Commit(vote.clone()));
             self.record_commit(vote, out);
         }
     }
@@ -397,7 +423,11 @@ impl<A: Application> PbftReplica<A> {
             return;
         }
         let payload = PhaseVote::signed_payload(b"commit", vote.view, vote.n, vote.req_digest);
-        if self.keys.verify(NodeId::Replica(vote.sender), &payload, &vote.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Replica(vote.sender), &payload, &vote.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
@@ -450,7 +480,8 @@ impl<A: Application> PbftReplica<A> {
             }
             self.stats.executed += 1;
             if let Some(response) = response {
-                let payload = Reply::<A::Response>::signed_payload(self.view, client, ts, &response);
+                let payload =
+                    Reply::<A::Response>::signed_payload(self.view, client, ts, &response);
                 let sig = self
                     .keys
                     .sign(&payload, &Audience::nodes([NodeId::Client(client)]));
@@ -468,7 +499,7 @@ impl<A: Application> PbftReplica<A> {
                 out.send(NodeId::Client(client), Msg::Reply(reply));
             }
             // Periodic checkpoint.
-            if n % self.cfg.checkpoint_interval == 0 {
+            if n.is_multiple_of(self.cfg.checkpoint_interval) {
                 self.emit_checkpoint(n, out);
             }
         }
@@ -489,9 +520,14 @@ impl<A: Application> PbftReplica<A> {
         let d = self.state_digest(n);
         let payload = Checkpoint::signed_payload(n, d);
         let sig = self.keys.sign(&payload, &self.replica_audience());
-        let cp = Checkpoint { n, state_digest: d, sender: self.id, sig };
+        let cp = Checkpoint {
+            n,
+            state_digest: d,
+            sender: self.id,
+            sig,
+        };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &Msg::Checkpoint(cp.clone()));
+        out.broadcast(peers, Msg::Checkpoint(cp.clone()));
         self.record_checkpoint(cp);
     }
 
@@ -500,7 +536,11 @@ impl<A: Application> PbftReplica<A> {
             return;
         }
         let payload = Checkpoint::signed_payload(cp.n, cp.state_digest);
-        if self.keys.verify(NodeId::Replica(cp.sender), &payload, &cp.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Replica(cp.sender), &payload, &cp.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
@@ -508,7 +548,10 @@ impl<A: Application> PbftReplica<A> {
     }
 
     fn record_checkpoint(&mut self, cp: Checkpoint) {
-        let votes = self.checkpoint_votes.entry((cp.n, cp.state_digest)).or_default();
+        let votes = self
+            .checkpoint_votes
+            .entry((cp.n, cp.state_digest))
+            .or_default();
         votes.vote(cp.sender);
         if votes.reached(self.cfg.cluster.slow_quorum()) && cp.n > self.stable_n {
             self.stable_n = cp.n;
@@ -532,12 +575,18 @@ impl<A: Application> PbftReplica<A> {
         votes.vote(self.id);
         let payload = PhaseVote::signed_payload(b"accuse", view, 0, Digest::ZERO);
         let sig = self.keys.sign(&payload, &self.replica_audience());
-        let vote = PhaseVote { view, n: 0, req_digest: Digest::ZERO, sender: self.id, sig };
+        let vote = PhaseVote {
+            view,
+            n: 0,
+            req_digest: Digest::ZERO,
+            sender: self.id,
+            sig,
+        };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
         // Reuse the Prepare envelope shape via a dedicated variant? An
         // accusation is a Commit-shaped vote with n = 0 on the current
         // view; we give it its own meaning through the signed tag.
-        out.send_all(peers, &Msg::Commit(vote.clone()));
+        out.broadcast(peers, Msg::Commit(vote.clone()));
         self.on_accusation(vote, out);
     }
 
@@ -561,7 +610,11 @@ impl<A: Application> PbftReplica<A> {
             .values()
             .filter(|s| s.prepared)
             .filter_map(|s| s.pre_prepare.as_ref())
-            .map(|pp| PreparedEntry { body: pp.body.clone(), sig: pp.sig.clone(), req: pp.req.clone() })
+            .map(|pp| PreparedEntry {
+                body: pp.body.clone(),
+                sig: pp.sig.clone(),
+                req: pp.req.clone(),
+            })
             .collect();
         let payload = ViewChange::signed_payload(new_view, self.stable_n, &prepared);
         let sig = self.keys.sign(&payload, &self.replica_audience());
@@ -582,7 +635,9 @@ impl<A: Application> PbftReplica<A> {
 
     fn verify_view_change(&mut self, vc: &ViewChange<A::Command>) -> bool {
         let payload = ViewChange::signed_payload(vc.new_view, vc.stable_n, &vc.prepared);
-        self.keys.verify(NodeId::Replica(vc.sender), &payload, &vc.sig).is_ok()
+        self.keys
+            .verify(NodeId::Replica(vc.sender), &payload, &vc.sig)
+            .is_ok()
     }
 
     fn on_view_change(&mut self, vc: ViewChange<A::Command>, from: NodeId, out: &mut Out<A>) {
@@ -614,14 +669,26 @@ impl<A: Application> PbftReplica<A> {
                 n: i as u64 + 1,
                 req_digest: pe.req.digest(),
             };
-            let sig = self.keys.sign(&body.signed_payload(), &self.replica_audience());
-            pre_prepares.push(PrePrepare { body, sig, req: pe.req });
+            let sig = self
+                .keys
+                .sign(&body.signed_payload(), &self.replica_audience());
+            pre_prepares.push(PrePrepare {
+                body,
+                sig,
+                req: pe.req,
+            });
         }
         let payload = NewView::signed_payload(new_view, &pre_prepares);
         let sig = self.keys.sign(&payload, &self.replica_audience());
-        let nv = NewView { new_view, proof, pre_prepares, sender: self.id, sig };
+        let nv = NewView {
+            new_view,
+            proof,
+            pre_prepares,
+            sender: self.id,
+            sig,
+        };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &Msg::NewView(nv.clone()));
+        out.broadcast(peers, Msg::NewView(nv.clone()));
         self.install_new_view(nv, out);
     }
 
@@ -641,7 +708,11 @@ impl<A: Application> PbftReplica<A> {
             for pe in &vc.prepared {
                 let old_primary = cfg.primary(pe.body.view);
                 if keys
-                    .verify(NodeId::Replica(old_primary), &pe.body.signed_payload(), &pe.sig)
+                    .verify(
+                        NodeId::Replica(old_primary),
+                        &pe.body.signed_payload(),
+                        &pe.sig,
+                    )
                     .is_err()
                 {
                     continue;
@@ -667,7 +738,11 @@ impl<A: Application> PbftReplica<A> {
             return;
         }
         let payload = NewView::signed_payload(nv.new_view, &nv.pre_prepares);
-        if self.keys.verify(NodeId::Replica(nv.sender), &payload, &nv.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Replica(nv.sender), &payload, &nv.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
@@ -745,8 +820,7 @@ impl<A: Application> ProtocolNode for PbftReplica<A> {
                 }
                 // Accusations ride in Commit envelopes with n = 0.
                 if vote.n == 0 {
-                    let payload =
-                        PhaseVote::signed_payload(b"accuse", vote.view, 0, Digest::ZERO);
+                    let payload = PhaseVote::signed_payload(b"accuse", vote.view, 0, Digest::ZERO);
                     if self
                         .keys
                         .verify(NodeId::Replica(vote.sender), &payload, &vote.sig)
@@ -769,7 +843,9 @@ impl<A: Application> ProtocolNode for PbftReplica<A> {
     }
 
     fn on_timer(&mut self, id: TimerId, out: &mut Out<A>) {
-        let Some(timer) = self.timers.remove(&id.0) else { return };
+        let Some(timer) = self.timers.remove(&id.0) else {
+            return;
+        };
         match timer {
             Timer::Accuse { client, ts } => {
                 self.accuse_waits.remove(&(client, ts));

@@ -5,11 +5,10 @@ use std::collections::VecDeque;
 use ezbft_crypto::{CryptoKind, KeyStore};
 use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
 use ezbft_pbft::{Msg, PbftClient, PbftConfig, PbftReplica};
-use ezbft_smr::{
-    Actions, Application as _, ClientId, ClientNode, ClusterConfig, Micros, NodeId,
-    ProtocolNode, ReplicaId, TimerId,
-};
 use ezbft_simnet::{Region, SimConfig, SimNet, Topology};
+use ezbft_smr::{
+    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
+};
 
 type KvMsg = Msg<KvOp, KvResponse>;
 
@@ -63,8 +62,13 @@ fn build(
     }
     let mut stores = KeyStore::cluster(CryptoKind::Mac, b"pbft-sim", &nodes);
     let client_stores = stores.split_off(cluster.n());
-    let mut sim: SimNet<KvMsg, KvResponse> =
-        SimNet::new(Topology::exp1(), SimConfig { seed, ..Default::default() });
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(
+        Topology::exp1(),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     for (i, rid) in cluster.replicas().enumerate() {
         let replica = PbftReplica::new(rid, cfg, stores.remove(0), KvStore::new());
         sim.add_node(Region(i % 4), Box::new(replica));
@@ -75,17 +79,23 @@ fn build(
         let client = PbftClient::new(ClientId::new(id), cfg, keys);
         sim.add_node(
             Region(region),
-            Box::new(ScriptedClient { inner: client, script: script.into() }),
+            Box::new(ScriptedClient {
+                inner: client,
+                script: script.into(),
+            }),
         );
     }
     (sim, total)
 }
 
 fn put(c: u64, i: u64) -> KvOp {
-    KvOp::Put { key: Key(c * 100 + i), value: vec![i as u8; 16] }
+    KvOp::Put {
+        key: Key(c * 100 + i),
+        value: vec![i as u8; 16],
+    }
 }
 
-fn replica<'a>(sim: &'a SimNet<KvMsg, KvResponse>, r: u8) -> &'a PbftReplica<KvStore> {
+fn replica(sim: &SimNet<KvMsg, KvResponse>, r: u8) -> &PbftReplica<KvStore> {
     sim.inspect(NodeId::Replica(ReplicaId::new(r)))
         .unwrap()
         .downcast_ref::<PbftReplica<KvStore>>()
@@ -94,8 +104,9 @@ fn replica<'a>(sim: &'a SimNet<KvMsg, KvResponse>, r: u8) -> &'a PbftReplica<KvS
 
 #[test]
 fn fault_free_multi_client() {
-    let clients =
-        (0..4u64).map(|c| (c, c as usize, (0..4).map(|i| put(c, i)).collect())).collect();
+    let clients = (0..4u64)
+        .map(|c| (c, c as usize, (0..4).map(|i| put(c, i)).collect()))
+        .collect();
     let (mut sim, total) = build(0, 64, clients, 1);
     sim.run_until_deliveries(total);
     assert_eq!(sim.deliveries().len(), total);
@@ -103,7 +114,11 @@ fn fault_free_multi_client() {
     sim.run_until_time(deadline);
     let fp0 = replica(&sim, 0).app().fingerprint();
     for r in 1..4u8 {
-        assert_eq!(replica(&sim, r).app().fingerprint(), fp0, "replica {r} diverged");
+        assert_eq!(
+            replica(&sim, r).app().fingerprint(),
+            fp0,
+            "replica {r} diverged"
+        );
         assert_eq!(replica(&sim, r).executed_upto(), total as u64);
     }
 }
@@ -144,7 +159,10 @@ fn checkpointing_truncates_log() {
     sim.run_until_time(deadline);
     for r in 0..4u8 {
         let rep = replica(&sim, r);
-        assert!(rep.stats().checkpoints >= 1, "replica {r} never checkpointed");
+        assert!(
+            rep.stats().checkpoints >= 1,
+            "replica {r} never checkpointed"
+        );
         assert!(
             rep.live_slots() < 12,
             "replica {r} keeps {} slots despite checkpoints",
@@ -178,7 +196,10 @@ fn mid_run_primary_crash_preserves_state() {
     assert_eq!(replica(&sim, 2).app().fingerprint(), fp1);
     assert_eq!(replica(&sim, 3).app().fingerprint(), fp1);
     for i in 0..6u64 {
-        assert!(replica(&sim, 1).app().get(Key(i)).is_some(), "write {i} lost");
+        assert!(
+            replica(&sim, 1).app().get(Key(i)).is_some(),
+            "write {i} lost"
+        );
     }
 }
 

@@ -5,8 +5,7 @@ use ezbft_crypto::{Audience, CryptoKind, KeyStore, Signature};
 use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
 use ezbft_pbft::{Msg, PbftConfig, PbftReplica, PrePrepare, PrePrepareBody, Request};
 use ezbft_smr::{
-    Actions, Action, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
-    Timestamp,
+    Action, Actions, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, Timestamp,
 };
 
 type KvMsg = Msg<KvOp, KvResponse>;
@@ -36,7 +35,12 @@ fn fixture() -> Fixture {
         .replicas()
         .map(|rid| PbftReplica::new(rid, cfg, stores.remove(0), KvStore::new()))
         .collect();
-    Fixture { cfg, replicas, client_keys, primary_keys_copy }
+    Fixture {
+        cfg,
+        replicas,
+        client_keys,
+        primary_keys_copy,
+    }
 }
 
 fn out() -> Out {
@@ -46,49 +50,97 @@ fn out() -> Out {
 fn signed_request(fx: &mut Fixture, ts: u64, op: KvOp) -> Request<KvOp> {
     let client = ClientId::new(0);
     let payload = Request::signed_payload(client, Timestamp(ts), &op);
-    let sig = fx.client_keys.sign(&payload, &Audience::replicas(fx.cfg.cluster.n()));
-    Request { client, ts: Timestamp(ts), cmd: op, sig }
+    let sig = fx
+        .client_keys
+        .sign(&payload, &Audience::replicas(fx.cfg.cluster.n()));
+    Request {
+        client,
+        ts: Timestamp(ts),
+        cmd: op,
+        sig,
+    }
 }
 
 fn signed_pre_prepare(fx: &mut Fixture, n: u64, req: Request<KvOp>) -> PrePrepare<KvOp> {
-    let body = PrePrepareBody { view: 0, n, req_digest: req.digest() };
-    let sig = fx
-        .primary_keys_copy
-        .sign(&body.signed_payload(), &Audience::replicas(fx.cfg.cluster.n()));
+    let body = PrePrepareBody {
+        view: 0,
+        n,
+        req_digest: req.digest(),
+    };
+    let sig = fx.primary_keys_copy.sign(
+        &body.signed_payload(),
+        &Audience::replicas(fx.cfg.cluster.n()),
+    );
     PrePrepare { body, sig, req }
 }
 
 #[test]
 fn primary_equivocation_on_a_slot_is_rejected() {
     let mut fx = fixture();
-    let req_a = signed_request(&mut fx, 1, KvOp::Put { key: Key(1), value: vec![1] });
-    let req_b = signed_request(&mut fx, 2, KvOp::Put { key: Key(2), value: vec![2] });
+    let req_a = signed_request(
+        &mut fx,
+        1,
+        KvOp::Put {
+            key: Key(1),
+            value: vec![1],
+        },
+    );
+    let req_b = signed_request(
+        &mut fx,
+        2,
+        KvOp::Put {
+            key: Key(2),
+            value: vec![2],
+        },
+    );
     let pp_a = signed_pre_prepare(&mut fx, 1, req_a);
     let pp_b = signed_pre_prepare(&mut fx, 1, req_b); // same n, different digest
 
     let mut o = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::PrePrepare(pp_a), &mut o);
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::PrePrepare(pp_a),
+        &mut o,
+    );
     // The first pre-prepare triggers a PREPARE broadcast.
-    assert!(o
-        .as_slice()
-        .iter()
-        .any(|a| matches!(a, Action::Send { msg: Msg::Prepare(_), .. })));
+    assert!(o.as_slice().iter().any(|a| matches!(
+        a,
+        Action::Broadcast { msg, .. } if matches!(&**msg, Msg::Prepare(_))
+    )));
 
     let rejected_before = fx.replicas[1].stats().rejected;
     let mut o2 = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::PrePrepare(pp_b), &mut o2);
-    assert!(o2.is_empty(), "conflicting pre-prepare must produce no actions");
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::PrePrepare(pp_b),
+        &mut o2,
+    );
+    assert!(
+        o2.is_empty(),
+        "conflicting pre-prepare must produce no actions"
+    );
     assert_eq!(fx.replicas[1].stats().rejected, rejected_before + 1);
 }
 
 #[test]
 fn pre_prepare_from_non_primary_is_rejected() {
     let mut fx = fixture();
-    let req = signed_request(&mut fx, 1, KvOp::Put { key: Key(1), value: vec![1] });
+    let req = signed_request(
+        &mut fx,
+        1,
+        KvOp::Put {
+            key: Key(1),
+            value: vec![1],
+        },
+    );
     let pp = signed_pre_prepare(&mut fx, 1, req);
     let mut o = out();
     // Claimed sender is replica 2, not the view-0 primary.
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(2)), Msg::PrePrepare(pp), &mut o);
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(2)),
+        Msg::PrePrepare(pp),
+        &mut o,
+    );
     assert!(o.is_empty());
     assert!(fx.replicas[1].stats().rejected >= 1);
 }
@@ -99,7 +151,10 @@ fn unsigned_request_to_primary_is_rejected() {
     let req = Request {
         client: ClientId::new(0),
         ts: Timestamp(1),
-        cmd: KvOp::Put { key: Key(1), value: vec![1] },
+        cmd: KvOp::Put {
+            key: Key(1),
+            value: vec![1],
+        },
         sig: Signature::Null,
     };
     let mut o = out();
@@ -111,7 +166,14 @@ fn unsigned_request_to_primary_is_rejected() {
 #[test]
 fn duplicate_pre_prepare_is_idempotent() {
     let mut fx = fixture();
-    let req = signed_request(&mut fx, 1, KvOp::Put { key: Key(1), value: vec![1] });
+    let req = signed_request(
+        &mut fx,
+        1,
+        KvOp::Put {
+            key: Key(1),
+            value: vec![1],
+        },
+    );
     let pp = signed_pre_prepare(&mut fx, 1, req);
     let mut o = out();
     fx.replicas[1].on_message(
@@ -120,26 +182,40 @@ fn duplicate_pre_prepare_is_idempotent() {
         &mut o,
     );
     let mut o2 = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::PrePrepare(pp), &mut o2);
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::PrePrepare(pp),
+        &mut o2,
+    );
     // No second prepare broadcast for the same slot.
-    assert!(!o2
-        .as_slice()
-        .iter()
-        .any(|a| matches!(a, Action::Send { msg: Msg::Prepare(_), .. })));
+    assert!(!o2.as_slice().iter().any(|a| matches!(
+        a,
+        Action::Broadcast { msg, .. } if matches!(&**msg, Msg::Prepare(_))
+    )));
 }
 
 #[test]
 fn primary_orders_fresh_requests_in_sequence() {
     let mut fx = fixture();
     for ts in 1..=3u64 {
-        let req = signed_request(&mut fx, ts, KvOp::Put { key: Key(ts), value: vec![] });
+        let req = signed_request(
+            &mut fx,
+            ts,
+            KvOp::Put {
+                key: Key(ts),
+                value: vec![],
+            },
+        );
         let mut o = out();
         fx.replicas[0].on_message(NodeId::Client(ClientId::new(0)), Msg::Request(req), &mut o);
         let n = o
             .as_slice()
             .iter()
             .find_map(|a| match a {
-                Action::Send { msg: Msg::PrePrepare(pp), .. } => Some(pp.body.n),
+                Action::Broadcast { msg, .. } => match &**msg {
+                    Msg::PrePrepare(pp) => Some(pp.body.n),
+                    _ => None,
+                },
                 _ => None,
             })
             .expect("primary broadcasts a pre-prepare");

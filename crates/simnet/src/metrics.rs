@@ -53,8 +53,7 @@ impl Histogram {
             self.samples.sort_unstable();
             self.sorted = true;
         }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         Micros(self.samples[rank - 1])
     }
 
@@ -94,7 +93,9 @@ pub struct LatencyRecorder {
 impl LatencyRecorder {
     /// Creates a recorder with `groups` groups.
     pub fn new(groups: usize) -> Self {
-        LatencyRecorder { groups: vec![Histogram::new(); groups] }
+        LatencyRecorder {
+            groups: vec![Histogram::new(); groups],
+        }
     }
 
     /// Records a latency sample in `group`.

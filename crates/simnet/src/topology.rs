@@ -53,7 +53,12 @@ impl Topology {
             .into_iter()
             .map(|row| row.into_iter().map(|ms| ms * 1000).collect())
             .collect();
-        Topology { names, owd, local_us: 300, jitter_us: 500 }
+        Topology {
+            names,
+            owd,
+            local_us: 300,
+            jitter_us: 500,
+        }
     }
 
     /// Experiment 1 regions (paper §V-A): Virginia (US-East-1), Japan,
@@ -192,12 +197,7 @@ mod tests {
         let paper_ms = [198u64, 167, 229, 229];
         for (i, (ours, paper)) in expect_ms.iter().zip(paper_ms).enumerate() {
             let p = Region(i);
-            let analytic = t
-                .regions()
-                .map(|j| t.rtt(p, j).as_micros())
-                .max()
-                .unwrap()
-                / 1000;
+            let analytic = t.regions().map(|j| t.rtt(p, j).as_micros()).max().unwrap() / 1000;
             assert_eq!(analytic, *ours);
             // Within 10ms of the paper's measurement.
             assert!(
@@ -216,7 +216,10 @@ mod tests {
         let m = t.region_named("Mumbai").unwrap();
         let direct = t.owd(o, m).as_micros();
         let via = (t.owd(o, irl) + t.owd(irl, m)).as_micros();
-        assert!(direct.abs_diff(via) <= 15_000, "direct {direct} vs via {via}");
+        assert!(
+            direct.abs_diff(via) <= 15_000,
+            "direct {direct} vs via {via}"
+        );
     }
 
     #[test]

@@ -75,7 +75,11 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace retaining the last `capacity` events.
     pub fn new(capacity: usize) -> Self {
-        Trace { events: VecDeque::with_capacity(capacity.min(4096)), capacity, recorded: 0 }
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            recorded: 0,
+        }
     }
 
     /// Records an event, evicting the oldest if full.
@@ -147,8 +151,18 @@ mod tests {
     fn records_in_order() {
         let mut t = Trace::new(8);
         assert!(t.is_empty());
-        t.record(TraceEvent::Sent { at: Micros(1), from: node(0), to: node(1), kind: "a" });
-        t.record(TraceEvent::Delivered { at: Micros(2), from: node(0), to: node(1), kind: "a" });
+        t.record(TraceEvent::Sent {
+            at: Micros(1),
+            from: node(0),
+            to: node(1),
+            kind: "a",
+        });
+        t.record(TraceEvent::Delivered {
+            at: Micros(2),
+            from: node(0),
+            to: node(1),
+            kind: "a",
+        });
         assert_eq!(t.len(), 2);
         let times: Vec<u64> = t.events().map(|e| e.at().as_micros()).collect();
         assert_eq!(times, vec![1, 2]);
@@ -158,7 +172,10 @@ mod tests {
     fn ring_buffer_evicts_oldest() {
         let mut t = Trace::new(3);
         for i in 0..5u64 {
-            t.record(TraceEvent::Timer { at: Micros(i), node: node(0) });
+            t.record(TraceEvent::Timer {
+                at: Micros(i),
+                node: node(0),
+            });
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.recorded(), 5);
@@ -169,7 +186,10 @@ mod tests {
     #[test]
     fn zero_capacity_records_nothing() {
         let mut t = Trace::new(0);
-        t.record(TraceEvent::Timer { at: Micros(1), node: node(0) });
+        t.record(TraceEvent::Timer {
+            at: Micros(1),
+            node: node(0),
+        });
         assert!(t.is_empty());
         assert_eq!(t.recorded(), 0);
     }
@@ -177,8 +197,17 @@ mod tests {
     #[test]
     fn render_is_line_per_event() {
         let mut t = Trace::new(4);
-        t.record(TraceEvent::Sent { at: Micros(1), from: node(0), to: node(1), kind: "req" });
-        t.record(TraceEvent::Dropped { at: Micros(2), from: node(1), to: node(0) });
+        t.record(TraceEvent::Sent {
+            at: Micros(1),
+            from: node(0),
+            to: node(1),
+            kind: "req",
+        });
+        t.record(TraceEvent::Dropped {
+            at: Micros(2),
+            from: node(1),
+            to: node(0),
+        });
         let text = t.render();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("send req"));

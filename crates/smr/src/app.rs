@@ -20,7 +20,14 @@ pub trait Application: Clone + Send + 'static {
     /// The command type this application executes.
     type Command: Command;
     /// The response returned to the client for each command.
-    type Response: Clone + Debug + Eq + std::hash::Hash + Serialize + DeserializeOwned + Send + 'static;
+    type Response: Clone
+        + Debug
+        + Eq
+        + std::hash::Hash
+        + Serialize
+        + DeserializeOwned
+        + Send
+        + 'static;
 
     /// Executes one command against the state, returning the response.
     fn apply(&mut self, cmd: &Self::Command) -> Self::Response;
@@ -55,7 +62,11 @@ pub struct CloneReplay<A: Application> {
 impl<A: Application> CloneReplay<A> {
     /// Wraps a fresh application state.
     pub fn new(app: A) -> Self {
-        CloneReplay { final_state: app.clone(), spec_state: app, spec_log: Vec::new() }
+        CloneReplay {
+            final_state: app.clone(),
+            spec_state: app,
+            spec_log: Vec::new(),
+        }
     }
 
     /// Executes `cmd` speculatively (on top of final state + earlier

@@ -34,11 +34,10 @@ impl AccessMode {
     /// Whether two accesses to the *same* key interfere.
     pub fn conflicts_with(self, other: AccessMode) -> bool {
         use AccessMode::*;
-        match (self, other) {
-            (Read, Read) => false,
-            (CommutingWrite, CommutingWrite) => false,
-            _ => true,
-        }
+        !matches!(
+            (self, other),
+            (Read, Read) | (CommutingWrite, CommutingWrite)
+        )
     }
 }
 
@@ -55,17 +54,26 @@ pub struct ConflictKey {
 impl ConflictKey {
     /// A read access to `key`.
     pub const fn read(key: u64) -> Self {
-        ConflictKey { key, mode: AccessMode::Read }
+        ConflictKey {
+            key,
+            mode: AccessMode::Read,
+        }
     }
 
     /// A write access to `key`.
     pub const fn write(key: u64) -> Self {
-        ConflictKey { key, mode: AccessMode::Write }
+        ConflictKey {
+            key,
+            mode: AccessMode::Write,
+        }
     }
 
     /// A commuting-write access to `key`.
     pub const fn commuting_write(key: u64) -> Self {
-        ConflictKey { key, mode: AccessMode::CommutingWrite }
+        ConflictKey {
+            key,
+            mode: AccessMode::CommutingWrite,
+        }
     }
 }
 
@@ -78,7 +86,8 @@ pub fn interferes_by_keys(a: &[ConflictKey], b: &[ConflictKey]) -> bool {
     // Key sets are tiny (1-2 entries for a KV store), so the quadratic scan
     // beats building hash sets.
     a.iter().any(|ka| {
-        b.iter().any(|kb| ka.key == kb.key && ka.mode.conflicts_with(kb.mode))
+        b.iter()
+            .any(|kb| ka.key == kb.key && ka.mode.conflicts_with(kb.mode))
     })
 }
 
@@ -125,7 +134,11 @@ mod tests {
 
     #[test]
     fn write_conflicts_with_everything_on_same_key() {
-        for mode in [AccessMode::Read, AccessMode::Write, AccessMode::CommutingWrite] {
+        for mode in [
+            AccessMode::Read,
+            AccessMode::Write,
+            AccessMode::CommutingWrite,
+        ] {
             assert!(AccessMode::Write.conflicts_with(mode));
             assert!(mode.conflicts_with(AccessMode::Write));
         }
@@ -155,7 +168,11 @@ mod tests {
 
     #[test]
     fn interference_is_symmetric_over_samples() {
-        let modes = [AccessMode::Read, AccessMode::Write, AccessMode::CommutingWrite];
+        let modes = [
+            AccessMode::Read,
+            AccessMode::Write,
+            AccessMode::CommutingWrite,
+        ];
         for &ma in &modes {
             for &mb in &modes {
                 let a = TestCmd(vec![ConflictKey { key: 5, mode: ma }]);

@@ -74,7 +74,7 @@ impl ClusterConfig {
 
     /// Configuration from a replica count `n`, which must equal `3f + 1`.
     pub fn try_for_replicas(n: usize) -> Result<Self, ConfigError> {
-        if n < 4 || (n - 1) % 3 != 0 {
+        if n < 4 || !(n - 1).is_multiple_of(3) {
             return Err(ConfigError::InvalidSize { n });
         }
         Self::try_for_faults((n - 1) / 3)
@@ -152,8 +152,14 @@ mod tests {
 
     #[test]
     fn from_replica_count() {
-        assert_eq!(ClusterConfig::try_for_replicas(4), Ok(ClusterConfig::for_faults(1)));
-        assert_eq!(ClusterConfig::try_for_replicas(7), Ok(ClusterConfig::for_faults(2)));
+        assert_eq!(
+            ClusterConfig::try_for_replicas(4),
+            Ok(ClusterConfig::for_faults(1))
+        );
+        assert_eq!(
+            ClusterConfig::try_for_replicas(7),
+            Ok(ClusterConfig::for_faults(2))
+        );
         assert_eq!(
             ClusterConfig::try_for_replicas(5),
             Err(ConfigError::InvalidSize { n: 5 })
@@ -197,8 +203,14 @@ mod tests {
             let slow = c.slow_quorum();
             let fast = c.fast_quorum();
             let n = c.n();
-            assert!(2 * slow - n >= f + 1, "slow-slow intersection too small for f={f}");
-            assert!(slow + fast - n >= 2 * f + 1, "slow-fast intersection too small for f={f}");
+            assert!(
+                2 * slow - n > f,
+                "slow-slow intersection too small for f={f}"
+            );
+            assert!(
+                slow + fast - n > 2 * f,
+                "slow-fast intersection too small for f={f}"
+            );
         }
     }
 }

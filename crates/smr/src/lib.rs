@@ -33,7 +33,7 @@ mod quorum;
 mod time;
 
 pub use app::{Application, CloneReplay};
-pub use command::{AccessMode, Command, ConflictKey, interferes_by_keys};
+pub use command::{interferes_by_keys, AccessMode, Command, ConflictKey};
 pub use config::{ClusterConfig, ConfigError};
 pub use id::{ClientId, NodeId, ReplicaId};
 pub use node::{Action, Actions, ClientDelivery, ClientNode, ProtocolNode, TimerId};

@@ -12,6 +12,7 @@
 //! and over real sockets in the transport integration tests.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -53,6 +54,21 @@ pub enum Action<M, R> {
         /// The message.
         msg: M,
     },
+    /// Send one message to every node in `peers`.
+    ///
+    /// The payload is reference-counted so fan-out costs no per-peer deep
+    /// clone at the protocol layer, and drivers can pay the expensive part
+    /// of delivery **once** per broadcast instead of once per peer: the
+    /// TCP runtime serializes the frame a single time and hands the same
+    /// bytes to every peer's writer, and the simulator queues cheap `Arc`
+    /// clones (see DESIGN.md §3). Per-link behaviour — latency, jitter,
+    /// drops, per-receiver processing cost — is still applied per peer.
+    Broadcast {
+        /// Destination nodes (duplicates are delivered per occurrence).
+        peers: Vec<NodeId>,
+        /// The shared message.
+        msg: Arc<M>,
+    },
     /// Arm (or re-arm) timer `id` to fire `after` from now.
     SetTimer {
         /// Protocol-chosen timer identity.
@@ -81,7 +97,10 @@ pub struct Actions<M, R> {
 impl<M, R> Actions<M, R> {
     /// Creates a sink for an upcall happening at `now`.
     pub fn new(now: Micros) -> Self {
-        Actions { now, buf: Vec::new() }
+        Actions {
+            now,
+            buf: Vec::new(),
+        }
     }
 
     /// The current instant.
@@ -94,16 +113,36 @@ impl<M, R> Actions<M, R> {
         self.buf.push(Action::Send { to: to.into(), msg });
     }
 
-    /// Queues sends of clones of `msg` to every node in `peers`.
+    /// Queues one broadcast of `msg` to every node in `peers`, consuming
+    /// the message (serialize-once fan-out; see [`Action::Broadcast`]).
+    ///
+    /// An empty peer set queues nothing.
+    pub fn broadcast<I>(&mut self, peers: I, msg: M)
+    where
+        I: IntoIterator,
+        I::Item: Into<NodeId>,
+    {
+        let peers: Vec<NodeId> = peers.into_iter().map(Into::into).collect();
+        if peers.is_empty() {
+            return;
+        }
+        self.buf.push(Action::Broadcast {
+            peers,
+            msg: Arc::new(msg),
+        });
+    }
+
+    /// Queues one broadcast of a clone of `msg` to every node in `peers`.
+    ///
+    /// Exactly one clone is taken regardless of the peer count; prefer
+    /// [`Actions::broadcast`] when the caller can give up ownership.
     pub fn send_all<I>(&mut self, peers: I, msg: &M)
     where
         M: Clone,
         I: IntoIterator,
         I::Item: Into<NodeId>,
     {
-        for p in peers {
-            self.buf.push(Action::Send { to: p.into(), msg: msg.clone() });
-        }
+        self.broadcast(peers, msg.clone());
     }
 
     /// Arms timer `id` to fire `after` from now.
@@ -118,7 +157,11 @@ impl<M, R> Actions<M, R> {
 
     /// Reports a completed client request.
     pub fn deliver(&mut self, ts: Timestamp, response: R, fast_path: bool) {
-        self.buf.push(Action::Deliver(ClientDelivery { ts, response, fast_path }));
+        self.buf.push(Action::Deliver(ClientDelivery {
+            ts,
+            response,
+            fast_path,
+        }));
     }
 
     /// Drains the queued actions.
@@ -158,11 +201,7 @@ pub trait ClientNode: ProtocolNode {
 
     /// Submits one command for replication. Must only be called when no
     /// request is in flight.
-    fn submit(
-        &mut self,
-        cmd: Self::Command,
-        out: &mut Actions<Self::Message, Self::Response>,
-    );
+    fn submit(&mut self, cmd: Self::Command, out: &mut Actions<Self::Message, Self::Response>);
 
     /// Whether a request is currently in flight.
     fn in_flight(&self) -> bool;
@@ -242,20 +281,38 @@ mod tests {
     }
 
     #[test]
-    fn send_all_clones_to_each_peer() {
+    fn send_all_emits_one_shared_broadcast() {
         let mut out: Actions<u32, ()> = Actions::new(Micros::ZERO);
         let peers = [ReplicaId::new(0), ReplicaId::new(2)];
         out.send_all(peers, &9);
         let acts = out.take();
-        assert_eq!(acts.len(), 2);
-        for (act, r) in acts.iter().zip(peers) {
-            match act {
-                Action::Send { to, msg } => {
-                    assert_eq!(*to, NodeId::Replica(r));
-                    assert_eq!(*msg, 9);
-                }
-                other => panic!("unexpected {other:?}"),
+        assert_eq!(acts.len(), 1, "fan-out is one action, not one per peer");
+        match &acts[0] {
+            Action::Broadcast { peers: to, msg } => {
+                assert_eq!(
+                    to,
+                    &vec![NodeId::Replica(peers[0]), NodeId::Replica(peers[1])]
+                );
+                assert_eq!(**msg, 9);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_consumes_message_and_skips_empty_peer_sets() {
+        let mut out: Actions<String, ()> = Actions::new(Micros::ZERO);
+        out.broadcast([] as [ReplicaId; 0], "dropped".to_string());
+        assert!(out.is_empty(), "empty peer set queues nothing");
+        out.broadcast([ReplicaId::new(1)], "kept".to_string());
+        let acts = out.take();
+        match &acts[0] {
+            Action::Broadcast { peers, msg } => {
+                assert_eq!(peers.len(), 1);
+                assert_eq!(msg.as_str(), "kept");
+                assert_eq!(std::sync::Arc::strong_count(msg), 1);
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 }

@@ -15,7 +15,9 @@ pub struct QuorumSet {
 impl QuorumSet {
     /// Builds a quorum set from its members.
     pub fn new(members: impl IntoIterator<Item = ReplicaId>) -> Self {
-        QuorumSet { members: members.into_iter().collect() }
+        QuorumSet {
+            members: members.into_iter().collect(),
+        }
     }
 
     /// Whether `r` belongs to the set.
@@ -103,7 +105,10 @@ pub struct MatchTally<K, V> {
 
 impl<K: Clone + Eq + Hash, V> Default for MatchTally<K, V> {
     fn default() -> Self {
-        MatchTally { by_key: HashMap::new(), voted: HashMap::new() }
+        MatchTally {
+            by_key: HashMap::new(),
+            voted: HashMap::new(),
+        }
     }
 }
 
@@ -144,17 +149,26 @@ impl<K: Clone + Eq + Hash, V> MatchTally<K, V> {
 
     /// The largest group, if any: `(key, size)`.
     pub fn plurality(&self) -> Option<(&K, usize)> {
-        self.by_key.iter().map(|(k, g)| (k, g.len())).max_by_key(|(_, n)| *n)
+        self.by_key
+            .iter()
+            .map(|(k, g)| (k, g.len()))
+            .max_by_key(|(_, n)| *n)
     }
 
     /// Whether any group reached `threshold`; returns its key.
     pub fn any_reached(&self, threshold: usize) -> Option<&K> {
-        self.by_key.iter().find(|(_, g)| g.len() >= threshold).map(|(k, _)| k)
+        self.by_key
+            .iter()
+            .find(|(_, g)| g.len() >= threshold)
+            .map(|(k, _)| k)
     }
 
     /// The votes (voter, payload) in the group for `key`.
     pub fn group(&self, key: &K) -> impl Iterator<Item = (ReplicaId, &V)> + '_ {
-        self.by_key.get(key).into_iter().flat_map(|g| g.iter().map(|(r, v)| (*r, v)))
+        self.by_key
+            .get(key)
+            .into_iter()
+            .flat_map(|g| g.iter().map(|(r, v)| (*r, v)))
     }
 
     /// Iterates over every recorded vote as `(voter, key, payload)`.

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 /// Protocols only observe time through the driver (simulator or transport);
 /// the unit is microseconds everywhere to keep WAN latencies (tens of
 /// milliseconds) and processing costs (tens of microseconds) on one scale.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Micros(pub u64);
 
 impl Micros {
@@ -93,9 +91,7 @@ impl fmt::Display for Micros {
 /// The paper uses timestamps for exactly-once execution: a replica drops a
 /// request whose timestamp is not greater than the highest it has seen from
 /// that client (§IV-A step 2, nitpick).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {

@@ -42,7 +42,9 @@ impl AddressBook {
 
 impl FromIterator<(NodeId, SocketAddr)> for AddressBook {
     fn from_iter<I: IntoIterator<Item = (NodeId, SocketAddr)>>(iter: I) -> Self {
-        AddressBook { map: iter.into_iter().collect() }
+        AddressBook {
+            map: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -65,8 +67,9 @@ mod tests {
     #[test]
     fn from_iterator() {
         let addr: SocketAddr = "127.0.0.1:9001".parse().unwrap();
-        let book: AddressBook =
-            [(NodeId::Replica(ReplicaId::new(2)), addr)].into_iter().collect();
+        let book: AddressBook = [(NodeId::Replica(ReplicaId::new(2)), addr)]
+            .into_iter()
+            .collect();
         assert_eq!(book.get(NodeId::Replica(ReplicaId::new(2))), Some(addr));
     }
 }

@@ -24,4 +24,4 @@ mod addr;
 mod runtime;
 
 pub use addr::AddressBook;
-pub use runtime::{NodeHandle, TransportError};
+pub use runtime::{frame_encodes, NodeHandle, TransportError};

@@ -3,17 +3,39 @@
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 use ezbft_smr::{Action, Actions, ClientDelivery, Micros, NodeId, ProtocolNode, TimerId};
 use ezbft_wire::{encode_frame, FrameDecoder};
+
+/// Process-wide count of protocol-message wire encodes performed by
+/// transport drivers (one per unicast, one per [`Action::Broadcast`]
+/// regardless of fan-out). Exposed so tests can assert the
+/// serialize-once property end-to-end; see DESIGN.md §3.
+static FRAME_ENCODES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide message-encode counter.
+pub fn frame_encodes() -> u64 {
+    FRAME_ENCODES.load(Ordering::Relaxed)
+}
+
+/// Serializes a message and wraps it into one wire frame, bumping the
+/// encode counter. Returns `None` if the message does not encode (such a
+/// message is undeliverable; dropping it mirrors a lossy network).
+fn encode_message<M: Serialize>(msg: &M) -> Option<Bytes> {
+    let payload = ezbft_wire::to_bytes(msg).ok()?;
+    let frame = encode_frame(&payload).ok()?;
+    FRAME_ENCODES.fetch_add(1, Ordering::Relaxed);
+    Some(frame)
+}
 
 /// Errors from spawning or controlling a transport node.
 #[derive(Debug)]
@@ -45,7 +67,11 @@ impl From<std::io::Error> for TransportError {
 }
 
 enum Event<M, P: ProtocolNode> {
-    Net { from: NodeId, msg: M },
+    Net {
+        from: NodeId,
+        msg: M,
+    },
+    #[allow(clippy::type_complexity)]
     Invoke(Box<dyn FnOnce(&mut P, &mut Actions<M, P::Response>) + Send>),
     Shutdown,
 }
@@ -61,7 +87,9 @@ pub struct NodeHandle<M, P: ProtocolNode> {
 
 impl<M, P: ProtocolNode> std::fmt::Debug for NodeHandle<M, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NodeHandle").field("local_addr", &self.local_addr).finish()
+        f.debug_struct("NodeHandle")
+            .field("local_addr", &self.local_addr)
+            .finish()
     }
 }
 
@@ -218,8 +246,9 @@ fn reader_loop<M: DeserializeOwned, P: ProtocolNode<Message = M>>(
             Err(e) => return Err(e),
         };
         decoder.extend(&buf[..n]);
-        while let Some(frame) =
-            decoder.next_frame().map_err(|_| std::io::ErrorKind::InvalidData)?
+        while let Some(frame) = decoder
+            .next_frame()
+            .map_err(|_| std::io::ErrorKind::InvalidData)?
         {
             match from {
                 None => {
@@ -240,19 +269,24 @@ fn reader_loop<M: DeserializeOwned, P: ProtocolNode<Message = M>>(
 }
 
 struct Outbound {
-    tx: Sender<Vec<u8>>,
+    /// Ready-to-write frames. A broadcast clones the same `Bytes` handle
+    /// into every peer's channel — the bytes themselves exist once.
+    tx: Sender<Bytes>,
 }
 
-/// Writer thread: connect, handshake, then forward frames.
-fn writer_loop(addr: SocketAddr, me: NodeId, rx: Receiver<Vec<u8>>) {
-    let Ok(mut stream) = TcpStream::connect(addr) else { return };
+/// Writer thread: connect, handshake, then forward pre-encoded frames.
+fn writer_loop(addr: SocketAddr, me: NodeId, rx: Receiver<Bytes>) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
     let hello = ezbft_wire::to_bytes(&me).expect("node id encodes");
-    let Ok(frame) = encode_frame(&hello) else { return };
+    let Ok(frame) = encode_frame(&hello) else {
+        return;
+    };
     if stream.write_all(&frame).is_err() {
         return;
     }
-    while let Ok(bytes) = rx.recv() {
-        let Ok(frame) = encode_frame(&bytes) else { return };
+    while let Ok(frame) = rx.recv() {
         if stream.write_all(&frame).is_err() {
             return;
         }
@@ -291,7 +325,7 @@ fn driver_loop<M, P>(
     running: Arc<AtomicBool>,
 ) -> P
 where
-    M: Serialize + Send + 'static,
+    M: Serialize + DeserializeOwned + Send + 'static,
     P: ProtocolNode<Message = M>,
 {
     let start = Instant::now();
@@ -392,6 +426,26 @@ where
     }
 }
 
+/// Hands one ready frame to `to`'s writer, spawning the lazy connection on
+/// first use. Back-pressure: a full channel drops the frame (quasi-reliable
+/// network; protocols already tolerate loss).
+fn send_frame(
+    to: NodeId,
+    frame: Bytes,
+    book: &crate::AddressBook,
+    me: NodeId,
+    outbound: &mut HashMap<NodeId, Outbound>,
+) {
+    let entry = outbound.entry(to).or_insert_with(|| {
+        let (tx, rx) = bounded::<Bytes>(4_096);
+        if let Some(addr) = book.get(to) {
+            std::thread::spawn(move || writer_loop(addr, me, rx));
+        }
+        Outbound { tx }
+    });
+    let _ = entry.tx.try_send(frame);
+}
+
 #[allow(clippy::too_many_arguments)]
 fn apply<M, P>(
     node: &mut P,
@@ -405,7 +459,7 @@ fn apply<M, P>(
     deliveries: &Sender<ClientDelivery<P::Response>>,
     _start: Instant,
 ) where
-    M: Serialize + Send + 'static,
+    M: Serialize + DeserializeOwned + Send + 'static,
     P: ProtocolNode<Message = M>,
 {
     for action in out.take() {
@@ -431,15 +485,46 @@ fn apply<M, P>(
                     );
                     continue;
                 }
-                let Ok(bytes) = ezbft_wire::to_bytes(&msg) else { continue };
-                let entry = outbound.entry(to).or_insert_with(|| {
-                    let (tx, rx) = bounded::<Vec<u8>>(4_096);
-                    if let Some(addr) = book.get(to) {
-                        std::thread::spawn(move || writer_loop(addr, me, rx));
+                let Some(frame) = encode_message(&msg) else {
+                    continue;
+                };
+                send_frame(to, frame, book, me, outbound);
+            }
+            Action::Broadcast { peers, msg } => {
+                // The serialize-once path: one encode + one framing for
+                // the whole fan-out, then a cheap `Bytes` handle per peer.
+                let Ok(payload) = ezbft_wire::to_bytes(&*msg) else {
+                    continue;
+                };
+                let Ok(frame) = encode_frame(&payload) else {
+                    continue;
+                };
+                FRAME_ENCODES.fetch_add(1, Ordering::Relaxed);
+                for to in peers {
+                    if to == me {
+                        // Self-delivery recovers an owned message from the
+                        // canonical encoding (no `Clone` bound needed).
+                        let Ok(own) = ezbft_wire::from_bytes::<M>(&payload) else {
+                            continue;
+                        };
+                        let mut out2 = Actions::new(Micros::ZERO);
+                        node.on_message(me, own, &mut out2);
+                        apply(
+                            node,
+                            out2,
+                            book,
+                            me,
+                            outbound,
+                            timers,
+                            generations,
+                            next_generation,
+                            deliveries,
+                            _start,
+                        );
+                        continue;
                     }
-                    Outbound { tx }
-                });
-                let _ = entry.tx.try_send(bytes);
+                    send_frame(to, frame.clone(), book, me, outbound);
+                }
             }
             Action::SetTimer { id, after } => {
                 *next_generation += 1;

@@ -1,0 +1,172 @@
+//! The serialize-once property of the TCP runtime (DESIGN.md §3): one
+//! [`ezbft_smr::Action::Broadcast`] to N peers encodes the wire frame
+//! exactly once, while N unicasts encode N times.
+//!
+//! This test lives in its own integration-test binary so the process-wide
+//! encode counter sees no traffic from unrelated tests.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use ezbft_smr::{Actions, ClientId, NodeId, ProtocolNode, ReplicaId, TimerId, Timestamp};
+use ezbft_transport::{frame_encodes, AddressBook, NodeHandle};
+
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct Blob {
+    round: u64,
+    payload: Vec<u8>,
+}
+
+/// A node that reports every received message as a delivery.
+struct Probe {
+    me: NodeId,
+}
+
+impl ProtocolNode for Probe {
+    type Message = Blob;
+    type Response = u64;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Blob, out: &mut Actions<Blob, u64>) {
+        out.deliver(Timestamp(msg.round), msg.round, true);
+    }
+
+    fn on_timer(&mut self, _id: TimerId, _out: &mut Actions<Blob, u64>) {}
+}
+
+fn cluster(n: usize) -> (Vec<NodeHandle<Blob, Probe>>, Vec<NodeId>) {
+    let ids: Vec<NodeId> = (0..n as u8)
+        .map(|i| NodeId::Replica(ReplicaId::new(i)))
+        .collect();
+    let mut book = AddressBook::new();
+    let mut listeners = Vec::new();
+    for id in &ids {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        book.insert(*id, listener.local_addr().expect("addr"));
+        listeners.push(listener);
+    }
+    let handles = ids
+        .iter()
+        .zip(listeners)
+        .map(|(id, listener)| {
+            NodeHandle::spawn_with_listener(Probe { me: *id }, book.clone(), listener)
+                .expect("spawn")
+        })
+        .collect();
+    (handles, ids)
+}
+
+#[test]
+fn broadcast_to_n_peers_encodes_exactly_once() {
+    let (handles, ids) = cluster(4);
+    let peers: Vec<NodeId> = ids[1..].to_vec();
+
+    // Round 1: one broadcast to three peers.
+    let before = frame_encodes();
+    let peers_clone = peers.clone();
+    handles[0]
+        .with_node(move |_node, out| {
+            out.broadcast(
+                peers_clone,
+                Blob {
+                    round: 1,
+                    payload: vec![0xAB; 2048],
+                },
+            );
+        })
+        .expect("inject broadcast");
+    for h in &handles[1..] {
+        let d = h
+            .recv_delivery(Duration::from_secs(5))
+            .expect("peer receives broadcast");
+        assert_eq!(d.response, 1);
+    }
+    let broadcast_encodes = frame_encodes() - before;
+    assert_eq!(
+        broadcast_encodes, 1,
+        "a 3-peer broadcast must serialize the frame exactly once"
+    );
+
+    // Round 2: the same fan-out as unicasts costs one encode per peer.
+    let before = frame_encodes();
+    let peers_clone = peers.clone();
+    handles[0]
+        .with_node(move |_node, out| {
+            for to in peers_clone {
+                out.send(
+                    to,
+                    Blob {
+                        round: 2,
+                        payload: vec![0xCD; 2048],
+                    },
+                );
+            }
+        })
+        .expect("inject unicasts");
+    for h in &handles[1..] {
+        let d = h
+            .recv_delivery(Duration::from_secs(5))
+            .expect("peer receives unicast");
+        assert_eq!(d.response, 2);
+    }
+    let unicast_encodes = frame_encodes() - before;
+    assert_eq!(unicast_encodes, 3, "three unicasts encode three times");
+
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn broadcast_including_self_delivers_locally() {
+    let ids = vec![
+        NodeId::Client(ClientId::new(90)),
+        NodeId::Client(ClientId::new(91)),
+    ];
+    let mut book = AddressBook::new();
+    let mut listeners = Vec::new();
+    for id in &ids {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        book.insert(*id, listener.local_addr().expect("addr"));
+        listeners.push(listener);
+    }
+    let mut handles: Vec<NodeHandle<Blob, Probe>> = ids
+        .iter()
+        .zip(listeners)
+        .map(|(id, listener)| {
+            NodeHandle::spawn_with_listener(Probe { me: *id }, book.clone(), listener)
+                .expect("spawn")
+        })
+        .collect();
+
+    let all = ids.clone();
+    handles[0]
+        .with_node(move |_node, out| {
+            out.broadcast(
+                all,
+                Blob {
+                    round: 7,
+                    payload: vec![1, 2, 3],
+                },
+            );
+        })
+        .expect("inject");
+    // Both the remote peer and the sender itself observe the message.
+    let remote = handles[1]
+        .recv_delivery(Duration::from_secs(5))
+        .expect("remote");
+    assert_eq!(remote.response, 7);
+    let own = handles[0]
+        .recv_delivery(Duration::from_secs(5))
+        .expect("loopback");
+    assert_eq!(own.response, 7);
+
+    for h in handles.drain(..) {
+        h.shutdown();
+    }
+}

@@ -48,22 +48,30 @@ fn ezbft_cluster_over_tcp_loopback() {
     }
     let client: Client<KvOp, KvResponse> =
         Client::new(client_id, cfg, client_keys, ReplicaId::new(0));
-    let client_handle =
-        NodeHandle::spawn_with_listener(client, book.clone(), client_listener)
-            .expect("spawn client");
+    let client_handle = NodeHandle::spawn_with_listener(client, book.clone(), client_listener)
+        .expect("spawn client");
 
     // Submit commands one at a time and await their completions.
     for i in 0..3u64 {
         client_handle
             .with_node(move |c, out| {
-                c.submit(KvOp::Put { key: Key(i), value: vec![i as u8; 16] }, out);
+                c.submit(
+                    KvOp::Put {
+                        key: Key(i),
+                        value: vec![i as u8; 16],
+                    },
+                    out,
+                );
             })
             .expect("submit");
         let delivery = client_handle
             .recv_delivery(Duration::from_secs(10))
             .expect("request completes over TCP");
         assert_eq!(delivery.response, KvResponse::Ok);
-        assert!(delivery.fast_path, "loopback fault-free run uses the fast path");
+        assert!(
+            delivery.fast_path,
+            "loopback fault-free run uses the fast path"
+        );
     }
 
     // Let COMMITFAST propagate, then check replica state.
@@ -106,14 +114,19 @@ fn pbft_cluster_over_tcp_loopback() {
         );
     }
     let client: PbftClient<KvOp, KvResponse> = PbftClient::new(client_id, cfg, client_keys);
-    let client_handle =
-        NodeHandle::spawn_with_listener(client, book.clone(), client_listener)
-            .expect("spawn client");
+    let client_handle = NodeHandle::spawn_with_listener(client, book.clone(), client_listener)
+        .expect("spawn client");
 
     for i in 0..2u64 {
         client_handle
             .with_node(move |c, out| {
-                c.submit(KvOp::Incr { key: Key(9), by: i + 1 }, out);
+                c.submit(
+                    KvOp::Incr {
+                        key: Key(9),
+                        by: i + 1,
+                    },
+                    out,
+                );
             })
             .expect("submit");
         let delivery = client_handle

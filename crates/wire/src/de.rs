@@ -151,8 +151,7 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     }
 
     fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        let scalar =
-            u32::try_from(self.varint()?).map_err(|_| WireError::VarintOverflow)?;
+        let scalar = u32::try_from(self.varint()?).map_err(|_| WireError::VarintOverflow)?;
         let c = char::from_u32(scalar).ok_or(WireError::InvalidChar(scalar))?;
         visitor.visit_char(c)
     }
@@ -207,7 +206,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let len = self.length()?;
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -215,7 +217,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -224,12 +229,18 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let len = self.length()?;
-        visitor.visit_map(Counted { de: self, remaining: len })
+        visitor.visit_map(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -238,7 +249,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self, remaining: fields.len() })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: fields.len(),
+        })
     }
 
     fn deserialize_enum<V: Visitor<'de>>(
@@ -325,8 +339,7 @@ impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
         self,
         seed: V,
     ) -> Result<(V::Value, Self), WireError> {
-        let idx =
-            u32::try_from(self.de.varint()?).map_err(|_| WireError::VarintOverflow)?;
+        let idx = u32::try_from(self.de.varint()?).map_err(|_| WireError::VarintOverflow)?;
         let value = seed.deserialize(idx.into_deserializer())?;
         Ok((value, self))
     }
@@ -347,7 +360,10 @@ impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
     }
 
     fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self.de, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self.de,
+            remaining: len,
+        })
     }
 
     fn struct_variant<V: Visitor<'de>>(
@@ -355,7 +371,10 @@ impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self.de, remaining: fields.len() })
+        visitor.visit_seq(Counted {
+            de: self.de,
+            remaining: fields.len(),
+        })
     }
 }
 

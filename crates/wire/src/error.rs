@@ -47,7 +47,10 @@ impl fmt::Display for WireError {
             WireError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
             WireError::InvalidVariant(v) => write!(f, "invalid enum variant index {v}"),
             WireError::NotSelfDescribing => {
-                write!(f, "format is not self-describing (deserialize_any unsupported)")
+                write!(
+                    f,
+                    "format is not self-describing (deserialize_any unsupported)"
+                )
             }
             WireError::UnknownLength => write!(f, "sequence length must be known up front"),
             WireError::Message(m) => write!(f, "{m}"),
@@ -75,8 +78,12 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(WireError::UnexpectedEof.to_string().contains("end of input"));
-        assert!(WireError::LengthOutOfRange { claimed: 9 }.to_string().contains('9'));
+        assert!(WireError::UnexpectedEof
+            .to_string()
+            .contains("end of input"));
+        assert!(WireError::LengthOutOfRange { claimed: 9 }
+            .to_string()
+            .contains('9'));
         assert!(WireError::InvalidVariant(3).to_string().contains('3'));
     }
 

@@ -15,7 +15,9 @@ pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 /// Encodes one payload into a framed byte buffer.
 pub fn encode_frame(payload: &[u8]) -> Result<Bytes, WireError> {
     if payload.len() > MAX_FRAME_LEN {
-        return Err(WireError::LengthOutOfRange { claimed: payload.len() as u64 });
+        return Err(WireError::LengthOutOfRange {
+            claimed: payload.len() as u64,
+        });
     }
     let mut buf = BytesMut::with_capacity(4 + payload.len());
     buf.put_u32_le(payload.len() as u32);
@@ -55,7 +57,9 @@ impl FrameDecoder {
         }
         let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
         if len > MAX_FRAME_LEN {
-            return Err(WireError::LengthOutOfRange { claimed: len as u64 });
+            return Err(WireError::LengthOutOfRange {
+                claimed: len as u64,
+            });
         }
         if self.buf.len() < 4 + len {
             return Ok(None);
@@ -92,7 +96,10 @@ mod tests {
             // Until the last chunk arrives, no frame is ready.
             dec.extend(chunk);
         }
-        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"fragmented-payload");
+        assert_eq!(
+            dec.next_frame().unwrap().unwrap().as_ref(),
+            b"fragmented-payload"
+        );
     }
 
     #[test]
@@ -113,7 +120,10 @@ mod tests {
     fn oversized_header_rejected() {
         let mut dec = FrameDecoder::new();
         dec.extend(&(u32::MAX).to_le_bytes());
-        assert!(matches!(dec.next_frame(), Err(WireError::LengthOutOfRange { .. })));
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::LengthOutOfRange { .. })
+        ));
     }
 
     #[test]

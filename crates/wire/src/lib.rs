@@ -104,7 +104,10 @@ mod tests {
                 Kind::Unit,
                 Kind::Newtype(42),
                 Kind::Tuple(1, -2),
-                Kind::Struct { a: "a".into(), b: Some(false) },
+                Kind::Struct {
+                    a: "a".into(),
+                    b: Some(false),
+                },
             ],
             unit: (),
             arr: [9, 8, 7, 6],

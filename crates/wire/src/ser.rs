@@ -214,11 +214,7 @@ impl<'a> ser::Serializer for &'a mut Serializer {
         Ok(Compound { ser: self })
     }
 
-    fn serialize_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> Result<Compound<'a>, WireError> {
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, WireError> {
         Ok(Compound { ser: self })
     }
 

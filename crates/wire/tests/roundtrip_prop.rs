@@ -12,7 +12,10 @@ enum Payload {
     Signed(i64),
     Text(String),
     Pair(u32, Vec<u8>),
-    Rec { flag: bool, inner: Option<Box<Payload>> },
+    Rec {
+        flag: bool,
+        inner: Option<Box<Payload>>,
+    },
 }
 
 fn payload_strategy() -> impl Strategy<Value = Payload> {
@@ -25,7 +28,10 @@ fn payload_strategy() -> impl Strategy<Value = Payload> {
             .prop_map(|(a, b)| Payload::Pair(a, b)),
     ];
     leaf.prop_recursive(3, 32, 4, |inner| {
-        (any::<bool>(), proptest::option::of(inner.prop_map(Box::new)))
+        (
+            any::<bool>(),
+            proptest::option::of(inner.prop_map(Box::new)),
+        )
             .prop_map(|(flag, inner)| Payload::Rec { flag, inner })
     })
 }

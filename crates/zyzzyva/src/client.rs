@@ -99,10 +99,10 @@ impl<C: Payload, R: Payload> ZyzzyvaClient<C, R> {
     }
 
     fn on_spec_response(&mut self, resp: SpecResponse<R>, out: &mut Actions<Msg<C, R>, R>) {
-        let Some(pending) = &mut self.pending else { return };
-        if pending.phase != Phase::Spec
-            || resp.body.client != self.id
-            || resp.body.ts != pending.ts
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
+        if pending.phase != Phase::Spec || resp.body.client != self.id || resp.body.ts != pending.ts
         {
             return;
         }
@@ -139,7 +139,9 @@ impl<C: Payload, R: Payload> ZyzzyvaClient<C, R> {
     }
 
     fn try_commit_path(&mut self, out: &mut Actions<Msg<C, R>, R>) {
-        let Some(pending) = &mut self.pending else { return };
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
         if pending.phase != Phase::Spec {
             return;
         }
@@ -153,21 +155,32 @@ impl<C: Payload, R: Payload> ZyzzyvaClient<C, R> {
         else {
             return;
         };
-        let cc: Vec<SpecResponse<R>> =
-            members.iter().map(|m| pending.responses[m].clone()).collect();
-        let msg = Msg::Commit(CommitCert { client: self.id, cc });
+        let cc: Vec<SpecResponse<R>> = members
+            .iter()
+            .map(|m| pending.responses[m].clone())
+            .collect();
+        let msg = Msg::Commit(CommitCert {
+            client: self.id,
+            cc,
+        });
         let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
-        out.send_all(replicas, &msg);
+        out.broadcast(replicas, msg);
         pending.phase = Phase::Committing;
     }
 
     fn on_local_commit(&mut self, lc: LocalCommit, out: &mut Actions<Msg<C, R>, R>) {
-        let Some(pending) = &mut self.pending else { return };
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
         if lc.client != self.id || lc.ts != pending.ts {
             return;
         }
         let payload = LocalCommit::signed_payload(lc.view, lc.n, lc.client, lc.ts);
-        if self.keys.verify(NodeId::Replica(lc.sender), &payload, &lc.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Replica(lc.sender), &payload, &lc.sig)
+            .is_err()
+        {
             return;
         }
         let group = pending.local_commits.entry((lc.view, lc.n)).or_default();
@@ -187,13 +200,22 @@ impl<C: Payload, R: Payload> ZyzzyvaClient<C, R> {
     }
 
     fn on_retry(&mut self, out: &mut Actions<Msg<C, R>, R>) {
-        let Some(pending) = &mut self.pending else { return };
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
         self.stats.retries += 1;
         let payload = Request::<C>::signed_payload(self.id, pending.ts, &pending.cmd);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let req = Request { client: self.id, ts: pending.ts, cmd: pending.cmd.clone(), sig };
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request {
+            client: self.id,
+            ts: pending.ts,
+            cmd: pending.cmd.clone(),
+            sig,
+        };
         let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
-        out.send_all(replicas, &Msg::RequestBroadcast(req));
+        out.broadcast(replicas, Msg::RequestBroadcast(req));
         out.set_timer(TimerId(TIMER_RETRY), self.cfg.retry_delay);
     }
 }
@@ -236,8 +258,15 @@ impl<C: Payload, R: Payload> ClientNode for ZyzzyvaClient<C, R> {
         self.next_ts = self.next_ts.next();
         let ts = self.next_ts;
         let payload = Request::<C>::signed_payload(self.id, ts, &cmd);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let req = Request { client: self.id, ts, cmd: cmd.clone(), sig };
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let req = Request {
+            client: self.id,
+            ts,
+            cmd: cmd.clone(),
+            sig,
+        };
         let primary = self.cfg.primary(self.view);
         out.send(NodeId::Replica(primary), Msg::Request(req));
         out.set_timer(TimerId(TIMER_COMMIT), self.cfg.commit_timeout);

@@ -277,7 +277,10 @@ mod tests {
             sig: Signature::Null,
         };
         assert_eq!(r.digest(), r.clone().digest());
-        let r2 = Request { ts: Timestamp(2), ..r.clone() };
+        let r2 = Request {
+            ts: Timestamp(2),
+            ..r.clone()
+        };
         assert_ne!(r.digest(), r2.digest());
     }
 
@@ -297,14 +300,23 @@ mod tests {
             response: 7u32,
             sig: Signature::Null,
         };
-        let b = SpecResponse { sender: ReplicaId::new(2), ..a.clone() };
+        let b = SpecResponse {
+            sender: ReplicaId::new(2),
+            ..a.clone()
+        };
         assert_eq!(a.match_key(), b.match_key());
-        let c = SpecResponse { response: 8, ..a.clone() };
+        let c = SpecResponse {
+            response: 8,
+            ..a.clone()
+        };
         assert_ne!(a.match_key(), c.match_key());
         // Diverging history digests break matching (inconsistent logs).
         let mut body2 = body;
         body2.hist = Digest::of(b"x");
-        let d = SpecResponse { body: body2, ..a.clone() };
+        let d = SpecResponse {
+            body: body2,
+            ..a.clone()
+        };
         assert_ne!(a.match_key(), d.match_key());
     }
 

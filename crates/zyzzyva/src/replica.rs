@@ -66,7 +66,10 @@ struct ClientRec<R> {
 
 impl<R> Default for ClientRec<R> {
     fn default() -> Self {
-        ClientRec { last_ts: Timestamp::ZERO, cached: None }
+        ClientRec {
+            last_ts: Timestamp::ZERO,
+            cached: None,
+        }
     }
 }
 
@@ -196,7 +199,9 @@ impl<A: Application> ZyzzyvaReplica<A> {
 
     fn verify_request(&mut self, req: &Request<A::Command>) -> bool {
         let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
-        self.keys.verify(NodeId::Client(req.client), &payload, &req.sig).is_ok()
+        self.keys
+            .verify(NodeId::Client(req.client), &payload, &req.sig)
+            .is_ok()
     }
 
     // ------------------------------------------------------------------
@@ -234,11 +239,22 @@ impl<A: Application> ZyzzyvaReplica<A> {
             .map(|e| e.body.hist)
             .unwrap_or(if n == 1 { Digest::ZERO } else { self.hist });
         let hist = prev.chain(&d);
-        let body = OrderReqBody { view: self.view, n, hist, req_digest: d };
-        let sig = self.keys.sign(&body.signed_payload(), &self.audience(req.client));
-        let or = OrderReq { body: body.clone(), sig: sig.clone(), req: req.clone() };
+        let body = OrderReqBody {
+            view: self.view,
+            n,
+            hist,
+            req_digest: d,
+        };
+        let sig = self
+            .keys
+            .sign(&body.signed_payload(), &self.audience(req.client));
+        let or = OrderReq {
+            body: body.clone(),
+            sig: sig.clone(),
+            req: req.clone(),
+        };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &Msg::OrderReq(or.clone()));
+        out.broadcast(peers, Msg::OrderReq(or.clone()));
         self.stats.ordered += 1;
         self.accept_order(or, out);
     }
@@ -271,7 +287,13 @@ impl<A: Application> ZyzzyvaReplica<A> {
         if !self.accuse_waits.contains_key(&key) {
             let id = self.next_timer;
             self.next_timer += 1;
-            self.timers.insert(id, Timer::Accuse { client: key.0, ts: key.1 });
+            self.timers.insert(
+                id,
+                Timer::Accuse {
+                    client: key.0,
+                    ts: key.1,
+                },
+            );
             self.accuse_waits.insert(key, id);
             out.set_timer(TimerId(id), self.cfg.accuse_timeout);
         }
@@ -301,8 +323,10 @@ impl<A: Application> ZyzzyvaReplica<A> {
         if n < expected {
             // Duplicate: refresh the client's response.
             if let Some(entry) = self.log.get(&n) {
-                if let Some(cached) =
-                    self.clients.get(&entry.req.client).and_then(|r| r.cached.clone())
+                if let Some(cached) = self
+                    .clients
+                    .get(&entry.req.client)
+                    .and_then(|r| r.cached.clone())
                 {
                     out.send(NodeId::Client(entry.req.client), Msg::SpecResponse(cached));
                 }
@@ -316,7 +340,9 @@ impl<A: Application> ZyzzyvaReplica<A> {
         self.accept_order(or, out);
         loop {
             let next = self.max_ordered() + 1;
-            let Some(or) = self.pending_orders.remove(&next) else { break };
+            let Some(or) = self.pending_orders.remove(&next) else {
+                break;
+            };
             self.accept_order(or, out);
         }
     }
@@ -329,7 +355,11 @@ impl<A: Application> ZyzzyvaReplica<A> {
     /// speculatively, respond to the client.
     fn accept_order(&mut self, or: OrderReq<A::Command>, out: &mut Out<A>) {
         let n = or.body.n;
-        let prev_hist = self.log.get(&(n - 1)).map(|e| e.body.hist).unwrap_or(Digest::ZERO);
+        let prev_hist = self
+            .log
+            .get(&(n - 1))
+            .map(|e| e.body.hist)
+            .unwrap_or(Digest::ZERO);
         let expected_hist = prev_hist.chain(&or.body.req_digest);
         if or.body.hist != expected_hist {
             // Primary equivocation or corruption.
@@ -352,7 +382,12 @@ impl<A: Application> ZyzzyvaReplica<A> {
         };
         let payload = SpecResponse::<A::Response>::signed_payload(&body, &response);
         let sig = self.keys.sign(&payload, &self.audience(or.req.client));
-        let resp = SpecResponse { body, sender: self.id, response: response.clone(), sig };
+        let resp = SpecResponse {
+            body,
+            sender: self.id,
+            response: response.clone(),
+            sig,
+        };
 
         let rec = self.clients.entry(or.req.client).or_default();
         rec.last_ts = rec.last_ts.max(or.req.ts);
@@ -366,7 +401,12 @@ impl<A: Application> ZyzzyvaReplica<A> {
 
         self.log.insert(
             n,
-            LogEntry { body: or.body, sig: or.sig, req: or.req.clone(), response: Some(response) },
+            LogEntry {
+                body: or.body,
+                sig: or.sig,
+                req: or.req.clone(),
+                response: Some(response),
+            },
         );
         out.send(NodeId::Client(or.req.client), Msg::SpecResponse(resp));
     }
@@ -392,7 +432,11 @@ impl<A: Application> ZyzzyvaReplica<A> {
                 return;
             }
             let payload = SpecResponse::<A::Response>::signed_payload(&r.body, &r.response);
-            if self.keys.verify(NodeId::Replica(r.sender), &payload, &r.sig).is_err() {
+            if self
+                .keys
+                .verify(NodeId::Replica(r.sender), &payload, &r.sig)
+                .is_err()
+            {
                 self.stats.rejected += 1;
                 return;
             }
@@ -426,7 +470,11 @@ impl<A: Application> ZyzzyvaReplica<A> {
             return;
         }
         let payload = IHatePrimary::signed_payload(ihp.view);
-        if self.keys.verify(NodeId::Replica(ihp.sender), &payload, &ihp.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Replica(ihp.sender), &payload, &ihp.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
@@ -445,10 +493,16 @@ impl<A: Application> ZyzzyvaReplica<A> {
         }
         votes.vote(self.id);
         let payload = IHatePrimary::signed_payload(self.view);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let msg = Msg::IHatePrimary(IHatePrimary { view: self.view, sender: self.id, sig });
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let msg = Msg::IHatePrimary(IHatePrimary {
+            view: self.view,
+            sender: self.id,
+            sig,
+        });
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &msg);
+        out.broadcast(peers, msg);
     }
 
     fn enter_view_change(&mut self, out: &mut Out<A>) {
@@ -460,11 +514,22 @@ impl<A: Application> ZyzzyvaReplica<A> {
         let entries: Vec<HistoryEntry<A::Command>> = self
             .log
             .values()
-            .map(|e| HistoryEntry { body: e.body.clone(), sig: e.sig.clone(), req: e.req.clone() })
+            .map(|e| HistoryEntry {
+                body: e.body.clone(),
+                sig: e.sig.clone(),
+                req: e.req.clone(),
+            })
             .collect();
         let payload = ViewChange::signed_payload(new_view, &entries);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let vc = ViewChange { new_view, sender: self.id, entries, sig };
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let vc = ViewChange {
+            new_view,
+            sender: self.id,
+            entries,
+            sig,
+        };
         let new_primary = self.cfg.primary(new_view);
         if new_primary == self.id {
             self.on_view_change(vc, NodeId::Replica(self.id), out);
@@ -475,7 +540,9 @@ impl<A: Application> ZyzzyvaReplica<A> {
 
     fn verify_view_change(&mut self, vc: &ViewChange<A::Command>) -> bool {
         let payload = ViewChange::signed_payload(vc.new_view, &vc.entries);
-        self.keys.verify(NodeId::Replica(vc.sender), &payload, &vc.sig).is_ok()
+        self.keys
+            .verify(NodeId::Replica(vc.sender), &payload, &vc.sig)
+            .is_ok()
     }
 
     fn on_view_change(&mut self, vc: ViewChange<A::Command>, from: NodeId, out: &mut Out<A>) {
@@ -506,15 +573,34 @@ impl<A: Application> ZyzzyvaReplica<A> {
         for (i, he) in adopted.into_iter().enumerate() {
             let d = he.req.digest();
             hist = hist.chain(&d);
-            let body = OrderReqBody { view: new_view, n: i as u64 + 1, hist, req_digest: d };
-            let sig = self.keys.sign(&body.signed_payload(), &self.audience(he.req.client));
-            entries.push(HistoryEntry { body, sig, req: he.req });
+            let body = OrderReqBody {
+                view: new_view,
+                n: i as u64 + 1,
+                hist,
+                req_digest: d,
+            };
+            let sig = self
+                .keys
+                .sign(&body.signed_payload(), &self.audience(he.req.client));
+            entries.push(HistoryEntry {
+                body,
+                sig,
+                req: he.req,
+            });
         }
         let payload = NewView::signed_payload(new_view, &entries);
-        let sig = self.keys.sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
-        let nv = NewView { new_view, proof, entries, sender: self.id, sig };
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let nv = NewView {
+            new_view,
+            proof,
+            entries,
+            sender: self.id,
+            sig,
+        };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
-        out.send_all(peers, &Msg::NewView(nv.clone()));
+        out.broadcast(peers, Msg::NewView(nv.clone()));
         self.install_new_view(nv, out);
     }
 
@@ -530,8 +616,13 @@ impl<A: Application> ZyzzyvaReplica<A> {
         let mut n = 1u64;
         loop {
             use std::collections::HashMap as Map;
-            let mut groups: Map<Digest, (std::collections::BTreeSet<ReplicaId>, &HistoryEntry<A::Command>)> =
-                Map::new();
+            let mut groups: Map<
+                Digest,
+                (
+                    std::collections::BTreeSet<ReplicaId>,
+                    &HistoryEntry<A::Command>,
+                ),
+            > = Map::new();
             for vc in proof {
                 for he in &vc.entries {
                     if he.body.n != n {
@@ -545,7 +636,11 @@ impl<A: Application> ZyzzyvaReplica<A> {
                         continue;
                     }
                     let key = Digest::of(&he.body.signed_payload());
-                    groups.entry(key).or_insert_with(|| (Default::default(), he)).0.insert(vc.sender);
+                    groups
+                        .entry(key)
+                        .or_insert_with(|| (Default::default(), he))
+                        .0
+                        .insert(vc.sender);
                 }
             }
             let winner = groups
@@ -571,7 +666,11 @@ impl<A: Application> ZyzzyvaReplica<A> {
             return;
         }
         let payload = NewView::signed_payload(nv.new_view, &nv.entries);
-        if self.keys.verify(NodeId::Replica(nv.sender), &payload, &nv.sig).is_err() {
+        if self
+            .keys
+            .verify(NodeId::Replica(nv.sender), &payload, &nv.sig)
+            .is_err()
+        {
             self.stats.rejected += 1;
             return;
         }
@@ -615,7 +714,11 @@ impl<A: Application> ZyzzyvaReplica<A> {
         self.stats.view_changes += 1;
         // Replay the adopted history.
         for he in nv.entries {
-            let or = OrderReq { body: he.body, sig: he.sig, req: he.req };
+            let or = OrderReq {
+                body: he.body,
+                sig: he.sig,
+                req: he.req,
+            };
             self.accept_order(or, out);
         }
         self.next_n = self.exec_upto + 1;
@@ -651,7 +754,9 @@ impl<A: Application> ProtocolNode for ZyzzyvaReplica<A> {
     }
 
     fn on_timer(&mut self, id: TimerId, out: &mut Out<A>) {
-        let Some(timer) = self.timers.remove(&id.0) else { return };
+        let Some(timer) = self.timers.remove(&id.0) else {
+            return;
+        };
         match timer {
             Timer::Accuse { client, ts } => {
                 self.accuse_waits.remove(&(client, ts));

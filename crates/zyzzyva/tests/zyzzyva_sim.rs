@@ -4,11 +4,10 @@ use std::collections::VecDeque;
 
 use ezbft_crypto::{CryptoKind, KeyStore};
 use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
-use ezbft_smr::{
-    Actions, Application as _, ClientId, ClientNode, ClusterConfig, Micros, NodeId,
-    ProtocolNode, ReplicaId, TimerId,
-};
 use ezbft_simnet::{Region, SimConfig, SimNet, Topology};
+use ezbft_smr::{
+    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
+};
 use ezbft_zyzzyva::{Msg, ZyzzyvaClient, ZyzzyvaConfig, ZyzzyvaReplica};
 
 type KvMsg = Msg<KvOp, KvResponse>;
@@ -61,8 +60,13 @@ fn build(
     }
     let mut stores = KeyStore::cluster(CryptoKind::Mac, b"zyzzyva-sim", &nodes);
     let client_stores = stores.split_off(cluster.n());
-    let mut sim: SimNet<KvMsg, KvResponse> =
-        SimNet::new(Topology::exp1(), SimConfig { seed, ..Default::default() });
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(
+        Topology::exp1(),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     for (i, rid) in cluster.replicas().enumerate() {
         let replica = ZyzzyvaReplica::new(rid, cfg, stores.remove(0), KvStore::new());
         sim.add_node(Region(i % 4), Box::new(replica));
@@ -71,16 +75,25 @@ fn build(
     for ((id, region, script), keys) in clients.into_iter().zip(client_stores) {
         total += script.len();
         let client = ZyzzyvaClient::new(ClientId::new(id), cfg, keys);
-        sim.add_node(Region(region), Box::new(ScriptedClient { inner: client, script: script.into() }));
+        sim.add_node(
+            Region(region),
+            Box::new(ScriptedClient {
+                inner: client,
+                script: script.into(),
+            }),
+        );
     }
     (sim, total)
 }
 
 fn put(c: u64, i: u64) -> KvOp {
-    KvOp::Put { key: Key(c * 100 + i), value: vec![i as u8; 16] }
+    KvOp::Put {
+        key: Key(c * 100 + i),
+        value: vec![i as u8; 16],
+    }
 }
 
-fn replica<'a>(sim: &'a SimNet<KvMsg, KvResponse>, r: u8) -> &'a ZyzzyvaReplica<KvStore> {
+fn replica(sim: &SimNet<KvMsg, KvResponse>, r: u8) -> &ZyzzyvaReplica<KvStore> {
     sim.inspect(NodeId::Replica(ReplicaId::new(r)))
         .unwrap()
         .downcast_ref::<ZyzzyvaReplica<KvStore>>()
@@ -89,12 +102,17 @@ fn replica<'a>(sim: &'a SimNet<KvMsg, KvResponse>, r: u8) -> &'a ZyzzyvaReplica<
 
 #[test]
 fn fault_free_requests_complete_fast() {
-    let clients = (0..4u64).map(|c| (c, c as usize, (0..5).map(|i| put(c, i)).collect())).collect();
+    let clients = (0..4u64)
+        .map(|c| (c, c as usize, (0..5).map(|i| put(c, i)).collect()))
+        .collect();
     let (mut sim, total) = build(0, clients, 1);
     sim.run_until_deliveries(total);
     assert_eq!(sim.deliveries().len(), total);
     for d in sim.deliveries() {
-        assert!(d.delivery.fast_path, "fault-free Zyzzyva completes in one round");
+        assert!(
+            d.delivery.fast_path,
+            "fault-free Zyzzyva completes in one round"
+        );
     }
     // All replicas executed everything with identical state.
     let fp0 = replica(&sim, 0).app().fingerprint();
@@ -129,7 +147,10 @@ fn primary_in_client_region_is_fastest() {
         lat.push(sim.deliveries()[0].at);
     }
     let min = lat.iter().min().unwrap();
-    assert_eq!(lat[0], *min, "Virginia primary is fastest for a Virginia client: {lat:?}");
+    assert_eq!(
+        lat[0], *min,
+        "Virginia primary is fastest for a Virginia client: {lat:?}"
+    );
 }
 
 #[test]
@@ -153,7 +174,11 @@ fn primary_crash_triggers_view_change() {
     let (mut sim, total) = build(0, vec![(0, 1, (0..2).map(|i| put(0, i)).collect())], 5);
     sim.faults_mut().crash(ReplicaId::new(0));
     sim.run_until_deliveries(total);
-    assert_eq!(sim.deliveries().len(), total, "liveness across the view change");
+    assert_eq!(
+        sim.deliveries().len(),
+        total,
+        "liveness across the view change"
+    );
     // The survivors moved to view ≥ 1 (primary rotated off the dead node).
     for r in [1u8, 2, 3] {
         assert!(replica(&sim, r).view() >= 1, "replica {r} still in view 0");
@@ -187,11 +212,15 @@ fn mid_run_primary_crash_preserves_completed_state() {
 #[test]
 fn deterministic_runs() {
     let run = |seed| {
-        let clients =
-            (0..2u64).map(|c| (c, c as usize, (0..3).map(|i| put(c, i)).collect())).collect();
+        let clients = (0..2u64)
+            .map(|c| (c, c as usize, (0..3).map(|i| put(c, i)).collect()))
+            .collect();
         let (mut sim, total) = build(0, clients, seed);
         sim.run_until_deliveries(total);
-        sim.deliveries().iter().map(|d| d.at.as_micros()).collect::<Vec<_>>()
+        sim.deliveries()
+            .iter()
+            .map(|d| d.at.as_micros())
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(9), run(9));
 }

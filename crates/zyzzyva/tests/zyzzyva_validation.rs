@@ -4,8 +4,7 @@
 use ezbft_crypto::{Audience, CryptoKind, Digest, KeyStore, Signature};
 use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
 use ezbft_smr::{
-    Action, Actions, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
-    Timestamp,
+    Action, Actions, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, Timestamp,
 };
 use ezbft_zyzzyva::{Msg, OrderReq, OrderReqBody, Request, ZyzzyvaConfig, ZyzzyvaReplica};
 
@@ -34,7 +33,12 @@ fn fixture() -> Fixture {
         .replicas()
         .map(|rid| ZyzzyvaReplica::new(rid, cfg, stores.remove(0), KvStore::new()))
         .collect();
-    Fixture { cfg, replicas, client_keys, primary_keys_copy }
+    Fixture {
+        cfg,
+        replicas,
+        client_keys,
+        primary_keys_copy,
+    }
 }
 
 fn out() -> Out {
@@ -43,15 +47,30 @@ fn out() -> Out {
 
 fn signed_request(fx: &mut Fixture, ts: u64) -> Request<KvOp> {
     let client = ClientId::new(0);
-    let op = KvOp::Put { key: Key(ts), value: vec![ts as u8] };
+    let op = KvOp::Put {
+        key: Key(ts),
+        value: vec![ts as u8],
+    };
     let payload = Request::signed_payload(client, Timestamp(ts), &op);
-    let sig = fx.client_keys.sign(&payload, &Audience::replicas(fx.cfg.cluster.n()));
-    Request { client, ts: Timestamp(ts), cmd: op, sig }
+    let sig = fx
+        .client_keys
+        .sign(&payload, &Audience::replicas(fx.cfg.cluster.n()));
+    Request {
+        client,
+        ts: Timestamp(ts),
+        cmd: op,
+        sig,
+    }
 }
 
 fn signed_order(fx: &mut Fixture, n: u64, prev_hist: Digest, req: Request<KvOp>) -> OrderReq<KvOp> {
     let hist = prev_hist.chain(&req.digest());
-    let body = OrderReqBody { view: 0, n, hist, req_digest: req.digest() };
+    let body = OrderReqBody {
+        view: 0,
+        n,
+        hist,
+        req_digest: req.digest(),
+    };
     let audience = Audience::replicas(fx.cfg.cluster.n()).and(ClientId::new(0));
     let sig = fx.primary_keys_copy.sign(&body.signed_payload(), &audience);
     OrderReq { body, sig, req }
@@ -63,11 +82,18 @@ fn valid_order_req_produces_spec_response() {
     let req = signed_request(&mut fx, 1);
     let or = signed_order(&mut fx, 1, Digest::ZERO, req);
     let mut o = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::OrderReq(or), &mut o);
-    assert!(o
-        .as_slice()
-        .iter()
-        .any(|a| matches!(a, Action::Send { to: NodeId::Client(_), msg: Msg::SpecResponse(_) })));
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::OrderReq(or),
+        &mut o,
+    );
+    assert!(o.as_slice().iter().any(|a| matches!(
+        a,
+        Action::Send {
+            to: NodeId::Client(_),
+            msg: Msg::SpecResponse(_)
+        }
+    )));
     assert_eq!(fx.replicas[1].executed_upto(), 1);
 }
 
@@ -78,7 +104,11 @@ fn broken_history_chain_is_rejected() {
     // hist claims to chain from a bogus predecessor.
     let or = signed_order(&mut fx, 1, Digest::of(b"bogus-history"), req);
     let mut o = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::OrderReq(or), &mut o);
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::OrderReq(or),
+        &mut o,
+    );
     assert!(o.is_empty(), "history-chain violation must be silent");
     assert_eq!(fx.replicas[1].executed_upto(), 0);
     assert!(fx.replicas[1].stats().rejected >= 1);
@@ -90,7 +120,11 @@ fn order_req_from_non_primary_is_rejected() {
     let req = signed_request(&mut fx, 1);
     let or = signed_order(&mut fx, 1, Digest::ZERO, req);
     let mut o = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(2)), Msg::OrderReq(or), &mut o);
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(2)),
+        Msg::OrderReq(or),
+        &mut o,
+    );
     assert!(o.is_empty());
     assert_eq!(fx.replicas[1].executed_upto(), 0);
 }
@@ -106,16 +140,32 @@ fn out_of_order_order_reqs_are_buffered_until_contiguous() {
 
     // Deliver n=2 first: buffered, nothing executes.
     let mut o = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::OrderReq(or2), &mut o);
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::OrderReq(or2),
+        &mut o,
+    );
     assert_eq!(fx.replicas[1].executed_upto(), 0);
     // n=1 arrives: both execute in order.
     let mut o2 = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::OrderReq(or1), &mut o2);
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::OrderReq(or1),
+        &mut o2,
+    );
     assert_eq!(fx.replicas[1].executed_upto(), 2);
     let responses = o2
         .as_slice()
         .iter()
-        .filter(|a| matches!(a, Action::Send { msg: Msg::SpecResponse(_), .. }))
+        .filter(|a| {
+            matches!(
+                a,
+                Action::Send {
+                    msg: Msg::SpecResponse(_),
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(responses, 2, "both buffered slots respond once unblocked");
 }
@@ -127,7 +177,11 @@ fn forged_order_req_signature_is_rejected() {
     let mut or = signed_order(&mut fx, 1, Digest::ZERO, req);
     or.sig = Signature::Null;
     let mut o = out();
-    fx.replicas[1].on_message(NodeId::Replica(ReplicaId::new(0)), Msg::OrderReq(or), &mut o);
+    fx.replicas[1].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::OrderReq(or),
+        &mut o,
+    );
     assert!(o.is_empty());
     assert_eq!(fx.replicas[1].executed_upto(), 0);
 }

@@ -13,8 +13,7 @@ use ezbft::crypto::{CryptoKind, KeyStore};
 use ezbft::kv::{Key, KvOp, KvResponse, KvStore};
 use ezbft::simnet::{Region, SimConfig, SimNet, Topology};
 use ezbft::smr::{
-    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
-    TimerId,
+    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
 };
 
 type KvMsg = Msg<KvOp, KvResponse>;
@@ -71,8 +70,7 @@ fn main() {
         extra.into_iter().nth(byzantine_replica.index()).unwrap()
     });
 
-    let mut sim: SimNet<KvMsg, KvResponse> =
-        SimNet::new(Topology::exp1(), SimConfig::default());
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(Topology::exp1(), SimConfig::default());
     for (i, rid) in cluster.replicas().enumerate() {
         let replica = Replica::new(rid, cfg, stores.remove(0), KvStore::new());
         if rid == byzantine_replica {
@@ -91,11 +89,21 @@ fn main() {
     }
 
     // The client's nearest replica is — unluckily — the byzantine one.
-    let script: VecDeque<KvOp> =
-        (0..4).map(|i| KvOp::Put { key: Key(i), value: vec![i as u8; 16] }).collect();
+    let script: VecDeque<KvOp> = (0..4)
+        .map(|i| KvOp::Put {
+            key: Key(i),
+            value: vec![i as u8; 16],
+        })
+        .collect();
     let total = script.len();
     let client = Client::new(client_id, cfg, client_keys, byzantine_replica);
-    sim.add_node(Region(1), Box::new(ScriptedClient { inner: client, script }));
+    sim.add_node(
+        Region(1),
+        Box::new(ScriptedClient {
+            inner: client,
+            script,
+        }),
+    );
 
     sim.run_until_deliveries(total);
     let settle = sim.now() + Micros::from_secs(3);

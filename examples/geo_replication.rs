@@ -33,7 +33,11 @@ fn main() {
             .requests_per_client(10)
             .seed(primary as u64)
             .run();
-        matrices.push((0..n).map(|c| report.mean_latency_ms(c)).collect::<Vec<_>>());
+        matrices.push(
+            (0..n)
+                .map(|c| report.mean_latency_ms(c))
+                .collect::<Vec<_>>(),
+        );
     }
     for client in 0..n {
         print!("{:<12}", regions[client]);

@@ -18,8 +18,7 @@ use ezbft::crypto::{CryptoKind, KeyStore};
 use ezbft::kv::{Key, KvOp, KvResponse, KvStore};
 use ezbft::simnet::{Region, SimConfig, SimNet, Topology};
 use ezbft::smr::{
-    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
-    TimerId,
+    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
 };
 
 type KvMsg = Msg<KvOp, KvResponse>;
@@ -69,7 +68,10 @@ fn main() {
     let cfg = EzConfig::new(cluster);
 
     // Two tellers in different regions.
-    let tellers = [(ClientId::new(0), ReplicaId::new(0), 0), (ClientId::new(1), ReplicaId::new(3), 3)];
+    let tellers = [
+        (ClientId::new(0), ReplicaId::new(0), 0),
+        (ClientId::new(1), ReplicaId::new(3), 3),
+    ];
     let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
     for (c, ..) in &tellers {
         nodes.push(NodeId::Client(*c));
@@ -77,35 +79,58 @@ fn main() {
     let mut stores = KeyStore::cluster(CryptoKind::Mac, b"kv-bank", &nodes);
     let client_stores = stores.split_off(cluster.n());
 
-    let mut sim: SimNet<KvMsg, KvResponse> =
-        SimNet::new(Topology::exp1(), SimConfig::default());
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(Topology::exp1(), SimConfig::default());
     for (i, rid) in cluster.replicas().enumerate() {
-        sim.add_node(Region(i), Box::new(Replica::new(rid, cfg, stores.remove(0), KvStore::new())));
+        sim.add_node(
+            Region(i),
+            Box::new(Replica::new(rid, cfg, stores.remove(0), KvStore::new())),
+        );
     }
 
     // Teller 0 (Virginia): blind deposits into the shared account — these
     // commute with teller 1's deposits.
-    let deposits: VecDeque<KvOp> =
-        (0..5).map(|_| KvOp::Bump { key: account(1), by: 100 }).collect();
+    let deposits: VecDeque<KvOp> = (0..5)
+        .map(|_| KvOp::Bump {
+            key: account(1),
+            by: 100,
+        })
+        .collect();
     // Teller 1 (Australia): deposits into the same account, plus an audit
     // read at the end (the read interferes with the deposits).
-    let mut audit: VecDeque<KvOp> =
-        (0..5).map(|_| KvOp::Bump { key: account(1), by: 7 }).collect();
-    audit.push_back(KvOp::Incr { key: account(1), by: 0 }); // read the total
+    let mut audit: VecDeque<KvOp> = (0..5)
+        .map(|_| KvOp::Bump {
+            key: account(1),
+            by: 7,
+        })
+        .collect();
+    audit.push_back(KvOp::Incr {
+        key: account(1),
+        by: 0,
+    }); // read the total
 
     let total = deposits.len() + audit.len();
     for (((c, nearest, region), keys), script) in
         tellers.iter().zip(client_stores).zip([deposits, audit])
     {
         let client = Client::new(*c, cfg, keys, *nearest);
-        sim.add_node(Region(*region), Box::new(ScriptedClient { inner: client, script }));
+        sim.add_node(
+            Region(*region),
+            Box::new(ScriptedClient {
+                inner: client,
+                script,
+            }),
+        );
     }
 
     sim.run_until_deliveries(total);
     let settle = sim.now() + Micros::from_secs(2);
     sim.run_until_time(settle);
 
-    let fast = sim.deliveries().iter().filter(|d| d.delivery.fast_path).count();
+    let fast = sim
+        .deliveries()
+        .iter()
+        .filter(|d| d.delivery.fast_path)
+        .count();
     println!("{total} banking operations completed ({fast} on the fast path)");
     println!();
     println!("note: ten concurrent deposits to ONE shared account still ran");

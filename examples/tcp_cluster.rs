@@ -41,9 +41,8 @@ fn main() {
     for (rid, listener) in cluster.replicas().zip(listeners) {
         println!("  {rid} @ {}", listener.local_addr().unwrap());
         let replica = Replica::new(rid, cfg, stores.remove(0), KvStore::new());
-        handles.push(
-            NodeHandle::spawn_with_listener(replica, book.clone(), listener).expect("spawn"),
-        );
+        handles
+            .push(NodeHandle::spawn_with_listener(replica, book.clone(), listener).expect("spawn"));
     }
 
     let client: Client<KvOp, KvResponse> =
@@ -56,7 +55,13 @@ fn main() {
         let started = Instant::now();
         client_handle
             .with_node(move |c, out| {
-                c.submit(KvOp::Put { key: Key(i), value: vec![i as u8; 16] }, out);
+                c.submit(
+                    KvOp::Put {
+                        key: Key(i),
+                        value: vec![i as u8; 16],
+                    },
+                    out,
+                );
             })
             .expect("submit");
         let delivery = client_handle
@@ -66,7 +71,11 @@ fn main() {
             "  put#{i}: {:?} in {:?} ({})",
             delivery.response,
             started.elapsed(),
-            if delivery.fast_path { "fast path" } else { "slow path" }
+            if delivery.fast_path {
+                "fast path"
+            } else {
+                "slow path"
+            }
         );
     }
 

@@ -1,4 +1,3 @@
-#![allow(rustdoc::broken_intra_doc_links)]
 //! # ezBFT — leaderless Byzantine fault-tolerant state machine replication
 //!
 //! A full reproduction of *"ezBFT: Decentralizing Byzantine Fault-Tolerant
@@ -11,6 +10,20 @@
 //! This facade crate re-exports the workspace crates under short module
 //! names. Depend on the individual `ezbft-*` crates directly if you only
 //! need one layer.
+//!
+//! The usual entry points:
+//!
+//! - [`harness::ClusterBuilder`] — run any protocol over the calibrated
+//!   WAN simulator and collect a [`harness::RunReport`] (latency,
+//!   throughput, fast-path fraction, batching knobs);
+//! - [`core::Replica`] / [`core::Client`] — the ezBFT state machines
+//!   themselves, driven by [`simnet::SimNet`] or
+//!   [`transport::NodeHandle`];
+//! - [`smr::ProtocolNode`] and [`smr::Action`] — the sans-io contract
+//!   every protocol and driver in the workspace shares (including the
+//!   serialize-once [`smr::Action::Broadcast`] fan-out path);
+//! - [`kv::KvStore`] — the replicated application, with
+//!   [`kv::Workload`] generating the paper's contention-θ traffic.
 //!
 //! ## Quickstart
 //!

@@ -35,8 +35,12 @@ fn latency_ordering_follows_step_counts() {
     // primary): 5-step PBFT > 4-step FaB > 3-step Zyzzyva ≥ 3-step-local
     // ezBFT.
     let mut latencies = Vec::new();
-    for kind in [ProtocolKind::Pbft, ProtocolKind::Fab, ProtocolKind::Zyzzyva, ProtocolKind::EzBft]
-    {
+    for kind in [
+        ProtocolKind::Pbft,
+        ProtocolKind::Fab,
+        ProtocolKind::Zyzzyva,
+        ProtocolKind::EzBft,
+    ] {
         let report = ClusterBuilder::new(kind)
             .primary(ReplicaId::new(0))
             .clients_per_region(&[0, 1, 0, 0])
@@ -72,7 +76,12 @@ fn exp2_topology_runs_all_protocols() {
             .requests_per_client(3)
             .seed(99)
             .run();
-        assert_eq!(report.completed(), 12, "{} lost requests on exp2", kind.name());
+        assert_eq!(
+            report.completed(),
+            12,
+            "{} lost requests on exp2",
+            kind.name()
+        );
     }
 }
 

@@ -59,7 +59,12 @@ fn custom_topology_from_raw_matrix() {
 
 #[test]
 fn cost_model_is_composable_with_any_protocol() {
-    let cost = CostParams { order_us: 500, follow_us: 50, commit_us: 20, other_us: 10 };
+    let cost = CostParams {
+        order_us: 500,
+        follow_us: 50,
+        commit_us: 20,
+        other_us: 10,
+    };
     for kind in [ProtocolKind::Pbft, ProtocolKind::Fab] {
         let report = ClusterBuilder::new(kind)
             .primary(ReplicaId::new(0))

@@ -10,13 +10,12 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use ezbft::core::{Client, EzConfig, InstanceId, Msg, Replica};
+use ezbft::core::{Client, ExecRef, EzConfig, Msg, Replica};
 use ezbft::crypto::{CryptoKind, KeyStore};
 use ezbft::kv::{Key, KvOp, KvResponse, KvStore};
 use ezbft::simnet::{Region, SimConfig, SimNet, Topology};
 use ezbft::smr::{
-    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
-    TimerId,
+    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
 };
 
 type KvMsg = Msg<KvOp, KvResponse>;
@@ -69,10 +68,18 @@ fn build(
     }
     let mut stores = KeyStore::cluster(CryptoKind::Mac, b"paper-props", &nodes);
     let client_stores = stores.split_off(cluster.n());
-    let mut sim: SimNet<KvMsg, KvResponse> =
-        SimNet::new(Topology::exp1(), SimConfig { seed, ..Default::default() });
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(
+        Topology::exp1(),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     for (i, rid) in cluster.replicas().enumerate() {
-        sim.add_node(Region(i), Box::new(Replica::new(rid, cfg, stores.remove(0), KvStore::new())));
+        sim.add_node(
+            Region(i),
+            Box::new(Replica::new(rid, cfg, stores.remove(0), KvStore::new())),
+        );
     }
     let mut all_ops = Vec::new();
     let mut total = 0;
@@ -82,13 +89,16 @@ fn build(
         let client = Client::new(ClientId::new(id), cfg, keys, ReplicaId::new(pref));
         sim.add_node(
             Region(pref as usize),
-            Box::new(ScriptedClient { inner: client, script: script.into() }),
+            Box::new(ScriptedClient {
+                inner: client,
+                script: script.into(),
+            }),
         );
     }
     (sim, total, all_ops)
 }
 
-fn replica<'a>(sim: &'a SimNet<KvMsg, KvResponse>, r: u8) -> &'a Replica<KvStore> {
+fn replica(sim: &SimNet<KvMsg, KvResponse>, r: u8) -> &Replica<KvStore> {
     sim.inspect(NodeId::Replica(ReplicaId::new(r)))
         .unwrap()
         .downcast_ref::<Replica<KvStore>>()
@@ -99,7 +109,10 @@ fn contended_scripts() -> Vec<(u64, u8, Vec<KvOp>)> {
     (0..3u64)
         .map(|c| {
             let script = (0..5)
-                .map(|i| KvOp::Incr { key: Key(7), by: c * 10 + i })
+                .map(|i| KvOp::Incr {
+                    key: Key(7),
+                    by: c * 10 + i,
+                })
                 .collect();
             (c, c as u8, script)
         })
@@ -133,7 +146,7 @@ fn consistency_same_instance_same_command() {
     sim.run_until_time(settle);
     // For every instance any replica executed, every other replica that
     // executed it must hold the identical command.
-    let mut commands: HashMap<InstanceId, KvOp> = HashMap::new();
+    let mut commands: HashMap<ExecRef, KvOp> = HashMap::new();
     for r in 0..4u8 {
         let rep = replica(&sim, r);
         for &inst in rep.executed_log() {
@@ -157,8 +170,9 @@ fn stability_executed_prefix_is_monotone() {
     // prefix of its log after phase 2 (nothing un-executes or reorders).
     let (mut sim, total, _) = build(contended_scripts(), 3);
     sim.run_until_deliveries(total / 2);
-    let snapshots: Vec<Vec<InstanceId>> =
-        (0..4u8).map(|r| replica(&sim, r).executed_log().to_vec()).collect();
+    let snapshots: Vec<Vec<ExecRef>> = (0..4u8)
+        .map(|r| replica(&sim, r).executed_log().to_vec())
+        .collect();
     sim.run_until_deliveries(total);
     let settle = sim.now() + Micros::from_secs(2);
     sim.run_until_time(settle);
@@ -166,7 +180,11 @@ fn stability_executed_prefix_is_monotone() {
         let now = replica(&sim, r).executed_log();
         let before = &snapshots[r as usize];
         assert!(now.len() >= before.len());
-        assert_eq!(&now[..before.len()], before.as_slice(), "replica {r} rewrote history");
+        assert_eq!(
+            &now[..before.len()],
+            before.as_slice(),
+            "replica {r} rewrote history"
+        );
     }
 }
 
@@ -175,7 +193,11 @@ fn liveness_with_f_crashed_replicas() {
     // One replica (not the client's leader) is down for the whole run: all
     // requests must still complete — on the slow path, since the fast
     // quorum of 3f+1 is unreachable.
-    let scripts = vec![(0u64, 0u8, (0..4).map(|i| KvOp::Incr { key: Key(3), by: i }).collect())];
+    let scripts = vec![(
+        0u64,
+        0u8,
+        (0..4).map(|i| KvOp::Incr { key: Key(3), by: i }).collect(),
+    )];
     let (mut sim, total, _) = build(scripts, 4);
     sim.faults_mut().crash(ReplicaId::new(2));
     sim.run_until_deliveries(total);
@@ -191,7 +213,13 @@ fn responses_reflect_one_total_order_of_interfering_commands() {
     // the clients must be exactly a permutation-free serialisation: all
     // distinct, and the final value equals the sum of the increments.
     let scripts: Vec<(u64, u8, Vec<KvOp>)> = (0..3u64)
-        .map(|c| (c, c as u8, (0..4).map(|_| KvOp::Incr { key: Key(1), by: 1 }).collect()))
+        .map(|c| {
+            (
+                c,
+                c as u8,
+                (0..4).map(|_| KvOp::Incr { key: Key(1), by: 1 }).collect(),
+            )
+        })
         .collect();
     let (mut sim, total, _) = build(scripts, 5);
     sim.run_until_deliveries(total);
@@ -208,5 +236,8 @@ fn responses_reflect_one_total_order_of_interfering_commands() {
         .collect();
     counters.sort_unstable();
     let expected: Vec<u64> = (1..=total as u64).collect();
-    assert_eq!(counters, expected, "increments must serialise without gaps or dupes");
+    assert_eq!(
+        counters, expected,
+        "increments must serialise without gaps or dupes"
+    );
 }

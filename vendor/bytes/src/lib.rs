@@ -1,0 +1,228 @@
+//! Minimal, API-compatible subset of the `bytes` crate, vendored for
+//! offline builds (see `vendor/README.md`).
+//!
+//! [`Bytes`] is a cheaply-cloneable immutable byte buffer (`Arc<[u8]>`
+//! under the hood — exactly the property the serialize-once broadcast path
+//! relies on: one encode, N reference-counted handles). [`BytesMut`] is a
+//! growable buffer with the subset of cursor operations the frame decoder
+//! uses. The real crate's zero-copy `split_to` is approximated with a
+//! copy, which is irrelevant at frame-decoder scale.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read-cursor operations.
+pub trait Buf {
+    /// Discards the first `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+/// Write-cursor operations.
+pub trait BufMut {
+    /// Appends a `u32` in little-endian byte order.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// A cheaply-cloneable immutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// The buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.data == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        *self.data == other[..]
+    }
+}
+
+/// A growable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Read offset: everything before it is logically consumed.
+    head: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// Unconsumed length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.compact_if_large();
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `n` unconsumed bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes are buffered.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of range");
+        let out = self.data[self.head..self.head + n].to_vec();
+        self.head += n;
+        BytesMut { data: out, head: 0 }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        if self.head == 0 {
+            Bytes {
+                data: self.data.into(),
+            }
+        } else {
+            Bytes::copy_from_slice(&self.data[self.head..])
+        }
+    }
+
+    /// Reclaims consumed space once it dominates the buffer.
+    fn compact_if_large(&mut self) {
+        if self.head > 4096 && self.head * 2 > self.data.len() {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of range");
+        self.head += n;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_like_usage() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(5);
+        buf.put_slice(b"hello");
+        assert_eq!(buf.len(), 9);
+        assert_eq!(buf[0], 5);
+        buf.advance(4);
+        let payload = buf.split_to(5).freeze();
+        assert_eq!(payload.as_ref(), b"hello");
+        assert_eq!(buf.len(), 0);
+    }
+
+    #[test]
+    fn bytes_clone_shares_storage() {
+        let a = Bytes::copy_from_slice(b"shared");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn compaction_keeps_contents() {
+        let mut buf = BytesMut::new();
+        for _ in 0..4 {
+            buf.extend_from_slice(&[7u8; 2048]);
+        }
+        buf.advance(6144);
+        buf.extend_from_slice(b"tail");
+        assert_eq!(buf.len(), 2048 + 4);
+        assert_eq!(&buf[2048..], b"tail");
+    }
+}

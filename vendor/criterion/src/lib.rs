@@ -1,0 +1,194 @@
+//! Minimal, API-compatible subset of `criterion`, vendored for offline
+//! builds (see `vendor/README.md`).
+//!
+//! Benchmarks compile and run with the same source as against the real
+//! crate, but measurement is a simple mean-of-N timer printed to stdout —
+//! no statistical analysis, HTML reports or outlier rejection. Good enough
+//! to compare orders of magnitude (which is all the workspace's benches
+//! claim).
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimiser from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized (accepted for API compatibility).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Registers one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, 20, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count used for each benchmark in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates the group's throughput unit.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, iters: usize, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters: iters as u64,
+        elapsed: Duration::ZERO,
+        executed: 0,
+    };
+    f(&mut b);
+    if b.executed == 0 {
+        println!("  {id}: no iterations executed");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.executed as f64;
+    let rate = tp.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            "  ({:.1} MiB/s)",
+            n as f64 / (per_iter / 1e9) / (1024.0 * 1024.0)
+        ),
+        Throughput::Elements(n) => {
+            format!("  ({:.0} elem/s)", n as f64 / (per_iter / 1e9))
+        }
+    });
+    println!(
+        "  {id}: {:.0} ns/iter ({} iters){}",
+        per_iter,
+        b.executed,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    executed: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call outside the timed region.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.executed += self.iters;
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.executed += self.iters;
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` over group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Bytes(8));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

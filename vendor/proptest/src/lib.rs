@@ -1,0 +1,532 @@
+//! Minimal, API-compatible subset of `proptest`, vendored for offline
+//! builds (see `vendor/README.md`).
+//!
+//! Implements the strategy combinators and macros the workspace's property
+//! tests use: `any`, integer ranges, string-pattern strategies, `Just`,
+//! `prop_map`, `prop_recursive`, `prop_oneof!`, collection and option
+//! strategies, and the `proptest!` test harness macro. Unlike the real
+//! crate there is no shrinking — a failing case panics with the generated
+//! inputs visible in the assertion message — which keeps the shim small
+//! while preserving the tests' bug-finding power.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use rand::{Rng as _, RngCore, SeedableRng, SmallRng};
+
+/// Test-case generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The per-test random source.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// A deterministic runner (fixed seed: failures reproduce exactly).
+    pub fn deterministic() -> Self {
+        TestRunner {
+            rng: SmallRng::seed_from_u64(0x70726F7074657374),
+        }
+    }
+
+    /// Draws 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Draws a uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..bound)
+        }
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn gen(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds a recursive strategy: each of `depth` levels wraps the
+    /// previous via `f`, and generation picks a level at random so leaves
+    /// stay reachable.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _items: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let wrapped = f(level).boxed();
+            level = oneof(vec![leaf.clone(), wrapped]);
+        }
+        level
+    }
+}
+
+/// A type-erased, cheaply-cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+trait DynStrategy<T> {
+    fn gen_dyn(&self, runner: &mut TestRunner) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, runner: &mut TestRunner) -> S::Value {
+        self.gen(runner)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen(&self, runner: &mut TestRunner) -> T {
+        self.0.gen_dyn(runner)
+    }
+}
+
+/// Chooses uniformly among type-erased strategies.
+pub fn oneof<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    weighted_oneof(options.into_iter().map(|s| (1, s)).collect())
+}
+
+/// Chooses among type-erased strategies with integer weights.
+pub fn weighted_oneof<T: 'static>(options: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    OneOf { options }.boxed()
+}
+
+struct OneOf<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn gen(&self, runner: &mut TestRunner) -> T {
+        let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = runner.below(total.max(1));
+        for (w, s) in &self.options {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.gen(runner);
+            }
+            pick -= w;
+        }
+        self.options.last().expect("non-empty").1.gen(runner)
+    }
+}
+
+/// The mapped strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.gen(runner))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+/// The strategy generating arbitrary values of `T`.
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// Generates arbitrary values of an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                // Mix extremes in: property tests live on boundary values.
+                match runner.below(8) {
+                    0 => <$ty>::MIN,
+                    1 => <$ty>::MAX,
+                    2 => 0 as $ty,
+                    3 => 1 as $ty,
+                    _ => runner.next_u64() as $ty,
+                }
+            }
+        })*
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        let len = runner.below(64) as usize;
+        (0..len).map(|_| T::arbitrary(runner)).collect()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {
+        $(impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn gen(&self, runner: &mut TestRunner) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + runner.below(span) as $ty
+            }
+        })*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+/// A `&str` pattern strategy: `".{lo,hi}"` generates strings of printable
+/// ASCII with a length in `[lo, hi]`; any other pattern falls back to
+/// short printable strings.
+impl Strategy for &str {
+    type Value = String;
+    fn gen(&self, runner: &mut TestRunner) -> String {
+        let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 16));
+        let len = lo + runner.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| {
+                // Printable ASCII plus the occasional multi-byte char, so
+                // UTF-8 handling is exercised.
+                if runner.below(16) == 0 {
+                    'λ'
+                } else {
+                    (0x20 + runner.below(0x5f) as u8) as char
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident)+))+) => {
+        $(impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn gen(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$n.gen(runner),)+)
+            }
+        })+
+    };
+}
+
+tuple_strategy! {
+    (0 T0 1 T1)
+    (0 T0 1 T1 2 T2)
+    (0 T0 1 T1 2 T2 3 T3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with element strategy `element` and a length
+    /// drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = self.len.clone().gen(runner);
+            (0..n).map(|_| self.element.gen(runner)).collect()
+        }
+    }
+
+    /// A strategy for `BTreeMap`s (the drawn size is an upper bound; key
+    /// collisions shrink the map, as in the real crate).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        len: Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { keys, values, len }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        len: Range<usize>,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn gen(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = self.len.clone().gen(runner);
+            (0..n)
+                .map(|_| (self.keys.gen(runner), self.values.gen(runner)))
+                .collect()
+        }
+    }
+
+    /// A strategy for `BTreeSet`s (size is an upper bound).
+    pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, len }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = self.len.clone().gen(runner);
+            (0..n).map(|_| self.element.gen(runner)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRunner};
+
+    /// Generates `None` a quarter of the time, otherwise `Some` of the
+    /// inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen(&self, runner: &mut TestRunner) -> Self::Value {
+            if runner.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.gen(runner))
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// The property-test harness macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl ($cfg) $($rest)* }
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __runner = $crate::TestRunner::deterministic();
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::gen(&($strat), &mut __runner);)*
+                    let _ = __case;
+                    { $body }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @impl ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Chooses among strategies, optionally weighted.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::weighted_oneof(vec![
+            $(($weight, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::oneof(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_any_generate_in_bounds() {
+        let mut runner = super::TestRunner::deterministic();
+        for _ in 0..200 {
+            let v = Strategy::gen(&(3u64..9), &mut runner);
+            assert!((3..9).contains(&v));
+            let s = Strategy::gen(&".{2,5}", &mut runner);
+            assert!((2..=5).contains(&s.chars().count()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn harness_runs_and_binds(x in any::<u8>(), y in 1usize..4,) {
+            prop_assert!((1..4).contains(&y));
+            prop_assert_eq!(u64::from(x) * 2, u64::from(x) + u64::from(x));
+            prop_assert_ne!(y, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![2 => Just(1u8), 1 => (0u8..1).prop_map(|_| 2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+}

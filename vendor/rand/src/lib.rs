@@ -1,0 +1,227 @@
+//! Minimal, API-compatible subset of `rand` 0.8, vendored for offline
+//! builds (see `vendor/README.md`).
+//!
+//! Provides exactly what the workspace uses: [`rngs::SmallRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `gen`,
+//! `gen_range` (half-open and inclusive integer ranges), and `fill`. The
+//! generator is xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast, and adequate for simulation jitter and workload generation
+//! (nothing here is cryptographic).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    pub use crate::SmallRng;
+}
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The xoshiro256++ small fast generator.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, per the xoshiro authors' recommendation.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl SmallRng {
+    fn next_raw(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A value that can be drawn uniformly from an [`Rng`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// The raw generator interface.
+pub trait RngCore {
+    /// Produces the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw in `[0, bound)` without modulo bias worth caring about at
+/// simulation scale (Lemire-style multiply-shift).
+fn bounded(rng: &mut (impl RngCore + ?Sized), bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! int_range {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + bounded(rng, span) as $ty
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX as $ty as u64 && start == 0 {
+                        return rng.next_u64() as $ty;
+                    }
+                    start + bounded(rng, span + 1) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range!(u8, u16, u32, u64, usize);
+
+/// The user-facing generator interface.
+pub trait Rng: RngCore {
+    /// Draws one value of an inferable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Fills `dest` with uniformly random bytes.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5u64..10);
+            assert!((5..10).contains(&v));
+            let w = rng.gen_range(0u64..=3);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn fill_covers_whole_slice() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut buf = [0u8; 37];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

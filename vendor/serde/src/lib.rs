@@ -1,0 +1,19 @@
+//! Minimal, API-compatible subset of the `serde` data model, vendored so
+//! the workspace builds without network access (see `vendor/README.md`).
+//!
+//! Only the surface the workspace actually uses is provided: the
+//! [`Serialize`]/[`Deserialize`] traits, the serializer/deserializer trait
+//! pair with the full 29-shape data model, visitor plumbing, and impls for
+//! the std types that appear in protocol messages. The companion
+//! `serde_derive` crate provides `#[derive(Serialize, Deserialize)]` for
+//! the struct/enum shapes used here.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in the same namespace as the traits, exactly like the
+// real crate: `use serde::{Serialize, Deserialize}` imports both.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,672 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! A self-contained derive (no `syn`/`quote`; the container has no network
+//! access to fetch them) covering exactly the shapes this workspace uses:
+//! named/tuple/unit structs and enums with unit/newtype/tuple/struct
+//! variants, optional simple type parameters, and the `#[serde(skip)]`
+//! field attribute. Generation is string-based: the input item is parsed
+//! into a small model and the impls are emitted with `format!` and
+//! re-parsed into a `TokenStream`.
+
+// The generators build Rust source as strings; embedded newlines keep the
+// emitted code readable in panics, so the writeln-style lint is moot here.
+#![allow(clippy::write_with_newline)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+struct Field {
+    /// Named fields carry their identifier; tuple fields their index.
+    name: String,
+    ty: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Simple type parameter identifiers, declaration order.
+    params: Vec<String>,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading attributes; returns whether any was `#[serde(skip)]`.
+fn eat_attrs(it: &mut Iter) -> bool {
+    let mut skip = false;
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.next() {
+                    let text = g.stream().to_string();
+                    if text.starts_with("serde") && text.contains("skip") {
+                        skip = true;
+                    }
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_vis(it: &mut Iter) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(it: &mut Iter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parses `<A, B, ...>` if present, returning the parameter names. Bounds
+/// and defaults are not supported (the workspace declares none).
+fn parse_generics(it: &mut Iter) -> Vec<String> {
+    let mut params = Vec::new();
+    match it.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            it.next();
+        }
+        _ => return params,
+    }
+    let mut depth = 1usize;
+    let mut expecting_name = true;
+    for tok in it.by_ref() {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expecting_name = true,
+            TokenTree::Ident(id) if depth == 1 && expecting_name => {
+                params.push(id.to_string());
+                expecting_name = false;
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+/// Collects a type up to a top-level comma (angle-bracket aware). The
+/// collected tokens are rendered through `TokenStream`'s own `Display`,
+/// which preserves joint punctuation like `::`.
+fn parse_type(it: &mut Iter) -> String {
+    let mut depth = 0usize;
+    let mut toks: Vec<TokenTree> = Vec::new();
+    loop {
+        match it.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                it.next();
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        toks.push(it.next().expect("peeked"));
+    }
+    toks.into_iter().collect::<TokenStream>().to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it: Iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let skip = eat_attrs(&mut it);
+        eat_vis(&mut it);
+        let name = expect_ident(&mut it, "field name");
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field `{name}`, found {other:?}"),
+        }
+        let ty = parse_type(&mut it);
+        fields.push(Field { name, ty, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it: Iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    let mut index = 0usize;
+    while it.peek().is_some() {
+        let skip = eat_attrs(&mut it);
+        eat_vis(&mut it);
+        let ty = parse_type(&mut it);
+        fields.push(Field {
+            name: index.to_string(),
+            ty,
+            skip,
+        });
+        index += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it: Iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while it.peek().is_some() {
+        eat_attrs(&mut it);
+        let name = expect_ident(&mut it, "variant name");
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                it.next();
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                it.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it: Iter = input.into_iter().peekable();
+    eat_attrs(&mut it);
+    eat_vis(&mut it);
+    let kind = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "type name");
+    let params = parse_generics(&mut it);
+    let data = match kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("serde_derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Input { name, params, data }
+}
+
+// ---------------------------------------------------------------------
+// Shared generation helpers
+// ---------------------------------------------------------------------
+
+impl Input {
+    /// `<C: BOUND, R: BOUND>` (empty string when non-generic).
+    fn impl_params(&self, bound: &str, lifetime: bool) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if lifetime {
+            parts.push("'de".to_string());
+        }
+        parts.extend(self.params.iter().map(|p| format!("{p}: {bound}")));
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", parts.join(", "))
+        }
+    }
+
+    /// `<C, R>` (empty string when non-generic).
+    fn ty_params(&self) -> String {
+        if self.params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.params.join(", "))
+        }
+    }
+
+    /// PhantomData payload for helper visitor structs.
+    fn phantom_ty(&self) -> String {
+        if self.params.is_empty() {
+            "()".to_string()
+        } else {
+            format!("({},)", self.params.join(", "))
+        }
+    }
+}
+
+fn active(fields: &[Field]) -> Vec<&Field> {
+    fields.iter().filter(|f| !f.skip).collect()
+}
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let impl_params = input.impl_params("::serde::Serialize", false);
+    let ty_params = input.ty_params();
+
+    let body = match &input.data {
+        Data::Struct(Fields::Unit) => {
+            format!("::serde::Serializer::serialize_unit_struct(__s, \"{name}\")")
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let act = active(fields);
+            let mut out = format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__s, \"{name}\", \
+                 {}usize)?;\n",
+                act.len()
+            );
+            for f in &act {
+                let _ = writeln!(
+                    out,
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{0}\", \
+                     &self.{0})?;",
+                    f.name
+                );
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__st)");
+            out
+        }
+        Data::Struct(Fields::Tuple(fields)) => {
+            let act = active(fields);
+            if act.len() == 1 && fields.len() == 1 {
+                format!(
+                    "::serde::Serializer::serialize_newtype_struct(__s, \"{name}\", &self.{})",
+                    act[0].name
+                )
+            } else {
+                let mut out = format!(
+                    "let mut __st = ::serde::Serializer::serialize_tuple_struct(__s, \
+                     \"{name}\", {}usize)?;\n",
+                    act.len()
+                );
+                for f in &act {
+                    let _ = writeln!(
+                        out,
+                        "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, \
+                         &self.{})?;",
+                        f.name
+                    );
+                }
+                out.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+                out
+            }
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname} => \
+                             ::serde::Serializer::serialize_unit_variant(__s, \"{name}\", \
+                             {idx}u32, \"{vname}\"),"
+                        );
+                    }
+                    Fields::Tuple(fields) if fields.len() == 1 => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname}(__f0) => \
+                             ::serde::Serializer::serialize_newtype_variant(__s, \"{name}\", \
+                             {idx}u32, \"{vname}\", __f0),"
+                        );
+                    }
+                    Fields::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __st = \
+                             ::serde::Serializer::serialize_tuple_variant(__s, \"{name}\", \
+                             {idx}u32, \"{vname}\", {}usize)?;\n",
+                            binds.join(", "),
+                            fields.len()
+                        );
+                        for b in &binds {
+                            let _ = writeln!(
+                                arm,
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut \
+                                 __st, {b})?;"
+                            );
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__st)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    Fields::Named(fields) => {
+                        let act = active(fields);
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{0}: __b_{0}", f.name))
+                            .collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __st = \
+                             ::serde::Serializer::serialize_struct_variant(__s, \"{name}\", \
+                             {idx}u32, \"{vname}\", {}usize)?;\n",
+                            binds.join(", "),
+                            act.len()
+                        );
+                        for f in &act {
+                            let _ = writeln!(
+                                arm,
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut \
+                                 __st, \"{0}\", __b_{0})?;",
+                                f.name
+                            );
+                        }
+                        for f in fields.iter().filter(|f| f.skip) {
+                            let _ = writeln!(arm, "let _ = __b_{};", f.name);
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__st)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{impl_params} ::serde::Serialize for {name}{ty_params} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) -> \
+         ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------
+
+/// Emits a `visit_seq` body building `ctor` from `fields` read in order.
+fn gen_visit_seq(ctor: &str, fields: &Fields) -> String {
+    let (all, named): (&[Field], bool) = match fields {
+        Fields::Named(f) => (f, true),
+        Fields::Tuple(f) => (f, false),
+        Fields::Unit => (&[], false),
+    };
+    let mut out = String::new();
+    let mut binds = Vec::new();
+    for (i, f) in all.iter().enumerate() {
+        let bind = format!("__f{i}");
+        if f.skip {
+            let _ = writeln!(
+                out,
+                "let {bind}: {ty} = ::std::default::Default::default();",
+                ty = f.ty
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "let {bind}: {ty} = match ::serde::de::SeqAccess::next_element(&mut __seq)? \
+                 {{ ::std::option::Option::Some(__v) => __v, _ => return \
+                 ::std::result::Result::Err(::serde::de::Error::invalid_length({i}usize, \
+                 \"too few elements\")) }};",
+                ty = f.ty
+            );
+        }
+        binds.push((f.name.clone(), bind));
+    }
+    if named {
+        let inits: Vec<String> = binds.iter().map(|(n, b)| format!("{n}: {b}")).collect();
+        let _ = write!(
+            out,
+            "::std::result::Result::Ok({ctor} {{ {} }})",
+            inits.join(", ")
+        );
+    } else {
+        let inits: Vec<String> = binds.iter().map(|(_, b)| b.clone()).collect();
+        let _ = write!(
+            out,
+            "::std::result::Result::Ok({ctor}({}))",
+            inits.join(", ")
+        );
+    }
+    out
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let impl_params = input.impl_params("::serde::Deserialize<'de>", true);
+    let ty_params = input.ty_params();
+    let phantom = input.phantom_ty();
+    let self_ty = format!("{name}{ty_params}");
+
+    // Helper: declaration + Visitor impl for a visitor struct named `vis`
+    // whose `visit_seq`/extra methods are given by `methods`.
+    let visitor = |vis: &str, expecting: &str, methods: &str| -> String {
+        format!(
+            "struct {vis}{ty_params}(::std::marker::PhantomData<{phantom}>);\n\
+             #[automatically_derived]\n\
+             impl{impl_params} ::serde::de::Visitor<'de> for {vis}{ty_params} {{\n\
+             type Value = {self_ty};\n\
+             fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result \
+             {{ __f.write_str(\"{expecting}\") }}\n\
+             {methods}\n}}\n"
+        )
+    };
+
+    let body = match &input.data {
+        Data::Struct(Fields::Unit) => {
+            let methods = format!(
+                "fn visit_unit<__E: ::serde::de::Error>(self) -> \
+                 ::std::result::Result<Self::Value, __E> {{ \
+                 ::std::result::Result::Ok({name}) }}"
+            );
+            format!(
+                "{}\n::serde::Deserializer::deserialize_unit_struct(__d, \"{name}\", \
+                 __Visitor(::std::marker::PhantomData))",
+                visitor("__Visitor", &format!("unit struct {name}"), &methods)
+            )
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let act = active(fields);
+            let field_names: Vec<String> = act.iter().map(|f| format!("\"{}\"", f.name)).collect();
+            let seq = gen_visit_seq(name, &Fields::Named(reorder_for_seq(fields)));
+            let methods = format!(
+                "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> \
+                 ::std::result::Result<Self::Value, __A::Error> {{\n{seq}\n}}"
+            );
+            format!(
+                "{}\n::serde::Deserializer::deserialize_struct(__d, \"{name}\", &[{}], \
+                 __Visitor(::std::marker::PhantomData))",
+                visitor("__Visitor", &format!("struct {name}"), &methods),
+                field_names.join(", ")
+            )
+        }
+        Data::Struct(Fields::Tuple(fields)) if fields.len() == 1 && !fields[0].skip => {
+            let methods = format!(
+                "fn visit_newtype_struct<__D2: ::serde::Deserializer<'de>>(self, __d2: __D2) \
+                 -> ::std::result::Result<Self::Value, __D2::Error> {{ \
+                 ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d2)?)) \
+                 }}"
+            );
+            format!(
+                "{}\n::serde::Deserializer::deserialize_newtype_struct(__d, \"{name}\", \
+                 __Visitor(::std::marker::PhantomData))",
+                visitor("__Visitor", &format!("newtype struct {name}"), &methods)
+            )
+        }
+        Data::Struct(Fields::Tuple(fields)) => {
+            let act = active(fields);
+            let seq = gen_visit_seq(name, &Fields::Tuple(reorder_for_seq(fields)));
+            let methods = format!(
+                "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> \
+                 ::std::result::Result<Self::Value, __A::Error> {{\n{seq}\n}}"
+            );
+            format!(
+                "{}\n::serde::Deserializer::deserialize_tuple_struct(__d, \"{name}\", \
+                 {}usize, __Visitor(::std::marker::PhantomData))",
+                visitor("__Visitor", &format!("tuple struct {name}"), &methods),
+                act.len()
+            )
+        }
+        Data::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let mut arms = String::new();
+            let mut helpers = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{idx}u32 => {{ ::serde::de::VariantAccess::unit_variant(__var)?; \
+                             ::std::result::Result::Ok({name}::{vname}) }}"
+                        );
+                    }
+                    Fields::Tuple(fields) if fields.len() == 1 => {
+                        let _ = writeln!(
+                            arms,
+                            "{idx}u32 => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::de::VariantAccess::newtype_variant(__var)?)),"
+                        );
+                    }
+                    other => {
+                        let vis = format!("__Variant{idx}Visitor");
+                        let ctor = format!("{name}::{vname}");
+                        let seq = gen_visit_seq(&ctor, &clone_reordered(other));
+                        let methods = format!(
+                            "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: \
+                             __A) -> ::std::result::Result<Self::Value, __A::Error> \
+                             {{\n{seq}\n}}"
+                        );
+                        helpers.push_str(&visitor(
+                            &vis,
+                            &format!("variant {name}::{vname}"),
+                            &methods,
+                        ));
+                        match other {
+                            Fields::Tuple(fields) => {
+                                let _ = writeln!(
+                                    arms,
+                                    "{idx}u32 => ::serde::de::VariantAccess::tuple_variant(\
+                                     __var, {}usize, {vis}(::std::marker::PhantomData)),",
+                                    fields.len()
+                                );
+                            }
+                            Fields::Named(fields) => {
+                                let names: Vec<String> = fields
+                                    .iter()
+                                    .filter(|f| !f.skip)
+                                    .map(|f| format!("\"{}\"", f.name))
+                                    .collect();
+                                let _ = writeln!(
+                                    arms,
+                                    "{idx}u32 => ::serde::de::VariantAccess::struct_variant(\
+                                     __var, &[{}], {vis}(::std::marker::PhantomData)),",
+                                    names.join(", ")
+                                );
+                            }
+                            Fields::Unit => unreachable!("handled above"),
+                        }
+                    }
+                }
+            }
+            let methods = format!(
+                "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __a: __A) -> \
+                 ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__idx, __var): (u32, _) = ::serde::de::EnumAccess::variant(__a)?;\n\
+                 match __idx {{\n{arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::de::Error::unknown_variant(__other, __VARIANTS)),\n}}\n}}"
+            );
+            format!(
+                "const __VARIANTS: &[&str] = &[{}];\n{helpers}{}\n\
+                 ::serde::Deserializer::deserialize_enum(__d, \"{name}\", __VARIANTS, \
+                 __Visitor(::std::marker::PhantomData))",
+                variant_names.join(", "),
+                visitor("__Visitor", &format!("enum {name}"), &methods)
+            )
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{impl_params} ::serde::Deserialize<'de> for {name}{ty_params} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) -> \
+         ::std::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// Clones fields preserving order (skipped fields keep their position so
+/// defaults are materialised in place; only non-skipped ones are read).
+fn reorder_for_seq(fields: &[Field]) -> Vec<Field> {
+    fields
+        .iter()
+        .map(|f| Field {
+            name: f.name.clone(),
+            ty: f.ty.clone(),
+            skip: f.skip,
+        })
+        .collect()
+}
+
+fn clone_reordered(fields: &Fields) -> Fields {
+    match fields {
+        Fields::Named(f) => Fields::Named(reorder_for_seq(f)),
+        Fields::Tuple(f) => Fields::Tuple(reorder_for_seq(f)),
+        Fields::Unit => Fields::Unit,
+    }
+}
