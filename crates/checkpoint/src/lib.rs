@@ -1,0 +1,35 @@
+//! # ezbft-checkpoint — checkpointing, log compaction and state transfer
+//!
+//! Every protocol in this workspace accumulates per-instance log entries and
+//! exactly-once client bookkeeping; the source paper assumes those logs are
+//! available forever but never bounds them. This crate is the shared,
+//! protocol-agnostic engine that turns unbounded logs into bounded ones:
+//!
+//! - [`Snapshotable`] — the application contract: serialize the replicated
+//!   state canonically, digest it, restore it byte-for-byte;
+//! - [`CheckpointTracker`] — tallies signed CHECKPOINT votes until `2f + 1`
+//!   replicas agree on one `(mark, digest)`, producing a
+//!   [`StableCheckpoint`] certificate that justifies truncating everything
+//!   the checkpoint covers;
+//! - [`chunk_snapshot`] / [`ChunkAssembler`] — the pull-based state-transfer
+//!   building blocks: a snapshot travels as digest-addressed chunks and the
+//!   fetcher reassembles and verifies them against the certified digest
+//!   before adopting anything.
+//!
+//! The ezBFT core (`ezbft-core`) drives the tracker from checkpoint
+//! *barrier* instances ordered through the normal protocol; the PBFT
+//! baseline drives it from sequence-number watermarks. Both run unchanged
+//! under the simulator and the TCP runtime because the engine is pure state:
+//! no clocks, no sockets, no threads (the same sans-io discipline as
+//! `ezbft-smr`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod snapshot;
+mod tracker;
+mod transfer;
+
+pub use snapshot::{SnapshotError, Snapshotable};
+pub use tracker::{CheckpointTracker, CheckpointVote, Mark, StableCheckpoint};
+pub use transfer::{chunk_snapshot, ChunkAssembler, SnapshotChunk};

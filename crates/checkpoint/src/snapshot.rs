@@ -1,0 +1,79 @@
+//! The application snapshot contract.
+
+use std::fmt;
+
+use ezbft_crypto::Digest;
+
+/// Why a snapshot could not be restored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot bytes did not decode as the expected state.
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A replicated state that can be checkpointed and transferred.
+///
+/// The contract has one load-bearing requirement beyond round-tripping:
+/// **canonical encoding**. Two instances holding equal state must produce
+/// byte-identical snapshots, because checkpoint stability is agreement on
+/// the snapshot *digest* — iteration-order-dependent encodings (e.g. a
+/// `HashMap` serialized in hash order) would make correct replicas disagree
+/// forever. Sort before encoding.
+pub trait Snapshotable: Sized {
+    /// Serializes the full state canonically.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Reconstructs the state from [`Snapshotable::snapshot`] bytes.
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError>;
+
+    /// The digest checkpoint votes agree on.
+    fn state_digest(&self) -> Digest {
+        Digest::of(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Counter(u64);
+
+    impl Snapshotable for Counter {
+        fn snapshot(&self) -> Vec<u8> {
+            self.0.to_le_bytes().to_vec()
+        }
+        fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+            let arr: [u8; 8] = bytes
+                .try_into()
+                .map_err(|_| SnapshotError::Malformed("want 8 bytes".into()))?;
+            Ok(Counter(u64::from_le_bytes(arr)))
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_digest_agree() {
+        let a = Counter(7);
+        let restored = Counter::restore(&a.snapshot()).unwrap();
+        assert_eq!(a, restored);
+        assert_eq!(a.state_digest(), restored.state_digest());
+        assert_ne!(a.state_digest(), Counter(8).state_digest());
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(Counter::restore(b"abc").is_err());
+        let err = Counter::restore(b"abc").unwrap_err();
+        assert!(err.to_string().contains("malformed"));
+    }
+}

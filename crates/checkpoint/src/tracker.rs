@@ -1,0 +1,213 @@
+//! Stable-checkpoint agreement: `2f + 1` matching signed digests.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use ezbft_crypto::{Digest, Signature};
+use ezbft_smr::ReplicaId;
+
+/// Bound on checkpoint mark types: a mark names *which* cut of the history
+/// a vote certifies (a PBFT sequence number, an ezBFT barrier instance).
+/// Marks must be totally ordered so later stable checkpoints supersede
+/// earlier ones.
+pub trait Mark: Clone + Debug + Eq + Ord + Serialize + DeserializeOwned + Send + 'static {}
+impl<T: Clone + Debug + Eq + Ord + Serialize + DeserializeOwned + Send + 'static> Mark for T {}
+
+/// One replica's signed claim "my state at cut `mark` digests to `digest`".
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CheckpointVote<M> {
+    /// The cut being certified.
+    pub mark: M,
+    /// Digest of the canonical state snapshot at the cut.
+    pub digest: Digest,
+    /// The voting replica.
+    pub sender: ReplicaId,
+    /// Signature by `sender` over [`CheckpointVote::signed_payload`].
+    pub sig: Signature,
+}
+
+impl<M: Mark> CheckpointVote<M> {
+    /// Canonical signed bytes of a vote.
+    pub fn signed_payload(mark: &M, digest: Digest) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"checkpoint", mark, digest)).expect("checkpoint vote encodes")
+    }
+}
+
+/// A stable checkpoint: `2f + 1` distinct replicas certified the same
+/// `(mark, digest)`. The proof is self-contained — any party holding the
+/// cluster's keys can re-verify every vote — which is what lets a donor
+/// hand the certificate to a rejoining replica that trusts nobody.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StableCheckpoint<M> {
+    /// The certified cut.
+    pub mark: M,
+    /// The certified snapshot digest.
+    pub digest: Digest,
+    /// The quorum of votes (distinct senders, all matching).
+    pub proof: Vec<CheckpointVote<M>>,
+}
+
+/// Tallies checkpoint votes until one `(mark, digest)` reaches the quorum.
+///
+/// The tracker does **not** verify signatures — callers own the keystore
+/// and must verify a vote before recording it (exactly like the protocol
+/// crates verify every other message on receipt). It does enforce
+/// one-vote-per-replica per `(mark, digest)` and prunes everything at or
+/// below the stable mark, so its memory is bounded by the number of
+/// in-flight (unstable) checkpoints.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointTracker<M> {
+    votes: BTreeMap<(M, Digest), Vec<CheckpointVote<M>>>,
+    stable: Option<StableCheckpoint<M>>,
+}
+
+impl<M: Mark> CheckpointTracker<M> {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        CheckpointTracker {
+            votes: BTreeMap::new(),
+            stable: None,
+        }
+    }
+
+    /// The latest stable checkpoint, if any.
+    pub fn stable(&self) -> Option<&StableCheckpoint<M>> {
+        self.stable.as_ref()
+    }
+
+    /// Number of distinct `(mark, digest)` propositions still tallying.
+    pub fn pending(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Records a (signature-verified) vote. Returns the new stable
+    /// checkpoint when this vote completes a quorum above the current
+    /// stable mark; the certificate is also retained and available via
+    /// [`CheckpointTracker::stable`].
+    pub fn record(
+        &mut self,
+        vote: CheckpointVote<M>,
+        quorum: usize,
+    ) -> Option<StableCheckpoint<M>> {
+        if let Some(stable) = &self.stable {
+            if vote.mark <= stable.mark {
+                return None; // already covered
+            }
+        }
+        let key = (vote.mark.clone(), vote.digest);
+        let entry = self.votes.entry(key.clone()).or_default();
+        if entry.iter().any(|v| v.sender == vote.sender) {
+            return None; // a replica votes once per proposition
+        }
+        entry.push(vote);
+        if entry.len() < quorum {
+            return None;
+        }
+        let proof = entry.clone();
+        let stable = StableCheckpoint {
+            mark: key.0,
+            digest: key.1,
+            proof,
+        };
+        self.install_stable(stable.clone());
+        Some(stable)
+    }
+
+    /// Adopts an externally obtained certificate (state transfer): the
+    /// caller must have verified the quorum and every signature. A
+    /// certificate at or below the current stable mark is ignored.
+    pub fn adopt(&mut self, stable: StableCheckpoint<M>) -> bool {
+        if let Some(cur) = &self.stable {
+            if stable.mark <= cur.mark {
+                return false;
+            }
+        }
+        self.install_stable(stable);
+        true
+    }
+
+    fn install_stable(&mut self, stable: StableCheckpoint<M>) {
+        self.votes.retain(|(mark, _), _| *mark > stable.mark);
+        self.stable = Some(stable);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vote(mark: u64, digest: u8, sender: u8) -> CheckpointVote<u64> {
+        CheckpointVote {
+            mark,
+            digest: Digest::of(&[digest]),
+            sender: ReplicaId::new(sender),
+            sig: Signature::Null,
+        }
+    }
+
+    #[test]
+    fn quorum_of_matching_votes_goes_stable() {
+        let mut t = CheckpointTracker::new();
+        assert!(t.record(vote(1, 9, 0), 3).is_none());
+        assert!(t.record(vote(1, 9, 1), 3).is_none());
+        let stable = t.record(vote(1, 9, 2), 3).expect("third matching vote");
+        assert_eq!(stable.mark, 1);
+        assert_eq!(stable.proof.len(), 3);
+        assert_eq!(t.stable().unwrap().mark, 1);
+        assert_eq!(t.pending(), 0, "stable mark prunes its own votes");
+    }
+
+    #[test]
+    fn duplicate_and_divergent_votes_do_not_count() {
+        let mut t = CheckpointTracker::new();
+        assert!(t.record(vote(1, 9, 0), 3).is_none());
+        assert!(t.record(vote(1, 9, 0), 3).is_none(), "duplicate sender");
+        assert!(t.record(vote(1, 8, 1), 3).is_none(), "different digest");
+        assert!(t.record(vote(1, 8, 2), 3).is_none());
+        assert!(t.stable().is_none());
+        assert_eq!(t.pending(), 2);
+    }
+
+    #[test]
+    fn stale_votes_below_stable_are_ignored_and_pruned() {
+        let mut t = CheckpointTracker::new();
+        for s in 0..3 {
+            t.record(vote(5, 1, s), 3);
+        }
+        assert_eq!(t.stable().unwrap().mark, 5);
+        assert!(t.record(vote(4, 7, 3), 3).is_none());
+        assert_eq!(t.pending(), 0);
+        // A later mark still tallies.
+        assert!(t.record(vote(6, 2, 0), 3).is_none());
+        assert_eq!(t.pending(), 1);
+    }
+
+    #[test]
+    fn adopt_takes_only_newer_certificates() {
+        let mut t = CheckpointTracker::new();
+        let newer = StableCheckpoint {
+            mark: 10u64,
+            digest: Digest::of(b"x"),
+            proof: vec![],
+        };
+        assert!(t.adopt(newer.clone()));
+        assert!(!t.adopt(newer.clone()), "same mark rejected");
+        assert!(!t.adopt(StableCheckpoint {
+            mark: 3,
+            ..newer.clone()
+        }));
+        assert_eq!(t.stable().unwrap().mark, 10);
+    }
+
+    #[test]
+    fn signed_payload_binds_mark_and_digest() {
+        let a = CheckpointVote::<u64>::signed_payload(&1, Digest::of(b"s"));
+        let b = CheckpointVote::<u64>::signed_payload(&2, Digest::of(b"s"));
+        let c = CheckpointVote::<u64>::signed_payload(&1, Digest::of(b"t"));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

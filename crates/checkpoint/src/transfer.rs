@@ -1,0 +1,239 @@
+//! Chunked, digest-verified snapshot transfer.
+//!
+//! A snapshot can be megabytes; shipping it as one frame would stall every
+//! other message behind it (and exceed sane frame limits). The donor splits
+//! the bytes into fixed-size chunks addressed by `(digest, index, total)`;
+//! the fetcher reassembles with [`ChunkAssembler`] and only ever sees the
+//! full snapshot after the digest of the reassembled bytes matched the
+//! *certified* digest — chunks from different (even byzantine) donors are
+//! interchangeable because the digest, not the donor, names the content.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use ezbft_crypto::Digest;
+
+/// One piece of a snapshot in flight.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SnapshotChunk {
+    /// Digest of the complete snapshot (the chunk's content address).
+    pub digest: Digest,
+    /// This chunk's position, `0..total`.
+    pub index: u32,
+    /// Total number of chunks.
+    pub total: u32,
+    /// The bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Splits snapshot bytes into chunks of at most `chunk_size` bytes.
+///
+/// An empty snapshot still produces one (empty) chunk so the fetcher's
+/// completion logic never divides by zero.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+pub fn chunk_snapshot(bytes: &[u8], chunk_size: usize) -> Vec<SnapshotChunk> {
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let digest = Digest::of(bytes);
+    if bytes.is_empty() {
+        return vec![SnapshotChunk {
+            digest,
+            index: 0,
+            total: 1,
+            bytes: Vec::new(),
+        }];
+    }
+    let total = bytes.len().div_ceil(chunk_size) as u32;
+    bytes
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(i, part)| SnapshotChunk {
+            digest,
+            index: i as u32,
+            total,
+            bytes: part.to_vec(),
+        })
+        .collect()
+}
+
+/// Most chunks one snapshot may claim (with 64 KiB chunks this caps a
+/// snapshot at 4 GiB — far above anything this workspace produces, and it
+/// stops a lying donor from declaring an absurd `total` to stall assembly
+/// or stuff memory).
+pub const MAX_CHUNKS: u32 = 1 << 16;
+
+/// Most distinct `total` claims tracked at once (honest donors all agree
+/// on one; a handful of byzantine claims may coexist without wedging it).
+const MAX_TOTAL_GROUPS: usize = 4;
+
+/// Reassembles chunks for one expected digest.
+///
+/// Chunks are grouped by their claimed `total`: honest donors chunk the
+/// same bytes identically and land in one group, while a byzantine donor's
+/// divergent claim assembles (and fails digest verification) on its own
+/// instead of blocking the honest group — a single bad chunk can never
+/// wedge recovery.
+#[derive(Clone, Debug)]
+pub struct ChunkAssembler {
+    digest: Digest,
+    groups: BTreeMap<u32, BTreeMap<u32, Vec<u8>>>,
+}
+
+impl ChunkAssembler {
+    /// Creates an assembler that accepts only chunks of the snapshot whose
+    /// digest the caller obtained from a stable-checkpoint certificate.
+    pub fn new(digest: Digest) -> Self {
+        ChunkAssembler {
+            digest,
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// The digest being assembled.
+    pub fn digest(&self) -> Digest {
+        self.digest
+    }
+
+    /// Chunks received so far (across all claimed totals).
+    pub fn received(&self) -> usize {
+        self.groups.values().map(|g| g.len()).sum()
+    }
+
+    /// Offers a chunk. Returns the complete, digest-verified snapshot bytes
+    /// once every part of some `total` group arrived; chunks for other
+    /// digests, out-of-range indices and duplicates are ignored. A group
+    /// whose reassembled bytes fail digest verification (a donor lied
+    /// about chunk *content*) is dropped so honest chunks can rebuild it.
+    pub fn offer(&mut self, chunk: SnapshotChunk) -> Option<Vec<u8>> {
+        if chunk.digest != self.digest
+            || chunk.total == 0
+            || chunk.total > MAX_CHUNKS
+            || chunk.index >= chunk.total
+        {
+            return None;
+        }
+        let total = chunk.total;
+        if !self.groups.contains_key(&total) && self.groups.len() >= MAX_TOTAL_GROUPS {
+            return None; // enough liars tracked already
+        }
+        let group = self.groups.entry(total).or_default();
+        group.entry(chunk.index).or_insert(chunk.bytes);
+        if group.len() < total as usize {
+            return None;
+        }
+        let mut bytes = Vec::new();
+        for part in group.values() {
+            bytes.extend_from_slice(part);
+        }
+        if Digest::of(&bytes) != self.digest {
+            // Poisoned content for this total: drop the group and rebuild.
+            self.groups.remove(&total);
+            return None;
+        }
+        Some(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_order_and_shuffled() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let chunks = chunk_snapshot(&data, 64);
+        assert_eq!(chunks.len(), 16);
+        assert!(chunks.iter().all(|c| c.total == 16));
+
+        let mut asm = ChunkAssembler::new(Digest::of(&data));
+        let mut shuffled = chunks.clone();
+        shuffled.reverse();
+        let mut done = None;
+        for c in shuffled {
+            done = done.or(asm.offer(c));
+        }
+        assert_eq!(done.expect("complete"), data);
+    }
+
+    #[test]
+    fn empty_snapshot_is_one_chunk() {
+        let chunks = chunk_snapshot(&[], 64);
+        assert_eq!(chunks.len(), 1);
+        let mut asm = ChunkAssembler::new(Digest::of(&[]));
+        assert_eq!(asm.offer(chunks[0].clone()), Some(Vec::new()));
+    }
+
+    #[test]
+    fn wrong_digest_and_duplicates_ignored() {
+        let data = vec![7u8; 100];
+        let chunks = chunk_snapshot(&data, 40);
+        let mut asm = ChunkAssembler::new(Digest::of(&data));
+        // A chunk for a different snapshot is ignored.
+        let mut foreign = chunks[0].clone();
+        foreign.digest = Digest::of(b"other");
+        assert!(asm.offer(foreign).is_none());
+        // Duplicates don't double-count.
+        assert!(asm.offer(chunks[0].clone()).is_none());
+        assert!(asm.offer(chunks[0].clone()).is_none());
+        assert_eq!(asm.received(), 1);
+        assert!(asm.offer(chunks[1].clone()).is_none());
+        assert_eq!(asm.offer(chunks[2].clone()), Some(data));
+    }
+
+    #[test]
+    fn poisoned_content_resets_assembler() {
+        let data = vec![3u8; 80];
+        let chunks = chunk_snapshot(&data, 40);
+        let mut asm = ChunkAssembler::new(Digest::of(&data));
+        let mut lying = chunks[0].clone();
+        lying.bytes = vec![9u8; 40]; // right address, wrong content
+        assert!(asm.offer(lying).is_none());
+        assert!(
+            asm.offer(chunks[1].clone()).is_none(),
+            "completion with a poisoned part must fail digest verification"
+        );
+        assert_eq!(asm.received(), 0, "assembler reset");
+        // Honest chunks now complete it.
+        assert!(asm.offer(chunks[0].clone()).is_none());
+        assert_eq!(asm.offer(chunks[1].clone()), Some(data));
+    }
+
+    #[test]
+    fn lying_total_cannot_wedge_honest_assembly() {
+        let data = vec![5u8; 100];
+        let chunks = chunk_snapshot(&data, 40); // honest total = 3
+        let mut asm = ChunkAssembler::new(Digest::of(&data));
+        // A byzantine donor claims an absurd total: rejected outright.
+        let absurd = SnapshotChunk {
+            digest: Digest::of(&data),
+            index: 0,
+            total: u32::MAX,
+            bytes: vec![9; 40],
+        };
+        assert!(asm.offer(absurd).is_none());
+        assert_eq!(asm.received(), 0);
+        // A plausible-but-wrong total occupies its own group and never
+        // blocks the honest one.
+        let lying = SnapshotChunk {
+            digest: Digest::of(&data),
+            index: 0,
+            total: 2,
+            bytes: vec![9; 50],
+        };
+        assert!(asm.offer(lying).is_none());
+        let mut done = None;
+        for c in chunks {
+            done = done.or(asm.offer(c));
+        }
+        assert_eq!(done.expect("honest chunks still complete"), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size")]
+    fn zero_chunk_size_rejected() {
+        chunk_snapshot(b"x", 0);
+    }
+}

@@ -7,6 +7,7 @@
 //! keys, so the protocol's signature checks pass and the lie must be caught
 //! by the protocol logic itself, not by the crypto layer.
 
+use ezbft_checkpoint::Snapshotable;
 use ezbft_crypto::{Audience, KeyStore};
 use ezbft_smr::{Action, Actions, Application, NodeId, ProtocolNode, TimerId};
 
@@ -52,7 +53,7 @@ impl<A: Application> std::fmt::Debug for ByzantineReplica<A> {
     }
 }
 
-impl<A: Application> ByzantineReplica<A> {
+impl<A: Application + Snapshotable> ByzantineReplica<A> {
     /// Wraps `inner` with `behaviour`. `keys` must be a keystore for the
     /// same replica identity (used to re-sign mutated messages).
     pub fn new(inner: Replica<A>, keys: KeyStore, behaviour: Behaviour, n: usize) -> Self {
@@ -172,7 +173,7 @@ impl<A: Application> ByzantineReplica<A> {
     }
 }
 
-impl<A: Application> ProtocolNode for ByzantineReplica<A> {
+impl<A: Application + Snapshotable> ProtocolNode for ByzantineReplica<A> {
     type Message = Msg<A::Command, A::Response>;
     type Response = A::Response;
 

@@ -36,6 +36,19 @@ pub struct EzConfig {
     /// scheduling point; ignored when [`EzConfig::batch_size`] is 1
     /// (requests are then ordered inline, with no timer round-trip).
     pub batch_delay: Micros,
+    /// Lead a checkpoint *barrier* after this many finally-executed
+    /// commands (DESIGN.md §6). `0` (the default) disables checkpointing —
+    /// the paper's behaviour, with unbounded logs. When enabled, stable
+    /// checkpoints (2f+1 matching snapshot digests) bound the retained log
+    /// and let a rejoining replica catch up by state transfer instead of
+    /// replaying history; local compaction is then clamped to the stable
+    /// cut so every correct replica can serve a complete log suffix.
+    pub checkpoint_interval: u64,
+    /// Maximum snapshot bytes per STATECHUNK message during state transfer.
+    pub state_chunk_bytes: usize,
+    /// How long a recovering replica waits for a usable state-transfer
+    /// response before re-broadcasting its STATEREQUEST.
+    pub state_retry: Micros,
 }
 
 impl EzConfig {
@@ -49,7 +62,21 @@ impl EzConfig {
             compaction_interval: 256,
             batch_size: 1,
             batch_delay: Micros::ZERO,
+            checkpoint_interval: 0,
+            state_chunk_bytes: 64 * 1024,
+            state_retry: Micros::from_millis(800),
         }
+    }
+
+    /// Enables periodic checkpointing (see [`EzConfig::checkpoint_interval`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is 0 (use the default config to disable).
+    pub fn with_checkpointing(mut self, interval: u64) -> Self {
+        assert!(interval >= 1, "checkpoint interval must be at least 1");
+        self.checkpoint_interval = interval;
+        self
     }
 
     /// Sets the SPECORDER batching knobs (see [`EzConfig::batch_size`]).

@@ -61,5 +61,5 @@ pub use config::EzConfig;
 pub use deps::DepTracker;
 pub use graph::{execution_order, ExecNode};
 pub use instance::{EntryStatus, ExecRef, InstanceId, OwnerNum};
-pub use msg::Msg;
+pub use msg::{CkptMark, Msg};
 pub use replica::{Replica, ReplicaStats};

@@ -9,6 +9,7 @@ use std::collections::BTreeSet;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
+use ezbft_checkpoint::{CheckpointVote, SnapshotChunk, StableCheckpoint};
 use ezbft_crypto::{Digest, Signature};
 use ezbft_smr::{ClientId, ReplicaId, Timestamp};
 
@@ -360,6 +361,12 @@ pub enum Evidence<C, R> {
         /// The matching replies.
         replies: Vec<SpecReply<C, R>>,
     },
+    /// The entry was a checkpoint barrier committed by its leader: the
+    /// `2f + 1` BARRIERACK certificate (DESIGN.md §6).
+    BarrierCommit {
+        /// The matching acknowledgements.
+        acks: Vec<BarrierAck>,
+    },
 }
 
 /// One entry of a replica's view of a (suspected) instance space, shipped
@@ -448,6 +455,148 @@ impl<C: WirePayload, R: WirePayload> NewOwner<C, R> {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpointing & state transfer (ezbft-checkpoint; DESIGN.md §6)
+// ----------------------------------------------------------------------
+
+/// Names one checkpoint cut: the `seq`-th barrier in cluster execution
+/// order plus the barrier's instance. Barriers interfere with every
+/// command, so every correct replica executes them in the same order and
+/// assigns the same `seq` — marks are comparable cluster-wide.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct CkptMark {
+    /// Position in the cluster-wide barrier execution order (1-based).
+    pub seq: u64,
+    /// The barrier instance that defines the cut.
+    pub inst: InstanceId,
+}
+
+/// `⟨BARRIERACK, O, I, D′, S′⟩σRj` — a follower's reply to a barrier
+/// SPECORDER, sent to the barrier's leader (barriers have no client to
+/// collect certificates, so the leader plays that role).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct BarrierAck {
+    /// Owner number observed for the barrier's space.
+    pub owner: OwnerNum,
+    /// The barrier instance.
+    pub inst: InstanceId,
+    /// The follower's extended dependency set `D′`.
+    pub deps: BTreeSet<InstanceId>,
+    /// The follower's extended sequence number `S′`.
+    pub seq: u64,
+    /// The acknowledging replica.
+    pub sender: ReplicaId,
+    /// Signature by `sender` over [`BarrierAck::signed_payload`].
+    pub sig: Signature,
+}
+
+impl BarrierAck {
+    /// Canonical signed bytes.
+    pub fn signed_payload(
+        owner: OwnerNum,
+        inst: InstanceId,
+        deps: &BTreeSet<InstanceId>,
+        seq: u64,
+    ) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"barrier-ack", owner, inst, deps, seq))
+            .expect("barrier ack encodes")
+    }
+}
+
+/// `⟨BARRIERCOMMIT, I, D, S, CC⟩` — the barrier leader's commit decision:
+/// `D` is the union and `S` the max over the `2f + 1` acknowledgements in
+/// `CC`, exactly the slow-path combination rule (§IV-C) with the leader
+/// standing in for the client. Self-certifying — no leader signature needed
+/// beyond the acks themselves.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BarrierCommit {
+    /// The committed barrier instance.
+    pub inst: InstanceId,
+    /// Final dependency set (union over `cc`).
+    pub deps: BTreeSet<InstanceId>,
+    /// Final sequence number (max over `cc`).
+    pub seq: u64,
+    /// The certificate.
+    pub cc: Vec<BarrierAck>,
+}
+
+/// `⟨STATEREQ, Rj⟩σRj` — a rejoining replica asks every peer for the
+/// latest stable checkpoint and log suffix.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct StateRequest {
+    /// The recovering replica.
+    pub sender: ReplicaId,
+    /// Signature by `sender` over [`StateRequest::signed_payload`].
+    pub sig: Signature,
+}
+
+impl StateRequest {
+    /// Canonical signed bytes.
+    pub fn signed_payload(sender: ReplicaId) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"state-req", sender)).expect("state request encodes")
+    }
+}
+
+/// One client's exactly-once watermark inside a snapshot.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ClientMark<R> {
+    /// The client.
+    pub client: ClientId,
+    /// Highest finally-executed timestamp at the cut.
+    pub executed_ts: Timestamp,
+    /// The response of that execution (duplicate replies after restore).
+    pub response: Option<R>,
+}
+
+/// The consistent-cut snapshot taken at a barrier's final execution. All
+/// commands ordered before the barrier are reflected; none after. The
+/// encoding is canonical (the client table is sorted), so every correct
+/// replica produces byte-identical snapshots for the same mark — which is
+/// what CHECKPOINT votes agree on.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EzSnapshot<R> {
+    /// The cut this snapshot captures.
+    pub mark: CkptMark,
+    /// Canonical application snapshot ([`ezbft_checkpoint::Snapshotable`]).
+    pub app: Vec<u8>,
+    /// Per-client exactly-once watermarks, sorted by client id.
+    pub clients: Vec<ClientMark<R>>,
+}
+
+/// One instance space's live protocol state, shipped after a snapshot so
+/// the fetcher can participate immediately (entries above the stable cut,
+/// current owner, slot watermark and rolling log digest).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SpaceSuffix<C, R> {
+    /// The space (its original owner's id).
+    pub space: ReplicaId,
+    /// Current owner number.
+    pub owner: OwnerNum,
+    /// Whether the space froze after an owner change.
+    pub frozen: bool,
+    /// First retained slot at the donor.
+    pub floor: u64,
+    /// The donor's next expected slot.
+    pub next_slot: u64,
+    /// The donor's rolling log digest at `next_slot`.
+    pub log_digest: Digest,
+    /// Retained entries (each carries verifiable evidence).
+    pub entries: Vec<EntrySnapshot<C, R>>,
+}
+
+/// `⟨STATESUFFIX⟩` — the per-space log suffixes accompanying a state
+/// transfer. `base` is the stable mark the suffix assumes (`None` when the
+/// donor has no stable checkpoint yet and the suffix covers genesis).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StateSuffix<C, R> {
+    /// The donor.
+    pub sender: ReplicaId,
+    /// The stable mark the suffix extends (`None` = from genesis).
+    pub base: Option<CkptMark>,
+    /// One suffix per instance space.
+    pub spaces: Vec<SpaceSuffix<C, R>>,
+}
+
 /// The ezBFT wire message.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 #[allow(clippy::large_enum_variant)]
@@ -474,6 +623,20 @@ pub enum Msg<C, R> {
     OwnerChange(OwnerChange<C, R>),
     /// New owner → replicas: recovered history.
     NewOwner(NewOwner<C, R>),
+    /// Follower → barrier leader: barrier acknowledgement.
+    BarrierAck(BarrierAck),
+    /// Barrier leader → replicas: barrier commit certificate.
+    BarrierCommit(BarrierCommit),
+    /// Replica → replicas: signed snapshot digest at a checkpoint mark.
+    Checkpoint(CheckpointVote<CkptMark>),
+    /// Rejoining replica → replicas: please send your stable state.
+    StateRequest(StateRequest),
+    /// Donor → rejoining replica: the stable-checkpoint certificate.
+    StateCert(StableCheckpoint<CkptMark>),
+    /// Donor → rejoining replica: one snapshot chunk.
+    StateChunk(SnapshotChunk),
+    /// Donor → rejoining replica: per-space log suffixes.
+    StateSuffix(StateSuffix<C, R>),
 }
 
 impl<C, R> Msg<C, R> {
@@ -491,6 +654,13 @@ impl<C, R> Msg<C, R> {
             Msg::StartOwnerChange(_) => "start-owner-change",
             Msg::OwnerChange(_) => "owner-change",
             Msg::NewOwner(_) => "new-owner",
+            Msg::BarrierAck(_) => "barrier-ack",
+            Msg::BarrierCommit(_) => "barrier-commit",
+            Msg::Checkpoint(_) => "checkpoint",
+            Msg::StateRequest(_) => "state-request",
+            Msg::StateCert(_) => "state-cert",
+            Msg::StateChunk(_) => "state-chunk",
+            Msg::StateSuffix(_) => "state-suffix",
         }
     }
 }

@@ -37,7 +37,9 @@ use ezbft_smr::{NodeId, ReplicaId};
 
 use crate::config::EzConfig;
 use crate::instance::InstanceId;
-use crate::msg::{CommitBody, EntrySnapshot, Evidence, OwnerChange, SpecReply, WirePayload};
+use crate::msg::{
+    BarrierAck, CommitBody, EntrySnapshot, Evidence, OwnerChange, SpecReply, WirePayload,
+};
 
 /// Verifies an OWNERCHANGE message: sender signature and entry shape.
 pub(crate) fn verify_owner_change<C: WirePayload, R: WirePayload>(
@@ -61,7 +63,7 @@ pub(crate) fn verify_owner_change<C: WirePayload, R: WirePayload>(
 }
 
 /// Validates a slow-commit evidence body against its snapshot.
-fn slow_commit_valid<C: WirePayload, R: WirePayload>(
+pub(crate) fn slow_commit_valid<C: WirePayload, R: WirePayload>(
     keys: &mut KeyStore,
     snap: &EntrySnapshot<C, R>,
     body: &CommitBody,
@@ -75,7 +77,7 @@ fn slow_commit_valid<C: WirePayload, R: WirePayload>(
 }
 
 /// Validates a fast-commit certificate against its snapshot.
-fn fast_commit_valid<C: WirePayload, R: WirePayload>(
+pub(crate) fn fast_commit_valid<C: WirePayload, R: WirePayload>(
     keys: &mut KeyStore,
     cfg: &EzConfig,
     snap: &EntrySnapshot<C, R>,
@@ -111,6 +113,47 @@ fn fast_commit_valid<C: WirePayload, R: WirePayload>(
         }
     }
     senders.len() >= cfg.cluster.fast_quorum()
+}
+
+/// Validates a barrier commit certificate: `2f + 1` validly signed
+/// BARRIERACKs from distinct replicas whose union/max equals the decision
+/// (the slow-path rule with the barrier leader in the client's role;
+/// DESIGN.md §6).
+pub(crate) fn verify_barrier_certificate(
+    keys: &mut KeyStore,
+    cfg: &EzConfig,
+    inst: InstanceId,
+    deps: &BTreeSet<InstanceId>,
+    seq: u64,
+    cc: &[BarrierAck],
+) -> bool {
+    if cc.len() < cfg.cluster.slow_quorum() {
+        return false;
+    }
+    let Some(first) = cc.first() else {
+        return false;
+    };
+    let mut senders = BTreeSet::new();
+    let mut union: BTreeSet<InstanceId> = BTreeSet::new();
+    let mut max_seq = 0u64;
+    for ack in cc {
+        if ack.inst != inst || ack.owner != first.owner {
+            return false;
+        }
+        if !cfg.cluster.contains(ack.sender) || !senders.insert(ack.sender) {
+            return false;
+        }
+        let payload = BarrierAck::signed_payload(ack.owner, ack.inst, &ack.deps, ack.seq);
+        if keys
+            .verify(NodeId::Replica(ack.sender), &payload, &ack.sig)
+            .is_err()
+        {
+            return false;
+        }
+        union.extend(ack.deps.iter().copied());
+        max_seq = max_seq.max(ack.seq);
+    }
+    union == *deps && max_seq == seq
 }
 
 /// Computes the safe instance set `G` from a proof set of OWNERCHANGE
@@ -159,6 +202,15 @@ pub(crate) fn compute_safe_set<C: WirePayload, R: WirePayload>(
                 }
                 Evidence::FastCommit { replies } => {
                     if fast_commit_valid(keys, cfg, snap, replies) {
+                        committed.push(snap);
+                    }
+                }
+                Evidence::BarrierCommit { acks } => {
+                    if snap.reqs.is_empty()
+                        && verify_barrier_certificate(
+                            keys, cfg, snap.inst, &snap.deps, snap.seq, acks,
+                        )
+                    {
                         committed.push(snap);
                     }
                 }

@@ -15,7 +15,12 @@
 //! [`crate::owner`] (§IV-E).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
+use ezbft_checkpoint::{
+    chunk_snapshot, CheckpointTracker, CheckpointVote, ChunkAssembler, SnapshotChunk, Snapshotable,
+    StableCheckpoint,
+};
 use ezbft_crypto::{Audience, Digest, KeyStore};
 use ezbft_smr::{
     Actions, Application, ClientId, CloneReplay, Command, Micros, NodeId, ProtocolNode, ReplicaId,
@@ -26,11 +31,12 @@ use crate::config::EzConfig;
 use crate::graph::{execution_order, ExecNode};
 use crate::instance::{EntryStatus, ExecRef, InstanceId, OwnerNum};
 use crate::msg::{
-    batch_digests, Commit, CommitFast, CommitReply, Evidence, Msg, NewOwner, OwnerChange, Pom,
-    Request, ResendReq, SpecOrder, SpecOrderBody, SpecOrderHeader, SpecReply, SpecReplyBody,
-    StartOwnerChange,
+    batch_digests, BarrierAck, BarrierCommit, CkptMark, ClientMark, Commit, CommitFast,
+    CommitReply, Evidence, EzSnapshot, Msg, NewOwner, OwnerChange, Pom, Request, ResendReq,
+    SpaceSuffix, SpecOrder, SpecOrderBody, SpecOrderHeader, SpecReply, SpecReplyBody,
+    StartOwnerChange, StateRequest, StateSuffix,
 };
-use crate::owner::{compute_safe_set, verify_owner_change};
+use crate::owner::{compute_safe_set, verify_barrier_certificate, verify_owner_change};
 
 use crate::deps::DepTracker;
 
@@ -169,6 +175,12 @@ pub struct ReplicaStats {
     pub owner_changes: u64,
     /// Messages dropped by validation.
     pub rejected: u64,
+    /// Checkpoint barriers this replica led.
+    pub barriers_led: u64,
+    /// Stable checkpoints observed (2f+1 matching digests).
+    pub stable_checkpoints: u64,
+    /// Successful state transfers completed (recovery).
+    pub state_transfers: u64,
 }
 
 enum ReplicaTimer {
@@ -188,6 +200,19 @@ enum ReplicaTimer {
     /// (Dependency resolution is left unspecified by the paper; see
     /// DESIGN.md §5.)
     DepWait { dep: InstanceId },
+    /// Recovering: no usable state-transfer response arrived yet;
+    /// re-broadcast the STATEREQUEST.
+    StateRetry,
+}
+
+/// A locally retained snapshot: the canonical bytes plus the per-space
+/// contiguous-executed-prefix cut at the instant the barrier executed.
+/// Once this snapshot's mark goes stable, the cut is the compaction limit
+/// (entries at or above it must stay to keep the servable suffix complete).
+#[derive(Clone, Debug)]
+struct SnapshotRecord {
+    bytes: Arc<Vec<u8>>,
+    cut: Vec<u64>,
 }
 
 /// The ezBFT replica node.
@@ -220,6 +245,48 @@ pub struct Replica<A: Application> {
     oc_reports: HashMap<(ReplicaId, OwnerNum), Vec<OwnerChange<A::Command, A::Response>>>,
     /// Finally-executed commands in execution order (safety checkers).
     executed_log: Vec<ExecRef>,
+    // --- checkpointing (DESIGN.md §6) ---
+    /// Barriers executed so far (the next barrier gets `ckpt_seq + 1`).
+    ckpt_seq: u64,
+    /// Commands finally executed since we last led or executed a barrier
+    /// (proposal pacing only).
+    executed_since_ckpt: u64,
+    /// Commands finally executed since the last barrier *execution*. This
+    /// is a cluster-wide deterministic quantity (the command set between
+    /// two barriers is identical at every correct replica) and gates the
+    /// snapshot/vote in [`Replica::on_barrier_executed`].
+    executed_since_barrier: u64,
+    /// Our own in-flight barrier, if any (one at a time).
+    barrier_inflight: Option<InstanceId>,
+    /// BARRIERACKs collected as barrier leader.
+    barrier_acks: HashMap<InstanceId, Vec<BarrierAck>>,
+    /// CHECKPOINT vote tallies → stable certificates.
+    ckpt_tracker: CheckpointTracker<CkptMark>,
+    /// Retained snapshots (at most the stable one plus newer candidates).
+    snapshots: BTreeMap<CkptMark, SnapshotRecord>,
+    /// Compaction limit per space: the stable checkpoint's cut.
+    stable_cut: Option<Vec<u64>>,
+    // --- state transfer (fetcher side) ---
+    /// Whether this replica is still catching up via state transfer.
+    recovering: bool,
+    /// Best verified stable-checkpoint certificate received so far.
+    st_cert: Option<StableCheckpoint<CkptMark>>,
+    /// Chunk reassembly for the certified snapshot digest.
+    st_assembler: Option<ChunkAssembler>,
+    /// Chunks that raced ahead of their certificate (bounded); replayed
+    /// into the assembler once the certificate arrives.
+    st_early_chunks: Vec<SnapshotChunk>,
+    /// The decoded snapshot, once all chunks verified.
+    st_snapshot: Option<EzSnapshot<A::Response>>,
+    /// Log suffixes received so far, one per claimed base mark (a suffix
+    /// may race ahead of its certificate on the wire, so suffixes for
+    /// bases we cannot use *yet* are buffered rather than dropped).
+    st_suffixes: BTreeMap<Option<CkptMark>, StateSuffix<A::Command, A::Response>>,
+    /// Donors that reported "no stable checkpoint" (genesis suffixes);
+    /// the genesis recovery path requires `f + 1` of them.
+    st_genesis_donors: BTreeSet<ReplicaId>,
+    /// When the state transfer completed (driver clock), for reports.
+    recovered_at: Option<Micros>,
     stats: ReplicaStats,
 }
 
@@ -238,7 +305,7 @@ type Out<A> = Actions<
     <A as Application>::Response,
 >;
 
-impl<A: Application> Replica<A> {
+impl<A: Application + Snapshotable> Replica<A> {
     /// Creates a replica with identity `id`, running `app`.
     ///
     /// # Panics
@@ -267,8 +334,51 @@ impl<A: Application> Replica<A> {
             oc_started: HashMap::new(),
             oc_reports: HashMap::new(),
             executed_log: Vec::new(),
+            ckpt_seq: 0,
+            executed_since_ckpt: 0,
+            executed_since_barrier: 0,
+            barrier_inflight: None,
+            barrier_acks: HashMap::new(),
+            ckpt_tracker: CheckpointTracker::new(),
+            snapshots: BTreeMap::new(),
+            stable_cut: None,
+            recovering: false,
+            st_cert: None,
+            st_assembler: None,
+            st_early_chunks: Vec::new(),
+            st_snapshot: None,
+            st_suffixes: BTreeMap::new(),
+            st_genesis_donors: BTreeSet::new(),
+            recovered_at: None,
             stats: ReplicaStats::default(),
         }
+    }
+
+    /// Creates a replica that starts **empty and recovering**: on start it
+    /// broadcasts STATEREQ, ignores ordinary protocol traffic until it has
+    /// adopted a digest-verified stable checkpoint plus log suffix from a
+    /// peer, then participates normally. This is the crash-restart path: a
+    /// replica without durable storage rejoins from the cluster's stable
+    /// checkpoint instead of replaying the entire history (DESIGN.md §6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` does not belong to `id`.
+    pub fn new_recovering(id: ReplicaId, cfg: EzConfig, keys: KeyStore, app: A) -> Self {
+        let mut replica = Self::new(id, cfg, keys, app);
+        replica.recovering = true;
+        replica
+    }
+
+    /// Whether this replica is still catching up via state transfer.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// The instant (driver clock) at which state transfer completed, if
+    /// this replica was started recovering and has finished.
+    pub fn recovery_completed_at(&self) -> Option<Micros> {
+        self.recovered_at
     }
 
     /// This replica's id.
@@ -308,6 +418,32 @@ impl<A: Application> Replica<A> {
     /// Finally-executed commands, in local execution order.
     pub fn executed_log(&self) -> &[ExecRef] {
         &self.executed_log
+    }
+
+    /// The latest stable checkpoint mark, if any.
+    pub fn stable_mark(&self) -> Option<CkptMark> {
+        self.ckpt_tracker.stable().map(|s| s.mark)
+    }
+
+    /// Number of checkpoint barriers executed locally.
+    pub fn barriers_executed(&self) -> u64 {
+        self.ckpt_seq
+    }
+
+    /// The retained-log size: every instance this replica still holds
+    /// (entries plus reorder/commit buffers) plus the per-client
+    /// exactly-once bookkeeping and the dependency-tracker frontier. This
+    /// is the quantity checkpointing bounds: with checkpoints enabled it
+    /// stays O(clients + checkpoint interval) instead of growing with the
+    /// total committed command count.
+    pub fn retained_log_size(&self) -> usize {
+        let instances: usize = self
+            .spaces
+            .iter()
+            .map(|s| s.entries.len() + s.pending_orders.len() + s.pending_commits.len())
+            .sum();
+        let clients: usize = self.clients.values().map(|r| 1 + r.live.len()).sum();
+        instances + clients + self.deps.tracked_keys()
     }
 
     /// The command ordered at batch position `at`, if known locally.
@@ -675,7 +811,10 @@ impl<A: Application> Replica<A> {
             self.stats.rejected += 1;
             return;
         }
-        if so.reqs.is_empty() || so.reqs.len() != so.body.req_digests.len() {
+        // An empty batch is a checkpoint *barrier* (DESIGN.md §6); any
+        // other count mismatch between requests and signed digests is
+        // malformed.
+        if so.reqs.len() != so.body.req_digests.len() {
             self.stats.rejected += 1;
             return;
         }
@@ -738,8 +877,13 @@ impl<A: Application> Replica<A> {
 
         // D' = D ∪ (local interfering instances ∖ D); S' = max(S, 1 + max
         // seq of the locally known interfering commands) (§IV-A step 3).
-        // The union runs over every command in the batch.
+        // The union runs over every command in the batch. A barrier (empty
+        // batch) interferes with everything: its local extension is the
+        // whole dependency frontier.
         let mut local = BTreeSet::new();
+        if so.reqs.is_empty() {
+            local.extend(self.deps.collect_and_register_barrier(inst));
+        }
         for req in &so.reqs {
             local.extend(
                 self.deps
@@ -790,6 +934,11 @@ impl<A: Application> Replica<A> {
         for (offset, req) in so.reqs.iter().enumerate() {
             self.send_spec_reply(inst.at(offset as u32), out);
             self.cancel_resend_wait(req.client, req.ts, out);
+        }
+        if so.reqs.is_empty() {
+            // Barriers have no clients: acknowledge to the barrier leader,
+            // who plays the certificate-collecting role.
+            self.send_barrier_ack(inst, out);
         }
 
         // A commit decision may have arrived before the SPECORDER.
@@ -1135,6 +1284,7 @@ impl<A: Application> Replica<A> {
         for inst in order {
             self.execute_one(inst, out);
         }
+        self.maybe_lead_barrier(out);
     }
 
     fn execute_one(&mut self, inst: InstanceId, out: &mut Out<A>) {
@@ -1156,6 +1306,12 @@ impl<A: Application> Replica<A> {
             .get_mut(&inst.slot)
             .expect("entry exists");
         entry.status = EntryStatus::Executed;
+        if batch_len == 0 {
+            // A checkpoint barrier reached its final position: every
+            // command ordered before it (cluster-wide) has executed, none
+            // after — snapshot the consistent cut.
+            self.on_barrier_executed(inst, out);
+        }
         self.maybe_compact(inst.space);
     }
 
@@ -1204,6 +1360,8 @@ impl<A: Application> Replica<A> {
         }
         self.executed_log.push(at);
         self.stats.executed += 1;
+        self.executed_since_ckpt += 1;
+        self.executed_since_barrier += 1;
 
         // Neutralise duplicate proposals of this (or an older) request so
         // they cannot block dependents: their offsets are terminal no-ops
@@ -1288,7 +1446,7 @@ impl<A: Application> Replica<A> {
             let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) else {
                 return;
             };
-            if entry.status == EntryStatus::Executed {
+            if entry.status == EntryStatus::Executed || entry.reqs.is_empty() {
                 return;
             }
             if entry.status == EntryStatus::Committed {
@@ -1316,6 +1474,783 @@ impl<A: Application> Replica<A> {
             self.engine.invalidate(inst.at(offset).tag());
         }
         self.committed_pending.remove(&inst);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing: barriers, votes, stability (DESIGN.md §6)
+    // ------------------------------------------------------------------
+
+    /// Leads a checkpoint barrier when one is due: the executed-command
+    /// counter crossed the interval, no own barrier is in flight, and this
+    /// replica is the round-robin designated proposer for the next
+    /// checkpoint (anyone steps in after a full extra interval, in case
+    /// the designated proposer is crashed or its space frozen).
+    fn maybe_lead_barrier(&mut self, out: &mut Out<A>) {
+        let interval = self.cfg.checkpoint_interval;
+        if interval == 0 || self.recovering {
+            return;
+        }
+        if let Some(inst) = self.barrier_inflight {
+            let alive = self.spaces[inst.space.index()]
+                .entries
+                .get(&inst.slot)
+                .map(|e| !e.status.is_committed())
+                .unwrap_or(false);
+            if alive {
+                return;
+            }
+            self.barrier_inflight = None;
+        }
+        if self.executed_since_ckpt < interval {
+            return;
+        }
+        let designated = self.cfg.cluster.owner_of(self.ckpt_seq);
+        if designated != self.id && self.executed_since_ckpt < 2 * interval {
+            return;
+        }
+        {
+            let space = &self.spaces[self.id.index()];
+            if space.frozen || space.committed_to_change {
+                return;
+            }
+        }
+        self.lead_barrier(out);
+    }
+
+    /// Orders a barrier into our own instance space: an *empty* batch whose
+    /// dependency set is the entire local frontier, so it interferes with
+    /// every command — all correct replicas execute it at the same point of
+    /// the interference order, which is what makes its snapshot a
+    /// consistent cut.
+    fn lead_barrier(&mut self, out: &mut Out<A>) {
+        let (slot, inst, owner, log_digest) = {
+            let space = &self.spaces[self.id.index()];
+            let slot = space.next_slot;
+            let inst = InstanceId::new(self.id, slot);
+            (slot, inst, space.owner, space.log_digest)
+        };
+        let deps = self.deps.collect_and_register_barrier(inst);
+        let seq = 1 + self.max_seq_of(&deps);
+        let body = SpecOrderBody {
+            owner,
+            inst,
+            deps: deps.clone(),
+            seq,
+            log_digest,
+            req_digests: Vec::new(),
+        };
+        let sig = self.keys.sign(
+            &body.signed_payload(),
+            &Audience::replicas(self.cfg.cluster.n()),
+        );
+        let header = SpecOrderHeader {
+            body: body.clone(),
+            sig: sig.clone(),
+        };
+        let entry = Entry {
+            reqs: Vec::new(),
+            owner,
+            deps,
+            seq,
+            status: EntryStatus::SpecOrdered,
+            spec_responses: Some(Vec::new()),
+            final_responses: Vec::new(),
+            reply_on_final: BTreeSet::new(),
+            header,
+            commit_evidence: None,
+        };
+        let space = &mut self.spaces[self.id.index()];
+        space.entries.insert(slot, entry);
+        space.next_slot = slot + 1;
+        // No request digests: the rolling log digest is unchanged.
+        self.barrier_inflight = Some(inst);
+        self.executed_since_ckpt = 0;
+        self.stats.barriers_led += 1;
+        let so = Msg::SpecOrder(SpecOrder {
+            body,
+            sig,
+            reqs: Vec::new(),
+        });
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.broadcast(peers, so);
+        // Our own acknowledgement opens the certificate.
+        self.send_barrier_ack(inst, out);
+    }
+
+    /// Acknowledges a (locally accepted) barrier to its leader with our
+    /// extended `(D′, S′)` — the slow-path reply, replica-to-replica.
+    fn send_barrier_ack(&mut self, inst: InstanceId, out: &mut Out<A>) {
+        let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) else {
+            return;
+        };
+        let (owner, deps, seq) = (entry.owner, entry.deps.clone(), entry.seq);
+        let payload = BarrierAck::signed_payload(owner, inst, &deps, seq);
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let ack = BarrierAck {
+            owner,
+            inst,
+            deps,
+            seq,
+            sender: self.id,
+            sig,
+        };
+        let leader = owner.owner(&self.cfg.cluster);
+        if leader == self.id {
+            self.record_barrier_ack(ack, out);
+        } else {
+            out.send(NodeId::Replica(leader), Msg::BarrierAck(ack));
+        }
+    }
+
+    fn on_barrier_ack(&mut self, ack: BarrierAck, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(ack.sender) || !self.cfg.cluster.contains(ack.sender) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let payload = BarrierAck::signed_payload(ack.owner, ack.inst, &ack.deps, ack.seq);
+        if self
+            .keys
+            .verify(NodeId::Replica(ack.sender), &payload, &ack.sig)
+            .is_err()
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.record_barrier_ack(ack, out);
+    }
+
+    /// Tallies a barrier acknowledgement as the barrier's leader; at
+    /// `2f + 1` distinct acks the final order is the union/max combination
+    /// (§IV-C, with the leader in the client's role) and the certificate is
+    /// broadcast as BARRIERCOMMIT.
+    fn record_barrier_ack(&mut self, ack: BarrierAck, out: &mut Out<A>) {
+        let inst = ack.inst;
+        if inst.space != self.id || ack.owner.owner(&self.cfg.cluster) != self.id {
+            return; // not our barrier to commit
+        }
+        {
+            let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) else {
+                return;
+            };
+            if !entry.reqs.is_empty() || entry.owner != ack.owner || entry.status.is_committed() {
+                return;
+            }
+        }
+        let acks = self.barrier_acks.entry(inst).or_default();
+        if acks.iter().any(|a| a.sender == ack.sender) {
+            return;
+        }
+        acks.push(ack);
+        if acks.len() < self.cfg.cluster.slow_quorum() {
+            return;
+        }
+        let cc = self.barrier_acks.remove(&inst).expect("tallied above");
+        let mut deps: BTreeSet<InstanceId> = BTreeSet::new();
+        let mut seq = 0u64;
+        for a in &cc {
+            deps.extend(a.deps.iter().copied());
+            seq = seq.max(a.seq);
+        }
+        if let Some(entry) = self.spaces[inst.space.index()].entries.get_mut(&inst.slot) {
+            entry.commit_evidence = Some(Evidence::BarrierCommit { acks: cc.clone() });
+        }
+        let bc = BarrierCommit {
+            inst,
+            deps: deps.clone(),
+            seq,
+            cc,
+        };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.broadcast(peers, Msg::BarrierCommit(bc));
+        self.commit_entry(inst, deps, seq, BTreeSet::new(), out);
+    }
+
+    fn on_barrier_commit(&mut self, bc: BarrierCommit, out: &mut Out<A>) {
+        if !self.cfg.cluster.contains(bc.inst.space)
+            || !verify_barrier_certificate(
+                &mut self.keys,
+                &self.cfg,
+                bc.inst,
+                &bc.deps,
+                bc.seq,
+                &bc.cc,
+            )
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        let space = &mut self.spaces[bc.inst.space.index()];
+        if !space.entries.contains_key(&bc.inst.slot) {
+            space
+                .pending_commits
+                .entry(bc.inst.slot)
+                .or_insert_with(|| PendingCommit {
+                    deps: bc.deps,
+                    seq: bc.seq,
+                    reply_offsets: BTreeSet::new(),
+                });
+            return;
+        }
+        if let Some(entry) = space.entries.get_mut(&bc.inst.slot) {
+            if entry.commit_evidence.is_none() {
+                entry.commit_evidence = Some(Evidence::BarrierCommit {
+                    acks: bc.cc.clone(),
+                });
+            }
+        }
+        self.commit_entry(bc.inst, bc.deps, bc.seq, BTreeSet::new(), out);
+    }
+
+    /// The contiguous executed prefix of a space (first slot *not* in it).
+    fn executed_prefix(&self, idx: usize) -> u64 {
+        let space = &self.spaces[idx];
+        let mut prefix = space.compact_floor;
+        while space
+            .entries
+            .get(&prefix)
+            .map(|e| e.status == EntryStatus::Executed)
+            .unwrap_or(false)
+        {
+            prefix += 1;
+        }
+        prefix
+    }
+
+    /// A barrier reached final execution: snapshot the consistent cut,
+    /// remember the per-space compaction cut, and broadcast our signed
+    /// CHECKPOINT vote.
+    fn on_barrier_executed(&mut self, inst: InstanceId, out: &mut Out<A>) {
+        if self.barrier_inflight == Some(inst) {
+            self.barrier_inflight = None;
+        }
+        self.ckpt_seq += 1;
+        let gap = self.executed_since_barrier;
+        self.executed_since_barrier = 0;
+        self.executed_since_ckpt = 0;
+        if self.cfg.checkpoint_interval == 0 {
+            // A peer runs checkpointing but we have it disabled: order and
+            // execute the barrier (agreement must not depend on local
+            // config), just don't snapshot or vote.
+            return;
+        }
+        if gap == 0 {
+            // Nothing executed since the previous barrier: the cut is
+            // unchanged, so skip the O(state) snapshot and the vote. The
+            // command set between two barriers is identical at every
+            // correct replica, so all of them skip the same barriers and
+            // votes never fragment — and a byzantine owner spamming
+            // back-to-back barriers buys O(1) work per slot, not a full
+            // state serialization per ~100-byte message.
+            return;
+        }
+        let mark = CkptMark {
+            seq: self.ckpt_seq,
+            inst,
+        };
+        let mut clients: Vec<ClientMark<A::Response>> = self
+            .clients
+            .iter()
+            .filter(|(_, r)| r.executed_ts > Timestamp::ZERO)
+            .map(|(c, r)| ClientMark {
+                client: *c,
+                executed_ts: r.executed_ts,
+                response: r.executed_response.clone(),
+            })
+            .collect();
+        clients.sort_by_key(|m| m.client);
+        let snap = EzSnapshot {
+            mark,
+            app: self.engine.final_state().snapshot(),
+            clients,
+        };
+        let bytes = ezbft_wire::to_bytes(&snap).expect("snapshot encodes");
+        let digest = Digest::of(&bytes);
+        let cut: Vec<u64> = (0..self.spaces.len())
+            .map(|i| self.executed_prefix(i))
+            .collect();
+        self.snapshots.insert(
+            mark,
+            SnapshotRecord {
+                bytes: Arc::new(bytes),
+                cut,
+            },
+        );
+        // Bound the candidate set: the stable snapshot plus a few newest.
+        let stable = self.ckpt_tracker.stable().map(|s| s.mark);
+        while self.snapshots.len() > 4 {
+            let victim = self
+                .snapshots
+                .keys()
+                .copied()
+                .find(|m| Some(*m) != stable && *m < mark);
+            match victim {
+                Some(m) => {
+                    self.snapshots.remove(&m);
+                }
+                None => break,
+            }
+        }
+        let payload = CheckpointVote::<CkptMark>::signed_payload(&mark, digest);
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let vote = CheckpointVote {
+            mark,
+            digest,
+            sender: self.id,
+            sig,
+        };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.broadcast(peers, Msg::Checkpoint(vote.clone()));
+        self.record_checkpoint_vote(vote);
+        // The quorum may have stabilised this mark before we executed the
+        // barrier; our freshly recorded cut enables the clamp only now.
+        if self.ckpt_tracker.stable().map(|s| s.mark) == Some(mark) {
+            self.apply_stable_checkpoint();
+        }
+    }
+
+    fn on_checkpoint_vote(&mut self, vote: CheckpointVote<CkptMark>, from: NodeId) {
+        if from != NodeId::Replica(vote.sender) || !self.cfg.cluster.contains(vote.sender) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let payload = CheckpointVote::<CkptMark>::signed_payload(&vote.mark, vote.digest);
+        if self
+            .keys
+            .verify(NodeId::Replica(vote.sender), &payload, &vote.sig)
+            .is_err()
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.record_checkpoint_vote(vote);
+    }
+
+    fn record_checkpoint_vote(&mut self, vote: CheckpointVote<CkptMark>) {
+        let quorum = self.cfg.cluster.slow_quorum();
+        if self.ckpt_tracker.record(vote, quorum).is_some() {
+            self.stats.stable_checkpoints += 1;
+            self.apply_stable_checkpoint();
+        }
+    }
+
+    /// A checkpoint went stable: everything at or below its cut is certified
+    /// recoverable from the snapshot, so compaction may (and does, eagerly)
+    /// reclaim it; snapshots older than stable are dropped.
+    fn apply_stable_checkpoint(&mut self) {
+        let Some(stable) = self.ckpt_tracker.stable() else {
+            return;
+        };
+        let mark = stable.mark;
+        if let Some(rec) = self.snapshots.get(&mark) {
+            self.stable_cut = Some(rec.cut.clone());
+        }
+        self.snapshots.retain(|m, _| *m >= mark);
+        for space in self.cfg.cluster.replicas() {
+            self.compact_space(space, true);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // State transfer (DESIGN.md §6): donor and fetcher
+    // ------------------------------------------------------------------
+
+    /// (Re-)broadcasts our STATEREQ and arms the retry timer.
+    fn request_state(&mut self, out: &mut Out<A>) {
+        let payload = StateRequest::signed_payload(self.id);
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let msg = Msg::StateRequest(StateRequest {
+            sender: self.id,
+            sig,
+        });
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.broadcast(peers, msg);
+        let retry = self.cfg.state_retry;
+        self.arm_timer(ReplicaTimer::StateRetry, retry, out);
+    }
+
+    /// Donor side: answer a rejoining replica with our stable certificate,
+    /// the chunked snapshot, and the live log suffix. Without a stable
+    /// checkpoint the suffix alone covers genesis (floor 0), which is the
+    /// bootstrap path for young clusters.
+    fn on_state_request(&mut self, sr: StateRequest, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(sr.sender)
+            || !self.cfg.cluster.contains(sr.sender)
+            || sr.sender == self.id
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        let payload = StateRequest::signed_payload(sr.sender);
+        if self
+            .keys
+            .verify(NodeId::Replica(sr.sender), &payload, &sr.sig)
+            .is_err()
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        let to = NodeId::Replica(sr.sender);
+        let stable = self.ckpt_tracker.stable().cloned();
+        let base = match stable {
+            Some(cert) if self.snapshots.contains_key(&cert.mark) => {
+                let mark = cert.mark;
+                out.send(to, Msg::StateCert(cert));
+                let bytes = Arc::clone(&self.snapshots[&mark].bytes);
+                for chunk in chunk_snapshot(&bytes, self.cfg.state_chunk_bytes.max(1)) {
+                    out.send(to, Msg::StateChunk(chunk));
+                }
+                Some(mark)
+            }
+            _ => {
+                // No servable snapshot: the suffix alone is complete only
+                // if nothing was ever compacted (genesis bootstrap). A
+                // partial suffix would silently lose the compacted prefix.
+                if self.spaces.iter().any(|s| s.compact_floor > 0) {
+                    return;
+                }
+                None
+            }
+        };
+        out.send(to, Msg::StateSuffix(self.build_suffix(base)));
+    }
+
+    /// Our per-space live state for a rejoining replica.
+    fn build_suffix(&self, base: Option<CkptMark>) -> StateSuffix<A::Command, A::Response> {
+        let spaces = self
+            .cfg
+            .cluster
+            .replicas()
+            .map(|rid| {
+                let sp = &self.spaces[rid.index()];
+                SpaceSuffix {
+                    space: rid,
+                    owner: sp.owner,
+                    frozen: sp.frozen,
+                    floor: sp.compact_floor,
+                    next_slot: sp.next_slot,
+                    log_digest: sp.log_digest,
+                    entries: sp
+                        .entries
+                        .iter()
+                        .map(|(slot, e)| crate::msg::EntrySnapshot {
+                            inst: InstanceId::new(rid, *slot),
+                            owner: e.owner,
+                            reqs: e.reqs.clone(),
+                            deps: e.deps.clone(),
+                            seq: e.seq,
+                            status: e.status,
+                            evidence: e
+                                .commit_evidence
+                                .clone()
+                                .unwrap_or(Evidence::SpecOrdered(e.header.clone())),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        StateSuffix {
+            sender: self.id,
+            base,
+            spaces,
+        }
+    }
+
+    /// Fetcher: a stable-checkpoint certificate arrived. Verify the quorum
+    /// and every vote, then start assembling chunks for its digest.
+    fn on_state_cert(&mut self, cert: StableCheckpoint<CkptMark>, out: &mut Out<A>) {
+        if !self.recovering {
+            return;
+        }
+        if let Some(cur) = &self.st_cert {
+            if cert.mark <= cur.mark {
+                return;
+            }
+        }
+        if !self.verify_state_cert(&cert) {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.st_assembler = Some(ChunkAssembler::new(cert.digest));
+        self.st_snapshot = None;
+        self.st_cert = Some(cert);
+        // Chunks may have outrun the certificate on the wire: replay them
+        // (the assembler ignores any that address a different digest).
+        for chunk in std::mem::take(&mut self.st_early_chunks) {
+            self.on_state_chunk(chunk, out);
+        }
+        self.try_finish_recovery(out);
+    }
+
+    fn verify_state_cert(&mut self, cert: &StableCheckpoint<CkptMark>) -> bool {
+        if cert.proof.len() < self.cfg.cluster.slow_quorum() {
+            return false;
+        }
+        let mut senders = BTreeSet::new();
+        for vote in &cert.proof {
+            if vote.mark != cert.mark
+                || vote.digest != cert.digest
+                || !self.cfg.cluster.contains(vote.sender)
+                || !senders.insert(vote.sender)
+            {
+                return false;
+            }
+            let payload = CheckpointVote::<CkptMark>::signed_payload(&vote.mark, vote.digest);
+            if self
+                .keys
+                .verify(NodeId::Replica(vote.sender), &payload, &vote.sig)
+                .is_err()
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn on_state_chunk(&mut self, chunk: SnapshotChunk, out: &mut Out<A>) {
+        if !self.recovering {
+            return;
+        }
+        let Some(asm) = &mut self.st_assembler else {
+            // No certificate yet: buffer (bounded) rather than drop, so a
+            // chunk reordered ahead of its certificate costs nothing.
+            if self.st_early_chunks.len() < 1024 {
+                self.st_early_chunks.push(chunk);
+            }
+            return;
+        };
+        let Some(bytes) = asm.offer(chunk) else {
+            return;
+        };
+        // The bytes digest-verified against the certificate; decode.
+        if let Ok(snap) = ezbft_wire::from_bytes::<EzSnapshot<A::Response>>(&bytes) {
+            if Some(snap.mark) == self.st_cert.as_ref().map(|c| c.mark) {
+                self.st_snapshot = Some(snap);
+                self.try_finish_recovery(out);
+            }
+        }
+    }
+
+    fn on_state_suffix(
+        &mut self,
+        sfx: StateSuffix<A::Command, A::Response>,
+        from: NodeId,
+        out: &mut Out<A>,
+    ) {
+        if !self.recovering || from != NodeId::Replica(sfx.sender) {
+            return;
+        }
+        if sfx.base.is_none() {
+            // Genesis suffixes carry no certificate, so a single (possibly
+            // byzantine) donor must not be able to finalize our recovery:
+            // require f + 1 distinct donors to agree that no stable
+            // checkpoint exists before the genesis path may complete.
+            self.st_genesis_donors.insert(sfx.sender);
+        }
+        // Buffer per base (a suffix may outrun its certificate on the
+        // wire); the base count is bounded by the donors' distinct stable
+        // marks, capped defensively against byzantine spam.
+        if self.st_suffixes.len() < 4 || self.st_suffixes.contains_key(&sfx.base) {
+            self.st_suffixes.insert(sfx.base, sfx);
+        }
+        self.try_finish_recovery(out);
+    }
+
+    /// Completes recovery once a matching (certificate, snapshot, suffix)
+    /// triple is on hand: restore the application and client watermarks
+    /// from the certified snapshot, adopt the evidence-verified suffix
+    /// entries, and rejoin normal operation.
+    fn try_finish_recovery(&mut self, out: &mut Out<A>) {
+        if !self.recovering {
+            return;
+        }
+        let base_mark = self.st_cert.as_ref().map(|c| c.mark);
+        if !self.st_suffixes.contains_key(&base_mark) {
+            return;
+        }
+        if base_mark.is_some() && self.st_snapshot.is_none() {
+            return;
+        }
+        if base_mark.is_none() && self.st_genesis_donors.len() < self.cfg.cluster.weak_quorum() {
+            return; // genesis path needs f + 1 corroborating donors
+        }
+        let mut restored_mark = None;
+        if let Some(snap) = self.st_snapshot.take() {
+            let Ok(app) = A::restore(&snap.app) else {
+                // Undecodable despite a matching digest: hold out for a
+                // different certificate (the retry timer re-asks).
+                self.st_assembler = self.st_cert.as_ref().map(|c| ChunkAssembler::new(c.digest));
+                return;
+            };
+            self.engine = CloneReplay::new(app);
+            // Retain the canonical bytes: once recovered, we can serve
+            // state transfers for this mark ourselves.
+            let bytes = ezbft_wire::to_bytes(&snap).expect("snapshot re-encodes");
+            restored_mark = Some((snap.mark, bytes));
+            for cm in snap.clients {
+                let rec = self.clients.entry(cm.client).or_default();
+                rec.executed_ts = cm.executed_ts;
+                rec.executed_response = cm.response;
+                rec.last_ts = cm.executed_ts;
+            }
+            self.ckpt_seq = snap.mark.seq;
+        }
+        if let Some(cert) = self.st_cert.take() {
+            self.ckpt_tracker.adopt(cert);
+        }
+        let suffix = self.st_suffixes.remove(&base_mark).expect("checked above");
+        for sp in suffix.spaces {
+            if !self.cfg.cluster.contains(sp.space) {
+                continue;
+            }
+            {
+                let space = &mut self.spaces[sp.space.index()];
+                space.owner = sp.owner;
+                space.frozen = sp.frozen;
+                space.committed_to_change = false;
+                space.compact_floor = sp.floor;
+                space.next_slot = sp.next_slot;
+                space.log_digest = sp.log_digest;
+                space.pending_orders.clear();
+                space.pending_commits.clear();
+            }
+            for snap in sp.entries {
+                if snap.inst.space != sp.space || snap.inst.slot < sp.floor {
+                    continue;
+                }
+                if !self.verify_suffix_entry(&snap) {
+                    continue;
+                }
+                self.adopt_suffix_entry(snap);
+            }
+        }
+        // The adopted floors are (at most) the donor's stable cut; they are
+        // this replica's compaction clamp and, with the retained bytes, its
+        // own servable snapshot record.
+        let floors: Vec<u64> = self.spaces.iter().map(|s| s.compact_floor).collect();
+        if let Some((mark, bytes)) = restored_mark {
+            self.snapshots.insert(
+                mark,
+                SnapshotRecord {
+                    bytes: Arc::new(bytes),
+                    cut: floors.clone(),
+                },
+            );
+            self.stable_cut = Some(floors);
+        }
+        self.recovering = false;
+        self.st_assembler = None;
+        self.st_early_chunks = Vec::new();
+        self.st_suffixes.clear();
+        self.stats.state_transfers += 1;
+        self.recovered_at = Some(out.now());
+        self.try_execute(out);
+    }
+
+    /// Whether a suffix entry's evidence proves what it claims: every
+    /// client signature, plus the leader header (spec-ordered) or a commit
+    /// certificate (committed). The donor's *status* field is never
+    /// trusted — commitment is adopted only with committed-kind evidence.
+    fn verify_suffix_entry(
+        &mut self,
+        snap: &crate::msg::EntrySnapshot<A::Command, A::Response>,
+    ) -> bool {
+        for req in &snap.reqs {
+            let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
+            if self
+                .keys
+                .verify(NodeId::Client(req.client), &payload, &req.sig)
+                .is_err()
+            {
+                return false;
+            }
+        }
+        match &snap.evidence {
+            Evidence::SpecOrdered(header) => {
+                let leader = header.body.owner.owner(&self.cfg.cluster);
+                header.body.inst == snap.inst
+                    && header.body.req_digests == batch_digests(&snap.reqs)
+                    && self
+                        .keys
+                        .verify(
+                            NodeId::Replica(leader),
+                            &header.body.signed_payload(),
+                            &header.sig,
+                        )
+                        .is_ok()
+            }
+            Evidence::SlowCommit { body, sig } => {
+                crate::owner::slow_commit_valid(&mut self.keys, snap, body, sig)
+            }
+            Evidence::FastCommit { replies } => {
+                crate::owner::fast_commit_valid(&mut self.keys, &self.cfg, snap, replies)
+            }
+            Evidence::BarrierCommit { acks } => {
+                snap.reqs.is_empty()
+                    && verify_barrier_certificate(
+                        &mut self.keys,
+                        &self.cfg,
+                        snap.inst,
+                        &snap.deps,
+                        snap.seq,
+                        acks,
+                    )
+            }
+        }
+    }
+
+    fn adopt_suffix_entry(&mut self, snap: crate::msg::EntrySnapshot<A::Command, A::Response>) {
+        let inst = snap.inst;
+        let committed = !matches!(snap.evidence, Evidence::SpecOrdered(_));
+        let header = match &snap.evidence {
+            Evidence::SpecOrdered(h) => h.clone(),
+            _ => SpecOrderHeader {
+                body: SpecOrderBody {
+                    owner: snap.owner,
+                    inst,
+                    deps: snap.deps.clone(),
+                    seq: snap.seq,
+                    log_digest: Digest::ZERO,
+                    req_digests: batch_digests(&snap.reqs),
+                },
+                sig: ezbft_crypto::Signature::Null,
+            },
+        };
+        for (offset, req) in snap.reqs.iter().enumerate() {
+            self.deps.register(inst, &req.cmd.conflict_keys());
+            let rec = self.clients.entry(req.client).or_default();
+            if req.ts > rec.last_ts {
+                rec.last_ts = req.ts;
+                rec.last_at = Some(inst.at(offset as u32));
+            }
+        }
+        let entry = Entry {
+            reqs: snap.reqs.clone(),
+            owner: snap.owner,
+            deps: snap.deps.clone(),
+            seq: snap.seq,
+            status: if committed {
+                EntryStatus::Committed
+            } else {
+                EntryStatus::SpecOrdered
+            },
+            spec_responses: None,
+            final_responses: vec![None; snap.reqs.len()],
+            reply_on_final: BTreeSet::new(),
+            header,
+            commit_evidence: committed.then(|| snap.evidence.clone()),
+        };
+        self.max_seq = self.max_seq.max(snap.seq);
+        let space = &mut self.spaces[inst.space.index()];
+        space.entries.insert(inst.slot, entry);
+        if committed {
+            self.committed_pending.insert(inst);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1677,19 +2612,50 @@ impl<A: Application> Replica<A> {
     /// no longer needed; owner-change reports advertise the floor so the
     /// recovery scan starts where the slowest reporter still has data.
     fn maybe_compact(&mut self, space_id: ReplicaId) {
+        self.compact_space(space_id, false);
+    }
+
+    /// The compaction worker. With checkpointing enabled, truncation is
+    /// clamped to the *stable checkpoint's cut*: an executed entry above
+    /// the cut is not yet covered by any certified snapshot, and dropping
+    /// it would leave a rejoining replica unable to obtain its effects
+    /// from anyone (DESIGN.md §6). Without checkpointing the clamp is
+    /// absent and behaviour matches the paper-era local compaction.
+    fn compact_space(&mut self, space_id: ReplicaId, force: bool) {
         let interval = self.cfg.compaction_interval.max(1);
+        // The clamp keeps every entry a *servable* snapshot might need:
+        // the stable cut once one exists, else the oldest retained
+        // candidate's cut (it may yet stabilise; candidates age out of the
+        // bounded `snapshots` map, so the clamp keeps advancing even in a
+        // mixed deployment where stability never forms). With no snapshot
+        // at all the paper-era local compaction runs unclamped — anything
+        // executed before a barrier's execution is inside that barrier's
+        // cut (⊤-interference), so a snapshot taken later always covers
+        // what was compacted earlier. Donors that compacted without a
+        // servable snapshot refuse to serve, so completeness holds.
+        let limit = if self.cfg.checkpoint_interval == 0 {
+            u64::MAX
+        } else if let Some(cut) = &self.stable_cut {
+            cut[space_id.index()]
+        } else if let Some(rec) = self.snapshots.values().next() {
+            rec.cut[space_id.index()]
+        } else {
+            u64::MAX
+        };
         let space = &mut self.spaces[space_id.index()];
-        // Advance over the executed contiguous prefix.
+        // Advance over the executed contiguous prefix, up to the clamp.
         let mut prefix = space.compact_floor;
-        while space
-            .entries
-            .get(&prefix)
-            .map(|e| e.status == EntryStatus::Executed)
-            .unwrap_or(false)
+        while prefix < limit
+            && space
+                .entries
+                .get(&prefix)
+                .map(|e| e.status == EntryStatus::Executed)
+                .unwrap_or(false)
         {
             prefix += 1;
         }
-        if prefix.saturating_sub(space.compact_floor) < interval {
+        let advance = prefix.saturating_sub(space.compact_floor);
+        if advance == 0 || (!force && advance < interval) {
             return;
         }
         for slot in space.compact_floor..prefix {
@@ -1718,7 +2684,7 @@ impl<A: Application> Replica<A> {
     }
 }
 
-impl<A: Application> ProtocolNode for Replica<A> {
+impl<A: Application + Snapshotable> ProtocolNode for Replica<A> {
     type Message = Msg<A::Command, A::Response>;
     type Response = A::Response;
 
@@ -1726,7 +2692,26 @@ impl<A: Application> ProtocolNode for Replica<A> {
         NodeId::Replica(self.id)
     }
 
+    fn on_start(&mut self, out: &mut Out<A>) {
+        if self.recovering {
+            self.request_state(out);
+        }
+    }
+
     fn on_message(&mut self, from: NodeId, msg: Self::Message, out: &mut Out<A>) {
+        if self.recovering {
+            // Until the certified state is installed there is nothing sound
+            // to validate ordinary traffic against; only the state-transfer
+            // stream is processed. Anything missed meanwhile is recovered
+            // by retransmission or, at worst, the dependency watchdogs.
+            match msg {
+                Msg::StateCert(cert) => self.on_state_cert(cert, out),
+                Msg::StateChunk(chunk) => self.on_state_chunk(chunk, out),
+                Msg::StateSuffix(sfx) => self.on_state_suffix(sfx, from, out),
+                _ => {}
+            }
+            return;
+        }
         match msg {
             Msg::Request(req) => {
                 // Requests come from their client (or a forwarding replica
@@ -1741,6 +2726,13 @@ impl<A: Application> ProtocolNode for Replica<A> {
             Msg::StartOwnerChange(soc) => self.on_start_owner_change(soc, from, out),
             Msg::OwnerChange(oc) => self.on_owner_change(oc, from, out),
             Msg::NewOwner(no) => self.on_new_owner(no, from, out),
+            Msg::BarrierAck(ack) => self.on_barrier_ack(ack, from, out),
+            Msg::BarrierCommit(bc) => self.on_barrier_commit(bc, out),
+            Msg::Checkpoint(vote) => self.on_checkpoint_vote(vote, from),
+            Msg::StateRequest(sr) => self.on_state_request(sr, from, out),
+            Msg::StateCert(_) | Msg::StateChunk(_) | Msg::StateSuffix(_) => {
+                // Unsolicited state transfer while not recovering: ignore.
+            }
             Msg::SpecReply(_) | Msg::CommitReply(_) => {
                 // Client-bound messages; a replica receiving one ignores it.
                 self.stats.rejected += 1;
@@ -1779,6 +2771,12 @@ impl<A: Application> ProtocolNode for Replica<A> {
                 if !committed && !space.frozen {
                     let owner = space.owner;
                     self.start_owner_change(dep.space, owner, out);
+                }
+            }
+            ReplicaTimer::StateRetry => {
+                if self.recovering {
+                    // No usable response yet: ask again (re-arms itself).
+                    self.request_state(out);
                 }
             }
         }

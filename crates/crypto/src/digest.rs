@@ -26,7 +26,7 @@ impl Digest {
         &self.0
     }
 
-    /// Digest of `data` (convenience re-export of [`crate::sha256`]).
+    /// Digest of `data` (convenience re-export of [`fn@crate::sha256`]).
     pub fn of(data: &[u8]) -> Self {
         crate::sha256::sha256(data)
     }

@@ -3,7 +3,7 @@
 //! The paper authenticates messages with HMAC and ECDSA (§V). This crate
 //! provides the equivalent building blocks without external dependencies:
 //!
-//! - [`sha256`]: a from-scratch SHA-256, validated against the NIST vectors;
+//! - [`mod@sha256`]: a from-scratch SHA-256, validated against the NIST vectors;
 //! - [`hmac`]: HMAC-SHA256, validated against RFC 4231;
 //! - [`auth`]: PBFT-style pairwise MAC authenticators (the "HMAC" half);
 //! - [`wots`] + [`merkle`]: a hash-based Winternitz/Merkle many-time

@@ -1,7 +1,7 @@
 //! SHA-256 (FIPS 180-4), implemented from scratch.
 //!
 //! The streaming [`Sha256`] type follows the standard update/finalize shape;
-//! [`sha256`] is the one-shot convenience. Correctness is pinned by the
+//! [`fn@sha256`] is the one-shot convenience. Correctness is pinned by the
 //! NIST short-message test vectors and a million-`a` vector in the tests.
 
 use crate::digest::Digest;

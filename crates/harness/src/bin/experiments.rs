@@ -40,9 +40,18 @@ fn run_one(target: &str, quick: bool) -> bool {
             "{}",
             experiments::ablation(if quick { 6 } else { 20 }).render()
         ),
+        "recovery" => println!(
+            "{}",
+            if quick {
+                experiments::recovery(40, 10).render()
+            } else {
+                experiments::recovery(120, 30).render()
+            }
+        ),
         "all" => {
             for t in [
                 "table1", "fig4", "fig5a", "fig5b", "fig6", "fig7", "table2", "ablation",
+                "recovery",
             ] {
                 run_one(t, quick);
             }
@@ -50,7 +59,7 @@ fn run_one(target: &str, quick: bool) -> bool {
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|all] [--quick]"
+                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|recovery|all] [--quick]"
             );
             return false;
         }

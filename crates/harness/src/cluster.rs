@@ -148,6 +148,7 @@ pub struct ClusterBuilder {
     time_limit: Option<Micros>,
     batch_size: usize,
     batch_delay: Micros,
+    checkpoint_interval: u64,
 }
 
 impl ClusterBuilder {
@@ -169,6 +170,7 @@ impl ClusterBuilder {
             time_limit: None,
             batch_size: 1,
             batch_delay: Micros::ZERO,
+            checkpoint_interval: 0,
         }
     }
 
@@ -247,6 +249,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables ezBFT checkpointing every `interval` executed commands
+    /// (ignored by the baselines; 0 = disabled, the paper's
+    /// unbounded-log behaviour).
+    pub fn checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
     /// Runs the deployment to completion and collects the report.
     ///
     /// # Panics
@@ -270,6 +280,7 @@ impl ClusterBuilder {
             primary: self.primary,
             batch_size: self.batch_size,
             batch_delay: self.batch_delay,
+            checkpoint_interval: self.checkpoint_interval,
         };
 
         // Enumerate nodes: replicas then clients (region-major).
@@ -422,8 +433,10 @@ mod tests {
                 .clients_per_region(&[6, 6, 6, 6])
                 .requests_per_client(100_000)
                 .cost_model(CostParams {
-                    order_us: 300,
-                    follow_us: 300,
+                    order_msg_us: 100,
+                    order_req_us: 200,
+                    follow_msg_us: 250,
+                    follow_req_us: 50,
                     commit_us: 60,
                     other_us: 80,
                 })

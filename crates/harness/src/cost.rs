@@ -12,17 +12,31 @@
 //! 2019-era Go), while follower-side processing uses cheap HMACs. The
 //! defaults below land single-leader throughput in the few-hundreds-per-
 //! second range the paper reports without batching.
+//!
+//! Costs decompose into **per-message** and **per-request** terms: a
+//! batched ordering message pays its fixed envelope cost once but its
+//! signature-verification and execution cost per request it carries. With
+//! batch size 1 the sums equal the pre-decomposition flat costs, so the
+//! paper-reproduction figures are unchanged — and figures 6/7 can show
+//! batching effects without a custom cost profile.
 
 use ezbft_smr::{Micros, NodeId};
 
-/// Per-message-kind service times, in microseconds.
+/// Per-message-kind service times, in microseconds, split into fixed
+/// per-message and per-carried-request terms.
 #[derive(Clone, Copy, Debug)]
 pub struct CostParams {
-    /// Admitting and ordering a client request (leader/primary work).
-    pub order_us: u64,
-    /// Processing an ordering message as a follower (verify + speculative
-    /// execute + reply).
-    pub follow_us: u64,
+    /// Fixed cost of admitting one ordering-request message (envelope
+    /// authentication, queueing).
+    pub order_msg_us: u64,
+    /// Per-request admission cost (client signature verification plus
+    /// ordering work) — the dominant term in the paper's setup.
+    pub order_req_us: u64,
+    /// Fixed cost of processing one ordering message as a follower.
+    pub follow_msg_us: u64,
+    /// Per-request follower cost (verify digest + speculative execution +
+    /// reply signing).
+    pub follow_req_us: u64,
     /// Processing a commit-phase vote or certificate.
     pub commit_us: u64,
     /// Any other protocol message.
@@ -31,9 +45,12 @@ pub struct CostParams {
 
 impl Default for CostParams {
     fn default() -> Self {
+        // Batch-of-1 sums match the historical flat costs (2600 / 120).
         CostParams {
-            order_us: 2_600,
-            follow_us: 120,
+            order_msg_us: 200,
+            order_req_us: 2_400,
+            follow_msg_us: 70,
+            follow_req_us: 50,
             commit_us: 60,
             other_us: 80,
         }
@@ -41,25 +58,32 @@ impl Default for CostParams {
 }
 
 impl CostParams {
-    /// Cost of a message classified into the four buckets. Protocol
-    /// families map their message kinds onto the buckets.
-    pub fn classify(&self, bucket: CostBucket) -> Micros {
+    /// Cost of a message carrying `requests` application requests,
+    /// classified into the buckets. Protocol families map their message
+    /// kinds onto the buckets and report each message's batch size.
+    pub fn cost(&self, bucket: CostBucket, requests: usize) -> Micros {
+        let n = requests as u64;
         match bucket {
-            CostBucket::Order => Micros(self.order_us),
-            CostBucket::Follow => Micros(self.follow_us),
+            CostBucket::Order => Micros(self.order_msg_us + self.order_req_us * n),
+            CostBucket::Follow => Micros(self.follow_msg_us + self.follow_req_us * n),
             CostBucket::Commit => Micros(self.commit_us),
             CostBucket::Other => Micros(self.other_us),
             CostBucket::Free => Micros::ZERO,
         }
     }
 
+    /// Single-request convenience (every unbatched protocol message).
+    pub fn classify(&self, bucket: CostBucket) -> Micros {
+        self.cost(bucket, 1)
+    }
+
     /// Convenience: cost for clients is always zero (the paper's clients
     /// are not the bottleneck; they run one request at a time).
-    pub fn for_node(&self, node: NodeId, bucket: CostBucket) -> Micros {
+    pub fn for_node(&self, node: NodeId, bucket: CostBucket, requests: usize) -> Micros {
         if node.is_client() {
             Micros::ZERO
         } else {
-            self.classify(bucket)
+            self.cost(bucket, requests)
         }
     }
 }
@@ -87,8 +111,10 @@ mod tests {
     #[test]
     fn buckets_map_to_configured_costs() {
         let p = CostParams {
-            order_us: 100,
-            follow_us: 20,
+            order_msg_us: 40,
+            order_req_us: 60,
+            follow_msg_us: 12,
+            follow_req_us: 8,
             commit_us: 10,
             other_us: 5,
         };
@@ -100,14 +126,34 @@ mod tests {
     }
 
     #[test]
+    fn batched_messages_amortise_the_fixed_term() {
+        let p = CostParams::default();
+        let one = p.cost(CostBucket::Follow, 1);
+        let eight = p.cost(CostBucket::Follow, 8);
+        // The per-request share falls with the batch size...
+        assert!(eight.as_micros() < one.as_micros() * 8);
+        // ...by exactly the fixed envelope term.
+        assert_eq!(eight.as_micros(), p.follow_msg_us + p.follow_req_us * 8);
+        // Commit/other messages carry no requests and stay flat.
+        assert_eq!(p.cost(CostBucket::Commit, 8), p.cost(CostBucket::Commit, 1));
+    }
+
+    #[test]
+    fn defaults_preserve_historical_flat_costs_at_batch_one() {
+        let p = CostParams::default();
+        assert_eq!(p.classify(CostBucket::Order), Micros(2_600));
+        assert_eq!(p.classify(CostBucket::Follow), Micros(120));
+    }
+
+    #[test]
     fn clients_are_free() {
         let p = CostParams::default();
         assert_eq!(
-            p.for_node(NodeId::Client(ClientId::new(1)), CostBucket::Order),
+            p.for_node(NodeId::Client(ClientId::new(1)), CostBucket::Order, 1),
             Micros::ZERO
         );
         assert_ne!(
-            p.for_node(NodeId::Replica(ReplicaId::new(1)), CostBucket::Order),
+            p.for_node(NodeId::Replica(ReplicaId::new(1)), CostBucket::Order, 1),
             Micros::ZERO
         );
     }

@@ -72,7 +72,7 @@ pub fn fig6(client_counts: &[usize], requests_per_client: usize) -> Fig6Report {
     // client counts that simulate quickly (the paper's knee sits near 100
     // clients/region on 2019 hardware; ours sits near 40-50).
     let cost = CostParams {
-        order_us: 3_600,
+        order_req_us: 3_400, // +200 fixed = 3.6ms per admitted request
         ..CostParams::default()
     };
 

@@ -9,6 +9,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod recovery;
 pub mod table1;
 pub mod table2;
 
@@ -17,5 +18,6 @@ pub use fig4::{fig4, Fig4Report};
 pub use fig5::{fig5a, fig5b, Fig5aReport, Fig5bReport};
 pub use fig6::{fig6, Fig6Report};
 pub use fig7::{fig7, Fig7Report};
+pub use recovery::{recovery, RecoveryReport};
 pub use table1::{table1, Table1Report};
 pub use table2::{table2, Table2Report};

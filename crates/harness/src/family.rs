@@ -20,6 +20,9 @@ pub struct Setup {
     pub batch_size: usize,
     /// How long an ezBFT command-leader holds an under-full batch open.
     pub batch_delay: Micros,
+    /// ezBFT checkpoint barrier interval in executed commands
+    /// (0 = disabled, the paper's unbounded-log behaviour).
+    pub checkpoint_interval: u64,
 }
 
 /// Object-safe client interface used by the workload driver.
@@ -69,9 +72,15 @@ pub trait ProtocolFamily: 'static {
     /// Classifies a message for the cost model.
     fn cost_bucket(msg: &Self::Msg) -> CostBucket;
 
+    /// How many application requests a message carries (drives the
+    /// per-request cost term). Unbatched protocols leave the default.
+    fn batch_len(_msg: &Self::Msg) -> usize {
+        1
+    }
+
     /// Cost-model closure for the simulator.
     fn cost_fn(params: CostParams) -> impl FnMut(NodeId, &Self::Msg) -> Micros + Send + 'static {
-        move |node, msg| params.for_node(node, Self::cost_bucket(msg))
+        move |node, msg| params.for_node(node, Self::cost_bucket(msg), Self::batch_len(msg))
     }
 }
 
@@ -88,8 +97,9 @@ impl ProtocolFamily for EzBftFamily {
         id: ReplicaId,
         keys: KeyStore,
     ) -> Box<dyn ProtocolNode<Message = Self::Msg, Response = KvResponse>> {
-        let cfg = ezbft_core::EzConfig::new(setup.cluster)
+        let mut cfg = ezbft_core::EzConfig::new(setup.cluster)
             .with_batching(setup.batch_size, setup.batch_delay);
+        cfg.checkpoint_interval = setup.checkpoint_interval;
         Box::new(ezbft_core::Replica::new(id, cfg, keys, KvStore::new()))
     }
 
@@ -114,6 +124,16 @@ impl ProtocolFamily for EzBftFamily {
             M::CommitFast(_) | M::Commit(_) => CostBucket::Commit,
             M::SpecReply(_) | M::CommitReply(_) => CostBucket::Free,
             _ => CostBucket::Other,
+        }
+    }
+
+    fn batch_len(msg: &Self::Msg) -> usize {
+        use ezbft_core::Msg as M;
+        match msg {
+            // A batched SPECORDER pays the per-request term per carried
+            // request (a barrier carries none: envelope cost only).
+            M::SpecOrder(so) => so.reqs.len(),
+            _ => 1,
         }
     }
 }

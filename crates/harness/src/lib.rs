@@ -5,12 +5,13 @@
 //!
 //! | Module | Paper result |
 //! |---|---|
-//! | [`experiments::table1`] | Table I — Zyzzyva latency vs primary placement |
-//! | [`experiments::fig4`]   | Fig. 4 — Experiment 1 latencies (4 protocols, 4 contention levels) |
+//! | [`mod@experiments::table1`] | Table I — Zyzzyva latency vs primary placement |
+//! | [`mod@experiments::fig4`]   | Fig. 4 — Experiment 1 latencies (4 protocols, 4 contention levels) |
 //! | [`experiments::fig5`]   | Fig. 5a/5b — Experiment 2 latencies and primary-placement sweep |
-//! | [`experiments::fig6`]   | Fig. 6 — latency vs connected clients (1–100 per region) |
-//! | [`experiments::fig7`]   | Fig. 7 — peak server-side throughput |
-//! | [`experiments::table2`] | Table II — protocol property comparison |
+//! | [`mod@experiments::fig6`]   | Fig. 6 — latency vs connected clients (1–100 per region) |
+//! | [`mod@experiments::fig7`]   | Fig. 7 — peak server-side throughput |
+//! | [`mod@experiments::table2`] | Table II — protocol property comparison |
+//! | [`mod@experiments::recovery`] | Beyond the paper: crash-restart catch-up via checkpointed state transfer |
 //!
 //! The building blocks ([`cluster::ClusterBuilder`], [`family`], [`cost`])
 //! are public so downstream users can script their own deployments.

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use ezbft_checkpoint::{SnapshotError, Snapshotable};
 use ezbft_smr::Application as _;
 
 use crate::cmd::{Key, KvOp, KvResponse, Value};
@@ -156,6 +157,19 @@ impl SpecKvStore {
     }
 }
 
+impl Snapshotable for SpecKvStore {
+    /// Only the **final** state is replicated state; outstanding
+    /// speculation is local and dies with the process, so a checkpoint of
+    /// the spec executor is exactly a checkpoint of its final store.
+    fn snapshot(&self) -> Vec<u8> {
+        self.final_store.snapshot()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Ok(SpecKvStore::from_store(KvStore::restore(bytes)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +274,30 @@ mod tests {
         s.invalidate_all();
         assert_eq!(s.spec_get(Key(2)), None);
         assert_eq!(s.spec_len(), 0);
+    }
+
+    #[test]
+    fn snapshot_covers_final_state_only() {
+        let mut s = SpecKvStore::new();
+        s.final_apply(
+            1,
+            &KvOp::Put {
+                key: Key(1),
+                value: vec![1],
+            },
+        );
+        s.spec_apply(
+            2,
+            &KvOp::Put {
+                key: Key(2),
+                value: vec![2],
+            },
+        );
+        let restored = SpecKvStore::restore(&s.snapshot()).unwrap();
+        assert_eq!(restored.final_store().get(Key(1)), Some(&vec![1]));
+        assert_eq!(restored.final_store().get(Key(2)), None, "spec excluded");
+        assert_eq!(restored.spec_len(), 0);
+        assert_eq!(s.state_digest(), restored.state_digest());
     }
 
     #[test]

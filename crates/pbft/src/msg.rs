@@ -123,25 +123,10 @@ impl<R: Payload> Reply<R> {
     }
 }
 
-/// CHECKPOINT: `⟨n, state-digest, i⟩`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
-pub struct Checkpoint {
-    /// Sequence number of the checkpointed prefix.
-    pub n: u64,
-    /// Digest of the application state after executing `n`.
-    pub state_digest: Digest,
-    /// The reporting replica.
-    pub sender: ReplicaId,
-    /// Signature.
-    pub sig: Signature,
-}
-
-impl Checkpoint {
-    /// Canonical signed bytes.
-    pub fn signed_payload(n: u64, state_digest: Digest) -> Vec<u8> {
-        ezbft_wire::to_bytes(&(b"checkpoint", n, state_digest)).expect("encodes")
-    }
-}
+/// CHECKPOINT: `⟨n, state-digest, i⟩` — the shared subsystem's vote with
+/// the sequence number as its mark (the checkpoint/truncation machinery
+/// itself lives in `ezbft-checkpoint` and is shared with ezBFT).
+pub type Checkpoint = ezbft_checkpoint::CheckpointVote<u64>;
 
 /// One prepared entry carried inside VIEW-CHANGE.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -281,8 +266,8 @@ mod tests {
     #[test]
     fn wire_roundtrip() {
         let m: Msg<u32, u32> = Msg::Checkpoint(Checkpoint {
-            n: 100,
-            state_digest: Digest::of(b"s"),
+            mark: 100,
+            digest: Digest::of(b"s"),
             sender: ReplicaId::new(2),
             sig: Signature::Null,
         });

@@ -3,6 +3,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use ezbft_checkpoint::{CheckpointTracker, CheckpointVote, Snapshotable};
 use ezbft_crypto::{Audience, Digest, KeyStore};
 use ezbft_smr::{
     Actions, Application, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
@@ -125,7 +126,9 @@ pub struct PbftReplica<A: Application> {
     exec_upto: u64,
     stable_n: u64,
     clients: HashMap<ClientId, ClientRec<A::Response>>,
-    checkpoint_votes: HashMap<(u64, Digest), VoteTally>,
+    /// Stable-checkpoint agreement via the shared subsystem
+    /// (`ezbft-checkpoint`): marks are sequence numbers.
+    ckpt_tracker: CheckpointTracker<u64>,
     ihp_votes: HashMap<u64, VoteTally>,
     vc_reports: HashMap<u64, Vec<ViewChange<A::Command>>>,
     timers: HashMap<u64, Timer>,
@@ -150,7 +153,7 @@ type Out<A> = Actions<
     <A as Application>::Response,
 >;
 
-impl<A: Application> PbftReplica<A> {
+impl<A: Application + Snapshotable> PbftReplica<A> {
     /// Creates a replica.
     ///
     /// # Panics
@@ -171,7 +174,7 @@ impl<A: Application> PbftReplica<A> {
             exec_upto: 0,
             stable_n: 0,
             clients: HashMap::new(),
-            checkpoint_votes: HashMap::new(),
+            ckpt_tracker: CheckpointTracker::new(),
             ihp_votes: HashMap::new(),
             vc_reports: HashMap::new(),
             timers: HashMap::new(),
@@ -510,19 +513,20 @@ impl<A: Application> PbftReplica<A> {
     // ------------------------------------------------------------------
 
     fn state_digest(&self, n: u64) -> Digest {
-        // A cheap state summary: (n, executed count). A production system
-        // would hash an application snapshot; for protocol-level agreement
-        // the pair is sufficient because execution is deterministic.
-        Digest::of(&ezbft_wire::to_bytes(&(b"state", n)).expect("encodes"))
+        // The application's canonical snapshot digest bound to the
+        // sequence number — byzantine replicas whose execution diverged
+        // cannot contribute to a stable checkpoint.
+        let app = self.app.state_digest();
+        Digest::of(&ezbft_wire::to_bytes(&(b"pbft-state", n, app)).expect("encodes"))
     }
 
     fn emit_checkpoint(&mut self, n: u64, out: &mut Out<A>) {
         let d = self.state_digest(n);
-        let payload = Checkpoint::signed_payload(n, d);
+        let payload = CheckpointVote::<u64>::signed_payload(&n, d);
         let sig = self.keys.sign(&payload, &self.replica_audience());
         let cp = Checkpoint {
-            n,
-            state_digest: d,
+            mark: n,
+            digest: d,
             sender: self.id,
             sig,
         };
@@ -535,7 +539,7 @@ impl<A: Application> PbftReplica<A> {
         if from != NodeId::Replica(cp.sender) {
             return;
         }
-        let payload = Checkpoint::signed_payload(cp.n, cp.state_digest);
+        let payload = CheckpointVote::<u64>::signed_payload(&cp.mark, cp.digest);
         if self
             .keys
             .verify(NodeId::Replica(cp.sender), &payload, &cp.sig)
@@ -548,17 +552,13 @@ impl<A: Application> PbftReplica<A> {
     }
 
     fn record_checkpoint(&mut self, cp: Checkpoint) {
-        let votes = self
-            .checkpoint_votes
-            .entry((cp.n, cp.state_digest))
-            .or_default();
-        votes.vote(cp.sender);
-        if votes.reached(self.cfg.cluster.slow_quorum()) && cp.n > self.stable_n {
-            self.stable_n = cp.n;
+        let quorum = self.cfg.cluster.slow_quorum();
+        if let Some(stable) = self.ckpt_tracker.record(cp, quorum) {
+            self.stable_n = stable.mark;
             self.stats.checkpoints += 1;
-            // Truncate the log below the stable checkpoint.
-            self.slots.retain(|&n, _| n > cp.n);
-            self.checkpoint_votes.retain(|(n, _), _| *n > cp.n);
+            // Truncate the log below the stable checkpoint (the tracker
+            // prunes its own votes).
+            self.slots.retain(|&n, _| n > stable.mark);
         }
     }
 
@@ -781,6 +781,9 @@ impl<A: Application> PbftReplica<A> {
         self.app = self.initial.clone();
         self.exec_upto = 0;
         self.stable_n = 0;
+        // Sequence numbers restart in the new view; old stable marks must
+        // not block new checkpoints from stabilising.
+        self.ckpt_tracker = CheckpointTracker::new();
         self.next_n = nv.pre_prepares.len() as u64 + 1;
         self.stats.view_changes += 1;
         for (_, id) in self.accuse_waits.drain() {
@@ -800,7 +803,7 @@ impl<A: Application> PbftReplica<A> {
     }
 }
 
-impl<A: Application> ProtocolNode for PbftReplica<A> {
+impl<A: Application + Snapshotable> ProtocolNode for PbftReplica<A> {
     type Message = Msg<A::Command, A::Response>;
     type Response = A::Response;
 

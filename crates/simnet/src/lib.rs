@@ -25,7 +25,7 @@ pub mod net;
 pub mod topology;
 pub mod trace;
 
-pub use metrics::{Histogram, LatencyRecorder, ThroughputCounter};
+pub use metrics::{Gauge, Histogram, LatencyRecorder, ThroughputCounter};
 pub use net::{CostModel, FaultPlan, SimConfig, SimNet};
 pub use topology::{Region, Topology};
 pub use trace::{Trace, TraceEvent};

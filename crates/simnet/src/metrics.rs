@@ -128,6 +128,53 @@ impl LatencyRecorder {
     }
 }
 
+/// A sampled gauge: a quantity observed at instants of virtual time (e.g.
+/// a replica's retained-log size). Unlike [`Histogram`] — which aggregates
+/// a population of independent samples — a gauge tracks one time series,
+/// and the interesting questions are its peak and its endpoint: a bounded
+/// gauge has `max()` independent of how long the run was.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    samples: Vec<(Micros, u64)>,
+}
+
+impl Gauge {
+    /// Creates an empty gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the observed value at virtual time `at`.
+    pub fn record(&mut self, at: Micros, value: u64) {
+        self.samples.push((at, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The largest observed value (zero if empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().map(|&(_, v)| v).max().unwrap_or(0)
+    }
+
+    /// The last observed value (zero if empty).
+    pub fn last(&self) -> u64 {
+        self.samples.last().map(|&(_, v)| v).unwrap_or(0)
+    }
+
+    /// The recorded time series.
+    pub fn samples(&self) -> &[(Micros, u64)] {
+        &self.samples
+    }
+}
+
 /// Counts completed operations over a virtual-time window to report
 /// throughput.
 #[derive(Clone, Copy, Debug, Default)]
@@ -228,6 +275,20 @@ mod tests {
         assert_eq!(r.group(0).len(), 1);
         // Nearest-rank median of {7, 9} is the lower sample.
         assert_eq!(r.group_mut(1).median(), Micros(7));
+    }
+
+    #[test]
+    fn gauge_tracks_peak_and_endpoint() {
+        let mut g = Gauge::new();
+        assert!(g.is_empty());
+        assert_eq!(g.max(), 0);
+        for (t, v) in [(0u64, 3u64), (10, 9), (20, 4)] {
+            g.record(Micros(t), v);
+        }
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.max(), 9);
+        assert_eq!(g.last(), 4);
+        assert_eq!(g.samples()[1], (Micros(10), 9));
     }
 
     #[test]

@@ -95,6 +95,14 @@ impl FaultPlan {
         self.crashed.contains(&node)
     }
 
+    /// Un-crashes `node` (crash-recovery: the process restarts). A message
+    /// still in flight when the node comes back may be delivered to the
+    /// restarted process — exactly the late-packet behaviour of a real
+    /// network; restart-aware protocols must tolerate it.
+    pub fn revive(&mut self, node: impl Into<NodeId>) {
+        self.crashed.remove(&node.into());
+    }
+
     /// Severs the directed link `from → to`.
     pub fn cut_link(&mut self, from: impl Into<NodeId>, to: impl Into<NodeId>) {
         self.cut.insert((from.into(), to.into()));
@@ -322,6 +330,46 @@ where
             },
         );
         assert!(prev.is_none(), "duplicate node {id:?}");
+    }
+
+    /// Replaces a (typically crashed) node with a fresh instance at the
+    /// current virtual time: the crash-restart primitive. The replacement
+    /// must carry the same id; it is revived in the fault plan, its
+    /// `on_start` runs at `now`, and the old instance's timers can never
+    /// fire into it (the timer-generation counter carries over, so stale
+    /// queued timer events miss). In-flight messages addressed to the node
+    /// may still arrive — late packets, as on a real network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node with this id was ever registered, or the region
+    /// is out of range.
+    pub fn restart_node(
+        &mut self,
+        region: Region,
+        node: Box<dyn ProtocolNode<Message = M, Response = R>>,
+    ) {
+        assert!(region.index() < self.topology.len(), "region out of range");
+        let id = node.id();
+        let old = self.nodes.remove(&id).expect("restarting an unknown node");
+        self.nodes.insert(
+            id,
+            NodeEntry {
+                node,
+                region,
+                busy_until: self.now,
+                timer_generation: HashMap::new(),
+                next_generation: old.next_generation,
+            },
+        );
+        self.faults.revive(id);
+        if self.started {
+            let mut out = Actions::new(self.now);
+            if let Some(entry) = self.nodes.get_mut(&id) {
+                entry.node.on_start(&mut out);
+            }
+            self.apply_actions(id, out);
+        }
     }
 
     /// Installs a processing-cost function (FIFO server per node).
@@ -1052,6 +1100,76 @@ mod tests {
         );
         assert_eq!(sim2.stats().messages_delivered, 1);
         drop(sim);
+    }
+
+    #[test]
+    fn restart_revives_a_crashed_node_with_fresh_state() {
+        // Crash the responder mid-ping-pong, then restart it: the pings
+        // stalled while it was down resume once the client side retries —
+        // here we model the retry by the restarted node's on_start ping.
+        let mut sim = two_node_sim();
+        let b = NodeId::Replica(ReplicaId::new(1));
+        sim.schedule_crash(ReplicaId::new(1), Micros(250));
+        sim.run_until_time(Micros::from_secs(1));
+        assert!(sim.deliveries().is_empty(), "crash stops the exchange");
+        let dropped_before = sim.stats().messages_dropped;
+        assert!(dropped_before >= 1);
+
+        // Restart node 1 as an *active* pinger: its on_start runs at the
+        // current virtual time and the exchange completes.
+        sim.restart_node(
+            Region(0),
+            Box::new(Pinger {
+                me: b,
+                peer: NodeId::Replica(ReplicaId::new(0)),
+                limit: 10,
+                active: true,
+            }),
+        );
+        sim.run_until_deliveries(1);
+        assert_eq!(sim.deliveries().len(), 1, "progress after restart");
+        assert!(sim.deliveries()[0].at > Micros(250));
+    }
+
+    #[test]
+    fn restart_invalidates_stale_timers() {
+        // A node arms a timer, crashes, and is restarted before the timer's
+        // deadline: the stale timer must not fire into the new instance.
+        struct OneTimer {
+            me: NodeId,
+        }
+        impl ProtocolNode for OneTimer {
+            type Message = u32;
+            type Response = u32;
+            fn id(&self) -> NodeId {
+                self.me
+            }
+            fn on_start(&mut self, out: &mut Actions<u32, u32>) {
+                out.set_timer(TimerId(1), Micros(1_000));
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u32, _o: &mut Actions<u32, u32>) {}
+            fn on_timer(&mut self, id: TimerId, out: &mut Actions<u32, u32>) {
+                out.deliver(Timestamp(id.0), id.0 as u32, false);
+            }
+        }
+        let me = NodeId::Client(ClientId::new(0));
+        let mut sim: SimNet<u32, u32> = SimNet::new(
+            Topology::lan(1).with_jitter(Micros::ZERO),
+            SimConfig::default(),
+        );
+        sim.add_node(Region(0), Box::new(OneTimer { me }));
+        // Start the node (arms the old timer for t=1000) without letting
+        // any event run, then restart: the old instance's queued timer
+        // event and the new instance's rearm share TimerId(1) and the same
+        // deadline, but the generation counter carried across the restart
+        // tells them apart.
+        sim.run_until_deliveries(0);
+        sim.restart_node(Region(0), Box::new(OneTimer { me }));
+        sim.run();
+        // Exactly one firing: the restarted instance's.
+        assert_eq!(sim.deliveries().len(), 1);
+        assert_eq!(sim.deliveries()[0].at, Micros(1_000));
+        assert_eq!(sim.stats().timers_fired, 1);
     }
 
     #[test]

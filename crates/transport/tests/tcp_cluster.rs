@@ -89,6 +89,82 @@ fn ezbft_cluster_over_tcp_loopback() {
     drop(client_handle.shutdown());
 }
 
+/// The same sans-io checkpointing machinery that the simulator drives must
+/// work over real sockets: run a checkpoint-enabled ezBFT cluster on TCP
+/// loopback, push enough commands for several barriers, and verify stable
+/// checkpoints formed and truncated the retained log on every replica.
+#[test]
+fn ezbft_checkpointing_over_tcp_loopback() {
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = EzConfig::new(cluster).with_checkpointing(4);
+    let client_id = ClientId::new(0);
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    nodes.push(NodeId::Client(client_id));
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"tcp-checkpoint", &nodes);
+    let client_keys = stores.pop().unwrap();
+
+    let (book, mut listeners) = bind_all(&nodes);
+    let client_listener = listeners.pop().expect("client listener");
+
+    let mut replica_handles: Vec<NodeHandle<KvMsg, Replica<KvStore>>> = Vec::new();
+    for (rid, listener) in cluster.replicas().zip(listeners) {
+        let replica = Replica::new(rid, cfg, stores.remove(0), KvStore::new());
+        replica_handles.push(
+            NodeHandle::spawn_with_listener(replica, book.clone(), listener)
+                .expect("spawn replica"),
+        );
+    }
+    let client: Client<KvOp, KvResponse> =
+        Client::new(client_id, cfg, client_keys, ReplicaId::new(0));
+    let client_handle = NodeHandle::spawn_with_listener(client, book.clone(), client_listener)
+        .expect("spawn client");
+
+    let total = 24u64;
+    for i in 0..total {
+        client_handle
+            .with_node(move |c, out| {
+                c.submit(
+                    KvOp::Put {
+                        key: Key(i),
+                        value: vec![i as u8; 16],
+                    },
+                    out,
+                );
+            })
+            .expect("submit");
+        client_handle
+            .recv_delivery(Duration::from_secs(10))
+            .expect("request completes over TCP");
+    }
+
+    // Let barriers, votes and truncation propagate.
+    std::thread::sleep(Duration::from_millis(800));
+    let mut fingerprints = Vec::new();
+    for h in replica_handles {
+        let replica = h.shutdown().expect("state machine");
+        assert!(
+            replica.stats().stable_checkpoints >= 1,
+            "stable checkpoints must form over TCP (got {})",
+            replica.stats().stable_checkpoints
+        );
+        assert!(
+            replica.barriers_executed() >= 2,
+            "barriers must commit and execute over TCP"
+        );
+        assert!(
+            replica.retained_log_size() < total as usize,
+            "stable checkpoints truncate the retained log (kept {})",
+            replica.retained_log_size()
+        );
+        fingerprints.push(replica.app().fingerprint());
+    }
+    assert!(
+        fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "replica states must agree"
+    );
+    drop(client_handle.shutdown());
+}
+
 #[test]
 fn pbft_cluster_over_tcp_loopback() {
     use ezbft_pbft::{PbftClient, PbftConfig, PbftReplica};

@@ -22,8 +22,10 @@ fn main() {
             .clients_per_region(&[6, 6, 6, 6])
             .requests_per_client(100_000)
             .cost_model(CostParams {
-                order_us: 300,
-                follow_us: 300,
+                order_msg_us: 100,
+                order_req_us: 200,
+                follow_msg_us: 250,
+                follow_req_us: 50,
                 commit_us: 60,
                 other_us: 80,
             })

@@ -53,6 +53,9 @@ pub use ezbft_crypto as crypto;
 /// Compact binary codec and framing.
 pub use ezbft_wire as wire;
 
+/// Checkpointing, log compaction and state transfer.
+pub use ezbft_checkpoint as checkpoint;
+
 /// Deterministic discrete-event WAN simulator.
 pub use ezbft_simnet as simnet;
 

@@ -60,8 +60,10 @@ fn custom_topology_from_raw_matrix() {
 #[test]
 fn cost_model_is_composable_with_any_protocol() {
     let cost = CostParams {
-        order_us: 500,
-        follow_us: 50,
+        order_msg_us: 100,
+        order_req_us: 400,
+        follow_msg_us: 30,
+        follow_req_us: 20,
         commit_us: 20,
         other_us: 10,
     };
