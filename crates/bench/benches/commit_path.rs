@@ -1,0 +1,236 @@
+//! Commit-path benchmarks (DESIGN.md §7): certificate construction and
+//! validation at the message level, plus simulated end-to-end throughput
+//! of aggregated vs per-client commitment at batch=8.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ezbft_core::msg::{batch_digests, Msg, Request, SpecAck, SpecOrder, SpecOrderBody};
+use ezbft_core::{EzConfig, InstanceId, OwnerNum, Replica};
+use ezbft_crypto::{Audience, CryptoKind, Digest, KeyStore};
+use ezbft_harness::{ClusterBuilder, CostParams, ProtocolKind};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_simnet::Topology;
+use ezbft_smr::{
+    Actions, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, Timestamp,
+};
+
+type KvMsg = Msg<KvOp, KvResponse>;
+
+struct Fixture {
+    cfg: EzConfig,
+    stores: Vec<KeyStore>,
+    client_keys: KeyStore,
+}
+
+fn fixture() -> Fixture {
+    let cluster = ClusterConfig::for_faults(1);
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    nodes.push(NodeId::Client(ClientId::new(0)));
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"commit-bench", &nodes);
+    let client_keys = stores.pop().unwrap();
+    Fixture {
+        cfg: EzConfig::new(cluster),
+        stores,
+        client_keys,
+    }
+}
+
+/// A signed batch of `k` requests ordered at R0.0, plus the matching
+/// `3f + 1` SPECACK certificate.
+fn agg_certificate(fx: &mut Fixture, k: usize) -> (SpecOrderBody, Vec<SpecAck>) {
+    let client = ClientId::new(0);
+    let reqs: Vec<Request<KvOp>> = (0..k as u64)
+        .map(|i| {
+            let op = KvOp::Put {
+                key: Key(i),
+                value: vec![i as u8; 8],
+            };
+            let payload = Request::signed_payload(client, Timestamp(i + 1), &op);
+            let sig = fx
+                .client_keys
+                .sign(&payload, &Audience::replicas(fx.cfg.cluster.n()));
+            Request {
+                client,
+                ts: Timestamp(i + 1),
+                cmd: op,
+                original: None,
+                sig,
+            }
+        })
+        .collect();
+    let inst = InstanceId::new(ReplicaId::new(0), 0);
+    let body = SpecOrderBody {
+        owner: OwnerNum(0),
+        inst,
+        deps: BTreeSet::new(),
+        seq: 1,
+        log_digest: Digest::ZERO,
+        req_digests: batch_digests(&reqs),
+    };
+    let batch_digest = body.batch_digest();
+    let acks: Vec<SpecAck> = (0..fx.cfg.cluster.n())
+        .map(|r| {
+            let payload =
+                SpecAck::signed_payload(body.owner, inst, &body.deps, body.seq, batch_digest);
+            let sig = fx.stores[r].sign(&payload, &Audience::replicas(fx.cfg.cluster.n()));
+            SpecAck {
+                owner: body.owner,
+                inst,
+                deps: body.deps.clone(),
+                seq: body.seq,
+                batch_digest,
+                sender: ReplicaId::new(r as u8),
+                sig,
+            }
+        })
+        .collect();
+    (body, acks)
+}
+
+/// Message-level costs: building and signing an instance-level SPECACK
+/// certificate, and `Arc`-sharing a batch versus deep-cloning it.
+fn bench_certificates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_path");
+    let mut fx = fixture();
+
+    let (body, acks) = agg_certificate(&mut fx, 8);
+    group.bench_function("spec_ack_sign_batch8", |b| {
+        let batch_digest = body.batch_digest();
+        b.iter(|| {
+            let payload =
+                SpecAck::signed_payload(body.owner, body.inst, &body.deps, body.seq, batch_digest);
+            fx.stores[1].sign(&payload, &Audience::replicas(4))
+        })
+    });
+    group.bench_function("agg_certificate_verify_batch8", |b| {
+        // The receiving-replica validation path: a COMMITAGG whose four
+        // acks must each verify, exercised through the public handler.
+        b.iter_batched(
+            || {
+                let keys = KeyStore::cluster(
+                    CryptoKind::Mac,
+                    b"commit-bench",
+                    &(0..4u8)
+                        .map(|r| NodeId::Replica(ReplicaId::new(r)))
+                        .chain([NodeId::Client(ClientId::new(0))])
+                        .collect::<Vec<_>>(),
+                )
+                .remove(3);
+                let mut cfg = fx.cfg;
+                cfg.commit_aggregation = true;
+                Replica::new(ReplicaId::new(3), cfg, keys, KvStore::new())
+            },
+            |mut replica: Replica<KvStore>| {
+                let mut o: Actions<KvMsg, KvResponse> = Actions::new(Micros::ZERO);
+                replica.on_message(
+                    NodeId::Replica(ReplicaId::new(0)),
+                    Msg::CommitAgg(ezbft_core::msg::CommitAgg {
+                        inst: body.inst,
+                        deps: body.deps.clone(),
+                        seq: body.seq,
+                        cc: acks.clone(),
+                    }),
+                    &mut o,
+                );
+                replica
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // Zero-copy sharing vs the pre-§7 deep clone of a 32-request batch.
+    let (_, _) = agg_certificate(&mut fx, 0); // keep fixture warm
+    let client = ClientId::new(0);
+    let reqs: Arc<Vec<Request<KvOp>>> = Arc::new(
+        (0..32u64)
+            .map(|i| {
+                let op = KvOp::Put {
+                    key: Key(i),
+                    value: vec![i as u8; 64],
+                };
+                let payload = Request::signed_payload(client, Timestamp(i + 1), &op);
+                let sig = fx.client_keys.sign(&payload, &Audience::replicas(4));
+                Request {
+                    client,
+                    ts: Timestamp(i + 1),
+                    cmd: op,
+                    original: None,
+                    sig,
+                }
+            })
+            .collect(),
+    );
+    group.bench_function("batch32_arc_share", |b| {
+        b.iter(|| criterion::black_box(Arc::clone(&reqs)))
+    });
+    group.bench_function("batch32_deep_clone", |b| {
+        b.iter(|| criterion::black_box((*reqs).clone()))
+    });
+    let so = SpecOrder {
+        body: SpecOrderBody {
+            owner: OwnerNum(0),
+            inst: InstanceId::new(ReplicaId::new(0), 0),
+            deps: BTreeSet::new(),
+            seq: 1,
+            log_digest: Digest::ZERO,
+            req_digests: batch_digests(&reqs),
+        },
+        sig: ezbft_crypto::Signature::Null,
+        reqs: Arc::clone(&reqs),
+    };
+    group.bench_function("spec_order_encode_batch32", |b| {
+        b.iter(|| ezbft_wire::to_bytes(&so).unwrap())
+    });
+    group.finish();
+}
+
+/// Simulated end-to-end: aggregated vs per-client commitment at batch=8
+/// over the follower-bound LAN profile (the commit_traffic experiment's
+/// configuration).
+fn bench_commit_modes(c: &mut Criterion) {
+    let run = |aggregated: bool| {
+        ClusterBuilder::new(ProtocolKind::EzBft)
+            .topology(Topology::lan(4))
+            .clients_per_region(&[6, 6, 6, 6])
+            .requests_per_client(100_000)
+            .cost_model(CostParams {
+                order_msg_us: 100,
+                order_req_us: 200,
+                follow_msg_us: 250,
+                follow_req_us: 50,
+                commit_us: 60,
+                ack_us: 40,
+                other_us: 80,
+            })
+            .batch_size(8)
+            .batch_delay(Micros::from_millis(1))
+            .commit_aggregation(aggregated)
+            .time_limit(Micros::from_secs(2))
+            .seed(11)
+            .run()
+    };
+    let mut group = c.benchmark_group("commit_path");
+    group.sample_size(2);
+    for aggregated in [false, true] {
+        let report = run(aggregated);
+        let mode = if aggregated {
+            "aggregated"
+        } else {
+            "client-driven"
+        };
+        println!(
+            "  commit_path: {mode:>13} → {:.0} ops/s simulated ({} completed)",
+            report.throughput(),
+            report.completed()
+        );
+        group.bench_function(&format!("sim_batch8_{}", mode.replace('-', "_")), |b| {
+            b.iter(|| criterion::black_box(run(aggregated).completed()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_certificates, bench_commit_modes);
+criterion_main!(benches);

@@ -142,7 +142,7 @@ fn spec_order_msg(batch: usize) -> ezbft_core::Msg<ezbft_kv::KvOp, ezbft_kv::KvR
     ezbft_core::Msg::SpecOrder(SpecOrder {
         body,
         sig: Signature::Null,
-        reqs,
+        reqs: std::sync::Arc::new(reqs),
     })
 }
 
@@ -193,6 +193,7 @@ fn bench_batching(c: &mut Criterion) {
                 follow_msg_us: 250,
                 follow_req_us: 50,
                 commit_us: 60,
+                ack_us: 40,
                 other_us: 80,
             })
             .batch_size(batch)

@@ -11,7 +11,7 @@ use ezbft_checkpoint::Snapshotable;
 use ezbft_crypto::{Audience, KeyStore};
 use ezbft_smr::{Action, Actions, Application, NodeId, ProtocolNode, TimerId};
 
-use crate::msg::{Msg, SpecReply};
+use crate::msg::{Msg, SpecAck, SpecReply};
 use crate::replica::Replica;
 
 /// What the wrapped replica lies about.
@@ -34,6 +34,12 @@ pub enum Behaviour {
     /// silent towards clients), forcing the client-driven owner change of
     /// §IV-D step 4.3. The replica behaves correctly for other spaces.
     MuteLeader,
+    /// As command-leader under commit aggregation, collect SPECACKs but
+    /// never broadcast the COMMITAGG certificate or confirm the clients —
+    /// the observable behaviour of a leader crashing between ack
+    /// collection and the commit broadcast. Clients must fall back to the
+    /// paper's client-driven COMMITFAST (DESIGN.md §7).
+    SwallowAggCommit,
 }
 
 /// An honest replica wrapped with a byzantine output filter.
@@ -162,9 +168,35 @@ impl<A: Application + Snapshotable> ByzantineReplica<A> {
                     reply.spec_order,
                 )))
             }
+            (Behaviour::DropDeps, Msg::SpecAck(ack)) if ack.sender == me => {
+                // The same lie at instance granularity: an emptied
+                // dependency view in the leader-bound acknowledgement.
+                let mut ack = ack;
+                ack.deps.clear();
+                ack.seq = 1;
+                let payload = SpecAck::signed_payload(
+                    ack.owner,
+                    ack.inst,
+                    &ack.deps,
+                    ack.seq,
+                    ack.batch_digest,
+                );
+                ack.sig = self.keys.sign(&payload, &Audience::replicas(self.n));
+                Some(Msg::SpecAck(ack))
+            }
             (Behaviour::MuteLeader, Msg::SpecOrder(so)) if so.body.inst.space == me => None,
             (Behaviour::MuteLeader, Msg::SpecReply(reply))
                 if reply.body.inst.space == me && reply.sender == me =>
+            {
+                None
+            }
+            (Behaviour::MuteLeader | Behaviour::SwallowAggCommit, Msg::CommitAgg(ca))
+                if ca.inst.space == me =>
+            {
+                None
+            }
+            (Behaviour::MuteLeader | Behaviour::SwallowAggCommit, Msg::CommitConfirm(cf))
+                if cf.sender == me =>
             {
                 None
             }

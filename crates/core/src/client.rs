@@ -27,8 +27,8 @@ use ezbft_smr::{
 use crate::config::EzConfig;
 use crate::instance::InstanceId;
 use crate::msg::{
-    Commit, CommitBody, CommitFast, CommitReply, Msg, Pom, Request, SpecOrderHeader, SpecReply,
-    WirePayload,
+    Commit, CommitBody, CommitConfirm, CommitFast, CommitReply, Msg, Pom, Request, SpecOrderHeader,
+    SpecReply, WirePayload,
 };
 
 /// Counters exposed for tests and reports.
@@ -42,6 +42,12 @@ pub struct ClientStats {
     pub retries: u64,
     /// Proofs of misbehaviour broadcast.
     pub poms: u64,
+    /// Aggregated commitments confirmed by the command-leader (fallback
+    /// disarmed without any client-driven commit traffic).
+    pub confirmed: u64,
+    /// COMMITFAST fallbacks broadcast because an aggregated commitment was
+    /// never confirmed in time.
+    pub fallbacks: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,8 +63,10 @@ struct Pending<C, R> {
     ts: Timestamp,
     req_digest: Digest,
     phase: Phase,
-    /// Latest SPECREPLY per replica.
-    replies: HashMap<ReplicaId, SpecReply<C, R>>,
+    /// Latest SPECREPLY per replica, with its match key cached so the
+    /// fast-path tally never re-encodes a stored certificate body
+    /// (DESIGN.md §7).
+    replies: HashMap<ReplicaId, (Digest, SpecReply<C, R>)>,
     /// Matching COMMITREPLY tally.
     commit_groups: HashMap<Digest, HashMap<ReplicaId, CommitReply<R>>>,
     /// Distinct leader-signed headers seen (POM detection).
@@ -71,6 +79,19 @@ struct Pending<C, R> {
     slow_timer_fired: bool,
 }
 
+/// A fast-path completion whose aggregated commitment is not yet
+/// confirmed: the certificate is retained so the client can fall back to
+/// the paper's COMMITFAST broadcast if the command-leader goes quiet
+/// between ack collection and the COMMITAGG broadcast (DESIGN.md §7).
+struct Unconfirmed<C, R> {
+    ts: Timestamp,
+    inst: InstanceId,
+    /// The command-leader expected to confirm.
+    leader: ReplicaId,
+    /// The retained `3f + 1` fast certificate.
+    cc: Vec<SpecReply<C, R>>,
+}
+
 /// The ezBFT client node.
 pub struct Client<C, R> {
     id: ClientId,
@@ -80,6 +101,15 @@ pub struct Client<C, R> {
     preferred: ReplicaId,
     next_ts: Timestamp,
     pending: Option<Pending<C, R>>,
+    /// Delivered-but-unconfirmed aggregated commitment (at most one: a
+    /// new fast completion flushes the previous certificate to the
+    /// replicas before taking the slot).
+    unconfirmed: Option<Unconfirmed<C, R>>,
+    /// A verified COMMITCONFIRM that outran the client's own fast-path
+    /// tally (the leader's ack round can finish before every SPECREPLY
+    /// reaches the client): matched at completion time so the fallback is
+    /// never armed for an already-confirmed instance.
+    early_confirm: Option<(InstanceId, ReplicaId, Timestamp)>,
     stats: ClientStats,
 }
 
@@ -95,6 +125,7 @@ impl<C, R> std::fmt::Debug for Client<C, R> {
 
 const TIMER_SLOW: u64 = 0;
 const TIMER_RETRY: u64 = 1;
+const TIMER_FALLBACK: u64 = 2;
 
 impl<C: WirePayload, R: WirePayload> Client<C, R> {
     /// Creates a client that targets `preferred` (its nearest replica).
@@ -111,6 +142,8 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             preferred,
             next_ts: Timestamp::ZERO,
             pending: None,
+            unconfirmed: None,
+            early_confirm: None,
             stats: ClientStats::default(),
         }
     }
@@ -131,6 +164,66 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
 
     fn retry_timer(&self) -> TimerId {
         TimerId(TIMER_RETRY)
+    }
+
+    fn fallback_timer(&self) -> TimerId {
+        TimerId(TIMER_FALLBACK)
+    }
+
+    /// Broadcasts the retained fast certificate as a classic COMMITFAST —
+    /// the paper's client-driven commitment, now demoted to the fallback
+    /// rung of the ladder (aggregated → COMMITFAST → owner change).
+    fn flush_unconfirmed(&mut self, out: &mut Actions<Msg<C, R>, R>) {
+        let Some(u) = self.unconfirmed.take() else {
+            return;
+        };
+        out.cancel_timer(self.fallback_timer());
+        self.stats.fallbacks += 1;
+        let msg = Msg::CommitFast(CommitFast {
+            client: self.id,
+            inst: u.inst,
+            cc: u.cc,
+        });
+        let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
+        out.broadcast(replicas, msg);
+    }
+
+    fn on_commit_confirm(&mut self, cf: CommitConfirm, out: &mut Actions<Msg<C, R>, R>) {
+        if cf.client != self.id {
+            return;
+        }
+        let matches_unconfirmed = self
+            .unconfirmed
+            .as_ref()
+            .map(|u| cf.ts == u.ts && cf.inst == u.inst && cf.sender == u.leader)
+            .unwrap_or(false);
+        // The confirm can outrun the client's own fast-path tally (the
+        // leader's ack round needs no client hop): remember it for the
+        // in-flight request and match at completion time.
+        let outran_completion = !matches_unconfirmed
+            && self
+                .pending
+                .as_ref()
+                .map(|p| p.phase == Phase::Spec && cf.ts == p.ts)
+                .unwrap_or(false);
+        if !matches_unconfirmed && !outran_completion {
+            return;
+        }
+        let payload = CommitConfirm::signed_payload(cf.inst, cf.client, cf.ts);
+        if self
+            .keys
+            .verify(NodeId::Replica(cf.sender), &payload, &cf.sig)
+            .is_err()
+        {
+            return;
+        }
+        if outran_completion {
+            self.early_confirm = Some((cf.inst, cf.sender, cf.ts));
+            return;
+        }
+        self.unconfirmed = None;
+        self.stats.confirmed += 1;
+        out.cancel_timer(self.fallback_timer());
     }
 
     fn complete(&mut self, response: R, fast: bool, out: &mut Actions<Msg<C, R>, R>) {
@@ -156,8 +249,11 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
         {
             return;
         }
-        // Verify the replying replica's signature over (body, response).
+        // Verify the replying replica's signature over (body, response);
+        // the same encoding, digested, is the reply's match key — computed
+        // once here and cached for every later tally (DESIGN.md §7).
         let payload = SpecReply::<C, R>::signed_payload(&reply.body, &reply.response);
+        let match_key = Digest::of(&payload);
         if self
             .keys
             .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
@@ -218,30 +314,58 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             pending.headers.push(header);
         }
 
-        pending.replies.insert(reply.sender, reply);
+        pending.replies.insert(reply.sender, (match_key, reply));
 
         // Fast path: 3f+1 matching replies (§IV-A step 4.1).
         let mut groups: HashMap<Digest, Vec<ReplicaId>> = HashMap::new();
-        for (sender, r) in &pending.replies {
-            groups.entry(r.match_key()).or_default().push(*sender);
+        for (sender, (key, _)) in &pending.replies {
+            groups.entry(*key).or_default().push(*sender);
         }
         let fast_quorum = self.cfg.cluster.fast_quorum();
         if let Some((_, members)) = groups
             .iter()
             .find(|(_, members)| members.len() >= fast_quorum)
         {
-            let representative = pending.replies[&members[0]].clone();
-            let cc: Vec<SpecReply<C, R>> =
-                members.iter().map(|m| pending.replies[m].clone()).collect();
+            let representative = pending.replies[&members[0]].1.clone();
+            let cc: Vec<SpecReply<C, R>> = members
+                .iter()
+                .map(|m| pending.replies[m].1.clone())
+                .collect();
             let inst = representative.body.inst;
+            let ts = pending.ts;
             let response = representative.response.clone();
-            let msg = Msg::CommitFast(CommitFast {
-                client: self.id,
-                inst,
-                cc,
-            });
-            let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
-            out.broadcast(replicas, msg);
+            if self.cfg.commit_aggregation {
+                // Replica-driven commitment (DESIGN.md §7): the command
+                // leader is assembling the same certificate from SPECACKs,
+                // so the per-client COMMITFAST broadcast is withheld.
+                // Retain the certificate and arm the fallback: if the
+                // leader's confirmation never arrives, commit the paper's
+                // way. A previous unconfirmed certificate is flushed to
+                // the replicas rather than dropped.
+                let leader = representative.body.owner.owner(&self.cfg.cluster);
+                self.flush_unconfirmed(out);
+                if self.early_confirm.take() == Some((inst, leader, ts)) {
+                    // The leader's confirmation outran our own tally:
+                    // commitment is already on the wire, nothing to retain.
+                    self.stats.confirmed += 1;
+                } else {
+                    self.unconfirmed = Some(Unconfirmed {
+                        ts,
+                        inst,
+                        leader,
+                        cc,
+                    });
+                    out.set_timer(self.fallback_timer(), self.cfg.commit_fallback);
+                }
+            } else {
+                let msg = Msg::CommitFast(CommitFast {
+                    client: self.id,
+                    inst,
+                    cc,
+                });
+                let replicas: Vec<ReplicaId> = self.cfg.cluster.replicas().collect();
+                out.broadcast(replicas, msg);
+            }
             self.complete(response, true, out);
             return;
         }
@@ -272,7 +396,7 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
         // Group candidate replies by (owner, inst, offset); a correct
         // leader yields exactly one group.
         let mut groups: HashMap<(u64, InstanceId, u32), Vec<ReplicaId>> = HashMap::new();
-        for (sender, r) in &pending.replies {
+        for (sender, (_, r)) in &pending.replies {
             groups
                 .entry((r.body.owner.0, r.body.inst, r.body.offset))
                 .or_default()
@@ -295,8 +419,8 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             let batched = pending
                 .replies
                 .values()
-                .find(|r| r.body.inst == inst && r.body.offset == offset)
-                .map(|r| r.spec_order.body.req_digests.len() > 1)
+                .find(|(_, r)| r.body.inst == inst && r.body.offset == offset)
+                .map(|(_, r)| r.spec_order.body.req_digests.len() > 1)
                 .unwrap_or(false);
             let mut usable: Vec<ReplicaId> = members
                 .iter()
@@ -315,7 +439,7 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             let mut seq = 0u64;
             let mut cc = Vec::with_capacity(usable.len());
             for m in &usable {
-                let r = &pending.replies[m];
+                let (_, r) = &pending.replies[m];
                 deps.extend(r.body.deps.iter().copied());
                 seq = seq.max(r.body.seq);
                 cc.push(r.clone());
@@ -417,6 +541,7 @@ impl<C: WirePayload, R: WirePayload> ProtocolNode for Client<C, R> {
         match msg {
             Msg::SpecReply(reply) => self.on_spec_reply(reply, out),
             Msg::CommitReply(reply) => self.on_commit_reply(reply, out),
+            Msg::CommitConfirm(cf) => self.on_commit_confirm(cf, out),
             // Clients ignore replica-bound traffic.
             _ => {}
         }
@@ -431,6 +556,9 @@ impl<C: WirePayload, R: WirePayload> ProtocolNode for Client<C, R> {
                 self.try_slow_path(out);
             }
             TIMER_RETRY => self.on_retry(out),
+            // The leader never confirmed an aggregated commitment: fall
+            // back to the paper's client-driven COMMITFAST.
+            TIMER_FALLBACK => self.flush_unconfirmed(out),
             _ => {}
         }
     }
@@ -441,6 +569,7 @@ impl<C: WirePayload + ezbft_smr::Command, R: WirePayload> ClientNode for Client<
 
     fn submit(&mut self, cmd: C, out: &mut Actions<Msg<C, R>, R>) {
         assert!(self.pending.is_none(), "one outstanding request per client");
+        self.early_confirm = None; // any buffered confirm is for an old ts
         self.next_ts = self.next_ts.next();
         let ts = self.next_ts;
         let payload = Request::<C>::signed_payload(self.id, ts, &cmd);

@@ -44,6 +44,20 @@ pub struct EzConfig {
     /// replaying history; local compaction is then clamped to the stable
     /// cut so every correct replica can serve a complete log suffix.
     pub checkpoint_interval: u64,
+    /// Instance-level commit aggregation (DESIGN.md §7). When enabled,
+    /// followers send one signed SPECACK per *instance* to the
+    /// command-leader, which assembles a single `3f + 1` certificate per
+    /// batch and broadcasts one COMMITAGG — commit-phase traffic amortises
+    /// to O(n) per batch instead of O(n) per client. Clients suppress their
+    /// COMMITFAST broadcast and fall back to it only when the leader's
+    /// confirmation never arrives ([`EzConfig::commit_fallback`]). `false`
+    /// (the default) reproduces the paper's client-driven commitment.
+    pub commit_aggregation: bool,
+    /// Client-side timer after which a fast-path-completed request whose
+    /// aggregated commitment was never confirmed falls back to the paper's
+    /// client-driven COMMITFAST broadcast (leader crashed or lied between
+    /// ack collection and the COMMITAGG broadcast).
+    pub commit_fallback: Micros,
     /// Maximum snapshot bytes per STATECHUNK message during state transfer.
     pub state_chunk_bytes: usize,
     /// How long a recovering replica waits for a usable state-transfer
@@ -63,6 +77,8 @@ impl EzConfig {
             batch_size: 1,
             batch_delay: Micros::ZERO,
             checkpoint_interval: 0,
+            commit_aggregation: false,
+            commit_fallback: Micros::from_millis(1_200),
             state_chunk_bytes: 64 * 1024,
             state_retry: Micros::from_millis(800),
         }
@@ -76,6 +92,13 @@ impl EzConfig {
     pub fn with_checkpointing(mut self, interval: u64) -> Self {
         assert!(interval >= 1, "checkpoint interval must be at least 1");
         self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Enables replica-driven instance-level commit aggregation (see
+    /// [`EzConfig::commit_aggregation`]).
+    pub fn with_commit_aggregation(mut self) -> Self {
+        self.commit_aggregation = true;
         self
     }
 

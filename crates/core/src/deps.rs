@@ -21,11 +21,16 @@ use ezbft_smr::{AccessMode, ConflictKey};
 
 use crate::instance::InstanceId;
 
+/// One conflict key's interference frontier. The read/commuting tiers are
+/// *sets*: a batch touching one key at several offsets, or a retransmitted
+/// request re-registering its instance, must not inflate the frontier with
+/// duplicate [`InstanceId`]s — dependency sets stay minimal and membership
+/// checks stay logarithmic on the hot path.
 #[derive(Clone, Debug, Default)]
 struct KeyFrontier {
     last_write: Option<InstanceId>,
-    reads: Vec<InstanceId>,
-    commuting: Vec<InstanceId>,
+    reads: BTreeSet<InstanceId>,
+    commuting: BTreeSet<InstanceId>,
 }
 
 /// Tracks the interference frontier across all instance spaces at one
@@ -77,16 +82,12 @@ impl DepTracker {
                 AccessMode::Read => {
                     deps.extend(frontier.last_write);
                     deps.extend(frontier.commuting.iter().copied());
-                    if !frontier.reads.contains(&inst) {
-                        frontier.reads.push(inst);
-                    }
+                    frontier.reads.insert(inst);
                 }
                 AccessMode::CommutingWrite => {
                     deps.extend(frontier.last_write);
                     deps.extend(frontier.reads.iter().copied());
-                    if !frontier.commuting.contains(&inst) {
-                        frontier.commuting.push(inst);
-                    }
+                    frontier.commuting.insert(inst);
                 }
             }
         }
@@ -124,6 +125,14 @@ impl DepTracker {
     /// Number of tracked conflict keys.
     pub fn tracked_keys(&self) -> usize {
         self.keys.len()
+    }
+
+    /// Total frontier entries across all keys (tests: frontier minimality).
+    pub fn frontier_size(&self) -> usize {
+        self.keys
+            .values()
+            .map(|f| usize::from(f.last_write.is_some()) + f.reads.len() + f.commuting.len())
+            .sum()
     }
 }
 
@@ -245,6 +254,23 @@ mod tests {
         // command's own dep on b1 makes b1 reachable transitively, but the
         // direct edge is harmless and keeps the rule simple).
         assert_eq!(b2, BTreeSet::from([inst(0, 0), inst(1, 0)]));
+    }
+
+    #[test]
+    fn re_registration_keeps_frontier_deduped() {
+        // A client retransmission (or a batch touching one key at several
+        // offsets) re-registers the same instance: the frontier must not
+        // accumulate duplicates and later dependency sets stay minimal.
+        let mut t = DepTracker::new();
+        t.collect_and_register(inst(0, 0), &[ConflictKey::write(1)]);
+        for _ in 0..3 {
+            t.register(inst(1, 0), &[ConflictKey::read(1)]);
+            t.register(inst(2, 0), &[ConflictKey::commuting_write(1)]);
+        }
+        // last_write + one read + one commuting write = 3 entries, not 7.
+        assert_eq!(t.frontier_size(), 3);
+        let w = t.collect_and_register(inst(3, 0), &[ConflictKey::write(1)]);
+        assert_eq!(w, BTreeSet::from([inst(0, 0), inst(1, 0), inst(2, 0)]));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! appropriate keys can re-derive and check the signed bytes.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
@@ -16,13 +17,15 @@ use ezbft_smr::{ClientId, ReplicaId, Timestamp};
 use crate::instance::{EntryStatus, InstanceId, OwnerNum};
 
 /// Bound on message type parameters: commands and responses travel inside
-/// messages and under signatures.
+/// messages and under signatures (`Sync` because batch payloads are
+/// `Arc`-shared across the retained log, reorder buffers and broadcast
+/// bodies — see [`SpecOrder::reqs`]).
 pub trait WirePayload:
-    Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static
+    Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + Sync + 'static
 {
 }
-impl<T: Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + 'static> WirePayload
-    for T
+impl<T: Clone + std::fmt::Debug + Eq + Serialize + DeserializeOwned + Send + Sync + 'static>
+    WirePayload for T
 {
 }
 
@@ -86,10 +89,23 @@ impl SpecOrderBody {
     pub fn signed_payload(&self) -> Vec<u8> {
         ezbft_wire::to_bytes(self).expect("spec-order body encodes")
     }
+
+    /// One digest covering the whole batch (the signed per-request digest
+    /// list collapsed to a single hash). This is what an instance-level
+    /// [`SpecAck`] acknowledges: matching batch digests mean matching
+    /// request content *and* order.
+    pub fn batch_digest(&self) -> Digest {
+        batch_digest_of(&self.req_digests)
+    }
 }
 
 /// `⟨⟨SPECORDER, …⟩σRi, m⃗⟩` — the leader's proposal with the full request
 /// batch attached.
+///
+/// The batch rides behind an [`Arc`] so the retained log entry, the
+/// reorder buffer and the broadcast body all share one allocation instead
+/// of deep-cloning the requests per site (the zero-copy commit path,
+/// DESIGN.md §7). On the wire an `Arc<T>` encodes exactly as `T`.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct SpecOrder<C> {
     /// The signed ordering metadata.
@@ -98,12 +114,18 @@ pub struct SpecOrder<C> {
     pub sig: Signature,
     /// The original client requests, in batch order (parallel to
     /// [`SpecOrderBody::req_digests`]).
-    pub reqs: Vec<Request<C>>,
+    pub reqs: Arc<Vec<Request<C>>>,
 }
 
 /// Digests of a request batch, in batch order.
 pub fn batch_digests<C: WirePayload>(reqs: &[Request<C>]) -> Vec<Digest> {
     reqs.iter().map(Request::digest).collect()
+}
+
+/// Collapses a batch's per-request digest list into the single digest an
+/// instance-level acknowledgement covers.
+pub fn batch_digest_of(digests: &[Digest]) -> Digest {
+    Digest::of(&ezbft_wire::to_bytes(digests).expect("digest list encodes"))
 }
 
 /// The signed body of a `SPECREPLY` (§IV-A step 3):
@@ -276,6 +298,97 @@ impl<R: WirePayload> CommitReply<R> {
     }
 }
 
+// ----------------------------------------------------------------------
+// Instance-level commit aggregation (DESIGN.md §7)
+// ----------------------------------------------------------------------
+
+/// `⟨SPECACK, O, I, D′, S′, b⟩σRj` — a follower's instance-level
+/// acknowledgement of a batched SPECORDER, sent to the command-leader
+/// alongside the per-request SPECREPLYs to clients (DESIGN.md §7).
+///
+/// `b` is the [`SpecOrderBody::batch_digest`], so one signed message covers
+/// every request in the batch. `3f + 1` *matching* acks — identical owner,
+/// instance, extended dependencies, sequence number and batch digest — are
+/// exactly the fast-path condition of §IV-A step 4.1, with the leader
+/// standing in for the batch's clients as certificate collector.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SpecAck {
+    /// Owner number observed for the instance's space.
+    pub owner: OwnerNum,
+    /// The acknowledged instance.
+    pub inst: InstanceId,
+    /// The acknowledging replica's extended dependency set `D′`.
+    pub deps: BTreeSet<InstanceId>,
+    /// The acknowledging replica's extended sequence number `S′`.
+    pub seq: u64,
+    /// Digest over the batch's signed request-digest list.
+    pub batch_digest: Digest,
+    /// The acknowledging replica.
+    pub sender: ReplicaId,
+    /// Signature by `sender` over [`SpecAck::signed_payload`].
+    pub sig: Signature,
+}
+
+impl SpecAck {
+    /// Canonical signed bytes (everything except the sender identity and
+    /// the signature: two acks "match" iff these bytes are identical).
+    pub fn signed_payload(
+        owner: OwnerNum,
+        inst: InstanceId,
+        deps: &BTreeSet<InstanceId>,
+        seq: u64,
+        batch_digest: Digest,
+    ) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"spec-ack", owner, inst, deps, seq, batch_digest))
+            .expect("spec ack encodes")
+    }
+}
+
+/// `⟨COMMITAGG, I, D, S, CC⟩` — the command-leader's instance-level commit
+/// certificate: `3f + 1` matching [`SpecAck`]s. One broadcast commits every
+/// request in the batch, replacing the per-client COMMITFAST fan-out with
+/// amortised-O(n)-per-batch traffic. Self-certifying — the acks carry the
+/// decision, so no leader signature is needed.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CommitAgg {
+    /// The committed instance.
+    pub inst: InstanceId,
+    /// Final dependency set (identical across the matching acks).
+    pub deps: BTreeSet<InstanceId>,
+    /// Final sequence number (identical across the matching acks).
+    pub seq: u64,
+    /// The certificate.
+    pub cc: Vec<SpecAck>,
+}
+
+/// `⟨COMMITCONFIRM, I, c, t⟩σRi` — the command-leader's note to one client
+/// of an aggregated batch: "your request's commit certificate has been
+/// broadcast". The client already delivered on `3f + 1` matching
+/// SPECREPLYs; this only disarms its COMMITFAST fallback timer. A lying
+/// leader can at worst *delay* commitment until the fallback or the
+/// dependency watchdogs fire — liveness hygiene, never safety.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct CommitConfirm {
+    /// The committed instance.
+    pub inst: InstanceId,
+    /// The confirmed client.
+    pub client: ClientId,
+    /// The confirmed request timestamp.
+    pub ts: Timestamp,
+    /// The command-leader.
+    pub sender: ReplicaId,
+    /// Signature by `sender` over [`CommitConfirm::signed_payload`].
+    pub sig: Signature,
+}
+
+impl CommitConfirm {
+    /// Canonical signed bytes.
+    pub fn signed_payload(inst: InstanceId, client: ClientId, ts: Timestamp) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"commit-confirm", inst, client, ts))
+            .expect("commit confirm encodes")
+    }
+}
+
 /// `⟨RESENDREQ, m, Rj⟩` (§IV-D step 4.3): replica `Rj` forwards a client's
 /// re-broadcast request to its original command-leader.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -361,6 +474,13 @@ pub enum Evidence<C, R> {
         /// The matching replies.
         replies: Vec<SpecReply<C, R>>,
     },
+    /// The entry was committed by instance-level aggregation: the
+    /// command-leader's `3f + 1` matching [`SpecAck`] certificate
+    /// (DESIGN.md §7).
+    AggCommit {
+        /// The matching acknowledgements.
+        acks: Vec<SpecAck>,
+    },
     /// The entry was a checkpoint barrier committed by its leader: the
     /// `2f + 1` BARRIERACK certificate (DESIGN.md §6).
     BarrierCommit {
@@ -377,8 +497,9 @@ pub struct EntrySnapshot<C, R> {
     pub inst: InstanceId,
     /// Owner number under which the entry was accepted.
     pub owner: OwnerNum,
-    /// The full client request batch, in batch order.
-    pub reqs: Vec<Request<C>>,
+    /// The full client request batch, in batch order (`Arc`-shared with
+    /// the live log entry it snapshots — see [`SpecOrder::reqs`]).
+    pub reqs: Arc<Vec<Request<C>>>,
     /// Local dependency view.
     pub deps: BTreeSet<InstanceId>,
     /// Local sequence number.
@@ -609,6 +730,12 @@ pub enum Msg<C, R> {
     SpecReply(SpecReply<C, R>),
     /// Client → replicas: fast-path commit certificate.
     CommitFast(CommitFast<C, R>),
+    /// Replica → command-leader: instance-level batch acknowledgement.
+    SpecAck(SpecAck),
+    /// Command-leader → replicas: aggregated instance-level certificate.
+    CommitAgg(CommitAgg),
+    /// Command-leader → client: aggregated commitment is under way.
+    CommitConfirm(CommitConfirm),
     /// Client → replicas: slow-path final order.
     Commit(Commit<C, R>),
     /// Replica → client: final execution result.
@@ -647,6 +774,9 @@ impl<C, R> Msg<C, R> {
             Msg::SpecOrder(_) => "spec-order",
             Msg::SpecReply(_) => "spec-reply",
             Msg::CommitFast(_) => "commit-fast",
+            Msg::SpecAck(_) => "spec-ack",
+            Msg::CommitAgg(_) => "commit-agg",
+            Msg::CommitConfirm(_) => "commit-confirm",
             Msg::Commit(_) => "commit",
             Msg::CommitReply(_) => "commit-reply",
             Msg::ResendReq(_) => "resend-req",

@@ -38,7 +38,8 @@ use ezbft_smr::{NodeId, ReplicaId};
 use crate::config::EzConfig;
 use crate::instance::InstanceId;
 use crate::msg::{
-    BarrierAck, CommitBody, EntrySnapshot, Evidence, OwnerChange, SpecReply, WirePayload,
+    batch_digests, BarrierAck, CommitBody, EntrySnapshot, Evidence, OwnerChange, SpecAck,
+    SpecReply, WirePayload,
 };
 
 /// Verifies an OWNERCHANGE message: sender signature and entry shape.
@@ -86,10 +87,7 @@ pub(crate) fn fast_commit_valid<C: WirePayload, R: WirePayload>(
     if replies.len() < cfg.cluster.fast_quorum() {
         return false;
     }
-    let Some(first) = replies.first() else {
-        return false;
-    };
-    let key = first.match_key();
+    let mut key = None;
     let mut senders = BTreeSet::new();
     for reply in replies {
         let digest_in_batch = snap
@@ -97,14 +95,17 @@ pub(crate) fn fast_commit_valid<C: WirePayload, R: WirePayload>(
             .get(reply.body.offset as usize)
             .map(|r| r.digest() == reply.body.req_digest)
             .unwrap_or(false);
+        // Encode the certificate body once per reply: the same bytes are
+        // the matching key (digested) and the signature payload.
+        let payload = SpecReply::<C, R>::signed_payload(&reply.body, &reply.response);
+        let reply_key = Digest::of(&payload);
         if reply.body.inst != snap.inst
             || !digest_in_batch
-            || reply.match_key() != key
+            || *key.get_or_insert(reply_key) != reply_key
             || !senders.insert(reply.sender)
         {
             return false;
         }
-        let payload = SpecReply::<C, R>::signed_payload(&reply.body, &reply.response);
         if keys
             .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
             .is_err()
@@ -113,6 +114,62 @@ pub(crate) fn fast_commit_valid<C: WirePayload, R: WirePayload>(
         }
     }
     senders.len() >= cfg.cluster.fast_quorum()
+}
+
+/// Validates an instance-level aggregated commit certificate: `3f + 1`
+/// validly signed, pairwise *matching* [`SpecAck`]s from distinct replicas
+/// agreeing with the stated decision (the fast-path rule of §IV-A step 4.1
+/// with the command-leader in the certificate-collecting role; DESIGN.md
+/// §7). `batch_digest`, when given, pins the certificate to a concrete
+/// batch content (suffix/owner-change verification); `None` accepts the
+/// acks' own digest (live path, where the local entry is checked by the
+/// caller or does not exist yet).
+pub(crate) fn verify_agg_certificate(
+    keys: &mut KeyStore,
+    cfg: &EzConfig,
+    inst: InstanceId,
+    deps: &BTreeSet<InstanceId>,
+    seq: u64,
+    batch_digest: Option<Digest>,
+    cc: &[SpecAck],
+) -> bool {
+    if cc.len() < cfg.cluster.fast_quorum() {
+        return false;
+    }
+    let Some(first) = cc.first() else {
+        return false;
+    };
+    if first.deps != *deps || first.seq != seq {
+        return false;
+    }
+    if let Some(expect) = batch_digest {
+        if first.batch_digest != expect {
+            return false;
+        }
+    }
+    let mut senders = BTreeSet::new();
+    for ack in cc {
+        if ack.inst != inst
+            || ack.owner != first.owner
+            || ack.deps != first.deps
+            || ack.seq != first.seq
+            || ack.batch_digest != first.batch_digest
+        {
+            return false;
+        }
+        if !cfg.cluster.contains(ack.sender) || !senders.insert(ack.sender) {
+            return false;
+        }
+        let payload =
+            SpecAck::signed_payload(ack.owner, ack.inst, &ack.deps, ack.seq, ack.batch_digest);
+        if keys
+            .verify(NodeId::Replica(ack.sender), &payload, &ack.sig)
+            .is_err()
+        {
+            return false;
+        }
+    }
+    true
 }
 
 /// Validates a barrier commit certificate: `2f + 1` validly signed
@@ -205,6 +262,22 @@ pub(crate) fn compute_safe_set<C: WirePayload, R: WirePayload>(
                         committed.push(snap);
                     }
                 }
+                Evidence::AggCommit { acks } => {
+                    let batch = crate::msg::batch_digest_of(&batch_digests(&snap.reqs));
+                    if !snap.reqs.is_empty()
+                        && verify_agg_certificate(
+                            keys,
+                            cfg,
+                            snap.inst,
+                            &snap.deps,
+                            snap.seq,
+                            Some(batch),
+                            acks,
+                        )
+                    {
+                        committed.push(snap);
+                    }
+                }
                 Evidence::BarrierCommit { acks } => {
                     if snap.reqs.is_empty()
                         && verify_barrier_certificate(
@@ -283,6 +356,7 @@ mod tests {
     use crate::msg::{Request, SpecOrderBody, SpecOrderHeader};
     use ezbft_crypto::{Audience, CryptoKind, Signature};
     use ezbft_smr::{ClientId, ClusterConfig, Timestamp};
+    use std::sync::Arc;
 
     type Snap = EntrySnapshot<u32, u32>;
     type Oc = OwnerChange<u32, u32>;
@@ -345,7 +419,7 @@ mod tests {
         EntrySnapshot {
             inst: header.body.inst,
             owner: header.body.owner,
-            reqs: vec![req],
+            reqs: Arc::new(vec![req]),
             deps: header.body.deps.clone(),
             seq: header.body.seq,
             status: EntryStatus::SpecOrdered,
@@ -420,7 +494,7 @@ mod tests {
         let committed_snap = EntrySnapshot {
             inst,
             owner: OwnerNum(0),
-            reqs: vec![req.clone()],
+            reqs: Arc::new(vec![req.clone()]),
             deps: deps.clone(),
             seq: 9,
             status: EntryStatus::Committed,

@@ -31,12 +31,14 @@ use crate::config::EzConfig;
 use crate::graph::{execution_order, ExecNode};
 use crate::instance::{EntryStatus, ExecRef, InstanceId, OwnerNum};
 use crate::msg::{
-    batch_digests, BarrierAck, BarrierCommit, CkptMark, ClientMark, Commit, CommitFast,
-    CommitReply, Evidence, EzSnapshot, Msg, NewOwner, OwnerChange, Pom, Request, ResendReq,
-    SpaceSuffix, SpecOrder, SpecOrderBody, SpecOrderHeader, SpecReply, SpecReplyBody,
-    StartOwnerChange, StateRequest, StateSuffix,
+    batch_digests, BarrierAck, BarrierCommit, CkptMark, ClientMark, Commit, CommitAgg,
+    CommitConfirm, CommitFast, CommitReply, Evidence, EzSnapshot, Msg, NewOwner, OwnerChange, Pom,
+    Request, ResendReq, SpaceSuffix, SpecAck, SpecOrder, SpecOrderBody, SpecOrderHeader, SpecReply,
+    SpecReplyBody, StartOwnerChange, StateRequest, StateSuffix,
 };
-use crate::owner::{compute_safe_set, verify_barrier_certificate, verify_owner_change};
+use crate::owner::{
+    compute_safe_set, verify_agg_certificate, verify_barrier_certificate, verify_owner_change,
+};
 
 use crate::deps::DepTracker;
 
@@ -45,7 +47,10 @@ use crate::deps::DepTracker;
 /// state (deps, seq, status) is per slot, responses are per offset.
 #[derive(Clone, Debug)]
 pub(crate) struct Entry<C, R> {
-    pub reqs: Vec<Request<C>>,
+    /// The ordered batch, `Arc`-shared with the SPECORDER it arrived in
+    /// (or was broadcast as) — the retained entry, the reorder buffer and
+    /// the fan-out body never deep-copy the request payloads (DESIGN.md §7).
+    pub reqs: Arc<Vec<Request<C>>>,
     pub owner: OwnerNum,
     pub deps: BTreeSet<InstanceId>,
     pub seq: u64,
@@ -60,6 +65,10 @@ pub(crate) struct Entry<C, R> {
     /// The command-leader's signed header (owner-change evidence, POM raw
     /// material).
     pub header: SpecOrderHeader,
+    /// [`SpecOrderBody::batch_digest`] of the header, computed once at
+    /// entry creation: the ack-matching hot path must not re-encode the
+    /// digest list per SPECACK (DESIGN.md §7).
+    pub batch_digest: Digest,
     /// Commitment proof, once committed.
     pub commit_evidence: Option<Evidence<C, R>>,
 }
@@ -90,20 +99,26 @@ pub(crate) struct Space<C, R> {
     /// Out-of-order SPECORDER buffer (network reordering).
     pub pending_orders: BTreeMap<u64, SpecOrder<C>>,
     /// Commit decisions that arrived before their SPECORDER.
-    pub pending_commits: BTreeMap<u64, PendingCommit>,
+    pub pending_commits: BTreeMap<u64, PendingCommit<C, R>>,
 }
 
 /// A commit decision that arrived before its SPECORDER. Several clients of
 /// one batch may each deliver a certificate while the order is still in
 /// flight; the first decision's (deps, seq) is kept and every client's
 /// COMMITREPLY obligation accumulates (an overwrite would silently drop an
-/// earlier client's reply).
+/// earlier client's reply). The certificate itself is carried along and
+/// adopted as the entry's commit evidence when the SPECORDER lands, so
+/// early-arriving commitment is not downgraded to spec-ordered in
+/// owner-change reports or state-transfer suffixes (ROADMAP PR 2
+/// follow-on).
 #[derive(Clone, Debug)]
-pub(crate) struct PendingCommit {
+pub(crate) struct PendingCommit<C, R> {
     pub deps: BTreeSet<InstanceId>,
     pub seq: u64,
     /// Batch offsets whose clients expect a COMMITREPLY after execution.
     pub reply_offsets: BTreeSet<u32>,
+    /// The certificate that proved the decision (first one wins).
+    pub evidence: Option<Evidence<C, R>>,
 }
 
 impl<C, R> Space<C, R> {
@@ -167,6 +182,8 @@ pub struct ReplicaStats {
     pub fast_commits: u64,
     /// Slow-path commits applied.
     pub slow_commits: u64,
+    /// Instance-level aggregated commits applied (led or received).
+    pub agg_commits: u64,
     /// Commands finally executed.
     pub executed: u64,
     /// Valid proofs of misbehaviour received.
@@ -260,6 +277,11 @@ pub struct Replica<A: Application> {
     barrier_inflight: Option<InstanceId>,
     /// BARRIERACKs collected as barrier leader.
     barrier_acks: HashMap<InstanceId, Vec<BarrierAck>>,
+    /// SPECACKs collected as command-leader for instances of our own space
+    /// (commit aggregation, DESIGN.md §7). Entries are dropped as soon as
+    /// the instance commits by any path, so the map is bounded by the
+    /// in-flight batch count.
+    spec_acks: HashMap<InstanceId, Vec<SpecAck>>,
     /// CHECKPOINT vote tallies → stable certificates.
     ckpt_tracker: CheckpointTracker<CkptMark>,
     /// Retained snapshots (at most the stable one plus newer candidates).
@@ -339,6 +361,7 @@ impl<A: Application + Snapshotable> Replica<A> {
             executed_since_barrier: 0,
             barrier_inflight: None,
             barrier_acks: HashMap::new(),
+            spec_acks: HashMap::new(),
             ckpt_tracker: CheckpointTracker::new(),
             snapshots: BTreeMap::new(),
             stable_cut: None,
@@ -402,6 +425,24 @@ impl<A: Application + Snapshotable> Replica<A> {
             .entries
             .get(&inst.slot)
             .map(|e| e.status)
+    }
+
+    /// The kind of commit certificate held for `inst`, if any ("slow",
+    /// "fast", "agg", "barrier", or `None` while only spec-ordered).
+    /// Exposed so tests can assert which path proved commitment — e.g.
+    /// that a certificate arriving before its SPECORDER is not downgraded.
+    pub fn commit_evidence_kind(&self, inst: InstanceId) -> Option<&'static str> {
+        self.spaces[inst.space.index()]
+            .entries
+            .get(&inst.slot)
+            .and_then(|e| e.commit_evidence.as_ref())
+            .map(|ev| match ev {
+                Evidence::SpecOrdered(_) => "spec-ordered",
+                Evidence::SlowCommit { .. } => "slow",
+                Evidence::FastCommit { .. } => "fast",
+                Evidence::AggCommit { .. } => "agg",
+                Evidence::BarrierCommit { .. } => "barrier",
+            })
     }
 
     /// The finally-executed commands in execution order is not tracked
@@ -621,6 +662,10 @@ impl<A: Application + Snapshotable> Replica<A> {
         // fast path.
         let seq = 1 + self.max_seq_of(&deps);
 
+        // The batch is shared from here on: the retained entry, the
+        // broadcast body and the reorder buffers all hold the same
+        // allocation (zero-copy commit path, DESIGN.md §7).
+        let reqs = Arc::new(reqs);
         let req_digests = batch_digests(&reqs);
         let body = SpecOrderBody {
             owner,
@@ -628,7 +673,7 @@ impl<A: Application + Snapshotable> Replica<A> {
             deps: deps.clone(),
             seq,
             log_digest,
-            req_digests: req_digests.clone(),
+            req_digests,
         };
         let sig = self
             .keys
@@ -651,21 +696,22 @@ impl<A: Application + Snapshotable> Replica<A> {
         }
 
         let entry = Entry {
-            reqs: reqs.clone(),
+            reqs: Arc::clone(&reqs),
             owner,
-            deps: deps.clone(),
+            deps,
             seq,
             status: EntryStatus::SpecOrdered,
             spec_responses: Some(spec_responses),
             final_responses: vec![None; reqs.len()],
             reply_on_final: BTreeSet::new(),
             header: header.clone(),
+            batch_digest: header.body.batch_digest(),
             commit_evidence: None,
         };
         let space = &mut self.spaces[self.id.index()];
         space.entries.insert(slot, entry);
         space.next_slot = slot + 1;
-        for d in &req_digests {
+        for d in &header.body.req_digests {
             space.log_digest = space.log_digest.chain(d);
         }
 
@@ -676,7 +722,7 @@ impl<A: Application + Snapshotable> Replica<A> {
         let so = Msg::SpecOrder(SpecOrder {
             body,
             sig: header.sig.clone(),
-            reqs: reqs.clone(),
+            reqs: Arc::clone(&reqs),
         });
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
         out.broadcast(peers, so);
@@ -687,6 +733,9 @@ impl<A: Application + Snapshotable> Replica<A> {
             self.send_spec_reply(inst.at(offset as u32), out);
             self.cancel_resend_wait(req.client, req.ts, out);
         }
+        // Under aggregation the leader's own acknowledgement opens the
+        // instance's certificate (it collects the rest).
+        self.send_spec_ack(inst, out);
     }
 
     fn handle_retransmission(
@@ -834,11 +883,16 @@ impl<A: Application + Snapshotable> Replica<A> {
         let slot = so.body.inst.slot;
         let space = &mut self.spaces[space_id.index()];
         if slot < space.next_slot {
-            // Duplicate of an accepted slot: refresh every client's reply.
+            // Duplicate of an accepted slot: refresh every client's reply
+            // (and, under aggregation, the leader's instance-level ack —
+            // the original may have been lost).
             if space.entries.contains_key(&slot) {
                 let inst = so.body.inst;
                 for offset in 0..so.reqs.len() {
                     self.send_spec_reply(inst.at(offset as u32), out);
+                }
+                if !so.reqs.is_empty() {
+                    self.send_spec_ack(inst, out);
                 }
             }
             return;
@@ -875,28 +929,33 @@ impl<A: Application + Snapshotable> Replica<A> {
             }
         }
 
+        // The message is decomposed by move: the body/signature become the
+        // retained header and the Arc'd batch is adopted as-is — accepting
+        // an order copies no request payloads (DESIGN.md §7).
+        let SpecOrder { body, sig, reqs } = so;
+
         // D' = D ∪ (local interfering instances ∖ D); S' = max(S, 1 + max
         // seq of the locally known interfering commands) (§IV-A step 3).
         // The union runs over every command in the batch. A barrier (empty
         // batch) interferes with everything: its local extension is the
         // whole dependency frontier.
         let mut local = BTreeSet::new();
-        if so.reqs.is_empty() {
+        if reqs.is_empty() {
             local.extend(self.deps.collect_and_register_barrier(inst));
         }
-        for req in &so.reqs {
+        for req in reqs.iter() {
             local.extend(
                 self.deps
                     .collect_and_register(inst, &req.cmd.conflict_keys()),
             );
         }
-        let seq = so.body.seq.max(1 + self.max_seq_of(&local));
-        let mut deps = so.body.deps.clone();
+        let seq = body.seq.max(1 + self.max_seq_of(&local));
+        let mut deps = body.deps.clone();
         deps.extend(local);
         deps.remove(&inst);
 
-        let mut spec_responses = Vec::with_capacity(so.reqs.len());
-        for (offset, req) in so.reqs.iter().enumerate() {
+        let mut spec_responses = Vec::with_capacity(reqs.len());
+        for (offset, req) in reqs.iter().enumerate() {
             let at = inst.at(offset as u32);
             spec_responses.push(self.engine.spec_apply(at.tag(), &req.cmd));
             let record = self.clients.entry(req.client).or_default();
@@ -907,45 +966,58 @@ impl<A: Application + Snapshotable> Replica<A> {
             record.live.push((req.ts, at));
         }
 
-        let header = SpecOrderHeader {
-            body: so.body.clone(),
-            sig: so.sig.clone(),
-        };
+        {
+            let space = &mut self.spaces[space_id.index()];
+            for d in &body.req_digests {
+                space.log_digest = space.log_digest.chain(d);
+            }
+        }
+        let owner = body.owner;
+        let batch_digest = body.batch_digest();
         let entry = Entry {
-            reqs: so.reqs.clone(),
-            owner: so.body.owner,
-            deps: deps.clone(),
+            reqs: Arc::clone(&reqs),
+            owner,
+            deps,
             seq,
             status: EntryStatus::SpecOrdered,
             spec_responses: Some(spec_responses),
-            final_responses: vec![None; so.reqs.len()],
+            final_responses: vec![None; reqs.len()],
             reply_on_final: BTreeSet::new(),
-            header,
+            header: SpecOrderHeader { body, sig },
+            batch_digest,
             commit_evidence: None,
         };
         let space = &mut self.spaces[space_id.index()];
         space.entries.insert(inst.slot, entry);
         space.next_slot = inst.slot + 1;
-        for d in &so.body.req_digests {
-            space.log_digest = space.log_digest.chain(d);
-        }
         self.stats.followed += 1;
 
-        for (offset, req) in so.reqs.iter().enumerate() {
+        for (offset, req) in reqs.iter().enumerate() {
             self.send_spec_reply(inst.at(offset as u32), out);
             self.cancel_resend_wait(req.client, req.ts, out);
         }
-        if so.reqs.is_empty() {
+        if reqs.is_empty() {
             // Barriers have no clients: acknowledge to the barrier leader,
             // who plays the certificate-collecting role.
             self.send_barrier_ack(inst, out);
+        } else {
+            // Under aggregation the leader additionally collects one
+            // instance-level acknowledgement per follower (DESIGN.md §7).
+            self.send_spec_ack(inst, out);
         }
 
-        // A commit decision may have arrived before the SPECORDER.
+        // A commit decision may have arrived before the SPECORDER: adopt
+        // its certificate so the entry is not downgraded to spec-ordered
+        // in owner-change reports or state-transfer suffixes.
         let pending = self.spaces[space_id.index()]
             .pending_commits
             .remove(&inst.slot);
         if let Some(pc) = pending {
+            if let Some(ev) = pc.evidence {
+                if let Some(entry) = self.spaces[space_id.index()].entries.get_mut(&inst.slot) {
+                    entry.commit_evidence.get_or_insert(ev);
+                }
+            }
             self.commit_entry(inst, pc.deps, pc.seq, pc.reply_offsets, out);
         }
     }
@@ -988,6 +1060,206 @@ impl<A: Application + Snapshotable> Replica<A> {
     }
 
     // ------------------------------------------------------------------
+    // Instance-level commit aggregation (DESIGN.md §7)
+    // ------------------------------------------------------------------
+
+    /// Acknowledges a (locally accepted, non-barrier) instance to its
+    /// command-leader with our extended `(D′, S′)` and the batch digest —
+    /// the instance-level sibling of the per-request SPECREPLY. No-op
+    /// unless aggregation is enabled.
+    fn send_spec_ack(&mut self, inst: InstanceId, out: &mut Out<A>) {
+        if !self.cfg.commit_aggregation {
+            return;
+        }
+        let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) else {
+            return;
+        };
+        if entry.reqs.is_empty() || entry.status.is_committed() {
+            return; // barriers use BarrierAck; committed needs no ack
+        }
+        let (owner, deps, seq) = (entry.owner, entry.deps.clone(), entry.seq);
+        let batch_digest = entry.batch_digest;
+        let payload = SpecAck::signed_payload(owner, inst, &deps, seq, batch_digest);
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        let ack = SpecAck {
+            owner,
+            inst,
+            deps,
+            seq,
+            batch_digest,
+            sender: self.id,
+            sig,
+        };
+        let leader = owner.owner(&self.cfg.cluster);
+        if leader == self.id {
+            self.record_spec_ack(ack, out);
+        } else {
+            out.send(NodeId::Replica(leader), Msg::SpecAck(ack));
+        }
+    }
+
+    fn on_spec_ack(&mut self, ack: SpecAck, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(ack.sender) || !self.cfg.cluster.contains(ack.sender) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let payload =
+            SpecAck::signed_payload(ack.owner, ack.inst, &ack.deps, ack.seq, ack.batch_digest);
+        if self
+            .keys
+            .verify(NodeId::Replica(ack.sender), &payload, &ack.sig)
+            .is_err()
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.record_spec_ack(ack, out);
+    }
+
+    /// Tallies an instance-level acknowledgement as the command-leader; at
+    /// `3f + 1` *matching* acks (the fast-path condition of §IV-A step 4.1
+    /// with the leader as collector) the certificate is broadcast as one
+    /// COMMITAGG covering the whole batch, and each client is sent a
+    /// COMMITCONFIRM disarming its COMMITFAST fallback.
+    fn record_spec_ack(&mut self, ack: SpecAck, out: &mut Out<A>) {
+        if !self.cfg.commit_aggregation {
+            return;
+        }
+        let inst = ack.inst;
+        if inst.space != self.id || ack.owner.owner(&self.cfg.cluster) != self.id {
+            return; // not our instance to commit
+        }
+        {
+            let Some(entry) = self.spaces[inst.space.index()].entries.get(&inst.slot) else {
+                return;
+            };
+            if entry.reqs.is_empty()
+                || entry.owner != ack.owner
+                || entry.status.is_committed()
+                || ack.batch_digest != entry.batch_digest
+            {
+                return;
+            }
+        }
+        let acks = self.spec_acks.entry(inst).or_default();
+        if acks.iter().any(|a| a.sender == ack.sender) {
+            return;
+        }
+        acks.push(ack);
+        let fast_quorum = self.cfg.cluster.fast_quorum();
+        if acks.len() < fast_quorum {
+            return;
+        }
+        // Group by the signed projection; a full fast quorum must agree.
+        let mut groups: HashMap<Digest, Vec<usize>> = HashMap::new();
+        for (i, a) in acks.iter().enumerate() {
+            let key = Digest::of(&SpecAck::signed_payload(
+                a.owner,
+                a.inst,
+                &a.deps,
+                a.seq,
+                a.batch_digest,
+            ));
+            groups.entry(key).or_default().push(i);
+        }
+        let Some((_, members)) = groups.iter().find(|(_, m)| m.len() >= fast_quorum) else {
+            return; // unequal views (contention): clients drive the slow path
+        };
+        let acks = self.spec_acks.remove(&inst).expect("tallied above");
+        let cc: Vec<SpecAck> = members.iter().map(|&i| acks[i].clone()).collect();
+        let first = cc.first().expect("quorum is non-empty");
+        let (deps, seq) = (first.deps.clone(), first.seq);
+        if let Some(entry) = self.spaces[inst.space.index()].entries.get_mut(&inst.slot) {
+            entry.commit_evidence = Some(Evidence::AggCommit { acks: cc.clone() });
+        }
+        let ca = CommitAgg {
+            inst,
+            deps: deps.clone(),
+            seq,
+            cc,
+        };
+        let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
+        out.broadcast(peers, Msg::CommitAgg(ca));
+        // One confirmation per batched client: "your certificate is on the
+        // wire" — the clients already hold their fast-path responses.
+        let confirms: Vec<(ClientId, Timestamp)> = self.spaces[inst.space.index()].entries
+            [&inst.slot]
+            .reqs
+            .iter()
+            .map(|r| (r.client, r.ts))
+            .collect();
+        for (client, ts) in confirms {
+            let payload = CommitConfirm::signed_payload(inst, client, ts);
+            let sig = self
+                .keys
+                .sign(&payload, &Audience::nodes([NodeId::Client(client)]));
+            out.send(
+                NodeId::Client(client),
+                Msg::CommitConfirm(CommitConfirm {
+                    inst,
+                    client,
+                    ts,
+                    sender: self.id,
+                    sig,
+                }),
+            );
+        }
+        self.stats.agg_commits += 1;
+        self.commit_entry(inst, deps, seq, BTreeSet::new(), out);
+    }
+
+    /// A command-leader's aggregated certificate: verify the `3f + 1`
+    /// matching acks and commit the whole batch (buffering if the
+    /// SPECORDER has not arrived yet, certificate carried along).
+    fn on_commit_agg(&mut self, ca: CommitAgg, out: &mut Out<A>) {
+        let inst = ca.inst;
+        if !self.cfg.cluster.contains(inst.space)
+            || !verify_agg_certificate(
+                &mut self.keys,
+                &self.cfg,
+                inst,
+                &ca.deps,
+                ca.seq,
+                None,
+                &ca.cc,
+            )
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        let space = &mut self.spaces[inst.space.index()];
+        if let Some(entry) = space.entries.get(&inst.slot) {
+            // The certificate must cover the batch we accepted.
+            if entry.batch_digest != ca.cc[0].batch_digest {
+                self.stats.rejected += 1;
+                return;
+            }
+        } else {
+            let pc = space
+                .pending_commits
+                .entry(inst.slot)
+                .or_insert_with(|| PendingCommit {
+                    deps: ca.deps,
+                    seq: ca.seq,
+                    reply_offsets: BTreeSet::new(),
+                    evidence: None,
+                });
+            pc.evidence
+                .get_or_insert(Evidence::AggCommit { acks: ca.cc });
+            return;
+        }
+        if let Some(entry) = space.entries.get_mut(&inst.slot) {
+            if entry.commit_evidence.is_none() {
+                entry.commit_evidence = Some(Evidence::AggCommit { acks: ca.cc });
+            }
+        }
+        self.stats.agg_commits += 1;
+        self.commit_entry(inst, ca.deps, ca.seq, BTreeSet::new(), out);
+    }
+
+    // ------------------------------------------------------------------
     // Commitment (§IV-A step 5.1, §IV-C step 5.2)
     // ------------------------------------------------------------------
 
@@ -998,14 +1270,17 @@ impl<A: Application + Snapshotable> Replica<A> {
         };
         let space = &mut self.spaces[cf.inst.space.index()];
         if !space.entries.contains_key(&cf.inst.slot) {
-            space
+            let pc = space
                 .pending_commits
                 .entry(cf.inst.slot)
                 .or_insert_with(|| PendingCommit {
                     deps,
                     seq,
                     reply_offsets: BTreeSet::new(),
+                    evidence: None,
                 });
+            pc.evidence
+                .get_or_insert(Evidence::FastCommit { replies: cf.cc });
             return;
         }
         if let Some(entry) = space.entries.get_mut(&cf.inst.slot) {
@@ -1041,7 +1316,8 @@ impl<A: Application + Snapshotable> Replica<A> {
         let space = &mut self.spaces[inst.space.index()];
         if !space.entries.contains_key(&inst.slot) {
             // Merge with any earlier pending decision: the first (deps,
-            // seq) wins, reply obligations accumulate across clients.
+            // seq) wins, reply obligations accumulate across clients, the
+            // first certificate is carried through to the entry.
             let pc = space
                 .pending_commits
                 .entry(inst.slot)
@@ -1049,8 +1325,13 @@ impl<A: Application + Snapshotable> Replica<A> {
                     deps: cm.body.deps.clone(),
                     seq: cm.body.seq,
                     reply_offsets: BTreeSet::new(),
+                    evidence: None,
                 });
             pc.reply_offsets.extend(reply_offset);
+            pc.evidence.get_or_insert(Evidence::SlowCommit {
+                body: cm.body.clone(),
+                sig: cm.sig.clone(),
+            });
             return;
         }
         if let Some(entry) = space.entries.get_mut(&inst.slot) {
@@ -1083,19 +1364,22 @@ impl<A: Application + Snapshotable> Replica<A> {
         }
         let mut senders = BTreeSet::new();
         let first = cc.first()?;
-        let key = first.match_key();
+        let mut key = None;
         for reply in cc {
+            // One encoding per reply serves both the match key and the
+            // signature check (DESIGN.md §7).
+            let payload =
+                SpecReply::<A::Command, A::Response>::signed_payload(&reply.body, &reply.response);
+            let reply_key = Digest::of(&payload);
             if reply.body.inst != inst
                 || reply.body.offset != first.body.offset
-                || reply.match_key() != key
+                || *key.get_or_insert(reply_key) != reply_key
             {
                 return None;
             }
             if !senders.insert(reply.sender) {
                 return None;
             }
-            let payload =
-                SpecReply::<A::Command, A::Response>::signed_payload(&reply.body, &reply.response);
             if self
                 .keys
                 .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
@@ -1207,6 +1491,8 @@ impl<A: Application + Snapshotable> Replica<A> {
             entry.reply_on_final.extend(reply_offsets);
             self.max_seq = self.max_seq.max(seq);
         }
+        // Any ack tally for the instance is moot once it committed.
+        self.spec_acks.remove(&inst);
         self.committed_pending.insert(inst);
         // Watch dependencies we have not seen committed: a dependency that
         // never commits (phantom or orphaned) must eventually trigger an
@@ -1548,7 +1834,7 @@ impl<A: Application + Snapshotable> Replica<A> {
             sig: sig.clone(),
         };
         let entry = Entry {
-            reqs: Vec::new(),
+            reqs: Arc::new(Vec::new()),
             owner,
             deps,
             seq,
@@ -1556,6 +1842,7 @@ impl<A: Application + Snapshotable> Replica<A> {
             spec_responses: Some(Vec::new()),
             final_responses: Vec::new(),
             reply_on_final: BTreeSet::new(),
+            batch_digest: header.body.batch_digest(),
             header,
             commit_evidence: None,
         };
@@ -1569,7 +1856,7 @@ impl<A: Application + Snapshotable> Replica<A> {
         let so = Msg::SpecOrder(SpecOrder {
             body,
             sig,
-            reqs: Vec::new(),
+            reqs: Arc::new(Vec::new()),
         });
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
         out.broadcast(peers, so);
@@ -1683,14 +1970,17 @@ impl<A: Application + Snapshotable> Replica<A> {
         }
         let space = &mut self.spaces[bc.inst.space.index()];
         if !space.entries.contains_key(&bc.inst.slot) {
-            space
+            let pc = space
                 .pending_commits
                 .entry(bc.inst.slot)
                 .or_insert_with(|| PendingCommit {
                     deps: bc.deps,
                     seq: bc.seq,
                     reply_offsets: BTreeSet::new(),
+                    evidence: None,
                 });
+            pc.evidence
+                .get_or_insert(Evidence::BarrierCommit { acks: bc.cc });
             return;
         }
         if let Some(entry) = space.entries.get_mut(&bc.inst.slot) {
@@ -2160,7 +2450,7 @@ impl<A: Application + Snapshotable> Replica<A> {
         &mut self,
         snap: &crate::msg::EntrySnapshot<A::Command, A::Response>,
     ) -> bool {
-        for req in &snap.reqs {
+        for req in snap.reqs.iter() {
             let payload = Request::signed_payload(req.client, req.ts, &req.cmd);
             if self
                 .keys
@@ -2189,6 +2479,19 @@ impl<A: Application + Snapshotable> Replica<A> {
             }
             Evidence::FastCommit { replies } => {
                 crate::owner::fast_commit_valid(&mut self.keys, &self.cfg, snap, replies)
+            }
+            Evidence::AggCommit { acks } => {
+                let batch = crate::msg::batch_digest_of(&batch_digests(&snap.reqs));
+                !snap.reqs.is_empty()
+                    && verify_agg_certificate(
+                        &mut self.keys,
+                        &self.cfg,
+                        snap.inst,
+                        &snap.deps,
+                        snap.seq,
+                        Some(batch),
+                        acks,
+                    )
             }
             Evidence::BarrierCommit { acks } => {
                 snap.reqs.is_empty()
@@ -2242,6 +2545,7 @@ impl<A: Application + Snapshotable> Replica<A> {
             spec_responses: None,
             final_responses: vec![None; snap.reqs.len()],
             reply_on_final: BTreeSet::new(),
+            batch_digest: header.body.batch_digest(),
             header,
             commit_evidence: committed.then(|| snap.evidence.clone()),
         };
@@ -2569,11 +2873,12 @@ impl<A: Application + Snapshotable> Replica<A> {
                 spec_responses: None,
                 final_responses: vec![None; snap.reqs.len()],
                 reply_on_final: (0..snap.reqs.len() as u32).collect(),
+                batch_digest: header.body.batch_digest(),
                 header,
                 commit_evidence: Some(snap.evidence.clone()),
             };
             self.max_seq = self.max_seq.max(snap.seq);
-            for req in &snap.reqs {
+            for req in snap.reqs.iter() {
                 self.deps.register(inst, &req.cmd.conflict_keys());
             }
             let space = &mut self.spaces[space_idx];
@@ -2720,6 +3025,8 @@ impl<A: Application + Snapshotable> ProtocolNode for Replica<A> {
             }
             Msg::SpecOrder(so) => self.on_spec_order(so, from, out),
             Msg::CommitFast(cf) => self.on_commit_fast(cf, out),
+            Msg::SpecAck(ack) => self.on_spec_ack(ack, from, out),
+            Msg::CommitAgg(ca) => self.on_commit_agg(ca, out),
             Msg::Commit(cm) => self.on_commit(cm, out),
             Msg::ResendReq(rr) => self.on_resend_req(rr, out),
             Msg::Pom(pom) => self.on_pom(pom, out),
@@ -2733,7 +3040,7 @@ impl<A: Application + Snapshotable> ProtocolNode for Replica<A> {
             Msg::StateCert(_) | Msg::StateChunk(_) | Msg::StateSuffix(_) => {
                 // Unsolicited state transfer while not recovering: ignore.
             }
-            Msg::SpecReply(_) | Msg::CommitReply(_) => {
+            Msg::SpecReply(_) | Msg::CommitReply(_) | Msg::CommitConfirm(_) => {
                 // Client-bound messages; a replica receiving one ignores it.
                 self.stats.rejected += 1;
             }

@@ -1,0 +1,347 @@
+//! Instance-level commit aggregation (DESIGN.md §7).
+//!
+//! Three simulator-level properties from ISSUE 3, plus the PendingCommit
+//! evidence carry-through:
+//!
+//! 1. with batch=1 the aggregated path is outcome-equivalent to the
+//!    paper's client-driven COMMITFAST path;
+//! 2. a command leader that collects SPECACKs but never broadcasts the
+//!    COMMITAGG (crash/byzantine between collection and broadcast) is
+//!    survived by the client-driven COMMITFAST fallback, with no
+//!    double-apply;
+//! 3. commit-phase messages per committed request drop ≥2x at batch=8
+//!    versus client-driven commitment;
+//! 4. a commit certificate arriving before its SPECORDER is adopted as
+//!    the entry's evidence once the order lands (not downgraded to
+//!    spec-ordered).
+
+use std::collections::VecDeque;
+
+use ezbft_core::{Behaviour, ByzantineReplica, Client, EzConfig, Msg, Replica};
+use ezbft_crypto::{CryptoKind, KeyStore};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_simnet::{Region, SimConfig, SimNet, Topology};
+use ezbft_smr::{
+    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
+};
+
+type KvMsg = Msg<KvOp, KvResponse>;
+
+/// Message kinds that belong to the commit phase.
+const COMMIT_KINDS: &[&str] = &[
+    "commit-fast",
+    "commit",
+    "spec-ack",
+    "commit-agg",
+    "commit-confirm",
+];
+
+struct ScriptedClient {
+    inner: Client<KvOp, KvResponse>,
+    script: VecDeque<KvOp>,
+}
+
+impl ScriptedClient {
+    fn pump(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        if !self.inner.in_flight() {
+            if let Some(op) = self.script.pop_front() {
+                self.inner.submit(op, out);
+            }
+        }
+    }
+}
+
+impl ProtocolNode for ScriptedClient {
+    type Message = KvMsg;
+    type Response = KvResponse;
+
+    fn id(&self) -> NodeId {
+        ProtocolNode::id(&self.inner)
+    }
+    fn on_start(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        self.pump(out);
+    }
+    fn on_message(&mut self, from: NodeId, msg: KvMsg, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_message(from, msg, out);
+        self.pump(out);
+    }
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_timer(id, out);
+        self.pump(out);
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// The observable outcome of one run.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    completed: usize,
+    /// Responses per delivery, in (client, ts) order — "byte equivalence"
+    /// of what the clients observed.
+    responses: Vec<(NodeId, KvResponse)>,
+    /// Commands in replica 0's final execution order.
+    command_order: Vec<KvOp>,
+    /// Final-state fingerprints of all four replicas.
+    fingerprints: Vec<u64>,
+}
+
+struct Run {
+    sim: SimNet<KvMsg, KvResponse>,
+    total: usize,
+}
+
+/// Builds a 4-replica cluster with `scripts.len()` clients (all preferring
+/// replica 0, co-located with it). `wrap_leader` optionally wraps replica 0
+/// in a byzantine behaviour.
+fn build(scripts: &[Vec<KvOp>], cfg: EzConfig, seed: u64, wrap_leader: Option<Behaviour>) -> Run {
+    let cluster = ClusterConfig::for_faults(1);
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    for id in 0..scripts.len() as u64 {
+        nodes.push(NodeId::Client(ClientId::new(id)));
+    }
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"commit-agg", &nodes);
+    let client_stores = stores.split_off(cluster.n());
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(
+        Topology::exp1(),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    sim.count_kinds(Msg::kind);
+    for (i, rid) in cluster.replicas().enumerate() {
+        let keys = stores.remove(0);
+        if i == 0 {
+            if let Some(behaviour) = wrap_leader {
+                let wrap_keys = {
+                    let extra = KeyStore::cluster(CryptoKind::Mac, b"commit-agg", &nodes);
+                    extra.into_iter().next().unwrap()
+                };
+                let inner = Replica::new(rid, cfg, keys, KvStore::new());
+                sim.add_node(
+                    Region(i),
+                    Box::new(ByzantineReplica::new(inner, wrap_keys, behaviour, 4)),
+                );
+                continue;
+            }
+        }
+        sim.add_node(
+            Region(i),
+            Box::new(Replica::new(rid, cfg, keys, KvStore::new())),
+        );
+    }
+    let total: usize = scripts.iter().map(Vec::len).sum();
+    for ((id, script), keys) in scripts.iter().enumerate().zip(client_stores) {
+        let client = Client::new(ClientId::new(id as u64), cfg, keys, ReplicaId::new(0));
+        sim.add_node(
+            Region(0),
+            Box::new(ScriptedClient {
+                inner: client,
+                script: script.clone().into(),
+            }),
+        );
+    }
+    Run { sim, total }
+}
+
+fn run_to_outcome(mut run: Run) -> Outcome {
+    let Run { ref mut sim, total } = run;
+    sim.run_until_deliveries(total);
+    assert_eq!(sim.deliveries().len(), total, "all requests complete");
+    // Let certificates/confirmations propagate and fallbacks settle.
+    let settle = sim.now() + Micros::from_secs(5);
+    sim.run_until_time(settle);
+
+    let replica = |r: u8| {
+        sim.inspect(NodeId::Replica(ReplicaId::new(r)))
+            .expect("inspectable")
+            .downcast_ref::<Replica<KvStore>>()
+            .expect("honest replica")
+    };
+    let mut responses: Vec<(NodeId, KvResponse)> = sim
+        .deliveries()
+        .iter()
+        .map(|d| (d.client, d.delivery.response.clone()))
+        .collect();
+    responses.sort_by_key(|(c, _)| *c);
+    let command_order: Vec<KvOp> = replica(0)
+        .executed_log()
+        .iter()
+        .map(|&at| replica(0).command_of(at).expect("known").clone())
+        .collect();
+    let fingerprints: Vec<u64> = (0..4).map(|r| replica(r).app().fingerprint()).collect();
+    Outcome {
+        completed: sim.deliveries().len(),
+        responses,
+        command_order,
+        fingerprints,
+    }
+}
+
+fn scripts(n: u64) -> Vec<Vec<KvOp>> {
+    (0..n)
+        .map(|c| {
+            vec![KvOp::Put {
+                key: Key(c),
+                value: vec![c as u8, 7],
+            }]
+        })
+        .collect()
+}
+
+fn cfg_with(batch: usize, aggregation: bool) -> EzConfig {
+    let mut cfg =
+        EzConfig::new(ClusterConfig::for_faults(1)).with_batching(batch, Micros::from_millis(5));
+    cfg.commit_aggregation = aggregation;
+    cfg
+}
+
+/// Every interfering pair keeps its relative order across two executions
+/// (non-interfering commands have no canonical cross-instance order).
+fn assert_interfering_order_preserved(a: &[KvOp], b: &[KvOp]) {
+    use ezbft_smr::Command as _;
+    let pos = |log: &[KvOp], x: &KvOp| log.iter().position(|y| y == x);
+    for (i, x) in a.iter().enumerate() {
+        for y in a.iter().skip(i + 1) {
+            if !x.interferes(y) {
+                continue;
+            }
+            let (Some(px), Some(py)) = (pos(b, x), pos(b, y)) else {
+                panic!("interfering command missing from aggregated order");
+            };
+            assert!(px < py, "aggregation reordered {x:?} vs {y:?}");
+        }
+    }
+}
+
+#[test]
+fn batch1_aggregated_commit_is_outcome_equivalent_to_commit_fast() {
+    // ISSUE 3 satellite (a): at batch=1 the paper's fast-path behaviour is
+    // preserved — same completions, same responses, same final state.
+    let scripts = scripts(6);
+    let client_driven = run_to_outcome(build(&scripts, cfg_with(1, false), 42, None));
+    let aggregated = run_to_outcome(build(&scripts, cfg_with(1, true), 42, None));
+    assert_eq!(client_driven.completed, aggregated.completed);
+    assert_eq!(
+        client_driven.responses, aggregated.responses,
+        "clients must observe identical responses"
+    );
+    assert_interfering_order_preserved(&client_driven.command_order, &aggregated.command_order);
+    assert_eq!(
+        client_driven.fingerprints, aggregated.fingerprints,
+        "final replica state must be commitment-mode independent"
+    );
+}
+
+#[test]
+fn batched_aggregated_run_matches_client_driven_state() {
+    // The same equivalence with real batches and interfering commands.
+    let scripts: Vec<Vec<KvOp>> = (0..8u64)
+        .map(|c| {
+            vec![KvOp::Incr {
+                key: Key(7),
+                by: 1 + c,
+            }]
+        })
+        .collect();
+    let client_driven = run_to_outcome(build(&scripts, cfg_with(4, false), 7, None));
+    let aggregated = run_to_outcome(build(&scripts, cfg_with(4, true), 7, None));
+    assert_eq!(client_driven.completed, aggregated.completed);
+    assert_eq!(client_driven.fingerprints[0], aggregated.fingerprints[0]);
+    // All replicas of the aggregated run agree with each other.
+    for w in aggregated.fingerprints.windows(2) {
+        assert_eq!(w[0], w[1], "replica divergence under aggregation");
+    }
+}
+
+#[test]
+fn leader_swallowing_commit_agg_falls_back_to_client_driven_commitment() {
+    // ISSUE 3 satellite (b): the leader collects SPECACKs but its
+    // COMMITAGG broadcast and confirmations never leave the node — the
+    // observable behaviour of a crash between collection and broadcast.
+    // Clients must fall back to the paper's COMMITFAST with no
+    // double-apply anywhere.
+    let scripts = scripts(8);
+    let mut cfg = cfg_with(4, true);
+    cfg.commit_fallback = Micros::from_millis(400); // fire within the run
+    let mut run = build(&scripts, cfg, 11, Some(Behaviour::SwallowAggCommit));
+    let total = run.total;
+    run.sim.run_until_deliveries(total);
+    assert_eq!(run.sim.deliveries().len(), total, "all requests complete");
+    let settle = run.sim.now() + Micros::from_secs(5);
+    run.sim.run_until_time(settle);
+    let sim = &run.sim;
+
+    // The fallback actually ran: client-driven certificates were sent and
+    // no confirmation ever reached a client.
+    assert!(
+        sim.sent_of_kind("commit-fast") > 0,
+        "clients must fall back to COMMITFAST"
+    );
+    assert_eq!(sim.sent_of_kind("commit-agg"), 0, "leader swallowed it");
+    assert_eq!(sim.sent_of_kind("commit-confirm"), 0);
+
+    // Every honest follower committed and executed every request exactly
+    // once, and all states agree (no double-apply: 8 one-shot puts ⇒ 8
+    // executions each).
+    let follower = |r: u8| {
+        sim.inspect(NodeId::Replica(ReplicaId::new(r)))
+            .expect("inspectable")
+            .downcast_ref::<Replica<KvStore>>()
+            .expect("honest replica")
+    };
+    let mut fingerprints = Vec::new();
+    for r in 1..4u8 {
+        assert_eq!(
+            follower(r).stats().executed,
+            total as u64,
+            "replica {r} executed each request exactly once"
+        );
+        fingerprints.push(follower(r).app().fingerprint());
+    }
+    // The byzantine leader committed locally off its own ack tally; its
+    // state must still agree with the honest majority.
+    let leader = sim
+        .inspect(NodeId::Replica(ReplicaId::new(0)))
+        .expect("inspectable")
+        .downcast_ref::<ByzantineReplica<KvStore>>()
+        .expect("wrapped leader");
+    fingerprints.push(leader.inner().app().fingerprint());
+    for w in fingerprints.windows(2) {
+        assert_eq!(w[0], w[1], "state divergence after fallback");
+    }
+    // Each client delivered exactly once.
+    let mut clients: Vec<NodeId> = sim.deliveries().iter().map(|d| d.client).collect();
+    clients.sort();
+    clients.dedup();
+    assert_eq!(clients.len(), total, "one delivery per client");
+}
+
+#[test]
+fn aggregation_cuts_commit_messages_per_committed_request_at_batch_8() {
+    // ISSUE 3 satellite (c): pin the O(n)-per-request → amortised
+    // O(n)-per-batch reduction. 24 one-shot clients into one leader at
+    // batch=8: client-driven commitment broadcasts 24 COMMITFASTs (n
+    // messages each); aggregation sends 3 acks + 3 certificate broadcasts
+    // per batch plus one confirmation per request.
+    let scripts = scripts(24);
+    let run_mode = |aggregated: bool| {
+        let mut run = build(&scripts, cfg_with(8, aggregated), 5, None);
+        let total = run.total;
+        run.sim.run_until_deliveries(total);
+        assert_eq!(run.sim.deliveries().len(), total);
+        let settle = run.sim.now() + Micros::from_secs(5);
+        run.sim.run_until_time(settle);
+        let commit_msgs: u64 = COMMIT_KINDS.iter().map(|k| run.sim.sent_of_kind(k)).sum();
+        commit_msgs as f64 / total as f64
+    };
+    let client_driven = run_mode(false);
+    let aggregated = run_mode(true);
+    assert!(
+        client_driven >= 2.0 * aggregated,
+        "commit messages per committed request must drop ≥2x: \
+         client-driven {client_driven:.2} vs aggregated {aggregated:.2}"
+    );
+}

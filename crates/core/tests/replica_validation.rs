@@ -587,6 +587,96 @@ fn pending_commits_accumulate_reply_obligations_across_clients() {
 }
 
 #[test]
+fn commit_certificate_arriving_before_spec_order_keeps_its_evidence() {
+    // ROADMAP PR 2 follow-on: a certificate that outruns its SPECORDER
+    // used to be dropped by PendingCommit, downgrading the entry to
+    // spec-ordered in owner-change reports and state-transfer suffixes.
+    // It must be adopted as the entry's commit evidence when the order
+    // lands.
+    let mut fx = fixture();
+    let client = ClientId::new(0);
+    let req = signed_request(
+        &mut fx,
+        1,
+        KvOp::Put {
+            key: Key(9),
+            value: vec![9],
+        },
+    );
+    let mut o = out();
+    fx.replicas[0].on_message(NodeId::Client(client), Msg::Request(req), &mut o);
+    let so = o
+        .as_slice()
+        .iter()
+        .find_map(|a| match a {
+            ezbft_smr::Action::Broadcast { msg, .. } => match &**msg {
+                Msg::SpecOrder(so) => Some(so.clone()),
+                _ => None,
+            },
+            _ => None,
+        })
+        .expect("leader broadcasts the order");
+    let inst = so.body.inst;
+
+    // Real replies from the leader and two followers form the slow cert.
+    let mut replies = spec_replies(&o);
+    for r in 1..=2usize {
+        let mut fo = out();
+        fx.replicas[r].on_message(
+            NodeId::Replica(ReplicaId::new(0)),
+            Msg::SpecOrder(so.clone()),
+            &mut fo,
+        );
+        replies.extend(spec_replies(&fo));
+    }
+    assert_eq!(replies.len(), 3);
+    let mut deps = BTreeSet::new();
+    let mut seq = 0;
+    for r in &replies {
+        deps.extend(r.body.deps.iter().copied());
+        seq = seq.max(r.body.seq);
+    }
+    let body = CommitBody {
+        client,
+        inst,
+        deps,
+        seq,
+        req_digest: replies[0].body.req_digest,
+    };
+    let sig = fx.client_keys.sign(
+        &body.signed_payload(),
+        &Audience::replicas(fx.cfg.cluster.n()),
+    );
+    let cm = Commit {
+        body,
+        sig,
+        cc: replies,
+    };
+
+    // Replica 3 sees the certificate BEFORE the order: it buffers.
+    let mut c = out();
+    fx.replicas[3].on_message(NodeId::Client(client), Msg::Commit(cm), &mut c);
+    assert_eq!(fx.replicas[3].instance_status(inst), None);
+
+    // The late SPECORDER commits the entry WITH the buffered certificate.
+    let mut fin = out();
+    fx.replicas[3].on_message(
+        NodeId::Replica(ReplicaId::new(0)),
+        Msg::SpecOrder(so),
+        &mut fin,
+    );
+    assert_eq!(
+        fx.replicas[3].instance_status(inst),
+        Some(EntryStatus::Executed)
+    );
+    assert_eq!(
+        fx.replicas[3].commit_evidence_kind(inst),
+        Some("slow"),
+        "the early certificate must survive as the entry's evidence"
+    );
+}
+
+#[test]
 fn spec_order_body_roundtrips_via_wire() {
     // The signed bodies must be canonical across serialisation boundaries
     // (a re-encoded body must produce identical signed bytes).

@@ -48,10 +48,25 @@ fn run_one(target: &str, quick: bool) -> bool {
                 experiments::recovery(120, 30).render()
             }
         ),
+        "commit_traffic" => {
+            let budget = Micros::from_secs(if quick { 1 } else { 3 });
+            let report = experiments::commit_traffic(budget);
+            println!("{}", report.render());
+            // Machine-readable line for BENCH_*.json-style consumers.
+            println!("{}", report.to_json());
+        }
         "all" => {
             for t in [
-                "table1", "fig4", "fig5a", "fig5b", "fig6", "fig7", "table2", "ablation",
+                "table1",
+                "fig4",
+                "fig5a",
+                "fig5b",
+                "fig6",
+                "fig7",
+                "table2",
+                "ablation",
                 "recovery",
+                "commit_traffic",
             ] {
                 run_one(t, quick);
             }
@@ -59,7 +74,7 @@ fn run_one(target: &str, quick: bool) -> bool {
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|recovery|all] [--quick]"
+                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|recovery|commit_traffic|all] [--quick]"
             );
             return false;
         }

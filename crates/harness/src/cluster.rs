@@ -93,6 +93,8 @@ pub struct RunReport {
     pub slow: u64,
     /// Virtual time at the end of the run.
     pub duration: Micros,
+    /// Messages handed to the network, tallied by protocol kind tag.
+    pub sent_by_kind: Vec<(&'static str, u64)>,
     /// Completion timestamps (virtual) for throughput analysis.
     completions: Vec<Micros>,
 }
@@ -106,6 +108,29 @@ impl RunReport {
     /// Mean latency in milliseconds for clients in `region`.
     pub fn mean_latency_ms(&self, region: usize) -> f64 {
         self.per_region[region].mean().as_millis_f64()
+    }
+
+    /// Messages sent of `kind` (0 for unknown kinds).
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.sent_by_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// Commit-phase messages per completed request: every message whose
+    /// kind belongs to the commit phase (certificates, votes, acks,
+    /// confirmations — `kinds`), divided by the completed-request count.
+    /// The metric the commit-aggregation experiments pin: client-driven
+    /// commitment costs O(n) of these per request, aggregation amortises
+    /// them to O(n) per batch plus one confirmation per request.
+    pub fn commit_msgs_per_request(&self, kinds: &[&str]) -> f64 {
+        if self.completed() == 0 {
+            return 0.0;
+        }
+        let total: u64 = kinds.iter().map(|k| self.sent_of_kind(k)).sum();
+        total as f64 / self.completed() as f64
     }
 
     /// Fraction of requests that used the fast path.
@@ -149,6 +174,7 @@ pub struct ClusterBuilder {
     batch_size: usize,
     batch_delay: Micros,
     checkpoint_interval: u64,
+    commit_aggregation: bool,
 }
 
 impl ClusterBuilder {
@@ -171,6 +197,7 @@ impl ClusterBuilder {
             batch_size: 1,
             batch_delay: Micros::ZERO,
             checkpoint_interval: 0,
+            commit_aggregation: false,
         }
     }
 
@@ -257,6 +284,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables ezBFT instance-level commit aggregation: the command-leader
+    /// collects SPECACKs and broadcasts one certificate per batch instead
+    /// of each client broadcasting its own COMMITFAST (ignored by the
+    /// baselines; DESIGN.md §7).
+    pub fn commit_aggregation(mut self, enabled: bool) -> Self {
+        self.commit_aggregation = enabled;
+        self
+    }
+
     /// Runs the deployment to completion and collects the report.
     ///
     /// # Panics
@@ -281,6 +317,7 @@ impl ClusterBuilder {
             batch_size: self.batch_size,
             batch_delay: self.batch_delay,
             checkpoint_interval: self.checkpoint_interval,
+            commit_aggregation: self.commit_aggregation,
         };
 
         // Enumerate nodes: replicas then clients (region-major).
@@ -306,6 +343,7 @@ impl ClusterBuilder {
             ..Default::default()
         };
         let mut sim: SimNet<F::Msg, KvResponse> = SimNet::new(self.topology.clone(), sim_cfg);
+        sim.count_kinds(F::msg_kind);
         if let Some(params) = self.cost {
             sim.set_cost_fn(F::cost_fn(params));
         }
@@ -372,6 +410,7 @@ impl ClusterBuilder {
             fast,
             slow,
             duration: sim.now(),
+            sent_by_kind: sim.kind_counts(),
             completions,
         }
     }
@@ -438,6 +477,7 @@ mod tests {
                     follow_msg_us: 250,
                     follow_req_us: 50,
                     commit_us: 60,
+                    ack_us: 40,
                     other_us: 80,
                 })
                 .batch_size(batch)
@@ -454,6 +494,54 @@ mod tests {
             "batch=8 at {:.0} ops/s must beat batch=1 at {:.0} ops/s",
             batched.throughput(),
             unbatched.throughput()
+        );
+    }
+
+    use crate::experiments::commit_traffic::COMMIT_KINDS;
+
+    #[test]
+    fn commit_aggregation_beats_client_driven_commitment_at_batch_8() {
+        // Same follower-bound workload as the batching test, batch=8, with
+        // commitment either client-driven (each client broadcasts its own
+        // COMMITFAST) or replica-driven (one SPECACK round + one COMMITAGG
+        // per batch). Aggregation must (a) at least halve commit-phase
+        // messages per committed request and (b) raise throughput — the
+        // ISSUE 3 acceptance criteria.
+        let run = |aggregated: bool| {
+            ClusterBuilder::new(ProtocolKind::EzBft)
+                .topology(Topology::lan(4))
+                .clients_per_region(&[6, 6, 6, 6])
+                .requests_per_client(100_000)
+                .cost_model(CostParams {
+                    order_msg_us: 100,
+                    order_req_us: 200,
+                    follow_msg_us: 250,
+                    follow_req_us: 50,
+                    commit_us: 60,
+                    ack_us: 40,
+                    other_us: 80,
+                })
+                .batch_size(8)
+                .batch_delay(Micros::from_millis(1))
+                .commit_aggregation(aggregated)
+                .time_limit(Micros::from_secs(3))
+                .seed(11)
+                .run()
+        };
+        let client_driven = run(false);
+        let aggregated = run(true);
+        assert!(client_driven.completed() > 0 && aggregated.completed() > 0);
+        let per_req_client = client_driven.commit_msgs_per_request(COMMIT_KINDS);
+        let per_req_agg = aggregated.commit_msgs_per_request(COMMIT_KINDS);
+        assert!(
+            per_req_agg * 2.0 <= per_req_client,
+            "aggregation must at least halve commit traffic: {per_req_agg:.2} vs {per_req_client:.2} msgs/request"
+        );
+        assert!(
+            aggregated.throughput() > client_driven.throughput() * 1.1,
+            "aggregated commitment at {:.0} ops/s must beat client-driven at {:.0} ops/s",
+            aggregated.throughput(),
+            client_driven.throughput()
         );
     }
 

@@ -39,6 +39,11 @@ pub struct CostParams {
     pub follow_req_us: u64,
     /// Processing a commit-phase vote or certificate.
     pub commit_us: u64,
+    /// Processing one instance-level commit acknowledgement at its
+    /// collector (ezBFT's SPECACK at the command-leader under commit
+    /// aggregation: one signature check plus a tally update — cheaper
+    /// than a full certificate).
+    pub ack_us: u64,
     /// Any other protocol message.
     pub other_us: u64,
 }
@@ -52,6 +57,7 @@ impl Default for CostParams {
             follow_msg_us: 70,
             follow_req_us: 50,
             commit_us: 60,
+            ack_us: 40,
             other_us: 80,
         }
     }
@@ -67,6 +73,7 @@ impl CostParams {
             CostBucket::Order => Micros(self.order_msg_us + self.order_req_us * n),
             CostBucket::Follow => Micros(self.follow_msg_us + self.follow_req_us * n),
             CostBucket::Commit => Micros(self.commit_us),
+            CostBucket::Ack => Micros(self.ack_us),
             CostBucket::Other => Micros(self.other_us),
             CostBucket::Free => Micros::ZERO,
         }
@@ -97,6 +104,8 @@ pub enum CostBucket {
     Follow,
     /// Commit-phase processing.
     Commit,
+    /// Instance-level commit acknowledgements (collector side).
+    Ack,
     /// Miscellaneous protocol messages.
     Other,
     /// Not charged (client-side messages).
@@ -116,11 +125,13 @@ mod tests {
             follow_msg_us: 12,
             follow_req_us: 8,
             commit_us: 10,
+            ack_us: 7,
             other_us: 5,
         };
         assert_eq!(p.classify(CostBucket::Order), Micros(100));
         assert_eq!(p.classify(CostBucket::Follow), Micros(20));
         assert_eq!(p.classify(CostBucket::Commit), Micros(10));
+        assert_eq!(p.classify(CostBucket::Ack), Micros(7));
         assert_eq!(p.classify(CostBucket::Other), Micros(5));
         assert_eq!(p.classify(CostBucket::Free), Micros::ZERO);
     }

@@ -1,0 +1,176 @@
+//! Commit-phase traffic: client-driven vs replica-driven (aggregated)
+//! commitment (beyond the paper; DESIGN.md §7).
+//!
+//! The paper's clients each collect their own `3f + 1` certificate and
+//! broadcast it, so commit traffic scales O(clients × n) per batch.
+//! Instance-level aggregation moves certificate collection to the
+//! command-leader: one SPECACK round plus one COMMITAGG broadcast per
+//! batch, plus one confirmation per request. This experiment measures
+//! both modes at several batch sizes over the follower-bound LAN profile
+//! and reports commit-phase messages per committed request alongside
+//! throughput.
+
+use ezbft_simnet::Topology;
+use ezbft_smr::Micros;
+
+use crate::cluster::{ClusterBuilder, ProtocolKind};
+use crate::cost::CostParams;
+use crate::report::TextTable;
+
+/// Message kinds that belong to ezBFT's commit phase.
+pub const COMMIT_KINDS: &[&str] = &[
+    "commit-fast",
+    "commit",
+    "spec-ack",
+    "commit-agg",
+    "commit-confirm",
+];
+
+/// One (batch size, commitment mode) measurement.
+#[derive(Clone, Debug)]
+pub struct CommitTrafficRow {
+    /// SPECORDER batch size.
+    pub batch: usize,
+    /// Whether replica-driven aggregation was enabled.
+    pub aggregated: bool,
+    /// Completed requests.
+    pub completed: usize,
+    /// Total commit-phase messages handed to the network.
+    pub commit_msgs: u64,
+    /// Commit-phase messages per committed request.
+    pub per_request: f64,
+    /// Steady-state throughput (ops per virtual second).
+    pub throughput: f64,
+}
+
+/// The experiment's result set.
+#[derive(Clone, Debug)]
+pub struct CommitTrafficReport {
+    /// One row per (batch, mode), batch-major with client-driven first.
+    pub rows: Vec<CommitTrafficRow>,
+}
+
+impl CommitTrafficReport {
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "batch",
+            "commitment",
+            "completed",
+            "commit msgs",
+            "msgs/req",
+            "ops/s",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.batch.to_string(),
+                if r.aggregated {
+                    "aggregated".into()
+                } else {
+                    "client-driven".into()
+                },
+                r.completed.to_string(),
+                r.commit_msgs.to_string(),
+                format!("{:.2}", r.per_request),
+                format!("{:.0}", r.throughput),
+            ]);
+        }
+        format!("Commit-phase traffic (DESIGN.md §7)\n{}", t.render())
+    }
+
+    /// Machine-readable summary (the `BENCH_*.json`-style harness output):
+    /// one object per row, hand-encoded so the harness stays
+    /// dependency-free.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"batch\":{},\"aggregated\":{},\"completed\":{},\"commit_msgs\":{},\"msgs_per_request\":{:.3},\"ops_per_sec\":{:.1}}}",
+                    r.batch, r.aggregated, r.completed, r.commit_msgs, r.per_request, r.throughput
+                )
+            })
+            .collect();
+        format!(
+            "{{\"experiment\":\"commit_traffic\",\"rows\":[{}]}}",
+            rows.join(",")
+        )
+    }
+
+    /// The measured commit-traffic reduction factor at `batch`
+    /// (client-driven msgs/req over aggregated msgs/req).
+    pub fn reduction_at(&self, batch: usize) -> Option<f64> {
+        let find = |agg: bool| {
+            self.rows
+                .iter()
+                .find(|r| r.batch == batch && r.aggregated == agg)
+        };
+        let (cd, ag) = (find(false)?, find(true)?);
+        (ag.per_request > 0.0).then(|| cd.per_request / ag.per_request)
+    }
+}
+
+/// Runs the commit-traffic comparison: batch sizes 1 and 8, both
+/// commitment modes, `budget` of virtual time each over the
+/// follower-bound LAN cost profile.
+pub fn commit_traffic(budget: Micros) -> CommitTrafficReport {
+    let mut rows = Vec::new();
+    for batch in [1usize, 8] {
+        for aggregated in [false, true] {
+            let report = ClusterBuilder::new(ProtocolKind::EzBft)
+                .topology(Topology::lan(4))
+                .clients_per_region(&[6, 6, 6, 6])
+                .requests_per_client(1_000_000)
+                .cost_model(CostParams {
+                    order_msg_us: 100,
+                    order_req_us: 200,
+                    follow_msg_us: 250,
+                    follow_req_us: 50,
+                    commit_us: 60,
+                    ack_us: 40,
+                    other_us: 80,
+                })
+                .batch_size(batch)
+                .batch_delay(Micros::from_millis(1))
+                .commit_aggregation(aggregated)
+                .time_limit(budget)
+                .seed(11)
+                .run();
+            let commit_msgs: u64 = COMMIT_KINDS.iter().map(|k| report.sent_of_kind(k)).sum();
+            rows.push(CommitTrafficRow {
+                batch,
+                aggregated,
+                completed: report.completed(),
+                commit_msgs,
+                per_request: report.commit_msgs_per_request(COMMIT_KINDS),
+                throughput: report.throughput(),
+            });
+        }
+    }
+    CommitTrafficReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_cuts_commit_traffic_at_batch_8() {
+        // Quick budget: boundary effects (batches acked but uncommitted at
+        // the cutoff) shave the measured ratio below the steady-state
+        // ~2.3x, so this smoke test uses a softer floor; the full ≥2x
+        // acceptance bound is pinned at the 3s budget by
+        // `commit_aggregation_beats_client_driven_commitment_at_batch_8`.
+        let report = commit_traffic(Micros::from_secs(1));
+        assert_eq!(report.rows.len(), 4);
+        let reduction = report.reduction_at(8).expect("both modes measured");
+        assert!(
+            reduction >= 1.8,
+            "expected ~2x commit-traffic reduction at batch=8, got {reduction:.2}x"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\":\"commit_traffic\""));
+        assert!(json.contains("\"aggregated\":true"));
+    }
+}

@@ -5,6 +5,7 @@
 //! the paper-vs-measured comparison.
 
 pub mod ablation;
+pub mod commit_traffic;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -14,6 +15,7 @@ pub mod table1;
 pub mod table2;
 
 pub use ablation::{ablation, AblationReport};
+pub use commit_traffic::{commit_traffic, CommitTrafficReport};
 pub use fig4::{fig4, Fig4Report};
 pub use fig5::{fig5a, fig5b, Fig5aReport, Fig5bReport};
 pub use fig6::{fig6, Fig6Report};

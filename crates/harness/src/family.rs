@@ -23,6 +23,9 @@ pub struct Setup {
     /// ezBFT checkpoint barrier interval in executed commands
     /// (0 = disabled, the paper's unbounded-log behaviour).
     pub checkpoint_interval: u64,
+    /// ezBFT instance-level commit aggregation (DESIGN.md §7; ignored by
+    /// the baselines, `false` = the paper's client-driven commitment).
+    pub commit_aggregation: bool,
 }
 
 /// Object-safe client interface used by the workload driver.
@@ -78,6 +81,9 @@ pub trait ProtocolFamily: 'static {
         1
     }
 
+    /// Short kind tag of a message (simulator per-kind traffic counters).
+    fn msg_kind(msg: &Self::Msg) -> &'static str;
+
     /// Cost-model closure for the simulator.
     fn cost_fn(params: CostParams) -> impl FnMut(NodeId, &Self::Msg) -> Micros + Send + 'static {
         move |node, msg| params.for_node(node, Self::cost_bucket(msg), Self::batch_len(msg))
@@ -100,6 +106,7 @@ impl ProtocolFamily for EzBftFamily {
         let mut cfg = ezbft_core::EzConfig::new(setup.cluster)
             .with_batching(setup.batch_size, setup.batch_delay);
         cfg.checkpoint_interval = setup.checkpoint_interval;
+        cfg.commit_aggregation = setup.commit_aggregation;
         Box::new(ezbft_core::Replica::new(id, cfg, keys, KvStore::new()))
     }
 
@@ -109,8 +116,9 @@ impl ProtocolFamily for EzBftFamily {
         keys: KeyStore,
         nearest: ReplicaId,
     ) -> Box<dyn DynClient<Self::Msg>> {
-        let cfg = ezbft_core::EzConfig::new(setup.cluster)
+        let mut cfg = ezbft_core::EzConfig::new(setup.cluster)
             .with_batching(setup.batch_size, setup.batch_delay);
+        cfg.commit_aggregation = setup.commit_aggregation;
         Box::new(ezbft_core::Client::<KvOp, KvResponse>::new(
             id, cfg, keys, nearest,
         ))
@@ -121,8 +129,9 @@ impl ProtocolFamily for EzBftFamily {
         match msg {
             M::Request(_) | M::ResendReq(_) => CostBucket::Order,
             M::SpecOrder(_) => CostBucket::Follow,
-            M::CommitFast(_) | M::Commit(_) => CostBucket::Commit,
-            M::SpecReply(_) | M::CommitReply(_) => CostBucket::Free,
+            M::CommitFast(_) | M::Commit(_) | M::CommitAgg(_) => CostBucket::Commit,
+            M::SpecAck(_) => CostBucket::Ack,
+            M::SpecReply(_) | M::CommitReply(_) | M::CommitConfirm(_) => CostBucket::Free,
             _ => CostBucket::Other,
         }
     }
@@ -135,6 +144,10 @@ impl ProtocolFamily for EzBftFamily {
             M::SpecOrder(so) => so.reqs.len(),
             _ => 1,
         }
+    }
+
+    fn msg_kind(msg: &Self::Msg) -> &'static str {
+        msg.kind()
     }
 }
 
@@ -176,6 +189,10 @@ impl ProtocolFamily for PbftFamily {
             M::Reply(_) => CostBucket::Free,
             _ => CostBucket::Other,
         }
+    }
+
+    fn msg_kind(msg: &Self::Msg) -> &'static str {
+        msg.kind()
     }
 }
 
@@ -223,6 +240,10 @@ impl ProtocolFamily for ZyzzyvaFamily {
             _ => CostBucket::Other,
         }
     }
+
+    fn msg_kind(msg: &Self::Msg) -> &'static str {
+        msg.kind()
+    }
 }
 
 /// The FaB family.
@@ -261,5 +282,9 @@ impl ProtocolFamily for FabFamily {
             M::Reply(_) => CostBucket::Free,
             _ => CostBucket::Other,
         }
+    }
+
+    fn msg_kind(msg: &Self::Msg) -> &'static str {
+        msg.kind()
     }
 }

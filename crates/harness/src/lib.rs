@@ -12,6 +12,7 @@
 //! | [`mod@experiments::fig7`]   | Fig. 7 — peak server-side throughput |
 //! | [`mod@experiments::table2`] | Table II — protocol property comparison |
 //! | [`mod@experiments::recovery`] | Beyond the paper: crash-restart catch-up via checkpointed state transfer |
+//! | [`mod@experiments::commit_traffic`] | Beyond the paper: client-driven vs aggregated commit-phase traffic (DESIGN.md §7) |
 //!
 //! The building blocks ([`cluster::ClusterBuilder`], [`family`], [`cost`])
 //! are public so downstream users can script their own deployments.

@@ -253,6 +253,12 @@ pub struct SimNet<M, R> {
     started: bool,
     #[allow(clippy::type_complexity)]
     trace: Option<(Trace, Box<dyn Fn(&M) -> &'static str + Send>)>,
+    /// Per-kind sent-message counters (see [`SimNet::count_kinds`]).
+    #[allow(clippy::type_complexity)]
+    kind_counts: Option<(
+        HashMap<&'static str, u64>,
+        Box<dyn Fn(&M) -> &'static str + Send>,
+    )>,
 }
 
 impl<M, R> fmt::Debug for SimNet<M, R> {
@@ -287,6 +293,7 @@ where
             deliveries: Vec::new(),
             started: false,
             trace: None,
+            kind_counts: None,
         }
     }
 
@@ -304,6 +311,36 @@ where
     /// The recorded trace, if tracing is enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref().map(|(t, _)| t)
+    }
+
+    /// Enables per-kind message counting: every message handed to the
+    /// network (one count per link for broadcasts, after fault filtering —
+    /// the same semantics as [`SimStats::messages_sent`]) is classified by
+    /// `kind` and tallied. Unlike [`SimNet::enable_trace`] this keeps only
+    /// counters, so it is cheap enough for throughput runs — it is what
+    /// messages-per-committed-request experiments are built on.
+    pub fn count_kinds(&mut self, kind: impl Fn(&M) -> &'static str + Send + 'static) {
+        self.kind_counts = Some((HashMap::new(), Box::new(kind)));
+    }
+
+    /// Messages sent so far of `kind` (0 if counting is disabled or the
+    /// kind was never seen).
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.kind_counts
+            .as_ref()
+            .and_then(|(counts, _)| counts.get(kind).copied())
+            .unwrap_or(0)
+    }
+
+    /// All per-kind counters, sorted by kind name (empty if counting is
+    /// disabled).
+    pub fn kind_counts(&self) -> Vec<(&'static str, u64)> {
+        let Some((counts, _)) = &self.kind_counts else {
+            return Vec::new();
+        };
+        let mut v: Vec<(&'static str, u64)> = counts.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_unstable();
+        v
     }
 
     /// Registers a node located in `region`.
@@ -614,6 +651,9 @@ where
                 kind: kind(msg.as_ref()),
             });
         }
+        if let Some((counts, kind)) = &mut self.kind_counts {
+            *counts.entry(kind(msg.as_ref())).or_insert(0) += 1;
+        }
         let Some(from_entry) = self.nodes.get(&from) else {
             return;
         };
@@ -750,6 +790,28 @@ mod tests {
         // Message k arrives at (k+1) * 100us; delivery on receipt of msg 10.
         assert_eq!(sim.deliveries()[0].at, Micros(11 * 100));
         assert!(sim.stats().messages_delivered >= 10);
+    }
+
+    #[test]
+    fn kind_counting_tallies_sent_messages() {
+        let mut sim = two_node_sim();
+        // Classify by parity: pings 0..=10 alternate even/odd.
+        sim.count_kinds(|m| if m % 2 == 0 { "even" } else { "odd" });
+        sim.run_until_deliveries(1);
+        assert_eq!(sim.sent_of_kind("even"), 6); // 0, 2, 4, 6, 8, 10
+        assert_eq!(sim.sent_of_kind("odd"), 5); // 1, 3, 5, 7, 9
+        assert_eq!(sim.sent_of_kind("unknown"), 0);
+        assert_eq!(sim.kind_counts(), vec![("even", 6), ("odd", 5)]);
+        let total: u64 = sim.kind_counts().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, sim.stats().messages_sent, "counters match stats");
+    }
+
+    #[test]
+    fn kind_counting_disabled_returns_zero() {
+        let mut sim = two_node_sim();
+        sim.run_until_deliveries(1);
+        assert_eq!(sim.sent_of_kind("even"), 0);
+        assert!(sim.kind_counts().is_empty());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub trait Application: Clone + Send + 'static {
         + Serialize
         + DeserializeOwned
         + Send
+        + Sync
         + 'static;
 
     /// Executes one command against the state, returning the response.

@@ -97,7 +97,7 @@ pub fn interferes_by_keys(a: &[ConflictKey], b: &[ConflictKey]) -> bool {
 /// payload beyond the interference metadata, and they move commands around
 /// by value (serialising them into messages as needed).
 pub trait Command:
-    Clone + Debug + Eq + Hash + Serialize + DeserializeOwned + Send + 'static
+    Clone + Debug + Eq + Hash + Serialize + DeserializeOwned + Send + Sync + 'static
 {
     /// The conflict keys this command touches.
     fn conflict_keys(&self) -> Vec<ConflictKey>;

@@ -1,10 +1,13 @@
-//! Demonstrate SPECORDER request batching (DESIGN.md §3): the same
-//! follower-bound workload at batch sizes 1, 8 and 32.
+//! Demonstrate SPECORDER request batching (DESIGN.md §3) and instance-level
+//! commit aggregation (DESIGN.md §7): the same follower-bound workload at
+//! batch sizes 1, 8 and 32, with client-driven and replica-driven
+//! commitment side by side.
 //!
 //! ```text
 //! cargo run --release --example batched_throughput
 //! ```
 
+use ezbft::harness::experiments::commit_traffic::COMMIT_KINDS;
 use ezbft::harness::{ClusterBuilder, CostParams, ProtocolKind};
 use ezbft::simnet::Topology;
 use ezbft::smr::Micros;
@@ -13,36 +16,47 @@ fn main() {
     println!("ezBFT simulated throughput vs SPECORDER batch size");
     println!("(LAN topology, 24 closed-loop clients, follower-bound cost model)\n");
     println!(
-        "{:>10}  {:>12}  {:>10}  {:>9}",
-        "batch", "ops/s", "completed", "fast-path"
+        "{:>10}  {:>14}  {:>12}  {:>10}  {:>9}  {:>12}",
+        "batch", "commitment", "ops/s", "completed", "fast-path", "commit m/req"
     );
     for batch in [1usize, 8, 32] {
-        let report = ClusterBuilder::new(ProtocolKind::EzBft)
-            .topology(Topology::lan(4))
-            .clients_per_region(&[6, 6, 6, 6])
-            .requests_per_client(100_000)
-            .cost_model(CostParams {
-                order_msg_us: 100,
-                order_req_us: 200,
-                follow_msg_us: 250,
-                follow_req_us: 50,
-                commit_us: 60,
-                other_us: 80,
-            })
-            .batch_size(batch)
-            .batch_delay(Micros::from_millis(1))
-            .time_limit(Micros::from_secs(3))
-            .seed(11)
-            .run();
-        println!(
-            "{:>10}  {:>12.0}  {:>10}  {:>8.0}%",
-            batch,
-            report.throughput(),
-            report.completed(),
-            report.fast_fraction() * 100.0
-        );
+        for aggregated in [false, true] {
+            let report = ClusterBuilder::new(ProtocolKind::EzBft)
+                .topology(Topology::lan(4))
+                .clients_per_region(&[6, 6, 6, 6])
+                .requests_per_client(100_000)
+                .cost_model(CostParams {
+                    order_msg_us: 100,
+                    order_req_us: 200,
+                    follow_msg_us: 250,
+                    follow_req_us: 50,
+                    commit_us: 60,
+                    ack_us: 40,
+                    other_us: 80,
+                })
+                .batch_size(batch)
+                .batch_delay(Micros::from_millis(1))
+                .commit_aggregation(aggregated)
+                .time_limit(Micros::from_secs(3))
+                .seed(11)
+                .run();
+            println!(
+                "{:>10}  {:>14}  {:>12.0}  {:>10}  {:>8.0}%  {:>12.2}",
+                batch,
+                if aggregated {
+                    "aggregated"
+                } else {
+                    "client-driven"
+                },
+                report.throughput(),
+                report.completed(),
+                report.fast_fraction() * 100.0,
+                report.commit_msgs_per_request(COMMIT_KINDS),
+            );
+        }
     }
-    println!("\nOne SPECORDER now carries a whole batch: followers verify, order and");
-    println!("sign once per batch instead of once per request, and the broadcast");
-    println!("itself is serialized once per fan-out (see DESIGN.md §3).");
+    println!("\nOne SPECORDER carries a whole batch (followers verify, order and sign");
+    println!("once per batch), and with commit aggregation the command leader collects");
+    println!("one SPECACK per follower and broadcasts one certificate per batch instead");
+    println!("of every client broadcasting its own COMMITFAST (DESIGN.md §3, §7).");
 }

@@ -65,6 +65,7 @@ fn cost_model_is_composable_with_any_protocol() {
         follow_msg_us: 30,
         follow_req_us: 20,
         commit_us: 20,
+        ack_us: 15,
         other_us: 10,
     };
     for kind in [ProtocolKind::Pbft, ProtocolKind::Fab] {

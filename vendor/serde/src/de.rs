@@ -607,6 +607,18 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
     }
 }
 
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(std::sync::Arc::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::rc::Rc<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(std::rc::Rc::new)
+    }
+}
+
 impl<'de, T: ?Sized> Deserialize<'de> for PhantomData<T> {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
         struct PhantomVisitor<T: ?Sized>(PhantomData<T>);
