@@ -1,0 +1,87 @@
+//! The final-execution path (DESIGN.md §8): dependency-chain construction,
+//! makespan estimation and real-thread engine throughput, sequential vs
+//! parallel, on mostly-commuting and fully-interfering waves.
+//!
+//! The parallel rows measure actual `std::thread` scope + conflict-keyed
+//! scheduling over the sharded KV store — i.e. the true overhead/speedup
+//! trade-off of [`ezbft_smr::ParallelExecutor`], not the simulator's
+//! makespan model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ezbft_kv::{Key, KvOp, KvStore};
+use ezbft_smr::{
+    estimate_makespan, unit_dependencies, ExecItem, ExecUnit, Executor, Micros, ParallelExecutor,
+    SeqExecutor,
+};
+
+/// A wave of `n` singleton units where ~`commuting_pct`% are blind bumps
+/// on a small set of shared counters and the rest are order-sensitive
+/// increments on one hot key — the shape the replica hands the engine.
+fn wave(n: usize, commuting_pct: usize) -> Vec<ExecUnit<KvOp>> {
+    (0..n)
+        .map(|i| {
+            let cmd = if i % 100 < commuting_pct {
+                KvOp::Bump {
+                    key: Key(u64::MAX - 8 + (i % 8) as u64),
+                    by: 1 + i as u64,
+                }
+            } else {
+                KvOp::Incr {
+                    key: Key(7),
+                    by: 1 + i as u64,
+                }
+            };
+            ExecUnit::from_items(vec![ExecItem {
+                tag: i as u128,
+                cmd,
+            }])
+        })
+        .collect()
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_path/scheduling");
+    for n in [64usize, 512] {
+        let units = wave(n, 90);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(&format!("unit_dependencies_{n}"), |b| {
+            b.iter(|| unit_dependencies(&units))
+        });
+        group.bench_function(&format!("estimate_makespan_w4_{n}"), |b| {
+            b.iter(|| estimate_makespan(&units, 4, Micros(100)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_path/engine");
+    const N: usize = 512;
+    for (label, commuting_pct) in [("commuting90", 90usize), ("interfering", 0)] {
+        let units = wave(N, commuting_pct);
+        group.throughput(Throughput::Elements(N as u64));
+        group.bench_function(&format!("sequential_{label}"), |b| {
+            b.iter_batched(
+                KvStore::new,
+                |mut state| {
+                    <SeqExecutor as Executor<KvStore>>::execute(&SeqExecutor, &mut state, &units)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        for workers in [2usize, 4] {
+            let engine = ParallelExecutor::new(workers);
+            group.bench_function(&format!("parallel_w{workers}_{label}"), |b| {
+                b.iter_batched(
+                    KvStore::new,
+                    |mut state| engine.execute(&mut state, &units),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling, bench_engine);
+criterion_main!(benches);

@@ -118,6 +118,7 @@ impl<A: Application + Snapshotable> ByzantineReplica<A> {
                 Action::SetTimer { id, after } => out.set_timer(id, after),
                 Action::CancelTimer { id } => out.cancel_timer(id),
                 Action::Deliver(d) => out.deliver(d.ts, d.response, d.fast_path),
+                Action::Work { duration } => out.work(duration),
             }
         }
     }

@@ -21,7 +21,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use ezbft_crypto::{Audience, Digest, KeyStore};
 use ezbft_smr::{
-    Actions, ClientId, ClientNode, NodeId, ProtocolNode, ReplicaId, TimerId, Timestamp,
+    Actions, ClientId, ClientNode, Micros, NodeId, ProtocolNode, ReplicaId, TimerId, Timestamp,
 };
 
 use crate::config::EzConfig;
@@ -90,6 +90,9 @@ struct Unconfirmed<C, R> {
     leader: ReplicaId,
     /// The retained `3f + 1` fast certificate.
     cc: Vec<SpecReply<C, R>>,
+    /// When the fallback timer was armed (driver clock): the confirmation
+    /// latency observed from here feeds the adaptive fallback EWMA.
+    armed_at: Micros,
 }
 
 /// The ezBFT client node.
@@ -110,6 +113,13 @@ pub struct Client<C, R> {
     /// reaches the client): matched at completion time so the fallback is
     /// never armed for an already-confirmed instance.
     early_confirm: Option<(InstanceId, ReplicaId, Timestamp)>,
+    /// EWMA (α = 1/8) of the observed commit-confirmation latency, in
+    /// microseconds. The COMMITFAST fallback arms at
+    /// `max(cfg.commit_fallback, 4 × ewma)`: the timer only ever
+    /// *lengthens* under load, so a slow-but-correct leader (piggybacked
+    /// confirms ride the next SPECREPLY) is not punished with spurious
+    /// client-driven commit broadcasts.
+    confirm_ewma_us: Option<u64>,
     stats: ClientStats,
 }
 
@@ -144,6 +154,7 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             pending: None,
             unconfirmed: None,
             early_confirm: None,
+            confirm_ewma_us: None,
             stats: ClientStats::default(),
         }
     }
@@ -221,9 +232,30 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             self.early_confirm = Some((cf.inst, cf.sender, cf.ts));
             return;
         }
-        self.unconfirmed = None;
+        let u = self.unconfirmed.take().expect("matched above");
+        self.observe_confirm_latency(out.now().saturating_sub(u.armed_at));
         self.stats.confirmed += 1;
         out.cancel_timer(self.fallback_timer());
+    }
+
+    /// Feeds one observed confirmation latency into the EWMA behind the
+    /// adaptive fallback delay.
+    fn observe_confirm_latency(&mut self, sample: Micros) {
+        let s = sample.as_micros();
+        self.confirm_ewma_us = Some(match self.confirm_ewma_us {
+            None => s,
+            // EWMA with α = 1/8: new = old + (sample - old) / 8.
+            Some(e) => ((e as i64) + (s as i64 - e as i64) / 8).max(0) as u64,
+        });
+    }
+
+    /// The fallback delay to arm: the configured floor, stretched to four
+    /// observed confirmation latencies once measurements exist.
+    fn adaptive_fallback_delay(&self) -> Micros {
+        match self.confirm_ewma_us {
+            None => self.cfg.commit_fallback,
+            Some(e) => Micros(self.cfg.commit_fallback.as_micros().max(4 * e)),
+        }
     }
 
     fn complete(&mut self, response: R, fast: bool, out: &mut Actions<Msg<C, R>, R>) {
@@ -238,7 +270,14 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
         out.deliver(pending.ts, response, fast);
     }
 
-    fn on_spec_reply(&mut self, reply: SpecReply<C, R>, out: &mut Actions<Msg<C, R>, R>) {
+    fn on_spec_reply(&mut self, mut reply: SpecReply<C, R>, out: &mut Actions<Msg<C, R>, R>) {
+        // Piggybacked confirmations come first, and regardless of whether
+        // the reply itself is still relevant: they refer to *earlier*
+        // requests (DESIGN.md §7). Taking them out also strips the reply
+        // before it can be retained in a commit certificate.
+        for cf in std::mem::take(&mut reply.confirms) {
+            self.on_commit_confirm(cf, out);
+        }
         let Some(pending) = &mut self.pending else {
             return;
         };
@@ -354,8 +393,9 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
                         inst,
                         leader,
                         cc,
+                        armed_at: out.now(),
                     });
-                    out.set_timer(self.fallback_timer(), self.cfg.commit_fallback);
+                    out.set_timer(self.fallback_timer(), self.adaptive_fallback_delay());
                 }
             } else {
                 let msg = Msg::CommitFast(CommitFast {
@@ -603,5 +643,61 @@ impl<C: WirePayload + ezbft_smr::Command, R: WirePayload> ClientNode for Client<
 
     fn in_flight(&self) -> bool {
         self.pending.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezbft_crypto::CryptoKind;
+    use ezbft_smr::ClusterConfig;
+
+    fn client() -> Client<u64, u64> {
+        let cluster = ClusterConfig::for_faults(1);
+        let nodes: Vec<NodeId> = cluster
+            .replicas()
+            .map(NodeId::Replica)
+            .chain([NodeId::Client(ClientId::new(0))])
+            .collect();
+        let keys = KeyStore::cluster(CryptoKind::Mac, b"ewma-test", &nodes)
+            .pop()
+            .expect("client keys");
+        Client::new(
+            ClientId::new(0),
+            EzConfig::new(cluster),
+            keys,
+            ReplicaId::new(0),
+        )
+    }
+
+    #[test]
+    fn fallback_delay_adapts_to_observed_confirm_latency() {
+        let mut c = client();
+        let floor = c.cfg.commit_fallback;
+        // No observations yet: the configured floor.
+        assert_eq!(c.adaptive_fallback_delay(), floor);
+        // First sample seeds the EWMA outright.
+        c.observe_confirm_latency(Micros(500_000));
+        assert_eq!(c.confirm_ewma_us, Some(500_000));
+        // 4× EWMA exceeds the 1.2s floor: the delay stretches.
+        assert_eq!(c.adaptive_fallback_delay(), Micros(2_000_000));
+        // Fast confirmations pull the EWMA down by 1/8 of the error…
+        c.observe_confirm_latency(Micros(100_000));
+        assert_eq!(c.confirm_ewma_us, Some(450_000));
+        // …and the delay never adapts below the configured floor.
+        for _ in 0..100 {
+            c.observe_confirm_latency(Micros(1_000));
+        }
+        assert!(c.confirm_ewma_us.unwrap() < floor.as_micros() / 4);
+        assert_eq!(c.adaptive_fallback_delay(), floor);
+    }
+
+    #[test]
+    fn ewma_handles_samples_below_the_average() {
+        let mut c = client();
+        c.observe_confirm_latency(Micros(800));
+        c.observe_confirm_latency(Micros(0)); // e.g. same-tick confirm
+                                              // 800 + (0 - 800) / 8 = 700; no underflow/overflow.
+        assert_eq!(c.confirm_ewma_us, Some(700));
     }
 }

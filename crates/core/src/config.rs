@@ -58,6 +58,20 @@ pub struct EzConfig {
     /// client-driven COMMITFAST broadcast (leader crashed or lied between
     /// ack collection and the COMMITAGG broadcast).
     pub commit_fallback: Micros,
+    /// Worker threads for the final-execution engine (DESIGN.md §8). `1`
+    /// (the default) uses the sequential executor — bit-for-bit identical
+    /// to the pre-engine behaviour. Larger values drain the committed
+    /// dependency graph with a conflict-keyed worker pool: units with
+    /// disjoint conflict-key sets apply concurrently, while responses, the
+    /// executed log and exactly-once watermarks stay deterministic.
+    pub exec_workers: usize,
+    /// Modelled per-command execution cost charged to the replica after a
+    /// wave executes ([`ezbft_smr::Action::Work`]). `0` (the default) emits
+    /// nothing; under the simulator a non-zero cost makes throughput
+    /// sensitive to the execution makespan, which is what lets
+    /// `exec_workers` show up in simulated ops/s. Ignored by the TCP
+    /// runtime (real execution takes real time there).
+    pub exec_cost_us: u64,
     /// Maximum snapshot bytes per STATECHUNK message during state transfer.
     pub state_chunk_bytes: usize,
     /// How long a recovering replica waits for a usable state-transfer
@@ -79,6 +93,8 @@ impl EzConfig {
             checkpoint_interval: 0,
             commit_aggregation: false,
             commit_fallback: Micros::from_millis(1_200),
+            exec_workers: 1,
+            exec_cost_us: 0,
             state_chunk_bytes: 64 * 1024,
             state_retry: Micros::from_millis(800),
         }
@@ -99,6 +115,19 @@ impl EzConfig {
     /// [`EzConfig::commit_aggregation`]).
     pub fn with_commit_aggregation(mut self) -> Self {
         self.commit_aggregation = true;
+        self
+    }
+
+    /// Sets the execution-engine knobs (see [`EzConfig::exec_workers`] and
+    /// [`EzConfig::exec_cost_us`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is 0.
+    pub fn with_exec_workers(mut self, workers: usize, cost_us: u64) -> Self {
+        assert!(workers >= 1, "exec_workers must be at least 1");
+        self.exec_workers = workers;
+        self.exec_cost_us = cost_us;
         self
     }
 

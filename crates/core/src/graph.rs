@@ -37,11 +37,31 @@ pub struct ExecNode {
 /// `nodes`) has already been finally executed; a dependency that is neither
 /// in `nodes` nor executed blocks its dependents.
 ///
-/// Returns instances in execution order.
+/// Returns instances in execution order (the flattening of
+/// [`execution_units`]).
 pub fn execution_order(
     nodes: &BTreeMap<InstanceId, ExecNode>,
-    mut is_executed: impl FnMut(InstanceId) -> bool,
+    is_executed: impl FnMut(InstanceId) -> bool,
 ) -> Vec<InstanceId> {
+    execution_units(nodes, is_executed)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Computes the executable prefix of the committed-unexecuted set as
+/// *schedulable units*: one `Vec<InstanceId>` per unblocked strongly
+/// connected component, emitted dependencies-first, members in
+/// `(seq, space, slot)` order.
+///
+/// The units are what the parallel execution engine schedules (DESIGN.md
+/// §8): two units may execute concurrently iff their conflict-key unions do
+/// not conflict, which the planner upstream guarantees implies no
+/// dependency edge between them in either direction.
+pub fn execution_units(
+    nodes: &BTreeMap<InstanceId, ExecNode>,
+    mut is_executed: impl FnMut(InstanceId) -> bool,
+) -> Vec<Vec<InstanceId>> {
     if nodes.is_empty() {
         return Vec::new();
     }
@@ -140,7 +160,7 @@ pub fn execution_order(
     // order; an SCC is blocked if a member is directly blocked or points to
     // a blocked SCC.
     let mut scc_blocked = vec![false; sccs.len()];
-    let mut order = Vec::new();
+    let mut units = Vec::new();
     for (i, component) in sccs.iter().enumerate() {
         let mut blocked = component.iter().any(|n| directly_blocked.contains(n));
         if !blocked {
@@ -162,9 +182,9 @@ pub fn execution_order(
         // then slot (slot cannot actually tie: ids are unique).
         let mut members = component.clone();
         members.sort_by_key(|m| (nodes[m].seq, m.space, m.slot));
-        order.extend(members);
+        units.push(members);
     }
-    order
+    units
 }
 
 #[cfg(test)]
@@ -314,6 +334,29 @@ mod tests {
         for w in o.windows(2) {
             assert!(nodes[&w[0]].seq < nodes[&w[1]].seq);
         }
+    }
+
+    #[test]
+    fn units_group_sccs_and_flatten_to_order() {
+        // Cycle {x, y} is one unit; z (depending on the cycle) is its own
+        // unit after it; w independent is its own unit.
+        let (x, y, z, w) = (inst(0, 0), inst(1, 0), inst(2, 0), inst(3, 0));
+        let mut nodes = BTreeMap::new();
+        nodes.insert(x, node(1, &[y]));
+        nodes.insert(y, node(2, &[x]));
+        nodes.insert(z, node(3, &[x]));
+        nodes.insert(w, node(1, &[]));
+        let units = execution_units(&nodes, |_| false);
+        assert_eq!(units.iter().map(Vec::len).sum::<usize>(), 4);
+        let cycle = units
+            .iter()
+            .find(|u| u.contains(&x))
+            .expect("cycle unit present");
+        assert_eq!(cycle, &vec![x, y], "cycle is one unit in seq order");
+        let flat: Vec<_> = units.iter().flatten().copied().collect();
+        assert_eq!(flat, order(&nodes, &[]), "order is the unit flattening");
+        let pos = |v: InstanceId| flat.iter().position(|&i| i == v).unwrap();
+        assert!(pos(x) < pos(z) && pos(y) < pos(z));
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub use byzantine::{Behaviour, ByzantineReplica};
 pub use client::{Client, ClientStats};
 pub use config::EzConfig;
 pub use deps::DepTracker;
-pub use graph::{execution_order, ExecNode};
+pub use graph::{execution_order, execution_units, ExecNode};
 pub use instance::{EntryStatus, ExecRef, InstanceId, OwnerNum};
 pub use msg::{CkptMark, Msg};
 pub use replica::{Replica, ReplicaStats};

@@ -166,6 +166,14 @@ pub struct SpecReply<C, R> {
     /// `SO`: the command-leader's signed SPECORDER header, relayed so the
     /// client can detect leader equivocation (§IV-D step 4.4).
     pub spec_order: SpecOrderHeader,
+    /// Piggybacked COMMITCONFIRMs for this client's *earlier* requests
+    /// (commit aggregation, DESIGN.md §7): the command-leader defers each
+    /// confirmation to the next SPECREPLY it owes the same client instead
+    /// of a dedicated message. Each confirm is self-signed, so the vector
+    /// rides *outside* the reply's signed payload and is stripped before a
+    /// reply is retained in a commit certificate.
+    #[serde(default)]
+    pub confirms: Vec<CommitConfirm>,
     #[serde(skip)]
     _marker: std::marker::PhantomData<C>,
 }
@@ -185,6 +193,7 @@ impl<C, R: WirePayload> SpecReply<C, R> {
             response,
             sig,
             spec_order,
+            confirms: Vec::new(),
             _marker: std::marker::PhantomData,
         }
     }

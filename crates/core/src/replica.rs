@@ -23,12 +23,13 @@ use ezbft_checkpoint::{
 };
 use ezbft_crypto::{Audience, Digest, KeyStore};
 use ezbft_smr::{
-    Actions, Application, ClientId, CloneReplay, Command, Micros, NodeId, ProtocolNode, ReplicaId,
-    TimerId, Timestamp, VoteTally,
+    estimate_makespan, Actions, Application, ClientId, CloneReplay, Command, ExecItem, ExecUnit,
+    Executor, Micros, NodeId, ParallelExecutor, ProtocolNode, ReplicaId, TimerId, Timestamp,
+    VoteTally,
 };
 
 use crate::config::EzConfig;
-use crate::graph::{execution_order, ExecNode};
+use crate::graph::{execution_units, ExecNode};
 use crate::instance::{EntryStatus, ExecRef, InstanceId, OwnerNum};
 use crate::msg::{
     batch_digests, BarrierAck, BarrierCommit, CkptMark, ClientMark, Commit, CommitAgg,
@@ -220,6 +221,10 @@ enum ReplicaTimer {
     /// Recovering: no usable state-transfer response arrived yet;
     /// re-broadcast the STATEREQUEST.
     StateRetry,
+    /// Stashed COMMITCONFIRMs found no SPECREPLY to piggyback on (the
+    /// client went quiet): flush them as dedicated messages before the
+    /// client's COMMITFAST fallback fires (DESIGN.md §7).
+    ConfirmFlush,
 }
 
 /// A locally retained snapshot: the canonical bytes plus the per-space
@@ -282,6 +287,15 @@ pub struct Replica<A: Application> {
     /// the instance commits by any path, so the map is bounded by the
     /// in-flight batch count.
     spec_acks: HashMap<InstanceId, Vec<SpecAck>>,
+    /// Signed COMMITCONFIRMs awaiting a ride: instead of a dedicated
+    /// message per aggregated commit, each confirmation piggybacks on the
+    /// next SPECREPLY this replica owes the same client (DESIGN.md §7).
+    /// Bounded by the clients' in-flight requests; a flush timer sends any
+    /// confirm that finds no ride as a dedicated message, well before the
+    /// client's COMMITFAST fallback would fire.
+    pending_confirms: HashMap<ClientId, Vec<CommitConfirm>>,
+    /// The armed [`ReplicaTimer::ConfirmFlush`], if any.
+    confirm_flush_timer: Option<u64>,
     /// CHECKPOINT vote tallies → stable certificates.
     ckpt_tracker: CheckpointTracker<CkptMark>,
     /// Retained snapshots (at most the stable one plus newer candidates).
@@ -362,6 +376,8 @@ impl<A: Application + Snapshotable> Replica<A> {
             barrier_inflight: None,
             barrier_acks: HashMap::new(),
             spec_acks: HashMap::new(),
+            pending_confirms: HashMap::new(),
+            confirm_flush_timer: None,
             ckpt_tracker: CheckpointTracker::new(),
             snapshots: BTreeMap::new(),
             stable_cut: None,
@@ -1054,7 +1070,12 @@ impl<A: Application + Snapshotable> Replica<A> {
         let header = entry.header.clone();
         let payload = SpecReply::<A::Command, A::Response>::signed_payload(&body, &response);
         let sig = self.keys.sign(&payload, &self.reply_audience(client));
-        let reply = SpecReply::new(body, self.id, response, sig, header);
+        let mut reply = SpecReply::new(body, self.id, response, sig, header);
+        // Attach any COMMITCONFIRMs waiting for this client (self-signed,
+        // outside the reply's signed payload; DESIGN.md §7).
+        if let Some(confirms) = self.pending_confirms.remove(&client) {
+            reply.confirms = confirms;
+        }
         self.clients.entry(client).or_default().cached_spec = Some(reply.clone());
         out.send(NodeId::Client(client), Msg::SpecReply(reply));
     }
@@ -1184,6 +1205,11 @@ impl<A: Application + Snapshotable> Replica<A> {
         out.broadcast(peers, Msg::CommitAgg(ca));
         // One confirmation per batched client: "your certificate is on the
         // wire" — the clients already hold their fast-path responses.
+        // Signed now, but delivered by piggybacking on the next SPECREPLY
+        // this replica owes the client rather than as a dedicated message
+        // (DESIGN.md §7): closed-loop clients always have a next request in
+        // flight, and a confirm that never finds a ride is covered by the
+        // client's COMMITFAST fallback.
         let confirms: Vec<(ClientId, Timestamp)> = self.spaces[inst.space.index()].entries
             [&inst.slot]
             .reqs
@@ -1195,16 +1221,24 @@ impl<A: Application + Snapshotable> Replica<A> {
             let sig = self
                 .keys
                 .sign(&payload, &Audience::nodes([NodeId::Client(client)]));
-            out.send(
-                NodeId::Client(client),
-                Msg::CommitConfirm(CommitConfirm {
+            self.pending_confirms
+                .entry(client)
+                .or_default()
+                .push(CommitConfirm {
                     inst,
                     client,
                     ts,
                     sender: self.id,
                     sig,
-                }),
-            );
+                });
+        }
+        if self.confirm_flush_timer.is_none() {
+            // A quiet client (no further request, hence no SPECREPLY to
+            // ride) must still be confirmed before its fallback fires;
+            // a quarter of the fallback delay leaves ample margin.
+            let delay = Micros(self.cfg.commit_fallback.as_micros() / 4);
+            let id = self.arm_timer(ReplicaTimer::ConfirmFlush, delay, out);
+            self.confirm_flush_timer = Some(id);
         }
         self.stats.agg_commits += 1;
         self.commit_entry(inst, deps, seq, BTreeSet::new(), out);
@@ -1553,7 +1587,7 @@ impl<A: Application + Snapshotable> Replica<A> {
             }
         }
         let spaces = &self.spaces;
-        let order = execution_order(&nodes, |d| {
+        let units = execution_units(&nodes, |d| {
             let space = &spaces[d.space.index()];
             if d.slot < space.compact_floor {
                 return true; // compacted ⇒ executed long ago
@@ -1567,10 +1601,236 @@ impl<A: Application + Snapshotable> Replica<A> {
                 None => space.frozen,
             }
         });
-        for inst in order {
-            self.execute_one(inst, out);
+        if self.cfg.exec_workers <= 1 {
+            // The sequential engine: the pre-engine behaviour, preserved
+            // bit-for-bit (DESIGN.md §8).
+            let before = self.stats.executed;
+            for inst in units.into_iter().flatten() {
+                self.execute_one(inst, out);
+            }
+            if self.cfg.exec_cost_us > 0 {
+                let n = self.stats.executed - before;
+                out.work(Micros(n * self.cfg.exec_cost_us));
+            }
+        } else {
+            self.execute_units_parallel(units, out);
         }
         self.maybe_lead_barrier(out);
+    }
+
+    /// Drains a wave of execution units through the parallel engine
+    /// (DESIGN.md §8). Checkpoint barriers segment the wave: a barrier
+    /// interferes with everything by construction and its execution
+    /// snapshots the state, so every unit before it must fully apply first
+    /// and it runs through the sequential path.
+    fn execute_units_parallel(&mut self, units: Vec<Vec<InstanceId>>, out: &mut Out<A>) {
+        let mut segment: Vec<Vec<InstanceId>> = Vec::new();
+        for unit in units {
+            let has_barrier = unit.iter().any(|inst| {
+                self.spaces[inst.space.index()]
+                    .entries
+                    .get(&inst.slot)
+                    .map(|e| e.reqs.is_empty())
+                    .unwrap_or(false)
+            });
+            if has_barrier {
+                self.execute_segment(std::mem::take(&mut segment), out);
+                for inst in unit {
+                    self.execute_one(inst, out);
+                }
+            } else {
+                segment.push(unit);
+            }
+        }
+        self.execute_segment(segment, out);
+    }
+
+    /// Executes one barrier-free run of units: a sequential prologue makes
+    /// every exactly-once decision in flattened unit order, the worker pool
+    /// applies the surviving commands respecting conflict-key interference,
+    /// and a sequential epilogue publishes responses, the executed log and
+    /// replies — again in flattened unit order, so everything observable is
+    /// deterministic regardless of the physical schedule (DESIGN.md §8).
+    fn execute_segment(&mut self, unit_insts: Vec<Vec<InstanceId>>, out: &mut Out<A>) {
+        if unit_insts.is_empty() {
+            return;
+        }
+
+        /// What the prologue decided for one batch position.
+        enum Decision<R> {
+            /// Fresh request: index of its singleton [`ExecUnit`] in the
+            /// wave-wide unit list.
+            Apply(usize),
+            /// Duplicate at the client's executed watermark: reply with the
+            /// cached response (`Some`), or with the response the watermark
+            /// holder produces earlier in this very wave (`None`).
+            Replay(Option<R>),
+            /// Below the watermark: terminal no-op.
+            Stale,
+        }
+        struct Pos<R> {
+            at: ExecRef,
+            client: ClientId,
+            ts: Timestamp,
+            wants_reply: bool,
+            decision: Decision<R>,
+        }
+
+        // --- Prologue: exactly-once decisions, watermark updates. ---
+        // Every surviving command becomes a *singleton* unit: the per-key
+        // conflict chains in [`ezbft_smr::unit_dependencies`] already pin
+        // interfering commands to the wave's flattened (canonical SCC)
+        // order, while commuting commands — including those inside one
+        // batch — are free to run on different workers.
+        let mut exec_units: Vec<ExecUnit<A::Command>> = Vec::new();
+        let mut plan: Vec<Vec<Pos<A::Response>>> = Vec::with_capacity(unit_insts.len());
+        // Clients whose executed watermark was raised by *this* wave's
+        // prologue (their response materialises in the epilogue).
+        let mut wave_applied: HashMap<ClientId, Timestamp> = HashMap::new();
+        for unit in &unit_insts {
+            let mut positions: Vec<Pos<A::Response>> = Vec::new();
+            for &inst in unit {
+                self.committed_pending.remove(&inst);
+                let (reqs, reply_set) = {
+                    let entry = self.spaces[inst.space.index()]
+                        .entries
+                        .get(&inst.slot)
+                        .expect("executing a known entry");
+                    (Arc::clone(&entry.reqs), entry.reply_on_final.clone())
+                };
+                for (offset, req) in reqs.iter().enumerate() {
+                    let at = inst.at(offset as u32);
+                    let record = self.clients.entry(req.client).or_default();
+                    let decision = if req.ts > record.executed_ts {
+                        record.executed_ts = req.ts;
+                        wave_applied.insert(req.client, req.ts);
+                        exec_units.push(ExecUnit::from_items(vec![ExecItem {
+                            tag: at.tag(),
+                            cmd: req.cmd.clone(),
+                        }]));
+                        Decision::Apply(exec_units.len() - 1)
+                    } else if req.ts == record.executed_ts {
+                        self.engine.invalidate(at.tag());
+                        if wave_applied.get(&req.client) == Some(&req.ts) {
+                            Decision::Replay(None)
+                        } else if let Some(r) = self
+                            .clients
+                            .get(&req.client)
+                            .and_then(|rec| rec.executed_response.clone())
+                        {
+                            Decision::Replay(Some(r))
+                        } else {
+                            Decision::Stale
+                        }
+                    } else {
+                        self.engine.invalidate(at.tag());
+                        Decision::Stale
+                    };
+                    positions.push(Pos {
+                        at,
+                        client: req.client,
+                        ts: req.ts,
+                        wants_reply: reply_set.contains(&at.offset),
+                        decision,
+                    });
+                }
+            }
+            plan.push(positions);
+        }
+
+        // --- Parallel apply on the final state. ---
+        let flat_tags: Vec<u128> = exec_units
+            .iter()
+            .flat_map(|u| u.items.iter().map(|it| it.tag))
+            .collect();
+        let pool = ParallelExecutor::new(self.cfg.exec_workers);
+        let results: Vec<Vec<A::Response>> = self
+            .engine
+            .final_apply_batch(&flat_tags, |state| pool.execute(state, &exec_units));
+        if self.cfg.exec_cost_us > 0 {
+            out.work(estimate_makespan(
+                &exec_units,
+                self.cfg.exec_workers,
+                Micros(self.cfg.exec_cost_us),
+            ));
+        }
+
+        // --- Epilogue: publish in flattened unit order. ---
+        for (unit, positions) in unit_insts.iter().zip(plan) {
+            for pos in positions {
+                let response = match pos.decision {
+                    Decision::Apply(idx) => {
+                        let r = results[idx][0].clone();
+                        let record = self.clients.entry(pos.client).or_default();
+                        record.executed_response = Some(r.clone());
+                        r
+                    }
+                    Decision::Replay(Some(r)) => r,
+                    Decision::Replay(None) => self
+                        .clients
+                        .get(&pos.client)
+                        .and_then(|rec| rec.executed_response.clone())
+                        .expect("watermark holder applied earlier in this wave"),
+                    Decision::Stale => continue,
+                };
+                {
+                    let entry = self.spaces[pos.at.inst.space.index()]
+                        .entries
+                        .get_mut(&pos.at.inst.slot)
+                        .expect("entry exists");
+                    entry.final_responses[pos.at.offset as usize] = Some(response.clone());
+                }
+                self.executed_log.push(pos.at);
+                self.stats.executed += 1;
+                self.executed_since_ckpt += 1;
+                self.executed_since_barrier += 1;
+
+                let stale: Vec<ExecRef> = {
+                    let record = self.clients.entry(pos.client).or_default();
+                    let stale = record
+                        .live
+                        .iter()
+                        .filter(|(ts, dup)| *ts <= pos.ts && *dup != pos.at)
+                        .map(|(_, dup)| *dup)
+                        .collect();
+                    record.live.retain(|(ts, _)| *ts > pos.ts);
+                    stale
+                };
+                for dup in stale {
+                    self.neutralise_if_stale(dup.inst);
+                }
+
+                if pos.wants_reply {
+                    let payload = CommitReply::<A::Response>::signed_payload(
+                        pos.at.inst,
+                        pos.client,
+                        pos.ts,
+                        &response,
+                    );
+                    let sig = self
+                        .keys
+                        .sign(&payload, &Audience::nodes([NodeId::Client(pos.client)]));
+                    let reply = CommitReply {
+                        inst: pos.at.inst,
+                        client: pos.client,
+                        ts: pos.ts,
+                        response,
+                        sender: self.id,
+                        sig,
+                    };
+                    self.clients.entry(pos.client).or_default().cached_commit = Some(reply.clone());
+                    out.send(NodeId::Client(pos.client), Msg::CommitReply(reply));
+                }
+            }
+            for &inst in unit {
+                let entry = self.spaces[inst.space.index()]
+                    .entries
+                    .get_mut(&inst.slot)
+                    .expect("entry exists");
+                entry.status = EntryStatus::Executed;
+                self.maybe_compact(inst.space);
+            }
+        }
     }
 
     fn execute_one(&mut self, inst: InstanceId, out: &mut Out<A>) {
@@ -3084,6 +3344,14 @@ impl<A: Application + Snapshotable> ProtocolNode for Replica<A> {
                 if self.recovering {
                     // No usable response yet: ask again (re-arms itself).
                     self.request_state(out);
+                }
+            }
+            ReplicaTimer::ConfirmFlush => {
+                self.confirm_flush_timer = None;
+                for (client, confirms) in std::mem::take(&mut self.pending_confirms) {
+                    for cf in confirms {
+                        out.send(NodeId::Client(client), Msg::CommitConfirm(cf));
+                    }
                 }
             }
         }

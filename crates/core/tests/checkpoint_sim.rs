@@ -236,7 +236,7 @@ fn crash_restart_state_transfer_rejoins() {
     );
     assert_eq!(
         r3.app().get(Key(1000 + 11)),
-        Some(&vec![11u8; 8]),
+        Some(vec![11u8; 8]),
         "post-recovery command effects present at the recovered replica"
     );
 

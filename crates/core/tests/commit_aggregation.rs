@@ -320,6 +320,56 @@ fn leader_swallowing_commit_agg_falls_back_to_client_driven_commitment() {
 }
 
 #[test]
+fn confirmations_piggyback_on_spec_replies_for_pipelined_clients() {
+    // DESIGN.md §7 follow-on: a pipelined client's next request gives its
+    // replica a SPECREPLY to ride on, so confirmations almost never need a
+    // dedicated COMMITCONFIRM message. Only each client's *final*
+    // confirmation (no further SPECREPLY to that client) goes out on the
+    // flush timer — so dedicated messages are bounded by the client count,
+    // not the request count.
+    const CLIENTS: u64 = 6;
+    const PER_CLIENT: usize = 4;
+    let scripts: Vec<Vec<KvOp>> = (0..CLIENTS)
+        .map(|c| {
+            (0..PER_CLIENT)
+                .map(|i| KvOp::Put {
+                    key: Key(c * 100 + i as u64),
+                    value: vec![c as u8, i as u8],
+                })
+                .collect()
+        })
+        .collect();
+    let mut run = build(&scripts, cfg_with(4, true), 9, None);
+    let total = run.total;
+    run.sim.run_until_deliveries(total);
+    assert_eq!(run.sim.deliveries().len(), total);
+    let settle = run.sim.now() + Micros::from_secs(5);
+    run.sim.run_until_time(settle);
+    let sim = &run.sim;
+
+    let dedicated = sim.sent_of_kind("commit-confirm");
+    assert!(
+        dedicated <= CLIENTS,
+        "at most one flush-timer confirmation per client, got {dedicated} \
+         for {total} requests"
+    );
+    // Every confirmation still arrived: each client confirmed every one of
+    // its requests (the rest rode inside SPECREPLYs).
+    for id in 0..CLIENTS {
+        let client = sim
+            .inspect(NodeId::Client(ClientId::new(id)))
+            .expect("inspectable")
+            .downcast_ref::<ScriptedClient>()
+            .expect("scripted client");
+        assert_eq!(
+            client.inner.stats().confirmed,
+            PER_CLIENT as u64,
+            "client {id} must confirm all requests despite piggybacking"
+        );
+    }
+}
+
+#[test]
 fn aggregation_cuts_commit_messages_per_committed_request_at_batch_8() {
     // ISSUE 3 satellite (c): pin the O(n)-per-request → amortised
     // O(n)-per-batch reduction. 24 one-shot clients into one leader at

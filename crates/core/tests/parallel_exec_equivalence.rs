@@ -1,0 +1,287 @@
+//! Parallel-execution equivalence (DESIGN.md §8): a full cluster run with
+//! `exec_workers > 1` must produce the same executed log, per-client
+//! responses and final KV state as the sequential engine, and must be
+//! deterministic across re-runs — the physical worker schedule varies,
+//! nothing observable may.
+//!
+//! The workloads mix commuting ops (blind `Bump`s on a shared counter)
+//! with interfering ones (`Incr`/`Put` on hot keys), so both the
+//! conflict-ordered and the freely-parallel paths of the engine are on
+//! every run's critical path.
+
+use std::collections::VecDeque;
+
+use ezbft_core::{Client, EzConfig, Msg, Replica};
+use ezbft_crypto::{CryptoKind, KeyStore};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_simnet::{Region, SimConfig, SimNet, Topology};
+use ezbft_smr::{
+    Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
+    Timestamp,
+};
+use proptest::prelude::*;
+
+type KvMsg = Msg<KvOp, KvResponse>;
+
+/// Worker counts to exercise: `EZBFT_TEST_EXEC_WORKERS=<n>` pins a single
+/// count (the CI matrix loop), default covers 2 and 4.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("EZBFT_TEST_EXEC_WORKERS") {
+        Ok(v) => vec![v.parse().expect("EZBFT_TEST_EXEC_WORKERS is a number")],
+        Err(_) => vec![2, 4],
+    }
+}
+
+struct ScriptedClient {
+    inner: Client<KvOp, KvResponse>,
+    script: VecDeque<KvOp>,
+}
+
+impl ScriptedClient {
+    fn pump(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        if !self.inner.in_flight() {
+            if let Some(op) = self.script.pop_front() {
+                self.inner.submit(op, out);
+            }
+        }
+    }
+}
+
+impl ProtocolNode for ScriptedClient {
+    type Message = KvMsg;
+    type Response = KvResponse;
+
+    fn id(&self) -> NodeId {
+        ProtocolNode::id(&self.inner)
+    }
+    fn on_start(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        self.pump(out);
+    }
+    fn on_message(&mut self, from: NodeId, msg: KvMsg, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_message(from, msg, out);
+        self.pump(out);
+    }
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_timer(id, out);
+        self.pump(out);
+    }
+}
+
+/// Everything observable about one run.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    /// Per-client completions: (client, ts, response), sorted.
+    responses: Vec<(NodeId, Timestamp, KvResponse)>,
+    /// Replica 0's final execution order, as commands.
+    command_order: Vec<KvOp>,
+    /// Final-state fingerprints of all four replicas.
+    fingerprints: Vec<u64>,
+}
+
+/// Runs `scripts` (client id → ops, clients spread across regions) to
+/// completion with the given engine worker count and seed.
+fn run(scripts: &[Vec<KvOp>], exec_workers: usize, seed: u64) -> Outcome {
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = EzConfig::new(cluster)
+        .with_batching(3, Micros::from_millis(2))
+        .with_exec_workers(exec_workers, 0);
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    for id in 0..scripts.len() as u64 {
+        nodes.push(NodeId::Client(ClientId::new(id)));
+    }
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"par-exec-equiv", &nodes);
+    let client_stores = stores.split_off(cluster.n());
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(
+        Topology::exp1(),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    for (i, rid) in cluster.replicas().enumerate() {
+        sim.add_node(
+            Region(i),
+            Box::new(Replica::new(rid, cfg, stores.remove(0), KvStore::new())),
+        );
+    }
+    let total: usize = scripts.iter().map(Vec::len).sum();
+    for ((id, script), keys) in scripts.iter().enumerate().zip(client_stores) {
+        // Spread clients over replicas so several spaces commit at once
+        // and waves carry units from different leaders.
+        let nearest = ReplicaId::new((id % cluster.n()) as u8);
+        let client = Client::new(ClientId::new(id as u64), cfg, keys, nearest);
+        sim.add_node(
+            Region(id % cluster.n()),
+            Box::new(ScriptedClient {
+                inner: client,
+                script: script.clone().into(),
+            }),
+        );
+    }
+    sim.run_until_deliveries(total);
+    assert_eq!(
+        sim.deliveries().len(),
+        total,
+        "all requests complete (workers={exec_workers})"
+    );
+    let settle = sim.now() + Micros::from_secs(3);
+    sim.run_until_time(settle);
+
+    let mut responses: Vec<(NodeId, Timestamp, KvResponse)> = sim
+        .deliveries()
+        .iter()
+        .map(|d| (d.client, d.delivery.ts, d.delivery.response.clone()))
+        .collect();
+    responses.sort_by_key(|(c, ts, _)| (*c, *ts));
+
+    let replica = |r: u8| {
+        sim.inspect(NodeId::Replica(ReplicaId::new(r)))
+            .expect("inspectable")
+            .downcast_ref::<Replica<KvStore>>()
+            .expect("honest replica")
+    };
+    let command_order: Vec<KvOp> = replica(0)
+        .executed_log()
+        .iter()
+        .map(|&at| {
+            replica(0)
+                .command_of(at)
+                .expect("executed command is known")
+                .clone()
+        })
+        .collect();
+    let fingerprints: Vec<u64> = (0..4).map(|r| replica(r).app().fingerprint()).collect();
+    // Internal safety: replicas that executed everything agree.
+    let full: Vec<u64> = (0..4u8)
+        .filter(|&r| replica(r).executed_log().len() == replica(0).executed_log().len())
+        .map(|r| replica(r).app().fingerprint())
+        .collect();
+    for w in full.windows(2) {
+        assert_eq!(w[0], w[1], "replica state divergence within one run");
+    }
+    Outcome {
+        responses,
+        command_order,
+        fingerprints,
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        // Commuting: blind bump on the shared counter.
+        2 => (1u64..6).prop_map(|by| KvOp::Bump { key: Key(7), by }),
+        // Interfering: order-visible increment on the same counter.
+        1 => (1u64..6).prop_map(|by| KvOp::Incr { key: Key(7), by }),
+        // Interfering writes on a second hot key.
+        1 => proptest::collection::vec(any::<u8>(), 1..3)
+            .prop_map(|value| KvOp::Put { key: Key(9), value }),
+    ]
+}
+
+/// Interfering pairs must keep their relative order across two runs
+/// (commuting pairs have no canonical cross-instance order).
+fn assert_interfering_order_preserved(sequential: &[KvOp], parallel: &[KvOp]) {
+    use ezbft_smr::Command as _;
+    let pos = |log: &[KvOp], x: &KvOp| log.iter().position(|y| y == x);
+    for (i, a) in sequential.iter().enumerate() {
+        for b in sequential.iter().skip(i + 1) {
+            if !a.interferes(b) {
+                continue;
+            }
+            let (Some(pa), Some(pb)) = (pos(parallel, a), pos(parallel, b)) else {
+                panic!("interfering command missing from parallel order");
+            };
+            assert!(
+                pa < pb,
+                "parallel engine reordered interfering commands: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sequential vs parallel: identical responses, final state, and
+    /// interfering-pair order, for 2 and 4 workers.
+    #[test]
+    fn parallel_cluster_matches_sequential(
+        ops in proptest::collection::vec(op_strategy(), 3..9),
+        seed in 0u64..1000,
+    ) {
+        // One request per client, rewritten client-unique so commands can
+        // be matched positionally across runs.
+        let scripts: Vec<Vec<KvOp>> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let tag = i as u64;
+                let op = match op {
+                    KvOp::Put { value, .. } => {
+                        let mut value = value.clone();
+                        value.push(tag as u8);
+                        KvOp::Put { key: Key(9), value }
+                    }
+                    KvOp::Incr { by, .. } => KvOp::Incr { key: Key(7), by: by + tag * 8 },
+                    KvOp::Bump { by, .. } => KvOp::Bump { key: Key(7), by: by + tag * 8 },
+                    other => other.clone(),
+                };
+                vec![op]
+            })
+            .collect();
+        let sequential = run(&scripts, 1, seed);
+        for workers in worker_counts() {
+            let parallel = run(&scripts, workers, seed);
+            prop_assert_eq!(&sequential.responses, &parallel.responses,
+                "client responses diverge at {} workers", workers);
+            prop_assert_eq!(
+                sequential.command_order.len(), parallel.command_order.len());
+            assert_interfering_order_preserved(
+                &sequential.command_order, &parallel.command_order);
+            prop_assert_eq!(&sequential.fingerprints, &parallel.fingerprints,
+                "final KV state diverges at {} workers", workers);
+        }
+    }
+}
+
+/// Determinism: the same committed graph drained twice through the
+/// 4-worker engine yields the identical executed log (hence identical
+/// per-conflict-class order), responses and state.
+#[test]
+fn parallel_execution_rerun_is_identical() {
+    let workers = worker_counts().pop().expect("at least one count");
+    let scripts: Vec<Vec<KvOp>> = (0..6u64)
+        .map(|c| {
+            vec![
+                KvOp::Bump {
+                    key: Key(7),
+                    by: 1 + c,
+                },
+                KvOp::Incr {
+                    key: Key(7),
+                    by: 100 + c,
+                },
+                KvOp::Put {
+                    key: Key(200 + c),
+                    value: vec![c as u8],
+                },
+            ]
+        })
+        .collect();
+    let first = run(&scripts, workers, 42);
+    let again = run(&scripts, workers, 42);
+    assert_eq!(
+        first.command_order, again.command_order,
+        "executed log must be schedule-independent"
+    );
+    assert_eq!(first.responses, again.responses);
+    assert_eq!(first.fingerprints, again.fingerprints);
+
+    // And the parallel log equals the sequential log outright: the engine
+    // publishes in flattened canonical order, so with the same seed the
+    // whole executed log — not just each conflict class — is preserved.
+    let sequential = run(&scripts, 1, 42);
+    assert_eq!(sequential.command_order, first.command_order);
+    assert_eq!(sequential.responses, first.responses);
+    assert_eq!(sequential.fingerprints, first.fingerprints);
+}

@@ -6,9 +6,23 @@
 //!
 //! `--quick` reduces per-configuration request counts for a fast smoke run;
 //! the default counts match those recorded in EXPERIMENTS.md.
+//!
+//! The `commit_traffic` and `exec_scaling` targets additionally write
+//! their machine-readable summaries to `BENCH_commit_traffic.json` and
+//! `BENCH_exec.json` in the working directory — the per-PR benchmark
+//! artefacts checked in at the repo root.
 
 use ezbft_harness::experiments;
 use ezbft_smr::Micros;
+
+/// Writes a `BENCH_*.json` artefact, reporting rather than aborting on
+/// failure (a read-only checkout still runs the experiment).
+fn write_bench(path: &str, json: &str) {
+    match std::fs::write(path, format!("{json}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
 
 fn run_one(target: &str, quick: bool) -> bool {
     let reqs = if quick { 5 } else { 30 };
@@ -54,6 +68,14 @@ fn run_one(target: &str, quick: bool) -> bool {
             println!("{}", report.render());
             // Machine-readable line for BENCH_*.json-style consumers.
             println!("{}", report.to_json());
+            write_bench("BENCH_commit_traffic.json", &report.to_json());
+        }
+        "exec_scaling" => {
+            let budget = Micros::from_secs(if quick { 1 } else { 3 });
+            let report = experiments::exec_scaling(budget);
+            println!("{}", report.render());
+            println!("{}", report.to_json());
+            write_bench("BENCH_exec.json", &report.to_json());
         }
         "all" => {
             for t in [
@@ -67,6 +89,7 @@ fn run_one(target: &str, quick: bool) -> bool {
                 "ablation",
                 "recovery",
                 "commit_traffic",
+                "exec_scaling",
             ] {
                 run_one(t, quick);
             }
@@ -74,7 +97,7 @@ fn run_one(target: &str, quick: bool) -> bool {
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|recovery|commit_traffic|all] [--quick]"
+                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|recovery|commit_traffic|exec_scaling|all] [--quick]"
             );
             return false;
         }

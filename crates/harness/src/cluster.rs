@@ -175,6 +175,9 @@ pub struct ClusterBuilder {
     batch_delay: Micros,
     checkpoint_interval: u64,
     commit_aggregation: bool,
+    exec_workers: usize,
+    exec_cost_us: u64,
+    commuting_pct: u32,
 }
 
 impl ClusterBuilder {
@@ -198,6 +201,9 @@ impl ClusterBuilder {
             batch_delay: Micros::ZERO,
             checkpoint_interval: 0,
             commit_aggregation: false,
+            exec_workers: 1,
+            exec_cost_us: 0,
+            commuting_pct: 0,
         }
     }
 
@@ -293,6 +299,28 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sets the ezBFT execution-engine knobs (ignored by the baselines;
+    /// DESIGN.md §8): `workers` threads drain the committed dependency
+    /// graph, and each finally-executed command charges `cost_us` of
+    /// modelled service time to its replica. With `workers` = 1 and
+    /// `cost_us` = 0 (the defaults) this is the paper's free, sequential
+    /// execution.
+    pub fn exec_engine(mut self, workers: usize, cost_us: u64) -> Self {
+        assert!(workers >= 1, "exec workers must be at least 1");
+        self.exec_workers = workers;
+        self.exec_cost_us = cost_us;
+        self
+    }
+
+    /// Sets the fraction (percent) of requests that are commuting
+    /// shared-counter bumps ([`ezbft_kv::KvOp::Bump`]); the mostly-commuting
+    /// execution-engine profile uses 90 (DESIGN.md §8).
+    pub fn commuting_pct(mut self, pct: u32) -> Self {
+        assert!(pct <= 100, "commuting percentage is 0..=100");
+        self.commuting_pct = pct;
+        self
+    }
+
     /// Runs the deployment to completion and collects the report.
     ///
     /// # Panics
@@ -318,6 +346,8 @@ impl ClusterBuilder {
             batch_delay: self.batch_delay,
             checkpoint_interval: self.checkpoint_interval,
             commit_aggregation: self.commit_aggregation,
+            exec_workers: self.exec_workers,
+            exec_cost_us: self.exec_cost_us,
         };
 
         // Enumerate nodes: replicas then clients (region-major).
@@ -352,7 +382,10 @@ impl ClusterBuilder {
             let replica = F::replica(setup, rid, stores.remove(0));
             sim.add_node(Region(i), replica);
         }
-        let wl_cfg = WorkloadConfig::with_contention_pct(self.contention_pct);
+        let wl_cfg = WorkloadConfig {
+            commuting: f64::from(self.commuting_pct) / 100.0,
+            ..WorkloadConfig::with_contention_pct(self.contention_pct)
+        };
         for (((id, region), keys), idx) in client_specs.iter().zip(client_stores).zip(0u64..) {
             let nearest = ReplicaId::new(*region as u8);
             let inner = F::client(setup, *id, keys, nearest);

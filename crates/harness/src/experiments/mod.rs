@@ -6,6 +6,7 @@
 
 pub mod ablation;
 pub mod commit_traffic;
+pub mod exec_scaling;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -16,6 +17,7 @@ pub mod table2;
 
 pub use ablation::{ablation, AblationReport};
 pub use commit_traffic::{commit_traffic, CommitTrafficReport};
+pub use exec_scaling::{exec_scaling, ExecScalingReport};
 pub use fig4::{fig4, Fig4Report};
 pub use fig5::{fig5a, fig5b, Fig5aReport, Fig5bReport};
 pub use fig6::{fig6, Fig6Report};

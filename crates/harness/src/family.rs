@@ -26,6 +26,13 @@ pub struct Setup {
     /// ezBFT instance-level commit aggregation (DESIGN.md §7; ignored by
     /// the baselines, `false` = the paper's client-driven commitment).
     pub commit_aggregation: bool,
+    /// ezBFT execution-engine worker count (DESIGN.md §8; ignored by the
+    /// baselines, 1 = the sequential engine).
+    pub exec_workers: usize,
+    /// Modelled per-command final-execution cost in microseconds, charged
+    /// to the replica's service time via [`ezbft_smr::Action::Work`]
+    /// (0 = execution is free, the historical behaviour).
+    pub exec_cost_us: u64,
 }
 
 /// Object-safe client interface used by the workload driver.
@@ -104,7 +111,8 @@ impl ProtocolFamily for EzBftFamily {
         keys: KeyStore,
     ) -> Box<dyn ProtocolNode<Message = Self::Msg, Response = KvResponse>> {
         let mut cfg = ezbft_core::EzConfig::new(setup.cluster)
-            .with_batching(setup.batch_size, setup.batch_delay);
+            .with_batching(setup.batch_size, setup.batch_delay)
+            .with_exec_workers(setup.exec_workers.max(1), setup.exec_cost_us);
         cfg.checkpoint_interval = setup.checkpoint_interval;
         cfg.commit_aggregation = setup.commit_aggregation;
         Box::new(ezbft_core::Replica::new(id, cfg, keys, KvStore::new()))

@@ -54,7 +54,7 @@ impl SpecKvStore {
     pub fn spec_get(&self, key: Key) -> Option<Value> {
         match self.overlay.get(&key) {
             Some(v) => v.clone(),
-            None => self.final_store.get(key).cloned(),
+            None => self.final_store.get(key),
         }
     }
 
@@ -294,7 +294,7 @@ mod tests {
             },
         );
         let restored = SpecKvStore::restore(&s.snapshot()).unwrap();
-        assert_eq!(restored.final_store().get(Key(1)), Some(&vec![1]));
+        assert_eq!(restored.final_store().get(Key(1)), Some(vec![1]));
         assert_eq!(restored.final_store().get(Key(2)), None, "spec excluded");
         assert_eq!(restored.spec_len(), 0);
         assert_eq!(s.state_digest(), restored.state_digest());
@@ -314,6 +314,6 @@ mod tests {
         );
         assert_eq!(s.spec_get(Key(1)), None);
         // Final store still has it until final execution.
-        assert_eq!(s.final_store().get(Key(1)), Some(&vec![9]));
+        assert_eq!(s.final_store().get(Key(1)), Some(vec![9]));
     }
 }

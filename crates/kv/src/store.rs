@@ -1,21 +1,59 @@
 //! The deterministic key-value state machine.
 
 use std::collections::HashMap;
+use std::sync::{PoisonError, RwLock};
 
 use ezbft_checkpoint::{SnapshotError, Snapshotable};
 use ezbft_smr::Application;
 
 use crate::cmd::{Key, KvOp, KvResponse, Value};
 
-/// An in-memory key-value store.
+/// Number of independently locked shards. A fixed count keeps the
+/// key→shard map trivial; 16 comfortably exceeds any worker count the
+/// execution engine runs with.
+const SHARDS: usize = 16;
+
+/// An in-memory key-value store, sharded for parallel final execution.
 ///
 /// Deterministic by construction: every operation's result is a pure
 /// function of the store contents, so replicas applying the same command
 /// sequence converge byte-for-byte (asserted by the cross-replica safety
 /// checker in the integration tests).
-#[derive(Clone, Debug, Default)]
+///
+/// The map is split into 16 lock-protected shards so the parallel
+/// execution engine can apply non-conflicting commands concurrently through
+/// [`Application::apply_shared`]. The exclusive path
+/// ([`Application::apply`]) goes through `RwLock::get_mut` and therefore
+/// pays no synchronisation — sequential behaviour and cost are unchanged.
+#[derive(Debug)]
 pub struct KvStore {
-    map: HashMap<Key, Value>,
+    shards: Vec<RwLock<HashMap<Key, Value>>>,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        KvStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+}
+
+impl Clone for KvStore {
+    fn clone(&self) -> Self {
+        KvStore {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| RwLock::new(s.read().unwrap_or_else(PoisonError::into_inner).clone()))
+                .collect(),
+        }
+    }
+}
+
+fn shard_of(key: Key) -> usize {
+    // Multiplicative spread so adjacent private-keyspace keys don't all
+    // land in one shard.
+    (key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % SHARDS
 }
 
 impl KvStore {
@@ -26,17 +64,42 @@ impl KvStore {
 
     /// Number of keys present.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
-    /// Direct read access (for assertions and state comparison).
-    pub fn get(&self, key: Key) -> Option<&Value> {
-        self.map.get(&key)
+    /// Read access (for assertions and state comparison). Returns an owned
+    /// value: borrows cannot outlive the shard lock.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        self.shards[shard_of(key)]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .cloned()
+    }
+
+    /// All key/value pairs in sorted key order (the canonical view).
+    fn sorted_pairs(&self) -> Vec<(Key, Value)> {
+        let mut pairs: Vec<(Key, Value)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        pairs.sort();
+        pairs
     }
 
     /// A canonical fingerprint of the full state: the sorted key/value
@@ -45,16 +108,13 @@ impl KvStore {
     pub fn fingerprint(&self) -> u64 {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
-        let mut pairs: Vec<(&Key, &Value)> = self.map.iter().collect();
-        pairs.sort();
         let mut h = DefaultHasher::new();
-        pairs.hash(&mut h);
+        self.sorted_pairs().hash(&mut h);
         h.finish()
     }
 
-    fn numeric(&self, key: Key) -> u64 {
-        self.map
-            .get(&key)
+    fn numeric(map: &HashMap<Key, Value>, key: Key) -> u64 {
+        map.get(&key)
             .map(|v| {
                 let mut bytes = [0u8; 8];
                 let n = v.len().min(8);
@@ -63,24 +123,60 @@ impl KvStore {
             })
             .unwrap_or(0)
     }
+
+    /// Applies `cmd` to the shard map that owns its key. Every operation
+    /// touches at most one key, hence exactly one shard.
+    fn apply_to(map: &mut HashMap<Key, Value>, cmd: &KvOp) -> KvResponse {
+        match cmd {
+            KvOp::Get { key } => KvResponse::Value(map.get(key).cloned()),
+            KvOp::Put { key, value } => {
+                map.insert(*key, value.clone());
+                KvResponse::Ok
+            }
+            KvOp::Del { key } => KvResponse::Value(map.remove(key)),
+            KvOp::Cas { key, expect, new } => {
+                let current = map.get(key);
+                if current == expect.as_ref() {
+                    map.insert(*key, new.clone());
+                    KvResponse::Swapped(true)
+                } else {
+                    KvResponse::Swapped(false)
+                }
+            }
+            KvOp::Incr { key, by } => {
+                let next = Self::numeric(map, *key).wrapping_add(*by);
+                map.insert(*key, next.to_le_bytes().to_vec());
+                KvResponse::Counter(next)
+            }
+            KvOp::Bump { key, by } => {
+                let next = Self::numeric(map, *key).wrapping_add(*by);
+                map.insert(*key, next.to_le_bytes().to_vec());
+                KvResponse::Ok
+            }
+            KvOp::Noop => KvResponse::Ok,
+        }
+    }
 }
 
 impl Snapshotable for KvStore {
     /// Canonical encoding: the key/value pairs in sorted key order.
     /// Sorting is what makes checkpoint digests comparable across replicas
-    /// — `HashMap` iteration order would differ even for equal state.
+    /// — shard/`HashMap` iteration order would differ even for equal state.
     fn snapshot(&self) -> Vec<u8> {
-        let mut pairs: Vec<(&Key, &Value)> = self.map.iter().collect();
-        pairs.sort();
-        ezbft_wire::to_bytes(&pairs).expect("kv snapshot encodes")
+        ezbft_wire::to_bytes(&self.sorted_pairs()).expect("kv snapshot encodes")
     }
 
     fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
         let pairs: Vec<(Key, Value)> = ezbft_wire::from_bytes(bytes)
             .map_err(|e| SnapshotError::Malformed(format!("kv pairs: {e:?}")))?;
-        Ok(KvStore {
-            map: pairs.into_iter().collect(),
-        })
+        let mut store = KvStore::new();
+        for (k, v) in pairs {
+            store.shards[shard_of(k)]
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(k, v);
+        }
+        Ok(store)
     }
 }
 
@@ -89,34 +185,31 @@ impl Application for KvStore {
     type Response = KvResponse;
 
     fn apply(&mut self, cmd: &KvOp) -> KvResponse {
-        match cmd {
-            KvOp::Get { key } => KvResponse::Value(self.map.get(key).cloned()),
-            KvOp::Put { key, value } => {
-                self.map.insert(*key, value.clone());
-                KvResponse::Ok
-            }
-            KvOp::Del { key } => KvResponse::Value(self.map.remove(key)),
-            KvOp::Cas { key, expect, new } => {
-                let current = self.map.get(key);
-                if current == expect.as_ref() {
-                    self.map.insert(*key, new.clone());
-                    KvResponse::Swapped(true)
-                } else {
-                    KvResponse::Swapped(false)
-                }
-            }
-            KvOp::Incr { key, by } => {
-                let next = self.numeric(*key).wrapping_add(*by);
-                self.map.insert(*key, next.to_le_bytes().to_vec());
-                KvResponse::Counter(next)
-            }
-            KvOp::Bump { key, by } => {
-                let next = self.numeric(*key).wrapping_add(*by);
-                self.map.insert(*key, next.to_le_bytes().to_vec());
-                KvResponse::Ok
-            }
-            KvOp::Noop => KvResponse::Ok,
+        let Some(key) = cmd.key() else {
+            return KvResponse::Ok; // Noop touches nothing.
+        };
+        // Exclusive access: no lock is taken (`get_mut` proves uniqueness).
+        let map = self.shards[shard_of(key)]
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        Self::apply_to(map, cmd)
+    }
+
+    fn supports_concurrent_apply(&self) -> bool {
+        true
+    }
+
+    fn apply_shared(&self, cmd: &KvOp) -> KvResponse {
+        let Some(key) = cmd.key() else {
+            return KvResponse::Ok; // Noop touches nothing.
+        };
+        let shard = &self.shards[shard_of(key)];
+        if let KvOp::Get { key } = cmd {
+            let map = shard.read().unwrap_or_else(PoisonError::into_inner);
+            return KvResponse::Value(map.get(key).cloned());
         }
+        let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+        Self::apply_to(&mut map, cmd)
     }
 }
 
@@ -169,7 +262,7 @@ mod tests {
             }),
             KvResponse::Swapped(false)
         );
-        assert_eq!(s.get(Key(1)), Some(&vec![1]));
+        assert_eq!(s.get(Key(1)), Some(vec![1]));
         // Right expectation succeeds.
         assert_eq!(
             s.apply(&KvOp::Cas {
@@ -179,7 +272,7 @@ mod tests {
             }),
             KvResponse::Swapped(true)
         );
-        assert_eq!(s.get(Key(1)), Some(&vec![3]));
+        assert_eq!(s.get(Key(1)), Some(vec![3]));
     }
 
     #[test]
@@ -236,7 +329,7 @@ mod tests {
         assert_eq!(a.state_digest(), b.state_digest());
         let restored = KvStore::restore(&a.snapshot()).unwrap();
         assert_eq!(restored.fingerprint(), a.fingerprint());
-        assert_eq!(restored.get(Key(9)), Some(&vec![9u8]));
+        assert_eq!(restored.get(Key(9)), Some(vec![9u8]));
         assert!(KvStore::restore(&[0xFF, 0xFE, 0x01]).is_err());
     }
 
@@ -297,5 +390,63 @@ mod tests {
         let r2 = rev.apply(&ops[0]);
         assert_ne!(r1, r2); // 10 vs 42: responses diverge with order
         assert!(fwd.get(Key(1)).is_some());
+    }
+
+    #[test]
+    fn shared_apply_matches_exclusive_apply() {
+        let mut a = KvStore::new();
+        let b = KvStore::new();
+        let ops = [
+            KvOp::Put {
+                key: Key(3),
+                value: vec![7],
+            },
+            KvOp::Incr { key: Key(4), by: 2 },
+            KvOp::Get { key: Key(3) },
+            KvOp::Cas {
+                key: Key(3),
+                expect: Some(vec![7]),
+                new: vec![8],
+            },
+            KvOp::Del { key: Key(3) },
+            KvOp::Bump { key: Key(4), by: 1 },
+            KvOp::Noop,
+        ];
+        assert!(b.supports_concurrent_apply());
+        for op in &ops {
+            assert_eq!(a.apply(op), b.apply_shared(op), "{op:?}");
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn concurrent_disjoint_applies_converge() {
+        let store = KvStore::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        store.apply_shared(&KvOp::Put {
+                            key: Key(10_000 + t * 1_000 + i),
+                            value: vec![t as u8],
+                        });
+                        store.apply_shared(&KvOp::Bump {
+                            key: Key(42),
+                            by: 1,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 801);
+        let mut check = store.clone();
+        assert_eq!(
+            check.apply(&KvOp::Incr {
+                key: Key(42),
+                by: 0
+            }),
+            KvResponse::Counter(800)
+        );
     }
 }

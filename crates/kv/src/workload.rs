@@ -22,6 +22,13 @@ pub struct WorkloadConfig {
     /// Fraction of *private-key* requests that are reads (hot-key requests
     /// are always writes, since only writes contend).
     pub read_fraction: f64,
+    /// Fraction of requests that are blind increments ([`KvOp::Bump`]) on a
+    /// small set of *shared* counter keys. Bumps on the same key commute
+    /// (the paper's "commutative mutative operation"), so these requests
+    /// interfere with nothing but reads/plain writes of the counters —
+    /// the knob behind the mostly-commuting execution-engine profile
+    /// (DESIGN.md §8). Checked before `contention`.
+    pub commuting: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -31,6 +38,7 @@ impl Default for WorkloadConfig {
             private_keys: 64,
             value_size: 16,
             read_fraction: 0.0,
+            commuting: 0.0,
         }
     }
 }
@@ -41,6 +49,17 @@ impl WorkloadConfig {
     pub fn with_contention_pct(pct: u32) -> Self {
         WorkloadConfig {
             contention: f64::from(pct) / 100.0,
+            ..Default::default()
+        }
+    }
+
+    /// The mostly-commuting profile: 90% shared-counter bumps (commuting),
+    /// 10% private-key writes (disjoint across clients). Almost every pair
+    /// of commands commutes, which is the workload where the parallel
+    /// execution engine should approach worker-count scaling.
+    pub fn mostly_commuting() -> Self {
+        WorkloadConfig {
+            commuting: 0.9,
             ..Default::default()
         }
     }
@@ -57,6 +76,10 @@ pub struct Workload {
 
 /// The single hot key shared by all clients.
 const HOT_KEY: Key = Key(u64::MAX);
+
+/// Shared counter keys used by the commuting fraction of the workload.
+const COUNTER_KEYS: u64 = 8;
+const COUNTER_BASE: u64 = u64::MAX - 1 - COUNTER_KEYS;
 
 impl Workload {
     /// Creates the generator for client number `client_index` (distinct
@@ -78,6 +101,13 @@ impl Workload {
     /// Produces the next operation.
     pub fn next_op(&mut self) -> KvOp {
         self.issued += 1;
+        if self.cfg.commuting > 0.0 && self.rng.gen::<f64>() < self.cfg.commuting {
+            let key = Key(COUNTER_BASE + self.rng.gen_range(0..COUNTER_KEYS));
+            return KvOp::Bump {
+                key,
+                by: 1 + self.issued % 7,
+            };
+        }
         let contended = self.cfg.contention > 0.0 && self.rng.gen::<f64>() < self.cfg.contention;
         if contended {
             return KvOp::Put {
@@ -153,6 +183,35 @@ mod tests {
             .filter(|_| w.next_op().key() == Some(Workload::hot_key()))
             .count();
         assert!((100..400).contains(&hot), "hot={hot}");
+    }
+
+    #[test]
+    fn mostly_commuting_profile_mostly_commutes() {
+        let cfg = WorkloadConfig::mostly_commuting();
+        let mut a = Workload::new(cfg, 0, 9);
+        let mut b = Workload::new(cfg, 1, 9);
+        let (mut bumps, mut conflicts) = (0usize, 0usize);
+        let n = 2_000;
+        for _ in 0..n {
+            let (oa, ob) = (a.next_op(), b.next_op());
+            if matches!(oa, KvOp::Bump { .. }) {
+                bumps += 1;
+            }
+            if oa.interferes(&ob) {
+                conflicts += 1;
+            }
+        }
+        assert!(
+            (1_600..=2_000).contains(&bumps),
+            "~90% bumps expected, got {bumps}/{n}"
+        );
+        // Bumps commute and private keys are disjoint, so cross-client
+        // interference is rare (only bump-vs-nothing mismatches never
+        // conflict; conflicts require both picking... none here).
+        assert!(
+            conflicts < n / 20,
+            "mostly-commuting workload interferes too often: {conflicts}/{n}"
+        );
     }
 
     #[test]

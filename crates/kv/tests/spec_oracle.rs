@@ -80,7 +80,7 @@ proptest! {
             for k in 0..4u64 {
                 prop_assert_eq!(
                     fast.spec_get(Key(k)),
-                    oracle.spec_state().get(Key(k)).cloned(),
+                    oracle.spec_state().get(Key(k)),
                     "spec view diverges at key {}", k
                 );
                 prop_assert_eq!(

@@ -625,6 +625,15 @@ where
                         delivery,
                     });
                 }
+                Action::Work { duration } => {
+                    // Charge local compute: the node's FIFO server stays
+                    // busy for `duration` past the instant the work was
+                    // emitted, so subsequent deliveries queue behind it
+                    // exactly like per-message service time.
+                    if let Some(entry) = self.nodes.get_mut(&origin) {
+                        entry.busy_until = entry.busy_until.max(self.now + duration);
+                    }
+                }
             }
         }
     }

@@ -15,8 +15,10 @@ use crate::command::Command;
 /// workspace replicates an `Application`.
 ///
 /// `Clone` is required so execution engines can maintain a speculative copy
-/// of the state alongside the final one (see [`CloneReplay`]).
-pub trait Application: Clone + Send + 'static {
+/// of the state alongside the final one (see [`CloneReplay`]). `Sync` is
+/// required so the parallel execution engine can share the state across its
+/// worker pool; applications without interior mutability get it for free.
+pub trait Application: Clone + Send + Sync + 'static {
     /// The command type this application executes.
     type Command: Command;
     /// The response returned to the client for each command.
@@ -32,6 +34,32 @@ pub trait Application: Clone + Send + 'static {
 
     /// Executes one command against the state, returning the response.
     fn apply(&mut self, cmd: &Self::Command) -> Self::Response;
+
+    /// Whether [`Application::apply_shared`] is implemented and safe to
+    /// call concurrently for commands whose conflict keys do not conflict.
+    ///
+    /// Defaults to `false`: the parallel executor then degrades to the
+    /// sequential schedule, so applications never have to opt in for
+    /// correctness — only for speed.
+    fn supports_concurrent_apply(&self) -> bool {
+        false
+    }
+
+    /// Executes one command through a shared reference.
+    ///
+    /// Contract (checked only by the implementor): when two in-flight
+    /// `apply_shared` calls carry commands with non-conflicting key sets
+    /// (see [`crate::interferes_by_keys`]), running them concurrently must
+    /// be equivalent to running them in either serial order. The executor
+    /// never issues conflicting commands concurrently.
+    ///
+    /// # Panics
+    ///
+    /// The default panics; it is unreachable while
+    /// [`Application::supports_concurrent_apply`] returns `false`.
+    fn apply_shared(&self, _cmd: &Self::Command) -> Self::Response {
+        unreachable!("apply_shared called on an application that does not support it")
+    }
 }
 
 /// A speculative execution wrapper built from any [`Application`]
@@ -97,6 +125,35 @@ impl<A: Application> CloneReplay<A> {
         }
         self.rebuild_spec();
         resp
+    }
+
+    /// Runs one batched final-execution step directly against the final
+    /// state, then retires `keys` from the speculative log with at most one
+    /// rebuild (versus one per command through [`CloneReplay::final_apply`]).
+    ///
+    /// Contract: `f` must apply exactly the commands tagged by `keys`, in an
+    /// order whose final state matches applying them in `keys` order (the
+    /// parallel executor only reorders commuting commands, which satisfies
+    /// this). When `keys` is exactly the head of the speculative log the
+    /// overlay already accounts for them and no rebuild happens — the batch
+    /// generalisation of the in-order fast path in `final_apply`.
+    pub fn final_apply_batch<T>(&mut self, keys: &[u128], f: impl FnOnce(&mut A) -> T) -> T {
+        let out = f(&mut self.final_state);
+        if keys.is_empty() {
+            return out;
+        }
+        let in_order_prefix = keys.len() <= self.spec_log.len()
+            && self.spec_log[..keys.len()]
+                .iter()
+                .map(|(k, _)| *k)
+                .eq(keys.iter().copied());
+        if in_order_prefix {
+            self.spec_log.drain(..keys.len());
+        } else {
+            self.spec_log.retain(|(k, _)| !keys.contains(k));
+            self.rebuild_spec();
+        }
+        out
     }
 
     /// Discards the speculative execution tagged `key` (if any) and rebuilds

@@ -1,0 +1,452 @@
+//! The execution engine: sequential and conflict-keyed parallel draining of
+//! committed execution units (DESIGN.md §8).
+//!
+//! Protocols hand the engine a *wave* of [`ExecUnit`]s — strongly connected
+//! components of the committed dependency graph, already in a valid
+//! dependencies-first order with a deterministic intra-unit command order.
+//! The engine's contract is that the returned responses (and the resulting
+//! state) are identical to applying the units sequentially in the given
+//! order; [`SeqExecutor`] does exactly that, and [`ParallelExecutor`]
+//! reaches the same result faster by running units whose [`ConflictKey`]
+//! sets do not conflict on different workers simultaneously. Completion
+//! feeds back into a ready-set, so the wave drains as a pipeline rather
+//! than in lockstep rounds.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::app::Application;
+use crate::command::{interferes_by_keys, AccessMode, Command, ConflictKey};
+use crate::time::Micros;
+
+/// One command scheduled for final execution, tagged with a caller-chosen
+/// identity (the ezBFT replica uses its `ExecRef` encoding).
+#[derive(Clone, Debug)]
+pub struct ExecItem<C> {
+    /// Caller-chosen identity of the command.
+    pub tag: u128,
+    /// The command to apply.
+    pub cmd: C,
+}
+
+/// A schedulable unit: one SCC of the committed dependency graph, its
+/// commands already in deterministic intra-unit order.
+#[derive(Clone, Debug)]
+pub struct ExecUnit<C> {
+    /// The unit's commands, in execution order.
+    pub items: Vec<ExecItem<C>>,
+    /// Union of the items' conflict keys (deduplicated).
+    pub keys: Vec<ConflictKey>,
+}
+
+impl<C: Command> ExecUnit<C> {
+    /// Builds a unit from ordered items, computing the key union.
+    pub fn from_items(items: Vec<ExecItem<C>>) -> Self {
+        let mut keys: Vec<ConflictKey> =
+            items.iter().flat_map(|it| it.cmd.conflict_keys()).collect();
+        keys.sort();
+        keys.dedup();
+        ExecUnit { items, keys }
+    }
+
+    /// Whether this unit must be ordered with respect to `other`.
+    pub fn interferes(&self, other: &Self) -> bool {
+        interferes_by_keys(&self.keys, &other.keys)
+    }
+}
+
+/// For each unit, the indices of *earlier* units it must wait for.
+///
+/// Built with per-key access chains rather than the quadratic all-pairs
+/// scan: a writer depends on every access since (and including) the last
+/// writer on the key; a read or commuting write depends on the last writer
+/// plus the non-commuting accesses after it. Exact with respect to
+/// [`AccessMode::conflicts_with`], near-linear in the wave size.
+pub fn unit_dependencies<C>(units: &[ExecUnit<C>]) -> Vec<Vec<usize>> {
+    use std::collections::HashMap;
+    struct KeyChain {
+        last_writer: Option<usize>,
+        since_writer: Vec<(usize, AccessMode)>,
+    }
+    let mut chains: HashMap<u64, KeyChain> = HashMap::new();
+    let mut deps: Vec<Vec<usize>> = Vec::with_capacity(units.len());
+    for (j, unit) in units.iter().enumerate() {
+        let mut mine: Vec<usize> = Vec::new();
+        for ck in &unit.keys {
+            let chain = chains.entry(ck.key).or_insert(KeyChain {
+                last_writer: None,
+                since_writer: Vec::new(),
+            });
+            match ck.mode {
+                AccessMode::Write => {
+                    if let Some(w) = chain.last_writer {
+                        if w != j {
+                            mine.push(w);
+                        }
+                    }
+                    mine.extend(
+                        chain
+                            .since_writer
+                            .iter()
+                            .map(|&(i, _)| i)
+                            .filter(|&i| i != j),
+                    );
+                    chain.last_writer = Some(j);
+                    chain.since_writer.clear();
+                }
+                mode => {
+                    if let Some(w) = chain.last_writer {
+                        if w != j {
+                            mine.push(w);
+                        }
+                    }
+                    mine.extend(
+                        chain
+                            .since_writer
+                            .iter()
+                            .filter(|&&(i, m)| i != j && m.conflicts_with(mode))
+                            .map(|&(i, _)| i),
+                    );
+                    chain.since_writer.push((j, mode));
+                }
+            }
+        }
+        mine.sort_unstable();
+        mine.dedup();
+        deps.push(mine);
+    }
+    deps
+}
+
+/// An execution engine.
+///
+/// `execute` applies a wave of units to `state` and returns one response
+/// vector per unit, in the *given* unit order — deterministic regardless of
+/// the physical schedule.
+pub trait Executor<A: Application>: Send {
+    /// Applies `units` to `state`; responses come back in unit order.
+    fn execute(&self, state: &mut A, units: &[ExecUnit<A::Command>]) -> Vec<Vec<A::Response>>;
+
+    /// The worker count this engine schedules for (1 = sequential).
+    fn workers(&self) -> usize {
+        1
+    }
+}
+
+/// The reference engine: applies every unit in order on the caller's
+/// thread. Preserved verbatim for equivalence testing against
+/// [`ParallelExecutor`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeqExecutor;
+
+impl<A: Application> Executor<A> for SeqExecutor {
+    fn execute(&self, state: &mut A, units: &[ExecUnit<A::Command>]) -> Vec<Vec<A::Response>> {
+        units
+            .iter()
+            .map(|u| u.items.iter().map(|it| state.apply(&it.cmd)).collect())
+            .collect()
+    }
+}
+
+/// Scheduler state shared by the worker pool (everything mutable lives
+/// behind one mutex; the actual `apply_shared` calls happen outside it).
+struct Sched<R> {
+    ready: VecDeque<usize>,
+    remaining: Vec<usize>,
+    results: Vec<Option<Vec<R>>>,
+    outstanding: usize,
+}
+
+/// The conflict-keyed worker pool.
+///
+/// Units are dispatched to `workers` OS threads through a ready-set: a unit
+/// becomes ready once every earlier unit it interferes with has completed,
+/// so disjoint units overlap and the wave drains wave-free. Falls back to
+/// [`SeqExecutor`] when the pool would not help (one worker, one unit) or
+/// when the application does not support concurrent apply
+/// ([`Application::supports_concurrent_apply`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelExecutor {
+    workers: usize,
+}
+
+impl ParallelExecutor {
+    /// Creates an engine scheduling for `workers` threads (min 1).
+    pub fn new(workers: usize) -> Self {
+        ParallelExecutor {
+            workers: workers.max(1),
+        }
+    }
+}
+
+impl<A: Application> Executor<A> for ParallelExecutor {
+    fn execute(&self, state: &mut A, units: &[ExecUnit<A::Command>]) -> Vec<Vec<A::Response>> {
+        if self.workers <= 1 || units.len() <= 1 || !state.supports_concurrent_apply() {
+            return SeqExecutor.execute(state, units);
+        }
+        let deps = unit_dependencies(units);
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
+        let mut remaining: Vec<usize> = vec![0; units.len()];
+        for (j, js_deps) in deps.iter().enumerate() {
+            remaining[j] = js_deps.len();
+            for &i in js_deps {
+                dependents[i].push(j);
+            }
+        }
+        let ready: VecDeque<usize> = (0..units.len()).filter(|&j| remaining[j] == 0).collect();
+        let sched = Mutex::new(Sched {
+            ready,
+            remaining,
+            results: (0..units.len()).map(|_| None).collect(),
+            outstanding: units.len(),
+        });
+        let wake = Condvar::new();
+        let shared: &A = state;
+        let pool = self.workers.min(units.len());
+        std::thread::scope(|s| {
+            for _ in 0..pool {
+                s.spawn(|| loop {
+                    let idx = {
+                        let mut guard = sched.lock().expect("executor scheduler lock");
+                        loop {
+                            if let Some(idx) = guard.ready.pop_front() {
+                                break idx;
+                            }
+                            if guard.outstanding == 0 {
+                                return;
+                            }
+                            guard = wake.wait(guard).expect("executor scheduler wait");
+                        }
+                    };
+                    let responses: Vec<A::Response> = units[idx]
+                        .items
+                        .iter()
+                        .map(|it| shared.apply_shared(&it.cmd))
+                        .collect();
+                    let mut guard = sched.lock().expect("executor scheduler lock");
+                    guard.results[idx] = Some(responses);
+                    guard.outstanding -= 1;
+                    for &d in &dependents[idx] {
+                        guard.remaining[d] -= 1;
+                        if guard.remaining[d] == 0 {
+                            guard.ready.push_back(d);
+                        }
+                    }
+                    wake.notify_all();
+                });
+            }
+        });
+        sched
+            .into_inner()
+            .expect("executor scheduler lock")
+            .results
+            .into_iter()
+            .map(|r| r.expect("every unit executed"))
+            .collect()
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+/// The makespan of a greedy list schedule of `units` over `workers`
+/// workers, with each command costing `per_cmd`.
+///
+/// Used by drivers-facing code to *charge* execution time
+/// ([`crate::Action::Work`]) in the simulator: with one worker this is the
+/// serial sum; with more it shrinks exactly as far as the wave's conflict
+/// structure allows, so simulated speedup depends on true workload
+/// commutativity rather than on an assumed factor.
+pub fn estimate_makespan<C>(units: &[ExecUnit<C>], workers: usize, per_cmd: Micros) -> Micros {
+    if per_cmd == Micros::ZERO || units.is_empty() {
+        return Micros::ZERO;
+    }
+    let workers = workers.max(1);
+    if workers == 1 {
+        let total: u64 = units.iter().map(|u| u.items.len() as u64).sum();
+        return Micros(total * per_cmd.as_micros());
+    }
+    let deps = unit_dependencies(units);
+    let mut finish: Vec<u64> = vec![0; units.len()];
+    let mut free: Vec<u64> = vec![0; workers];
+    for (j, unit) in units.iter().enumerate() {
+        let ready = deps[j].iter().map(|&i| finish[i]).max().unwrap_or(0);
+        let (w, _) = free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &f)| f)
+            .expect("at least one worker");
+        let start = ready.max(free[w]);
+        finish[j] = start + unit.items.len() as u64 * per_cmd.as_micros();
+        free[w] = finish[j];
+    }
+    Micros(finish.into_iter().max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::ConflictKey;
+    use serde::{Deserialize, Serialize};
+    use std::sync::Mutex as StdMutex;
+
+    /// A tiny concurrent-capable app: a set of counters behind one mutex
+    /// (coarse, but enough to validate scheduling and equivalence).
+    #[derive(Debug, Default)]
+    struct Counters {
+        slots: StdMutex<std::collections::HashMap<u64, u64>>,
+    }
+
+    impl Clone for Counters {
+        fn clone(&self) -> Self {
+            Counters {
+                slots: StdMutex::new(self.slots.lock().unwrap().clone()),
+            }
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+    enum Op {
+        Add(u64, u64),
+        Read(u64),
+    }
+
+    impl Command for Op {
+        fn conflict_keys(&self) -> Vec<ConflictKey> {
+            match self {
+                Op::Add(k, _) => vec![ConflictKey::commuting_write(*k)],
+                Op::Read(k) => vec![ConflictKey::read(*k)],
+            }
+        }
+    }
+
+    impl Application for Counters {
+        type Command = Op;
+        type Response = u64;
+        fn apply(&mut self, cmd: &Op) -> u64 {
+            self.apply_shared(cmd)
+        }
+        fn supports_concurrent_apply(&self) -> bool {
+            true
+        }
+        fn apply_shared(&self, cmd: &Op) -> u64 {
+            let mut slots = self.slots.lock().unwrap();
+            match cmd {
+                Op::Add(k, by) => {
+                    let v = slots.entry(*k).or_insert(0);
+                    *v += by;
+                    0
+                }
+                Op::Read(k) => slots.get(k).copied().unwrap_or(0),
+            }
+        }
+    }
+
+    fn unit(ops: Vec<Op>) -> ExecUnit<Op> {
+        ExecUnit::from_items(
+            ops.into_iter()
+                .enumerate()
+                .map(|(i, cmd)| ExecItem {
+                    tag: i as u128,
+                    cmd,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_mixed_wave() {
+        let units: Vec<ExecUnit<Op>> = (0..40)
+            .map(|i| {
+                if i % 5 == 0 {
+                    unit(vec![Op::Add(1, i), Op::Read(1)])
+                } else {
+                    unit(vec![Op::Add(100 + i, 1)])
+                }
+            })
+            .collect();
+        let mut seq_state = Counters::default();
+        let seq =
+            <SeqExecutor as Executor<Counters>>::execute(&SeqExecutor, &mut seq_state, &units);
+        for workers in [2usize, 4, 8] {
+            let mut par_state = Counters::default();
+            let engine = ParallelExecutor::new(workers);
+            let par = engine.execute(&mut par_state, &units);
+            assert_eq!(seq, par, "responses diverge at {workers} workers");
+            assert_eq!(
+                *seq_state.slots.lock().unwrap(),
+                *par_state.slots.lock().unwrap(),
+                "state diverges at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn dependencies_respect_commuting_writes() {
+        // CW, CW, Read on the same key: the read depends on both adds, the
+        // adds do not depend on each other.
+        let units = vec![
+            unit(vec![Op::Add(7, 1)]),
+            unit(vec![Op::Add(7, 2)]),
+            unit(vec![Op::Read(7)]),
+        ];
+        let deps = unit_dependencies(&units);
+        assert_eq!(deps[0], Vec::<usize>::new());
+        assert_eq!(deps[1], Vec::<usize>::new());
+        assert_eq!(deps[2], vec![0, 1]);
+    }
+
+    #[test]
+    fn dependencies_chain_through_writers() {
+        #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        struct W(u64);
+        impl Command for W {
+            fn conflict_keys(&self) -> Vec<ConflictKey> {
+                vec![ConflictKey::write(self.0)]
+            }
+        }
+        let mk = |k| ExecUnit::<W>::from_items(vec![ExecItem { tag: 0, cmd: W(k) }]);
+        // w(1), w(2), w(1): third depends only on first (same key).
+        let units = vec![mk(1), mk(2), mk(1)];
+        let deps = unit_dependencies(&units);
+        assert_eq!(deps[2], vec![0]);
+        assert!(deps[1].is_empty());
+    }
+
+    #[test]
+    fn makespan_serial_and_parallel_bounds() {
+        // Four disjoint single-command units at 100us each.
+        let units: Vec<ExecUnit<Op>> = (0..4).map(|i| unit(vec![Op::Add(i, 1)])).collect();
+        assert_eq!(estimate_makespan(&units, 1, Micros(100)), Micros(400));
+        assert_eq!(estimate_makespan(&units, 4, Micros(100)), Micros(100));
+        // A fully interfering chain cannot go faster than serial.
+        let chain: Vec<ExecUnit<Op>> = (0..4)
+            .map(|_| unit(vec![Op::Read(9), Op::Add(9, 1)]))
+            .collect();
+        assert_eq!(estimate_makespan(&chain, 4, Micros(100)), Micros(800));
+        assert_eq!(estimate_makespan(&chain, 1, Micros(0)), Micros::ZERO);
+    }
+
+    #[test]
+    fn non_concurrent_app_falls_back_to_sequential() {
+        #[derive(Clone, Debug, Default)]
+        struct Plain(u64);
+        impl Application for Plain {
+            type Command = Op;
+            type Response = u64;
+            fn apply(&mut self, cmd: &Op) -> u64 {
+                if let Op::Add(_, by) = cmd {
+                    self.0 += by;
+                }
+                self.0
+            }
+        }
+        let units = vec![unit(vec![Op::Add(1, 2)]), unit(vec![Op::Add(2, 3)])];
+        let mut state = Plain::default();
+        let engine = ParallelExecutor::new(4);
+        let out = engine.execute(&mut state, &units);
+        assert_eq!(out, vec![vec![2], vec![5]]);
+        assert_eq!(state.0, 5);
+    }
+}

@@ -27,6 +27,7 @@
 mod app;
 mod command;
 mod config;
+mod exec;
 mod id;
 mod node;
 mod quorum;
@@ -35,6 +36,10 @@ mod time;
 pub use app::{Application, CloneReplay};
 pub use command::{interferes_by_keys, AccessMode, Command, ConflictKey};
 pub use config::{ClusterConfig, ConfigError};
+pub use exec::{
+    estimate_makespan, unit_dependencies, ExecItem, ExecUnit, Executor, ParallelExecutor,
+    SeqExecutor,
+};
 pub use id::{ClientId, NodeId, ReplicaId};
 pub use node::{Action, Actions, ClientDelivery, ClientNode, ProtocolNode, TimerId};
 pub use quorum::{MatchTally, QuorumSet, VoteTally};

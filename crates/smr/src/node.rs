@@ -83,6 +83,18 @@ pub enum Action<M, R> {
     },
     /// Report a completed client request (client nodes only).
     Deliver(ClientDelivery<R>),
+    /// Charge `duration` of local compute to this node.
+    ///
+    /// Emitted by nodes whose handlers perform modelled work beyond
+    /// per-message processing — today the execution engine, which reports
+    /// the makespan of applying a committed wave (DESIGN.md §8). The
+    /// simulator extends the node's busy window so subsequent deliveries
+    /// queue behind the work; the TCP runtime ignores it (real execution
+    /// takes real time there).
+    Work {
+        /// The span of local compute to charge.
+        duration: Micros,
+    },
 }
 
 /// The action sink handed to a node on every upcall.
@@ -153,6 +165,14 @@ impl<M, R> Actions<M, R> {
     /// Cancels timer `id`.
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.buf.push(Action::CancelTimer { id });
+    }
+
+    /// Charges `duration` of modelled local compute to this node.
+    /// Zero-duration work is dropped (it could have no observable effect).
+    pub fn work(&mut self, duration: Micros) {
+        if duration > Micros::ZERO {
+            self.buf.push(Action::Work { duration });
+        }
     }
 
     /// Reports a completed client request.

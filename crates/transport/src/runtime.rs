@@ -541,6 +541,10 @@ fn apply<M, P>(
             Action::Deliver(d) => {
                 let _ = deliveries.send(d);
             }
+            Action::Work { .. } => {
+                // Modelled compute is a simulator concern; under the real
+                // runtime execution already took real time on this thread.
+            }
         }
     }
 }

@@ -59,4 +59,53 @@ fn main() {
     println!("once per batch), and with commit aggregation the command leader collects");
     println!("one SPECACK per follower and broadcasts one certificate per batch instead");
     println!("of every client broadcasting its own COMMITFAST (DESIGN.md §3, §7).");
+
+    println!("\nParallel final execution on a mostly-commuting workload (DESIGN.md §8)");
+    println!("(90% blind counter bumps, 400µs/command modelled execution cost)\n");
+    println!(
+        "{:>12}  {:>12}  {:>10}  {:>9}",
+        "exec workers", "ops/s", "completed", "fast-path"
+    );
+    let mut base = 0.0f64;
+    for workers in [1usize, 4] {
+        let report = ClusterBuilder::new(ProtocolKind::EzBft)
+            .topology(Topology::lan(4))
+            .clients_per_region(&[6, 6, 6, 6])
+            .requests_per_client(100_000)
+            .cost_model(CostParams {
+                order_msg_us: 40,
+                order_req_us: 30,
+                follow_msg_us: 40,
+                follow_req_us: 20,
+                commit_us: 20,
+                ack_us: 15,
+                other_us: 30,
+            })
+            .batch_size(8)
+            .batch_delay(Micros::from_millis(1))
+            .commit_aggregation(true)
+            .commuting_pct(90)
+            .exec_engine(workers, 400)
+            .time_limit(Micros::from_secs(2))
+            .seed(17)
+            .run();
+        if workers == 1 {
+            base = report.throughput();
+        }
+        println!(
+            "{:>12}  {:>12.0}  {:>10}  {:>8.0}%   ({:.2}x)",
+            workers,
+            report.throughput(),
+            report.completed(),
+            report.fast_fraction() * 100.0,
+            if base > 0.0 {
+                report.throughput() / base
+            } else {
+                0.0
+            },
+        );
+    }
+    println!("\nWith execution on the replicas' critical path, the conflict-keyed worker");
+    println!("pool drains commuting commands concurrently; the speedup is whatever the");
+    println!("wave's conflict structure allows — interfering commands still serialise.");
 }

@@ -145,7 +145,7 @@ fn main() {
             .unwrap()
             .downcast_ref::<Replica<KvStore>>()
             .unwrap();
-        let raw = replica.app().get(account(1)).cloned().unwrap_or_default();
+        let raw = replica.app().get(account(1)).unwrap_or_default();
         let mut bytes = [0u8; 8];
         bytes[..raw.len().min(8)].copy_from_slice(&raw[..raw.len().min(8)]);
         let balance = u64::from_le_bytes(bytes);
