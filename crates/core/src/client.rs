@@ -18,8 +18,10 @@
 //!   command-leader, and eventually rotates to a different replica.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use ezbft_crypto::{Audience, Digest, KeyStore};
+use ezbft_obs::{NullRecorder, Recorder, Stage};
 use ezbft_smr::{
     Actions, ClientId, ClientNode, Micros, NodeId, ProtocolNode, ReplicaId, TimerId, Timestamp,
 };
@@ -30,6 +32,7 @@ use crate::msg::{
     Commit, CommitBody, CommitConfirm, CommitFast, CommitReply, Msg, Pom, Request, SpecOrderHeader,
     SpecReply, WirePayload,
 };
+use crate::telemetry::span_key;
 
 /// Counters exposed for tests and reports.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -121,6 +124,8 @@ pub struct Client<C, R> {
     /// client-driven commit broadcasts.
     confirm_ewma_us: Option<u64>,
     stats: ClientStats,
+    /// Telemetry sink (no-op by default; see [`Client::with_recorder`]).
+    rec: Arc<dyn Recorder>,
 }
 
 impl<C, R> std::fmt::Debug for Client<C, R> {
@@ -156,7 +161,17 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             early_confirm: None,
             confirm_ewma_us: None,
             stats: ClientStats::default(),
+            rec: Arc::new(NullRecorder),
         }
+    }
+
+    /// Attaches a telemetry sink: the client records the `Submit` and
+    /// `Reply` lifecycle stages for each request plus fast/slow/fallback
+    /// counters (DESIGN.md §9). Observation-only — protocol behaviour is
+    /// identical with any recorder.
+    pub fn with_recorder(mut self, rec: Arc<dyn Recorder>) -> Self {
+        self.rec = rec;
+        self
     }
 
     /// This client's id.
@@ -190,6 +205,11 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
         };
         out.cancel_timer(self.fallback_timer());
         self.stats.fallbacks += 1;
+        if self.rec.enabled() {
+            self.rec.counter("client.fallbacks", 1);
+            self.rec
+                .event("client.fallback", "commitfast", out.now().as_micros());
+        }
         let msg = Msg::CommitFast(CommitFast {
             client: self.id,
             inst: u.inst,
@@ -235,6 +255,7 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
         let u = self.unconfirmed.take().expect("matched above");
         self.observe_confirm_latency(out.now().saturating_sub(u.armed_at));
         self.stats.confirmed += 1;
+        self.rec.counter("client.confirmed", 1);
         out.cancel_timer(self.fallback_timer());
     }
 
@@ -266,6 +287,15 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             self.stats.fast += 1;
         } else {
             self.stats.slow += 1;
+        }
+        if self.rec.enabled() {
+            self.rec.stage(
+                span_key(self.id, &pending.req_digest),
+                Stage::Reply,
+                out.now().as_micros(),
+            );
+            self.rec
+                .counter(if fast { "client.fast" } else { "client.slow" }, 1);
         }
         out.deliver(pending.ts, response, fast);
     }
@@ -624,6 +654,13 @@ impl<C: WirePayload + ezbft_smr::Command, R: WirePayload> ClientNode for Client<
             sig,
         };
         let req_digest = req.digest();
+        if self.rec.enabled() {
+            self.rec.stage(
+                span_key(self.id, &req_digest),
+                Stage::Submit,
+                out.now().as_micros(),
+            );
+        }
         out.send(NodeId::Replica(self.preferred), Msg::Request(req));
         out.set_timer(self.slow_timer(), self.cfg.slow_path_delay);
         out.set_timer(self.retry_timer(), self.cfg.retry_delay);

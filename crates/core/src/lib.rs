@@ -54,6 +54,7 @@ mod instance;
 pub mod msg;
 mod owner;
 mod replica;
+mod telemetry;
 
 pub use byzantine::{Behaviour, ByzantineReplica};
 pub use client::{Client, ClientStats};

@@ -22,6 +22,7 @@ use ezbft_checkpoint::{
     StableCheckpoint,
 };
 use ezbft_crypto::{Audience, Digest, KeyStore};
+use ezbft_obs::{NullRecorder, Recorder, Stage};
 use ezbft_smr::{
     estimate_makespan, Actions, Application, ClientId, CloneReplay, Command, ExecItem, ExecUnit,
     Executor, Micros, NodeId, ParallelExecutor, ProtocolNode, ReplicaId, TimerId, Timestamp,
@@ -42,6 +43,7 @@ use crate::owner::{
 };
 
 use crate::deps::DepTracker;
+use crate::telemetry::span_key;
 
 /// One slot's state in an instance space. A slot holds a *batch* of one
 /// or more client requests ordered as a unit (DESIGN.md §3); agreement
@@ -324,6 +326,8 @@ pub struct Replica<A: Application> {
     /// When the state transfer completed (driver clock), for reports.
     recovered_at: Option<Micros>,
     stats: ReplicaStats,
+    /// Telemetry sink (no-op by default; see [`Replica::with_recorder`]).
+    rec: Arc<dyn Recorder>,
 }
 
 impl<A: Application> std::fmt::Debug for Replica<A> {
@@ -390,7 +394,20 @@ impl<A: Application + Snapshotable> Replica<A> {
             st_genesis_donors: BTreeSet::new(),
             recovered_at: None,
             stats: ReplicaStats::default(),
+            rec: Arc::new(NullRecorder),
         }
+    }
+
+    /// Attaches a telemetry sink: the replica records lifecycle stages
+    /// (specorder-accept, ack-collect, commit, exec-ready, exec-done) for
+    /// every request it observes, commit-path counters mirroring
+    /// [`ReplicaStats`], and owner-change events (DESIGN.md §9).
+    /// Observation-only — protocol behaviour and the executed log are
+    /// bit-identical with any recorder (pinned by
+    /// `tests/telemetry_sim.rs`).
+    pub fn with_recorder(mut self, rec: Arc<dyn Recorder>) -> Self {
+        self.rec = rec;
+        self
     }
 
     /// Creates a replica that starts **empty and recovering**: on start it
@@ -732,6 +749,14 @@ impl<A: Application + Snapshotable> Replica<A> {
         }
 
         self.stats.led += reqs.len() as u64;
+        if self.rec.enabled() {
+            self.rec.counter("replica.led", reqs.len() as u64);
+            let now = out.now().as_micros();
+            for (req, digest) in reqs.iter().zip(&header.body.req_digests) {
+                self.rec
+                    .stage(span_key(req.client, digest), Stage::SpecOrderAccept, now);
+            }
+        }
 
         // Broadcast the one SPECORDER to the other replicas
         // (serialize-once fan-out at the driver, see Action::Broadcast).
@@ -1007,6 +1032,18 @@ impl<A: Application + Snapshotable> Replica<A> {
         space.entries.insert(inst.slot, entry);
         space.next_slot = inst.slot + 1;
         self.stats.followed += 1;
+        if self.rec.enabled() {
+            self.rec.counter("replica.followed", 1);
+            let now = out.now().as_micros();
+            let digests = &self.spaces[space_id.index()].entries[&inst.slot]
+                .header
+                .body
+                .req_digests;
+            for (req, digest) in reqs.iter().zip(digests) {
+                self.rec
+                    .stage(span_key(req.client, digest), Stage::SpecOrderAccept, now);
+            }
+        }
 
         for (offset, req) in reqs.iter().enumerate() {
             self.send_spec_reply(inst.at(offset as u32), out);
@@ -1241,6 +1278,15 @@ impl<A: Application + Snapshotable> Replica<A> {
             self.confirm_flush_timer = Some(id);
         }
         self.stats.agg_commits += 1;
+        if self.rec.enabled() {
+            self.rec.counter("replica.agg_commits", 1);
+            let now = out.now().as_micros();
+            let entry = &self.spaces[inst.space.index()].entries[&inst.slot];
+            for (req, digest) in entry.reqs.iter().zip(&entry.header.body.req_digests) {
+                self.rec
+                    .stage(span_key(req.client, digest), Stage::AckCollect, now);
+            }
+        }
         self.commit_entry(inst, deps, seq, BTreeSet::new(), out);
     }
 
@@ -1324,6 +1370,7 @@ impl<A: Application + Snapshotable> Replica<A> {
         }
         self.commit_entry(cf.inst, deps, seq, BTreeSet::new(), out);
         self.stats.fast_commits += 1;
+        self.rec.counter("replica.fast_commits", 1);
     }
 
     fn on_commit(&mut self, cm: Commit<A::Command, A::Response>, out: &mut Out<A>) {
@@ -1384,6 +1431,7 @@ impl<A: Application + Snapshotable> Replica<A> {
             out,
         );
         self.stats.slow_commits += 1;
+        self.rec.counter("replica.slow_commits", 1);
     }
 
     /// Checks a fast-path certificate: `3f + 1` matching, validly signed
@@ -1524,6 +1572,13 @@ impl<A: Application + Snapshotable> Replica<A> {
             entry.status = EntryStatus::Committed;
             entry.reply_on_final.extend(reply_offsets);
             self.max_seq = self.max_seq.max(seq);
+            if self.rec.enabled() {
+                let now = out.now().as_micros();
+                for (req, digest) in entry.reqs.iter().zip(&entry.header.body.req_digests) {
+                    self.rec
+                        .stage(span_key(req.client, digest), Stage::Commit, now);
+                }
+            }
         }
         // Any ack tally for the instance is moot once it committed.
         self.spec_acks.remove(&inst);
@@ -1674,7 +1729,11 @@ impl<A: Application + Snapshotable> Replica<A> {
             ts: Timestamp,
             wants_reply: bool,
             decision: Decision<R>,
+            /// Lifecycle span key, populated only when telemetry is on.
+            key: Option<ezbft_obs::SpanKey>,
         }
+        let telemetry_on = self.rec.enabled();
+        let now_us = out.now().as_micros();
 
         // --- Prologue: exactly-once decisions, watermark updates. ---
         // Every surviving command becomes a *singleton* unit: the per-key
@@ -1691,12 +1750,21 @@ impl<A: Application + Snapshotable> Replica<A> {
             let mut positions: Vec<Pos<A::Response>> = Vec::new();
             for &inst in unit {
                 self.committed_pending.remove(&inst);
-                let (reqs, reply_set) = {
+                let (reqs, reply_set, digests) = {
                     let entry = self.spaces[inst.space.index()]
                         .entries
                         .get(&inst.slot)
                         .expect("executing a known entry");
-                    (Arc::clone(&entry.reqs), entry.reply_on_final.clone())
+                    let digests = if telemetry_on {
+                        entry.header.body.req_digests.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    (
+                        Arc::clone(&entry.reqs),
+                        entry.reply_on_final.clone(),
+                        digests,
+                    )
                 };
                 for (offset, req) in reqs.iter().enumerate() {
                     let at = inst.at(offset as u32);
@@ -1726,12 +1794,17 @@ impl<A: Application + Snapshotable> Replica<A> {
                         self.engine.invalidate(at.tag());
                         Decision::Stale
                     };
+                    let key = digests.get(offset).map(|d| span_key(req.client, d));
+                    if let Some(k) = key {
+                        self.rec.stage(k, Stage::ExecReady, now_us);
+                    }
                     positions.push(Pos {
                         at,
                         client: req.client,
                         ts: req.ts,
                         wants_reply: reply_set.contains(&at.offset),
                         decision,
+                        key,
                     });
                 }
             }
@@ -1743,7 +1816,8 @@ impl<A: Application + Snapshotable> Replica<A> {
             .iter()
             .flat_map(|u| u.items.iter().map(|it| it.tag))
             .collect();
-        let pool = ParallelExecutor::new(self.cfg.exec_workers);
+        let pool =
+            ParallelExecutor::new(self.cfg.exec_workers).with_recorder(Arc::clone(&self.rec));
         let results: Vec<Vec<A::Response>> = self
             .engine
             .final_apply_batch(&flat_tags, |state| pool.execute(state, &exec_units));
@@ -1784,6 +1858,10 @@ impl<A: Application + Snapshotable> Replica<A> {
                 self.stats.executed += 1;
                 self.executed_since_ckpt += 1;
                 self.executed_since_barrier += 1;
+                if let Some(k) = pos.key {
+                    self.rec.counter("replica.executed", 1);
+                    self.rec.stage(k, Stage::ExecDone, now_us);
+                }
 
                 let stale: Vec<ExecRef> = {
                     let record = self.clients.entry(pos.client).or_default();
@@ -1908,6 +1986,18 @@ impl<A: Application + Snapshotable> Replica<A> {
         self.stats.executed += 1;
         self.executed_since_ckpt += 1;
         self.executed_since_barrier += 1;
+        if self.rec.enabled() {
+            self.rec.counter("replica.executed", 1);
+            let now = out.now().as_micros();
+            let body = &self.spaces[at.inst.space.index()].entries[&at.inst.slot]
+                .header
+                .body;
+            if let Some(digest) = body.req_digests.get(at.offset as usize) {
+                let key = span_key(req.client, digest);
+                self.rec.stage(key, Stage::ExecReady, now);
+                self.rec.stage(key, Stage::ExecDone, now);
+            }
+        }
 
         // Neutralise duplicate proposals of this (or an older) request so
         // they cannot block dependents: their offsets are terminal no-ops
@@ -2861,6 +2951,13 @@ impl<A: Application + Snapshotable> Replica<A> {
             return;
         }
         self.oc_started.insert(key, true);
+        if self.rec.enabled() {
+            self.rec.event(
+                "replica.owner_change_started",
+                "startownerchange broadcast",
+                out.now().as_micros(),
+            );
+        }
         let payload = StartOwnerChange::signed_payload(space, owner);
         let sig = self
             .keys
@@ -3153,6 +3250,14 @@ impl<A: Application + Snapshotable> Replica<A> {
         space.committed_to_change = false;
         space.pending_orders.clear();
         self.stats.owner_changes += 1;
+        if self.rec.enabled() {
+            self.rec.counter("replica.owner_changes", 1);
+            self.rec.event(
+                "replica.owner_change_applied",
+                "newowner adopted, space frozen",
+                out.now().as_micros(),
+            );
+        }
 
         self.try_execute(out);
     }

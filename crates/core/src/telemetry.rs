@@ -1,0 +1,16 @@
+//! Span-key derivation for request-lifecycle telemetry (DESIGN.md §9).
+//!
+//! A request is identified across every node that observes it by
+//! `(client, request digest prefix)`: the client derives the key at
+//! submission, replicas re-derive it from the digests riding in
+//! SPECORDER bodies, and the harness joins the per-node observations
+//! into one lifecycle span per request.
+
+use ezbft_crypto::Digest;
+use ezbft_obs::SpanKey;
+use ezbft_smr::ClientId;
+
+/// The span key for `client`'s request with digest `digest`.
+pub(crate) fn span_key(client: ClientId, digest: &Digest) -> SpanKey {
+    SpanKey::from_digest(client.as_u64(), digest.as_bytes())
+}

@@ -1,16 +1,17 @@
 //! CLI for regenerating the paper's tables and figures.
 //!
 //! ```text
-//! experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|all] [--quick]
+//! experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|...|all] [--quick]
 //! ```
 //!
 //! `--quick` reduces per-configuration request counts for a fast smoke run;
 //! the default counts match those recorded in EXPERIMENTS.md.
 //!
-//! The `commit_traffic` and `exec_scaling` targets additionally write
-//! their machine-readable summaries to `BENCH_commit_traffic.json` and
-//! `BENCH_exec.json` in the working directory — the per-PR benchmark
-//! artefacts checked in at the repo root.
+//! The `commit_traffic`, `exec_scaling` and `stage_latency` targets
+//! additionally write their machine-readable summaries to
+//! `BENCH_commit_traffic.json`, `BENCH_exec.json` and
+//! `BENCH_stage_latency.json` in the working directory — the per-PR
+//! benchmark artefacts checked in at the repo root.
 
 use ezbft_harness::experiments;
 use ezbft_smr::Micros;
@@ -77,6 +78,13 @@ fn run_one(target: &str, quick: bool) -> bool {
             println!("{}", report.to_json());
             write_bench("BENCH_exec.json", &report.to_json());
         }
+        "stage_latency" => {
+            let budget = Micros::from_secs(if quick { 1 } else { 3 });
+            let report = experiments::stage_latency(budget);
+            println!("{}", report.render());
+            println!("{}", report.to_json());
+            write_bench("BENCH_stage_latency.json", &report.to_json());
+        }
         "all" => {
             for t in [
                 "table1",
@@ -90,6 +98,7 @@ fn run_one(target: &str, quick: bool) -> bool {
                 "recovery",
                 "commit_traffic",
                 "exec_scaling",
+                "stage_latency",
             ] {
                 run_one(t, quick);
             }
@@ -97,7 +106,7 @@ fn run_one(target: &str, quick: bool) -> bool {
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|recovery|commit_traffic|exec_scaling|all] [--quick]"
+                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|recovery|commit_traffic|exec_scaling|stage_latency|all] [--quick]"
             );
             return false;
         }

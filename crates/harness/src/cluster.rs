@@ -1,10 +1,12 @@
 //! Generic cluster runner: build any protocol's cluster over the WAN
 //! simulator, drive contention-θ workloads, collect latency/throughput.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use ezbft_crypto::{CryptoKind, KeyStore};
 use ezbft_kv::{KvResponse, Workload, WorkloadConfig};
+use ezbft_obs::{Log2Histogram, MemRecorder, Recorder};
 use ezbft_simnet::{Histogram, Region, SimConfig, SimNet, Topology};
 use ezbft_smr::{
     Actions, ClientId, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
@@ -95,6 +97,10 @@ pub struct RunReport {
     pub duration: Micros,
     /// Messages handed to the network, tallied by protocol kind tag.
     pub sent_by_kind: Vec<(&'static str, u64)>,
+    /// Per stage-transition latency histograms keyed `"from->to"` (plus
+    /// `"e2e"`), aggregated from the run's lifecycle spans. Empty unless
+    /// [`ClusterBuilder::telemetry`] was enabled (DESIGN.md §9).
+    pub stage_intervals: BTreeMap<String, Log2Histogram>,
     /// Completion timestamps (virtual) for throughput analysis.
     completions: Vec<Micros>,
 }
@@ -131,6 +137,17 @@ impl RunReport {
         }
         let total: u64 = kinds.iter().map(|k| self.sent_of_kind(k)).sum();
         total as f64 / self.completed() as f64
+    }
+
+    /// `(p50, p99)` of the stage interval `name` in microseconds, from
+    /// the run's lifecycle spans (`None` when telemetry was off or the
+    /// interval was never observed).
+    pub fn stage_latency_us(&self, name: &str) -> Option<(u64, u64)> {
+        let h = self.stage_intervals.get(name)?;
+        if h.count() == 0 {
+            return None;
+        }
+        Some((h.quantile(0.50), h.quantile(0.99)))
     }
 
     /// Fraction of requests that used the fast path.
@@ -178,6 +195,7 @@ pub struct ClusterBuilder {
     exec_workers: usize,
     exec_cost_us: u64,
     commuting_pct: u32,
+    telemetry: bool,
 }
 
 impl ClusterBuilder {
@@ -204,6 +222,7 @@ impl ClusterBuilder {
             exec_workers: 1,
             exec_cost_us: 0,
             commuting_pct: 0,
+            telemetry: false,
         }
     }
 
@@ -321,6 +340,17 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches a shared in-memory telemetry sink to the simulator and
+    /// every node (DESIGN.md §9): the report then carries per-stage
+    /// latency histograms ([`RunReport::stage_intervals`]), and if the
+    /// `EZBFT_OBS_LOG` environment variable names a file the run's
+    /// JSON-lines event log is appended to it. Telemetry is
+    /// observation-only — results are bit-identical with it on or off.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
     /// Runs the deployment to completion and collects the report.
     ///
     /// # Panics
@@ -377,9 +407,22 @@ impl ClusterBuilder {
         if let Some(params) = self.cost {
             sim.set_cost_fn(F::cost_fn(params));
         }
+        let recorder: Option<Arc<MemRecorder>> = if self.telemetry {
+            let rec = Arc::new(MemRecorder::new());
+            sim.set_recorder(rec.clone() as Arc<dyn Recorder>);
+            Some(rec)
+        } else {
+            None
+        };
 
         for (i, rid) in cluster.replicas().enumerate() {
-            let replica = F::replica(setup, rid, stores.remove(0));
+            let replica = match &recorder {
+                Some(rec) => {
+                    let rec: Arc<dyn Recorder> = rec.clone();
+                    F::replica_observed(setup, rid, stores.remove(0), &rec)
+                }
+                None => F::replica(setup, rid, stores.remove(0)),
+            };
             sim.add_node(Region(i), replica);
         }
         let wl_cfg = WorkloadConfig {
@@ -388,7 +431,13 @@ impl ClusterBuilder {
         };
         for (((id, region), keys), idx) in client_specs.iter().zip(client_stores).zip(0u64..) {
             let nearest = ReplicaId::new(*region as u8);
-            let inner = F::client(setup, *id, keys, nearest);
+            let inner = match &recorder {
+                Some(rec) => {
+                    let rec: Arc<dyn Recorder> = rec.clone();
+                    F::client_observed(setup, *id, keys, nearest, &rec)
+                }
+                None => F::client(setup, *id, keys, nearest),
+            };
             let workload = Workload::new(wl_cfg, idx, self.seed);
             sim.add_node(
                 Region(*region),
@@ -432,6 +481,14 @@ impl ClusterBuilder {
             }
         }
 
+        let stage_intervals = match &recorder {
+            Some(rec) => {
+                export_event_log(rec);
+                rec.stage_interval_histograms()
+            }
+            None => BTreeMap::new(),
+        };
+
         RunReport {
             protocol: F::NAME,
             per_region,
@@ -444,8 +501,30 @@ impl ClusterBuilder {
             slow,
             duration: sim.now(),
             sent_by_kind: sim.kind_counts(),
+            stage_intervals,
             completions,
         }
+    }
+}
+
+/// Appends the run's JSON-lines event log to the file named by the
+/// `EZBFT_OBS_LOG` environment variable, if set (DESIGN.md §9). Failures
+/// are reported on stderr rather than aborting the run.
+fn export_event_log(rec: &MemRecorder) {
+    let Ok(path) = std::env::var("EZBFT_OBS_LOG") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write as _;
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(rec.render_jsonl().as_bytes()));
+    if let Err(e) = result {
+        eprintln!("could not append event log to {path}: {e}");
     }
 }
 

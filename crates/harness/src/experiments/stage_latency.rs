@@ -1,0 +1,214 @@
+//! Request-lifecycle stage latency: where does a request spend its time?
+//!
+//! Beyond the paper's end-to-end latency figures, the telemetry layer
+//! (DESIGN.md §9) splits every request's lifetime into protocol stages —
+//! submission, speculative ordering, ack collection, commitment,
+//! execution, reply — and this experiment reports the p50/p99 of each
+//! stage transition across a configuration grid: client-driven vs
+//! aggregated commitment, sequential vs parallel execution. The same
+//! spans that feed this table are exported as JSON lines when
+//! `EZBFT_OBS_LOG` is set.
+
+use std::collections::BTreeMap;
+
+use ezbft_obs::Log2Histogram;
+use ezbft_simnet::Topology;
+use ezbft_smr::Micros;
+
+use crate::cluster::{ClusterBuilder, ProtocolKind};
+use crate::cost::CostParams;
+use crate::report::TextTable;
+
+/// One stage transition's latency summary.
+#[derive(Clone, Copy, Debug)]
+pub struct StageSummary {
+    /// Observations aggregated into the summary.
+    pub count: u64,
+    /// Median latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: u64,
+}
+
+impl StageSummary {
+    fn of(h: &Log2Histogram) -> StageSummary {
+        StageSummary {
+            count: h.count(),
+            p50_us: h.quantile(0.50),
+            p99_us: h.quantile(0.99),
+        }
+    }
+}
+
+/// One configuration's measurement.
+#[derive(Clone, Debug)]
+pub struct StageLatencyRow {
+    /// Human-readable configuration label.
+    pub config: String,
+    /// Whether commit aggregation was on (replica-driven commitment).
+    pub aggregated: bool,
+    /// Execution-engine worker count.
+    pub exec_workers: usize,
+    /// Completed requests.
+    pub completed: usize,
+    /// Per stage-transition summaries, keyed `"from->to"` plus `"e2e"`.
+    pub stages: BTreeMap<String, StageSummary>,
+}
+
+/// The experiment's result set.
+#[derive(Clone, Debug)]
+pub struct StageLatencyReport {
+    /// One row per configuration.
+    pub rows: Vec<StageLatencyRow>,
+}
+
+impl StageLatencyReport {
+    /// Renders one table of (config, stage) latency rows.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["config", "stage", "count", "p50 µs", "p99 µs"]);
+        for row in &self.rows {
+            for (stage, s) in &row.stages {
+                t.row(vec![
+                    row.config.clone(),
+                    stage.clone(),
+                    s.count.to_string(),
+                    s.p50_us.to_string(),
+                    s.p99_us.to_string(),
+                ]);
+            }
+        }
+        format!(
+            "Request-lifecycle stage latency (DESIGN.md §9)\n{}",
+            t.render()
+        )
+    }
+
+    /// Machine-readable summary (the `BENCH_*.json` harness output),
+    /// hand-encoded so the harness stays dependency-free.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let stages: Vec<String> = r
+                    .stages
+                    .iter()
+                    .map(|(name, s)| {
+                        format!(
+                            "\"{}\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                            name, s.count, s.p50_us, s.p99_us
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"config\":\"{}\",\"aggregated\":{},\"exec_workers\":{},\"completed\":{},\"stages\":{{{}}}}}",
+                    r.config,
+                    r.aggregated,
+                    r.exec_workers,
+                    r.completed,
+                    stages.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"experiment\":\"stage_latency\",\"rows\":[{}]}}",
+            rows.join(",")
+        )
+    }
+
+    /// The row for (`aggregated`, `workers`), if measured.
+    pub fn row(&self, aggregated: bool, workers: usize) -> Option<&StageLatencyRow> {
+        self.rows
+            .iter()
+            .find(|r| r.aggregated == aggregated && r.exec_workers == workers)
+    }
+}
+
+/// Runs the stage-latency grid: {client-driven, aggregated} commitment ×
+/// {1, 4} execution workers on the mostly-commuting, execution-bound
+/// profile, `budget` of virtual time each, telemetry on.
+pub fn stage_latency(budget: Micros) -> StageLatencyReport {
+    let run = |aggregated: bool, workers: usize| {
+        ClusterBuilder::new(ProtocolKind::EzBft)
+            .topology(Topology::lan(4))
+            .clients_per_region(&[4, 4, 4, 4])
+            .requests_per_client(1_000_000)
+            .cost_model(CostParams {
+                order_msg_us: 40,
+                order_req_us: 30,
+                follow_msg_us: 40,
+                follow_req_us: 20,
+                commit_us: 20,
+                ack_us: 15,
+                other_us: 30,
+            })
+            .batch_size(8)
+            .batch_delay(Micros::from_millis(1))
+            .commit_aggregation(aggregated)
+            .commuting_pct(90)
+            .exec_engine(workers, 400)
+            .telemetry(true)
+            .time_limit(budget)
+            .seed(23)
+            .run()
+    };
+    let mut rows = Vec::new();
+    for (aggregated, workers) in [(false, 1), (false, 4), (true, 1), (true, 4)] {
+        let report = run(aggregated, workers);
+        let stages: BTreeMap<String, StageSummary> = report
+            .stage_intervals
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| (name.clone(), StageSummary::of(h)))
+            .collect();
+        rows.push(StageLatencyRow {
+            config: format!(
+                "{}+{}w",
+                if aggregated {
+                    "aggregated"
+                } else {
+                    "client-driven"
+                },
+                workers
+            ),
+            aggregated,
+            exec_workers: workers,
+            completed: report.completed(),
+            stages,
+        });
+    }
+    StageLatencyReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_latency_reports_per_stage_quantiles_for_every_config() {
+        let report = stage_latency(Micros::from_millis(500));
+        assert_eq!(report.rows.len(), 4);
+        for row in &report.rows {
+            assert!(row.completed > 0, "{}: no progress", row.config);
+            let e2e = row.stages.get("e2e").expect("e2e interval observed");
+            assert!(e2e.count > 0 && e2e.p50_us > 0 && e2e.p99_us >= e2e.p50_us);
+            // At least submit->… and …->reply transitions beyond e2e.
+            assert!(
+                row.stages.len() >= 3,
+                "{}: expected a stage breakdown, got {:?}",
+                row.config,
+                row.stages.keys().collect::<Vec<_>>()
+            );
+        }
+        // The ack-collect stage only exists under aggregation.
+        let agg = report.row(true, 1).expect("aggregated row");
+        assert!(
+            agg.stages.keys().any(|k| k.contains("ack_collect")),
+            "aggregated commitment must surface the ack-collect stage"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\":\"stage_latency\""));
+        assert!(json.contains("\"stages\""));
+        assert!(json.contains("\"p99_us\""));
+    }
+}

@@ -1,8 +1,11 @@
 //! Protocol families: a uniform constructor/cost interface over ezBFT and
 //! the three baselines, all replicating the KV store.
 
+use std::sync::Arc;
+
 use ezbft_crypto::KeyStore;
 use ezbft_kv::{KvOp, KvResponse, KvStore};
+use ezbft_obs::Recorder;
 use ezbft_smr::{
     Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId,
 };
@@ -78,6 +81,30 @@ pub trait ProtocolFamily: 'static {
         keys: KeyStore,
         nearest: ReplicaId,
     ) -> Box<dyn DynClient<Self::Msg>>;
+
+    /// Builds a replica with a telemetry sink attached. Families without
+    /// instrumentation ignore the recorder (the default), which keeps the
+    /// stage-latency harness uniform across protocols.
+    fn replica_observed(
+        setup: Setup,
+        id: ReplicaId,
+        keys: KeyStore,
+        _recorder: &Arc<dyn Recorder>,
+    ) -> Box<dyn ProtocolNode<Message = Self::Msg, Response = KvResponse>> {
+        Self::replica(setup, id, keys)
+    }
+
+    /// Builds a client with a telemetry sink attached (see
+    /// [`ProtocolFamily::replica_observed`]).
+    fn client_observed(
+        setup: Setup,
+        id: ClientId,
+        keys: KeyStore,
+        nearest: ReplicaId,
+        _recorder: &Arc<dyn Recorder>,
+    ) -> Box<dyn DynClient<Self::Msg>> {
+        Self::client(setup, id, keys, nearest)
+    }
 
     /// Classifies a message for the cost model.
     fn cost_bucket(msg: &Self::Msg) -> CostBucket;
@@ -156,6 +183,39 @@ impl ProtocolFamily for EzBftFamily {
 
     fn msg_kind(msg: &Self::Msg) -> &'static str {
         msg.kind()
+    }
+
+    fn replica_observed(
+        setup: Setup,
+        id: ReplicaId,
+        keys: KeyStore,
+        recorder: &Arc<dyn Recorder>,
+    ) -> Box<dyn ProtocolNode<Message = Self::Msg, Response = KvResponse>> {
+        let mut cfg = ezbft_core::EzConfig::new(setup.cluster)
+            .with_batching(setup.batch_size, setup.batch_delay)
+            .with_exec_workers(setup.exec_workers.max(1), setup.exec_cost_us);
+        cfg.checkpoint_interval = setup.checkpoint_interval;
+        cfg.commit_aggregation = setup.commit_aggregation;
+        Box::new(
+            ezbft_core::Replica::new(id, cfg, keys, KvStore::new())
+                .with_recorder(Arc::clone(recorder)),
+        )
+    }
+
+    fn client_observed(
+        setup: Setup,
+        id: ClientId,
+        keys: KeyStore,
+        nearest: ReplicaId,
+        recorder: &Arc<dyn Recorder>,
+    ) -> Box<dyn DynClient<Self::Msg>> {
+        let mut cfg = ezbft_core::EzConfig::new(setup.cluster)
+            .with_batching(setup.batch_size, setup.batch_delay);
+        cfg.commit_aggregation = setup.commit_aggregation;
+        Box::new(
+            ezbft_core::Client::<KvOp, KvResponse>::new(id, cfg, keys, nearest)
+                .with_recorder(Arc::clone(recorder)),
+        )
     }
 }
 

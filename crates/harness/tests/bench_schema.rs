@@ -1,0 +1,285 @@
+//! Schema sanity for the checked-in `BENCH_*.json` artefacts.
+//!
+//! Every benchmark artefact at the repo root must parse as JSON and
+//! carry the shared envelope: an object with a string `"experiment"`
+//! field and a non-empty `"rows"` array of objects. The parser is
+//! hand-rolled (the workspace is dependency-free) and strict enough for
+//! the harness's own hand-encoded output.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (no number fidelity beyond f64 — plenty for a
+/// schema check).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser::new(text);
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at {}", b as char, self.pos))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("bad object at {}: {other:?}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("bad array at {}: {other:?}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b"+-.eE0123456789".contains(&b)) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number at {start}: {e}"))
+    }
+}
+
+/// The repo root (two levels above the harness crate).
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn every_checked_in_bench_artefact_has_the_required_schema() {
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(repo_root()).expect("repo root lists") {
+        let path = entry.expect("dir entry").path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("artefact reads");
+        let value =
+            Parser::parse(text.trim()).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"));
+        let obj = value
+            .as_obj()
+            .unwrap_or_else(|| panic!("{name}: not an object"));
+        let experiment = obj
+            .get("experiment")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{name}: missing string \"experiment\""));
+        assert!(!experiment.is_empty(), "{name}: empty experiment name");
+        let rows = obj
+            .get("rows")
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("{name}: missing array \"rows\""));
+        assert!(!rows.is_empty(), "{name}: empty rows");
+        for (i, row) in rows.iter().enumerate() {
+            assert!(row.as_obj().is_some(), "{name}: rows[{i}] is not an object");
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "expected the checked-in BENCH artefacts at the repo root, found {checked}"
+    );
+}
+
+#[test]
+fn parser_round_trips_the_harness_envelope() {
+    let text =
+        r#"{"experiment":"x","nested":{"a":[1,2.5,-3e2]},"rows":[{"ok":true,"s":"q\"uote"}]}"#;
+    let v = Parser::parse(text).expect("parses");
+    let obj = v.as_obj().expect("object");
+    assert_eq!(obj["experiment"].as_str(), Some("x"));
+    assert_eq!(obj["rows"].as_arr().map(<[Json]>::len), Some(1));
+    let row = obj["rows"].as_arr().unwrap()[0].as_obj().expect("row obj");
+    assert_eq!(row["ok"], Json::Bool(true));
+    assert_eq!(row["s"].as_str(), Some("q\"uote"));
+    assert!(Parser::parse("{\"unterminated\":").is_err());
+    assert!(Parser::parse("[1,2,]").is_err());
+}

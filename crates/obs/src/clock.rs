@@ -1,0 +1,101 @@
+//! Pluggable time sources for recorders that run outside a sans-io
+//! `Actions` sink (transport I/O threads, simulator internals).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic microsecond clock.
+///
+/// The protocol crates themselves take timestamps from the `Actions`
+/// sink (`out.now()`), which is virtual in the simulator and wall-clock
+/// in the TCP runtime; `Clock` covers the code that records telemetry
+/// *without* a sink in hand — per-connection transport threads use
+/// [`WallClock`], the simulator mirrors its virtual time into a
+/// [`ManualClock`].
+pub trait Clock: Send + Sync {
+    /// Current time in microseconds since the clock's epoch.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall-clock time, anchored at construction.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+/// A manually-advanced clock for virtual-time environments.
+///
+/// The simulator sets it to the current virtual time before dispatching
+/// each event, so telemetry recorded from inside simulated nodes carries
+/// deterministic timestamps.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_us: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current time (monotonicity is the caller's contract).
+    pub fn set(&self, now_us: u64) {
+        self.now_us.store(now_us, Ordering::Relaxed);
+    }
+
+    /// Advances the clock by `delta_us` and returns the new reading.
+    pub fn advance(&self, delta_us: u64) -> u64 {
+        self.now_us.fetch_add(delta_us, Ordering::Relaxed) + delta_us
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_set_and_advance() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.set(100);
+        assert_eq!(c.now_us(), 100);
+        assert_eq!(c.advance(50), 150);
+        assert_eq!(c.now_us(), 150);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+}

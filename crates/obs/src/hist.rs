@@ -1,0 +1,214 @@
+//! A fixed-size power-of-two-bucketed histogram.
+
+/// A log2-bucketed histogram over `u64` samples.
+///
+/// Sample `v` lands in bucket `⌊log2 v⌋ + 1` (zero in bucket 0), so the
+/// 65 buckets cover the full `u64` range with constant-time recording
+/// and no allocation after construction — cheap enough to stay on by
+/// default in the protocol hot path. Quantiles are resolved to the
+/// midpoint of the containing bucket, clamped to the observed min/max:
+/// exact within a factor of two, which is the advertised contract (the
+/// agreement with an exact sort-based quantile is pinned by tests in
+/// `ezbft-simnet`).
+#[derive(Clone, Debug)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample. Constant time, no allocation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), resolved to the midpoint of the
+    /// bucket containing the quantile rank and clamped to the observed
+    /// `[min, max]`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = Self::bucket_bounds(b);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Inclusive sample range `[lo, hi]` of bucket `b`.
+    fn bucket_bounds(b: usize) -> (u64, u64) {
+        if b == 0 {
+            (0, 0)
+        } else {
+            (1u64 << (b - 1), (1u64 << (b - 1)) + ((1u64 << (b - 1)) - 1))
+        }
+    }
+
+    /// Index of the bucket `v` falls into — exposed so tests can assert
+    /// that a bucketed quantile agrees with an exact one "within one
+    /// bucket".
+    pub fn bucket_index(v: u64) -> usize {
+        Self::bucket_of(v)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantile_midpoint_within_bucket() {
+        let mut h = Log2Histogram::new();
+        for v in [10u64, 11, 12, 13, 14, 15] {
+            h.record(v);
+        }
+        // All samples in bucket [8, 15]; midpoint is 11, clamped to [10, 15].
+        let q = h.quantile(0.5);
+        assert_eq!(
+            Log2Histogram::bucket_index(q),
+            Log2Histogram::bucket_index(10)
+        );
+        assert!((10..=15).contains(&q));
+    }
+
+    #[test]
+    fn stats_track_min_max_sum() {
+        let mut h = Log2Histogram::new();
+        h.record(5);
+        h.record(100);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 105);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Log2Histogram::new();
+        a.record(4);
+        let mut b = Log2Histogram::new();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 4);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_min_and_max_buckets() {
+        let mut h = Log2Histogram::new();
+        for v in [1u64, 2, 4, 8, 1 << 20] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        let p100 = h.quantile(1.0);
+        assert_eq!(
+            Log2Histogram::bucket_index(p100),
+            Log2Histogram::bucket_index(1 << 20)
+        );
+    }
+}

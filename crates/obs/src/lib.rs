@@ -1,0 +1,45 @@
+//! Zero-dependency instrumentation layer shared by every crate in the
+//! workspace: counters, gauges, bucketed log2 histograms, and
+//! request-scoped *lifecycle spans* that record per-stage timestamps for
+//! a request as it moves through the protocol (DESIGN.md §9).
+//!
+//! The layer is observation-only by construction: the [`Recorder`] trait
+//! takes `&self`, returns nothing, and the protocol code never branches
+//! on recorded state. The default [`NullRecorder`] makes every call a
+//! no-op with zero allocations, so instrumentation can stay compiled-in
+//! and enabled-by-default; [`MemRecorder`] aggregates in memory for the
+//! harness and tests.
+//!
+//! Timestamps come from whoever drives the protocol — virtual time in
+//! the simulator, wall-clock time in the TCP transport — via the
+//! [`Clock`] trait ([`ManualClock`] / [`WallClock`]) or directly as
+//! microsecond values where the caller already has a clock (the sans-io
+//! `Actions::now()`).
+//!
+//! # Example
+//!
+//! ```
+//! use ezbft_obs::{MemRecorder, Recorder, SpanKey, Stage};
+//!
+//! let rec = MemRecorder::new();
+//! let key = SpanKey { client: 7, req: 0xabcd };
+//! rec.stage(key, Stage::Submit, 1_000);
+//! rec.stage(key, Stage::Commit, 1_450);
+//! rec.stage(key, Stage::Reply, 1_500);
+//! let span = rec.span(key).unwrap();
+//! assert_eq!(span.duration_us(), Some(500));
+//! assert_eq!(span.at(Stage::Commit), Some(1_450));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod clock;
+mod hist;
+mod recorder;
+mod span;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use hist::Log2Histogram;
+pub use recorder::{MemRecorder, NullRecorder, Recorder};
+pub use span::{Span, SpanKey, Stage};

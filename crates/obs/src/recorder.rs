@@ -1,0 +1,356 @@
+//! The [`Recorder`] sink trait and its two stock implementations.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::hist::Log2Histogram;
+use crate::span::{Span, SpanKey, Stage};
+
+/// A telemetry sink.
+///
+/// Every method takes `&self` and returns nothing: instrumentation is
+/// observation-only, and implementations must tolerate concurrent calls
+/// (the parallel execution engine and transport I/O threads record from
+/// worker threads). Callers guard any work needed *to produce* an
+/// argument (formatting a label, hashing a digest) behind
+/// [`Recorder::enabled`]; the calls themselves must be cheap no-ops on a
+/// disabled recorder.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder keeps anything. `false` lets callers skip
+    /// argument preparation; the record methods must still be safe to
+    /// call.
+    fn enabled(&self) -> bool;
+
+    /// Adds `delta` to the monotonic counter `name`.
+    fn counter(&self, name: &'static str, delta: u64);
+
+    /// Adds `delta` to the `kind`-labelled sub-counter of `name`
+    /// (per-message-kind traffic, per-peer bytes, …).
+    fn counter_kind(&self, name: &'static str, kind: &str, delta: u64);
+
+    /// Sets gauge `name` to `value` (last-write-wins; the maximum is
+    /// also retained).
+    fn gauge(&self, name: &'static str, value: u64);
+
+    /// Records `value` into the log2 histogram `name`.
+    fn observe(&self, name: &'static str, value: u64);
+
+    /// Records that request `key` reached `stage` at `at_us`. Only the
+    /// first observation per `(key, stage)` is kept.
+    fn stage(&self, key: SpanKey, stage: Stage, at_us: u64);
+
+    /// Records a tagged point event (owner change, fallback, reconnect).
+    fn event(&self, name: &'static str, detail: &str, at_us: u64);
+}
+
+/// The default sink: discards everything.
+///
+/// Every method is an empty body over `&self` — no allocation, no
+/// branching, no synchronisation — so instrumentation left enabled in
+/// the hot path costs nothing when nobody is listening (pinned by
+/// `tests/noop_cost.rs`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn counter(&self, _name: &'static str, _delta: u64) {}
+    fn counter_kind(&self, _name: &'static str, _kind: &str, _delta: u64) {}
+    fn gauge(&self, _name: &'static str, _value: u64) {}
+    fn observe(&self, _name: &'static str, _value: u64) {}
+    fn stage(&self, _key: SpanKey, _stage: Stage, _at_us: u64) {}
+    fn event(&self, _name: &'static str, _detail: &str, _at_us: u64) {}
+}
+
+/// One gauge's retained state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GaugeStat {
+    /// Most recent value set.
+    pub last: u64,
+    /// Largest value ever set.
+    pub max: u64,
+}
+
+/// One line of the ordered event log (rendered by
+/// [`MemRecorder::render_jsonl`]).
+#[derive(Clone, Debug)]
+enum LogLine {
+    Stage {
+        at_us: u64,
+        key: SpanKey,
+        stage: Stage,
+    },
+    Event {
+        at_us: u64,
+        name: &'static str,
+        detail: String,
+    },
+}
+
+/// In-memory aggregating recorder used by the harness and tests.
+///
+/// All state sits behind [`Mutex`]es in deterministic [`BTreeMap`]s, so
+/// snapshots iterate in a stable order regardless of recording
+/// interleavings.
+#[derive(Debug, Default)]
+pub struct MemRecorder {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    kind_counters: Mutex<BTreeMap<(&'static str, String), u64>>,
+    gauges: Mutex<BTreeMap<&'static str, GaugeStat>>,
+    hists: Mutex<BTreeMap<&'static str, Log2Histogram>>,
+    spans: Mutex<BTreeMap<SpanKey, Span>>,
+    log: Mutex<Vec<LogLine>>,
+}
+
+impl MemRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Value of counter `name` (0 if never bumped).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        *self.counters.lock().unwrap().get(name).unwrap_or(&0)
+    }
+
+    /// Value of the `kind`-labelled sub-counter of `name`.
+    pub fn counter_kind_value(&self, name: &str, kind: &str) -> u64 {
+        self.kind_counters
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|((n, k), _)| *n == name && k == kind)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Every `(kind, value)` pair recorded under `name`, sorted by kind.
+    pub fn counter_kinds(&self, name: &str) -> Vec<(String, u64)> {
+        self.kind_counters
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|((_, k), v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Last/max state of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<GaugeStat> {
+        self.gauges.lock().unwrap().get(name).copied()
+    }
+
+    /// Snapshot of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<Log2Histogram> {
+        self.hists.lock().unwrap().get(name).cloned()
+    }
+
+    /// Snapshot of the span for `key`.
+    pub fn span(&self, key: SpanKey) -> Option<Span> {
+        self.spans.lock().unwrap().get(&key).copied()
+    }
+
+    /// Snapshot of every span, in key order.
+    pub fn spans(&self) -> Vec<(SpanKey, Span)> {
+        self.spans
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, s)| (*k, *s))
+            .collect()
+    }
+
+    /// Aggregates every span's consecutive-stage durations into one
+    /// histogram per stage transition, keyed `"from->to"`, plus an
+    /// `"e2e"` histogram for spans that observed both `Submit` and
+    /// `Reply`.
+    pub fn stage_interval_histograms(&self) -> BTreeMap<String, Log2Histogram> {
+        let mut out: BTreeMap<String, Log2Histogram> = BTreeMap::new();
+        for (_, span) in self.spans() {
+            for (from, to, d) in span.stage_durations() {
+                out.entry(format!("{}->{}", from.as_str(), to.as_str()))
+                    .or_default()
+                    .record(d);
+            }
+            if let Some(d) = span.duration_us() {
+                out.entry("e2e".to_string()).or_default().record(d);
+            }
+        }
+        out
+    }
+
+    /// Renders the ordered event log as JSON lines (DESIGN.md §9): one
+    /// object per line, `type` is `"stage"` or `"event"`.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for line in self.log.lock().unwrap().iter() {
+            match line {
+                LogLine::Stage { at_us, key, stage } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"stage\",\"at_us\":{},\"client\":{},\"req\":\"{:016x}\",\"stage\":\"{}\"}}",
+                        at_us,
+                        key.client,
+                        key.req,
+                        stage.as_str()
+                    );
+                }
+                LogLine::Event {
+                    at_us,
+                    name,
+                    detail,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"event\",\"at_us\":{},\"name\":\"{}\",\"detail\":\"{}\"}}",
+                        at_us,
+                        name,
+                        detail.replace('\\', "\\\\").replace('"', "\\\"")
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of event-log lines recorded so far.
+    pub fn log_len(&self) -> usize {
+        self.log.lock().unwrap().len()
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        *self.counters.lock().unwrap().entry(name).or_insert(0) += delta;
+    }
+
+    fn counter_kind(&self, name: &'static str, kind: &str, delta: u64) {
+        *self
+            .kind_counters
+            .lock()
+            .unwrap()
+            .entry((name, kind.to_string()))
+            .or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        let mut gauges = self.gauges.lock().unwrap();
+        let g = gauges.entry(name).or_default();
+        g.last = value;
+        g.max = g.max.max(value);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.hists
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    fn stage(&self, key: SpanKey, stage: Stage, at_us: u64) {
+        self.spans
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_default()
+            .record(stage, at_us);
+        self.log
+            .lock()
+            .unwrap()
+            .push(LogLine::Stage { at_us, key, stage });
+    }
+
+    fn event(&self, name: &'static str, detail: &str, at_us: u64) {
+        self.log.lock().unwrap().push(LogLine::Event {
+            at_us,
+            name,
+            detail: detail.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MemRecorder::new();
+        r.counter("x", 2);
+        r.counter("x", 3);
+        assert_eq!(r.counter_value("x"), 5);
+        assert_eq!(r.counter_value("absent"), 0);
+    }
+
+    #[test]
+    fn kind_counters_split_by_label() {
+        let r = MemRecorder::new();
+        r.counter_kind("sent", "SpecOrder", 1);
+        r.counter_kind("sent", "SpecReply", 4);
+        r.counter_kind("sent", "SpecOrder", 1);
+        assert_eq!(r.counter_kind_value("sent", "SpecOrder"), 2);
+        assert_eq!(
+            r.counter_kinds("sent"),
+            vec![("SpecOrder".to_string(), 2), ("SpecReply".to_string(), 4)]
+        );
+    }
+
+    #[test]
+    fn gauges_keep_last_and_max() {
+        let r = MemRecorder::new();
+        r.gauge("depth", 3);
+        r.gauge("depth", 7);
+        r.gauge("depth", 2);
+        let g = r.gauge_value("depth").unwrap();
+        assert_eq!(g.last, 2);
+        assert_eq!(g.max, 7);
+    }
+
+    #[test]
+    fn stage_interval_histograms_aggregate_spans() {
+        let r = MemRecorder::new();
+        for (i, (commit, reply)) in [(300u64, 500u64), (400, 900)].iter().enumerate() {
+            let key = SpanKey {
+                client: i as u64,
+                req: i as u64,
+            };
+            r.stage(key, Stage::Submit, 0);
+            r.stage(key, Stage::Commit, *commit);
+            r.stage(key, Stage::Reply, *reply);
+        }
+        let hists = r.stage_interval_histograms();
+        assert_eq!(hists["submit->commit"].count(), 2);
+        assert_eq!(hists["commit->reply"].count(), 2);
+        assert_eq!(hists["e2e"].count(), 2);
+        assert_eq!(hists["e2e"].max(), 900);
+    }
+
+    #[test]
+    fn jsonl_lines_are_ordered_and_escaped() {
+        let r = MemRecorder::new();
+        r.stage(
+            SpanKey {
+                client: 1,
+                req: 0xab,
+            },
+            Stage::Submit,
+            10,
+        );
+        r.event("fallback", "reason=\"quiet\"", 20);
+        let log = r.render_jsonl();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"stage\""));
+        assert!(lines[0].contains("\"req\":\"00000000000000ab\""));
+        assert!(lines[1].contains("\\\"quiet\\\""));
+    }
+}

@@ -1,0 +1,228 @@
+//! Request-lifecycle spans: one record per in-flight request, keyed by
+//! `(client, request digest)`, holding per-stage timestamps.
+
+/// The lifecycle stages of a request, in canonical protocol order
+/// (DESIGN.md §9).
+///
+/// Replicas and clients each record the subset of stages they observe;
+/// the span key ties the records together. [`Stage::Submit`] and
+/// [`Stage::Reply`] are recorded at the client, the middle stages at
+/// whichever replica's recorder is attached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Client dispatched the request to the cluster.
+    Submit,
+    /// A replica accepted the SPECORDER carrying the request.
+    SpecOrderAccept,
+    /// The fast-path acknowledgement quorum formed (commit aggregation's
+    /// SPECACK collection, §7).
+    AckCollect,
+    /// The instance carrying the request committed.
+    Commit,
+    /// The committed request entered an execution wave.
+    ExecReady,
+    /// The request's command finished final execution.
+    ExecDone,
+    /// The client accepted the (fast or final) reply.
+    Reply,
+}
+
+impl Stage {
+    /// Every stage, in canonical order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Submit,
+        Stage::SpecOrderAccept,
+        Stage::AckCollect,
+        Stage::Commit,
+        Stage::ExecReady,
+        Stage::ExecDone,
+        Stage::Reply,
+    ];
+
+    /// Stable lowercase name used in reports and the event-log export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Submit => "submit",
+            Stage::SpecOrderAccept => "specorder_accept",
+            Stage::AckCollect => "ack_collect",
+            Stage::Commit => "commit",
+            Stage::ExecReady => "exec_ready",
+            Stage::ExecDone => "exec_done",
+            Stage::Reply => "reply",
+        }
+    }
+
+    /// Position in [`Stage::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Identifies one request across every node that observes it: the
+/// submitting client plus the first eight bytes of the request digest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanKey {
+    /// The submitting client's numeric id.
+    pub client: u64,
+    /// First eight bytes of the request digest, little-endian.
+    pub req: u64,
+}
+
+impl SpanKey {
+    /// Builds a key from a client id and a full digest; any digest of at
+    /// least eight bytes works, only the prefix is kept.
+    pub fn from_digest(client: u64, digest: &[u8]) -> Self {
+        let mut req = [0u8; 8];
+        let n = digest.len().min(8);
+        req[..n].copy_from_slice(&digest[..n]);
+        SpanKey {
+            client,
+            req: u64::from_le_bytes(req),
+        }
+    }
+}
+
+/// Per-stage timestamps for one request. Only the *first* observation of
+/// each stage is kept, so re-deliveries and duplicate certificates do
+/// not move a span backwards, and durations between consecutive recorded
+/// stages telescope to the end-to-end latency.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Span {
+    at_us: [Option<u64>; Stage::ALL.len()],
+}
+
+impl Span {
+    /// Records `stage` at `at_us` unless already recorded.
+    pub fn record(&mut self, stage: Stage, at_us: u64) {
+        let slot = &mut self.at_us[stage.index()];
+        if slot.is_none() {
+            *slot = Some(at_us);
+        }
+    }
+
+    /// Timestamp of `stage`, if observed.
+    pub fn at(&self, stage: Stage) -> Option<u64> {
+        self.at_us[stage.index()]
+    }
+
+    /// End-to-end duration (`Reply` − `Submit`), if both were observed.
+    pub fn duration_us(&self) -> Option<u64> {
+        Some(
+            self.at(Stage::Reply)?
+                .saturating_sub(self.at(Stage::Submit)?),
+        )
+    }
+
+    /// Durations between consecutive *recorded* stages, in canonical
+    /// order: `(from, to, to_ts − from_ts)`.
+    ///
+    /// Timestamps are projected onto the span's observable window: each
+    /// stage's timestamp is clipped to at most the `Reply` timestamp
+    /// (when recorded) and at least the previous recorded stage's. The
+    /// protocol makes both clips necessary — a fast-path client accepts
+    /// its reply *before* replicas finish committing and executing
+    /// speculatively-answered commands (§IV-A), so a raw commit or
+    /// execution timestamp can fall after the reply; only the in-window
+    /// portion is client-visible latency. The projection makes the
+    /// decomposition lossless: the durations telescope, summing exactly
+    /// to [`Span::duration_us`] whenever `Submit` and `Reply` are both
+    /// present.
+    pub fn stage_durations(&self) -> Vec<(Stage, Stage, u64)> {
+        let window_end = self.at(Stage::Reply);
+        let mut out = Vec::new();
+        let mut prev: Option<(Stage, u64)> = None;
+        for stage in Stage::ALL {
+            if let Some(raw) = self.at(stage) {
+                let mut ts = match window_end {
+                    Some(end) => raw.min(end),
+                    None => raw,
+                };
+                if let Some((from, from_ts)) = prev {
+                    ts = ts.max(from_ts);
+                    out.push((from, stage, ts - from_ts));
+                }
+                prev = Some((stage, ts));
+            }
+        }
+        out
+    }
+
+    /// Whether any stage has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.at_us.iter().all(Option::is_none)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_wins() {
+        let mut s = Span::default();
+        s.record(Stage::Commit, 100);
+        s.record(Stage::Commit, 50);
+        assert_eq!(s.at(Stage::Commit), Some(100));
+    }
+
+    #[test]
+    fn stage_durations_telescope_to_e2e() {
+        let mut s = Span::default();
+        s.record(Stage::Submit, 1_000);
+        s.record(Stage::Commit, 1_300);
+        s.record(Stage::ExecDone, 1_450);
+        s.record(Stage::Reply, 1_700);
+        let durations = s.stage_durations();
+        let sum: u64 = durations.iter().map(|(_, _, d)| d).sum();
+        assert_eq!(Some(sum), s.duration_us());
+        assert_eq!(durations.len(), 3);
+        assert_eq!(durations[0], (Stage::Submit, Stage::Commit, 300));
+    }
+
+    #[test]
+    fn post_reply_stages_are_projected_into_the_window() {
+        // Fast path: the client replies at 1_500 while the replicas only
+        // commit (1_800) and execute (2_100) afterwards. The projected
+        // decomposition still telescopes to the e2e latency exactly.
+        let mut s = Span::default();
+        s.record(Stage::Submit, 1_000);
+        s.record(Stage::SpecOrderAccept, 1_200);
+        s.record(Stage::Commit, 1_800);
+        s.record(Stage::ExecDone, 2_100);
+        s.record(Stage::Reply, 1_500);
+        let durations = s.stage_durations();
+        let sum: u64 = durations.iter().map(|(_, _, d)| d).sum();
+        assert_eq!(Some(sum), s.duration_us());
+        // In-window stages keep their real durations; post-reply stages
+        // contribute only their in-window portion (here zero).
+        assert_eq!(durations[0], (Stage::Submit, Stage::SpecOrderAccept, 200));
+        assert_eq!(durations[1], (Stage::SpecOrderAccept, Stage::Commit, 300));
+        assert_eq!(durations[2], (Stage::Commit, Stage::ExecDone, 0));
+        assert_eq!(durations[3], (Stage::ExecDone, Stage::Reply, 0));
+    }
+
+    #[test]
+    fn span_key_from_digest_prefix() {
+        let digest = [1u8, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff];
+        let key = SpanKey::from_digest(9, &digest);
+        assert_eq!(key.client, 9);
+        assert_eq!(key.req, 1);
+    }
+
+    #[test]
+    fn canonical_order_is_stable() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "submit",
+                "specorder_accept",
+                "ack_collect",
+                "commit",
+                "exec_ready",
+                "exec_done",
+                "reply"
+            ]
+        );
+    }
+}

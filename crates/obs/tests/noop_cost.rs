@@ -1,0 +1,63 @@
+//! Pins the disabled-recorder path to zero allocations per sample.
+//!
+//! Instrumentation stays compiled in and on-by-default across the
+//! workspace; that is only tenable if a [`NullRecorder`] call is free.
+//! A counting global allocator wraps the system allocator, and the test
+//! drives every `Recorder` method through a `dyn` reference (exactly how
+//! the protocol crates call it) asserting the allocation count does not
+//! move.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ezbft_obs::{NullRecorder, Recorder, SpanKey, Stage};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// The test binary needs its own allocator to observe allocation counts;
+// `unsafe` is confined to delegating to `System`.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn null_recorder_never_allocates() {
+    let rec: &dyn Recorder = &NullRecorder;
+    let key = SpanKey {
+        client: 3,
+        req: 0xdead_beef,
+    };
+
+    // Warm up any lazily-initialised test-harness state.
+    rec.counter("warmup", 1);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        rec.counter("replica.fast_commits", 1);
+        rec.counter_kind("sim.sent", "SpecOrder", 1);
+        rec.gauge("exec.queue_depth", i);
+        rec.observe("exec.wave_units", i);
+        rec.stage(key, Stage::Commit, i);
+        rec.event("owner_change", "space=1", i);
+        assert!(!rec.enabled());
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled recorder must not allocate (got {} allocations over 60k calls)",
+        after - before
+    );
+}

@@ -1,16 +1,22 @@
 //! Latency and throughput metrics collected from simulations.
 
+use ezbft_obs::Log2Histogram;
 use ezbft_smr::Micros;
 
-/// A simple exact histogram over microsecond samples.
+/// A latency histogram over microsecond samples.
 ///
-/// Keeps every sample (simulations produce at most a few hundred thousand);
-/// percentile queries sort lazily. This favours exactness over memory,
-/// which is the right trade for reproducing published numbers.
+/// Recording feeds both a constant-time [`Log2Histogram`] (the default
+/// quantile path — no sort on query, which keeps the simulator's
+/// per-completion cost flat) and a retained sample vector for the exact
+/// nearest-rank variant behind [`Histogram::exact_quantile`]
+/// (paper-reproduction experiments want exact published numbers). The
+/// two quantile paths agree within one log2 bucket by construction —
+/// pinned by `bucketed_quantile_agrees_within_one_bucket` below.
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
     samples: Vec<u64>,
     sorted: bool,
+    buckets: Log2Histogram,
 }
 
 impl Histogram {
@@ -23,6 +29,7 @@ impl Histogram {
     pub fn record(&mut self, value: Micros) {
         self.samples.push(value.as_micros());
         self.sorted = false;
+        self.buckets.record(value.as_micros());
     }
 
     /// Number of samples.
@@ -44,8 +51,17 @@ impl Histogram {
         Micros((sum / self.samples.len() as u128) as u64)
     }
 
-    /// The `q`-quantile (0.0 ..= 1.0) using nearest-rank, or zero if empty.
-    pub fn quantile(&mut self, q: f64) -> Micros {
+    /// The `q`-quantile (0.0 ..= 1.0) from the log2 buckets: constant
+    /// time, exact within one power-of-two bucket (the rank sample's
+    /// bucket midpoint, clamped to the observed min/max). Zero if empty.
+    pub fn quantile(&self, q: f64) -> Micros {
+        Micros(self.buckets.quantile(q))
+    }
+
+    /// The exact nearest-rank `q`-quantile over the retained samples
+    /// (sorts lazily). Paper-reproduction experiments use this; the
+    /// default [`Histogram::quantile`] is the cheap bucketed variant.
+    pub fn exact_quantile(&mut self, q: f64) -> Micros {
         if self.samples.is_empty() {
             return Micros::ZERO;
         }
@@ -57,30 +73,31 @@ impl Histogram {
         Micros(self.samples[rank - 1])
     }
 
-    /// Median.
-    pub fn median(&mut self) -> Micros {
+    /// Median (bucketed).
+    pub fn median(&self) -> Micros {
         self.quantile(0.5)
     }
 
-    /// 99th percentile.
-    pub fn p99(&mut self) -> Micros {
+    /// 99th percentile (bucketed).
+    pub fn p99(&self) -> Micros {
         self.quantile(0.99)
     }
 
     /// Maximum sample, or zero if empty.
     pub fn max(&self) -> Micros {
-        Micros(self.samples.iter().copied().max().unwrap_or(0))
+        Micros(self.buckets.max())
     }
 
     /// Minimum sample, or zero if empty.
     pub fn min(&self) -> Micros {
-        Micros(self.samples.iter().copied().min().unwrap_or(0))
+        Micros(self.buckets.min())
     }
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
+        self.buckets.merge(&other.buckets);
     }
 }
 
@@ -228,11 +245,12 @@ mod tests {
         }
         assert_eq!(h.len(), 5);
         assert_eq!(h.mean(), Micros(30));
-        assert_eq!(h.median(), Micros(30));
         assert_eq!(h.min(), Micros(10));
         assert_eq!(h.max(), Micros(50));
-        assert_eq!(h.quantile(1.0), Micros(50));
-        assert_eq!(h.quantile(0.0), Micros(10));
+        // The exact path keeps the published-numbers contract.
+        assert_eq!(h.exact_quantile(0.5), Micros(30));
+        assert_eq!(h.exact_quantile(1.0), Micros(50));
+        assert_eq!(h.exact_quantile(0.0), Micros(10));
     }
 
     #[test]
@@ -241,6 +259,7 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.mean(), Micros::ZERO);
         assert_eq!(h.median(), Micros::ZERO);
+        assert_eq!(h.exact_quantile(0.5), Micros::ZERO);
         assert_eq!(h.max(), Micros::ZERO);
     }
 
@@ -253,6 +272,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.mean(), Micros(2));
+        assert_eq!(a.max(), Micros(3));
     }
 
     #[test]
@@ -261,7 +281,36 @@ mod tests {
         for v in 1..=100u64 {
             h.record(Micros(v));
         }
-        assert_eq!(h.p99(), Micros(99));
+        assert_eq!(h.exact_quantile(0.99), Micros(99));
+        // Bucketed p99 lands in the same log2 bucket as the exact one.
+        assert_eq!(
+            Log2Histogram::bucket_index(h.p99().as_micros()),
+            Log2Histogram::bucket_index(99)
+        );
+    }
+
+    #[test]
+    fn bucketed_quantile_agrees_within_one_bucket() {
+        // A broad, skewed distribution (quadratic tail) plus an exact
+        // duplicate-heavy head: for every quantile the bucketed answer
+        // must sit in the same log2 bucket as the exact nearest-rank
+        // sample — the advertised contract of the cheap default path.
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(Micros(v * v % 7919 + 1));
+        }
+        for _ in 0..100 {
+            h.record(Micros(42));
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let exact = h.exact_quantile(q).as_micros();
+            let bucketed = h.quantile(q).as_micros();
+            assert_eq!(
+                Log2Histogram::bucket_index(bucketed),
+                Log2Histogram::bucket_index(exact),
+                "q={q}: bucketed {bucketed} vs exact {exact}"
+            );
+        }
     }
 
     #[test]
@@ -274,7 +323,7 @@ mod tests {
         assert_eq!(r.total(), 3);
         assert_eq!(r.group(0).len(), 1);
         // Nearest-rank median of {7, 9} is the lower sample.
-        assert_eq!(r.group_mut(1).median(), Micros(7));
+        assert_eq!(r.group_mut(1).exact_quantile(0.5), Micros(7));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use ezbft_obs::{ManualClock, NullRecorder, Recorder};
 use ezbft_smr::{Action, Actions, ClientDelivery, Micros, NodeId, ProtocolNode, TimerId};
 
 use crate::topology::{Region, Topology};
@@ -253,12 +254,21 @@ pub struct SimNet<M, R> {
     started: bool,
     #[allow(clippy::type_complexity)]
     trace: Option<(Trace, Box<dyn Fn(&M) -> &'static str + Send>)>,
-    /// Per-kind sent-message counters (see [`SimNet::count_kinds`]).
+    /// Per-kind sent/dropped counters (see [`SimNet::count_kinds`]).
     #[allow(clippy::type_complexity)]
-    kind_counts: Option<(
-        HashMap<&'static str, u64>,
-        Box<dyn Fn(&M) -> &'static str + Send>,
-    )>,
+    kind_counts: Option<(KindCounters, Box<dyn Fn(&M) -> &'static str + Send>)>,
+    /// Shared telemetry sink (defaults to a no-op recorder).
+    recorder: Arc<dyn Recorder>,
+    /// Virtual-time mirror: set to `now` before each event dispatches, so
+    /// recorders attached to simulated nodes see deterministic time.
+    clock: Arc<ManualClock>,
+}
+
+/// Per-kind tallies kept by [`SimNet::count_kinds`].
+#[derive(Debug, Default)]
+struct KindCounters {
+    sent: HashMap<&'static str, u64>,
+    dropped: HashMap<&'static str, u64>,
 }
 
 impl<M, R> fmt::Debug for SimNet<M, R> {
@@ -294,7 +304,26 @@ where
             started: false,
             trace: None,
             kind_counts: None,
+            recorder: Arc::new(NullRecorder),
+            clock: Arc::new(ManualClock::new()),
         }
+    }
+
+    /// Attaches a shared telemetry sink: the simulator records
+    /// `sim.sent` / `sim.delivered` / `sim.dropped` / `sim.timers`
+    /// counters (kind-labelled when [`SimNet::count_kinds`] is on) so sim
+    /// and TCP runs produce the same telemetry schema (DESIGN.md §9).
+    /// Observation-only; scheduling and randomness are unaffected.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The simulator's virtual-time clock mirror: updated to the current
+    /// virtual time before every event dispatch, so telemetry recorded
+    /// from inside simulated nodes (or from recorders shared with the
+    /// harness) carries deterministic timestamps.
+    pub fn virtual_clock(&self) -> Arc<ManualClock> {
+        Arc::clone(&self.clock)
     }
 
     /// Enables message tracing, retaining the last `capacity` events.
@@ -320,7 +349,7 @@ where
     /// counters, so it is cheap enough for throughput runs — it is what
     /// messages-per-committed-request experiments are built on.
     pub fn count_kinds(&mut self, kind: impl Fn(&M) -> &'static str + Send + 'static) {
-        self.kind_counts = Some((HashMap::new(), Box::new(kind)));
+        self.kind_counts = Some((KindCounters::default(), Box::new(kind)));
     }
 
     /// Messages sent so far of `kind` (0 if counting is disabled or the
@@ -328,17 +357,38 @@ where
     pub fn sent_of_kind(&self, kind: &str) -> u64 {
         self.kind_counts
             .as_ref()
-            .and_then(|(counts, _)| counts.get(kind).copied())
+            .and_then(|(counts, _)| counts.sent.get(kind).copied())
             .unwrap_or(0)
     }
 
-    /// All per-kind counters, sorted by kind name (empty if counting is
-    /// disabled).
+    /// Messages suppressed by fault injection so far of `kind` (0 if
+    /// counting is disabled or nothing of that kind was dropped).
+    pub fn dropped_of_kind(&self, kind: &str) -> u64 {
+        self.kind_counts
+            .as_ref()
+            .and_then(|(counts, _)| counts.dropped.get(kind).copied())
+            .unwrap_or(0)
+    }
+
+    /// All per-kind sent counters, sorted by kind name (empty if counting
+    /// is disabled).
     pub fn kind_counts(&self) -> Vec<(&'static str, u64)> {
         let Some((counts, _)) = &self.kind_counts else {
             return Vec::new();
         };
-        let mut v: Vec<(&'static str, u64)> = counts.iter().map(|(k, c)| (*k, *c)).collect();
+        let mut v: Vec<(&'static str, u64)> = counts.sent.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All per-kind dropped counters, sorted by kind name (empty if
+    /// counting is disabled): exactly what fault injection suppressed.
+    pub fn dropped_kind_counts(&self) -> Vec<(&'static str, u64)> {
+        let Some((counts, _)) = &self.kind_counts else {
+            return Vec::new();
+        };
+        let mut v: Vec<(&'static str, u64)> =
+            counts.dropped.iter().map(|(k, c)| (*k, *c)).collect();
         v.sort_unstable();
         v
     }
@@ -506,6 +556,7 @@ where
             };
             debug_assert!(event.at >= self.now, "time went backwards");
             self.now = event.at;
+            self.clock.set(self.now.as_micros());
             self.stats.events += 1;
             self.dispatch(event);
         }
@@ -529,6 +580,7 @@ where
                 }
                 entry.timer_generation.remove(&id);
                 self.stats.timers_fired += 1;
+                self.recorder.counter("sim.timers", 1);
                 if let Some((trace, _)) = &mut self.trace {
                     trace.record(TraceEvent::Timer {
                         at: self.now,
@@ -571,6 +623,10 @@ where
                 let entry = self.nodes.get_mut(&node_id).expect("checked above");
                 entry.busy_until = completion;
                 self.stats.messages_delivered += 1;
+                self.recorder.counter("sim.delivered", 1);
+                // The node observes the world at service completion:
+                // mirror that into the telemetry clock too.
+                self.clock.set(completion.as_micros());
                 let mut out = Actions::new(completion);
                 entry.node.on_message(from, msg.into_msg(), &mut out);
                 // Advance the clock view for action scheduling: actions take
@@ -579,6 +635,7 @@ where
                 self.now = completion;
                 self.apply_actions(node_id, out);
                 self.now = saved_now;
+                self.clock.set(self.now.as_micros());
             }
         }
     }
@@ -643,12 +700,23 @@ where
             || (self.faults.drop_prob > 0.0 && self.rng.gen::<f64>() < self.faults.drop_prob)
         {
             self.stats.messages_dropped += 1;
-            if let Some((trace, _)) = &mut self.trace {
+            if let Some((trace, kind)) = &mut self.trace {
                 trace.record(TraceEvent::Dropped {
                     at: self.now,
                     from,
                     to,
+                    kind: kind(msg.as_ref()),
                 });
+            }
+            if let Some((counts, kind)) = &mut self.kind_counts {
+                *counts.dropped.entry(kind(msg.as_ref())).or_insert(0) += 1;
+            }
+            if self.recorder.enabled() {
+                self.recorder.counter("sim.dropped", 1);
+                if let Some((_, kind)) = &self.kind_counts {
+                    self.recorder
+                        .counter_kind("sim.dropped", kind(msg.as_ref()), 1);
+                }
             }
             return;
         }
@@ -661,7 +729,14 @@ where
             });
         }
         if let Some((counts, kind)) = &mut self.kind_counts {
-            *counts.entry(kind(msg.as_ref())).or_insert(0) += 1;
+            *counts.sent.entry(kind(msg.as_ref())).or_insert(0) += 1;
+        }
+        if self.recorder.enabled() {
+            self.recorder.counter("sim.sent", 1);
+            if let Some((_, kind)) = &self.kind_counts {
+                self.recorder
+                    .counter_kind("sim.sent", kind(msg.as_ref()), 1);
+            }
         }
         let Some(from_entry) = self.nodes.get(&from) else {
             return;
@@ -821,6 +896,54 @@ mod tests {
         sim.run_until_deliveries(1);
         assert_eq!(sim.sent_of_kind("even"), 0);
         assert!(sim.kind_counts().is_empty());
+        assert!(sim.dropped_kind_counts().is_empty());
+    }
+
+    #[test]
+    fn dropped_messages_are_counted_and_traced_by_kind() {
+        let mut sim = two_node_sim();
+        sim.count_kinds(|m| if m % 2 == 0 { "even" } else { "odd" });
+        sim.enable_trace(64, |m| if m % 2 == 0 { "even" } else { "odd" });
+        // Sever b → a: the pong of ping 0 (msg 1, "odd") is suppressed.
+        sim.faults_mut()
+            .cut_link(ReplicaId::new(1), ReplicaId::new(0));
+        sim.run_until_time(Micros(5_000));
+        assert_eq!(sim.stats().messages_dropped, 1);
+        assert_eq!(sim.dropped_of_kind("odd"), 1);
+        assert_eq!(sim.dropped_of_kind("even"), 0);
+        assert_eq!(sim.dropped_kind_counts(), vec![("odd", 1)]);
+        // Sent counters exclude the drop; the trace tags it by kind.
+        assert_eq!(sim.sent_of_kind("even"), 1);
+        let dropped: Vec<&TraceEvent> = sim
+            .trace()
+            .unwrap()
+            .events()
+            .filter(|e| matches!(e, TraceEvent::Dropped { .. }))
+            .collect();
+        assert_eq!(dropped.len(), 1);
+        assert!(matches!(
+            dropped[0],
+            TraceEvent::Dropped { kind: "odd", .. }
+        ));
+    }
+
+    #[test]
+    fn recorder_mirrors_stats_and_virtual_time() {
+        use ezbft_obs::{Clock as _, MemRecorder};
+        let rec = Arc::new(MemRecorder::new());
+        let mut sim = two_node_sim();
+        sim.count_kinds(|m| if m % 2 == 0 { "even" } else { "odd" });
+        sim.set_recorder(rec.clone());
+        let clock = sim.virtual_clock();
+        sim.run_until_deliveries(1);
+        assert_eq!(rec.counter_value("sim.sent"), sim.stats().messages_sent);
+        assert_eq!(
+            rec.counter_value("sim.delivered"),
+            sim.stats().messages_delivered
+        );
+        assert_eq!(rec.counter_kind_value("sim.sent", "even"), 6);
+        // The clock mirror ends at the simulation's final virtual time.
+        assert_eq!(clock.now_us(), sim.now().as_micros());
     }
 
     #[test]

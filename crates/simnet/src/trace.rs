@@ -42,6 +42,8 @@ pub enum TraceEvent {
         from: NodeId,
         /// Destination.
         to: NodeId,
+        /// Message kind tag (what fault injection suppressed).
+        kind: &'static str,
     },
     /// A timer fired at a node.
     Timer {
@@ -126,8 +128,8 @@ impl Trace {
                 TraceEvent::Delivered { at, from, to, kind } => {
                     let _ = writeln!(out, "{at:?}  {from:?} → {to:?}  recv {kind}");
                 }
-                TraceEvent::Dropped { at, from, to } => {
-                    let _ = writeln!(out, "{at:?}  {from:?} → {to:?}  DROPPED");
+                TraceEvent::Dropped { at, from, to, kind } => {
+                    let _ = writeln!(out, "{at:?}  {from:?} → {to:?}  DROPPED {kind}");
                 }
                 TraceEvent::Timer { at, node } => {
                     let _ = writeln!(out, "{at:?}  {node:?}  timer");
@@ -207,10 +209,11 @@ mod tests {
             at: Micros(2),
             from: node(1),
             to: node(0),
+            kind: "req",
         });
         let text = t.render();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("send req"));
-        assert!(text.contains("DROPPED"));
+        assert!(text.contains("DROPPED req"));
     }
 }

@@ -13,7 +13,9 @@
 //! than in lockstep rounds.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+use ezbft_obs::{NullRecorder, Recorder};
 
 use crate::app::Application;
 use crate::command::{interferes_by_keys, AccessMode, Command, ConflictKey};
@@ -155,6 +157,7 @@ struct Sched<R> {
     remaining: Vec<usize>,
     results: Vec<Option<Vec<R>>>,
     outstanding: usize,
+    busy: usize,
 }
 
 /// The conflict-keyed worker pool.
@@ -165,9 +168,18 @@ struct Sched<R> {
 /// [`SeqExecutor`] when the pool would not help (one worker, one unit) or
 /// when the application does not support concurrent apply
 /// ([`Application::supports_concurrent_apply`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct ParallelExecutor {
     workers: usize,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for ParallelExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelExecutor")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ParallelExecutor {
@@ -175,12 +187,32 @@ impl ParallelExecutor {
     pub fn new(workers: usize) -> Self {
         ParallelExecutor {
             workers: workers.max(1),
+            recorder: Arc::new(NullRecorder),
         }
+    }
+
+    /// Attaches a telemetry sink; the engine records per-wave unit and
+    /// command counts, ready-queue depth and worker occupancy
+    /// (`exec.*` metrics, DESIGN.md §9). Observation-only: scheduling is
+    /// unaffected.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 }
 
 impl<A: Application> Executor<A> for ParallelExecutor {
     fn execute(&self, state: &mut A, units: &[ExecUnit<A::Command>]) -> Vec<Vec<A::Response>> {
+        let rec = self.recorder.as_ref();
+        let on = rec.enabled();
+        if on && !units.is_empty() {
+            rec.counter("exec.waves", 1);
+            rec.observe("exec.wave_units", units.len() as u64);
+            rec.observe(
+                "exec.wave_cmds",
+                units.iter().map(|u| u.items.len() as u64).sum(),
+            );
+        }
         if self.workers <= 1 || units.len() <= 1 || !state.supports_concurrent_apply() {
             return SeqExecutor.execute(state, units);
         }
@@ -199,6 +231,7 @@ impl<A: Application> Executor<A> for ParallelExecutor {
             remaining,
             results: (0..units.len()).map(|_| None).collect(),
             outstanding: units.len(),
+            busy: 0,
         });
         let wake = Condvar::new();
         let shared: &A = state;
@@ -210,6 +243,11 @@ impl<A: Application> Executor<A> for ParallelExecutor {
                         let mut guard = sched.lock().expect("executor scheduler lock");
                         loop {
                             if let Some(idx) = guard.ready.pop_front() {
+                                guard.busy += 1;
+                                if on {
+                                    rec.observe("exec.queue_depth", guard.ready.len() as u64);
+                                    rec.observe("exec.workers_busy", guard.busy as u64);
+                                }
                                 break idx;
                             }
                             if guard.outstanding == 0 {
@@ -226,6 +264,7 @@ impl<A: Application> Executor<A> for ParallelExecutor {
                     let mut guard = sched.lock().expect("executor scheduler lock");
                     guard.results[idx] = Some(responses);
                     guard.outstanding -= 1;
+                    guard.busy -= 1;
                     for &d in &dependents[idx] {
                         guard.remaining[d] -= 1;
                         if guard.remaining[d] == 0 {
@@ -380,6 +419,28 @@ mod tests {
                 "state diverges at {workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn recorder_sees_wave_telemetry_without_changing_results() {
+        let units: Vec<ExecUnit<Op>> = (0..16).map(|i| unit(vec![Op::Add(i, 1)])).collect();
+        let mut plain_state = Counters::default();
+        let plain = ParallelExecutor::new(4).execute(&mut plain_state, &units);
+
+        let rec = Arc::new(ezbft_obs::MemRecorder::new());
+        let mut state = Counters::default();
+        let engine = ParallelExecutor::new(4).with_recorder(rec.clone());
+        let observed = engine.execute(&mut state, &units);
+
+        assert_eq!(plain, observed);
+        assert_eq!(rec.counter_value("exec.waves"), 1);
+        let wave = rec.histogram("exec.wave_units").unwrap();
+        assert_eq!(wave.count(), 1);
+        assert_eq!(wave.max(), 16);
+        let busy = rec.histogram("exec.workers_busy").unwrap();
+        assert_eq!(busy.count(), 16); // one sample per dispatched unit
+        assert!(busy.max() <= 4);
+        assert!(rec.histogram("exec.queue_depth").is_some());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
+use ezbft_obs::{NullRecorder, Recorder};
 use ezbft_smr::{Action, Actions, ClientDelivery, Micros, NodeId, ProtocolNode, TimerId};
 use ezbft_wire::{encode_frame, FrameDecoder};
 
@@ -129,6 +130,25 @@ where
         book: crate::AddressBook,
         listener: TcpListener,
     ) -> Result<Self, TransportError> {
+        Self::spawn_observed(node, book, listener, Arc::new(NullRecorder))
+    }
+
+    /// Like [`NodeHandle::spawn_with_listener`] but with a telemetry sink:
+    /// the runtime records per-peer byte/frame traffic (`net.bytes_in`,
+    /// `net.bytes_out`, `net.frames_in`, `net.frames_out`, labelled by
+    /// peer) and writer reconnect attempts (`net.reconnects`), and the
+    /// node itself sees wall-elapsed timestamps through its `Actions`
+    /// (DESIGN.md §9).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener's local address cannot be read.
+    pub fn spawn_observed(
+        node: P,
+        book: crate::AddressBook,
+        listener: TcpListener,
+        recorder: Arc<dyn Recorder>,
+    ) -> Result<Self, TransportError> {
         let local_addr = listener.local_addr()?;
         let (event_tx, event_rx) = unbounded::<Event<M, P>>();
         let (delivery_tx, delivery_rx) = unbounded();
@@ -138,6 +158,7 @@ where
         {
             let event_tx = event_tx.clone();
             let running = Arc::clone(&running);
+            let recorder = Arc::clone(&recorder);
             std::thread::spawn(move || {
                 listener
                     .set_nonblocking(false)
@@ -149,8 +170,9 @@ where
                     let Ok(stream) = stream else { continue };
                     let event_tx = event_tx.clone();
                     let running = Arc::clone(&running);
+                    let recorder = Arc::clone(&recorder);
                     std::thread::spawn(move || {
-                        let _ = reader_loop(stream, event_tx, running);
+                        let _ = reader_loop(stream, event_tx, running, recorder);
                     });
                 }
             });
@@ -161,7 +183,7 @@ where
             let running = Arc::clone(&running);
             std::thread::Builder::new()
                 .name(format!("driver-{:?}", node.id()))
-                .spawn(move || driver_loop(node, book, event_rx, delivery_tx, running))
+                .spawn(move || driver_loop(node, book, event_rx, delivery_tx, running, recorder))
                 .expect("spawn driver")
         };
 
@@ -225,10 +247,14 @@ fn reader_loop<M: DeserializeOwned, P: ProtocolNode<Message = M>>(
     mut stream: TcpStream,
     events: Sender<Event<M, P>>,
     running: Arc<AtomicBool>,
+    recorder: Arc<dyn Recorder>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(250)))?;
     let mut decoder = FrameDecoder::new();
     let mut from: Option<NodeId> = None;
+    // Per-peer label, formatted once at handshake (only when someone
+    // is listening — label formatting allocates).
+    let mut peer_label: Option<String> = None;
     let mut buf = [0u8; 64 * 1024];
     loop {
         if !running.load(Ordering::Relaxed) {
@@ -245,6 +271,10 @@ fn reader_loop<M: DeserializeOwned, P: ProtocolNode<Message = M>>(
             }
             Err(e) => return Err(e),
         };
+        recorder.counter("net.bytes_in", n as u64);
+        if let Some(label) = &peer_label {
+            recorder.counter_kind("net.bytes_in", label, n as u64);
+        }
         decoder.extend(&buf[..n]);
         while let Some(frame) = decoder
             .next_frame()
@@ -255,8 +285,15 @@ fn reader_loop<M: DeserializeOwned, P: ProtocolNode<Message = M>>(
                     let id: NodeId = ezbft_wire::from_bytes(&frame)
                         .map_err(|_| std::io::ErrorKind::InvalidData)?;
                     from = Some(id);
+                    if recorder.enabled() {
+                        peer_label = Some(peer_label_of(id));
+                    }
                 }
                 Some(id) => {
+                    recorder.counter("net.frames_in", 1);
+                    if let Some(label) = &peer_label {
+                        recorder.counter_kind("net.frames_in", label, 1);
+                    }
                     let msg: M = ezbft_wire::from_bytes(&frame)
                         .map_err(|_| std::io::ErrorKind::InvalidData)?;
                     if events.send(Event::Net { from: id, msg }).is_err() {
@@ -268,6 +305,14 @@ fn reader_loop<M: DeserializeOwned, P: ProtocolNode<Message = M>>(
     }
 }
 
+/// Stable per-peer counter label, e.g. `replica-2` / `client-7`.
+fn peer_label_of(id: NodeId) -> String {
+    match id {
+        NodeId::Replica(r) => format!("replica-{}", r.index()),
+        NodeId::Client(c) => format!("client-{}", c.as_u64()),
+    }
+}
+
 struct Outbound {
     /// Ready-to-write frames. A broadcast clones the same `Bytes` handle
     /// into every peer's channel — the bytes themselves exist once.
@@ -275,20 +320,42 @@ struct Outbound {
 }
 
 /// Writer thread: connect, handshake, then forward pre-encoded frames.
-fn writer_loop(addr: SocketAddr, me: NodeId, rx: Receiver<Bytes>) {
-    let Ok(mut stream) = TcpStream::connect(addr) else {
-        return;
-    };
+/// A failed connect or a broken stream is retried a bounded number of
+/// times (each retry counted as `net.reconnects`); when the budget is
+/// exhausted the writer gives up, mirroring the lossy-network model the
+/// protocols already tolerate.
+fn writer_loop(addr: SocketAddr, me: NodeId, rx: Receiver<Bytes>, recorder: Arc<dyn Recorder>) {
+    const RETRY_BUDGET: u32 = 5;
     let hello = ezbft_wire::to_bytes(&me).expect("node id encodes");
-    let Ok(frame) = encode_frame(&hello) else {
+    let Ok(hello_frame) = encode_frame(&hello) else {
         return;
     };
-    if stream.write_all(&frame).is_err() {
-        return;
-    }
-    while let Ok(frame) = rx.recv() {
-        if stream.write_all(&frame).is_err() {
+    let mut attempts: u32 = 0;
+    loop {
+        if attempts > 0 {
+            recorder.counter("net.reconnects", 1);
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        attempts += 1;
+        if attempts > RETRY_BUDGET {
             return;
+        }
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            continue;
+        };
+        if stream.write_all(&hello_frame).is_err() {
+            continue;
+        }
+        loop {
+            match rx.recv() {
+                Ok(frame) => {
+                    if stream.write_all(&frame).is_err() {
+                        break; // broken stream: reconnect (frame lost)
+                    }
+                    attempts = 0; // a delivered frame refills the budget
+                }
+                Err(_) => return, // node shut down
+            }
         }
     }
 }
@@ -323,6 +390,7 @@ fn driver_loop<M, P>(
     events: Receiver<Event<M, P>>,
     deliveries: Sender<ClientDelivery<P::Response>>,
     running: Arc<AtomicBool>,
+    recorder: Arc<dyn Recorder>,
 ) -> P
 where
     M: Serialize + DeserializeOwned + Send + 'static,
@@ -351,6 +419,7 @@ where
         &mut next_generation,
         &deliveries,
         start,
+        &recorder,
     );
 
     loop {
@@ -379,6 +448,7 @@ where
                     &mut next_generation,
                     &deliveries,
                     start,
+                    &recorder,
                 );
             }
             Ok(Event::Invoke(f)) => {
@@ -395,6 +465,7 @@ where
                     &mut next_generation,
                     &deliveries,
                     start,
+                    &recorder,
                 );
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -421,6 +492,7 @@ where
                 &mut next_generation,
                 &deliveries,
                 start,
+                &recorder,
             );
         }
     }
@@ -435,11 +507,20 @@ fn send_frame(
     book: &crate::AddressBook,
     me: NodeId,
     outbound: &mut HashMap<NodeId, Outbound>,
+    recorder: &Arc<dyn Recorder>,
 ) {
+    if recorder.enabled() {
+        let label = peer_label_of(to);
+        recorder.counter("net.frames_out", 1);
+        recorder.counter("net.bytes_out", frame.len() as u64);
+        recorder.counter_kind("net.frames_out", &label, 1);
+        recorder.counter_kind("net.bytes_out", &label, frame.len() as u64);
+    }
     let entry = outbound.entry(to).or_insert_with(|| {
         let (tx, rx) = bounded::<Bytes>(4_096);
         if let Some(addr) = book.get(to) {
-            std::thread::spawn(move || writer_loop(addr, me, rx));
+            let recorder = Arc::clone(recorder);
+            std::thread::spawn(move || writer_loop(addr, me, rx, recorder));
         }
         Outbound { tx }
     });
@@ -458,6 +539,7 @@ fn apply<M, P>(
     next_generation: &mut u64,
     deliveries: &Sender<ClientDelivery<P::Response>>,
     _start: Instant,
+    recorder: &Arc<dyn Recorder>,
 ) where
     M: Serialize + DeserializeOwned + Send + 'static,
     P: ProtocolNode<Message = M>,
@@ -482,13 +564,14 @@ fn apply<M, P>(
                         next_generation,
                         deliveries,
                         _start,
+                        recorder,
                     );
                     continue;
                 }
                 let Some(frame) = encode_message(&msg) else {
                     continue;
                 };
-                send_frame(to, frame, book, me, outbound);
+                send_frame(to, frame, book, me, outbound, recorder);
             }
             Action::Broadcast { peers, msg } => {
                 // The serialize-once path: one encode + one framing for
@@ -520,10 +603,11 @@ fn apply<M, P>(
                             next_generation,
                             deliveries,
                             _start,
+                            recorder,
                         );
                         continue;
                     }
-                    send_frame(to, frame.clone(), book, me, outbound);
+                    send_frame(to, frame.clone(), book, me, outbound, recorder);
                 }
             }
             Action::SetTimer { id, after } => {
