@@ -11,7 +11,7 @@ use ezbft_checkpoint::Snapshotable;
 use ezbft_crypto::{Audience, KeyStore};
 use ezbft_smr::{Action, Actions, Application, NodeId, ProtocolNode, TimerId};
 
-use crate::msg::{Msg, SpecAck, SpecReply};
+use crate::msg::{Msg, NewOwner, OwnerChange, SpecAck, SpecReply};
 use crate::replica::Replica;
 
 /// What the wrapped replica lies about.
@@ -40,6 +40,39 @@ pub enum Behaviour {
     /// collection and the commit broadcast. Clients must fall back to the
     /// paper's client-driven COMMITFAST (DESIGN.md §7).
     SwallowAggCommit,
+    /// As an owner-change reporter, send an *empty* OWNERCHANGE report
+    /// (no entries, floor 0), validly signed: the "Revisiting EZBFT"
+    /// evidence-withholding attack. Under the published `f + 1` report
+    /// quorum a slow-committed instance whose only correct certificate
+    /// holder is outside the report set silently vanishes from the safe
+    /// set `G` — a safety violation. Fix (a) (`oc_strong_quorum`,
+    /// DESIGN.md §5a) restores the correct-intersection argument.
+    WithholdEvidence,
+    /// As the prospective new owner, broadcast *different* safe sets to
+    /// different peers (equivocation at the NEWOWNER step), each validly
+    /// signed. Honest replicas recompute `G` from the carried proof set
+    /// and reject the lie; the round must then make progress some other
+    /// way (escalation, fix (b)).
+    EquivocateSafeSet,
+    /// As a (legitimate) new owner, keep replaying our own old NEWOWNER
+    /// long after the round completed — stale-evidence replay. Every
+    /// stateless check on the replay still passes (signature, proof,
+    /// recomputed safe set); only the receiver's owner-number guard
+    /// stands between the replay and a rollback of later history
+    /// (fix (c), DESIGN.md §5a).
+    StaleNewOwnerReplay,
+    /// As a colluding follower, acknowledge only even slots: SPECREPLYs
+    /// and SPECACKs for odd slots are suppressed, denying those
+    /// instances their fast/aggregated quorums. With `f` such colluders
+    /// the cluster must degrade gracefully to the slow path rather than
+    /// stall (fix (d)).
+    SelectiveAck,
+    /// As the prospective new owner, swallow every incoming OWNERCHANGE
+    /// report and send no NEWOWNER: the mute-new-owner attack. Committed
+    /// replicas have stopped participating in the space, so without the
+    /// escalation timer (fix (b), DESIGN.md §5a) the space stalls
+    /// forever.
+    MuteNewOwner,
 }
 
 /// An honest replica wrapped with a byzantine output filter.
@@ -48,6 +81,11 @@ pub struct ByzantineReplica<A: Application> {
     keys: KeyStore,
     behaviour: Behaviour,
     n: usize,
+    /// [`Behaviour::StaleNewOwnerReplay`]: the first NEWOWNER we sent,
+    /// kept for replay.
+    stale_no: Option<NewOwner<A::Command, A::Response>>,
+    /// Replay rounds already performed (bounded so runs terminate).
+    replays: u32,
 }
 
 impl<A: Application> std::fmt::Debug for ByzantineReplica<A> {
@@ -73,6 +111,8 @@ impl<A: Application + Snapshotable> ByzantineReplica<A> {
             keys,
             behaviour,
             n,
+            stale_no: None,
+            replays: 0,
         }
     }
 
@@ -119,6 +159,22 @@ impl<A: Application + Snapshotable> ByzantineReplica<A> {
                 Action::CancelTimer { id } => out.cancel_timer(id),
                 Action::Deliver(d) => out.deliver(d.ts, d.response, d.fast_path),
                 Action::Work { duration } => out.work(duration),
+            }
+        }
+        // Stale-evidence replay: on every activation, re-broadcast the
+        // captured NEWOWNER as if the round were still live. Early copies
+        // are idempotent re-deliveries; once a later owner change has
+        // advanced the space they are genuinely stale and only the
+        // receivers' owner-number guard (fix (c)) rejects them.
+        if self.behaviour == Behaviour::StaleNewOwnerReplay && self.replays < 64 {
+            if let Some(no) = self.stale_no.clone() {
+                self.replays += 1;
+                for i in 0..self.n as u8 {
+                    let peer = ezbft_smr::ReplicaId::new(i);
+                    if peer != me {
+                        out.send(NodeId::Replica(peer), Msg::NewOwner(no.clone()));
+                    }
+                }
             }
         }
     }
@@ -201,6 +257,47 @@ impl<A: Application + Snapshotable> ByzantineReplica<A> {
             {
                 None
             }
+            (Behaviour::WithholdEvidence, Msg::OwnerChange(mut oc)) if oc.sender == me => {
+                // Report an empty view: every spec-ordered *and committed*
+                // entry we hold is withheld from the recovery scan. The
+                // report stays validly signed and structurally legal — a
+                // replica genuinely might have seen nothing.
+                oc.entries.clear();
+                oc.floor = 0;
+                let payload =
+                    OwnerChange::signed_payload(oc.space, oc.new_owner, oc.floor, &oc.entries);
+                oc.sig = self.keys.sign(&payload, &Audience::replicas(self.n));
+                Some(Msg::OwnerChange(oc))
+            }
+            (Behaviour::EquivocateSafeSet, Msg::NewOwner(mut no)) if no.sender == me => {
+                // Lie to the odd-indexed peers: drop the last safe entry
+                // and re-sign, so different peers are told different `G`s.
+                if to.as_replica().map(|r| r.index() % 2 == 1).unwrap_or(false)
+                    && !no.safe.is_empty()
+                {
+                    no.safe.pop();
+                    let payload = NewOwner::signed_payload(no.space, no.new_owner, &no.safe);
+                    no.sig = self.keys.sign(&payload, &Audience::replicas(self.n));
+                }
+                Some(Msg::NewOwner(no))
+            }
+            (Behaviour::StaleNewOwnerReplay, Msg::NewOwner(no)) if no.sender == me => {
+                if self.stale_no.is_none() {
+                    self.stale_no = Some(no.clone());
+                }
+                Some(Msg::NewOwner(no))
+            }
+            (Behaviour::SelectiveAck, Msg::SpecReply(reply))
+                if reply.sender == me && reply.body.inst.slot % 2 == 1 =>
+            {
+                None
+            }
+            (Behaviour::SelectiveAck, Msg::SpecAck(ack))
+                if ack.sender == me && ack.inst.slot % 2 == 1 =>
+            {
+                None
+            }
+            (Behaviour::MuteNewOwner, Msg::NewOwner(no)) if no.sender == me => None,
             (_, msg) => Some(msg),
         }
     }
@@ -227,6 +324,12 @@ impl<A: Application + Snapshotable> ProtocolNode for ByzantineReplica<A> {
         msg: Self::Message,
         out: &mut Actions<Self::Message, Self::Response>,
     ) {
+        // The mute new owner swallows the reports it was elected to
+        // aggregate: the inner (honest) replica never sees them, so no
+        // NEWOWNER is ever produced for the round.
+        if self.behaviour == Behaviour::MuteNewOwner && matches!(msg, Msg::OwnerChange(_)) {
+            return;
+        }
         let mut staged = Actions::new(out.now());
         self.inner.on_message(from, msg, &mut staged);
         let actions = staged.take();

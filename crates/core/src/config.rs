@@ -77,6 +77,35 @@ pub struct EzConfig {
     /// How long a recovering replica waits for a usable state-transfer
     /// response before re-broadcasting its STATEREQUEST.
     pub state_retry: Micros,
+    /// Require a *strong* quorum (2f+1) of OWNERCHANGE reports before a
+    /// prospective new owner computes the safe set, instead of the paper's
+    /// weak quorum (f+1, §IV-E). `true` (the default) closes the
+    /// Revisiting-EZBFT evidence-withholding safety hole: any slow-path
+    /// certificate held by 2f+1 replicas intersects a 2f+1 report set in
+    /// at least f+1 replicas, so at least one *correct* reporter always
+    /// carries the commit evidence into the safe set. Liveness is
+    /// unaffected (with the suspected leader excluded, 3f ≥ 2f+1 correct
+    /// reporters remain). `false` reproduces the published protocol —
+    /// useful only for regression tests that demonstrate the attack
+    /// (DESIGN.md §5a).
+    pub oc_strong_quorum: bool,
+    /// Base delay a replica committed to an ownership change waits for
+    /// the prospective new owner's NEWOWNER before *escalating*:
+    /// re-sending its OWNERCHANGE report to the next prospective owner in
+    /// ring order. Doubles per escalation (capped by
+    /// [`EzConfig::oc_backoff_cap`]) so dueling owner changes converge
+    /// instead of livelocking; a mute or byzantine new owner can no
+    /// longer wedge the space forever (DESIGN.md §5a). `ZERO` disables
+    /// escalation — the published protocol's behaviour.
+    pub oc_backoff_base: Micros,
+    /// Upper bound on the exponential owner-change escalation delay.
+    pub oc_backoff_cap: Micros,
+    /// Gap-fill NACKs: when a SPECORDER arrives out of order and parks in
+    /// the reorder buffer, ask the space's current leader to re-send the
+    /// missing slots instead of waiting for client retries / owner change
+    /// (lossy links, recovery windows). One NACK per observed gap front;
+    /// `false` disables (the paper sends nothing).
+    pub gap_fill: bool,
 }
 
 impl EzConfig {
@@ -97,6 +126,32 @@ impl EzConfig {
             exec_cost_us: 0,
             state_chunk_bytes: 64 * 1024,
             state_retry: Micros::from_millis(800),
+            oc_strong_quorum: true,
+            oc_backoff_base: Micros::from_millis(1_000),
+            oc_backoff_cap: Micros::from_millis(8_000),
+            gap_fill: true,
+        }
+    }
+
+    /// Reverts the owner-change hardening to the protocol exactly as
+    /// published (weak-quorum reports, no escalation backoff, no
+    /// gap-fill). Only regression tests demonstrating the
+    /// Revisiting-EZBFT attacks should want this (DESIGN.md §5a).
+    pub fn as_published(mut self) -> Self {
+        self.oc_strong_quorum = false;
+        self.oc_backoff_base = Micros::ZERO;
+        self.gap_fill = false;
+        self
+    }
+
+    /// The OWNERCHANGE report / NEWOWNER proof threshold: a strong
+    /// quorum (2f+1) with the hardening on, the paper's weak quorum
+    /// (f+1) otherwise (see [`EzConfig::oc_strong_quorum`]).
+    pub fn oc_report_quorum(&self) -> usize {
+        if self.oc_strong_quorum {
+            self.cluster.slow_quorum()
+        } else {
+            self.cluster.weak_quorum()
         }
     }
 

@@ -63,4 +63,4 @@ pub use deps::DepTracker;
 pub use graph::{execution_order, execution_units, ExecNode};
 pub use instance::{EntryStatus, ExecRef, InstanceId, OwnerNum};
 pub use msg::{CkptMark, Msg};
-pub use replica::{Replica, ReplicaStats};
+pub use replica::{CommittedView, Replica, ReplicaStats};

@@ -465,6 +465,42 @@ impl StartOwnerChange {
     }
 }
 
+/// `⟨FILLGAP, Ri, O, [lo, hi)⟩σRj` — a follower noticed a hole in `Ri`'s
+/// instance space (a SPECORDER parked in the reorder buffer above missing
+/// slots) and asks the space's current leader to re-send the missing
+/// range instead of waiting for client retransmission or an owner change
+/// (gap-fill protocol; the paper sends nothing here). Signed so a forged
+/// NACK cannot be used for re-send amplification.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct FillGap {
+    /// The instance space with the hole.
+    pub space: ReplicaId,
+    /// The owner number the requester currently observes for the space
+    /// (stale NACKs from before an owner change are discarded).
+    pub owner: OwnerNum,
+    /// First missing slot.
+    pub from_slot: u64,
+    /// One past the last missing slot.
+    pub to_slot: u64,
+    /// The requesting replica.
+    pub sender: ReplicaId,
+    /// Signature by `sender` over [`FillGap::signed_payload`].
+    pub sig: Signature,
+}
+
+impl FillGap {
+    /// Canonical signed bytes.
+    pub fn signed_payload(
+        space: ReplicaId,
+        owner: OwnerNum,
+        from_slot: u64,
+        to_slot: u64,
+    ) -> Vec<u8> {
+        ezbft_wire::to_bytes(&(b"fill-gap", space, owner, from_slot, to_slot))
+            .expect("fill-gap encodes")
+    }
+}
+
 /// Evidence attached to an entry in an OWNERCHANGE snapshot, proving how far
 /// the entry had progressed (used by Conditions 1 and 2 of §IV-E).
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -753,6 +789,8 @@ pub enum Msg<C, R> {
     ResendReq(ResendReq<C>),
     /// Client → replicas: proof of command-leader misbehaviour.
     Pom(Pom),
+    /// Replica → space leader: please re-send a missing SPECORDER range.
+    FillGap(FillGap),
     /// Replica → replicas: suspicion of a space's owner.
     StartOwnerChange(StartOwnerChange),
     /// Replica → new owner: history transfer.
@@ -789,6 +827,7 @@ impl<C, R> Msg<C, R> {
             Msg::Commit(_) => "commit",
             Msg::CommitReply(_) => "commit-reply",
             Msg::ResendReq(_) => "resend-req",
+            Msg::FillGap(_) => "fill-gap",
             Msg::Pom(_) => "pom",
             Msg::StartOwnerChange(_) => "start-owner-change",
             Msg::OwnerChange(_) => "owner-change",

@@ -23,12 +23,17 @@
 //! can re-derive `G` from the proof `P` carried by NEWOWNER and reject a
 //! byzantine new owner that lies about it.
 //!
-//! **Known caveat** (documented in DESIGN.md §5): with only `f + 1`
+//! **Known caveat** (documented in DESIGN.md §5/§5a): with only `f + 1`
 //! reports, a slow-path commit certificate held by `2f + 1` replicas is
 //! guaranteed to intersect the report set in at least one replica, but that
 //! replica may be byzantine and withhold the evidence; later literature
-//! identified this as a weakness of the published protocol. We implement
-//! the protocol as published and encode the behaviour in tests.
+//! ("Revisiting EZBFT") identified this as a safety weakness of the
+//! published protocol, and the adversarial campaign reproduces the break
+//! (`Behaviour::WithholdEvidence`). By default `EzConfig::oc_strong_quorum`
+//! therefore raises the report quorum to `2f + 1`, which intersects every
+//! slow-commit certificate in at least one *correct* replica — fix (a),
+//! DESIGN.md §5a. `EzConfig::as_published()` restores the paper's `f + 1`
+//! for reproduction runs.
 
 use std::collections::BTreeSet;
 

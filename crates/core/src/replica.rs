@@ -22,7 +22,7 @@ use ezbft_checkpoint::{
     StableCheckpoint,
 };
 use ezbft_crypto::{Audience, Digest, KeyStore};
-use ezbft_obs::{NullRecorder, Recorder, Stage};
+use ezbft_obs::{NullRecorder, Recorder, RecoveryKey, RecoveryStage, Stage};
 use ezbft_smr::{
     estimate_makespan, Actions, Application, ClientId, CloneReplay, Command, ExecItem, ExecUnit,
     Executor, Micros, NodeId, ParallelExecutor, ProtocolNode, ReplicaId, TimerId, Timestamp,
@@ -34,9 +34,9 @@ use crate::graph::{execution_units, ExecNode};
 use crate::instance::{EntryStatus, ExecRef, InstanceId, OwnerNum};
 use crate::msg::{
     batch_digests, BarrierAck, BarrierCommit, CkptMark, ClientMark, Commit, CommitAgg,
-    CommitConfirm, CommitFast, CommitReply, Evidence, EzSnapshot, Msg, NewOwner, OwnerChange, Pom,
-    Request, ResendReq, SpaceSuffix, SpecAck, SpecOrder, SpecOrderBody, SpecOrderHeader, SpecReply,
-    SpecReplyBody, StartOwnerChange, StateRequest, StateSuffix,
+    CommitConfirm, CommitFast, CommitReply, Evidence, EzSnapshot, FillGap, Msg, NewOwner,
+    OwnerChange, Pom, Request, ResendReq, SpaceSuffix, SpecAck, SpecOrder, SpecOrderBody,
+    SpecOrderHeader, SpecReply, SpecReplyBody, StartOwnerChange, StateRequest, StateSuffix,
 };
 use crate::owner::{
     compute_safe_set, verify_agg_certificate, verify_barrier_certificate, verify_owner_change,
@@ -44,6 +44,16 @@ use crate::owner::{
 
 use crate::deps::DepTracker;
 use crate::telemetry::span_key;
+
+/// How far ahead of a space's applied owner number we are willing to
+/// vote in an owner-change round. Escalation past mute prospective
+/// owners (fix (b), DESIGN.md §5a) needs rounds above `owner + 1`; the
+/// cap keeps the per-round vote/report maps bounded against a byzantine
+/// replica spamming votes for far-future owner numbers.
+const OC_ESCALATION_WINDOW: u64 = 8;
+
+/// Upper bound on SPECORDERs re-sent for one FILLGAP NACK.
+const GAP_FILL_MAX_SLOTS: u64 = 64;
 
 /// One slot's state in an instance space. A slot holds a *batch* of one
 /// or more client requests ordered as a unit (DESIGN.md §3); agreement
@@ -95,6 +105,11 @@ pub(crate) struct Space<C, R> {
     /// Whether this replica committed to an ownership change away from
     /// `owner` (stops participation until NEWOWNER arrives).
     pub committed_to_change: bool,
+    /// The owner number the committed-to change is moving the space *to*.
+    /// Meaningful only while `committed_to_change`; escalation rounds
+    /// (fix (b), DESIGN.md §5a) advance it past `owner.next()` when a
+    /// prospective new owner turns out to be mute.
+    pub oc_target: OwnerNum,
     pub next_slot: u64,
     /// Rolling digest `h` over accepted slots.
     pub log_digest: Digest,
@@ -103,6 +118,22 @@ pub(crate) struct Space<C, R> {
     pub pending_orders: BTreeMap<u64, SpecOrder<C>>,
     /// Commit decisions that arrived before their SPECORDER.
     pub pending_commits: BTreeMap<u64, PendingCommit<C, R>>,
+}
+
+/// One retained committed instance as seen by a replica: the agreement
+/// fingerprint the adversarial campaign's safety checkers compare across
+/// replicas (two correct replicas must never commit different batches or
+/// different `(deps, seq)` under the same `(owner, inst)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommittedView {
+    /// The committed instance.
+    pub inst: InstanceId,
+    /// Owner number the batch was ordered under.
+    pub owner: OwnerNum,
+    /// Digest over the ordered batch (request digests + order metadata).
+    pub batch_digest: Digest,
+    /// The agreed sequence number.
+    pub seq: u64,
 }
 
 /// A commit decision that arrived before its SPECORDER. Several clients of
@@ -131,6 +162,7 @@ impl<C, R> Space<C, R> {
             frozen: false,
             compact_floor: 0,
             committed_to_change: false,
+            oc_target: OwnerNum::initial(space_owner),
             next_slot: 0,
             log_digest: Digest::ZERO,
             entries: BTreeMap::new(),
@@ -227,6 +259,17 @@ enum ReplicaTimer {
     /// client went quiet): flush them as dedicated messages before the
     /// client's COMMITFAST fallback fires (DESIGN.md §7).
     ConfirmFlush,
+    /// Committed to an ownership change towards `new_owner` and still
+    /// waiting for its NEWOWNER. If it never arrives — the prospective
+    /// new owner is crashed, mute or byzantine — escalate: re-send our
+    /// OWNERCHANGE report to the *next* prospective owner in ring order,
+    /// with exponential backoff so dueling escalations converge instead
+    /// of livelocking (hardening beyond the paper; DESIGN.md §5a).
+    OwnerChangeEscalate {
+        space: ReplicaId,
+        new_owner: OwnerNum,
+        attempt: u32,
+    },
 }
 
 /// A locally retained snapshot: the canonical bytes plus the per-space
@@ -267,8 +310,18 @@ pub struct Replica<A: Application> {
     /// OWNERCHANGE messages collected by a prospective new owner.
     #[allow(clippy::type_complexity)]
     oc_reports: HashMap<(ReplicaId, OwnerNum), Vec<OwnerChange<A::Command, A::Response>>>,
+    /// Gap-fill dedup: per space, the reorder-buffer front (`next_slot`)
+    /// we last NACKed — one FILLGAP per observed gap front, so a burst of
+    /// buffered orders behind one hole produces one NACK, not a storm.
+    gap_nacks: HashMap<ReplicaId, u64>,
     /// Finally-executed commands in execution order (safety checkers).
     executed_log: Vec<ExecRef>,
+    /// The subset of [`Replica::executed_log`] that actually mutated
+    /// application state. A duplicate proposal replayed at the client's
+    /// executed watermark lands in `executed_log` (it produced a reply)
+    /// but not here — exactly-once is a property of *applies*, and this
+    /// is what the adversarial safety checkers must read.
+    applied_log: Vec<ExecRef>,
     // --- checkpointing (DESIGN.md §6) ---
     /// Barriers executed so far (the next barrier gets `ckpt_seq + 1`).
     ckpt_seq: u64,
@@ -373,7 +426,9 @@ impl<A: Application + Snapshotable> Replica<A> {
             oc_votes: HashMap::new(),
             oc_started: HashMap::new(),
             oc_reports: HashMap::new(),
+            gap_nacks: HashMap::new(),
             executed_log: Vec::new(),
+            applied_log: Vec::new(),
             ckpt_seq: 0,
             executed_since_ckpt: 0,
             executed_since_barrier: 0,
@@ -494,6 +549,15 @@ impl<A: Application + Snapshotable> Replica<A> {
         &self.executed_log
     }
 
+    /// Commands that actually mutated application state, in apply order.
+    /// Excludes watermark replays of duplicate proposals (which appear in
+    /// [`Replica::executed_log`] because they produced a reply, but were
+    /// never re-applied). The exactly-once and execution-order safety
+    /// checkers read this log.
+    pub fn applied_log(&self) -> &[ExecRef] {
+        &self.applied_log
+    }
+
     /// The latest stable checkpoint mark, if any.
     pub fn stable_mark(&self) -> Option<CkptMark> {
         self.ckpt_tracker.stable().map(|s| s.mark)
@@ -536,6 +600,49 @@ impl<A: Application + Snapshotable> Replica<A> {
             .get(&inst.slot)
             .map(|e| e.reqs.len())
             .unwrap_or(0)
+    }
+
+    /// The `(client, timestamp)` identity of the request ordered at `at`,
+    /// if the entry is still retained. Lets the adversarial campaign's
+    /// liveness check tie executed slots back to submitted requests.
+    pub fn request_id_of(&self, at: ExecRef) -> Option<(ClientId, Timestamp)> {
+        self.spaces[at.inst.space.index()]
+            .entries
+            .get(&at.inst.slot)
+            .and_then(|e| e.req_at(at.offset))
+            .map(|r| (r.client, r.ts))
+    }
+
+    /// Whether `space` is frozen (post owner change).
+    pub fn space_frozen(&self, space: ReplicaId) -> bool {
+        self.spaces[space.index()].frozen
+    }
+
+    /// Whether this replica has committed to an ownership change for
+    /// `space` that has not been applied yet (mid-recovery; a replica
+    /// stuck here past the liveness bound is wedged).
+    pub fn space_committed_to_change(&self, space: ReplicaId) -> bool {
+        self.spaces[space.index()].committed_to_change
+    }
+
+    /// Every retained committed-or-executed instance with its agreement
+    /// fingerprint, for cross-replica safety checks (the adversarial
+    /// campaign's commit-agreement invariant).
+    pub fn committed_views(&self) -> Vec<CommittedView> {
+        let mut out = Vec::new();
+        for space in &self.spaces {
+            for e in space.entries.values() {
+                if e.status.is_committed() {
+                    out.push(CommittedView {
+                        inst: e.header.body.inst,
+                        owner: e.owner,
+                        batch_digest: e.batch_digest,
+                        seq: e.seq,
+                    });
+                }
+            }
+        }
+        out
     }
 
     fn reply_audience(&self, client: ClientId) -> Audience {
@@ -868,6 +975,94 @@ impl<A: Application + Snapshotable> Replica<A> {
     }
 
     // ------------------------------------------------------------------
+    // Gap fill (beyond the paper; DESIGN.md §5a)
+    // ------------------------------------------------------------------
+
+    /// Signs and sends a FILLGAP NACK for slots `[from_slot, to_slot)` of
+    /// `space` to the space's leader under `owner`.
+    fn send_fill_gap(
+        &mut self,
+        space: ReplicaId,
+        owner: OwnerNum,
+        from_slot: u64,
+        to_slot: u64,
+        out: &mut Out<A>,
+    ) {
+        let leader = owner.owner(&self.cfg.cluster);
+        if leader == self.id || from_slot >= to_slot {
+            return;
+        }
+        let payload = FillGap::signed_payload(space, owner, from_slot, to_slot);
+        let sig = self
+            .keys
+            .sign(&payload, &Audience::replicas(self.cfg.cluster.n()));
+        out.send(
+            NodeId::Replica(leader),
+            Msg::FillGap(FillGap {
+                space,
+                owner,
+                from_slot,
+                to_slot,
+                sender: self.id,
+                sig,
+            }),
+        );
+        if self.rec.enabled() {
+            self.rec.counter("replica.gap_nacks_sent", 1);
+        }
+    }
+
+    /// A follower NACKed a missing SPECORDER range of a space we lead:
+    /// re-unicast the retained orders. Only the current leader under the
+    /// requester's owner number serves (a stale NACK from before an owner
+    /// change is dropped — the change re-ships history itself).
+    fn on_fill_gap(&mut self, fg: FillGap, from: NodeId, out: &mut Out<A>) {
+        if from != NodeId::Replica(fg.sender) || fg.from_slot >= fg.to_slot {
+            self.stats.rejected += 1;
+            return;
+        }
+        let payload = FillGap::signed_payload(fg.space, fg.owner, fg.from_slot, fg.to_slot);
+        if self
+            .keys
+            .verify(NodeId::Replica(fg.sender), &payload, &fg.sig)
+            .is_err()
+        {
+            self.stats.rejected += 1;
+            return;
+        }
+        let space = &self.spaces[fg.space.index()];
+        if space.owner != fg.owner || fg.owner.owner(&self.cfg.cluster) != self.id {
+            return;
+        }
+        // Bound the work a single NACK can demand of us.
+        let to = fg
+            .to_slot
+            .min(space.next_slot)
+            .min(fg.from_slot.saturating_add(GAP_FILL_MAX_SLOTS));
+        let mut resent = 0u64;
+        for slot in fg.from_slot..to {
+            let Some(e) = space.entries.get(&slot) else {
+                continue; // compacted: unservable, state transfer covers it
+            };
+            if e.owner != fg.owner || matches!(e.header.sig, ezbft_crypto::Signature::Null) {
+                continue; // adopted without an original signed header
+            }
+            out.send(
+                from,
+                Msg::SpecOrder(SpecOrder {
+                    body: e.header.body.clone(),
+                    sig: e.header.sig.clone(),
+                    reqs: e.reqs.clone(),
+                }),
+            );
+            resent += 1;
+        }
+        if resent > 0 && self.rec.enabled() {
+            self.rec.counter("replica.gap_fills_served", resent);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Follower path (§IV-A step 3)
     // ------------------------------------------------------------------
 
@@ -940,8 +1135,25 @@ impl<A: Application + Snapshotable> Replica<A> {
         }
         if slot > space.next_slot {
             // Gap: buffer until contiguous (the quasi-reliable network may
-            // reorder, §II).
+            // reorder, §II). Beyond the paper, NACK the missing range to
+            // the space's leader so a *lost* SPECORDER is refilled
+            // directly instead of waiting for client retransmission or an
+            // owner change (gap-fill protocol, DESIGN.md §5a). One NACK
+            // per observed gap front: a burst of buffered orders behind
+            // one hole produces a single FILLGAP.
+            let front = space.next_slot;
+            let owner = space.owner;
             space.pending_orders.insert(slot, so);
+            let to_slot = space
+                .pending_orders
+                .range(front..slot)
+                .next()
+                .map(|(s, _)| *s)
+                .unwrap_or(slot);
+            if self.cfg.gap_fill && self.gap_nacks.get(&space_id) != Some(&front) {
+                self.gap_nacks.insert(space_id, front);
+                self.send_fill_gap(space_id, owner, front, to_slot, out);
+            }
             return;
         }
         self.accept_spec_order(so, out);
@@ -1837,6 +2049,7 @@ impl<A: Application + Snapshotable> Replica<A> {
                         let r = results[idx][0].clone();
                         let record = self.clients.entry(pos.client).or_default();
                         record.executed_response = Some(r.clone());
+                        self.applied_log.push(pos.at);
                         r
                     }
                     Decision::Replay(Some(r)) => r,
@@ -1972,6 +2185,7 @@ impl<A: Application + Snapshotable> Replica<A> {
             let record = self.clients.entry(req.client).or_default();
             record.executed_ts = req.ts;
             record.executed_response = Some(response.clone());
+            self.applied_log.push(at);
             response
         };
 
@@ -2941,16 +3155,27 @@ impl<A: Application + Snapshotable> Replica<A> {
         self.start_owner_change(pom.space, pom.owner, out);
     }
 
-    /// Broadcasts STARTOWNERCHANGE for `(space, owner)` once.
+    /// Broadcasts STARTOWNERCHANGE for `(space, owner)` once. `owner` is
+    /// the owner number being *abandoned*: normally the space's current
+    /// owner, or — during escalation (fix (b), DESIGN.md §5a) — a
+    /// prospective new owner that went mute before completing the round.
     fn start_owner_change(&mut self, space: ReplicaId, owner: OwnerNum, out: &mut Out<A>) {
-        if self.spaces[space.index()].owner != owner {
-            return; // already moved on
+        if !self.oc_round_plausible(space, owner) {
+            return;
         }
         let key = (space, owner);
         if *self.oc_started.get(&key).unwrap_or(&false) {
             return;
         }
         self.oc_started.insert(key, true);
+        self.rec.recovery(
+            RecoveryKey {
+                space: space.index() as u8,
+                new_owner: owner.0 + 1,
+            },
+            RecoveryStage::Suspected,
+            out.now().as_micros(),
+        );
         if self.rec.enabled() {
             self.rec.event(
                 "replica.owner_change_started",
@@ -2989,14 +3214,25 @@ impl<A: Application + Snapshotable> Replica<A> {
             self.stats.rejected += 1;
             return;
         }
-        if self.spaces[soc.space.index()].owner != soc.owner {
-            return; // stale
+        if !self.oc_round_plausible(soc.space, soc.owner) {
+            return; // stale, or implausibly far ahead of our view
         }
         self.oc_votes
             .entry((soc.space, soc.owner))
             .or_default()
             .vote(soc.sender);
         self.maybe_commit_owner_change(soc.space, soc.owner, out);
+    }
+
+    /// Whether a STARTOWNERCHANGE round abandoning `owner` is one we are
+    /// willing to vote in: not behind the space's current owner (stale),
+    /// and at most [`OC_ESCALATION_WINDOW`] numbers ahead of it. The
+    /// window admits escalation rounds past mute prospective owners while
+    /// keeping the per-round vote/report maps bounded against a byzantine
+    /// replica spamming votes for far-future owner numbers.
+    fn oc_round_plausible(&self, space: ReplicaId, owner: OwnerNum) -> bool {
+        let cur = self.spaces[space.index()].owner;
+        owner >= cur && owner.0 - cur.0 <= OC_ESCALATION_WINDOW
     }
 
     fn maybe_commit_owner_change(&mut self, space: ReplicaId, owner: OwnerNum, out: &mut Out<A>) {
@@ -3012,13 +3248,48 @@ impl<A: Application + Snapshotable> Replica<A> {
         // replicas stop participating and report to the new owner).
         self.start_owner_change(space, owner, out);
         let sp = &mut self.spaces[space.index()];
-        if sp.committed_to_change || sp.owner != owner {
-            return;
+        let new_owner = owner.next();
+        if sp.owner > owner || (sp.committed_to_change && sp.oc_target >= new_owner) {
+            return; // stale, or this (or a later) round already committed
         }
         sp.committed_to_change = true;
-        let new_owner = owner.next();
-        let new_leader = new_owner.owner(&self.cfg.cluster);
+        sp.oc_target = new_owner;
+        self.rec.recovery(
+            RecoveryKey {
+                space: space.index() as u8,
+                new_owner: new_owner.0,
+            },
+            RecoveryStage::Committed,
+            out.now().as_micros(),
+        );
+        self.send_owner_change_report(space, new_owner, out);
+        // Fix (b), DESIGN.md §5a: a committed replica stops participating
+        // in the space, so a mute prospective owner would otherwise stall
+        // it forever. Arm an escalation timer; if NEWOWNER has not been
+        // applied when it fires, the report is re-sent (lost-message
+        // case) and the round votes to escalate past the prospective
+        // owner (mute-owner case), with exponential backoff.
+        if self.cfg.oc_backoff_base > Micros::ZERO {
+            let t = ReplicaTimer::OwnerChangeEscalate {
+                space,
+                new_owner,
+                attempt: 0,
+            };
+            self.arm_timer(t, self.cfg.oc_backoff_base, out);
+        }
+    }
 
+    /// Builds and sends this replica's OWNERCHANGE report (entry
+    /// snapshots + compaction floor, §IV-E) to the prospective
+    /// `new_owner`'s leader. Shared by the commit path and escalation
+    /// re-sends.
+    fn send_owner_change_report(
+        &mut self,
+        space: ReplicaId,
+        new_owner: OwnerNum,
+        out: &mut Out<A>,
+    ) {
+        let sp = &self.spaces[space.index()];
         // Snapshot our view of the space (spec-ordered/committed entries).
         let entries: Vec<_> = sp
             .entries
@@ -3036,7 +3307,7 @@ impl<A: Application + Snapshotable> Replica<A> {
                     .unwrap_or(Evidence::SpecOrdered(e.header.clone())),
             })
             .collect();
-        let floor = self.spaces[space.index()].compact_floor;
+        let floor = sp.compact_floor;
         let payload = OwnerChange::signed_payload(space, new_owner, floor, &entries);
         let sig = self
             .keys
@@ -3049,6 +3320,7 @@ impl<A: Application + Snapshotable> Replica<A> {
             entries,
             sig,
         };
+        let new_leader = new_owner.owner(&self.cfg.cluster);
         if new_leader == self.id {
             self.on_owner_change(oc, NodeId::Replica(self.id), out);
         } else {
@@ -3080,11 +3352,25 @@ impl<A: Application + Snapshotable> Replica<A> {
             return;
         }
         reports.push(oc);
-        if reports.len() < self.cfg.cluster.weak_quorum() {
+        // Fix (a), DESIGN.md §5a: with `oc_strong_quorum` (default) we
+        // wait for 2f+1 reports instead of the paper's f+1. Any 2f+1
+        // report set intersects any 2f+1 commit-certificate set in at
+        // least f+1 replicas, so at least one *correct* reporter carries
+        // the evidence for every slow-committed instance — f colluding
+        // reporters can no longer make a committed command vanish from G.
+        if reports.len() < self.cfg.oc_report_quorum() {
             return;
         }
         let proof = reports.clone();
         let (space, new_owner) = key;
+        self.rec.recovery(
+            RecoveryKey {
+                space: space.index() as u8,
+                new_owner: new_owner.0,
+            },
+            RecoveryStage::SafeSet,
+            out.now().as_micros(),
+        );
         let safe = compute_safe_set(&mut self.keys, &self.cfg, space, &proof);
         let payload = NewOwner::signed_payload(space, new_owner, &safe);
         let sig = self
@@ -3124,7 +3410,7 @@ impl<A: Application + Snapshotable> Replica<A> {
             return;
         }
         // Validate the proof set and recompute the safe set ourselves.
-        if no.proof.len() < self.cfg.cluster.weak_quorum() {
+        if no.proof.len() < self.cfg.oc_report_quorum() {
             self.stats.rejected += 1;
             return;
         }
@@ -3151,8 +3437,13 @@ impl<A: Application + Snapshotable> Replica<A> {
     /// rolls back divergent speculation, freezes the space.
     fn apply_new_owner(&mut self, no: NewOwner<A::Command, A::Response>, out: &mut Out<A>) {
         let space_idx = no.space.index();
-        if self.spaces[space_idx].owner >= no.new_owner && self.spaces[space_idx].frozen {
-            return; // already applied
+        // Fix (c), DESIGN.md §5a: reject any NEWOWNER that does not
+        // strictly advance the owner number, frozen or not. The previous
+        // guard (`>= && frozen`) left a replay window: a replayed
+        // NEWOWNER for the *current* owner number of a not-yet-frozen
+        // space could re-apply a stale safe set over live entries.
+        if self.spaces[space_idx].owner >= no.new_owner {
+            return; // stale or already applied
         }
 
         let safe_slots: BTreeSet<u64> = no.safe.iter().map(|s| s.inst.slot).collect();
@@ -3249,7 +3540,16 @@ impl<A: Application + Snapshotable> Replica<A> {
         space.frozen = true;
         space.committed_to_change = false;
         space.pending_orders.clear();
+        self.gap_nacks.remove(&no.space);
         self.stats.owner_changes += 1;
+        self.rec.recovery(
+            RecoveryKey {
+                space: no.space.index() as u8,
+                new_owner: no.new_owner.0,
+            },
+            RecoveryStage::Applied,
+            out.now().as_micros(),
+        );
         if self.rec.enabled() {
             self.rec.counter("replica.owner_changes", 1);
             self.rec.event(
@@ -3394,6 +3694,7 @@ impl<A: Application + Snapshotable> ProtocolNode for Replica<A> {
             Msg::CommitAgg(ca) => self.on_commit_agg(ca, out),
             Msg::Commit(cm) => self.on_commit(cm, out),
             Msg::ResendReq(rr) => self.on_resend_req(rr, out),
+            Msg::FillGap(fg) => self.on_fill_gap(fg, from, out),
             Msg::Pom(pom) => self.on_pom(pom, out),
             Msg::StartOwnerChange(soc) => self.on_start_owner_change(soc, from, out),
             Msg::OwnerChange(oc) => self.on_owner_change(oc, from, out),
@@ -3458,6 +3759,35 @@ impl<A: Application + Snapshotable> ProtocolNode for Replica<A> {
                         out.send(NodeId::Client(client), Msg::CommitConfirm(cf));
                     }
                 }
+            }
+            ReplicaTimer::OwnerChangeEscalate {
+                space,
+                new_owner,
+                attempt,
+            } => {
+                let sp = &self.spaces[space.index()];
+                if !sp.committed_to_change || sp.owner >= new_owner || sp.oc_target != new_owner {
+                    return; // round resolved or superseded by a later one
+                }
+                // Still stuck: re-send our report (lost-message case) and
+                // vote to escalate past the prospective owner (mute-owner
+                // case; commits only once f+1 replicas time out too).
+                self.send_owner_change_report(space, new_owner, out);
+                self.start_owner_change(space, new_owner, out);
+                let next = attempt.saturating_add(1);
+                let backoff = Micros(
+                    self.cfg
+                        .oc_backoff_base
+                        .as_micros()
+                        .saturating_mul(1u64 << next.min(20))
+                        .min(self.cfg.oc_backoff_cap.as_micros()),
+                );
+                let t = ReplicaTimer::OwnerChangeEscalate {
+                    space,
+                    new_owner,
+                    attempt: next,
+                };
+                self.arm_timer(t, backoff, out);
             }
         }
     }

@@ -7,11 +7,12 @@
 //! `--quick` reduces per-configuration request counts for a fast smoke run;
 //! the default counts match those recorded in EXPERIMENTS.md.
 //!
-//! The `commit_traffic`, `exec_scaling` and `stage_latency` targets
-//! additionally write their machine-readable summaries to
-//! `BENCH_commit_traffic.json`, `BENCH_exec.json` and
-//! `BENCH_stage_latency.json` in the working directory — the per-PR
-//! benchmark artefacts checked in at the repo root.
+//! The `commit_traffic`, `exec_scaling`, `stage_latency` and
+//! `adversarial` targets additionally write their machine-readable
+//! summaries to `BENCH_commit_traffic.json`, `BENCH_exec.json`,
+//! `BENCH_stage_latency.json` and `BENCH_adversarial.json` in the
+//! working directory — the per-PR benchmark artefacts checked in at the
+//! repo root.
 
 use ezbft_harness::experiments;
 use ezbft_smr::Micros;
@@ -85,6 +86,20 @@ fn run_one(target: &str, quick: bool) -> bool {
             println!("{}", report.to_json());
             write_bench("BENCH_stage_latency.json", &report.to_json());
         }
+        "adversarial" => {
+            // Full campaign: every attack mix × 20 seeds with the fixes
+            // on, plus published-mode demonstrations of the holes (quick:
+            // 3 seeds, 1 demonstration seed).
+            let seeds = experiments::campaign_seeds(if quick { 3 } else { 20 });
+            let report = experiments::adversarial(&seeds, if quick { 1 } else { 3 });
+            println!("{}", report.render());
+            println!("{}", report.to_json());
+            write_bench("BENCH_adversarial.json", &report.to_json());
+            if !report.all_as_expected() {
+                eprintln!("adversarial campaign deviated from expectations");
+                return false;
+            }
+        }
         "all" => {
             for t in [
                 "table1",
@@ -99,6 +114,7 @@ fn run_one(target: &str, quick: bool) -> bool {
                 "commit_traffic",
                 "exec_scaling",
                 "stage_latency",
+                "adversarial",
             ] {
                 run_one(t, quick);
             }
@@ -106,7 +122,7 @@ fn run_one(target: &str, quick: bool) -> bool {
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|recovery|commit_traffic|exec_scaling|stage_latency|all] [--quick]"
+                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|recovery|commit_traffic|exec_scaling|stage_latency|adversarial|all] [--quick]"
             );
             return false;
         }

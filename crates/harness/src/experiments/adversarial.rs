@@ -1,0 +1,1082 @@
+//! **Adversarial owner-change campaign**: invariant-checked fault
+//! schedules from the "Revisiting EZBFT" critique, run against both the
+//! hardened protocol (the default [`EzConfig`]) and the protocol exactly
+//! as published ([`EzConfig::as_published`]).
+//!
+//! Each attack mix positions one byzantine replica (a
+//! [`Behaviour`] from `ezbft_core::byzantine`) and/or a set of targeted
+//! [`DeliveryRule`]s, crashes a command-leader, and drives conflicting
+//! client traffic through the recovery. Four safety invariants sweep the
+//! whole cluster continuously while the schedule unfolds:
+//!
+//! - **commit-agreement** — no two correct replicas commit different
+//!   batches (or different sequence numbers) under the same
+//!   `(owner, instance)`;
+//! - **commit-survival** — a command committed at a correct replica is
+//!   never lost by an ownership change (the Revisiting-EZBFT
+//!   evidence-withholding attack erases exactly this);
+//! - **exec-order** — no two correct replicas execute conflicting
+//!   commands in different orders;
+//! - **exactly-once** — no correct replica executes one request twice.
+//!
+//! Liveness is judged per run: every scripted client request must
+//! complete within the virtual-time bound (bounded owner-change rounds
+//! after GST — rules are cleared at the crash, the simulated GST), and no
+//! correct replica may remain wedged mid-owner-change once the run
+//! settles. Violations carry the offending schedule (the traced message
+//! tail) for post-mortem.
+//!
+//! The campaign (`adversarial` harness target) runs every mix over a
+//! seed set with the fixes on — expected green — plus demonstration rows
+//! with the fixes off, where the checkers must flag the known-bad
+//! schedules (DESIGN.md §5a).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ezbft_core::{Behaviour, ByzantineReplica, Client, EzConfig, InstanceId, Msg, Replica};
+use ezbft_crypto::{CryptoKind, Digest, KeyStore};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_simnet::{DeliveryRule, Invariant, Region, SimConfig, SimNet, Topology, Violation};
+use ezbft_smr::{
+    interferes_by_keys, Actions, ClientId, ClientNode, ClusterConfig, Command, ConflictKey, Micros,
+    NodeId, ProtocolNode, ReplicaId, TimerId, Timestamp,
+};
+
+use crate::report::TextTable;
+
+type KvMsg = Msg<KvOp, KvResponse>;
+
+// ----------------------------------------------------------------------
+// Scripted client (same idiom as the recovery experiment)
+// ----------------------------------------------------------------------
+
+struct ScriptedClient {
+    inner: Client<KvOp, KvResponse>,
+    script: VecDeque<KvOp>,
+}
+
+impl ScriptedClient {
+    fn pump(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        if !self.inner.in_flight() {
+            if let Some(op) = self.script.pop_front() {
+                self.inner.submit(op, out);
+            }
+        }
+    }
+}
+
+impl ProtocolNode for ScriptedClient {
+    type Message = KvMsg;
+    type Response = KvResponse;
+
+    fn id(&self) -> NodeId {
+        ProtocolNode::id(&self.inner)
+    }
+    fn on_start(&mut self, out: &mut Actions<KvMsg, KvResponse>) {
+        self.pump(out);
+    }
+    fn on_message(&mut self, from: NodeId, msg: KvMsg, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_message(from, msg, out);
+        self.pump(out);
+    }
+    fn on_timer(&mut self, id: TimerId, out: &mut Actions<KvMsg, KvResponse>) {
+        self.inner.on_timer(id, out);
+        self.pump(out);
+    }
+}
+
+fn keystores(cluster: ClusterConfig, clients: &[u64]) -> Vec<KeyStore> {
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    for id in clients {
+        nodes.push(NodeId::Client(ClientId::new(*id)));
+    }
+    KeyStore::cluster(CryptoKind::Mac, b"adversarial-exp", &nodes)
+}
+
+/// Downcasts a *correct* (unwrapped) replica out of the simulation.
+fn replica_of(sim: &SimNet<KvMsg, KvResponse>, r: ReplicaId) -> &Replica<KvStore> {
+    sim.inspect(NodeId::Replica(r))
+        .expect("inspectable")
+        .downcast_ref::<Replica<KvStore>>()
+        .expect("correct replica")
+}
+
+// ----------------------------------------------------------------------
+// Safety invariants
+// ----------------------------------------------------------------------
+
+/// No two correct replicas commit different batches (or sequence
+/// numbers) under the same `(owner, instance)`.
+struct CommitAgreement {
+    correct: Vec<ReplicaId>,
+    seen: BTreeMap<(InstanceId, u64), (Digest, u64, ReplicaId)>,
+}
+
+impl Invariant<KvMsg, KvResponse> for CommitAgreement {
+    fn name(&self) -> &'static str {
+        "commit-agreement"
+    }
+    fn check(&mut self, sim: &SimNet<KvMsg, KvResponse>) -> Option<String> {
+        for &r in &self.correct {
+            for v in replica_of(sim, r).committed_views() {
+                let key = (v.inst, v.owner.0);
+                match self.seen.get(&key) {
+                    None => {
+                        self.seen.insert(key, (v.batch_digest, v.seq, r));
+                    }
+                    Some(&(digest, seq, first)) => {
+                        if digest != v.batch_digest || seq != v.seq {
+                            return Some(format!(
+                                "space {} slot {} owner {}: {:?} committed (digest {:?}, seq {}) \
+                                 but {:?} committed (digest {:?}, seq {})",
+                                v.inst.space.index(),
+                                v.inst.slot,
+                                v.owner.0,
+                                first,
+                                digest,
+                                seq,
+                                r,
+                                v.batch_digest,
+                                v.seq,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A command committed at any correct replica must survive ownership
+/// changes everywhere: once a correct replica's space advances past the
+/// committing owner round, the instance must still be present there
+/// (committed or executed), unless compaction already retired it.
+struct CommitSurvival {
+    correct: Vec<ReplicaId>,
+    committed: BTreeMap<(InstanceId, u64), ReplicaId>,
+}
+
+impl Invariant<KvMsg, KvResponse> for CommitSurvival {
+    fn name(&self) -> &'static str {
+        "commit-survival"
+    }
+    fn check(&mut self, sim: &SimNet<KvMsg, KvResponse>) -> Option<String> {
+        for &r in &self.correct {
+            for v in replica_of(sim, r).committed_views() {
+                self.committed.entry((v.inst, v.owner.0)).or_insert(r);
+            }
+        }
+        for (&(inst, owner), &witness) in &self.committed {
+            for &r in &self.correct {
+                let rep = replica_of(sim, r);
+                if rep.space_owner(inst.space).0 > owner
+                    && rep.instance_status(inst).is_none()
+                    && inst.slot >= rep.compact_floor(inst.space)
+                {
+                    return Some(format!(
+                        "space {} slot {} committed under owner {} at {:?}, but {:?} moved to \
+                         owner {} without it: the ownership change erased a committed command",
+                        inst.space.index(),
+                        inst.slot,
+                        owner,
+                        witness,
+                        r,
+                        rep.space_owner(inst.space).0,
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// No two correct replicas execute conflicting commands in different
+/// orders.
+struct ExecOrderConsistent {
+    correct: Vec<ReplicaId>,
+}
+
+type ExecView = Vec<((ClientId, Timestamp), Vec<ConflictKey>)>;
+
+fn exec_view(rep: &Replica<KvStore>) -> ExecView {
+    rep.applied_log()
+        .iter()
+        .filter_map(|&at| {
+            let id = rep.request_id_of(at)?;
+            let keys = rep.command_of(at)?.conflict_keys();
+            Some((id, keys))
+        })
+        .collect()
+}
+
+impl Invariant<KvMsg, KvResponse> for ExecOrderConsistent {
+    fn name(&self) -> &'static str {
+        "exec-order"
+    }
+    fn check(&mut self, sim: &SimNet<KvMsg, KvResponse>) -> Option<String> {
+        let views: Vec<(ReplicaId, ExecView)> = self
+            .correct
+            .iter()
+            .map(|&r| (r, exec_view(replica_of(sim, r))))
+            .collect();
+        for (ai, (a, view_a)) in views.iter().enumerate() {
+            for (b, view_b) in views.iter().skip(ai + 1) {
+                let pos_b: BTreeMap<(ClientId, Timestamp), usize> = view_b
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (id, _))| (*id, i))
+                    .collect();
+                for (i, (id_i, keys_i)) in view_a.iter().enumerate() {
+                    for (id_j, keys_j) in view_a.iter().skip(i + 1) {
+                        if !interferes_by_keys(keys_i, keys_j) {
+                            continue;
+                        }
+                        if let (Some(&pi), Some(&pj)) = (pos_b.get(id_i), pos_b.get(id_j)) {
+                            if pi > pj {
+                                return Some(format!(
+                                    "{a:?} executed {id_i:?} before {id_j:?} (conflicting), \
+                                     {b:?} executed them in the opposite order",
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// No correct replica applies one request to its state twice. Judged on
+/// [`Replica::applied_log`] — a duplicate proposal *replayed* at the
+/// client's executed watermark is the protocol's exactly-once machinery
+/// working, not a violation.
+struct ExactlyOnce {
+    correct: Vec<ReplicaId>,
+}
+
+impl Invariant<KvMsg, KvResponse> for ExactlyOnce {
+    fn name(&self) -> &'static str {
+        "exactly-once"
+    }
+    fn check(&mut self, sim: &SimNet<KvMsg, KvResponse>) -> Option<String> {
+        for &r in &self.correct {
+            let rep = replica_of(sim, r);
+            let mut seen = BTreeSet::new();
+            for &at in rep.applied_log() {
+                if let Some(id) = rep.request_id_of(at) {
+                    if !seen.insert(id) {
+                        return Some(format!("{r:?} executed request {id:?} twice"));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+// ----------------------------------------------------------------------
+// Attack mixes
+// ----------------------------------------------------------------------
+
+/// One adversarial schedule family from the Revisiting-EZBFT campaign.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AttackMix {
+    /// The evidence-withholding safety attack: a slow-path certificate
+    /// reaches only one surviving correct replica, the command-leader
+    /// crashes, and the byzantine replica reports an *empty* view — with
+    /// the paper's weak report quorum the committed command vanishes
+    /// from the safe set.
+    WithholdEvidence,
+    /// The byzantine replica becomes the new owner and sends different
+    /// safe sets to different peers.
+    EquivocateSafeSet,
+    /// The byzantine replica replays its own stale NEWOWNER long after
+    /// the round completed.
+    StaleNewOwnerReplay,
+    /// The byzantine replica withholds acks/replies for every odd slot,
+    /// denying the fast path; commitment must degrade gracefully to the
+    /// slow path.
+    SelectiveAck,
+    /// The byzantine replica is the prospective new owner and goes mute:
+    /// it swallows OWNERCHANGE reports and never sends NEWOWNER. Without
+    /// escalation the space is wedged forever.
+    MuteNewOwner,
+    /// No byzantine replica: heavy reordering/delay on every
+    /// owner-change message plus lossy SPECORDER links, around a leader
+    /// crash.
+    DelayStorm,
+}
+
+impl AttackMix {
+    /// Every mix, in campaign order.
+    pub const ALL: [AttackMix; 6] = [
+        AttackMix::WithholdEvidence,
+        AttackMix::EquivocateSafeSet,
+        AttackMix::StaleNewOwnerReplay,
+        AttackMix::SelectiveAck,
+        AttackMix::MuteNewOwner,
+        AttackMix::DelayStorm,
+    ];
+
+    /// Stable name used in reports and `BENCH_adversarial.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackMix::WithholdEvidence => "withhold_evidence",
+            AttackMix::EquivocateSafeSet => "equivocate_safe_set",
+            AttackMix::StaleNewOwnerReplay => "stale_new_owner_replay",
+            AttackMix::SelectiveAck => "selective_ack",
+            AttackMix::MuteNewOwner => "mute_new_owner",
+            AttackMix::DelayStorm => "delay_storm",
+        }
+    }
+
+    /// The byzantine replica this mix positions, if any.
+    fn byz(self) -> Option<(ReplicaId, Behaviour)> {
+        match self {
+            AttackMix::WithholdEvidence => Some((ReplicaId::new(1), Behaviour::WithholdEvidence)),
+            AttackMix::EquivocateSafeSet => Some((ReplicaId::new(1), Behaviour::EquivocateSafeSet)),
+            AttackMix::StaleNewOwnerReplay => {
+                Some((ReplicaId::new(1), Behaviour::StaleNewOwnerReplay))
+            }
+            AttackMix::SelectiveAck => Some((ReplicaId::new(1), Behaviour::SelectiveAck)),
+            AttackMix::MuteNewOwner => Some((ReplicaId::new(1), Behaviour::MuteNewOwner)),
+            AttackMix::DelayStorm => None,
+        }
+    }
+
+    /// The command-leader this mix crashes, if any. Chosen so the
+    /// prospective new owner of the victim space is the mix's byzantine
+    /// replica (equivocate/replay/mute) or an honest replica that never
+    /// saw the committed entry (withhold).
+    fn crashed_leader(self) -> Option<ReplicaId> {
+        match self {
+            // Space 3's next owner number is 4 → replica 0 (no entry).
+            AttackMix::WithholdEvidence => Some(ReplicaId::new(3)),
+            // Space 0's next owner number is 1 → replica 1 (the byz).
+            AttackMix::EquivocateSafeSet
+            | AttackMix::StaleNewOwnerReplay
+            | AttackMix::MuteNewOwner
+            | AttackMix::DelayStorm => Some(ReplicaId::new(0)),
+            AttackMix::SelectiveAck => None,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// One schedule run
+// ----------------------------------------------------------------------
+
+/// The outcome of one (mix, seed, mode) schedule.
+#[derive(Clone, Debug)]
+pub struct AttackOutcome {
+    /// The mix that ran.
+    pub mix: AttackMix,
+    /// The simulation seed.
+    pub seed: u64,
+    /// Whether the owner-change hardening was on (`false` = as published).
+    pub hardened: bool,
+    /// Safety-invariant violations (with offending schedules).
+    pub violations: Vec<Violation>,
+    /// Client requests that completed within the bound.
+    pub completed: usize,
+    /// Client requests scripted.
+    pub expected: usize,
+    /// Requests that completed on the slow path.
+    pub slow_deliveries: usize,
+    /// Correct replicas still wedged mid-owner-change after settling.
+    pub wedged: usize,
+    /// Max completed ownership changes over the correct replicas.
+    pub owner_changes: u64,
+}
+
+impl AttackOutcome {
+    /// Liveness: every scripted request completed and no correct replica
+    /// stayed wedged mid-owner-change.
+    pub fn liveness_ok(&self) -> bool {
+        self.completed == self.expected && self.wedged == 0
+    }
+}
+
+const VICTIM_KEY: Key = Key(7);
+
+/// Runs one adversarial schedule. Every mix follows the same skeleton:
+/// pre-GST traffic under the mix's delivery rules, the leader crash, GST
+/// (rules cleared), post-GST conflicting traffic through the recovery,
+/// then a settle window and final invariant sweep.
+pub fn run_attack(mix: AttackMix, seed: u64, hardened: bool) -> AttackOutcome {
+    let cluster = ClusterConfig::for_faults(1);
+    let mut cfg = EzConfig::new(cluster);
+    if !hardened {
+        cfg = cfg.as_published();
+    } else {
+        // Simulation-friendly escalation pacing (virtual time is free but
+        // bounded).
+        cfg.oc_backoff_base = Micros::from_millis(800);
+        cfg.oc_backoff_cap = Micros::from_millis(4_000);
+    }
+
+    let clients = [0u64, 1];
+    let mut stores = keystores(cluster, &clients);
+    let client_stores = stores.split_off(cluster.n());
+    let byz = mix.byz();
+    let correct: Vec<ReplicaId> = cluster
+        .replicas()
+        .filter(|r| byz.map(|(b, _)| b != *r).unwrap_or(true))
+        .collect();
+
+    let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(
+        Topology::lan(4),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    sim.classify_faults(|m: &KvMsg| m.kind());
+    sim.enable_trace(96, |m: &KvMsg| m.kind());
+    sim.add_invariant(CommitAgreement {
+        correct: correct.clone(),
+        seen: BTreeMap::new(),
+    });
+    sim.add_invariant(CommitSurvival {
+        correct: correct.clone(),
+        committed: BTreeMap::new(),
+    });
+    sim.add_invariant(ExecOrderConsistent {
+        correct: correct.clone(),
+    });
+    sim.add_invariant(ExactlyOnce {
+        correct: correct.clone(),
+    });
+    sim.set_check_interval(64);
+
+    for (i, rid) in cluster.replicas().enumerate() {
+        let inner = Replica::new(rid, cfg, stores.remove(0), KvStore::new());
+        let node: Box<dyn ProtocolNode<Message = KvMsg, Response = KvResponse>> = match byz {
+            Some((b, behaviour)) if b == rid => {
+                let wrapper_keys = keystores(cluster, &clients)
+                    .into_iter()
+                    .nth(rid.index())
+                    .expect("byz keys");
+                Box::new(ByzantineReplica::new(
+                    inner,
+                    wrapper_keys,
+                    behaviour,
+                    cluster.n(),
+                ))
+            }
+            _ => Box::new(inner),
+        };
+        sim.add_node(Region(i), node);
+    }
+
+    // Client 0 drives the pre-crash phase, preferring the doomed leader;
+    // client 1 (crashed until GST) drives the recovery-phase traffic.
+    let victim = mix.crashed_leader().unwrap_or(ReplicaId::new(0));
+    let mut client_stores = client_stores.into_iter();
+    let pre_script: VecDeque<KvOp> = match mix {
+        AttackMix::SelectiveAck => (0..4u64)
+            .map(|i| KvOp::Put {
+                key: Key(i),
+                value: vec![0xA; 8],
+            })
+            .collect(),
+        _ => VecDeque::from([KvOp::Put {
+            key: VICTIM_KEY,
+            value: b"pre".to_vec(),
+        }]),
+    };
+    let pre_ops = pre_script.len();
+    sim.add_node(
+        Region(victim.index()),
+        Box::new(ScriptedClient {
+            inner: Client::new(
+                ClientId::new(0),
+                cfg,
+                client_stores.next().expect("keys"),
+                victim,
+            ),
+            script: pre_script,
+        }),
+    );
+    let post_script: VecDeque<KvOp> = match mix {
+        AttackMix::SelectiveAck => (0..4u64)
+            .map(|i| KvOp::Put {
+                key: Key(100 + i),
+                value: vec![0xB; 8],
+            })
+            .collect(),
+        _ => VecDeque::from([
+            KvOp::Put {
+                key: VICTIM_KEY,
+                value: b"post".to_vec(),
+            },
+            KvOp::Put {
+                key: Key(9),
+                value: b"post2".to_vec(),
+            },
+        ]),
+    };
+    let post_ops = post_script.len();
+    // The post-GST client prefers the (about to be) crashed leader for
+    // the owner-change mixes — its retransmissions are what drive the
+    // suspicion. For the evidence-withholding attack it prefers the one
+    // correct certificate holder instead: its conflicting command picks
+    // up the victim instance as a dependency, and the resulting DEPWAIT
+    // timeouts at the two certificate-blind replicas are what vote the
+    // owner change. SelectiveAck needs a live honest leader.
+    let post_pref = match mix {
+        AttackMix::SelectiveAck | AttackMix::WithholdEvidence => ReplicaId::new(2),
+        _ => victim,
+    };
+    sim.add_node(
+        Region(post_pref.index()),
+        Box::new(ScriptedClient {
+            inner: Client::new(
+                ClientId::new(1),
+                cfg,
+                client_stores.next().expect("keys"),
+                post_pref,
+            ),
+            script: post_script.clone(),
+        }),
+    );
+    sim.faults_mut().crash(ClientId::new(1));
+
+    // Pre-GST delivery rules.
+    let c0 = NodeId::Client(ClientId::new(0));
+    match mix {
+        AttackMix::WithholdEvidence => {
+            // The victim entry is speculatively ordered *everywhere* (the
+            // client completes on the fast path), but the client's commit
+            // certificate reaches only replica 2 and the doomed leader:
+            // replicas 0 and 1 stay speculatively ordered, so after GST
+            // the conflicting traffic makes exactly those two suspect the
+            // crashed leader — and the prospective new owner (replica 0)
+            // holds no commit evidence for the entry.
+            for blind in [ReplicaId::new(0), ReplicaId::new(1)] {
+                for kind in ["commit", "commit-fast"] {
+                    sim.faults_mut().add_rule(
+                        DeliveryRule::for_kind(kind)
+                            .from_node(c0)
+                            .to_node(blind)
+                            .drop_prob(1.0),
+                    );
+                }
+            }
+        }
+        AttackMix::MuteNewOwner => {
+            // The pre-GST command reaches every replica speculatively but
+            // its commitment never lands: the recovery must resolve it.
+            for kind in ["commit", "commit-fast"] {
+                sim.faults_mut()
+                    .add_rule(DeliveryRule::for_kind(kind).from_node(c0).drop_prob(1.0));
+            }
+        }
+        AttackMix::DelayStorm => {
+            sim.faults_mut()
+                .add_rule(DeliveryRule::for_kind("spec-order").drop_prob(0.08));
+            for kind in ["start-owner-change", "owner-change", "new-owner"] {
+                sim.faults_mut().add_rule(
+                    DeliveryRule::for_kind(kind)
+                        .delay(Micros::from_millis(20))
+                        .jitter(Micros::from_millis(250)),
+                );
+            }
+        }
+        _ => {}
+    }
+
+    // Phase 1: pre-GST traffic.
+    run_until(&mut sim, pre_ops, Micros::from_secs(20));
+
+    // Phase 2: crash the mix's leader — this is GST: drops are healed
+    // (the storm's reordering jitter stays, delayed-but-delivered is
+    // still "after GST").
+    if let Some(leader) = mix.crashed_leader() {
+        sim.schedule_crash(leader, sim.now() + Micros::from_millis(1));
+        let pause = sim.now() + Micros::from_millis(200);
+        sim.run_until_time(pause);
+        sim.faults_mut().clear_rules();
+        if mix == AttackMix::DelayStorm {
+            for kind in ["start-owner-change", "owner-change", "new-owner"] {
+                sim.faults_mut().add_rule(
+                    DeliveryRule::for_kind(kind)
+                        .delay(Micros::from_millis(20))
+                        .jitter(Micros::from_millis(250)),
+                );
+            }
+        }
+        if mix == AttackMix::WithholdEvidence {
+            // Let the weak quorum form from {new owner, byz} before the
+            // evidence-bearing report arrives.
+            sim.faults_mut().add_rule(
+                DeliveryRule::for_kind("owner-change")
+                    .from_node(ReplicaId::new(2))
+                    .delay(Micros::from_millis(400)),
+            );
+        }
+    }
+
+    // Phase 3: post-GST traffic through the recovery.
+    let keys_c1 = keystores(cluster, &clients)
+        .into_iter()
+        .nth(cluster.n() + 1)
+        .expect("client 1 keys");
+    sim.restart_node(
+        Region(post_pref.index()),
+        Box::new(ScriptedClient {
+            inner: Client::new(ClientId::new(1), cfg, keys_c1, post_pref),
+            script: post_script,
+        }),
+    );
+    let expected = pre_ops + post_ops;
+    run_until(&mut sim, expected, Micros::from_secs(90));
+
+    // Settle, then a final sweep happens as the run stops.
+    let settle = sim.now() + Micros::from_secs(3);
+    sim.run_until_time(settle);
+
+    let crashed: BTreeSet<ReplicaId> = correct
+        .iter()
+        .copied()
+        .filter(|&r| sim.faults_mut().is_crashed(NodeId::Replica(r)))
+        .collect();
+    let mut violations = sim.violations().to_vec();
+    let completed = sim.deliveries().len();
+    let slow_deliveries = sim
+        .deliveries()
+        .iter()
+        .filter(|d| !d.delivery.fast_path)
+        .count();
+
+    // End-of-run checks over the live correct replicas: state convergence
+    // (only judged once every request completed — stragglers are a
+    // liveness, not a safety, matter) and wedged owner changes.
+    let live: Vec<ReplicaId> = correct
+        .iter()
+        .copied()
+        .filter(|r| !crashed.contains(r))
+        .collect();
+    if completed == expected && !live.is_empty() {
+        let fp0 = replica_of(&sim, live[0]).app().fingerprint();
+        if let Some(&diverged) = live[1..]
+            .iter()
+            .find(|&&r| replica_of(&sim, r).app().fingerprint() != fp0)
+        {
+            violations.push(Violation {
+                at: sim.now(),
+                invariant: "state-convergence",
+                detail: format!(
+                    "correct replicas {:?} and {diverged:?} settled on different application \
+                     states after all {expected} requests completed",
+                    live[0]
+                ),
+                schedule: String::new(),
+            });
+        }
+    }
+    let wedged = live
+        .iter()
+        .filter(|&&r| {
+            let rep = replica_of(&sim, r);
+            cluster
+                .replicas()
+                .any(|s| rep.space_committed_to_change(s) && !rep.space_frozen(s))
+        })
+        .count();
+    let owner_changes = live
+        .iter()
+        .map(|&r| replica_of(&sim, r).stats().owner_changes)
+        .max()
+        .unwrap_or(0);
+
+    if std::env::var("EZBFT_ADV_DEBUG").is_ok() {
+        for &r in &correct {
+            let rep = replica_of(&sim, r);
+            eprintln!(
+                "replica {:?}: crashed={} views={:?}",
+                r,
+                crashed.contains(&r),
+                rep.committed_views()
+            );
+            for s in cluster.replicas() {
+                eprintln!(
+                    "  space{} owner={} frozen={} ctc={} status0={:?} floor={}",
+                    s.index(),
+                    rep.space_owner(s).0,
+                    rep.space_frozen(s),
+                    rep.space_committed_to_change(s),
+                    rep.instance_status(InstanceId::new(s, 0)),
+                    rep.compact_floor(s),
+                );
+            }
+        }
+    }
+
+    AttackOutcome {
+        mix,
+        seed,
+        hardened,
+        violations,
+        completed,
+        expected,
+        slow_deliveries,
+        wedged,
+        owner_changes,
+    }
+}
+
+/// Runs until `target` deliveries or `budget` more virtual time, in
+/// slices so a stalled schedule cannot eat the whole virtual-time cap.
+fn run_until(sim: &mut SimNet<KvMsg, KvResponse>, target: usize, budget: Micros) {
+    let deadline = sim.now() + budget;
+    while sim.deliveries().len() < target && sim.now() < deadline {
+        let slice = (sim.now() + Micros::from_millis(500)).min(deadline);
+        sim.run_until_time(slice);
+    }
+}
+
+// ----------------------------------------------------------------------
+// The campaign
+// ----------------------------------------------------------------------
+
+/// One aggregated (mix, mode) row of the campaign.
+#[derive(Clone, Debug)]
+pub struct MixRow {
+    /// [`AttackMix::name`].
+    pub mix: &'static str,
+    /// Whether the owner-change hardening was on.
+    pub hardened: bool,
+    /// Schedules run (one per seed).
+    pub runs: usize,
+    /// Runs with at least one safety violation.
+    pub broken_runs: usize,
+    /// Total safety violations across runs.
+    pub safety_violations: usize,
+    /// Distinct violated invariants.
+    pub violated: BTreeSet<&'static str>,
+    /// Runs that missed the liveness bound.
+    pub liveness_failures: usize,
+    /// Requests completed / expected, summed over runs.
+    pub completed: usize,
+    /// Total requests scripted across runs.
+    pub expected: usize,
+    /// Slow-path completions across runs.
+    pub slow_deliveries: usize,
+    /// Max completed ownership changes seen at any correct replica.
+    pub owner_changes: u64,
+    /// Whether the campaign *expects* this row to break (a
+    /// demonstration of the published protocol's hole).
+    pub expect_break: bool,
+    /// First violation detail, for the rendered report.
+    pub sample: String,
+}
+
+impl MixRow {
+    fn from_outcomes(outcomes: &[AttackOutcome], expect_break: bool) -> MixRow {
+        let first = outcomes.first().expect("at least one run");
+        let mut row = MixRow {
+            mix: first.mix.name(),
+            hardened: first.hardened,
+            runs: outcomes.len(),
+            broken_runs: 0,
+            safety_violations: 0,
+            violated: BTreeSet::new(),
+            liveness_failures: 0,
+            completed: 0,
+            expected: 0,
+            slow_deliveries: 0,
+            owner_changes: 0,
+            expect_break,
+            sample: String::new(),
+        };
+        for o in outcomes {
+            row.broken_runs += usize::from(!o.violations.is_empty());
+            row.safety_violations += o.violations.len();
+            for v in &o.violations {
+                row.violated.insert(v.invariant);
+                if row.sample.is_empty() {
+                    row.sample = v.detail.clone();
+                }
+            }
+            row.liveness_failures += usize::from(!o.liveness_ok());
+            row.completed += o.completed;
+            row.expected += o.expected;
+            row.slow_deliveries += o.slow_deliveries;
+            row.owner_changes = row.owner_changes.max(o.owner_changes);
+        }
+        row
+    }
+
+    /// Whether the row matches the campaign's expectation: green when
+    /// hardened, demonstrably broken when it reproduces a published-mode
+    /// attack.
+    pub fn as_expected(&self) -> bool {
+        if self.expect_break {
+            self.safety_violations > 0 || self.liveness_failures > 0
+        } else {
+            self.safety_violations == 0 && self.liveness_failures == 0
+        }
+    }
+}
+
+/// The campaign's result set: every mix × seed with the hardening on,
+/// plus published-mode demonstration rows for the two attacks the fixes
+/// exist for.
+#[derive(Clone, Debug)]
+pub struct AdversarialReport {
+    /// The seeds each mix ran over.
+    pub seeds: Vec<u64>,
+    /// Aggregated rows (hardened rows first, then demonstrations).
+    pub rows: Vec<MixRow>,
+}
+
+impl AdversarialReport {
+    /// Whether every row matched its expectation.
+    pub fn all_as_expected(&self) -> bool {
+        self.rows.iter().all(MixRow::as_expected)
+    }
+
+    /// Renders the campaign table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Adversarial owner-change campaign ({} seeds per mix; DESIGN.md §5a)\n",
+            self.seeds.len()
+        );
+        let mut t = TextTable::new(&[
+            "mix",
+            "mode",
+            "runs",
+            "safety",
+            "liveness",
+            "completed",
+            "slow",
+            "oc",
+            "verdict",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.mix.into(),
+                if r.hardened { "hardened" } else { "published" }.into(),
+                r.runs.to_string(),
+                if r.safety_violations == 0 {
+                    "ok".into()
+                } else {
+                    format!(
+                        "{} ({})",
+                        r.safety_violations,
+                        r.violated.iter().copied().collect::<Vec<_>>().join(",")
+                    )
+                },
+                if r.liveness_failures == 0 {
+                    "ok".into()
+                } else {
+                    format!("{} stalled", r.liveness_failures)
+                },
+                format!("{}/{}", r.completed, r.expected),
+                r.slow_deliveries.to_string(),
+                r.owner_changes.to_string(),
+                if r.as_expected() {
+                    if r.expect_break {
+                        "broken as expected".into()
+                    } else {
+                        "ok".into()
+                    }
+                } else {
+                    "UNEXPECTED".to_string()
+                },
+            ]);
+        }
+        out.push_str(&t.render());
+        for r in &self.rows {
+            if !r.sample.is_empty() {
+                out.push_str(&format!(
+                    "  [{} {}] {}\n",
+                    r.mix,
+                    mode(r.hardened),
+                    r.sample
+                ));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable summary (`BENCH_adversarial.json`), hand-encoded
+    /// so the harness stays dependency-free.
+    pub fn to_json(&self) -> String {
+        let seeds: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let violated: Vec<String> = r.violated.iter().map(|v| format!("\"{v}\"")).collect();
+                format!(
+                    "{{\"mix\":\"{}\",\"mode\":\"{}\",\"runs\":{},\"safety_violations\":{},\
+                     \"violated\":[{}],\"liveness_failures\":{},\"completed\":{},\
+                     \"expected\":{},\"slow_deliveries\":{},\"owner_changes\":{},\
+                     \"expect_break\":{},\"as_expected\":{}}}",
+                    r.mix,
+                    mode(r.hardened),
+                    r.runs,
+                    r.safety_violations,
+                    violated.join(","),
+                    r.liveness_failures,
+                    r.completed,
+                    r.expected,
+                    r.slow_deliveries,
+                    r.owner_changes,
+                    r.expect_break,
+                    r.as_expected(),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"experiment\":\"adversarial\",\"seeds\":[{}],\"rows\":[{}]}}",
+            seeds.join(","),
+            rows.join(",")
+        )
+    }
+}
+
+fn mode(hardened: bool) -> &'static str {
+    if hardened {
+        "hardened"
+    } else {
+        "published"
+    }
+}
+
+/// Runs the campaign: every mix over `seeds` with the hardening on, plus
+/// published-mode demonstration rows (evidence withholding must break
+/// safety, a mute new owner must break liveness) over the first
+/// `demo_seeds` seeds.
+pub fn adversarial(seeds: &[u64], demo_seeds: usize) -> AdversarialReport {
+    assert!(!seeds.is_empty(), "campaign needs at least one seed");
+    let mut rows = Vec::new();
+    for mix in AttackMix::ALL {
+        let outcomes: Vec<AttackOutcome> =
+            seeds.iter().map(|&s| run_attack(mix, s, true)).collect();
+        rows.push(MixRow::from_outcomes(&outcomes, false));
+    }
+    let demo = &seeds[..demo_seeds.clamp(1, seeds.len())];
+    for mix in [AttackMix::WithholdEvidence, AttackMix::MuteNewOwner] {
+        let outcomes: Vec<AttackOutcome> =
+            demo.iter().map(|&s| run_attack(mix, s, false)).collect();
+        rows.push(MixRow::from_outcomes(&outcomes, true));
+    }
+    AdversarialReport {
+        seeds: seeds.to_vec(),
+        rows,
+    }
+}
+
+/// The campaign's default seed set: `count` deterministic seeds.
+pub fn campaign_seeds(count: usize) -> Vec<u64> {
+    (0..count as u64).map(|i| 0xA11CE + 7 * i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Seeds for the multi-seed soak: `EZBFT_TEST_SEEDS` (a count) when
+    /// set, else a quick default.
+    fn soak_seeds() -> Vec<u64> {
+        let count = std::env::var("EZBFT_TEST_SEEDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3usize);
+        campaign_seeds(count.max(1))
+    }
+
+    #[test]
+    fn withhold_evidence_breaks_the_published_owner_change() {
+        let o = run_attack(AttackMix::WithholdEvidence, 0xA11CE, false);
+        assert!(
+            !o.violations.is_empty(),
+            "the checker must flag the known-bad schedule with the fix off"
+        );
+        assert!(
+            o.violations
+                .iter()
+                .any(|v| v.invariant == "commit-survival"),
+            "expected the committed command to vanish, got: {:?}",
+            o.violations
+                .iter()
+                .map(|v| (v.invariant, v.detail.clone()))
+                .collect::<Vec<_>>()
+        );
+        // The violation report carries the offending schedule.
+        assert!(o
+            .violations
+            .iter()
+            .any(|v| v.schedule.contains("owner-change") || v.schedule.contains("new-owner")));
+    }
+
+    #[test]
+    fn strong_report_quorum_preserves_committed_entries() {
+        let o = run_attack(AttackMix::WithholdEvidence, 0xA11CE, true);
+        assert!(
+            o.violations.is_empty(),
+            "hardened run must be violation-free, got: {:?}",
+            o.violations
+                .iter()
+                .map(|v| (v.invariant, v.detail.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(o.liveness_ok(), "completed {}/{}", o.completed, o.expected);
+        assert!(o.owner_changes >= 1, "the schedule must exercise recovery");
+    }
+
+    #[test]
+    fn mute_new_owner_wedges_the_published_protocol() {
+        let o = run_attack(AttackMix::MuteNewOwner, 0xA11CE, false);
+        assert!(
+            !o.liveness_ok(),
+            "without escalation a mute new owner must wedge the space \
+             (completed {}/{}, wedged {})",
+            o.completed,
+            o.expected,
+            o.wedged
+        );
+        assert!(o.violations.is_empty(), "the attack is on liveness only");
+    }
+
+    #[test]
+    fn escalation_backoff_recovers_from_a_mute_new_owner() {
+        let o = run_attack(AttackMix::MuteNewOwner, 0xA11CE, true);
+        assert!(
+            o.violations.is_empty(),
+            "got: {:?}",
+            o.violations
+                .iter()
+                .map(|v| (v.invariant, v.detail.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            o.liveness_ok(),
+            "escalation must route around the mute owner (completed {}/{}, wedged {})",
+            o.completed,
+            o.expected,
+            o.wedged
+        );
+    }
+
+    #[test]
+    fn campaign_is_clean_with_fixes_on_and_flags_published_holes() {
+        let report = adversarial(&soak_seeds(), 1);
+        assert!(
+            report.all_as_expected(),
+            "campaign deviated:\n{}",
+            report.render()
+        );
+        // 6 hardened rows + 2 demonstrations.
+        assert_eq!(report.rows.len(), 8);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\":\"adversarial\""));
+        assert!(json.contains("\"mode\":\"published\""));
+        assert!(json.contains("\"as_expected\":true"));
+    }
+}

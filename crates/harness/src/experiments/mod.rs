@@ -5,6 +5,7 @@
 //! the paper-vs-measured comparison.
 
 pub mod ablation;
+pub mod adversarial;
 pub mod commit_traffic;
 pub mod exec_scaling;
 pub mod fig4;
@@ -17,6 +18,9 @@ pub mod table1;
 pub mod table2;
 
 pub use ablation::{ablation, AblationReport};
+pub use adversarial::{
+    adversarial, campaign_seeds, run_attack, AdversarialReport, AttackMix, AttackOutcome, MixRow,
+};
 pub use commit_traffic::{commit_traffic, CommitTrafficReport};
 pub use exec_scaling::{exec_scaling, ExecScalingReport};
 pub use fig4::{fig4, Fig4Report};

@@ -270,6 +270,68 @@ fn every_checked_in_bench_artefact_has_the_required_schema() {
 }
 
 #[test]
+fn adversarial_artefact_carries_the_campaign_schema() {
+    let path = repo_root().join("BENCH_adversarial.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_adversarial.json is checked in");
+    let value = Parser::parse(text.trim()).expect("valid JSON");
+    let obj = value.as_obj().expect("object envelope");
+    assert_eq!(obj["experiment"].as_str(), Some("adversarial"));
+
+    let seeds = obj["seeds"].as_arr().expect("seeds array");
+    assert!(
+        seeds.len() >= 20,
+        "full campaign must cover >= 20 seeds, found {}",
+        seeds.len()
+    );
+    assert!(seeds.iter().all(|s| matches!(s, Json::Num(_))));
+
+    let rows = obj["rows"].as_arr().expect("rows array");
+    // Six attack mixes hardened + the two published-mode demonstrations.
+    assert_eq!(rows.len(), 8, "6 hardened mixes + 2 published demos");
+    let mut published_breaks = 0usize;
+    for row in rows {
+        let row = row.as_obj().expect("row object");
+        let mix = row["mix"].as_str().expect("mix name");
+        let mode = row["mode"].as_str().expect("mode");
+        assert!(matches!(mode, "hardened" | "published"), "{mix}: {mode}");
+        for key in [
+            "runs",
+            "safety_violations",
+            "liveness_failures",
+            "completed",
+            "expected",
+            "slow_deliveries",
+            "owner_changes",
+        ] {
+            assert!(
+                matches!(row.get(key), Some(Json::Num(n)) if *n >= 0.0),
+                "{mix}/{mode}: missing numeric {key}"
+            );
+        }
+        let violated = row["violated"].as_arr().expect("violated array");
+        assert!(violated.iter().all(|v| v.as_str().is_some()));
+        let expect_break = row["expect_break"] == Json::Bool(true);
+        assert_eq!(
+            row["as_expected"],
+            Json::Bool(true),
+            "{mix}/{mode}: campaign row deviated from its expectation"
+        );
+        if mode == "hardened" {
+            // The fixes must hold: no safety violations, no wedged runs.
+            assert!(!expect_break, "{mix}: hardened rows never expect a break");
+            assert_eq!(row["safety_violations"], Json::Num(0.0), "{mix}: safety");
+            assert_eq!(row["liveness_failures"], Json::Num(0.0), "{mix}: liveness");
+            assert!(violated.is_empty(), "{mix}: hardened violated {violated:?}");
+        } else {
+            // The demonstrations must keep reproducing the published holes.
+            assert!(expect_break, "{mix}: published demos must expect a break");
+            published_breaks += 1;
+        }
+    }
+    assert_eq!(published_breaks, 2, "withhold_evidence + mute_new_owner");
+}
+
+#[test]
 fn parser_round_trips_the_harness_envelope() {
     let text =
         r#"{"experiment":"x","nested":{"a":[1,2.5,-3e2]},"rows":[{"ok":true,"s":"q\"uote"}]}"#;

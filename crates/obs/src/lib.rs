@@ -42,4 +42,4 @@ mod span;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use hist::Log2Histogram;
 pub use recorder::{MemRecorder, NullRecorder, Recorder};
-pub use span::{Span, SpanKey, Stage};
+pub use span::{RecoveryKey, RecoverySpan, RecoveryStage, Span, SpanKey, Stage};

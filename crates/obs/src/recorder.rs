@@ -2,10 +2,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use crate::hist::Log2Histogram;
-use crate::span::{Span, SpanKey, Stage};
+use crate::span::{RecoveryKey, RecoverySpan, RecoveryStage, Span, SpanKey, Stage};
 
 /// A telemetry sink.
 ///
@@ -42,6 +43,14 @@ pub trait Recorder: Send + Sync {
 
     /// Records a tagged point event (owner change, fallback, reconnect).
     fn event(&self, name: &'static str, detail: &str, at_us: u64);
+
+    /// Records that owner-change round `key` reached recovery phase
+    /// `stage` at `at_us` (the recovery span family, DESIGN.md §9). Only
+    /// the first observation per `(key, stage)` is kept. Default: no-op,
+    /// so sinks that only care about request spans need not change.
+    fn recovery(&self, key: RecoveryKey, stage: RecoveryStage, at_us: u64) {
+        let _ = (key, stage, at_us);
+    }
 }
 
 /// The default sink: discards everything.
@@ -102,13 +111,38 @@ pub struct MemRecorder {
     gauges: Mutex<BTreeMap<&'static str, GaugeStat>>,
     hists: Mutex<BTreeMap<&'static str, Log2Histogram>>,
     spans: Mutex<BTreeMap<SpanKey, Span>>,
+    recovery: Mutex<BTreeMap<RecoveryKey, RecoverySpan>>,
     log: Mutex<Vec<LogLine>>,
+    /// Span eviction knob: retire a span the moment its `Reply` stage is
+    /// recorded, folding it into the interval histograms (see
+    /// [`MemRecorder::set_evict_on_reply`]).
+    evict_on_reply: AtomicBool,
+    /// Interval histograms of evicted spans, keyed `"from->to"` / `"e2e"`
+    /// (merged back in by [`MemRecorder::stage_interval_histograms`]).
+    evicted: Mutex<BTreeMap<String, Log2Histogram>>,
 }
 
 impl MemRecorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables (or disables) span eviction: once a span records its
+    /// `Reply` stage it is folded into the stage-interval histograms
+    /// (with the usual window projection) and dropped from the span map,
+    /// so the recorder's memory stays bounded by the *in-flight* request
+    /// count instead of the total request count — what a long-lived TCP
+    /// deployment needs, where each node's recorder sees `Reply` as the
+    /// last stage of every request it observes. Off by default: tests
+    /// and short harness runs keep every span inspectable. With eviction
+    /// on, per-span lookups of retired requests ([`MemRecorder::span`])
+    /// stop resolving, and — only under a *shared* recorder, as in the
+    /// simulator — a replica-side stage recorded after the client's
+    /// reply opens a fresh partial span rather than rejoining the
+    /// evicted one.
+    pub fn set_evict_on_reply(&self, on: bool) {
+        self.evict_on_reply.store(on, Ordering::Relaxed);
     }
 
     /// Value of counter `name` (0 if never bumped).
@@ -163,12 +197,50 @@ impl MemRecorder {
             .collect()
     }
 
+    /// Number of spans currently retained (excludes evicted spans).
+    pub fn spans_len(&self) -> usize {
+        self.spans.lock().unwrap().len()
+    }
+
+    /// Snapshot of the recovery span for owner-change round `key`.
+    pub fn recovery_span(&self, key: RecoveryKey) -> Option<RecoverySpan> {
+        self.recovery.lock().unwrap().get(&key).copied()
+    }
+
+    /// Snapshot of every recovery span, in key order.
+    pub fn recovery_spans(&self) -> Vec<(RecoveryKey, RecoverySpan)> {
+        self.recovery
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, s)| (*k, *s))
+            .collect()
+    }
+
+    /// Aggregates every recovery span's consecutive-phase durations into
+    /// one histogram per phase transition, keyed `"from->to"`, plus an
+    /// `"e2e"` histogram (`applied` − `suspected`) for completed rounds.
+    pub fn recovery_interval_histograms(&self) -> BTreeMap<String, Log2Histogram> {
+        let mut out: BTreeMap<String, Log2Histogram> = BTreeMap::new();
+        for (_, span) in self.recovery_spans() {
+            for (from, to, d) in span.stage_durations() {
+                out.entry(format!("{}->{}", from.as_str(), to.as_str()))
+                    .or_default()
+                    .record(d);
+            }
+            if let Some(d) = span.duration_us() {
+                out.entry("e2e".to_string()).or_default().record(d);
+            }
+        }
+        out
+    }
+
     /// Aggregates every span's consecutive-stage durations into one
     /// histogram per stage transition, keyed `"from->to"`, plus an
     /// `"e2e"` histogram for spans that observed both `Submit` and
     /// `Reply`.
     pub fn stage_interval_histograms(&self) -> BTreeMap<String, Log2Histogram> {
-        let mut out: BTreeMap<String, Log2Histogram> = BTreeMap::new();
+        let mut out: BTreeMap<String, Log2Histogram> = self.evicted.lock().unwrap().clone();
         for (_, span) in self.spans() {
             for (from, to, d) in span.stage_durations() {
                 out.entry(format!("{}->{}", from.as_str(), to.as_str()))
@@ -257,12 +329,30 @@ impl Recorder for MemRecorder {
     }
 
     fn stage(&self, key: SpanKey, stage: Stage, at_us: u64) {
-        self.spans
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_default()
-            .record(stage, at_us);
+        {
+            let mut spans = self.spans.lock().unwrap();
+            let span = spans.entry(key).or_default();
+            span.record(stage, at_us);
+            // Span eviction (opt-in): `Reply` closes the span's window —
+            // later stage records would be clipped to zero-length
+            // intervals anyway (window projection) — so fold it into the
+            // interval histograms now and free the slot.
+            if stage == Stage::Reply && self.evict_on_reply.load(Ordering::Relaxed) {
+                let span = *span;
+                spans.remove(&key);
+                drop(spans);
+                let mut evicted = self.evicted.lock().unwrap();
+                for (from, to, d) in span.stage_durations() {
+                    evicted
+                        .entry(format!("{}->{}", from.as_str(), to.as_str()))
+                        .or_default()
+                        .record(d);
+                }
+                if let Some(d) = span.duration_us() {
+                    evicted.entry("e2e".to_string()).or_default().record(d);
+                }
+            }
+        }
         self.log
             .lock()
             .unwrap()
@@ -274,6 +364,25 @@ impl Recorder for MemRecorder {
             at_us,
             name,
             detail: detail.to_string(),
+        });
+    }
+
+    fn recovery(&self, key: RecoveryKey, stage: RecoveryStage, at_us: u64) {
+        self.recovery
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_default()
+            .record(stage, at_us);
+        self.log.lock().unwrap().push(LogLine::Event {
+            at_us,
+            name: "recovery",
+            detail: format!(
+                "space={} new_owner={} stage={}",
+                key.space,
+                key.new_owner,
+                stage.as_str()
+            ),
         });
     }
 }
@@ -331,6 +440,47 @@ mod tests {
         assert_eq!(hists["submit->commit"].count(), 2);
         assert_eq!(hists["commit->reply"].count(), 2);
         assert_eq!(hists["e2e"].count(), 2);
+        assert_eq!(hists["e2e"].max(), 900);
+    }
+
+    #[test]
+    fn evict_on_reply_bounds_live_spans_and_keeps_aggregates() {
+        // The client-style per-node pattern the knob is designed for:
+        // Submit and Reply recorded by the same (per-node) recorder.
+        let r = MemRecorder::new();
+        r.set_evict_on_reply(true);
+        for i in 0..4u64 {
+            let key = SpanKey { client: i, req: i };
+            r.stage(key, Stage::Submit, 0);
+            r.stage(key, Stage::Commit, 100);
+            r.stage(key, Stage::Reply, 250);
+        }
+        assert_eq!(r.spans_len(), 0, "completed spans are evicted");
+        let hists = r.stage_interval_histograms();
+        assert_eq!(hists["submit->commit"].count(), 4);
+        assert_eq!(hists["commit->reply"].count(), 4);
+        assert_eq!(hists["e2e"].count(), 4);
+        assert_eq!(hists["e2e"].max(), 250);
+    }
+
+    #[test]
+    fn recovery_spans_aggregate_by_round() {
+        let r = MemRecorder::new();
+        let key = RecoveryKey {
+            space: 2,
+            new_owner: 3,
+        };
+        r.recovery(key, RecoveryStage::Suspected, 1_000);
+        r.recovery(key, RecoveryStage::Committed, 1_200);
+        r.recovery(key, RecoveryStage::SafeSet, 1_500);
+        r.recovery(key, RecoveryStage::Applied, 1_900);
+        // A duplicate observation never moves the span backwards.
+        r.recovery(key, RecoveryStage::Applied, 5_000);
+        let span = r.recovery_span(key).expect("span recorded");
+        assert_eq!(span.duration_us(), Some(900));
+        let hists = r.recovery_interval_histograms();
+        assert_eq!(hists["suspected->committed"].count(), 1);
+        assert_eq!(hists["safe_set->applied"].count(), 1);
         assert_eq!(hists["e2e"].max(), 900);
     }
 

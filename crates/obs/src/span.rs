@@ -153,6 +153,118 @@ impl Span {
     }
 }
 
+/// The phases of one owner-change recovery round, in protocol order
+/// (§IV-E). Unlike request [`Stage`]s these are replica-side only; the
+/// span key is the `(space, new owner)` pair, shared by every replica
+/// reporting into the same round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RecoveryStage {
+    /// A replica suspected the space's owner (STARTOWNERCHANGE sent).
+    Suspected,
+    /// The vote quorum formed: the replica committed to the change and
+    /// sent its OWNERCHANGE report to the prospective new owner.
+    Committed,
+    /// The prospective new owner collected its report quorum and
+    /// computed the safe set (NEWOWNER broadcast).
+    SafeSet,
+    /// NEWOWNER applied locally: the space is frozen under its new
+    /// owner number and recovery is complete.
+    Applied,
+}
+
+impl RecoveryStage {
+    /// Every recovery stage, in canonical order.
+    pub const ALL: [RecoveryStage; 4] = [
+        RecoveryStage::Suspected,
+        RecoveryStage::Committed,
+        RecoveryStage::SafeSet,
+        RecoveryStage::Applied,
+    ];
+
+    /// Stable lowercase name used in reports and the event-log export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryStage::Suspected => "suspected",
+            RecoveryStage::Committed => "committed",
+            RecoveryStage::SafeSet => "safe_set",
+            RecoveryStage::Applied => "applied",
+        }
+    }
+
+    /// Position in [`RecoveryStage::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Identifies one owner-change round: the recovered space plus the
+/// owner number it is moving *to*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecoveryKey {
+    /// The instance space being recovered (its original owner's index).
+    pub space: u8,
+    /// The owner number the round hands the space to.
+    pub new_owner: u64,
+}
+
+/// Per-phase timestamps for one owner-change round. First observation
+/// wins, exactly as for request [`Span`]s, so duplicate reports and
+/// re-deliveries never move a recovery span backwards.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoverySpan {
+    at_us: [Option<u64>; RecoveryStage::ALL.len()],
+}
+
+impl RecoverySpan {
+    /// Records `stage` at `at_us` unless already recorded.
+    pub fn record(&mut self, stage: RecoveryStage, at_us: u64) {
+        let slot = &mut self.at_us[stage.index()];
+        if slot.is_none() {
+            *slot = Some(at_us);
+        }
+    }
+
+    /// Timestamp of `stage`, if observed.
+    pub fn at(&self, stage: RecoveryStage) -> Option<u64> {
+        self.at_us[stage.index()]
+    }
+
+    /// End-to-end recovery latency (`Applied` − `Suspected`), if both
+    /// phases were observed.
+    pub fn duration_us(&self) -> Option<u64> {
+        Some(
+            self.at(RecoveryStage::Applied)?
+                .saturating_sub(self.at(RecoveryStage::Suspected)?),
+        )
+    }
+
+    /// Durations between consecutive *recorded* phases, in canonical
+    /// order: `(from, to, to_ts − from_ts)`. Recovery has no analogue of
+    /// the fast-path reply, so no window projection is needed; later
+    /// timestamps are clamped up to the previous phase (clock skew
+    /// between recording replicas).
+    pub fn stage_durations(&self) -> Vec<(RecoveryStage, RecoveryStage, u64)> {
+        let mut out = Vec::new();
+        let mut prev: Option<(RecoveryStage, u64)> = None;
+        for stage in RecoveryStage::ALL {
+            if let Some(raw) = self.at(stage) {
+                let mut ts = raw;
+                if let Some((from, from_ts)) = prev {
+                    ts = ts.max(from_ts);
+                    out.push((from, stage, ts - from_ts));
+                }
+                prev = Some((stage, ts));
+            }
+        }
+        out
+    }
+
+    /// Whether any phase has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.at_us.iter().all(Option::is_none)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,6 +26,6 @@ pub mod topology;
 pub mod trace;
 
 pub use metrics::{Gauge, Histogram, LatencyRecorder, ThroughputCounter};
-pub use net::{CostModel, FaultPlan, SimConfig, SimNet};
+pub use net::{CostModel, DeliveryRule, FaultPlan, Invariant, SimConfig, SimNet, Violation};
 pub use topology::{Region, Topology};
 pub use trace::{Trace, TraceEvent};

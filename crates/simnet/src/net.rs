@@ -61,8 +61,97 @@ impl CostModel {
     }
 }
 
-/// Declarative fault injection: crash-stop nodes, severed links, and
-/// uniform message loss.
+/// A targeted delivery rule: messages matching the rule's (kind, from,
+/// to) scope suffer an extra drop probability, a fixed extra delay,
+/// and/or bounded random extra jitter. Delay and jitter produce
+/// *adversarial schedules* — a rule with a large jitter reorders the
+/// matched kind relative to everything else — which is strictly more
+/// expressive than the uniform [`FaultPlan::set_drop_probability`] loss
+/// model (Revisiting-EZBFT-style attacks schedule specific message
+/// kinds, they do not just lose them).
+///
+/// Rules only take effect when the simulation has a message-kind
+/// classifier installed via [`SimNet::classify_faults`]; without one,
+/// kind-scoped rules never match (any-kind rules still do).
+#[derive(Clone, Copy, Debug)]
+pub struct DeliveryRule {
+    kind: Option<&'static str>,
+    from: Option<NodeId>,
+    to: Option<NodeId>,
+    drop_prob: f64,
+    delay: Micros,
+    jitter: Micros,
+}
+
+impl DeliveryRule {
+    /// A rule matching only messages classified as `kind`.
+    pub fn for_kind(kind: &'static str) -> Self {
+        DeliveryRule {
+            kind: Some(kind),
+            from: None,
+            to: None,
+            drop_prob: 0.0,
+            delay: Micros::ZERO,
+            jitter: Micros::ZERO,
+        }
+    }
+
+    /// A rule matching every message (scope it with
+    /// [`DeliveryRule::from_node`] / [`DeliveryRule::to_node`]).
+    pub fn any_kind() -> Self {
+        DeliveryRule {
+            kind: None,
+            from: None,
+            to: None,
+            drop_prob: 0.0,
+            delay: Micros::ZERO,
+            jitter: Micros::ZERO,
+        }
+    }
+
+    /// Restricts the rule to messages sent by `node`.
+    pub fn from_node(mut self, node: impl Into<NodeId>) -> Self {
+        self.from = Some(node.into());
+        self
+    }
+
+    /// Restricts the rule to messages addressed to `node`.
+    pub fn to_node(mut self, node: impl Into<NodeId>) -> Self {
+        self.to = Some(node.into());
+        self
+    }
+
+    /// Drops matched messages with probability `p`.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Delays matched messages by a fixed `d` on top of topology latency.
+    pub fn delay(mut self, d: Micros) -> Self {
+        self.delay = d;
+        self
+    }
+
+    /// Adds uniform random extra latency in `[0, j]` to matched messages
+    /// (reordering relative to unmatched traffic).
+    pub fn jitter(mut self, j: Micros) -> Self {
+        self.jitter = j;
+        self
+    }
+
+    fn matches(&self, kind: Option<&'static str>, from: NodeId, to: NodeId) -> bool {
+        (match self.kind {
+            Some(k) => kind == Some(k),
+            None => true,
+        }) && self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// Declarative fault injection: crash-stop nodes, severed links, uniform
+/// message loss, and targeted per-kind delivery rules
+/// ([`DeliveryRule`]).
 ///
 /// Byzantine *behaviour* (lying, equivocating) is not injected here — it is
 /// implemented as wrapper nodes in the protocol crates, which this simulator
@@ -72,6 +161,7 @@ pub struct FaultPlan {
     crashed: HashSet<NodeId>,
     cut: HashSet<(NodeId, NodeId)>,
     drop_prob: f64,
+    rules: Vec<DeliveryRule>,
 }
 
 impl fmt::Debug for FaultPlan {
@@ -80,6 +170,7 @@ impl fmt::Debug for FaultPlan {
             .field("crashed", &self.crashed.len())
             .field("cut_links", &self.cut.len())
             .field("drop_prob", &self.drop_prob)
+            .field("rules", &self.rules.len())
             .finish()
     }
 }
@@ -126,9 +217,52 @@ impl FaultPlan {
         self.drop_prob = p.clamp(0.0, 1.0);
     }
 
+    /// Installs a targeted [`DeliveryRule`]. Every matching rule applies
+    /// independently (drop rolls compound; delays and jitter add up), in
+    /// installation order.
+    pub fn add_rule(&mut self, rule: DeliveryRule) {
+        self.rules.push(rule);
+    }
+
+    /// Removes every installed [`DeliveryRule`].
+    pub fn clear_rules(&mut self) {
+        self.rules.clear();
+    }
+
     fn blocks(&self, from: NodeId, to: NodeId) -> bool {
         self.crashed.contains(&from) || self.crashed.contains(&to) || self.cut.contains(&(from, to))
     }
+}
+
+/// A continuously-evaluated predicate over the whole simulation
+/// (registered via [`SimNet::add_invariant`]).
+///
+/// Checkers run every [`SimNet::set_check_interval`] events and once
+/// more when a run stops; they see the simulation read-only (use
+/// [`SimNet::inspect`] to downcast node state) and may keep internal
+/// state across checks (`&mut self`) for incremental verification.
+pub trait Invariant<M, R>: Send {
+    /// Short stable name identifying the invariant in reports.
+    fn name(&self) -> &'static str;
+
+    /// Returns `Some(description)` when the invariant is violated.
+    /// After the first violation the checker is retired: one
+    /// [`Violation`] per invariant, carrying the earliest offence.
+    fn check(&mut self, sim: &SimNet<M, R>) -> Option<String>;
+}
+
+/// One invariant violation observed during a run.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Virtual time at which the violation was detected.
+    pub at: Micros,
+    /// [`Invariant::name`] of the violated invariant.
+    pub invariant: &'static str,
+    /// The checker's description of what went wrong.
+    pub detail: String,
+    /// The offending schedule: the rendered tail of the message trace at
+    /// detection time (empty unless [`SimNet::enable_trace`] is on).
+    pub schedule: String,
 }
 
 /// Aggregate statistics from a run.
@@ -257,6 +391,19 @@ pub struct SimNet<M, R> {
     /// Per-kind sent/dropped counters (see [`SimNet::count_kinds`]).
     #[allow(clippy::type_complexity)]
     kind_counts: Option<(KindCounters, Box<dyn Fn(&M) -> &'static str + Send>)>,
+    /// Message-kind classifier for targeted [`DeliveryRule`]s
+    /// (see [`SimNet::classify_faults`]).
+    #[allow(clippy::type_complexity)]
+    fault_kind: Option<Box<dyn Fn(&M) -> &'static str + Send>>,
+    /// Registered invariant checkers (retired after their first report).
+    checkers: Vec<Box<dyn Invariant<M, R>>>,
+    /// Violations observed so far, in detection order.
+    violations: Vec<Violation>,
+    /// Events between checker sweeps (0 disables periodic checks; a
+    /// final sweep still runs when a run stops).
+    check_interval: u64,
+    /// Event count at the last checker sweep.
+    last_check: u64,
     /// Shared telemetry sink (defaults to a no-op recorder).
     recorder: Arc<dyn Recorder>,
     /// Virtual-time mirror: set to `now` before each event dispatches, so
@@ -304,6 +451,11 @@ where
             started: false,
             trace: None,
             kind_counts: None,
+            fault_kind: None,
+            checkers: Vec::new(),
+            violations: Vec::new(),
+            check_interval: 0,
+            last_check: 0,
             recorder: Arc::new(NullRecorder),
             clock: Arc::new(ManualClock::new()),
         }
@@ -350,6 +502,77 @@ where
     /// messages-per-committed-request experiments are built on.
     pub fn count_kinds(&mut self, kind: impl Fn(&M) -> &'static str + Send + 'static) {
         self.kind_counts = Some((KindCounters::default(), Box::new(kind)));
+    }
+
+    /// Installs the message-kind classifier used by targeted
+    /// [`DeliveryRule`]s (protocol crates expose `Msg::kind()` for
+    /// exactly this). Kind-scoped rules are inert without a classifier.
+    pub fn classify_faults(&mut self, kind: impl Fn(&M) -> &'static str + Send + 'static) {
+        self.fault_kind = Some(Box::new(kind));
+    }
+
+    /// Registers an invariant checker. Periodic sweeps default to every
+    /// 128 events once at least one checker is registered (tune with
+    /// [`SimNet::set_check_interval`]); a final sweep runs whenever a
+    /// `run*` call stops.
+    pub fn add_invariant(&mut self, checker: impl Invariant<M, R> + 'static) {
+        if self.check_interval == 0 {
+            self.check_interval = 128;
+        }
+        self.checkers.push(Box::new(checker));
+    }
+
+    /// Sets the number of processed events between invariant sweeps
+    /// (0 disables periodic sweeps; the end-of-run sweep still happens).
+    pub fn set_check_interval(&mut self, events: u64) {
+        self.check_interval = events;
+    }
+
+    /// Invariant violations observed so far, in detection order (at most
+    /// one per registered invariant — checkers retire on first report).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Runs every registered invariant checker immediately, recording a
+    /// [`Violation`] (with the current trace tail as the offending
+    /// schedule) for each one that reports; reporting checkers retire.
+    pub fn check_invariants(&mut self) {
+        if self.checkers.is_empty() {
+            return;
+        }
+        self.last_check = self.stats.events;
+        let mut checkers = std::mem::take(&mut self.checkers);
+        let mut fired: Vec<(usize, &'static str, String)> = Vec::new();
+        for (i, checker) in checkers.iter_mut().enumerate() {
+            if let Some(detail) = checker.check(self) {
+                fired.push((i, checker.name(), detail));
+            }
+        }
+        if fired.is_empty() {
+            self.checkers = checkers;
+            return;
+        }
+        let retired: HashSet<usize> = fired.iter().map(|(i, _, _)| *i).collect();
+        self.checkers = checkers
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !retired.contains(i))
+            .map(|(_, c)| c)
+            .collect();
+        let schedule = self
+            .trace
+            .as_ref()
+            .map(|(t, _)| t.render())
+            .unwrap_or_default();
+        for (_, invariant, detail) in fired {
+            self.violations.push(Violation {
+                at: self.now,
+                invariant,
+                detail,
+                schedule: schedule.clone(),
+            });
+        }
     }
 
     /// Messages sent so far of `kind` (0 if counting is disabled or the
@@ -559,7 +782,14 @@ where
             self.clock.set(self.now.as_micros());
             self.stats.events += 1;
             self.dispatch(event);
+            if self.check_interval > 0
+                && !self.checkers.is_empty()
+                && self.stats.events - self.last_check >= self.check_interval
+            {
+                self.check_invariants();
+            }
         }
+        self.check_invariants();
     }
 
     fn dispatch(&mut self, event: Event<M>) {
@@ -696,9 +926,30 @@ where
     }
 
     fn send_payload(&mut self, from: NodeId, to: NodeId, msg: Payload<M>) {
-        if self.faults.blocks(from, to)
-            || (self.faults.drop_prob > 0.0 && self.rng.gen::<f64>() < self.faults.drop_prob)
-        {
+        let mut dropped = self.faults.blocks(from, to)
+            || (self.faults.drop_prob > 0.0 && self.rng.gen::<f64>() < self.faults.drop_prob);
+        // Targeted delivery rules: every matching rule rolls its own drop
+        // and contributes its delay plus rolled jitter. Rolls happen even
+        // for already-dropped messages so rule ordering never perturbs
+        // the rng stream of later decisions within one send.
+        let mut extra = Micros::ZERO;
+        if !self.faults.rules.is_empty() {
+            let kind = self.fault_kind.as_ref().map(|f| f(msg.as_ref()));
+            for rule in &self.faults.rules {
+                if !rule.matches(kind, from, to) {
+                    continue;
+                }
+                if rule.drop_prob > 0.0 && self.rng.gen::<f64>() < rule.drop_prob {
+                    dropped = true;
+                }
+                extra += rule.delay;
+                let bound = rule.jitter.as_micros();
+                if bound > 0 {
+                    extra += Micros(self.rng.gen_range(0..=bound));
+                }
+            }
+        }
+        if dropped {
             self.stats.messages_dropped += 1;
             if let Some((trace, kind)) = &mut self.trace {
                 trace.record(TraceEvent::Dropped {
@@ -753,7 +1004,7 @@ where
         };
         self.stats.messages_sent += 1;
         self.push_event(
-            self.now + base + Micros(jitter),
+            self.now + base + Micros(jitter) + extra,
             to,
             EventKind::Deliver { from, msg },
         );
@@ -1395,5 +1646,77 @@ mod tests {
         sim.add_node(Region(0), Box::new(Storm { me: a }));
         sim.run();
         assert!(sim.stats().events <= 1_001);
+    }
+
+    #[test]
+    fn invariant_sweeps_report_once_and_capture_the_schedule() {
+        struct TripsAfter(Micros);
+        impl Invariant<u32, u32> for TripsAfter {
+            fn name(&self) -> &'static str {
+                "trips-after"
+            }
+            fn check(&mut self, sim: &SimNet<u32, u32>) -> Option<String> {
+                (sim.now() >= self.0).then(|| format!("tripped at {}", sim.now().as_micros()))
+            }
+        }
+        let mut sim = two_node_sim();
+        sim.enable_trace(16, |_| "ping");
+        sim.add_invariant(TripsAfter(Micros(300)));
+        sim.set_check_interval(1);
+        sim.run_until_deliveries(1);
+        let v = sim.violations();
+        assert_eq!(v.len(), 1, "checker retires after the first report");
+        assert_eq!(v[0].invariant, "trips-after");
+        assert!(v[0].at >= Micros(300));
+        assert!(v[0].detail.contains("tripped at"));
+        assert!(
+            v[0].schedule.contains("ping"),
+            "violation carries the offending schedule: {}",
+            v[0].schedule
+        );
+    }
+
+    #[test]
+    fn end_of_run_sweep_fires_even_with_periodic_checks_disabled() {
+        struct Always;
+        impl Invariant<u32, u32> for Always {
+            fn name(&self) -> &'static str {
+                "always"
+            }
+            fn check(&mut self, _sim: &SimNet<u32, u32>) -> Option<String> {
+                Some("unconditional".into())
+            }
+        }
+        let mut sim = two_node_sim();
+        sim.add_invariant(Always);
+        sim.set_check_interval(0);
+        sim.run_until_deliveries(1);
+        assert_eq!(sim.violations().len(), 1);
+        assert!(sim.violations()[0].schedule.is_empty(), "no trace enabled");
+    }
+
+    #[test]
+    fn delivery_rules_scope_drops_by_kind() {
+        // Pinger counts up: classify even payloads separately from odd and
+        // drop only the odd ones — the exchange dies on the first odd hop
+        // while the even opener still gets through.
+        let mut sim = two_node_sim();
+        sim.classify_faults(|m| if m % 2 == 0 { "even" } else { "odd" });
+        sim.faults_mut()
+            .add_rule(DeliveryRule::for_kind("odd").drop_prob(1.0));
+        sim.run_until_time(Micros::from_secs(1));
+        assert_eq!(sim.stats().messages_delivered, 1);
+        assert!(sim.stats().messages_dropped >= 1);
+    }
+
+    #[test]
+    fn delivery_rules_delay_matched_messages() {
+        let mut sim = two_node_sim();
+        sim.classify_faults(|_| "ping");
+        sim.faults_mut()
+            .add_rule(DeliveryRule::for_kind("ping").delay(Micros(10_000)));
+        sim.run_until_deliveries(1);
+        // 11 hops to reach the limit, each paying 100us LAN + 10ms rule delay.
+        assert_eq!(sim.deliveries()[0].at, Micros(11 * 10_100));
     }
 }
