@@ -15,7 +15,10 @@
 //! - inspects the SPECORDER headers embedded in replies for proofs of
 //!   command-leader misbehaviour and broadcasts a POM when found (§IV-D);
 //! - on timeout, re-broadcasts the request tagged with the original
-//!   command-leader, and eventually rotates to a different replica.
+//!   command-leader, and eventually rotates to a different replica; with
+//!   [`EzConfig::sticky_rotation`] on, the client then sticks to the
+//!   replica that served the rotated request (an owner change may have
+//!   frozen the old leader's space for good).
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -283,6 +286,16 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
         let pending = self.pending.take().expect("completing a pending request");
         out.cancel_timer(self.slow_timer());
         out.cancel_timer(self.retry_timer());
+        if self.cfg.sticky_rotation && pending.retries >= 2 && pending.leader != self.preferred {
+            // The request only landed after rotating away from the
+            // preferred replica — its space was likely frozen by an owner
+            // change, and ownership does not come back until the change
+            // counter wraps. Stick to the replica that worked so later
+            // requests don't pay the full rotation again
+            // ([`EzConfig::sticky_rotation`]).
+            self.preferred = pending.leader;
+            self.rec.counter("client.preferred_moves", 1);
+        }
         if fast {
             self.stats.fast += 1;
         } else {
@@ -727,6 +740,55 @@ mod tests {
         }
         assert!(c.confirm_ewma_us.unwrap() < floor.as_micros() / 4);
         assert_eq!(c.adaptive_fallback_delay(), floor);
+    }
+
+    /// A command with no conflict keys, for driving the submit path.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+    struct NoOp(u64);
+
+    impl ezbft_smr::Command for NoOp {
+        fn conflict_keys(&self) -> Vec<ezbft_smr::ConflictKey> {
+            Vec::new()
+        }
+    }
+
+    fn cmd_client() -> Client<NoOp, u64> {
+        let cluster = ClusterConfig::for_faults(1);
+        let nodes: Vec<NodeId> = cluster
+            .replicas()
+            .map(NodeId::Replica)
+            .chain([NodeId::Client(ClientId::new(0))])
+            .collect();
+        let keys = KeyStore::cluster(CryptoKind::Mac, b"rotate-test", &nodes)
+            .pop()
+            .expect("client keys");
+        let mut cfg = EzConfig::new(cluster);
+        cfg.sticky_rotation = true;
+        Client::new(ClientId::new(0), cfg, keys, ReplicaId::new(0))
+    }
+
+    #[test]
+    fn rotated_request_moves_the_preferred_leader() {
+        let mut c = cmd_client();
+        let mut out = Actions::new(Micros::ZERO);
+        c.submit(NoOp(7), &mut out);
+        assert_eq!(c.preferred, ReplicaId::new(0));
+        // First retry re-broadcasts at the original leader; no rotation.
+        c.on_timer(c.retry_timer(), &mut out);
+        c.complete(0u64, false, &mut out);
+        assert_eq!(c.preferred, ReplicaId::new(0));
+        // A request that only lands after rotating to r2 moves the
+        // preference there: the old leader's space may be frozen for good.
+        c.submit(NoOp(8), &mut out);
+        c.on_timer(c.retry_timer(), &mut out);
+        c.on_timer(c.retry_timer(), &mut out);
+        c.on_timer(c.retry_timer(), &mut out);
+        c.complete(0u64, false, &mut out);
+        assert_eq!(c.preferred, ReplicaId::new(2));
+        // An untroubled request leaves the preference alone.
+        c.submit(NoOp(9), &mut out);
+        c.complete(0u64, true, &mut out);
+        assert_eq!(c.preferred, ReplicaId::new(2));
     }
 
     #[test]

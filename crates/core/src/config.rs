@@ -106,6 +106,19 @@ pub struct EzConfig {
     /// (lossy links, recovery windows). One NACK per observed gap front;
     /// `false` disables (the paper sends nothing).
     pub gap_fill: bool,
+    /// Client leader stickiness: when a request only completes after the
+    /// retry rotation moved past the preferred replica, adopt the replica
+    /// that served it as the new preferred leader. Without this, a space
+    /// frozen by an owner change (ownership does not return until the
+    /// change counter wraps) makes *every* subsequent request pay the
+    /// full rotation — a near-total throughput collapse on a live
+    /// deployment. `false` (the default) keeps the preference static;
+    /// the client's sustained retry pressure at the old leader is then
+    /// part of what drives stalled owner-change rounds to completion,
+    /// which the adversarial campaign's liveness bounds assume. Live TCP
+    /// deployments turn it on and accept that an idle space's
+    /// owner-change round may linger (visible via `/status`).
+    pub sticky_rotation: bool,
 }
 
 impl EzConfig {
@@ -130,6 +143,7 @@ impl EzConfig {
             oc_backoff_base: Micros::from_millis(1_000),
             oc_backoff_cap: Micros::from_millis(8_000),
             gap_fill: true,
+            sticky_rotation: false,
         }
     }
 

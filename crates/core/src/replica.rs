@@ -22,7 +22,10 @@ use ezbft_checkpoint::{
     StableCheckpoint,
 };
 use ezbft_crypto::{Audience, Digest, KeyStore};
-use ezbft_obs::{NullRecorder, Recorder, RecoveryKey, RecoveryStage, Stage};
+use ezbft_obs::{
+    HealthReport, Introspect, NullRecorder, Recorder, RecoveryKey, RecoveryStage, SpaceHealth,
+    Stage,
+};
 use ezbft_smr::{
     estimate_makespan, Actions, Application, ClientId, CloneReplay, Command, ExecItem, ExecUnit,
     Executor, Micros, NodeId, ParallelExecutor, ProtocolNode, ReplicaId, TimerId, Timestamp,
@@ -643,6 +646,63 @@ impl<A: Application + Snapshotable> Replica<A> {
             }
         }
         out
+    }
+
+    /// Builds the live health snapshot served on the introspection
+    /// endpoint's `/status` (DESIGN.md §9b): protocol-level state the
+    /// recorder cannot see — per-space ownership and owner-change
+    /// progress, log length against the stable checkpoint, reorder-buffer
+    /// gaps, the execution worklist depth, and the commit-path mix.
+    /// Read-only and allocation-light (one `SpaceHealth` per space), so
+    /// it is safe to call between protocol events while under load.
+    pub fn introspect(&self) -> HealthReport {
+        let stable = self.stable_mark().map(|m| m.seq).unwrap_or(0);
+        // Highest armed owner-change escalation attempt: non-zero means a
+        // prospective new owner went mute and the backoff is climbing.
+        let oc_backoff_attempt = self
+            .timers
+            .values()
+            .filter_map(|t| match t {
+                ReplicaTimer::OwnerChangeEscalate { attempt, .. } => Some(u64::from(*attempt)),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let spaces: Vec<SpaceHealth> = self
+            .spaces
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SpaceHealth {
+                space: i as u64,
+                owner: s.owner.0,
+                owner_replica: s.owner.owner(&self.cfg.cluster).index() as u64,
+                frozen: s.frozen,
+                committed_to_change: s.committed_to_change,
+                oc_target: s.committed_to_change.then_some(s.oc_target.0),
+                next_slot: s.next_slot,
+                compact_floor: s.compact_floor,
+                entries: s.entries.len() as u64,
+                reorder_buffered: s.pending_orders.len() as u64,
+                pending_commits: s.pending_commits.len() as u64,
+            })
+            .collect();
+        HealthReport {
+            replica: self.id.index() as u64,
+            recovering: self.recovering,
+            executed: self.stats.executed,
+            exec_queue_depth: self.committed_pending.len() as u64,
+            retained_log: self.retained_log_size() as u64,
+            checkpoint_seq: self.ckpt_seq,
+            stable_checkpoint: stable,
+            checkpoint_lag: self.ckpt_seq.saturating_sub(stable),
+            reorder_buffered: spaces.iter().map(|s| s.reorder_buffered).sum(),
+            fast_commits: self.stats.fast_commits,
+            slow_commits: self.stats.slow_commits,
+            agg_commits: self.stats.agg_commits,
+            owner_changes: self.stats.owner_changes,
+            oc_backoff_attempt,
+            spaces,
+        }
     }
 
     fn reply_audience(&self, client: ClientId) -> Audience {
@@ -3651,6 +3711,12 @@ impl<A: Application + Snapshotable> Replica<A> {
             self.timers.remove(&id);
             out.cancel_timer(TimerId(id));
         }
+    }
+}
+
+impl<A: Application + Snapshotable> Introspect for Replica<A> {
+    fn health_report(&self) -> HealthReport {
+        self.introspect()
     }
 }
 

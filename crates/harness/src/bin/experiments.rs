@@ -7,12 +7,12 @@
 //! `--quick` reduces per-configuration request counts for a fast smoke run;
 //! the default counts match those recorded in EXPERIMENTS.md.
 //!
-//! The `commit_traffic`, `exec_scaling`, `stage_latency` and
-//! `adversarial` targets additionally write their machine-readable
-//! summaries to `BENCH_commit_traffic.json`, `BENCH_exec.json`,
-//! `BENCH_stage_latency.json` and `BENCH_adversarial.json` in the
-//! working directory — the per-PR benchmark artefacts checked in at the
-//! repo root.
+//! The `commit_traffic`, `exec_scaling`, `stage_latency`,
+//! `scrape_overhead` and `adversarial` targets additionally write their
+//! machine-readable summaries to `BENCH_commit_traffic.json`,
+//! `BENCH_exec.json`, `BENCH_stage_latency.json`, `BENCH_scrape.json`
+//! and `BENCH_adversarial.json` in the working directory — the per-PR
+//! benchmark artefacts checked in at the repo root.
 
 use ezbft_harness::experiments;
 use ezbft_smr::Micros;
@@ -86,6 +86,21 @@ fn run_one(target: &str, quick: bool) -> bool {
             println!("{}", report.to_json());
             write_bench("BENCH_stage_latency.json", &report.to_json());
         }
+        "scrape_overhead" => {
+            let report = experiments::scrape_overhead(quick);
+            println!("{}", report.render());
+            println!("{}", report.to_json());
+            write_bench("BENCH_scrape.json", &report.to_json());
+            if let Some(row) = report.row(1) {
+                if !quick && row.overhead_pct >= 5.0 {
+                    eprintln!(
+                        "1 Hz scraping cost {:.2}% throughput (acceptance bar is < 5%)",
+                        row.overhead_pct
+                    );
+                    return false;
+                }
+            }
+        }
         "adversarial" => {
             // Full campaign: every attack mix × 20 seeds with the fixes
             // on, plus published-mode demonstrations of the holes (quick:
@@ -114,6 +129,7 @@ fn run_one(target: &str, quick: bool) -> bool {
                 "commit_traffic",
                 "exec_scaling",
                 "stage_latency",
+                "scrape_overhead",
                 "adversarial",
             ] {
                 run_one(t, quick);
@@ -122,7 +138,7 @@ fn run_one(target: &str, quick: bool) -> bool {
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|recovery|commit_traffic|exec_scaling|stage_latency|adversarial|all] [--quick]"
+                "usage: experiments [table1|fig4|fig5a|fig5b|fig6|fig7|table2|ablation|recovery|commit_traffic|exec_scaling|stage_latency|scrape_overhead|adversarial|all] [--quick]"
             );
             return false;
         }

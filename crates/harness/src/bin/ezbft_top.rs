@@ -1,0 +1,203 @@
+//! `ezbft-top` — a live cluster viewer over the introspection plane
+//! (DESIGN.md §9b).
+//!
+//! Scrapes every replica's `/metrics` and `/status` once per tick and
+//! renders a `top`-style table: per-replica throughput (executed-command
+//! delta), end-to-end p50/p99, the owner map, checkpoint lag and the
+//! commit-path mix.
+//!
+//! Usage:
+//!
+//! ```text
+//! ezbft-top [--ticks N] [--period-ms MS] [ADDR...]
+//! ```
+//!
+//! With explicit `ADDR`s (e.g. `127.0.0.1:9100`) it scrapes an existing
+//! cluster's introspection sockets; with none it spawns a self-contained
+//! demo cluster on loopback, drives it with a closed-loop client, and
+//! scrapes that.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use ezbft_harness::report::TextTable;
+use ezbft_harness::scrape::{scrape_metrics, scrape_status};
+use ezbft_harness::LiveCluster;
+use ezbft_obs::HealthReport;
+
+fn main() {
+    let mut ticks = 10usize;
+    let mut period = Duration::from_millis(1_000);
+    let mut addrs: Vec<SocketAddr> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ticks" => {
+                ticks = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--ticks needs a number"));
+            }
+            "--period-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--period-ms needs a number"));
+                period = Duration::from_millis(ms.max(50));
+            }
+            other => match other.parse() {
+                Ok(addr) => addrs.push(addr),
+                Err(_) => usage(&format!("unrecognised argument {other:?}")),
+            },
+        }
+    }
+
+    // No addresses: spawn a loopback demo cluster and a load thread.
+    let mut demo = None;
+    if addrs.is_empty() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (addr_tx, addr_rx) = mpsc::channel();
+        let worker = std::thread::spawn({
+            let stop = stop.clone();
+            move || {
+                let mut cluster = LiveCluster::start(1, 16);
+                addr_tx.send(cluster.intro_addrs()).expect("report addrs");
+                // Pace the load to a few hundred ops/s. An unpaced
+                // closed loop saturates the replicas until a request
+                // stalls past the client's retry timer, and the resulting
+                // spurious owner changes freeze instance spaces for good —
+                // interesting to watch, but not what a demo should show.
+                while !stop.load(Ordering::Relaxed) {
+                    cluster.submit_and_wait(Duration::from_secs(5));
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                cluster.shutdown();
+            }
+        });
+        addrs = addr_rx.recv().expect("demo cluster starts");
+        println!("no addresses given: scraping a self-hosted demo cluster");
+        demo = Some((stop, worker));
+    }
+
+    let mut last_executed: Vec<Option<u64>> = vec![None; addrs.len()];
+    for tick in 0..ticks {
+        std::thread::sleep(period);
+        let mut t = TextTable::new(&[
+            "replica",
+            "ops/s",
+            "executed",
+            "p50 µs",
+            "p99 µs",
+            "owners",
+            "ckpt lag",
+            "reorder",
+            "paths f/s/a",
+        ]);
+        for (i, &addr) in addrs.iter().enumerate() {
+            match render_row(addr, &mut last_executed[i], period) {
+                Ok(cells) => {
+                    t.row(cells);
+                }
+                Err(e) => {
+                    t.row(vec![
+                        format!("{addr}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("unreachable: {e}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+        println!("tick {}/{}\n{}", tick + 1, ticks, t.render());
+    }
+
+    if let Some((stop, worker)) = demo {
+        stop.store(true, Ordering::Relaxed);
+        let _ = worker.join();
+    }
+}
+
+/// Scrapes one replica and formats its table row; tracks the previous
+/// executed count in `last` to derive a per-tick rate.
+fn render_row(
+    addr: SocketAddr,
+    last: &mut Option<u64>,
+    period: Duration,
+) -> std::io::Result<Vec<String>> {
+    let status = scrape_status(addr)?;
+    let metrics = scrape_metrics(addr)?;
+    let ops = match last.replace(status.executed) {
+        Some(prev) => {
+            let delta = status.executed.saturating_sub(prev);
+            format!("{:.0}", delta as f64 / period.as_secs_f64())
+        }
+        None => "-".to_string(),
+    };
+    // Prefer the end-to-end span (present when the scraped node also
+    // observes the client stages, e.g. a simulator-shared recorder);
+    // plain replicas fall back to their accept→commit interval — the
+    // consensus latency as that replica saw it.
+    let family = ["ezbft_stage_e2e", "ezbft_stage_specorder_accept__commit"]
+        .into_iter()
+        .find(|f| metrics.histogram_count(f) > 0);
+    let (p50, p99) = match family {
+        Some(f) => (
+            metrics
+                .histogram_quantile(f, 0.50)
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+            metrics
+                .histogram_quantile(f, 0.99)
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+        ),
+        // Nodes with no latency spans show a dash, not a fake zero.
+        None => ("-".to_string(), "-".to_string()),
+    };
+    Ok(vec![
+        format!("r{}{}", status.replica, owner_change_marker(&status)),
+        ops,
+        status.executed.to_string(),
+        p50,
+        p99,
+        status
+            .spaces
+            .iter()
+            .map(|s| s.owner_replica.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        status.checkpoint_lag.to_string(),
+        status.reorder_buffered.to_string(),
+        format!(
+            "{}/{}/{}",
+            status.fast_commits, status.slow_commits, status.agg_commits
+        ),
+    ])
+}
+
+/// `!` while an owner change is in flight on any space, `~` while the
+/// replica is recovering.
+fn owner_change_marker(status: &HealthReport) -> &'static str {
+    if status.recovering {
+        "~"
+    } else if status
+        .spaces
+        .iter()
+        .any(|s| s.frozen || s.committed_to_change)
+    {
+        "!"
+    } else {
+        ""
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: ezbft-top [--ticks N] [--period-ms MS] [ADDR...]");
+    std::process::exit(2);
+}

@@ -101,6 +101,10 @@ pub struct RunReport {
     /// `"e2e"`), aggregated from the run's lifecycle spans. Empty unless
     /// [`ClusterBuilder::telemetry`] was enabled (DESIGN.md §9).
     pub stage_intervals: BTreeMap<String, Log2Histogram>,
+    /// Final values of every telemetry counter (`net.*`, `sim.*`,
+    /// protocol counters), snapshot at the end of the run. Empty unless
+    /// [`ClusterBuilder::telemetry`] was enabled (DESIGN.md §9b).
+    pub counters: BTreeMap<String, u64>,
     /// Completion timestamps (virtual) for throughput analysis.
     completions: Vec<Micros>,
 }
@@ -410,6 +414,12 @@ impl ClusterBuilder {
         let recorder: Option<Arc<MemRecorder>> = if self.telemetry {
             let rec = Arc::new(MemRecorder::new());
             sim.set_recorder(rec.clone() as Arc<dyn Recorder>);
+            // Byte counters (`net.bytes_*`) use the TCP transport's actual
+            // wire encoding, so simulated and live-cluster traffic volumes
+            // are directly comparable.
+            sim.estimate_sizes(|m: &F::Msg| {
+                ezbft_wire::to_bytes(m).map(|b| b.len() as u64).unwrap_or(0)
+            });
             Some(rec)
         } else {
             None
@@ -481,12 +491,12 @@ impl ClusterBuilder {
             }
         }
 
-        let stage_intervals = match &recorder {
+        let (stage_intervals, counters) = match &recorder {
             Some(rec) => {
                 export_event_log(rec);
-                rec.stage_interval_histograms()
+                (rec.stage_interval_histograms(), rec.counters_snapshot())
             }
-            None => BTreeMap::new(),
+            None => (BTreeMap::new(), BTreeMap::new()),
         };
 
         RunReport {
@@ -502,6 +512,7 @@ impl ClusterBuilder {
             duration: sim.now(),
             sent_by_kind: sim.kind_counts(),
             stage_intervals,
+            counters,
             completions,
         }
     }

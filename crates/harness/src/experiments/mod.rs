@@ -13,6 +13,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod recovery;
+pub mod scrape_overhead;
 pub mod stage_latency;
 pub mod table1;
 pub mod table2;
@@ -28,6 +29,7 @@ pub use fig5::{fig5a, fig5b, Fig5aReport, Fig5bReport};
 pub use fig6::{fig6, Fig6Report};
 pub use fig7::{fig7, Fig7Report};
 pub use recovery::{recovery, RecoveryReport};
+pub use scrape_overhead::{scrape_overhead, ScrapeOverheadReport};
 pub use stage_latency::{stage_latency, StageLatencyReport};
 pub use table1::{table1, Table1Report};
 pub use table2::{table2, Table2Report};

@@ -1,0 +1,274 @@
+//! Cost of the live introspection plane (DESIGN.md §9b): does scraping
+//! `/metrics` and `/status` off every replica perturb a running cluster?
+//!
+//! A real TCP-loopback ezBFT cluster ([`crate::live::LiveCluster`])
+//! serves a closed-loop client for a fixed wall-clock window while a
+//! scraper thread polls all four replicas at a configured rate. Unlike
+//! every simulator experiment this one measures wall-clock time, and
+//! raw window throughput is dominated by *rare* slow-path stalls (a
+//! single 600 ms slow-timer hit eats ~15% of a window), so the
+//! overhead statistic is computed from the **median per-request
+//! latency** — the closed-loop equivalent of throughput (1/latency)
+//! that rare stalls cannot move. The acceptance bar is **< 5% at
+//! 1 Hz**; trials are interleaved across rates so machine-load drift
+//! biases every rate equally.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::live::LiveCluster;
+use crate::report::TextTable;
+use crate::scrape::{scrape_metrics, scrape_status};
+
+/// One scrape rate's measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ScrapeOverheadRow {
+    /// Scrapes per second against each replica (0 = baseline, none).
+    pub scrape_hz: u32,
+    /// Requests completed inside the measurement window (median trial).
+    pub completed: u64,
+    /// Measurement window length (median trial), wall-clock ms.
+    pub wall_ms: u64,
+    /// Raw closed-loop throughput, requests per wall-clock second
+    /// (context only; noisy — see the module docs).
+    pub ops_per_sec: f64,
+    /// Median per-request latency in µs (median trial) — the robust
+    /// basis of `overhead_pct`.
+    pub p50_us: u64,
+    /// Successful scrape round-trips performed (both endpoints, all
+    /// replicas; median trial).
+    pub scrapes: u64,
+    /// Median-latency increase vs the baseline row, percent (negative =
+    /// noise made the scraped run faster). For a closed-loop client
+    /// this equals the throughput loss.
+    pub overhead_pct: f64,
+}
+
+/// The experiment's result set.
+#[derive(Clone, Debug)]
+pub struct ScrapeOverheadReport {
+    /// One row per scrape rate, baseline (0 Hz) first.
+    pub rows: Vec<ScrapeOverheadRow>,
+}
+
+impl ScrapeOverheadReport {
+    /// Renders the overhead table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "scrape rate",
+            "completed",
+            "ops/s",
+            "p50 µs",
+            "scrapes",
+            "overhead %",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                if r.scrape_hz == 0 {
+                    "baseline".to_string()
+                } else {
+                    format!("{} Hz", r.scrape_hz)
+                },
+                r.completed.to_string(),
+                format!("{:.0}", r.ops_per_sec),
+                r.p50_us.to_string(),
+                r.scrapes.to_string(),
+                format!("{:+.2}", r.overhead_pct),
+            ]);
+        }
+        format!(
+            "Live introspection scrape overhead (DESIGN.md §9b)\n{}",
+            t.render()
+        )
+    }
+
+    /// Machine-readable summary (the `BENCH_scrape.json` payload),
+    /// hand-encoded so the harness stays dependency-free.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"scrape_hz\":{},\"completed\":{},\"wall_ms\":{},\
+                     \"ops_per_sec\":{:.2},\"p50_us\":{},\"scrapes\":{},\"overhead_pct\":{:.2}}}",
+                    r.scrape_hz,
+                    r.completed,
+                    r.wall_ms,
+                    r.ops_per_sec,
+                    r.p50_us,
+                    r.scrapes,
+                    r.overhead_pct
+                )
+            })
+            .collect();
+        format!(
+            "{{\"experiment\":\"scrape_overhead\",\"rows\":[{}]}}",
+            rows.join(",")
+        )
+    }
+
+    /// The row measured at `scrape_hz`, if present.
+    pub fn row(&self, scrape_hz: u32) -> Option<&ScrapeOverheadRow> {
+        self.rows.iter().find(|r| r.scrape_hz == scrape_hz)
+    }
+}
+
+/// One trial's raw numbers.
+#[derive(Clone, Copy, Debug)]
+struct Trial {
+    completed: u64,
+    wall_ms: u64,
+    p50_us: u64,
+    scrapes: u64,
+}
+
+/// One trial: drive the closed-loop client for `window`, scraping every
+/// replica at `hz` (0 = no scraper).
+fn trial(hz: u32, window: Duration) -> Trial {
+    let mut cluster = LiveCluster::start(1, 16);
+    // Warm up connections and the protocol's steady state off the clock.
+    for _ in 0..20 {
+        assert!(
+            cluster.submit_and_wait(Duration::from_secs(10)),
+            "warm-up request must complete"
+        );
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapes = Arc::new(AtomicU64::new(0));
+    let scraper = (hz > 0).then(|| {
+        let addrs = cluster.intro_addrs();
+        let stop = stop.clone();
+        let scrapes = scrapes.clone();
+        let period = Duration::from_micros(1_000_000 / u64::from(hz));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let tick = Instant::now();
+                for &addr in &addrs {
+                    let ok = scrape_metrics(addr).is_ok() && scrape_status(addr).is_ok();
+                    if ok {
+                        scrapes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if let Some(rest) = period.checked_sub(tick.elapsed()) {
+                    std::thread::sleep(rest);
+                }
+            }
+        })
+    });
+
+    let start = Instant::now();
+    let mut latencies_us: Vec<u64> = Vec::new();
+    while start.elapsed() < window {
+        let sent = Instant::now();
+        if cluster.submit_and_wait(Duration::from_secs(10)) {
+            latencies_us.push(sent.elapsed().as_micros() as u64);
+        }
+    }
+    let wall_ms = start.elapsed().as_millis() as u64;
+
+    stop.store(true, Ordering::Relaxed);
+    if let Some(t) = scraper {
+        let _ = t.join();
+    }
+    let replicas = cluster.shutdown();
+    assert!(
+        !replicas.is_empty(),
+        "replica state machines must survive the run"
+    );
+    latencies_us.sort_unstable();
+    Trial {
+        completed: latencies_us.len() as u64,
+        wall_ms,
+        p50_us: latencies_us
+            .get(latencies_us.len() / 2)
+            .copied()
+            .unwrap_or(0),
+        scrapes: scrapes.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs the scrape-overhead sweep: baseline, 1 Hz and 10 Hz. `quick`
+/// shortens the window and takes one round (CI smoke); the full mode
+/// runs five paired rounds and reports the median paired overhead.
+pub fn scrape_overhead(quick: bool) -> ScrapeOverheadReport {
+    let (window, rounds) = if quick {
+        (Duration::from_millis(800), 1)
+    } else {
+        (Duration::from_secs(5), 5)
+    };
+    const RATES: [u32; 3] = [0, 1, 10];
+    // Paired rounds: each round measures the baseline and every scrape
+    // rate back to back, so machine-load drift cancels inside a round;
+    // the reported overhead is the median of the per-round paired
+    // deltas, not a comparison of two medians taken minutes apart.
+    let mut trials_by_rate: Vec<Vec<Trial>> = vec![Vec::new(); RATES.len()];
+    let mut overheads_by_rate: Vec<Vec<f64>> = vec![Vec::new(); RATES.len()];
+    for _ in 0..rounds {
+        let mut round_baseline = 0u64;
+        for (i, &hz) in RATES.iter().enumerate() {
+            let t = trial(hz, window);
+            if hz == 0 {
+                round_baseline = t.p50_us;
+            } else if round_baseline > 0 {
+                overheads_by_rate[i].push(
+                    (t.p50_us as f64 - round_baseline as f64) / round_baseline as f64 * 100.0,
+                );
+            }
+            trials_by_rate[i].push(t);
+        }
+    }
+    let mut rows = Vec::new();
+    for (i, &hz) in RATES.iter().enumerate() {
+        let measured = &mut trials_by_rate[i];
+        // Report the median trial's raw numbers.
+        measured.sort_by_key(|t| t.p50_us);
+        let t = measured[measured.len() / 2];
+        let overheads = &mut overheads_by_rate[i];
+        let overhead_pct = if overheads.is_empty() {
+            0.0
+        } else {
+            overheads.sort_by(|a, b| a.partial_cmp(b).expect("finite overhead"));
+            overheads[overheads.len() / 2]
+        };
+        rows.push(ScrapeOverheadRow {
+            scrape_hz: hz,
+            completed: t.completed,
+            wall_ms: t.wall_ms,
+            ops_per_sec: t.completed as f64 / (t.wall_ms.max(1) as f64 / 1_000.0),
+            p50_us: t.p50_us,
+            scrapes: t.scrapes,
+            overhead_pct,
+        });
+    }
+    ScrapeOverheadReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_scrapes_while_committing() {
+        let report = scrape_overhead(true);
+        assert_eq!(report.rows.len(), 3);
+        let baseline = report.row(0).expect("baseline row");
+        assert!(baseline.completed > 0, "baseline run must make progress");
+        assert!(baseline.p50_us > 0, "median latency must be measured");
+        assert_eq!(baseline.scrapes, 0);
+        for hz in [1u32, 10] {
+            let row = report.row(hz).expect("scraped row");
+            assert!(row.completed > 0, "{hz} Hz run must make progress");
+            assert!(
+                row.scrapes > 0,
+                "{hz} Hz run must land at least one scrape round"
+            );
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\":\"scrape_overhead\""));
+        assert!(json.contains("\"overhead_pct\""));
+        assert!(json.contains("\"p50_us\""));
+    }
+}

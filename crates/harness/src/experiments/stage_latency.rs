@@ -53,6 +53,10 @@ pub struct StageLatencyRow {
     pub completed: usize,
     /// Per stage-transition summaries, keyed `"from->to"` plus `"e2e"`.
     pub stages: BTreeMap<String, StageSummary>,
+    /// Final telemetry counter values for the run
+    /// ([`crate::cluster::RunReport::counters`]), exported so the bench
+    /// artefact records traffic volumes next to the latencies.
+    pub counters: BTreeMap<String, u64>,
 }
 
 /// The experiment's result set.
@@ -100,13 +104,19 @@ impl StageLatencyReport {
                         )
                     })
                     .collect();
+                let counters: Vec<String> = r
+                    .counters
+                    .iter()
+                    .map(|(name, v)| format!("\"{name}\":{v}"))
+                    .collect();
                 format!(
-                    "{{\"config\":\"{}\",\"aggregated\":{},\"exec_workers\":{},\"completed\":{},\"stages\":{{{}}}}}",
+                    "{{\"config\":\"{}\",\"aggregated\":{},\"exec_workers\":{},\"completed\":{},\"stages\":{{{}}},\"counters\":{{{}}}}}",
                     r.config,
                     r.aggregated,
                     r.exec_workers,
                     r.completed,
-                    stages.join(",")
+                    stages.join(","),
+                    counters.join(",")
                 )
             })
             .collect();
@@ -175,6 +185,7 @@ pub fn stage_latency(budget: Micros) -> StageLatencyReport {
             exec_workers: workers,
             completed: report.completed(),
             stages,
+            counters: report.counters,
         });
     }
     StageLatencyReport { rows }
@@ -206,9 +217,22 @@ mod tests {
             agg.stages.keys().any(|k| k.contains("ack_collect")),
             "aggregated commitment must surface the ack-collect stage"
         );
+        // Telemetry counters ride along in every row: the simulator's
+        // TCP-parity traffic counters must be present with real bytes.
+        for row in &report.rows {
+            for name in ["sim.sent", "net.frames_out", "net.bytes_out"] {
+                assert!(
+                    row.counters.get(name).is_some_and(|&v| v > 0),
+                    "{}: counter {name} missing or zero",
+                    row.config
+                );
+            }
+        }
         let json = report.to_json();
         assert!(json.contains("\"experiment\":\"stage_latency\""));
         assert!(json.contains("\"stages\""));
         assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"net.bytes_out\""));
     }
 }

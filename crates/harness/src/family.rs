@@ -63,8 +63,10 @@ where
 pub trait ProtocolFamily: 'static {
     /// Display name (reports).
     const NAME: &'static str;
-    /// The wire message type.
-    type Msg: Clone + Send + 'static;
+    /// The wire message type. The `Serialize` bound lets the harness
+    /// estimate per-frame byte sizes (`net.bytes_*` counters) with the
+    /// same encoding the TCP transport would use.
+    type Msg: Clone + Send + serde::Serialize + 'static;
 
     /// Builds a replica node.
     fn replica(

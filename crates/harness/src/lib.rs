@@ -24,7 +24,11 @@ pub mod cluster;
 pub mod cost;
 pub mod experiments;
 pub mod family;
+pub mod live;
 pub mod report;
+pub mod scrape;
 
 pub use cluster::{ClusterBuilder, ProtocolKind, RunReport};
 pub use cost::CostParams;
+pub use live::LiveCluster;
+pub use scrape::{scrape_metrics, scrape_status, MetricsSnapshot};

@@ -1,0 +1,155 @@
+//! A real ezBFT cluster over TCP loopback with the introspection plane
+//! enabled on every replica (DESIGN.md §9b): the deployment behind the
+//! `scrape_overhead` experiment and the `ezbft-top` viewer.
+//!
+//! Unlike [`crate::cluster::ClusterBuilder`] — which runs the protocol
+//! inside the deterministic WAN simulator — this module spawns the
+//! threaded TCP runtime, so throughput and scrape cost are measured in
+//! wall-clock time on real sockets.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ezbft_core::{Client, EzConfig, Msg, Replica};
+use ezbft_crypto::{CryptoKind, KeyStore};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_obs::{MemRecorder, Recorder, Stage};
+use ezbft_smr::{ClientId, ClientNode as _, ClusterConfig, NodeId, ReplicaId};
+use ezbft_transport::{AddressBook, NodeHandle};
+
+/// The wire message of a KV-replicating ezBFT deployment.
+pub type KvMsg = Msg<KvOp, KvResponse>;
+
+/// A running introspectable cluster: `3f + 1` replica nodes plus one
+/// closed-loop client, all on loopback TCP.
+#[derive(Debug)]
+pub struct LiveCluster {
+    /// Replica runtime handles, in replica-id order.
+    pub replicas: Vec<NodeHandle<KvMsg, Replica<KvStore>>>,
+    /// Each replica's in-memory telemetry sink (same order).
+    pub recorders: Vec<Arc<MemRecorder>>,
+    /// The client runtime handle.
+    pub client: NodeHandle<KvMsg, Client<KvOp, KvResponse>>,
+    submitted: u64,
+    pending: bool,
+}
+
+impl LiveCluster {
+    /// Spawns a fault-tolerance-`f` cluster (MAC authentication,
+    /// checkpointing every `checkpoint_interval` commands when non-zero)
+    /// with every replica's introspection endpoint live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if loopback sockets cannot be bound or nodes fail to spawn.
+    pub fn start(faults: usize, checkpoint_interval: u64) -> LiveCluster {
+        let cluster = ClusterConfig::for_faults(faults);
+        let mut cfg = EzConfig::new(cluster);
+        if checkpoint_interval > 0 {
+            cfg = cfg.with_checkpointing(checkpoint_interval);
+        }
+        // A live deployment wants availability over rotation purity: the
+        // client sticks to whichever replica actually serves a rotated
+        // request (see EzConfig::sticky_rotation).
+        cfg.sticky_rotation = true;
+        let client_id = ClientId::new(0);
+        let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+        nodes.push(NodeId::Client(client_id));
+        let mut stores = KeyStore::cluster(CryptoKind::Mac, b"live-cluster", &nodes);
+        let client_keys = stores.pop().expect("client keys");
+
+        let mut book = AddressBook::new();
+        let mut listeners = Vec::new();
+        for node in &nodes {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            book.insert(*node, listener.local_addr().expect("local addr"));
+            listeners.push(listener);
+        }
+        let client_listener = listeners.pop().expect("client listener");
+
+        let mut replicas = Vec::new();
+        let mut recorders = Vec::new();
+        for (rid, listener) in cluster.replicas().zip(listeners) {
+            let rec = Arc::new(MemRecorder::new());
+            // A live node's recorder must stay bounded: retire spans at
+            // the last stage a replica records, and skip the per-record
+            // event log (the scrape endpoint only reads aggregates).
+            rec.set_evict_at(Some(Stage::ExecDone));
+            rec.set_event_log(false);
+            let replica = Replica::new(rid, cfg, stores.remove(0), KvStore::new())
+                .with_recorder(rec.clone() as Arc<dyn Recorder>);
+            let intro = TcpListener::bind("127.0.0.1:0").expect("bind introspection");
+            replicas.push(
+                NodeHandle::spawn_introspected(replica, book.clone(), listener, rec.clone(), intro)
+                    .expect("spawn replica"),
+            );
+            recorders.push(rec);
+        }
+        let client: Client<KvOp, KvResponse> =
+            Client::new(client_id, cfg, client_keys, ReplicaId::new(0));
+        let client =
+            NodeHandle::spawn_with_listener(client, book, client_listener).expect("spawn client");
+        LiveCluster {
+            replicas,
+            recorders,
+            client,
+            submitted: 0,
+            pending: false,
+        }
+    }
+
+    /// Every replica's introspection address, in replica-id order.
+    pub fn intro_addrs(&self) -> Vec<SocketAddr> {
+        self.replicas
+            .iter()
+            .map(|h| h.intro_addr().expect("spawned introspected"))
+            .collect()
+    }
+
+    /// Submits one closed-loop `Put` and waits for its delivery.
+    /// Returns `false` when the request times out; a timed-out request
+    /// stays pending, and the next call waits for it instead of
+    /// double-submitting into a client that is still in flight.
+    pub fn submit_and_wait(&mut self, timeout: Duration) -> bool {
+        if self.pending {
+            if self.client.recv_delivery(timeout).is_none() {
+                return false;
+            }
+            self.pending = false;
+        }
+        let i = self.submitted;
+        self.submitted += 1;
+        if self
+            .client
+            .with_node(move |c, out| {
+                c.submit(
+                    KvOp::Put {
+                        key: Key(i % 64),
+                        value: vec![(i % 251) as u8; 32],
+                    },
+                    out,
+                );
+            })
+            .is_err()
+        {
+            return false;
+        }
+        self.pending = true;
+        let delivered = self.client.recv_delivery(timeout).is_some();
+        if delivered {
+            self.pending = false;
+        }
+        delivered
+    }
+
+    /// Shuts every node down and returns the final replica state
+    /// machines (in replica-id order).
+    pub fn shutdown(self) -> Vec<Replica<KvStore>> {
+        drop(self.client.shutdown());
+        self.replicas
+            .into_iter()
+            .filter_map(NodeHandle::shutdown)
+            .collect()
+    }
+}

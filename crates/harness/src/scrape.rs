@@ -1,0 +1,202 @@
+//! Scraper client for the transport's live introspection plane
+//! (DESIGN.md §9b): fetches `/metrics` (Prometheus text exposition) and
+//! `/status` (a [`HealthReport`] JSON snapshot) from a node's
+//! introspection socket and parses them back into typed form.
+//!
+//! The parser is hand-rolled like every other harness codec so the
+//! workspace stays dependency-free; it understands exactly the grammar
+//! `ezbft_obs::MemRecorder::render_exposition` emits (unlabelled and
+//! `{label="…"}` samples, `_bucket{le="…"}` cumulative histograms).
+
+use std::collections::BTreeMap;
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use ezbft_obs::HealthReport;
+
+/// One parsed `/metrics` scrape.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Every non-histogram sample, keyed by its full series name
+    /// (including any `{label="…"}` suffix).
+    pub samples: BTreeMap<String, u64>,
+    /// Cumulative histogram buckets per family: `(le, cumulative count)`
+    /// in ascending `le` order, `u64::MAX` standing in for `+Inf`.
+    pub histograms: BTreeMap<String, Vec<(u64, u64)>>,
+}
+
+impl MetricsSnapshot {
+    /// Parses the text exposition format.
+    pub fn parse(text: &str) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // `name value` or `name{labels} value`; values are integers.
+            let Some((series, value)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            let Ok(value) = value.parse::<u64>() else {
+                continue;
+            };
+            if let Some((family, le)) = split_bucket(series) {
+                snap.histograms.entry(family).or_default().push((le, value));
+            } else {
+                snap.samples.insert(series.to_string(), value);
+            }
+        }
+        for buckets in snap.histograms.values_mut() {
+            buckets.sort_by_key(|&(le, _)| le);
+        }
+        snap
+    }
+
+    /// The value of an unlabelled series, 0 when absent.
+    pub fn value(&self, series: &str) -> u64 {
+        self.samples.get(series).copied().unwrap_or(0)
+    }
+
+    /// Total observation count of histogram `family`
+    /// (e.g. `ezbft_stage_e2e`).
+    pub fn histogram_count(&self, family: &str) -> u64 {
+        self.value(&format!("{family}_count"))
+    }
+
+    /// Approximate `q`-quantile of histogram `family` in the histogram's
+    /// native unit: the upper bound of the first cumulative bucket
+    /// covering the target rank (the same resolution
+    /// `ezbft_obs::Log2Histogram::quantile` offers). `None` when the
+    /// family is absent or empty.
+    pub fn histogram_quantile(&self, family: &str, q: f64) -> Option<u64> {
+        let buckets = self.histograms.get(family)?;
+        let total = buckets.last()?.1;
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        buckets
+            .iter()
+            .find(|&&(_, cum)| cum >= rank)
+            .map(|&(le, _)| le)
+    }
+}
+
+/// Splits `name_bucket{le="…"}` into `(name, le)`; `+Inf` maps to
+/// `u64::MAX`.
+fn split_bucket(series: &str) -> Option<(String, u64)> {
+    let (name, rest) = series.split_once("_bucket{le=\"")?;
+    let le = rest.strip_suffix("\"}")?;
+    let le = if le == "+Inf" {
+        u64::MAX
+    } else {
+        le.parse().ok()?
+    };
+    Some((name.to_string(), le))
+}
+
+/// Issues one HTTP/1.0 GET against a node's introspection socket and
+/// returns `(status code, body)`.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed responses as
+/// [`io::Error`].
+pub fn fetch(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing header terminator"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing status code"))?;
+    Ok((status, body.to_string()))
+}
+
+/// Scrapes and parses `/metrics` from `addr`.
+///
+/// # Errors
+///
+/// Fails on transport errors or a non-200 response.
+pub fn scrape_metrics(addr: SocketAddr) -> io::Result<MetricsSnapshot> {
+    let (status, body) = fetch(addr, "/metrics")?;
+    if status != 200 {
+        return Err(io::Error::other(format!("/metrics returned {status}")));
+    }
+    Ok(MetricsSnapshot::parse(&body))
+}
+
+/// Scrapes and parses `/status` from `addr`.
+///
+/// # Errors
+///
+/// Fails on transport errors, a non-200 response, or malformed JSON.
+pub fn scrape_status(addr: SocketAddr) -> io::Result<HealthReport> {
+    let (status, body) = fetch(addr, "/status")?;
+    if status != 200 {
+        return Err(io::Error::other(format!("/status returned {status}")));
+    }
+    HealthReport::from_json(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counters_gauges_and_labelled_series() {
+        let text = "\
+# TYPE ezbft_net_frame_encodes counter
+ezbft_net_frame_encodes 12
+ezbft_sim_sent{kind=\"SpecOrder\"} 4
+# TYPE ezbft_exec_queue_depth gauge
+ezbft_exec_queue_depth 3
+ezbft_exec_queue_depth_max 9
+";
+        let snap = MetricsSnapshot::parse(text);
+        assert_eq!(snap.value("ezbft_net_frame_encodes"), 12);
+        assert_eq!(snap.value("ezbft_sim_sent{kind=\"SpecOrder\"}"), 4);
+        assert_eq!(snap.value("ezbft_exec_queue_depth_max"), 9);
+        assert_eq!(snap.value("no_such_series"), 0);
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn parses_histograms_and_answers_quantiles() {
+        let text = "\
+# TYPE ezbft_stage_e2e histogram
+ezbft_stage_e2e_bucket{le=\"1\"} 1
+ezbft_stage_e2e_bucket{le=\"3\"} 3
+ezbft_stage_e2e_bucket{le=\"7\"} 4
+ezbft_stage_e2e_bucket{le=\"+Inf\"} 4
+ezbft_stage_e2e_sum 14
+ezbft_stage_e2e_count 4
+";
+        let snap = MetricsSnapshot::parse(text);
+        assert_eq!(snap.histogram_count("ezbft_stage_e2e"), 4);
+        assert_eq!(snap.histogram_quantile("ezbft_stage_e2e", 0.50), Some(3));
+        assert_eq!(snap.histogram_quantile("ezbft_stage_e2e", 0.99), Some(7));
+        assert_eq!(snap.histogram_quantile("ezbft_stage_e2e", 0.0), Some(1));
+        assert_eq!(snap.histogram_quantile("absent", 0.5), None);
+    }
+
+    #[test]
+    fn bucket_splitter_handles_inf_and_rejects_non_buckets() {
+        assert_eq!(
+            split_bucket("f_bucket{le=\"+Inf\"}"),
+            Some(("f".into(), u64::MAX))
+        );
+        assert_eq!(split_bucket("f_bucket{le=\"31\"}"), Some(("f".into(), 31)));
+        assert_eq!(split_bucket("f{kind=\"x\"}"), None);
+        assert_eq!(split_bucket("f_count"), None);
+    }
+}

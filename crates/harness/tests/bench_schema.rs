@@ -264,9 +264,84 @@ fn every_checked_in_bench_artefact_has_the_required_schema() {
         checked += 1;
     }
     assert!(
-        checked >= 3,
+        checked >= 5,
         "expected the checked-in BENCH artefacts at the repo root, found {checked}"
     );
+}
+
+#[test]
+fn scrape_artefact_proves_the_overhead_bar() {
+    let path = repo_root().join("BENCH_scrape.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_scrape.json is checked in");
+    let value = Parser::parse(text.trim()).expect("valid JSON");
+    let obj = value.as_obj().expect("object envelope");
+    assert_eq!(obj["experiment"].as_str(), Some("scrape_overhead"));
+
+    let rows = obj["rows"].as_arr().expect("rows array");
+    assert!(rows.len() >= 3, "baseline + at least two scrape rates");
+    let mut rates = Vec::new();
+    for row in rows {
+        let row = row.as_obj().expect("row object");
+        for key in [
+            "scrape_hz",
+            "completed",
+            "wall_ms",
+            "ops_per_sec",
+            "p50_us",
+            "scrapes",
+            "overhead_pct",
+        ] {
+            assert!(
+                matches!(row.get(key), Some(Json::Num(_))),
+                "scrape row missing numeric {key}"
+            );
+        }
+        let hz = match row["scrape_hz"] {
+            Json::Num(n) => n as u32,
+            _ => unreachable!(),
+        };
+        rates.push(hz);
+        assert!(
+            matches!(row["completed"], Json::Num(n) if n > 0.0),
+            "{hz} Hz row made no progress"
+        );
+        if hz == 0 {
+            assert_eq!(row["scrapes"], Json::Num(0.0), "baseline never scrapes");
+        } else {
+            assert!(
+                matches!(row["scrapes"], Json::Num(n) if n > 0.0),
+                "{hz} Hz row landed no scrapes"
+            );
+        }
+        if hz == 1 {
+            // The ISSUE acceptance bar: 1 Hz scraping costs < 5%.
+            assert!(
+                matches!(row["overhead_pct"], Json::Num(n) if n < 5.0),
+                "1 Hz scrape overhead must stay under 5%, got {:?}",
+                row["overhead_pct"]
+            );
+        }
+    }
+    assert!(rates.contains(&0) && rates.contains(&1), "baseline + 1 Hz");
+}
+
+#[test]
+fn stage_latency_artefact_carries_the_counters_snapshot() {
+    let path = repo_root().join("BENCH_stage_latency.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_stage_latency.json is checked in");
+    let value = Parser::parse(text.trim()).expect("valid JSON");
+    let obj = value.as_obj().expect("object envelope");
+    assert_eq!(obj["experiment"].as_str(), Some("stage_latency"));
+    for row in obj["rows"].as_arr().expect("rows array") {
+        let row = row.as_obj().expect("row object");
+        let counters = row["counters"].as_obj().expect("counters snapshot");
+        for name in ["sim.sent", "net.frames_out", "net.bytes_out"] {
+            assert!(
+                matches!(counters.get(name), Some(Json::Num(n)) if *n > 0.0),
+                "stage_latency row missing counter {name}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,134 @@
+//! Prometheus-style text exposition over a [`MemRecorder`] snapshot
+//! (DESIGN.md §9b).
+//!
+//! The format is the classic text exposition: one `# TYPE` line per
+//! metric family followed by its samples. Metric names are the
+//! recorder's dotted names sanitised (`.` and any other non-alphanumeric
+//! byte become `_`) and prefixed `ezbft_`; kind-labelled counters render
+//! as `{kind="…"}` series of the same family as their unlabelled total;
+//! gauges render their last value (the retained maximum becomes a
+//! sibling `_max` gauge); [`Log2Histogram`]s render cumulatively as
+//! `_bucket{le="…"}` lines over the non-empty log2 bucket upper bounds
+//! plus the conventional `+Inf`/`_sum`/`_count` trailer. Stage-interval
+//! and recovery-interval histograms (derived from spans) join the
+//! histogram families as `stage.<from>-><to>` / `recovery.<from>-><to>`.
+//!
+//! Everything renders from snapshots, so a scrape never holds a recorder
+//! lock while formatting and is safe to run while the node records.
+
+use std::fmt::Write as _;
+
+use crate::hist::Log2Histogram;
+use crate::recorder::MemRecorder;
+
+/// `ezbft_` + the dotted metric name with every non-alphanumeric byte
+/// mapped to `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("ezbft_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Log2Histogram) {
+    let n = sanitize(name);
+    let _ = writeln!(out, "# TYPE {n} histogram");
+    let mut cum = 0u64;
+    for (le, count) in h.buckets() {
+        cum += count;
+        let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{n}_sum {}", h.sum());
+    let _ = writeln!(out, "{n}_count {}", h.count());
+}
+
+impl MemRecorder {
+    /// Renders the recorder's counters, kind counters, gauges, and
+    /// histograms in the Prometheus text exposition format. Output is
+    /// deterministic (name order, then label order) for a given recorder
+    /// state — pinned by the golden test in `tests/exposition.rs`.
+    pub fn render_exposition(&self) -> String {
+        let mut out = String::new();
+
+        // Counter families: the unlabelled total (if bumped) first, then
+        // any kind-labelled series of the same family.
+        let counters = self.counters_snapshot();
+        let kinds = self.kind_counters_snapshot();
+        let mut families: Vec<&str> = counters.keys().map(String::as_str).collect();
+        for (name, _) in kinds.keys() {
+            if !counters.contains_key(name) {
+                families.push(name);
+            }
+        }
+        families.sort_unstable();
+        families.dedup();
+        for family in families {
+            let n = sanitize(family);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            if let Some(total) = counters.get(family) {
+                let _ = writeln!(out, "{n} {total}");
+            }
+            for ((name, kind), v) in &kinds {
+                if name == family {
+                    let _ = writeln!(out, "{n}{{kind=\"{}\"}} {v}", escape_label(kind));
+                }
+            }
+        }
+
+        // Gauges: last value under the family name, retained max as a
+        // sibling `_max` gauge.
+        for (name, g) in self.gauges_snapshot() {
+            let n = sanitize(&name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", g.last);
+            let _ = writeln!(out, "# TYPE {n}_max gauge");
+            let _ = writeln!(out, "{n}_max {}", g.max);
+        }
+
+        // Histograms: the explicit `observe()` families, then the
+        // span-derived stage/recovery interval families.
+        for (name, h) in self.histograms_snapshot() {
+            render_histogram(&mut out, &name, &h);
+        }
+        for (key, h) in self.stage_interval_histograms() {
+            render_histogram(&mut out, &format!("stage.{key}"), &h);
+        }
+        for (key, h) in self.recovery_interval_histograms() {
+            render_histogram(&mut out, &format!("recovery.{key}"), &h);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_prefixes_and_flattens() {
+        assert_eq!(sanitize("net.frames_out"), "ezbft_net_frames_out");
+        assert_eq!(
+            sanitize("stage.submit->commit"),
+            "ezbft_stage_submit__commit"
+        );
+    }
+
+    #[test]
+    fn label_values_escape_quotes() {
+        assert_eq!(escape_label("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

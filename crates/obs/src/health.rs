@@ -1,0 +1,456 @@
+//! Structured replica health snapshots — the `/status` side of the live
+//! introspection plane (DESIGN.md §9b).
+//!
+//! A [`HealthReport`] captures the protocol-level state a metrics
+//! recorder cannot see: who owns each instance space right now, whether
+//! an owner change is in flight and how far its backoff has escalated,
+//! how far execution and checkpointing trail the log, and which commit
+//! path has been serving traffic. Replicas produce one via the
+//! [`Introspect`] trait; the transport serves it as a single JSON object
+//! and the harness scraper parses it back with [`HealthReport::from_json`]
+//! — both sides hand-rolled so this crate stays zero-dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A node that can snapshot its own health. Implemented by protocol
+/// state machines (e.g. `ezbft_core::Replica`) and required by the
+/// transport's introspection endpoint to answer `/status`.
+pub trait Introspect {
+    /// Builds a point-in-time health snapshot. Must be cheap and
+    /// read-only: the transport calls it on the driver thread between
+    /// protocol events, so a slow snapshot stalls the node.
+    fn health_report(&self) -> HealthReport;
+}
+
+/// Per-instance-space slice of a [`HealthReport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpaceHealth {
+    /// Space index (spaces are numbered by their original owner).
+    pub space: u64,
+    /// Current owner number (monotonic across owner changes).
+    pub owner: u64,
+    /// Replica currently resolving from the owner number.
+    pub owner_replica: u64,
+    /// Whether the space is frozen pending an owner change.
+    pub frozen: bool,
+    /// Whether an owner change for this space has committed locally but
+    /// not yet been applied.
+    pub committed_to_change: bool,
+    /// Owner number an in-flight owner change is moving to, if any.
+    pub oc_target: Option<u64>,
+    /// Next slot the (local) owner would assign in this space.
+    pub next_slot: u64,
+    /// Slots below this were compacted away by a stable checkpoint.
+    pub compact_floor: u64,
+    /// Live log entries currently retained for this space.
+    pub entries: u64,
+    /// SPECORDERs parked in the reorder buffer waiting for a slot gap
+    /// to fill.
+    pub reorder_buffered: u64,
+    /// Commit certificates parked waiting for their SPECORDER.
+    pub pending_commits: u64,
+}
+
+/// Point-in-time, serializable status snapshot of one replica.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Reporting replica's id.
+    pub replica: u64,
+    /// Whether the replica is mid state-transfer.
+    pub recovering: bool,
+    /// Commands finally executed so far.
+    pub executed: u64,
+    /// Committed instances waiting in the execution engine's worklist.
+    pub exec_queue_depth: u64,
+    /// Log entries retained across all spaces (post-compaction).
+    pub retained_log: u64,
+    /// Highest checkpoint sequence this replica has initiated.
+    pub checkpoint_seq: u64,
+    /// Highest checkpoint sequence with a stable certificate.
+    pub stable_checkpoint: u64,
+    /// `checkpoint_seq - stable_checkpoint`: how far proof lags intent.
+    pub checkpoint_lag: u64,
+    /// Total reorder-buffered SPECORDERs across spaces (gap count).
+    pub reorder_buffered: u64,
+    /// Fast-path commits observed (3f+1 quorum).
+    pub fast_commits: u64,
+    /// Slow-path commits observed (2f+1 + COMMIT round).
+    pub slow_commits: u64,
+    /// Aggregated-commit-path commits observed.
+    pub agg_commits: u64,
+    /// Owner changes applied.
+    pub owner_changes: u64,
+    /// Highest pending owner-change escalation attempt (0 when no
+    /// escalation timer is armed); drives the exponential backoff.
+    pub oc_backoff_attempt: u64,
+    /// Per-space detail, in space order.
+    pub spaces: Vec<SpaceHealth>,
+}
+
+impl HealthReport {
+    /// Renders the report as a single-line JSON object (stable key
+    /// order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spaces.len() * 128);
+        let _ = write!(
+            out,
+            "{{\"replica\":{},\"recovering\":{},\"executed\":{},\"exec_queue_depth\":{},\
+             \"retained_log\":{},\"checkpoint_seq\":{},\"stable_checkpoint\":{},\
+             \"checkpoint_lag\":{},\"reorder_buffered\":{},\"fast_commits\":{},\
+             \"slow_commits\":{},\"agg_commits\":{},\"owner_changes\":{},\
+             \"oc_backoff_attempt\":{},\"spaces\":[",
+            self.replica,
+            self.recovering,
+            self.executed,
+            self.exec_queue_depth,
+            self.retained_log,
+            self.checkpoint_seq,
+            self.stable_checkpoint,
+            self.checkpoint_lag,
+            self.reorder_buffered,
+            self.fast_commits,
+            self.slow_commits,
+            self.agg_commits,
+            self.owner_changes,
+            self.oc_backoff_attempt,
+        );
+        for (i, s) in self.spaces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"space\":{},\"owner\":{},\"owner_replica\":{},\"frozen\":{},\
+                 \"committed_to_change\":{},\"oc_target\":{},\"next_slot\":{},\
+                 \"compact_floor\":{},\"entries\":{},\"reorder_buffered\":{},\
+                 \"pending_commits\":{}}}",
+                s.space,
+                s.owner,
+                s.owner_replica,
+                s.frozen,
+                s.committed_to_change,
+                match s.oc_target {
+                    Some(t) => t.to_string(),
+                    None => "null".to_string(),
+                },
+                s.next_slot,
+                s.compact_floor,
+                s.entries,
+                s.reorder_buffered,
+                s.pending_commits,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a report previously rendered by [`HealthReport::to_json`].
+    /// Unknown keys are ignored (forward compatibility); missing keys
+    /// default to zero/false/empty.
+    pub fn from_json(text: &str) -> Result<HealthReport, String> {
+        let value = parse_value(&mut Cursor::new(text))?;
+        let obj = value.as_obj().ok_or("health report is not an object")?;
+        let mut report = HealthReport {
+            replica: obj.num("replica"),
+            recovering: obj.boolean("recovering"),
+            executed: obj.num("executed"),
+            exec_queue_depth: obj.num("exec_queue_depth"),
+            retained_log: obj.num("retained_log"),
+            checkpoint_seq: obj.num("checkpoint_seq"),
+            stable_checkpoint: obj.num("stable_checkpoint"),
+            checkpoint_lag: obj.num("checkpoint_lag"),
+            reorder_buffered: obj.num("reorder_buffered"),
+            fast_commits: obj.num("fast_commits"),
+            slow_commits: obj.num("slow_commits"),
+            agg_commits: obj.num("agg_commits"),
+            owner_changes: obj.num("owner_changes"),
+            oc_backoff_attempt: obj.num("oc_backoff_attempt"),
+            spaces: Vec::new(),
+        };
+        if let Some(Val::Arr(spaces)) = obj.0.get("spaces") {
+            for s in spaces {
+                let s = s.as_obj().ok_or("space entry is not an object")?;
+                report.spaces.push(SpaceHealth {
+                    space: s.num("space"),
+                    owner: s.num("owner"),
+                    owner_replica: s.num("owner_replica"),
+                    frozen: s.boolean("frozen"),
+                    committed_to_change: s.boolean("committed_to_change"),
+                    oc_target: match s.0.get("oc_target") {
+                        Some(Val::Num(n)) => Some(*n),
+                        _ => None,
+                    },
+                    next_slot: s.num("next_slot"),
+                    compact_floor: s.num("compact_floor"),
+                    entries: s.num("entries"),
+                    reorder_buffered: s.num("reorder_buffered"),
+                    pending_commits: s.num("pending_commits"),
+                });
+            }
+        }
+        Ok(report)
+    }
+}
+
+// --- minimal JSON reader (just enough for the report's own output) ---
+
+#[derive(Debug)]
+enum Val {
+    Null,
+    Bool(bool),
+    Num(u64),
+    // Parsed for forward compatibility (unknown string-valued keys are
+    // skipped), never read back.
+    #[allow(dead_code)]
+    Str(String),
+    Arr(Vec<Val>),
+    Obj(Obj),
+}
+
+#[derive(Debug)]
+struct Obj(BTreeMap<String, Val>);
+
+impl Obj {
+    fn num(&self, key: &str) -> u64 {
+        match self.0.get(key) {
+            Some(Val::Num(n)) => *n,
+            _ => 0,
+        }
+    }
+    fn boolean(&self, key: &str) -> bool {
+        matches!(self.0.get(key), Some(Val::Bool(true)))
+    }
+}
+
+impl Val {
+    fn as_obj(&self) -> Option<&Obj> {
+        match self {
+            Val::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+    fn lit(&mut self, word: &str, v: Val) -> Result<Val, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+    fn number(&mut self) -> Result<Val, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<u64>()
+            .map(Val::Num)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+}
+
+fn parse_value(c: &mut Cursor) -> Result<Val, String> {
+    c.skip_ws();
+    match c.peek() {
+        Some(b'{') => {
+            c.eat(b'{')?;
+            let mut map = BTreeMap::new();
+            c.skip_ws();
+            if c.peek() == Some(b'}') {
+                c.pos += 1;
+                return Ok(Val::Obj(Obj(map)));
+            }
+            loop {
+                c.skip_ws();
+                let key = c.string()?;
+                c.skip_ws();
+                c.eat(b':')?;
+                map.insert(key, parse_value(c)?);
+                c.skip_ws();
+                match c.peek() {
+                    Some(b',') => c.pos += 1,
+                    Some(b'}') => {
+                        c.pos += 1;
+                        return Ok(Val::Obj(Obj(map)));
+                    }
+                    other => return Err(format!("bad object at byte {}: {other:?}", c.pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            c.eat(b'[')?;
+            let mut items = Vec::new();
+            c.skip_ws();
+            if c.peek() == Some(b']') {
+                c.pos += 1;
+                return Ok(Val::Arr(items));
+            }
+            loop {
+                items.push(parse_value(c)?);
+                c.skip_ws();
+                match c.peek() {
+                    Some(b',') => c.pos += 1,
+                    Some(b']') => {
+                        c.pos += 1;
+                        return Ok(Val::Arr(items));
+                    }
+                    other => return Err(format!("bad array at byte {}: {other:?}", c.pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Val::Str(c.string()?)),
+        Some(b't') => c.lit("true", Val::Bool(true)),
+        Some(b'f') => c.lit("false", Val::Bool(false)),
+        Some(b'n') => c.lit("null", Val::Null),
+        Some(b'0'..=b'9') => c.number(),
+        other => Err(format!("unexpected {other:?} at byte {}", c.pos)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HealthReport {
+        HealthReport {
+            replica: 2,
+            recovering: false,
+            executed: 41,
+            exec_queue_depth: 3,
+            retained_log: 17,
+            checkpoint_seq: 4,
+            stable_checkpoint: 3,
+            checkpoint_lag: 1,
+            reorder_buffered: 2,
+            fast_commits: 30,
+            slow_commits: 5,
+            agg_commits: 6,
+            owner_changes: 1,
+            oc_backoff_attempt: 2,
+            spaces: vec![
+                SpaceHealth {
+                    space: 0,
+                    owner: 4,
+                    owner_replica: 0,
+                    frozen: true,
+                    committed_to_change: false,
+                    oc_target: Some(5),
+                    next_slot: 9,
+                    compact_floor: 4,
+                    entries: 5,
+                    reorder_buffered: 2,
+                    pending_commits: 1,
+                },
+                SpaceHealth {
+                    space: 1,
+                    owner: 1,
+                    owner_replica: 1,
+                    ..SpaceHealth::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains('\n'), "single-line payload");
+        let back = HealthReport::from_json(&json).expect("parses back");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn none_target_round_trips_as_null() {
+        let mut report = sample();
+        report.spaces[0].oc_target = None;
+        let json = report.to_json();
+        assert!(json.contains("\"oc_target\":null"));
+        let back = HealthReport::from_json(&json).expect("parses back");
+        assert_eq!(back.spaces[0].oc_target, None);
+    }
+
+    #[test]
+    fn unknown_and_missing_keys_are_tolerated() {
+        let back =
+            HealthReport::from_json(r#"{"replica":7,"future_field":"x","spaces":[]}"#).unwrap();
+        assert_eq!(back.replica, 7);
+        assert_eq!(back.executed, 0);
+        assert!(back.spaces.is_empty());
+        assert!(HealthReport::from_json("[1,2]").is_err());
+        assert!(HealthReport::from_json("{\"replica\":").is_err());
+    }
+}

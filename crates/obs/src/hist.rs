@@ -123,6 +123,19 @@ impl Log2Histogram {
         Self::bucket_of(v)
     }
 
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs in
+    /// ascending bound order — the raw material for cumulative
+    /// renderings such as the Prometheus-style `_bucket{le="…"}` lines
+    /// of the text exposition (DESIGN.md §9b).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(b, &n)| (Self::bucket_bounds(b).1, n))
+            .collect()
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -196,6 +209,17 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), 4);
         assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn buckets_expose_upper_bounds_in_order() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 9] {
+            h.record(v);
+        }
+        // 0 → bucket [0,0]; 1 → [1,1]; 2,3 → [2,3]; 9 → [8,15].
+        assert_eq!(h.buckets(), vec![(0, 1), (1, 1), (3, 2), (15, 1)]);
+        assert!(Log2Histogram::new().buckets().is_empty());
     }
 
     #[test]

@@ -35,11 +35,14 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod clock;
+mod exposition;
+mod health;
 mod hist;
 mod recorder;
 mod span;
 
 pub use clock::{Clock, ManualClock, WallClock};
+pub use health::{HealthReport, Introspect, SpaceHealth};
 pub use hist::Log2Histogram;
-pub use recorder::{MemRecorder, NullRecorder, Recorder};
+pub use recorder::{GaugeStat, MemRecorder, NullRecorder, Recorder};
 pub use span::{RecoveryKey, RecoverySpan, RecoveryStage, Span, SpanKey, Stage};

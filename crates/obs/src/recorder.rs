@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Mutex;
 
 use crate::hist::Log2Histogram;
@@ -104,7 +104,7 @@ enum LogLine {
 /// All state sits behind [`Mutex`]es in deterministic [`BTreeMap`]s, so
 /// snapshots iterate in a stable order regardless of recording
 /// interleavings.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemRecorder {
     counters: Mutex<BTreeMap<&'static str, u64>>,
     kind_counters: Mutex<BTreeMap<(&'static str, String), u64>>,
@@ -113,13 +113,34 @@ pub struct MemRecorder {
     spans: Mutex<BTreeMap<SpanKey, Span>>,
     recovery: Mutex<BTreeMap<RecoveryKey, RecoverySpan>>,
     log: Mutex<Vec<LogLine>>,
-    /// Span eviction knob: retire a span the moment its `Reply` stage is
-    /// recorded, folding it into the interval histograms (see
-    /// [`MemRecorder::set_evict_on_reply`]).
-    evict_on_reply: AtomicBool,
+    /// Span eviction knob: retire a span the moment this stage (by
+    /// [`Stage::index`]; `u8::MAX` = off) is recorded, folding it into
+    /// the interval histograms (see [`MemRecorder::set_evict_at`]).
+    evict_at: AtomicU8,
+    /// Whether [`MemRecorder::render_jsonl`]'s ordered event log records
+    /// at all (on by default; live deployments turn it off so memory
+    /// stays bounded — see [`MemRecorder::set_event_log`]).
+    log_enabled: AtomicBool,
     /// Interval histograms of evicted spans, keyed `"from->to"` / `"e2e"`
     /// (merged back in by [`MemRecorder::stage_interval_histograms`]).
     evicted: Mutex<BTreeMap<String, Log2Histogram>>,
+}
+
+impl Default for MemRecorder {
+    fn default() -> Self {
+        MemRecorder {
+            counters: Mutex::default(),
+            kind_counters: Mutex::default(),
+            gauges: Mutex::default(),
+            hists: Mutex::default(),
+            spans: Mutex::default(),
+            recovery: Mutex::default(),
+            log: Mutex::default(),
+            evict_at: AtomicU8::new(u8::MAX),
+            log_enabled: AtomicBool::new(true),
+            evicted: Mutex::default(),
+        }
+    }
 }
 
 impl MemRecorder {
@@ -128,21 +149,39 @@ impl MemRecorder {
         Self::default()
     }
 
-    /// Enables (or disables) span eviction: once a span records its
-    /// `Reply` stage it is folded into the stage-interval histograms
-    /// (with the usual window projection) and dropped from the span map,
-    /// so the recorder's memory stays bounded by the *in-flight* request
-    /// count instead of the total request count — what a long-lived TCP
-    /// deployment needs, where each node's recorder sees `Reply` as the
-    /// last stage of every request it observes. Off by default: tests
-    /// and short harness runs keep every span inspectable. With eviction
-    /// on, per-span lookups of retired requests ([`MemRecorder::span`])
-    /// stop resolving, and — only under a *shared* recorder, as in the
-    /// simulator — a replica-side stage recorded after the client's
-    /// reply opens a fresh partial span rather than rejoining the
-    /// evicted one.
+    /// Enables (or disables) span eviction at the `Reply` stage — the
+    /// right retirement point for a recorder that observes the client
+    /// (see [`MemRecorder::set_evict_at`], which this wraps).
     pub fn set_evict_on_reply(&self, on: bool) {
-        self.evict_on_reply.store(on, Ordering::Relaxed);
+        self.set_evict_at(on.then_some(Stage::Reply));
+    }
+
+    /// Configures span eviction: once a span records `stage` it is
+    /// folded into the stage-interval histograms (with the usual window
+    /// projection) and dropped from the span map, so the recorder's
+    /// memory stays bounded by the *in-flight* request count instead of
+    /// the total request count — what a long-lived deployment needs.
+    /// Pick the last stage the observing node records: `Reply` for a
+    /// client-side (or simulator-shared) recorder, `ExecDone` for a
+    /// replica-side recorder, which never sees the client stages. `None`
+    /// (the default) keeps every span inspectable, as tests and short
+    /// harness runs want. With eviction on, per-span lookups of retired
+    /// requests ([`MemRecorder::span`]) stop resolving, and a stage
+    /// recorded after the eviction point opens a fresh partial span
+    /// rather than rejoining the evicted one.
+    pub fn set_evict_at(&self, stage: Option<Stage>) {
+        let idx = stage.map_or(u8::MAX, |s| s.index() as u8);
+        self.evict_at.store(idx, Ordering::Relaxed);
+    }
+
+    /// Enables (or disables, for long-lived deployments) the ordered
+    /// per-record event log behind [`MemRecorder::render_jsonl`]. On by
+    /// default; unlike the aggregated counters and histograms the log
+    /// grows with every stage and event recorded, so live TCP nodes turn
+    /// it off ([`crate::MemRecorder::render_exposition`] never reads
+    /// it). Disabling drops *future* records only.
+    pub fn set_event_log(&self, on: bool) {
+        self.log_enabled.store(on, Ordering::Relaxed);
     }
 
     /// Value of counter `name` (0 if never bumped).
@@ -175,6 +214,49 @@ impl MemRecorder {
     /// Last/max state of gauge `name`.
     pub fn gauge_value(&self, name: &str) -> Option<GaugeStat> {
         self.gauges.lock().unwrap().get(name).copied()
+    }
+
+    /// Snapshot of every plain counter, in name order. This is the
+    /// `counters` block exported into BENCH JSON lines and the input to
+    /// the text exposition ([`MemRecorder::render_exposition`]).
+    pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&n, &v)| (n.to_string(), v))
+            .collect()
+    }
+
+    /// Snapshot of every `kind`-labelled sub-counter, keyed
+    /// `(name, kind)` in order.
+    pub fn kind_counters_snapshot(&self) -> BTreeMap<(String, String), u64> {
+        self.kind_counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|((n, k), &v)| ((n.to_string(), k.clone()), v))
+            .collect()
+    }
+
+    /// Snapshot of every gauge, in name order.
+    pub fn gauges_snapshot(&self) -> BTreeMap<String, GaugeStat> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&n, &g)| (n.to_string(), g))
+            .collect()
+    }
+
+    /// Snapshot of every histogram, in name order.
+    pub fn histograms_snapshot(&self) -> BTreeMap<String, Log2Histogram> {
+        self.hists
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&n, h)| (n.to_string(), h.clone()))
+            .collect()
     }
 
     /// Snapshot of histogram `name`.
@@ -333,11 +415,11 @@ impl Recorder for MemRecorder {
             let mut spans = self.spans.lock().unwrap();
             let span = spans.entry(key).or_default();
             span.record(stage, at_us);
-            // Span eviction (opt-in): `Reply` closes the span's window —
-            // later stage records would be clipped to zero-length
-            // intervals anyway (window projection) — so fold it into the
-            // interval histograms now and free the slot.
-            if stage == Stage::Reply && self.evict_on_reply.load(Ordering::Relaxed) {
+            // Span eviction (opt-in): the configured stage is the last
+            // one this recorder's node records for a request, so fold
+            // the span into the interval histograms now and free the
+            // slot.
+            if stage.index() as u8 == self.evict_at.load(Ordering::Relaxed) {
                 let span = *span;
                 spans.remove(&key);
                 drop(spans);
@@ -353,18 +435,22 @@ impl Recorder for MemRecorder {
                 }
             }
         }
-        self.log
-            .lock()
-            .unwrap()
-            .push(LogLine::Stage { at_us, key, stage });
+        if self.log_enabled.load(Ordering::Relaxed) {
+            self.log
+                .lock()
+                .unwrap()
+                .push(LogLine::Stage { at_us, key, stage });
+        }
     }
 
     fn event(&self, name: &'static str, detail: &str, at_us: u64) {
-        self.log.lock().unwrap().push(LogLine::Event {
-            at_us,
-            name,
-            detail: detail.to_string(),
-        });
+        if self.log_enabled.load(Ordering::Relaxed) {
+            self.log.lock().unwrap().push(LogLine::Event {
+                at_us,
+                name,
+                detail: detail.to_string(),
+            });
+        }
     }
 
     fn recovery(&self, key: RecoveryKey, stage: RecoveryStage, at_us: u64) {

@@ -1,0 +1,86 @@
+//! Golden test pinning the Prometheus-style text exposition format
+//! (DESIGN.md §9b). Scrapers parse this text; any change to the shape —
+//! prefixes, sanitisation, label syntax, bucket cumulation, family
+//! ordering — must show up here as a deliberate diff.
+
+use ezbft_obs::{MemRecorder, Recorder, SpanKey, Stage};
+
+#[test]
+fn exposition_format_is_pinned() {
+    let r = MemRecorder::new();
+    // Counters: one plain, one family with both a total and kind labels,
+    // one kind-only family.
+    r.counter("replica.fast_commits", 12);
+    r.counter("net.frames_out", 10);
+    r.counter_kind("net.frames_out", "SpecOrder", 7);
+    r.counter_kind("net.frames_out", "SpecAck", 3);
+    r.counter_kind("sim.dropped", "Commit", 1);
+    // A gauge (last + retained max).
+    r.gauge("exec.queue_depth", 5);
+    r.gauge("exec.queue_depth", 2);
+    // A histogram: samples 0, 1, 3, 9 land in buckets [0,0], [1,1],
+    // [2,3], [8,15].
+    for v in [0u64, 1, 3, 9] {
+        r.observe("exec.wave_units", v);
+    }
+    // One completed span: submit@100 -> commit@400 -> reply@700.
+    let key = SpanKey { client: 1, req: 2 };
+    r.stage(key, Stage::Submit, 100);
+    r.stage(key, Stage::Commit, 400);
+    r.stage(key, Stage::Reply, 700);
+
+    let expected = "\
+# TYPE ezbft_net_frames_out counter
+ezbft_net_frames_out 10
+ezbft_net_frames_out{kind=\"SpecAck\"} 3
+ezbft_net_frames_out{kind=\"SpecOrder\"} 7
+# TYPE ezbft_replica_fast_commits counter
+ezbft_replica_fast_commits 12
+# TYPE ezbft_sim_dropped counter
+ezbft_sim_dropped{kind=\"Commit\"} 1
+# TYPE ezbft_exec_queue_depth gauge
+ezbft_exec_queue_depth 2
+# TYPE ezbft_exec_queue_depth_max gauge
+ezbft_exec_queue_depth_max 5
+# TYPE ezbft_exec_wave_units histogram
+ezbft_exec_wave_units_bucket{le=\"0\"} 1
+ezbft_exec_wave_units_bucket{le=\"1\"} 2
+ezbft_exec_wave_units_bucket{le=\"3\"} 3
+ezbft_exec_wave_units_bucket{le=\"15\"} 4
+ezbft_exec_wave_units_bucket{le=\"+Inf\"} 4
+ezbft_exec_wave_units_sum 13
+ezbft_exec_wave_units_count 4
+# TYPE ezbft_stage_commit__reply histogram
+ezbft_stage_commit__reply_bucket{le=\"511\"} 1
+ezbft_stage_commit__reply_bucket{le=\"+Inf\"} 1
+ezbft_stage_commit__reply_sum 300
+ezbft_stage_commit__reply_count 1
+# TYPE ezbft_stage_e2e histogram
+ezbft_stage_e2e_bucket{le=\"1023\"} 1
+ezbft_stage_e2e_bucket{le=\"+Inf\"} 1
+ezbft_stage_e2e_sum 600
+ezbft_stage_e2e_count 1
+# TYPE ezbft_stage_submit__commit histogram
+ezbft_stage_submit__commit_bucket{le=\"511\"} 1
+ezbft_stage_submit__commit_bucket{le=\"+Inf\"} 1
+ezbft_stage_submit__commit_sum 300
+ezbft_stage_submit__commit_count 1
+";
+    assert_eq!(r.render_exposition(), expected);
+}
+
+#[test]
+fn exposition_of_an_empty_recorder_is_empty() {
+    assert_eq!(MemRecorder::new().render_exposition(), "");
+}
+
+#[test]
+fn exposition_is_stable_across_repeated_renders() {
+    let r = MemRecorder::new();
+    r.counter("a.b", 1);
+    r.counter_kind("a.b", "x\"y", 2);
+    r.gauge("g", 9);
+    let first = r.render_exposition();
+    assert!(first.contains("ezbft_a_b{kind=\"x\\\"y\"} 2"));
+    assert_eq!(first, r.render_exposition());
+}

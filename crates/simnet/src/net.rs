@@ -395,6 +395,10 @@ pub struct SimNet<M, R> {
     /// (see [`SimNet::classify_faults`]).
     #[allow(clippy::type_complexity)]
     fault_kind: Option<Box<dyn Fn(&M) -> &'static str + Send>>,
+    /// Wire-size estimator powering the `net.bytes_*` parity counters
+    /// (see [`SimNet::estimate_sizes`]).
+    #[allow(clippy::type_complexity)]
+    size_fn: Option<Box<dyn Fn(&M) -> u64 + Send>>,
     /// Registered invariant checkers (retired after their first report).
     checkers: Vec<Box<dyn Invariant<M, R>>>,
     /// Violations observed so far, in detection order.
@@ -452,6 +456,7 @@ where
             trace: None,
             kind_counts: None,
             fault_kind: None,
+            size_fn: None,
             checkers: Vec::new(),
             violations: Vec::new(),
             check_interval: 0,
@@ -509,6 +514,18 @@ where
     /// exactly this). Kind-scoped rules are inert without a classifier.
     pub fn classify_faults(&mut self, kind: impl Fn(&M) -> &'static str + Send + 'static) {
         self.fault_kind = Some(Box::new(kind));
+    }
+
+    /// Installs a wire-size estimator for the `net.bytes_out` /
+    /// `net.bytes_in` parity counters (typically
+    /// `|m| ezbft_wire::to_bytes(m).len()`). With a recorder attached
+    /// the simulator already mirrors the TCP runtime's `net.frames_out`
+    /// / `net.frames_in` counter names; the estimator adds the byte
+    /// counters, valued at the estimated encoding rather than the framed
+    /// TCP byte count — close enough for apples-to-apples comparison of
+    /// sim experiments against live scrapes (DESIGN.md §9b).
+    pub fn estimate_sizes(&mut self, size: impl Fn(&M) -> u64 + Send + 'static) {
+        self.size_fn = Some(Box::new(size));
     }
 
     /// Registers an invariant checker. Periodic sweeps default to every
@@ -853,7 +870,22 @@ where
                 let entry = self.nodes.get_mut(&node_id).expect("checked above");
                 entry.busy_until = completion;
                 self.stats.messages_delivered += 1;
-                self.recorder.counter("sim.delivered", 1);
+                if self.recorder.enabled() {
+                    self.recorder.counter("sim.delivered", 1);
+                    // TCP-runtime name parity (DESIGN.md §9b).
+                    self.recorder.counter("net.frames_in", 1);
+                    let bytes = self.size_fn.as_ref().map(|size| size(msg.as_ref()));
+                    if let Some(b) = bytes {
+                        self.recorder.counter("net.bytes_in", b);
+                    }
+                    if let Some((_, kind)) = &self.kind_counts {
+                        let k = kind(msg.as_ref());
+                        self.recorder.counter_kind("net.frames_in", k, 1);
+                        if let Some(b) = bytes {
+                            self.recorder.counter_kind("net.bytes_in", k, b);
+                        }
+                    }
+                }
                 // The node observes the world at service completion:
                 // mirror that into the telemetry clock too.
                 self.clock.set(completion.as_micros());
@@ -984,9 +1016,20 @@ where
         }
         if self.recorder.enabled() {
             self.recorder.counter("sim.sent", 1);
+            // TCP-runtime name parity (DESIGN.md §9b): the same frame and
+            // (estimated) byte counters a live scrape would see.
+            self.recorder.counter("net.frames_out", 1);
+            let bytes = self.size_fn.as_ref().map(|size| size(msg.as_ref()));
+            if let Some(b) = bytes {
+                self.recorder.counter("net.bytes_out", b);
+            }
             if let Some((_, kind)) = &self.kind_counts {
-                self.recorder
-                    .counter_kind("sim.sent", kind(msg.as_ref()), 1);
+                let k = kind(msg.as_ref());
+                self.recorder.counter_kind("sim.sent", k, 1);
+                self.recorder.counter_kind("net.frames_out", k, 1);
+                if let Some(b) = bytes {
+                    self.recorder.counter_kind("net.bytes_out", k, b);
+                }
             }
         }
         let Some(from_entry) = self.nodes.get(&from) else {
@@ -1195,6 +1238,43 @@ mod tests {
         assert_eq!(rec.counter_kind_value("sim.sent", "even"), 6);
         // The clock mirror ends at the simulation's final virtual time.
         assert_eq!(clock.now_us(), sim.now().as_micros());
+    }
+
+    #[test]
+    fn recorder_emits_tcp_parity_counter_names() {
+        use ezbft_obs::MemRecorder;
+        let rec = Arc::new(MemRecorder::new());
+        let mut sim = two_node_sim();
+        sim.count_kinds(|m| if m % 2 == 0 { "even" } else { "odd" });
+        // Pinger messages are `u64`s; pretend each encodes to 8 bytes.
+        sim.estimate_sizes(|_| 8);
+        sim.set_recorder(rec.clone());
+        sim.run_until_deliveries(1);
+        // Same names the TCP runtime's reader/writer threads emit,
+        // kind-labelled like `sim.sent`, bytes at the estimated size.
+        let sent = sim.stats().messages_sent;
+        let delivered = sim.stats().messages_delivered;
+        assert_eq!(rec.counter_value("net.frames_out"), sent);
+        assert_eq!(rec.counter_value("net.frames_in"), delivered);
+        assert_eq!(rec.counter_value("net.bytes_out"), 8 * sent);
+        assert_eq!(rec.counter_value("net.bytes_in"), 8 * delivered);
+        assert_eq!(
+            rec.counter_kind_value("net.frames_out", "even"),
+            rec.counter_kind_value("sim.sent", "even")
+        );
+        assert_eq!(rec.counter_kind_value("net.bytes_out", "even"), 8 * 6);
+    }
+
+    #[test]
+    fn frame_parity_counters_skip_bytes_without_an_estimator() {
+        use ezbft_obs::MemRecorder;
+        let rec = Arc::new(MemRecorder::new());
+        let mut sim = two_node_sim();
+        sim.set_recorder(rec.clone());
+        sim.run_until_deliveries(1);
+        assert!(rec.counter_value("net.frames_out") > 0);
+        assert_eq!(rec.counter_value("net.bytes_out"), 0);
+        assert_eq!(rec.counter_value("net.bytes_in"), 0);
     }
 
     #[test]

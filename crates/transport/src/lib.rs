@@ -12,7 +12,11 @@
 //!   gets a reader thread that decodes frames into the inbox;
 //! - each outbound peer gets a **writer** thread fed by a bounded channel
 //!   (connections are established lazily and identified by a handshake
-//!   frame carrying the sender's [`ezbft_smr::NodeId`]).
+//!   frame carrying the sender's [`ezbft_smr::NodeId`]);
+//! - optionally, an **introspection** thread serves the node's live
+//!   metrics (`/metrics`) and health snapshot (`/status`) on a second
+//!   local socket (DESIGN.md §9b; see
+//!   [`NodeHandle::spawn_introspected`]).
 //!
 //! See `tests/tcp_cluster.rs` for an end-to-end ezBFT cluster over
 //! loopback sockets.
@@ -24,4 +28,6 @@ mod addr;
 mod runtime;
 
 pub use addr::AddressBook;
-pub use runtime::{frame_encodes, NodeHandle, TransportError};
+#[allow(deprecated)]
+pub use runtime::frame_encodes;
+pub use runtime::{NodeHandle, TransportError};

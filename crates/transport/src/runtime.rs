@@ -13,28 +13,35 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
-use ezbft_obs::{NullRecorder, Recorder};
+use ezbft_obs::{Introspect, MemRecorder, NullRecorder, Recorder};
 use ezbft_smr::{Action, Actions, ClientDelivery, Micros, NodeId, ProtocolNode, TimerId};
 use ezbft_wire::{encode_frame, FrameDecoder};
 
 /// Process-wide count of protocol-message wire encodes performed by
 /// transport drivers (one per unicast, one per [`Action::Broadcast`]
-/// regardless of fan-out). Exposed so tests can assert the
-/// serialize-once property end-to-end; see DESIGN.md §3.
+/// regardless of fan-out). Kept only as a compatibility shim: being
+/// process-global it mixes the traffic of every node in the process, so
+/// parallel tests share (and race on) one counter. The primary
+/// accounting path is now the per-node recorder's `net.frame_encodes`
+/// counter; see DESIGN.md §3 / §9b.
 static FRAME_ENCODES: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot of the process-wide message-encode counter.
+#[deprecated(note = "process-global and shared across every node in the process; \
+            read the per-node recorder's `net.frame_encodes` counter instead")]
 pub fn frame_encodes() -> u64 {
     FRAME_ENCODES.load(Ordering::Relaxed)
 }
 
 /// Serializes a message and wraps it into one wire frame, bumping the
-/// encode counter. Returns `None` if the message does not encode (such a
-/// message is undeliverable; dropping it mirrors a lossy network).
-fn encode_message<M: Serialize>(msg: &M) -> Option<Bytes> {
+/// per-node `net.frame_encodes` counter (and the deprecated process-wide
+/// shim). Returns `None` if the message does not encode (such a message
+/// is undeliverable; dropping it mirrors a lossy network).
+fn encode_message<M: Serialize>(msg: &M, recorder: &Arc<dyn Recorder>) -> Option<Bytes> {
     let payload = ezbft_wire::to_bytes(msg).ok()?;
     let frame = encode_frame(&payload).ok()?;
     FRAME_ENCODES.fetch_add(1, Ordering::Relaxed);
+    recorder.counter("net.frame_encodes", 1);
     Some(frame)
 }
 
@@ -83,6 +90,7 @@ pub struct NodeHandle<M, P: ProtocolNode> {
     deliveries: Receiver<ClientDelivery<P::Response>>,
     driver: Option<JoinHandle<P>>,
     local_addr: SocketAddr,
+    intro_addr: Option<SocketAddr>,
     running: Arc<AtomicBool>,
 }
 
@@ -90,6 +98,7 @@ impl<M, P: ProtocolNode> std::fmt::Debug for NodeHandle<M, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NodeHandle")
             .field("local_addr", &self.local_addr)
+            .field("intro_addr", &self.intro_addr)
             .finish()
     }
 }
@@ -168,6 +177,10 @@ where
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Frames are small request/response payloads; without
+                    // this, Nagle + delayed ACK adds tens of ms per round
+                    // trip on loopback.
+                    let _ = stream.set_nodelay(true);
                     let event_tx = event_tx.clone();
                     let running = Arc::clone(&running);
                     let recorder = Arc::clone(&recorder);
@@ -192,13 +205,61 @@ where
             deliveries: delivery_rx,
             driver: Some(driver),
             local_addr,
+            intro_addr: None,
             running,
         })
+    }
+
+    /// Like [`NodeHandle::spawn_observed`] but additionally serving the
+    /// live introspection endpoint on `intro` (DESIGN.md §9b): a
+    /// minimal HTTP/1.0 line protocol answering `GET /metrics` with the
+    /// recorder's text exposition and `GET /status` with the node's
+    /// [`HealthReport`](ezbft_obs::HealthReport) as JSON.
+    ///
+    /// `/metrics` renders entirely from recorder snapshots on the
+    /// serving thread; `/status` is answered by injecting a read-only
+    /// closure into the driver's event inbox, so the snapshot is
+    /// serialised with protocol processing — never torn, never racing an
+    /// owner change — and bounded by a response timeout rather than a
+    /// lock. Requests are served one at a time with read/write timeouts,
+    /// so a stalled scraper cannot pile up threads or wedge the node.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either listener's local address cannot be read.
+    pub fn spawn_introspected(
+        node: P,
+        book: crate::AddressBook,
+        listener: TcpListener,
+        recorder: Arc<MemRecorder>,
+        intro: TcpListener,
+    ) -> Result<Self, TransportError>
+    where
+        P: Introspect,
+    {
+        let intro_addr = intro.local_addr()?;
+        let mut handle = Self::spawn_observed(
+            node,
+            book,
+            listener,
+            Arc::clone(&recorder) as Arc<dyn Recorder>,
+        )?;
+        let events = handle.events.clone();
+        let running = Arc::clone(&handle.running);
+        std::thread::spawn(move || introspection_loop(intro, events, running, recorder));
+        handle.intro_addr = Some(intro_addr);
+        Ok(handle)
     }
 
     /// The bound listen address.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound introspection address, when spawned via
+    /// [`NodeHandle::spawn_introspected`].
+    pub fn intro_addr(&self) -> Option<SocketAddr> {
+        self.intro_addr
     }
 
     /// Runs a closure against the node inside the driver thread (used by
@@ -225,8 +286,11 @@ where
     pub fn shutdown(mut self) -> Option<P> {
         self.running.store(false, Ordering::Relaxed);
         let _ = self.events.send(Event::Shutdown);
-        // Unblock the listener accept loop.
+        // Unblock the listener accept loops.
         let _ = TcpStream::connect(self.local_addr);
+        if let Some(intro) = self.intro_addr {
+            let _ = TcpStream::connect(intro);
+        }
         self.driver.take().and_then(|d| d.join().ok())
     }
 }
@@ -236,10 +300,97 @@ impl<M, P: ProtocolNode> Drop for NodeHandle<M, P> {
         self.running.store(false, Ordering::Relaxed);
         let _ = self.events.send(Event::Shutdown);
         let _ = TcpStream::connect(self.local_addr);
+        if let Some(intro) = self.intro_addr {
+            let _ = TcpStream::connect(intro);
+        }
         if let Some(d) = self.driver.take() {
             let _ = d.join();
         }
     }
+}
+
+/// Accept loop of the introspection endpoint. Connections are served
+/// one at a time — scraping is a low-rate, bounded side channel, and
+/// serial service caps the introspection load a misbehaving scraper can
+/// put on the node at one in-flight snapshot.
+fn introspection_loop<M, P>(
+    listener: TcpListener,
+    events: Sender<Event<M, P>>,
+    running: Arc<AtomicBool>,
+    recorder: Arc<MemRecorder>,
+) where
+    P: ProtocolNode<Message = M> + Introspect,
+{
+    for stream in listener.incoming() {
+        if !running.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = serve_scrape(stream, &events, &recorder);
+    }
+}
+
+/// Serves one scrape request: reads the request line, answers
+/// `/metrics` or `/status`, closes the connection.
+fn serve_scrape<M, P>(
+    mut stream: TcpStream,
+    events: &Sender<Event<M, P>>,
+    recorder: &MemRecorder,
+) -> std::io::Result<()>
+where
+    P: ProtocolNode<Message = M> + Introspect,
+{
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut line = Vec::new();
+    let mut buf = [0u8; 512];
+    while !line.contains(&b'\n') && line.len() < 4_096 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => line.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let request = String::from_utf8_lossy(&line);
+    let path = request
+        .lines()
+        .next()
+        .unwrap_or("")
+        .split_whitespace()
+        .find(|tok| tok.starts_with('/'))
+        .unwrap_or("")
+        .to_string();
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            recorder.render_exposition(),
+        ),
+        "/status" => {
+            // Snapshot on the driver thread, between protocol events: the
+            // report is internally consistent even mid-owner-change. The
+            // rendezvous is bounded — a dead or saturated driver yields
+            // 503 instead of a hang.
+            let (tx, rx) = std::sync::mpsc::sync_channel::<String>(1);
+            let sent = events.send(Event::Invoke(Box::new(move |node: &mut P, _out| {
+                let _ = tx.try_send(node.health_report().to_json());
+            })));
+            match sent
+                .ok()
+                .and_then(|()| rx.recv_timeout(Duration::from_secs(2)).ok())
+            {
+                Some(json) => ("200 OK", "application/json", json),
+                None => ("503 Service Unavailable", "text/plain", String::new()),
+            }
+        }
+        _ => ("404 Not Found", "text/plain", String::new()),
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())
 }
 
 /// Reads the handshake (sender id) then frames, feeding the inbox.
@@ -343,6 +494,7 @@ fn writer_loop(addr: SocketAddr, me: NodeId, rx: Receiver<Bytes>, recorder: Arc<
         let Ok(mut stream) = TcpStream::connect(addr) else {
             continue;
         };
+        let _ = stream.set_nodelay(true);
         if stream.write_all(&hello_frame).is_err() {
             continue;
         }
@@ -568,7 +720,7 @@ fn apply<M, P>(
                     );
                     continue;
                 }
-                let Some(frame) = encode_message(&msg) else {
+                let Some(frame) = encode_message(&msg, recorder) else {
                     continue;
                 };
                 send_frame(to, frame, book, me, outbound, recorder);
@@ -583,6 +735,7 @@ fn apply<M, P>(
                     continue;
                 };
                 FRAME_ENCODES.fetch_add(1, Ordering::Relaxed);
+                recorder.counter("net.frame_encodes", 1);
                 for to in peers {
                     if to == me {
                         // Self-delivery recovers an owned message from the

@@ -2,16 +2,21 @@
 //! [`ezbft_smr::Action::Broadcast`] to N peers encodes the wire frame
 //! exactly once, while N unicasts encode N times.
 //!
-//! This test lives in its own integration-test binary so the process-wide
-//! encode counter sees no traffic from unrelated tests.
+//! Encodes are counted through each node's own recorder
+//! (`net.frame_encodes`), so the assertion only sees the probed node's
+//! traffic no matter what other tests run in the same process — the
+//! reason the process-global `frame_encodes()` static was retired as
+//! the primary accounting path.
 
 use std::net::TcpListener;
+use std::sync::Arc;
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+use ezbft_obs::MemRecorder;
 use ezbft_smr::{Actions, ClientId, NodeId, ProtocolNode, ReplicaId, TimerId, Timestamp};
-use ezbft_transport::{frame_encodes, AddressBook, NodeHandle};
+use ezbft_transport::{AddressBook, NodeHandle};
 
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 struct Blob {
@@ -39,7 +44,13 @@ impl ProtocolNode for Probe {
     fn on_timer(&mut self, _id: TimerId, _out: &mut Actions<Blob, u64>) {}
 }
 
-fn cluster(n: usize) -> (Vec<NodeHandle<Blob, Probe>>, Vec<NodeId>) {
+type ProbeCluster = (
+    Vec<NodeHandle<Blob, Probe>>,
+    Vec<NodeId>,
+    Vec<Arc<MemRecorder>>,
+);
+
+fn cluster(n: usize) -> ProbeCluster {
     let ids: Vec<NodeId> = (0..n as u8)
         .map(|i| NodeId::Replica(ReplicaId::new(i)))
         .collect();
@@ -50,24 +61,27 @@ fn cluster(n: usize) -> (Vec<NodeHandle<Blob, Probe>>, Vec<NodeId>) {
         book.insert(*id, listener.local_addr().expect("addr"));
         listeners.push(listener);
     }
+    let recorders: Vec<Arc<MemRecorder>> = (0..n).map(|_| Arc::new(MemRecorder::new())).collect();
     let handles = ids
         .iter()
         .zip(listeners)
-        .map(|(id, listener)| {
-            NodeHandle::spawn_with_listener(Probe { me: *id }, book.clone(), listener)
+        .zip(&recorders)
+        .map(|((id, listener), rec)| {
+            NodeHandle::spawn_observed(Probe { me: *id }, book.clone(), listener, rec.clone())
                 .expect("spawn")
         })
         .collect();
-    (handles, ids)
+    (handles, ids, recorders)
 }
 
 #[test]
 fn broadcast_to_n_peers_encodes_exactly_once() {
-    let (handles, ids) = cluster(4);
+    let (handles, ids, recorders) = cluster(4);
     let peers: Vec<NodeId> = ids[1..].to_vec();
+    let encodes = |i: usize| recorders[i].counter_value("net.frame_encodes");
 
     // Round 1: one broadcast to three peers.
-    let before = frame_encodes();
+    let before = encodes(0);
     let peers_clone = peers.clone();
     handles[0]
         .with_node(move |_node, out| {
@@ -86,14 +100,19 @@ fn broadcast_to_n_peers_encodes_exactly_once() {
             .expect("peer receives broadcast");
         assert_eq!(d.response, 1);
     }
-    let broadcast_encodes = frame_encodes() - before;
+    let broadcast_encodes = encodes(0) - before;
     assert_eq!(
         broadcast_encodes, 1,
         "a 3-peer broadcast must serialize the frame exactly once"
     );
+    assert_eq!(
+        encodes(1),
+        0,
+        "a peer that only receives performs no encodes of its own"
+    );
 
     // Round 2: the same fan-out as unicasts costs one encode per peer.
-    let before = frame_encodes();
+    let before = encodes(0);
     let peers_clone = peers.clone();
     handles[0]
         .with_node(move |_node, out| {
@@ -114,7 +133,7 @@ fn broadcast_to_n_peers_encodes_exactly_once() {
             .expect("peer receives unicast");
         assert_eq!(d.response, 2);
     }
-    let unicast_encodes = frame_encodes() - before;
+    let unicast_encodes = encodes(0) - before;
     assert_eq!(unicast_encodes, 3, "three unicasts encode three times");
 
     for h in handles {

@@ -1,0 +1,312 @@
+//! The live introspection plane over real sockets (DESIGN.md §9b):
+//! `/metrics` and `/status` must answer while the cluster is actively
+//! committing, stay live through an owner change, and observing a node
+//! must not change what it computes.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ezbft_core::{Client, EzConfig, Msg, Replica};
+use ezbft_crypto::{CryptoKind, KeyStore};
+use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_obs::{HealthReport, MemRecorder};
+use ezbft_smr::{ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId};
+use ezbft_transport::{AddressBook, NodeHandle};
+
+type KvMsg = Msg<KvOp, KvResponse>;
+
+/// Minimal scrape client: one HTTP/1.0 GET, returns `(status, body)`.
+fn fetch(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status"))?;
+    Ok((status, body.to_string()))
+}
+
+struct IntroCluster {
+    replicas: Vec<NodeHandle<KvMsg, Replica<KvStore>>>,
+    client: NodeHandle<KvMsg, Client<KvOp, KvResponse>>,
+    intro_addrs: Vec<SocketAddr>,
+}
+
+/// Spawns a 4-replica introspected ezBFT cluster plus one client.
+fn start(cfg: EzConfig) -> IntroCluster {
+    let cluster = cfg.cluster;
+    let client_id = ClientId::new(0);
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    nodes.push(NodeId::Client(client_id));
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"introspection", &nodes);
+    let client_keys = stores.pop().unwrap();
+
+    let mut book = AddressBook::new();
+    let mut listeners = Vec::new();
+    for node in &nodes {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        book.insert(*node, listener.local_addr().expect("addr"));
+        listeners.push(listener);
+    }
+    let client_listener = listeners.pop().expect("client listener");
+
+    let mut replicas = Vec::new();
+    let mut intro_addrs = Vec::new();
+    for (rid, listener) in cluster.replicas().zip(listeners) {
+        let replica = Replica::new(rid, cfg, stores.remove(0), KvStore::new());
+        let intro = TcpListener::bind("127.0.0.1:0").expect("bind introspection");
+        let handle = NodeHandle::spawn_introspected(
+            replica,
+            book.clone(),
+            listener,
+            Arc::new(MemRecorder::new()),
+            intro,
+        )
+        .expect("spawn replica");
+        intro_addrs.push(handle.intro_addr().expect("introspected"));
+        replicas.push(handle);
+    }
+    let client: Client<KvOp, KvResponse> =
+        Client::new(client_id, cfg, client_keys, ReplicaId::new(0));
+    let client =
+        NodeHandle::spawn_with_listener(client, book, client_listener).expect("spawn client");
+    IntroCluster {
+        replicas,
+        client,
+        intro_addrs,
+    }
+}
+
+fn put(client: &NodeHandle<KvMsg, Client<KvOp, KvResponse>>, i: u64, timeout: Duration) -> bool {
+    client
+        .with_node(move |c, out| {
+            c.submit(
+                KvOp::Put {
+                    key: Key(i),
+                    value: vec![i as u8; 16],
+                },
+                out,
+            );
+        })
+        .expect("submit");
+    client.recv_delivery(timeout).is_some()
+}
+
+#[test]
+fn metrics_and_status_serve_while_cluster_commits() {
+    let cluster = ClusterConfig::for_faults(1);
+    let c = start(EzConfig::new(cluster).with_checkpointing(4));
+
+    for i in 0..8u64 {
+        assert!(
+            put(&c.client, i, Duration::from_secs(10)),
+            "request {i} must complete with introspection enabled"
+        );
+        // Scrape every replica between commits: both endpoints answer
+        // while the protocol is mid-flight.
+        for (r, &addr) in c.intro_addrs.iter().enumerate() {
+            let (status, body) = fetch(addr, "/metrics").expect("metrics reachable");
+            assert_eq!(status, 200, "replica {r} /metrics");
+            assert!(
+                body.contains("ezbft_net_frame_encodes"),
+                "replica {r} exposition must carry transport counters"
+            );
+            let (status, body) = fetch(addr, "/status").expect("status reachable");
+            assert_eq!(status, 200, "replica {r} /status");
+            let report = HealthReport::from_json(&body).expect("status parses");
+            assert_eq!(report.replica, r as u64);
+            assert_eq!(report.spaces.len(), 4, "one space per replica");
+            assert!(!report.recovering);
+        }
+    }
+
+    // Unknown paths 404 without disturbing the node.
+    let (status, _) = fetch(c.intro_addrs[0], "/nope").expect("reachable");
+    assert_eq!(status, 404);
+
+    // After all deliveries the snapshots converge on the executed count.
+    std::thread::sleep(Duration::from_millis(400));
+    for &addr in &c.intro_addrs {
+        let (_, body) = fetch(addr, "/status").expect("status");
+        let report = HealthReport::from_json(&body).expect("parses");
+        assert_eq!(report.executed, 8, "every command visible in /status");
+        assert!(report.fast_commits > 0, "fault-free run commits fast-path");
+    }
+
+    drop(c.client.shutdown());
+    for h in c.replicas {
+        h.shutdown();
+    }
+}
+
+/// Observation must not perturb computation: the same workload on an
+/// introspected cluster (scraped throughout) and on a bare one
+/// (`spawn_with_listener`, no recorder, no endpoint) ends in identical
+/// application states.
+#[test]
+fn introspected_cluster_matches_unobserved_run() {
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = EzConfig::new(cluster).with_checkpointing(4);
+    let ops = 6u64;
+
+    // Observed run, scraping every replica after every commit.
+    let c = start(cfg);
+    for i in 0..ops {
+        assert!(put(&c.client, i, Duration::from_secs(10)));
+        for &addr in &c.intro_addrs {
+            fetch(addr, "/metrics").expect("metrics");
+            fetch(addr, "/status").expect("status");
+        }
+    }
+    std::thread::sleep(Duration::from_millis(400));
+    drop(c.client.shutdown());
+    let observed: Vec<_> = c
+        .replicas
+        .into_iter()
+        .map(|h| h.shutdown().expect("state machine"))
+        .collect();
+
+    // Unobserved run: same cfg, same ops, no recorder, no endpoint.
+    let client_id = ClientId::new(0);
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    nodes.push(NodeId::Client(client_id));
+    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"introspection", &nodes);
+    let client_keys = stores.pop().unwrap();
+    let mut book = AddressBook::new();
+    let mut listeners = Vec::new();
+    for node in &nodes {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        book.insert(*node, listener.local_addr().expect("addr"));
+        listeners.push(listener);
+    }
+    let client_listener = listeners.pop().unwrap();
+    let mut bare = Vec::new();
+    for (rid, listener) in cluster.replicas().zip(listeners) {
+        let replica = Replica::new(rid, cfg, stores.remove(0), KvStore::new());
+        bare.push(NodeHandle::spawn_with_listener(replica, book.clone(), listener).expect("spawn"));
+    }
+    let client: Client<KvOp, KvResponse> =
+        Client::new(client_id, cfg, client_keys, ReplicaId::new(0));
+    let client = NodeHandle::spawn_with_listener(client, book, client_listener).expect("spawn");
+    for i in 0..ops {
+        assert!(put(&client, i, Duration::from_secs(10)));
+    }
+    std::thread::sleep(Duration::from_millis(400));
+    drop(client.shutdown());
+    let unobserved: Vec<_> = bare
+        .into_iter()
+        .map(|h| h.shutdown().expect("state machine"))
+        .collect();
+
+    for (o, u) in observed.iter().zip(&unobserved) {
+        assert_eq!(o.executed_count(), u.executed_count());
+        assert_eq!(
+            o.app().fingerprint(),
+            u.app().fingerprint(),
+            "observation changed replica {:?}'s state",
+            o.id()
+        );
+    }
+}
+
+/// `/status` keeps answering through an owner change: kill the replica
+/// owning the client's preferred space, let the resend path trigger an
+/// ownership change among the survivors, and scrape the whole time.
+#[test]
+fn status_stays_live_during_owner_change() {
+    let cluster = ClusterConfig::for_faults(1);
+    let mut cfg = EzConfig::new(cluster);
+    // Compress the crash-detection path so the test runs in seconds:
+    // client re-broadcast after 300ms, RESENDREQ wait 200ms.
+    cfg.retry_delay = Micros::from_millis(300);
+    cfg.resend_timeout = Micros::from_millis(200);
+    let c = start(cfg);
+
+    // Warm up through the doomed owner.
+    for i in 0..2u64 {
+        assert!(put(&c.client, i, Duration::from_secs(10)));
+    }
+
+    // Kill replica 0 — the client's command-leader.
+    let mut replicas = c.replicas;
+    let dead = replicas.remove(0);
+    dead.shutdown();
+
+    // Submit into the dead space; completion now requires an owner change.
+    c.client
+        .with_node(|cl, out| {
+            cl.submit(
+                KvOp::Put {
+                    key: Key(99),
+                    value: vec![9; 16],
+                },
+                out,
+            );
+        })
+        .expect("submit");
+
+    // Poll the survivors' endpoints while the protocol reconfigures:
+    // every scrape must answer, and the owner map must eventually move
+    // space 0 off replica 0.
+    let survivors = &c.intro_addrs[1..];
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut space0_moved = false;
+    let mut change_observed = false;
+    let delivered = loop {
+        if let Some(d) = c.client.recv_delivery(Duration::from_millis(100)) {
+            break Some(d);
+        }
+        if Instant::now() > deadline {
+            break None;
+        }
+        for &addr in survivors {
+            let (status, body) = fetch(addr, "/status").expect("status live mid-change");
+            assert_eq!(status, 200, "endpoint must stay live during owner change");
+            let report = HealthReport::from_json(&body).expect("parses");
+            let s0 = &report.spaces[0];
+            if s0.frozen || s0.committed_to_change || s0.oc_target.is_some() {
+                change_observed = true;
+            }
+            if s0.owner_replica != 0 {
+                space0_moved = true;
+            }
+            let (status, _) = fetch(addr, "/metrics").expect("metrics live mid-change");
+            assert_eq!(status, 200);
+        }
+    };
+    assert!(
+        delivered.is_some(),
+        "request must complete after the owner change"
+    );
+    assert!(
+        space0_moved || change_observed,
+        "the snapshots must surface the owner change in flight or applied"
+    );
+
+    // Post-change snapshots record the applied change.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut applied = 0u64;
+    for &addr in survivors {
+        let (_, body) = fetch(addr, "/status").expect("status");
+        let report = HealthReport::from_json(&body).expect("parses");
+        applied = applied.max(report.owner_changes);
+    }
+    assert!(
+        applied >= 1,
+        "at least one survivor must report an applied owner change"
+    );
+
+    drop(c.client.shutdown());
+    for h in replicas {
+        h.shutdown();
+    }
+}
