@@ -130,7 +130,7 @@ fn bench_certificates(c: &mut Criterion) {
                         inst: body.inst,
                         deps: body.deps.clone(),
                         seq: body.seq,
-                        cc: acks.clone(),
+                        cc: ezbft_core::msg::AckCert::Votes(acks.clone()),
                     }),
                     &mut o,
                 );
@@ -186,6 +186,47 @@ fn bench_certificates(c: &mut Criterion) {
     group.finish();
 }
 
+/// Compact-certificate verification (DESIGN.md §10): one aggregate check
+/// against `3f + 1` individual signature verifies over the same SPECACK
+/// payload. With the vendored hash-based shim both recompute every
+/// partial, so the CPU numbers track each other — the shim models the
+/// O(1) certificate *size* of a real multi-signature; the bench pins the
+/// verify-cost baseline so swapping in BLS later shows up as a delta.
+fn bench_aggregate_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_path");
+    for n in [4usize, 16] {
+        let nodes: Vec<NodeId> = (0..n as u8)
+            .map(|r| NodeId::Replica(ReplicaId::new(r)))
+            .collect();
+        let mut stores = KeyStore::cluster(CryptoKind::Agg, b"agg-bench", &nodes);
+        let payload = SpecAck::signed_payload(
+            OwnerNum(0),
+            InstanceId::new(ReplicaId::new(0), 0),
+            &BTreeSet::new(),
+            1,
+            Digest::ZERO,
+        );
+        let sigs: Vec<ezbft_crypto::Signature> = stores
+            .iter_mut()
+            .map(|s| s.sign(&payload, &Audience::replicas(n)))
+            .collect();
+        let agg = stores[0]
+            .aggregate(&sigs.iter().collect::<Vec<_>>())
+            .expect("partials aggregate");
+        group.bench_function(&format!("verify_individual_n{n}"), |b| {
+            b.iter(|| {
+                for (node, sig) in nodes.iter().zip(&sigs) {
+                    stores[0].verify(*node, &payload, sig).unwrap();
+                }
+            })
+        });
+        group.bench_function(&format!("verify_aggregate_n{n}"), |b| {
+            b.iter(|| stores[0].verify_agg(&nodes, &payload, &agg).unwrap())
+        });
+    }
+    group.finish();
+}
+
 /// Simulated end-to-end: aggregated vs per-client commitment at batch=8
 /// over the follower-bound LAN profile (the commit_traffic experiment's
 /// configuration).
@@ -232,5 +273,10 @@ fn bench_commit_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_certificates, bench_commit_modes);
+criterion_group!(
+    benches,
+    bench_certificates,
+    bench_aggregate_verify,
+    bench_commit_modes
+);
 criterion_main!(benches);

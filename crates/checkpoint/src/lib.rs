@@ -31,5 +31,5 @@ mod tracker;
 mod transfer;
 
 pub use snapshot::{SnapshotError, Snapshotable};
-pub use tracker::{CheckpointTracker, CheckpointVote, Mark, StableCheckpoint};
+pub use tracker::{CheckpointProof, CheckpointTracker, CheckpointVote, Mark, StableCheckpoint};
 pub use transfer::{chunk_snapshot, ChunkAssembler, SnapshotChunk};

@@ -6,7 +6,7 @@ use std::fmt::Debug;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
-use ezbft_crypto::{Digest, Signature};
+use ezbft_crypto::{AggSignature, Digest, Signature, SignerBitmap};
 use ezbft_smr::ReplicaId;
 
 /// Bound on checkpoint mark types: a mark names *which* cut of the history
@@ -36,18 +36,46 @@ impl<M: Mark> CheckpointVote<M> {
     }
 }
 
+/// The quorum proof carried by a [`StableCheckpoint`]: either the
+/// explicit vote vector, or its compact aggregate form (one constant-size
+/// aggregate signature plus a signer bitmap — the votes all sign the
+/// same `(mark, digest)` payload, so they aggregate directly).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CheckpointProof<M> {
+    /// The explicit quorum of votes (distinct senders, all matching).
+    Votes(Vec<CheckpointVote<M>>),
+    /// One aggregate over [`CheckpointVote::signed_payload`].
+    Compact {
+        /// Which replicas contributed a partial signature.
+        signers: SignerBitmap,
+        /// The aggregate signature.
+        agg: AggSignature,
+    },
+}
+
+impl<M> CheckpointProof<M> {
+    /// Number of distinct votes the proof claims.
+    pub fn signer_count(&self) -> usize {
+        match self {
+            CheckpointProof::Votes(votes) => votes.len(),
+            CheckpointProof::Compact { signers, .. } => signers.count(),
+        }
+    }
+}
+
 /// A stable checkpoint: `2f + 1` distinct replicas certified the same
 /// `(mark, digest)`. The proof is self-contained — any party holding the
-/// cluster's keys can re-verify every vote — which is what lets a donor
-/// hand the certificate to a rejoining replica that trusts nobody.
+/// cluster's keys can re-verify every vote (or the aggregate) — which is
+/// what lets a donor hand the certificate to a rejoining replica that
+/// trusts nobody.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct StableCheckpoint<M> {
     /// The certified cut.
     pub mark: M,
     /// The certified snapshot digest.
     pub digest: Digest,
-    /// The quorum of votes (distinct senders, all matching).
-    pub proof: Vec<CheckpointVote<M>>,
+    /// The quorum proof.
+    pub proof: CheckpointProof<M>,
 }
 
 /// Tallies checkpoint votes until one `(mark, digest)` reaches the quorum.
@@ -106,7 +134,7 @@ impl<M: Mark> CheckpointTracker<M> {
         if entry.len() < quorum {
             return None;
         }
-        let proof = entry.clone();
+        let proof = CheckpointProof::Votes(entry.clone());
         let stable = StableCheckpoint {
             mark: key.0,
             digest: key.1,
@@ -155,7 +183,7 @@ mod tests {
         assert!(t.record(vote(1, 9, 1), 3).is_none());
         let stable = t.record(vote(1, 9, 2), 3).expect("third matching vote");
         assert_eq!(stable.mark, 1);
-        assert_eq!(stable.proof.len(), 3);
+        assert_eq!(stable.proof.signer_count(), 3);
         assert_eq!(t.stable().unwrap().mark, 1);
         assert_eq!(t.pending(), 0, "stable mark prunes its own votes");
     }
@@ -191,7 +219,7 @@ mod tests {
         let newer = StableCheckpoint {
             mark: 10u64,
             digest: Digest::of(b"x"),
-            proof: vec![],
+            proof: CheckpointProof::Votes(vec![]),
         };
         assert!(t.adopt(newer.clone()));
         assert!(!t.adopt(newer.clone()), "same mark rejected");

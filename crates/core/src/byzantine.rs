@@ -73,6 +73,14 @@ pub enum Behaviour {
     /// escalation timer (fix (b), DESIGN.md §5a) the space stalls
     /// forever.
     MuteNewOwner,
+    /// As a follower under commit aggregation, contribute a *bad partial
+    /// signature* in every outgoing SPECACK: the bytes are this replica's
+    /// genuine signature over a different payload, so the ack is
+    /// structurally legal and the right signature kind, but verification
+    /// fails. The leader must reject it at receipt — before it can poison
+    /// a compact aggregate certificate (DESIGN.md §10) — and the cluster
+    /// must degrade cleanly to client-driven COMMITFAST commitment.
+    BadAggPartial,
 }
 
 /// An honest replica wrapped with a byzantine output filter.
@@ -298,6 +306,22 @@ impl<A: Application + Snapshotable> ByzantineReplica<A> {
                 None
             }
             (Behaviour::MuteNewOwner, Msg::NewOwner(no)) if no.sender == me => None,
+            (Behaviour::BadAggPartial, Msg::SpecAck(mut ack)) if ack.sender == me => {
+                // Sign a *different* projection (seq bumped) but send the
+                // original fields: a well-formed signature of ours that
+                // does not verify against the ack it accompanies. If the
+                // leader aggregated it blind, the compact certificate
+                // would fail `verify_agg` cluster-wide.
+                let payload = SpecAck::signed_payload(
+                    ack.owner,
+                    ack.inst,
+                    &ack.deps,
+                    ack.seq.wrapping_add(1),
+                    ack.batch_digest,
+                );
+                ack.sig = self.keys.sign(&payload, &Audience::replicas(self.n));
+                Some(Msg::SpecAck(ack))
+            }
             (_, msg) => Some(msg),
         }
     }

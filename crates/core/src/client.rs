@@ -23,7 +23,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use ezbft_crypto::{Audience, Digest, KeyStore};
+use ezbft_crypto::{Audience, Digest, KeyStore, SignerBitmap};
 use ezbft_obs::{NullRecorder, Recorder, Stage};
 use ezbft_smr::{
     Actions, ClientId, ClientNode, Micros, NodeId, ProtocolNode, ReplicaId, TimerId, Timestamp,
@@ -32,8 +32,8 @@ use ezbft_smr::{
 use crate::config::EzConfig;
 use crate::instance::InstanceId;
 use crate::msg::{
-    Commit, CommitBody, CommitConfirm, CommitFast, CommitReply, Msg, Pom, Request, SpecOrderHeader,
-    SpecReply, WirePayload,
+    Commit, CommitBody, CommitConfirm, CommitFast, CommitReply, CompactReply, Msg, Pom, ReplyCert,
+    Request, SpecOrderHeader, SpecReply, WirePayload,
 };
 use crate::telemetry::span_key;
 
@@ -95,7 +95,7 @@ struct Unconfirmed<C, R> {
     /// The command-leader expected to confirm.
     leader: ReplicaId,
     /// The retained `3f + 1` fast certificate.
-    cc: Vec<SpecReply<C, R>>,
+    cc: ReplyCert<C, R>,
     /// When the fallback timer was armed (driver clock): the confirmation
     /// latency observed from here feeds the adaptive fallback EWMA.
     armed_at: Micros,
@@ -416,6 +416,7 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             let inst = representative.body.inst;
             let ts = pending.ts;
             let response = representative.response.clone();
+            let cc = self.build_reply_cert(cc);
             if self.cfg.commit_aggregation {
                 // Replica-driven commitment (DESIGN.md §7): the command
                 // leader is assembling the same certificate from SPECACKs,
@@ -466,6 +467,27 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
         }
     }
 
+    /// Packages a matching `3f + 1` fast quorum as a certificate: the
+    /// compact aggregate form (one aggregate signature plus a signer
+    /// bitmap, DESIGN.md §10) when enabled and the provider supports it,
+    /// the explicit vote vector otherwise. Slow-path COMMITs always carry
+    /// explicit votes — unequal replies sign different payloads.
+    fn build_reply_cert(&self, cc: Vec<SpecReply<C, R>>) -> ReplyCert<C, R> {
+        if self.cfg.compact_certs && self.keys.supports_aggregation() {
+            let sigs: Vec<&ezbft_crypto::Signature> = cc.iter().map(|r| &r.sig).collect();
+            if let Ok(agg) = self.keys.aggregate(&sigs) {
+                let first = &cc[0];
+                return ReplyCert::Compact(CompactReply {
+                    body: first.body.clone(),
+                    response: first.response.clone(),
+                    signers: SignerBitmap::from_indices(cc.iter().map(|r| r.sender.index())),
+                    agg,
+                });
+            }
+        }
+        ReplyCert::Votes(cc)
+    }
+
     /// Attempts the slow path (§IV-C step 4.2): requires ≥ 2f+1 replies
     /// from the command-leader's designated slow quorum agreeing on the
     /// instance.
@@ -499,6 +521,11 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
             // all derive the same (deps, seq) union (DESIGN.md §3). A
             // batched instance whose designated quorum is unreachable is
             // recovered through retransmission and leader rotation instead.
+            // Under replica-driven aggregation the leader's slow rung
+            // (DESIGN.md §7) combines over the same designated quorum, so
+            // the any-member fallback is withheld there too: a second,
+            // differently-combined certificate for one instance could
+            // otherwise race the leader's.
             let batched = pending
                 .replies
                 .values()
@@ -510,7 +537,11 @@ impl<C: WirePayload, R: WirePayload> Client<C, R> {
                 .copied()
                 .filter(|m| designated.contains(*m))
                 .collect();
-            if usable.len() < slow_quorum_size && timer_fired && !batched {
+            if usable.len() < slow_quorum_size
+                && timer_fired
+                && !batched
+                && !self.cfg.commit_aggregation
+            {
                 usable = members;
                 usable.sort();
             }

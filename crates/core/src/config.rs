@@ -58,6 +58,17 @@ pub struct EzConfig {
     /// client-driven COMMITFAST broadcast (leader crashed or lied between
     /// ack collection and the COMMITAGG broadcast).
     pub commit_fallback: Micros,
+    /// Compact O(1) certificates (DESIGN.md §10). When enabled — and the
+    /// cluster's crypto provider supports aggregation — collectors
+    /// compress quorum certificates (COMMITAGG ack sets, client
+    /// COMMITFAST reply sets, barrier and stable-checkpoint vote sets)
+    /// into one constant-size aggregate signature plus a signer bitmap,
+    /// so certificate bytes and verification cost stop growing with the
+    /// cluster size. Verifiers accept both forms; owner-change evidence
+    /// and state-transfer suffix proofs carry whichever form the
+    /// certificate was built in. `false` (the default) keeps the
+    /// explicit vote-vector path bit-identical to the pre-§10 protocol.
+    pub compact_certs: bool,
     /// Worker threads for the final-execution engine (DESIGN.md §8). `1`
     /// (the default) uses the sequential executor — bit-for-bit identical
     /// to the pre-engine behaviour. Larger values drain the committed
@@ -135,6 +146,7 @@ impl EzConfig {
             checkpoint_interval: 0,
             commit_aggregation: false,
             commit_fallback: Micros::from_millis(1_200),
+            compact_certs: false,
             exec_workers: 1,
             exec_cost_us: 0,
             state_chunk_bytes: 64 * 1024,
@@ -155,6 +167,7 @@ impl EzConfig {
         self.oc_strong_quorum = false;
         self.oc_backoff_base = Micros::ZERO;
         self.gap_fill = false;
+        self.compact_certs = false;
         self
     }
 
@@ -184,6 +197,13 @@ impl EzConfig {
     /// [`EzConfig::commit_aggregation`]).
     pub fn with_commit_aggregation(mut self) -> Self {
         self.commit_aggregation = true;
+        self
+    }
+
+    /// Enables compact O(1) certificates (see [`EzConfig::compact_certs`];
+    /// requires an aggregation-capable crypto provider to take effect).
+    pub fn with_compact_certs(mut self) -> Self {
+        self.compact_certs = true;
         self
     }
 

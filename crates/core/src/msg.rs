@@ -11,7 +11,7 @@ use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
 use ezbft_checkpoint::{CheckpointVote, SnapshotChunk, StableCheckpoint};
-use ezbft_crypto::{Digest, Signature};
+use ezbft_crypto::{AggSignature, Digest, Signature, SignerBitmap};
 use ezbft_smr::{ClientId, ReplicaId, Timestamp};
 
 use crate::instance::{EntryStatus, InstanceId, OwnerNum};
@@ -222,8 +222,143 @@ pub struct SpecOrderHeader {
     pub sig: Signature,
 }
 
+// ----------------------------------------------------------------------
+// Compact O(1) certificates (DESIGN.md §10)
+// ----------------------------------------------------------------------
+
+/// Constant-size form of a `3f + 1` matching-[`SpecAck`] certificate
+/// (DESIGN.md §10): the signer set as a bitmap plus one aggregate over
+/// the common signed ack payload. Instance, dependencies and sequence
+/// number ride on the enclosing envelope ([`CommitAgg`] or the
+/// [`EntrySnapshot`] the evidence is attached to).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct CompactAck {
+    /// Owner number the acks were issued under.
+    pub owner: OwnerNum,
+    /// The acknowledged batch digest.
+    pub batch_digest: Digest,
+    /// Which replicas contributed a partial signature.
+    pub signers: SignerBitmap,
+    /// Aggregate over [`SpecAck::signed_payload`].
+    pub agg: AggSignature,
+}
+
+/// An instance-level commit certificate: either the explicit `3f + 1`
+/// matching-[`SpecAck`] vote vector, or its compact aggregate form.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AckCert {
+    /// Explicit vote vector (the pre-§10 wire form).
+    Votes(Vec<SpecAck>),
+    /// One aggregate signature + signer bitmap.
+    Compact(CompactAck),
+}
+
+impl AckCert {
+    /// Number of distinct acknowledgements the certificate claims.
+    pub fn signer_count(&self) -> usize {
+        match self {
+            AckCert::Votes(cc) => cc.len(),
+            AckCert::Compact(c) => c.signers.count(),
+        }
+    }
+
+    /// The batch digest the certificate acknowledges (`None` on an
+    /// empty vote vector).
+    pub fn batch_digest(&self) -> Option<Digest> {
+        match self {
+            AckCert::Votes(cc) => cc.first().map(|a| a.batch_digest),
+            AckCert::Compact(c) => Some(c.batch_digest),
+        }
+    }
+}
+
+/// Constant-size form of a `3f + 1` matching-[`SpecReply`] certificate:
+/// one representative signed body + response (all quorum members signed
+/// identical bytes — that is what "matching" means), the signer bitmap
+/// and the aggregate.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CompactReply<R> {
+    /// The common reply body the quorum agreed on.
+    pub body: SpecReplyBody,
+    /// The common speculative response.
+    pub response: R,
+    /// Which replicas contributed a partial signature.
+    pub signers: SignerBitmap,
+    /// Aggregate over [`SpecReply::signed_payload`]`(body, response)`.
+    pub agg: AggSignature,
+}
+
+/// A fast-path commit certificate: either the explicit `3f + 1`
+/// matching-[`SpecReply`] vote vector, or its compact aggregate form.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ReplyCert<C, R> {
+    /// Explicit vote vector (the pre-§10 wire form).
+    Votes(Vec<SpecReply<C, R>>),
+    /// One aggregate signature + signer bitmap.
+    Compact(CompactReply<R>),
+}
+
+impl<C, R> ReplyCert<C, R> {
+    /// Number of distinct replies the certificate claims.
+    pub fn signer_count(&self) -> usize {
+        match self {
+            ReplyCert::Votes(cc) => cc.len(),
+            ReplyCert::Compact(c) => c.signers.count(),
+        }
+    }
+
+    /// The common reply body (`None` on an empty vote vector).
+    pub fn body(&self) -> Option<&SpecReplyBody> {
+        match self {
+            ReplyCert::Votes(cc) => cc.first().map(|r| &r.body),
+            ReplyCert::Compact(c) => Some(&c.body),
+        }
+    }
+}
+
+/// One view-group of a compact barrier certificate: barrier
+/// acknowledgements combine by union/max (slow-path rule), so followers
+/// reporting *different* `(deps, seq)` views sign different payloads and
+/// cannot share one aggregate. The collector instead aggregates each
+/// distinct view separately; the envelope's `(deps, seq)` must equal the
+/// union/max over the groups.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CompactBarrierGroup {
+    /// Owner number the group's acks were issued under.
+    pub owner: OwnerNum,
+    /// The group's common dependency view.
+    pub deps: BTreeSet<InstanceId>,
+    /// The group's common sequence number.
+    pub seq: u64,
+    /// Which replicas contributed a partial signature.
+    pub signers: SignerBitmap,
+    /// Aggregate over [`BarrierAck::signed_payload`] for this view.
+    pub agg: AggSignature,
+}
+
+/// A barrier commit certificate: either the explicit `2f + 1`
+/// [`BarrierAck`] vote vector, or per-view aggregate groups.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BarrierCert {
+    /// Explicit vote vector (the pre-§10 wire form).
+    Votes(Vec<BarrierAck>),
+    /// One aggregate per distinct `(deps, seq)` view.
+    Compact(Vec<CompactBarrierGroup>),
+}
+
+impl BarrierCert {
+    /// Number of distinct acknowledgements the certificate claims.
+    pub fn signer_count(&self) -> usize {
+        match self {
+            BarrierCert::Votes(cc) => cc.len(),
+            BarrierCert::Compact(groups) => groups.iter().map(|g| g.signers.count()).sum(),
+        }
+    }
+}
+
 /// `⟨COMMITFAST, c, I, CC⟩` (§IV-A step 4.1): the commit certificate is
-/// `3f + 1` matching SPECREPLY messages.
+/// `3f + 1` matching SPECREPLY messages (or their compact aggregate,
+/// DESIGN.md §10).
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct CommitFast<C, R> {
     /// The issuing client.
@@ -231,7 +366,7 @@ pub struct CommitFast<C, R> {
     /// The committed instance.
     pub inst: InstanceId,
     /// The commit certificate.
-    pub cc: Vec<SpecReply<C, R>>,
+    pub cc: ReplyCert<C, R>,
 }
 
 /// The client-signed body of a slow-path `COMMIT` (§IV-C step 4.2).
@@ -362,12 +497,14 @@ impl SpecAck {
 pub struct CommitAgg {
     /// The committed instance.
     pub inst: InstanceId,
-    /// Final dependency set (identical across the matching acks).
+    /// Final dependency set (identical across the matching acks, or the
+    /// union over a `2f + 1` slow-rung certificate — DESIGN.md §7).
     pub deps: BTreeSet<InstanceId>,
-    /// Final sequence number (identical across the matching acks).
+    /// Final sequence number (identical across the matching acks, or
+    /// the max over a slow-rung certificate).
     pub seq: u64,
     /// The certificate.
-    pub cc: Vec<SpecAck>,
+    pub cc: AckCert,
 }
 
 /// `⟨COMMITCONFIRM, I, c, t⟩σRi` — the command-leader's note to one client
@@ -516,21 +653,21 @@ pub enum Evidence<C, R> {
     },
     /// The entry was fast-path committed: the 3f+1-reply certificate.
     FastCommit {
-        /// The matching replies.
-        replies: Vec<SpecReply<C, R>>,
+        /// The matching replies (vote vector or compact form).
+        replies: ReplyCert<C, R>,
     },
     /// The entry was committed by instance-level aggregation: the
     /// command-leader's `3f + 1` matching [`SpecAck`] certificate
     /// (DESIGN.md §7).
     AggCommit {
-        /// The matching acknowledgements.
-        acks: Vec<SpecAck>,
+        /// The matching acknowledgements (vote vector or compact form).
+        acks: AckCert,
     },
     /// The entry was a checkpoint barrier committed by its leader: the
     /// `2f + 1` BARRIERACK certificate (DESIGN.md §6).
     BarrierCommit {
-        /// The matching acknowledgements.
-        acks: Vec<BarrierAck>,
+        /// The acknowledgements (vote vector or compact view-groups).
+        acks: BarrierCert,
     },
 }
 
@@ -683,7 +820,7 @@ pub struct BarrierCommit {
     /// Final sequence number (max over `cc`).
     pub seq: u64,
     /// The certificate.
-    pub cc: Vec<BarrierAck>,
+    pub cc: BarrierCert,
 }
 
 /// `⟨STATEREQ, Rj⟩σRj` — a rejoining replica asks every peer for the

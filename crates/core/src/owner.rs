@@ -37,15 +37,30 @@
 
 use std::collections::BTreeSet;
 
-use ezbft_crypto::{Digest, KeyStore};
+use ezbft_crypto::{Digest, KeyStore, SignerBitmap};
 use ezbft_smr::{NodeId, ReplicaId};
 
 use crate::config::EzConfig;
 use crate::instance::InstanceId;
 use crate::msg::{
-    batch_digests, BarrierAck, CommitBody, EntrySnapshot, Evidence, OwnerChange, SpecAck,
-    SpecReply, WirePayload,
+    batch_digests, AckCert, BarrierAck, BarrierCert, CommitBody, EntrySnapshot, Evidence,
+    OwnerChange, ReplyCert, SpecAck, SpecReply, WirePayload,
 };
+
+/// Expands a compact certificate's signer bitmap into replica node ids,
+/// rejecting indices outside the cluster. `None` invalidates the
+/// certificate (a bitmap claiming non-members proves nothing).
+pub(crate) fn bitmap_signers(cfg: &EzConfig, signers: &SignerBitmap) -> Option<Vec<NodeId>> {
+    let n = cfg.cluster.n();
+    let mut out = Vec::with_capacity(signers.count());
+    for i in signers.iter() {
+        if i >= n {
+            return None;
+        }
+        out.push(NodeId::Replica(ReplicaId::new(i as u8)));
+    }
+    Some(out)
+}
 
 /// Verifies an OWNERCHANGE message: sender signature and entry shape.
 pub(crate) fn verify_owner_change<C: WirePayload, R: WirePayload>(
@@ -82,50 +97,84 @@ pub(crate) fn slow_commit_valid<C: WirePayload, R: WirePayload>(
             .is_ok()
 }
 
-/// Validates a fast-commit certificate against its snapshot.
+/// Validates a fast-commit certificate against its snapshot (either the
+/// explicit `3f + 1` matching-reply vector or its compact aggregate
+/// form, DESIGN.md §10).
 pub(crate) fn fast_commit_valid<C: WirePayload, R: WirePayload>(
     keys: &mut KeyStore,
     cfg: &EzConfig,
     snap: &EntrySnapshot<C, R>,
-    replies: &[SpecReply<C, R>],
+    cert: &ReplyCert<C, R>,
 ) -> bool {
-    if replies.len() < cfg.cluster.fast_quorum() {
-        return false;
-    }
-    let mut key = None;
-    let mut senders = BTreeSet::new();
-    for reply in replies {
-        let digest_in_batch = snap
-            .reqs
-            .get(reply.body.offset as usize)
-            .map(|r| r.digest() == reply.body.req_digest)
-            .unwrap_or(false);
-        // Encode the certificate body once per reply: the same bytes are
-        // the matching key (digested) and the signature payload.
-        let payload = SpecReply::<C, R>::signed_payload(&reply.body, &reply.response);
-        let reply_key = Digest::of(&payload);
-        if reply.body.inst != snap.inst
-            || !digest_in_batch
-            || *key.get_or_insert(reply_key) != reply_key
-            || !senders.insert(reply.sender)
-        {
-            return false;
+    match cert {
+        ReplyCert::Votes(replies) => {
+            if replies.len() < cfg.cluster.fast_quorum() {
+                return false;
+            }
+            let mut key = None;
+            let mut senders = BTreeSet::new();
+            for reply in replies {
+                let digest_in_batch = snap
+                    .reqs
+                    .get(reply.body.offset as usize)
+                    .map(|r| r.digest() == reply.body.req_digest)
+                    .unwrap_or(false);
+                // Encode the certificate body once per reply: the same bytes are
+                // the matching key (digested) and the signature payload.
+                let payload = SpecReply::<C, R>::signed_payload(&reply.body, &reply.response);
+                let reply_key = Digest::of(&payload);
+                if reply.body.inst != snap.inst
+                    || !digest_in_batch
+                    || *key.get_or_insert(reply_key) != reply_key
+                    || !senders.insert(reply.sender)
+                {
+                    return false;
+                }
+                if keys
+                    .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
+                    .is_err()
+                {
+                    return false;
+                }
+            }
+            senders.len() >= cfg.cluster.fast_quorum()
         }
-        if keys
-            .verify(NodeId::Replica(reply.sender), &payload, &reply.sig)
-            .is_err()
-        {
-            return false;
+        ReplyCert::Compact(c) => {
+            if c.signers.count() < cfg.cluster.fast_quorum() {
+                return false;
+            }
+            let Some(signers) = bitmap_signers(cfg, &c.signers) else {
+                return false;
+            };
+            let digest_in_batch = snap
+                .reqs
+                .get(c.body.offset as usize)
+                .map(|r| r.digest() == c.body.req_digest)
+                .unwrap_or(false);
+            if c.body.inst != snap.inst || !digest_in_batch {
+                return false;
+            }
+            let payload = SpecReply::<C, R>::signed_payload(&c.body, &c.response);
+            keys.verify_agg(&signers, &payload, &c.agg).is_ok()
         }
     }
-    senders.len() >= cfg.cluster.fast_quorum()
 }
 
-/// Validates an instance-level aggregated commit certificate: `3f + 1`
-/// validly signed, pairwise *matching* [`SpecAck`]s from distinct replicas
-/// agreeing with the stated decision (the fast-path rule of §IV-A step 4.1
-/// with the command-leader in the certificate-collecting role; DESIGN.md
-/// §7). `batch_digest`, when given, pins the certificate to a concrete
+/// Validates an instance-level aggregated commit certificate (DESIGN.md
+/// §7/§10). Two acceptance rungs for the explicit vote form:
+///
+/// - **fast**: `3f + 1` pairwise *matching* [`SpecAck`]s agreeing with
+///   the stated decision (the fast-path rule of §IV-A step 4.1 with the
+///   command-leader in the certificate-collecting role);
+/// - **slow**: `2f + 1` acks for the same batch whose dependency union
+///   and sequence max equal the decision (the slow-path combination rule
+///   of §IV-C with the leader standing in for the client — the commit
+///   aggregation slow rung).
+///
+/// The compact aggregate form encodes only the fast rung (non-matching
+/// acks sign different payloads and cannot share one aggregate).
+///
+/// `batch_digest`, when given, pins the certificate to a concrete
 /// batch content (suffix/owner-change verification); `None` accepts the
 /// acks' own digest (live path, where the local entry is checked by the
 /// caller or does not exist yet).
@@ -136,86 +185,149 @@ pub(crate) fn verify_agg_certificate(
     deps: &BTreeSet<InstanceId>,
     seq: u64,
     batch_digest: Option<Digest>,
-    cc: &[SpecAck],
+    cc: &AckCert,
 ) -> bool {
-    if cc.len() < cfg.cluster.fast_quorum() {
-        return false;
-    }
-    let Some(first) = cc.first() else {
-        return false;
-    };
-    if first.deps != *deps || first.seq != seq {
-        return false;
-    }
-    if let Some(expect) = batch_digest {
-        if first.batch_digest != expect {
-            return false;
+    match cc {
+        AckCert::Votes(cc) => {
+            if cc.len() < cfg.cluster.slow_quorum() {
+                return false;
+            }
+            let Some(first) = cc.first() else {
+                return false;
+            };
+            if let Some(expect) = batch_digest {
+                if first.batch_digest != expect {
+                    return false;
+                }
+            }
+            let mut senders = BTreeSet::new();
+            let mut union: BTreeSet<InstanceId> = BTreeSet::new();
+            let mut max_seq = 0u64;
+            let mut matching = true;
+            for ack in cc {
+                if ack.inst != inst
+                    || ack.owner != first.owner
+                    || ack.batch_digest != first.batch_digest
+                {
+                    return false;
+                }
+                if !cfg.cluster.contains(ack.sender) || !senders.insert(ack.sender) {
+                    return false;
+                }
+                let payload = SpecAck::signed_payload(
+                    ack.owner,
+                    ack.inst,
+                    &ack.deps,
+                    ack.seq,
+                    ack.batch_digest,
+                );
+                if keys
+                    .verify(NodeId::Replica(ack.sender), &payload, &ack.sig)
+                    .is_err()
+                {
+                    return false;
+                }
+                union.extend(ack.deps.iter().copied());
+                max_seq = max_seq.max(ack.seq);
+                matching &= ack.deps == *deps && ack.seq == seq;
+            }
+            (matching && cc.len() >= cfg.cluster.fast_quorum())
+                || (union == *deps && max_seq == seq)
+        }
+        AckCert::Compact(c) => {
+            if c.signers.count() < cfg.cluster.fast_quorum() {
+                return false;
+            }
+            if let Some(expect) = batch_digest {
+                if c.batch_digest != expect {
+                    return false;
+                }
+            }
+            let Some(signers) = bitmap_signers(cfg, &c.signers) else {
+                return false;
+            };
+            let payload = SpecAck::signed_payload(c.owner, inst, deps, seq, c.batch_digest);
+            keys.verify_agg(&signers, &payload, &c.agg).is_ok()
         }
     }
-    let mut senders = BTreeSet::new();
-    for ack in cc {
-        if ack.inst != inst
-            || ack.owner != first.owner
-            || ack.deps != first.deps
-            || ack.seq != first.seq
-            || ack.batch_digest != first.batch_digest
-        {
-            return false;
-        }
-        if !cfg.cluster.contains(ack.sender) || !senders.insert(ack.sender) {
-            return false;
-        }
-        let payload =
-            SpecAck::signed_payload(ack.owner, ack.inst, &ack.deps, ack.seq, ack.batch_digest);
-        if keys
-            .verify(NodeId::Replica(ack.sender), &payload, &ack.sig)
-            .is_err()
-        {
-            return false;
-        }
-    }
-    true
 }
 
 /// Validates a barrier commit certificate: `2f + 1` validly signed
 /// BARRIERACKs from distinct replicas whose union/max equals the decision
 /// (the slow-path rule with the barrier leader in the client's role;
-/// DESIGN.md §6).
+/// DESIGN.md §6). The compact form carries one aggregate per distinct
+/// `(deps, seq)` view; the groups' signer bitmaps must be pairwise
+/// disjoint and their union/max must equal the decision (DESIGN.md §10).
 pub(crate) fn verify_barrier_certificate(
     keys: &mut KeyStore,
     cfg: &EzConfig,
     inst: InstanceId,
     deps: &BTreeSet<InstanceId>,
     seq: u64,
-    cc: &[BarrierAck],
+    cc: &BarrierCert,
 ) -> bool {
-    if cc.len() < cfg.cluster.slow_quorum() {
-        return false;
+    match cc {
+        BarrierCert::Votes(cc) => {
+            if cc.len() < cfg.cluster.slow_quorum() {
+                return false;
+            }
+            let Some(first) = cc.first() else {
+                return false;
+            };
+            let mut senders = BTreeSet::new();
+            let mut union: BTreeSet<InstanceId> = BTreeSet::new();
+            let mut max_seq = 0u64;
+            for ack in cc {
+                if ack.inst != inst || ack.owner != first.owner {
+                    return false;
+                }
+                if !cfg.cluster.contains(ack.sender) || !senders.insert(ack.sender) {
+                    return false;
+                }
+                let payload = BarrierAck::signed_payload(ack.owner, ack.inst, &ack.deps, ack.seq);
+                if keys
+                    .verify(NodeId::Replica(ack.sender), &payload, &ack.sig)
+                    .is_err()
+                {
+                    return false;
+                }
+                union.extend(ack.deps.iter().copied());
+                max_seq = max_seq.max(ack.seq);
+            }
+            union == *deps && max_seq == seq
+        }
+        BarrierCert::Compact(groups) => {
+            let Some(first) = groups.first() else {
+                return false;
+            };
+            let mut seen = SignerBitmap::EMPTY;
+            let mut total = 0usize;
+            let mut union: BTreeSet<InstanceId> = BTreeSet::new();
+            let mut max_seq = 0u64;
+            for group in groups {
+                if group.owner != first.owner
+                    || group.signers.count() == 0
+                    || !seen.is_disjoint(&group.signers)
+                {
+                    return false;
+                }
+                let Some(signers) = bitmap_signers(cfg, &group.signers) else {
+                    return false;
+                };
+                let payload = BarrierAck::signed_payload(group.owner, inst, &group.deps, group.seq);
+                if keys.verify_agg(&signers, &payload, &group.agg).is_err() {
+                    return false;
+                }
+                for i in group.signers.iter() {
+                    seen.insert(i);
+                }
+                total += group.signers.count();
+                union.extend(group.deps.iter().copied());
+                max_seq = max_seq.max(group.seq);
+            }
+            total >= cfg.cluster.slow_quorum() && union == *deps && max_seq == seq
+        }
     }
-    let Some(first) = cc.first() else {
-        return false;
-    };
-    let mut senders = BTreeSet::new();
-    let mut union: BTreeSet<InstanceId> = BTreeSet::new();
-    let mut max_seq = 0u64;
-    for ack in cc {
-        if ack.inst != inst || ack.owner != first.owner {
-            return false;
-        }
-        if !cfg.cluster.contains(ack.sender) || !senders.insert(ack.sender) {
-            return false;
-        }
-        let payload = BarrierAck::signed_payload(ack.owner, ack.inst, &ack.deps, ack.seq);
-        if keys
-            .verify(NodeId::Replica(ack.sender), &payload, &ack.sig)
-            .is_err()
-        {
-            return false;
-        }
-        union.extend(ack.deps.iter().copied());
-        max_seq = max_seq.max(ack.seq);
-    }
-    union == *deps && max_seq == seq
 }
 
 /// Computes the safe instance set `G` from a proof set of OWNERCHANGE

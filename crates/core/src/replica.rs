@@ -18,10 +18,10 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use ezbft_checkpoint::{
-    chunk_snapshot, CheckpointTracker, CheckpointVote, ChunkAssembler, SnapshotChunk, Snapshotable,
-    StableCheckpoint,
+    chunk_snapshot, CheckpointProof, CheckpointTracker, CheckpointVote, ChunkAssembler,
+    SnapshotChunk, Snapshotable, StableCheckpoint,
 };
-use ezbft_crypto::{Audience, Digest, KeyStore};
+use ezbft_crypto::{Audience, Digest, KeyStore, SignerBitmap};
 use ezbft_obs::{
     HealthReport, Introspect, NullRecorder, Recorder, RecoveryKey, RecoveryStage, SpaceHealth,
     Stage,
@@ -36,13 +36,15 @@ use crate::config::EzConfig;
 use crate::graph::{execution_units, ExecNode};
 use crate::instance::{EntryStatus, ExecRef, InstanceId, OwnerNum};
 use crate::msg::{
-    batch_digests, BarrierAck, BarrierCommit, CkptMark, ClientMark, Commit, CommitAgg,
-    CommitConfirm, CommitFast, CommitReply, Evidence, EzSnapshot, FillGap, Msg, NewOwner,
-    OwnerChange, Pom, Request, ResendReq, SpaceSuffix, SpecAck, SpecOrder, SpecOrderBody,
-    SpecOrderHeader, SpecReply, SpecReplyBody, StartOwnerChange, StateRequest, StateSuffix,
+    batch_digests, AckCert, BarrierAck, BarrierCert, BarrierCommit, CkptMark, ClientMark, Commit,
+    CommitAgg, CommitConfirm, CommitFast, CommitReply, CompactAck, CompactBarrierGroup, Evidence,
+    EzSnapshot, FillGap, Msg, NewOwner, OwnerChange, Pom, ReplyCert, Request, ResendReq,
+    SpaceSuffix, SpecAck, SpecOrder, SpecOrderBody, SpecOrderHeader, SpecReply, SpecReplyBody,
+    StartOwnerChange, StateRequest, StateSuffix,
 };
 use crate::owner::{
-    compute_safe_set, verify_agg_certificate, verify_barrier_certificate, verify_owner_change,
+    bitmap_signers, compute_safe_set, verify_agg_certificate, verify_barrier_certificate,
+    verify_owner_change,
 };
 
 use crate::deps::DepTracker;
@@ -1494,21 +1496,60 @@ impl<A: Application + Snapshotable> Replica<A> {
             ));
             groups.entry(key).or_default().push(i);
         }
-        let Some((_, members)) = groups.iter().find(|(_, m)| m.len() >= fast_quorum) else {
-            return; // unequal views (contention): clients drive the slow path
+        let (cc, fast): (Vec<SpecAck>, bool) =
+            match groups.iter().find(|(_, m)| m.len() >= fast_quorum) {
+                Some((_, members)) => {
+                    let acks = self.spec_acks.remove(&inst).expect("tallied above");
+                    (members.iter().map(|&i| acks[i].clone()).collect(), true)
+                }
+                None => {
+                    // Unequal views (contention): combine by union/max over
+                    // the *designated* slow quorum's acks — the §IV-C
+                    // slow-path rule with the leader as collector (the
+                    // commit-aggregation slow rung, DESIGN.md §7) — instead
+                    // of leaving commitment to the clients' COMMIT fallback.
+                    // Restricting the combination to the designated members
+                    // makes it identical to what any client computes from
+                    // the same replicas' SPECREPLYs, so the two deciders
+                    // can never certify the same instance with different
+                    // `(deps, seq)`.
+                    let designated = self.cfg.designated_slow_quorum(self.id);
+                    let chosen: Vec<SpecAck> = acks
+                        .iter()
+                        .filter(|a| designated.contains(a.sender))
+                        .cloned()
+                        .collect();
+                    if chosen.len() < self.cfg.cluster.slow_quorum() {
+                        return;
+                    }
+                    self.spec_acks.remove(&inst);
+                    self.rec.counter("replica.agg_slow_commits", 1);
+                    (chosen, false)
+                }
+            };
+        // Union/max combination: on the fast rung every ack matches, so
+        // this equals the common (deps, seq) exactly.
+        let mut deps: BTreeSet<InstanceId> = BTreeSet::new();
+        let mut seq = 0u64;
+        for a in &cc {
+            deps.extend(a.deps.iter().copied());
+            seq = seq.max(a.seq);
+        }
+        // Slow-rung certificates keep the explicit vote form: non-matching
+        // acks sign different payloads and cannot share one aggregate.
+        let cert = if fast {
+            self.build_ack_cert(cc)
+        } else {
+            AckCert::Votes(cc)
         };
-        let acks = self.spec_acks.remove(&inst).expect("tallied above");
-        let cc: Vec<SpecAck> = members.iter().map(|&i| acks[i].clone()).collect();
-        let first = cc.first().expect("quorum is non-empty");
-        let (deps, seq) = (first.deps.clone(), first.seq);
         if let Some(entry) = self.spaces[inst.space.index()].entries.get_mut(&inst.slot) {
-            entry.commit_evidence = Some(Evidence::AggCommit { acks: cc.clone() });
+            entry.commit_evidence = Some(Evidence::AggCommit { acks: cert.clone() });
         }
         let ca = CommitAgg {
             inst,
             deps: deps.clone(),
             seq,
-            cc,
+            cc: cert,
         };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
         out.broadcast(peers, Msg::CommitAgg(ca));
@@ -1562,6 +1603,28 @@ impl<A: Application + Snapshotable> Replica<A> {
         self.commit_entry(inst, deps, seq, BTreeSet::new(), out);
     }
 
+    /// Packages a matching ack quorum as a certificate: the compact
+    /// aggregate form (one aggregate signature plus a signer bitmap,
+    /// DESIGN.md §10) when enabled and the provider supports it, the
+    /// explicit vote vector otherwise. Callers must pass a *matching*
+    /// quorum — every ack signing the same payload — or the aggregate
+    /// would not verify.
+    fn build_ack_cert(&self, cc: Vec<SpecAck>) -> AckCert {
+        if self.cfg.compact_certs && self.keys.supports_aggregation() {
+            let sigs: Vec<&ezbft_crypto::Signature> = cc.iter().map(|a| &a.sig).collect();
+            if let Ok(agg) = self.keys.aggregate(&sigs) {
+                let first = &cc[0];
+                return AckCert::Compact(CompactAck {
+                    owner: first.owner,
+                    batch_digest: first.batch_digest,
+                    signers: SignerBitmap::from_indices(cc.iter().map(|a| a.sender.index())),
+                    agg,
+                });
+            }
+        }
+        AckCert::Votes(cc)
+    }
+
     /// A command-leader's aggregated certificate: verify the `3f + 1`
     /// matching acks and commit the whole batch (buffering if the
     /// SPECORDER has not arrived yet, certificate carried along).
@@ -1584,7 +1647,7 @@ impl<A: Application + Snapshotable> Replica<A> {
         let space = &mut self.spaces[inst.space.index()];
         if let Some(entry) = space.entries.get(&inst.slot) {
             // The certificate must cover the batch we accepted.
-            if entry.batch_digest != ca.cc[0].batch_digest {
+            if ca.cc.batch_digest() != Some(entry.batch_digest) {
                 self.stats.rejected += 1;
                 return;
             }
@@ -1707,12 +1770,27 @@ impl<A: Application + Snapshotable> Replica<A> {
     }
 
     /// Checks a fast-path certificate: `3f + 1` matching, validly signed
-    /// SPECREPLYs from distinct replicas. Returns the agreed (deps, seq).
+    /// SPECREPLYs from distinct replicas — either the explicit vote vector
+    /// or its compact aggregate form (DESIGN.md §10). Returns the agreed
+    /// (deps, seq).
     fn validate_fast_certificate(
         &mut self,
         inst: InstanceId,
-        cc: &[SpecReply<A::Command, A::Response>],
+        cert: &ReplyCert<A::Command, A::Response>,
     ) -> Option<(BTreeSet<InstanceId>, u64)> {
+        let cc = match cert {
+            ReplyCert::Votes(cc) => cc,
+            ReplyCert::Compact(c) => {
+                if c.signers.count() < self.cfg.cluster.fast_quorum() || c.body.inst != inst {
+                    return None;
+                }
+                let signers = bitmap_signers(&self.cfg, &c.signers)?;
+                let payload =
+                    SpecReply::<A::Command, A::Response>::signed_payload(&c.body, &c.response);
+                self.keys.verify_agg(&signers, &payload, &c.agg).ok()?;
+                return Some((c.body.deps.clone(), c.body.seq));
+            }
+        };
         if cc.len() < self.cfg.cluster.fast_quorum() {
             return None;
         }
@@ -2088,8 +2166,11 @@ impl<A: Application + Snapshotable> Replica<A> {
             .iter()
             .flat_map(|u| u.items.iter().map(|it| it.tag))
             .collect();
-        let pool =
-            ParallelExecutor::new(self.cfg.exec_workers).with_recorder(Arc::clone(&self.rec));
+        let pool = ParallelExecutor::new(self.cfg.exec_workers)
+            // The modelled per-command cost doubles as the profitability
+            // hint (a zero hint keeps the engine's default).
+            .with_cost_hint(Micros(self.cfg.exec_cost_us))
+            .with_recorder(Arc::clone(&self.rec));
         let results: Vec<Vec<A::Response>> = self
             .engine
             .final_apply_batch(&flat_tags, |state| pool.execute(state, &exec_units));
@@ -2564,18 +2645,50 @@ impl<A: Application + Snapshotable> Replica<A> {
             deps.extend(a.deps.iter().copied());
             seq = seq.max(a.seq);
         }
+        let cert = self.build_barrier_cert(cc);
         if let Some(entry) = self.spaces[inst.space.index()].entries.get_mut(&inst.slot) {
-            entry.commit_evidence = Some(Evidence::BarrierCommit { acks: cc.clone() });
+            entry.commit_evidence = Some(Evidence::BarrierCommit { acks: cert.clone() });
         }
         let bc = BarrierCommit {
             inst,
             deps: deps.clone(),
             seq,
-            cc,
+            cc: cert,
         };
         let peers: Vec<ReplicaId> = self.cfg.cluster.peers(self.id).collect();
         out.broadcast(peers, Msg::BarrierCommit(bc));
         self.commit_entry(inst, deps, seq, BTreeSet::new(), out);
+    }
+
+    /// Packages a barrier-ack quorum as a certificate. Barrier acks under
+    /// contention disagree on (deps, seq), so the compact form carries one
+    /// aggregate per distinct view with disjoint signer bitmaps
+    /// (DESIGN.md §10); the verifier recomputes union/max across groups.
+    fn build_barrier_cert(&self, cc: Vec<BarrierAck>) -> BarrierCert {
+        if self.cfg.compact_certs && self.keys.supports_aggregation() {
+            let mut views: BTreeMap<Vec<u8>, Vec<&BarrierAck>> = BTreeMap::new();
+            for a in &cc {
+                let key = ezbft_wire::to_bytes(&(&a.deps, a.seq)).expect("barrier view encodes");
+                views.entry(key).or_default().push(a);
+            }
+            let mut groups = Vec::with_capacity(views.len());
+            for members in views.values() {
+                let sigs: Vec<&ezbft_crypto::Signature> = members.iter().map(|a| &a.sig).collect();
+                let Ok(agg) = self.keys.aggregate(&sigs) else {
+                    return BarrierCert::Votes(cc);
+                };
+                let first = members[0];
+                groups.push(CompactBarrierGroup {
+                    owner: first.owner,
+                    deps: first.deps.clone(),
+                    seq: first.seq,
+                    signers: SignerBitmap::from_indices(members.iter().map(|a| a.sender.index())),
+                    agg,
+                });
+            }
+            return BarrierCert::Compact(groups);
+        }
+        BarrierCert::Votes(cc)
     }
 
     fn on_barrier_commit(&mut self, bc: BarrierCommit, out: &mut Out<A>) {
@@ -2814,7 +2927,10 @@ impl<A: Application + Snapshotable> Replica<A> {
         let base = match stable {
             Some(cert) if self.snapshots.contains_key(&cert.mark) => {
                 let mark = cert.mark;
-                out.send(to, Msg::StateCert(cert));
+                // The tracker always keeps the explicit vote vector; a
+                // donor compacts the proof at hand-off time when compact
+                // certificates are on (DESIGN.md §10).
+                out.send(to, Msg::StateCert(self.compact_ckpt_proof(cert)));
                 let bytes = Arc::clone(&self.snapshots[&mark].bytes);
                 for chunk in chunk_snapshot(&bytes, self.cfg.state_chunk_bytes.max(1)) {
                     out.send(to, Msg::StateChunk(chunk));
@@ -2901,12 +3017,46 @@ impl<A: Application + Snapshotable> Replica<A> {
         self.try_finish_recovery(out);
     }
 
+    /// Compacts a stable-checkpoint proof into its aggregate form when
+    /// compact certificates are on — every vote signs the same
+    /// `(mark, digest)` payload, so one aggregate covers the quorum.
+    fn compact_ckpt_proof(&self, cert: StableCheckpoint<CkptMark>) -> StableCheckpoint<CkptMark> {
+        if !(self.cfg.compact_certs && self.keys.supports_aggregation()) {
+            return cert;
+        }
+        let CheckpointProof::Votes(votes) = &cert.proof else {
+            return cert;
+        };
+        let sigs: Vec<&ezbft_crypto::Signature> = votes.iter().map(|v| &v.sig).collect();
+        let Ok(agg) = self.keys.aggregate(&sigs) else {
+            return cert;
+        };
+        StableCheckpoint {
+            mark: cert.mark,
+            digest: cert.digest,
+            proof: CheckpointProof::Compact {
+                signers: SignerBitmap::from_indices(votes.iter().map(|v| v.sender.index())),
+                agg,
+            },
+        }
+    }
+
     fn verify_state_cert(&mut self, cert: &StableCheckpoint<CkptMark>) -> bool {
-        if cert.proof.len() < self.cfg.cluster.slow_quorum() {
+        if cert.proof.signer_count() < self.cfg.cluster.slow_quorum() {
             return false;
         }
+        let votes = match &cert.proof {
+            CheckpointProof::Votes(votes) => votes,
+            CheckpointProof::Compact { signers, agg } => {
+                let Some(signers) = bitmap_signers(&self.cfg, signers) else {
+                    return false;
+                };
+                let payload = CheckpointVote::<CkptMark>::signed_payload(&cert.mark, cert.digest);
+                return self.keys.verify_agg(&signers, &payload, agg).is_ok();
+            }
+        };
         let mut senders = BTreeSet::new();
-        for vote in &cert.proof {
+        for vote in votes {
             if vote.mark != cert.mark
                 || vote.digest != cert.digest
                 || !self.cfg.cluster.contains(vote.sender)

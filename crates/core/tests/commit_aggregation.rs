@@ -16,10 +16,12 @@
 //!    spec-ordered).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use ezbft_core::{Behaviour, ByzantineReplica, Client, EzConfig, Msg, Replica};
 use ezbft_crypto::{CryptoKind, KeyStore};
 use ezbft_kv::{Key, KvOp, KvResponse, KvStore};
+use ezbft_obs::MemRecorder;
 use ezbft_simnet::{Region, SimConfig, SimNet, Topology};
 use ezbft_smr::{
     Actions, ClientId, ClientNode, ClusterConfig, Micros, NodeId, ProtocolNode, ReplicaId, TimerId,
@@ -93,15 +95,23 @@ struct Run {
 }
 
 /// Builds a 4-replica cluster with `scripts.len()` clients (all preferring
-/// replica 0, co-located with it). `wrap_leader` optionally wraps replica 0
-/// in a byzantine behaviour.
-fn build(scripts: &[Vec<KvOp>], cfg: EzConfig, seed: u64, wrap_leader: Option<Behaviour>) -> Run {
+/// replica 0, co-located with it) over the `kind` crypto provider. `wrap`
+/// optionally wraps one replica (by index) in a byzantine behaviour, and
+/// `leader_rec` optionally attaches a telemetry recorder to replica 0.
+fn build(
+    scripts: &[Vec<KvOp>],
+    cfg: EzConfig,
+    seed: u64,
+    wrap: Option<(usize, Behaviour)>,
+    kind: CryptoKind,
+    leader_rec: Option<Arc<MemRecorder>>,
+) -> Run {
     let cluster = ClusterConfig::for_faults(1);
     let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
     for id in 0..scripts.len() as u64 {
         nodes.push(NodeId::Client(ClientId::new(id)));
     }
-    let mut stores = KeyStore::cluster(CryptoKind::Mac, b"commit-agg", &nodes);
+    let mut stores = KeyStore::cluster(kind, b"commit-agg", &nodes);
     let client_stores = stores.split_off(cluster.n());
     let mut sim: SimNet<KvMsg, KvResponse> = SimNet::new(
         Topology::exp1(),
@@ -113,24 +123,25 @@ fn build(scripts: &[Vec<KvOp>], cfg: EzConfig, seed: u64, wrap_leader: Option<Be
     sim.count_kinds(Msg::kind);
     for (i, rid) in cluster.replicas().enumerate() {
         let keys = stores.remove(0);
+        let mut inner = Replica::new(rid, cfg, keys, KvStore::new());
         if i == 0 {
-            if let Some(behaviour) = wrap_leader {
+            if let Some(rec) = &leader_rec {
+                inner = inner.with_recorder(Arc::clone(rec) as _);
+            }
+        }
+        match wrap {
+            Some((b, behaviour)) if b == i => {
                 let wrap_keys = {
-                    let extra = KeyStore::cluster(CryptoKind::Mac, b"commit-agg", &nodes);
-                    extra.into_iter().next().unwrap()
+                    let extra = KeyStore::cluster(kind, b"commit-agg", &nodes);
+                    extra.into_iter().nth(i).unwrap()
                 };
-                let inner = Replica::new(rid, cfg, keys, KvStore::new());
                 sim.add_node(
                     Region(i),
                     Box::new(ByzantineReplica::new(inner, wrap_keys, behaviour, 4)),
                 );
-                continue;
             }
+            _ => sim.add_node(Region(i), Box::new(inner)),
         }
-        sim.add_node(
-            Region(i),
-            Box::new(Replica::new(rid, cfg, keys, KvStore::new())),
-        );
     }
     let total: usize = scripts.iter().map(Vec::len).sum();
     for ((id, script), keys) in scripts.iter().enumerate().zip(client_stores) {
@@ -221,8 +232,22 @@ fn batch1_aggregated_commit_is_outcome_equivalent_to_commit_fast() {
     // ISSUE 3 satellite (a): at batch=1 the paper's fast-path behaviour is
     // preserved — same completions, same responses, same final state.
     let scripts = scripts(6);
-    let client_driven = run_to_outcome(build(&scripts, cfg_with(1, false), 42, None));
-    let aggregated = run_to_outcome(build(&scripts, cfg_with(1, true), 42, None));
+    let client_driven = run_to_outcome(build(
+        &scripts,
+        cfg_with(1, false),
+        42,
+        None,
+        CryptoKind::Mac,
+        None,
+    ));
+    let aggregated = run_to_outcome(build(
+        &scripts,
+        cfg_with(1, true),
+        42,
+        None,
+        CryptoKind::Mac,
+        None,
+    ));
     assert_eq!(client_driven.completed, aggregated.completed);
     assert_eq!(
         client_driven.responses, aggregated.responses,
@@ -246,8 +271,22 @@ fn batched_aggregated_run_matches_client_driven_state() {
             }]
         })
         .collect();
-    let client_driven = run_to_outcome(build(&scripts, cfg_with(4, false), 7, None));
-    let aggregated = run_to_outcome(build(&scripts, cfg_with(4, true), 7, None));
+    let client_driven = run_to_outcome(build(
+        &scripts,
+        cfg_with(4, false),
+        7,
+        None,
+        CryptoKind::Mac,
+        None,
+    ));
+    let aggregated = run_to_outcome(build(
+        &scripts,
+        cfg_with(4, true),
+        7,
+        None,
+        CryptoKind::Mac,
+        None,
+    ));
     assert_eq!(client_driven.completed, aggregated.completed);
     assert_eq!(client_driven.fingerprints[0], aggregated.fingerprints[0]);
     // All replicas of the aggregated run agree with each other.
@@ -266,7 +305,14 @@ fn leader_swallowing_commit_agg_falls_back_to_client_driven_commitment() {
     let scripts = scripts(8);
     let mut cfg = cfg_with(4, true);
     cfg.commit_fallback = Micros::from_millis(400); // fire within the run
-    let mut run = build(&scripts, cfg, 11, Some(Behaviour::SwallowAggCommit));
+    let mut run = build(
+        &scripts,
+        cfg,
+        11,
+        Some((0, Behaviour::SwallowAggCommit)),
+        CryptoKind::Mac,
+        None,
+    );
     let total = run.total;
     run.sim.run_until_deliveries(total);
     assert_eq!(run.sim.deliveries().len(), total, "all requests complete");
@@ -339,7 +385,7 @@ fn confirmations_piggyback_on_spec_replies_for_pipelined_clients() {
                 .collect()
         })
         .collect();
-    let mut run = build(&scripts, cfg_with(4, true), 9, None);
+    let mut run = build(&scripts, cfg_with(4, true), 9, None, CryptoKind::Mac, None);
     let total = run.total;
     run.sim.run_until_deliveries(total);
     assert_eq!(run.sim.deliveries().len(), total);
@@ -378,7 +424,14 @@ fn aggregation_cuts_commit_messages_per_committed_request_at_batch_8() {
     // per batch plus one confirmation per request.
     let scripts = scripts(24);
     let run_mode = |aggregated: bool| {
-        let mut run = build(&scripts, cfg_with(8, aggregated), 5, None);
+        let mut run = build(
+            &scripts,
+            cfg_with(8, aggregated),
+            5,
+            None,
+            CryptoKind::Mac,
+            None,
+        );
         let total = run.total;
         run.sim.run_until_deliveries(total);
         assert_eq!(run.sim.deliveries().len(), total);
@@ -393,5 +446,177 @@ fn aggregation_cuts_commit_messages_per_committed_request_at_batch_8() {
         client_driven >= 2.0 * aggregated,
         "commit messages per committed request must drop ≥2x: \
          client-driven {client_driven:.2} vs aggregated {aggregated:.2}"
+    );
+}
+
+#[test]
+fn compact_certificates_are_outcome_equivalent_to_explicit_votes() {
+    // DESIGN.md §10 equivalence: compaction shrinks certificate payloads
+    // only — completions, responses, execution order and final state are
+    // identical in both commitment modes (the message schedule is the
+    // same, so the runs are deterministically comparable).
+    let scripts = scripts(6);
+    for aggregated in [false, true] {
+        let votes_cfg = cfg_with(1, aggregated);
+        let mut compact_cfg = votes_cfg;
+        compact_cfg.compact_certs = true;
+        let votes = run_to_outcome(build(&scripts, votes_cfg, 42, None, CryptoKind::Agg, None));
+        let compact = run_to_outcome(build(
+            &scripts,
+            compact_cfg,
+            42,
+            None,
+            CryptoKind::Agg,
+            None,
+        ));
+        assert_eq!(
+            votes, compact,
+            "compact certificates changed the protocol outcome (aggregated={aggregated})"
+        );
+    }
+}
+
+#[test]
+fn bad_partial_signature_follower_degrades_to_client_driven_fallback() {
+    // DESIGN.md §10 byzantine case: a follower contributes garbage partial
+    // signatures in its SPECACKs (Behaviour::BadAggPartial — validly
+    // structured, wrong payload). The leader must reject them at receipt,
+    // *before* they can poison an aggregate certificate; its ack tally
+    // then never reaches the fast quorum, so no COMMITAGG forms and the
+    // clients' COMMITFAST fallback commits instead, with no divergence.
+    let scripts = scripts(8);
+    let mut cfg = cfg_with(4, true);
+    cfg.compact_certs = true;
+    cfg.commit_fallback = Micros::from_millis(400); // fire within the run
+    let mut run = build(
+        &scripts,
+        cfg,
+        13,
+        Some((1, Behaviour::BadAggPartial)),
+        CryptoKind::Agg,
+        None,
+    );
+    let total = run.total;
+    run.sim.run_until_deliveries(total);
+    assert_eq!(run.sim.deliveries().len(), total, "all requests complete");
+    let settle = run.sim.now() + Micros::from_secs(5);
+    run.sim.run_until_time(settle);
+    let sim = &run.sim;
+
+    assert_eq!(
+        sim.sent_of_kind("commit-agg"),
+        0,
+        "no certificate may form from a poisoned ack tally"
+    );
+    assert!(
+        sim.sent_of_kind("commit-fast") > 0,
+        "clients must fall back to COMMITFAST"
+    );
+    let replica = |r: u8| {
+        sim.inspect(NodeId::Replica(ReplicaId::new(r)))
+            .expect("inspectable")
+            .downcast_ref::<Replica<KvStore>>()
+            .expect("honest replica")
+    };
+    assert!(
+        replica(0).stats().rejected > 0,
+        "the leader must reject the bad partial signatures at receipt"
+    );
+    let fps: Vec<u64> = [0u8, 2, 3]
+        .iter()
+        .map(|&r| replica(r).app().fingerprint())
+        .collect();
+    for w in fps.windows(2) {
+        assert_eq!(w[0], w[1], "honest replicas diverged after the fallback");
+    }
+    for r in [0u8, 2, 3] {
+        assert_eq!(
+            replica(r).stats().executed,
+            total as u64,
+            "replica {r} executed each request exactly once"
+        );
+    }
+}
+
+#[test]
+fn leader_slow_rung_certifies_non_matching_acks_consistently() {
+    // The commit-aggregation slow rung at batch=1: a DropDeps follower
+    // acknowledges with an emptied dependency view, so no fast quorum of
+    // *matching* acks can form. With all 3f+1 acks collected, the leader
+    // combines union/max over the designated slow quorum (§IV-C with the
+    // leader as collector) and still broadcasts one COMMITAGG. The
+    // outcome must agree with the client-driven slow path under the same
+    // byzantine follower.
+    let scripts: Vec<Vec<KvOp>> = (0..6u64)
+        .map(|c| {
+            vec![KvOp::Incr {
+                key: Key(3),
+                by: 1 + c,
+            }]
+        })
+        .collect();
+    let rec = Arc::new(MemRecorder::new());
+    let mut run = build(
+        &scripts,
+        cfg_with(1, true),
+        21,
+        Some((1, Behaviour::DropDeps)),
+        CryptoKind::Mac,
+        Some(Arc::clone(&rec)),
+    );
+    let total = run.total;
+    run.sim.run_until_deliveries(total);
+    assert_eq!(run.sim.deliveries().len(), total, "all requests complete");
+    let settle = run.sim.now() + Micros::from_secs(5);
+    run.sim.run_until_time(settle);
+
+    assert!(
+        run.sim.sent_of_kind("commit-agg") > 0,
+        "the slow rung must still certify non-matching acks"
+    );
+    assert!(
+        rec.counters_snapshot()
+            .get("replica.agg_slow_commits")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "the leader must take the slow rung, not the fast one"
+    );
+    let honest_fp = |sim: &SimNet<KvMsg, KvResponse>, r: u8| {
+        sim.inspect(NodeId::Replica(ReplicaId::new(r)))
+            .expect("inspectable")
+            .downcast_ref::<Replica<KvStore>>()
+            .expect("honest replica")
+            .app()
+            .fingerprint()
+    };
+    let agg_fps: Vec<u64> = [0u8, 2, 3]
+        .iter()
+        .map(|&r| honest_fp(&run.sim, r))
+        .collect();
+    for w in agg_fps.windows(2) {
+        assert_eq!(w[0], w[1], "honest replicas diverged under the slow rung");
+    }
+
+    // Client-driven slow path under the same byzantine follower: the
+    // increments commute numerically, so the final state must agree with
+    // the aggregated run regardless of per-run interleaving.
+    let mut cd = build(
+        &scripts,
+        cfg_with(1, false),
+        21,
+        Some((1, Behaviour::DropDeps)),
+        CryptoKind::Mac,
+        None,
+    );
+    cd.sim.run_until_deliveries(total);
+    assert_eq!(cd.sim.deliveries().len(), total);
+    let settle = cd.sim.now() + Micros::from_secs(5);
+    cd.sim.run_until_time(settle);
+    assert_eq!(
+        honest_fp(&cd.sim, 0),
+        agg_fps[0],
+        "slow-rung commitment must reach the same final state as the \
+         client-driven slow path"
     );
 }

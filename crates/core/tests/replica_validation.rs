@@ -5,8 +5,8 @@
 use std::collections::BTreeSet;
 
 use ezbft_core::msg::{
-    Commit, CommitBody, CommitFast, Msg, Request, SpecOrder, SpecOrderBody, SpecOrderHeader,
-    SpecReply, SpecReplyBody,
+    Commit, CommitBody, CommitFast, Msg, ReplyCert, Request, SpecOrder, SpecOrderBody,
+    SpecOrderHeader, SpecReply, SpecReplyBody,
 };
 use ezbft_core::{EntryStatus, EzConfig, InstanceId, OwnerNum, Replica};
 use ezbft_crypto::{Audience, CryptoKind, Digest, KeyStore, Signature};
@@ -234,7 +234,7 @@ fn commit_fast_requires_full_matching_certificate() {
     let cf = CommitFast {
         client: ClientId::new(0),
         inst,
-        cc: vec![reply],
+        cc: ReplyCert::Votes(vec![reply]),
     };
     let mut o = out();
     fx.replicas[0].on_message(
@@ -693,4 +693,148 @@ fn spec_order_body_roundtrips_via_wire() {
     let bytes = ezbft_wire::to_bytes(&body).unwrap();
     let back: SpecOrderBody = ezbft_wire::from_bytes(&bytes).unwrap();
     assert_eq!(back.signed_payload(), body.signed_payload());
+}
+
+#[test]
+fn compact_fast_certificate_forgeries_are_rejected() {
+    // DESIGN.md §10: a compact COMMITFAST certificate commits only when
+    // its signer bitmap names a known fast quorum AND the aggregate
+    // signature verifies over exactly those signers. A forged aggregate,
+    // a sub-quorum bitmap and a bitmap naming an unknown replica must all
+    // be rejected without state change.
+    use ezbft_core::msg::CompactReply;
+    use ezbft_crypto::SignerBitmap;
+
+    let cluster = ClusterConfig::for_faults(1);
+    let cfg = EzConfig::new(cluster);
+    let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
+    let client = ClientId::new(0);
+    nodes.push(NodeId::Client(client));
+    let mut stores = KeyStore::cluster(CryptoKind::Agg, b"validation-agg", &nodes);
+    let mut client_keys = stores.pop().unwrap();
+    // A keystore from an unrelated cluster: its partials are well-formed
+    // but verify under nobody's directory here.
+    let mut rogue_keys = KeyStore::cluster(CryptoKind::Agg, b"validation-rogue", &nodes)
+        .into_iter()
+        .nth(3)
+        .unwrap();
+    let mut replicas: Vec<Replica<KvStore>> = cluster
+        .replicas()
+        .map(|rid| Replica::new(rid, cfg, stores.remove(0), KvStore::new()))
+        .collect();
+
+    // Lead one request and collect all four genuine SPECREPLYs.
+    let op = KvOp::Put {
+        key: Key(1),
+        value: vec![1],
+    };
+    let payload = Request::signed_payload(client, Timestamp(1), &op);
+    let sig = client_keys.sign(&payload, &Audience::replicas(cluster.n()));
+    let req = Request {
+        client,
+        ts: Timestamp(1),
+        cmd: op,
+        original: None,
+        sig,
+    };
+    let mut o = out();
+    replicas[0].on_message(NodeId::Client(client), Msg::Request(req), &mut o);
+    let so = o
+        .as_slice()
+        .iter()
+        .find_map(|a| match a {
+            ezbft_smr::Action::Broadcast { msg, .. } => match &**msg {
+                Msg::SpecOrder(so) => Some(so.clone()),
+                _ => None,
+            },
+            _ => None,
+        })
+        .expect("leader broadcasts the order");
+    let inst = so.body.inst;
+    let mut replies = spec_replies(&o);
+    for follower in replicas.iter_mut().skip(1) {
+        let mut fo = out();
+        follower.on_message(
+            NodeId::Replica(ReplicaId::new(0)),
+            Msg::SpecOrder(so.clone()),
+            &mut fo,
+        );
+        replies.extend(spec_replies(&fo));
+    }
+    assert_eq!(replies.len(), 4, "a full fast quorum replied");
+    replies.sort_by_key(|r| r.sender);
+    let sigs: Vec<&Signature> = replies.iter().map(|r| &r.sig).collect();
+
+    let compact_cf = |signers: SignerBitmap, agg| {
+        Msg::CommitFast(CommitFast {
+            client,
+            inst,
+            cc: ReplyCert::Compact(CompactReply {
+                body: replies[0].body.clone(),
+                response: replies[0].response.clone(),
+                signers,
+                agg,
+            }),
+        })
+    };
+    let full_bitmap = SignerBitmap::from_indices(replies.iter().map(|r| r.sender.index()));
+
+    // Forged aggregate: one genuine partial replaced by a rogue one, the
+    // bitmap still claiming the full quorum.
+    let rogue_partial = rogue_keys.sign(
+        &SpecReply::<KvOp, KvResponse>::signed_payload(&replies[3].body, &replies[3].response),
+        &Audience::replicas(cluster.n()),
+    );
+    let forged = client_keys
+        .aggregate(&[sigs[0], sigs[1], sigs[2], &rogue_partial])
+        .expect("structurally aggregable");
+    let mut o = out();
+    replicas[2].on_message(
+        NodeId::Client(client),
+        compact_cf(full_bitmap, forged),
+        &mut o,
+    );
+    assert_eq!(replicas[2].stats().fast_commits, 0, "forged aggregate");
+
+    // Sub-quorum bitmap: a correct aggregate of only 3 partials.
+    let three = client_keys
+        .aggregate(&sigs[..3])
+        .expect("structurally aggregable");
+    let three_bitmap = SignerBitmap::from_indices(0..3);
+    let mut o = out();
+    replicas[2].on_message(
+        NodeId::Client(client),
+        compact_cf(three_bitmap, three),
+        &mut o,
+    );
+    assert_eq!(replicas[2].stats().fast_commits, 0, "sub-quorum bitmap");
+
+    // Unknown signer: quorum-sized bitmap naming a replica outside the
+    // cluster.
+    let unknown_bitmap = SignerBitmap::from_indices([0usize, 1, 2, 5]);
+    let stray = client_keys
+        .aggregate(&sigs)
+        .expect("structurally aggregable");
+    let mut o = out();
+    replicas[2].on_message(
+        NodeId::Client(client),
+        compact_cf(unknown_bitmap, stray),
+        &mut o,
+    );
+    assert_eq!(replicas[2].stats().fast_commits, 0, "unknown signer");
+    assert_eq!(
+        replicas[2].instance_status(inst),
+        Some(EntryStatus::SpecOrdered),
+        "rejected certificates must leave no state change"
+    );
+
+    // The genuine compact certificate still commits at the same replica.
+    let genuine = client_keys.aggregate(&sigs).expect("aggregable");
+    let mut o = out();
+    replicas[2].on_message(
+        NodeId::Client(client),
+        compact_cf(full_bitmap, genuine),
+        &mut o,
+    );
+    assert_eq!(replicas[2].stats().fast_commits, 1, "genuine compact cert");
 }

@@ -1,0 +1,187 @@
+//! Aggregate (multi-)signatures: constant-size quorum certificates.
+//!
+//! A BLS-style multi-signature lets a collector compress `k` partial
+//! signatures over the *same* message into one constant-size aggregate
+//! that verifies against the set of signers. No elliptic-curve crate
+//! exists in the allowed offline dependency set, so this module provides
+//! a hash-based *shim* with the same interface, size and cost profile:
+//!
+//! - each node's partial signature is `HMAC(seed_i, msg)` (32 bytes);
+//! - aggregation is limb-wise wrapping addition of the partials —
+//!   commutative and associative, so collection order does not matter,
+//!   and (unlike XOR) duplicated partials do not cancel out;
+//! - verification recomputes the expected partial of every claimed
+//!   signer and compares sums — `O(k)` cheap HMACs against one 32-byte
+//!   value, versus `k` full signature verifications for a vote vector.
+//!
+//! Like the `Null` provider, the shim is **not** cryptographically
+//! sound against the directory holders themselves: aggregation keys are
+//! distributed to the whole cluster at trusted setup, so any replica
+//! could forge another's partial. The protocols treat it exactly as they
+//! would BLS — what is exercised (and measured) is certificate *size*
+//! and *verification shape*, which is what the reproduction studies.
+
+use serde::{Deserialize, Serialize};
+
+/// The set of replicas contributing to an aggregate, as a bitmap over
+/// replica indices (bounded at 64 replicas — far above any `3f + 1`
+/// cluster this workspace simulates).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct SignerBitmap(u64);
+
+impl SignerBitmap {
+    /// The empty signer set.
+    pub const EMPTY: SignerBitmap = SignerBitmap(0);
+
+    /// Builds a bitmap from replica indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is ≥ 64.
+    pub fn from_indices(indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut b = SignerBitmap::EMPTY;
+        for i in indices {
+            b.insert(i);
+        }
+        b
+    }
+
+    /// Adds a replica index to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is ≥ 64.
+    pub fn insert(&mut self, index: usize) {
+        assert!(index < 64, "signer bitmap holds at most 64 replicas");
+        self.0 |= 1u64 << index;
+    }
+
+    /// Whether the set contains a replica index.
+    pub fn contains(&self, index: usize) -> bool {
+        index < 64 && self.0 & (1u64 << index) != 0
+    }
+
+    /// Number of signers in the set.
+    pub fn count(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether two signer sets share no replica.
+    pub fn is_disjoint(&self, other: &SignerBitmap) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// The replica indices in the set, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..64).filter(move |i| self.contains(*i))
+    }
+}
+
+/// A constant-size aggregate of partial signatures over one message.
+///
+/// 32 bytes regardless of how many partials were combined — the whole
+/// point versus a `Vec<Signature>` vote vector.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct AggSignature {
+    /// Limb-wise wrapping sum of the 32-byte partials.
+    sum: [u64; 4],
+}
+
+impl AggSignature {
+    /// The aggregate of zero partials (the additive identity).
+    pub fn identity() -> Self {
+        AggSignature { sum: [0; 4] }
+    }
+
+    /// Folds one 32-byte partial into the aggregate.
+    pub fn absorb(&mut self, partial: &[u8; 32]) {
+        for (limb, chunk) in self.sum.iter_mut().zip(partial.chunks_exact(8)) {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            *limb = limb.wrapping_add(u64::from_le_bytes(bytes));
+        }
+    }
+
+    /// Combines two aggregates (commutative, associative).
+    pub fn combine(&mut self, other: &AggSignature) {
+        for (limb, o) in self.sum.iter_mut().zip(other.sum.iter()) {
+            *limb = limb.wrapping_add(*o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_round_trip() {
+        let b = SignerBitmap::from_indices([0, 3, 63]);
+        assert_eq!(b.count(), 3);
+        assert!(b.contains(0) && b.contains(3) && b.contains(63));
+        assert!(!b.contains(1));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 3, 63]);
+    }
+
+    #[test]
+    fn bitmap_disjointness() {
+        let a = SignerBitmap::from_indices([0, 1]);
+        let b = SignerBitmap::from_indices([2, 3]);
+        let c = SignerBitmap::from_indices([1, 2]);
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&c));
+        assert!(SignerBitmap::EMPTY.is_disjoint(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn bitmap_rejects_out_of_range() {
+        SignerBitmap::from_indices([64]);
+    }
+
+    #[test]
+    fn aggregation_is_order_independent() {
+        let p1 = [1u8; 32];
+        let p2 = [7u8; 32];
+        let p3 = [42u8; 32];
+        let mut a = AggSignature::identity();
+        a.absorb(&p1);
+        a.absorb(&p2);
+        a.absorb(&p3);
+        let mut b = AggSignature::identity();
+        b.absorb(&p3);
+        b.absorb(&p1);
+        b.absorb(&p2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicates_do_not_cancel() {
+        // XOR-based combination would make p ⊕ p vanish; wrapping-add
+        // keeps duplicated partials visible so a forged certificate
+        // cannot reuse one partial twice.
+        let p = [9u8; 32];
+        let mut once = AggSignature::identity();
+        once.absorb(&p);
+        let mut twice = AggSignature::identity();
+        twice.absorb(&p);
+        twice.absorb(&p);
+        assert_ne!(once, twice);
+        assert_ne!(twice, AggSignature::identity());
+    }
+
+    #[test]
+    fn combine_matches_absorb() {
+        let p1 = [3u8; 32];
+        let p2 = [5u8; 32];
+        let mut both = AggSignature::identity();
+        both.absorb(&p1);
+        both.absorb(&p2);
+        let mut left = AggSignature::identity();
+        left.absorb(&p1);
+        let mut right = AggSignature::identity();
+        right.absorb(&p2);
+        left.combine(&right);
+        assert_eq!(left, both);
+    }
+}

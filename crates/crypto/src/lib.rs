@@ -11,8 +11,12 @@
 //!   elliptic-curve crate exists in the allowed offline set; hash-based
 //!   signatures provide the same property the protocols rely on:
 //!   unforgeability by byzantine nodes, with third-party verifiability);
+//! - [`agg`]: a hash-based multi-signature shim — constant-size aggregate
+//!   certificates with a BLS-shaped interface (aggregate + verify against
+//!   a signer set);
 //! - [`provider`]: the [`KeyStore`] facade protocols use to sign and verify,
-//!   with `Null` / `Mac` / `HashSig` providers selectable at cluster setup.
+//!   with `Null` / `Mac` / `HashSig` / `Agg` providers selectable at
+//!   cluster setup.
 //!
 //! # Example
 //!
@@ -34,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod agg;
 pub mod auth;
 pub mod digest;
 pub mod hmac;
@@ -42,6 +47,7 @@ pub mod provider;
 pub mod sha256;
 pub mod wots;
 
+pub use agg::{AggSignature, SignerBitmap};
 pub use auth::{MacAuthenticator, PairwiseKeys};
 pub use digest::Digest;
 pub use hmac::{hmac_sha256, HmacKey};

@@ -9,6 +9,10 @@
 //! - [`CryptoKind::HashSig`] — Merkle/WOTS hash-based signatures (the
 //!   paper's ECDSA substitute): anyone holding the signer's 32-byte public
 //!   key can verify, so certificates transfer between parties.
+//! - [`CryptoKind::Agg`] — aggregatable partial signatures: a collector
+//!   compresses a quorum's partials into one constant-size
+//!   [`AggSignature`] (see [`crate::agg`] for the scheme and its
+//!   security caveat).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -17,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use ezbft_smr::NodeId;
 
+use crate::agg::AggSignature;
 use crate::auth::{MacAuthenticator, PairwiseKeys};
 use crate::digest::Digest;
 use crate::hmac::HmacKey;
@@ -34,6 +39,9 @@ pub enum CryptoKind {
         /// Merkle tree height (capacity = `2^height` signatures per node).
         height: u32,
     },
+    /// Aggregatable partial signatures (constant-size quorum
+    /// certificates; see [`crate::agg`]).
+    Agg,
 }
 
 /// The set of nodes that must be able to verify a signature.
@@ -84,6 +92,9 @@ pub enum Signature {
     Mac(MacAuthenticator),
     /// Hash-based signature.
     Hash(Box<MerkleSignature>),
+    /// Aggregatable partial signature (32-byte HMAC over the message;
+    /// combine with [`KeyStore::aggregate`]).
+    Agg([u8; 32]),
 }
 
 /// Why verification failed.
@@ -119,6 +130,9 @@ enum Inner {
         chain: MerkleKeychain,
         directory: HashMap<NodeId, MerklePublicKey>,
     },
+    Agg {
+        directory: HashMap<NodeId, HmacKey>,
+    },
 }
 
 /// One node's view of the cluster's keys: its own signing key plus whatever
@@ -134,6 +148,7 @@ impl fmt::Debug for KeyStore {
             Inner::Null => "Null",
             Inner::Mac(_) => "Mac",
             Inner::Hash { .. } => "HashSig",
+            Inner::Agg { .. } => "Agg",
         };
         f.debug_struct("KeyStore")
             .field("me", &self.me)
@@ -190,6 +205,27 @@ impl KeyStore {
                     })
                     .collect()
             }
+            CryptoKind::Agg => {
+                let master = HmacKey::new(master_seed);
+                let directory: HashMap<NodeId, HmacKey> = nodes
+                    .iter()
+                    .map(|&me| {
+                        let mut tag = Vec::new();
+                        tag.extend_from_slice(b"agg-node-seed");
+                        tag.extend_from_slice(&format!("{me:?}").into_bytes());
+                        (me, HmacKey::new(master.mac(&tag).as_bytes()))
+                    })
+                    .collect();
+                nodes
+                    .iter()
+                    .map(|&me| KeyStore {
+                        me,
+                        inner: Inner::Agg {
+                            directory: directory.clone(),
+                        },
+                    })
+                    .collect()
+            }
         }
     }
 
@@ -226,6 +262,10 @@ impl KeyStore {
                 let sig = chain.sign(&digest).expect("signing keychain exhausted");
                 Signature::Hash(Box::new(sig))
             }
+            Inner::Agg { directory } => {
+                let key = directory.get(&self.me).expect("own aggregation key");
+                Signature::Agg(*key.mac(msg).as_bytes())
+            }
         }
     }
 
@@ -249,7 +289,76 @@ impl KeyStore {
                     Err(AuthError::BadSignature)
                 }
             }
+            (Inner::Agg { directory }, Signature::Agg(partial)) => {
+                let key = directory.get(&signer).ok_or(AuthError::UnknownSigner)?;
+                if key.mac(msg).as_bytes() == partial {
+                    Ok(())
+                } else {
+                    Err(AuthError::BadSignature)
+                }
+            }
             _ => Err(AuthError::WrongKind),
+        }
+    }
+
+    /// Whether this keystore's provider supports signature aggregation
+    /// ([`KeyStore::aggregate`] / [`KeyStore::verify_agg`]).
+    pub fn supports_aggregation(&self) -> bool {
+        matches!(self.inner, Inner::Agg { .. })
+    }
+
+    /// Compresses partial signatures (all over the *same* message) into
+    /// one constant-size [`AggSignature`].
+    ///
+    /// Fails with [`AuthError::WrongKind`] if any input is not an
+    /// aggregatable partial, or with [`AuthError::BadSignature`] on an
+    /// empty input (an empty certificate proves nothing).
+    pub fn aggregate(&self, sigs: &[&Signature]) -> Result<AggSignature, AuthError> {
+        if sigs.is_empty() {
+            return Err(AuthError::BadSignature);
+        }
+        let mut agg = AggSignature::identity();
+        for sig in sigs {
+            match sig {
+                Signature::Agg(partial) => agg.absorb(partial),
+                _ => return Err(AuthError::WrongKind),
+            }
+        }
+        Ok(agg)
+    }
+
+    /// Verifies that `agg` is the aggregate of exactly `signers`'
+    /// partial signatures over `msg`.
+    ///
+    /// Recomputes every claimed signer's expected partial and compares
+    /// sums — `O(k)` HMACs against one 32-byte value. Duplicate entries
+    /// in `signers` are rejected ([`AuthError::BadSignature`]): a quorum
+    /// is a *set*, and the additive combination would otherwise let one
+    /// signer be counted twice.
+    pub fn verify_agg(
+        &self,
+        signers: &[NodeId],
+        msg: &[u8],
+        agg: &AggSignature,
+    ) -> Result<(), AuthError> {
+        let Inner::Agg { directory } = &self.inner else {
+            return Err(AuthError::WrongKind);
+        };
+        if signers.is_empty() {
+            return Err(AuthError::BadSignature);
+        }
+        let mut expected = AggSignature::identity();
+        for (i, signer) in signers.iter().enumerate() {
+            if signers[..i].contains(signer) {
+                return Err(AuthError::BadSignature);
+            }
+            let key = directory.get(signer).ok_or(AuthError::UnknownSigner)?;
+            expected.absorb(key.mac(msg).as_bytes());
+        }
+        if expected == *agg {
+            Ok(())
+        } else {
+            Err(AuthError::BadSignature)
         }
     }
 }
@@ -334,6 +443,108 @@ mod tests {
             mac_stores[1].verify(ns[0], b"m", &null_sig),
             Err(AuthError::WrongKind)
         );
+    }
+
+    #[test]
+    fn agg_provider_partials_verify_individually() {
+        let ns = nodes();
+        let mut stores = KeyStore::cluster(CryptoKind::Agg, b"s", &ns);
+        let sig = stores[0].sign(b"m", &Audience::default());
+        assert!(stores[1].verify(ns[0], b"m", &sig).is_ok());
+        assert_eq!(
+            stores[1].verify(ns[0], b"x", &sig),
+            Err(AuthError::BadSignature)
+        );
+        assert_eq!(
+            stores[1].verify(ns[1], b"m", &sig),
+            Err(AuthError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn agg_round_trip() {
+        let ns = nodes();
+        let mut stores = KeyStore::cluster(CryptoKind::Agg, b"s", &ns);
+        let partials: Vec<Signature> = (0..3)
+            .map(|i| stores[i].sign(b"m", &Audience::default()))
+            .collect();
+        let agg = stores[3]
+            .aggregate(&partials.iter().collect::<Vec<_>>())
+            .unwrap();
+        assert!(stores[3].verify_agg(&ns[..3], b"m", &agg).is_ok());
+        // Wrong message.
+        assert_eq!(
+            stores[3].verify_agg(&ns[..3], b"x", &agg),
+            Err(AuthError::BadSignature)
+        );
+        // Wrong signer set (subset and superset).
+        assert_eq!(
+            stores[3].verify_agg(&ns[..2], b"m", &agg),
+            Err(AuthError::BadSignature)
+        );
+        assert_eq!(
+            stores[3].verify_agg(&ns[..4], b"m", &agg),
+            Err(AuthError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn agg_rejects_forgeries_and_duplicates() {
+        let ns = nodes();
+        let mut stores = KeyStore::cluster(CryptoKind::Agg, b"s", &ns);
+        let p0 = stores[0].sign(b"m", &Audience::default());
+        let p1 = stores[1].sign(b"m", &Audience::default());
+        // Forged aggregate (arbitrary bytes).
+        let forged = AggSignature::identity();
+        assert_eq!(
+            stores[2].verify_agg(&ns[..2], b"m", &forged),
+            Err(AuthError::BadSignature)
+        );
+        // One partial counted twice must not pass for a two-signer set.
+        let doubled = stores[2].aggregate(&[&p0, &p0]).unwrap();
+        assert_eq!(
+            stores[2].verify_agg(&ns[..2], b"m", &doubled),
+            Err(AuthError::BadSignature)
+        );
+        // Duplicate signer claims are structurally rejected.
+        let agg = stores[2].aggregate(&[&p0, &p1]).unwrap();
+        assert_eq!(
+            stores[2].verify_agg(&[ns[0], ns[0]], b"m", &agg),
+            Err(AuthError::BadSignature)
+        );
+        // Unknown signer.
+        let stranger = NodeId::Client(ClientId::new(99));
+        assert_eq!(
+            stores[2].verify_agg(&[ns[0], stranger], b"m", &agg),
+            Err(AuthError::UnknownSigner)
+        );
+    }
+
+    #[test]
+    fn agg_kind_mismatches_rejected() {
+        let ns = nodes();
+        let mut agg_stores = KeyStore::cluster(CryptoKind::Agg, b"s", &ns);
+        let mut mac_stores = KeyStore::cluster(CryptoKind::Mac, b"s", &ns);
+        let mac_sig = mac_stores[0].sign(b"m", &Audience::nodes(ns.clone()));
+        assert_eq!(
+            agg_stores[1].verify(ns[0], b"m", &mac_sig),
+            Err(AuthError::WrongKind)
+        );
+        // Aggregating non-Agg partials fails, as does an empty set.
+        assert_eq!(
+            agg_stores[0].aggregate(&[&mac_sig]),
+            Err(AuthError::WrongKind)
+        );
+        assert_eq!(agg_stores[0].aggregate(&[]), Err(AuthError::BadSignature));
+        // verify_agg on a non-Agg keystore.
+        let p = agg_stores[0].sign(b"m", &Audience::default());
+        let agg = agg_stores[0].aggregate(&[&p]).unwrap();
+        assert_eq!(
+            mac_stores[0].verify_agg(&ns[..1], b"m", &agg),
+            Err(AuthError::WrongKind)
+        );
+        assert!(!mac_stores[0].supports_aggregation());
+        assert!(agg_stores[0].supports_aggregation());
     }
 
     #[test]

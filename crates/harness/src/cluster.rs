@@ -105,6 +105,11 @@ pub struct RunReport {
     /// protocol counters), snapshot at the end of the run. Empty unless
     /// [`ClusterBuilder::telemetry`] was enabled (DESIGN.md §9b).
     pub counters: BTreeMap<String, u64>,
+    /// Final values of every per-kind telemetry counter, keyed
+    /// `(name, kind)` — notably `("net.bytes_out", <msg kind>)`, the wire
+    /// bytes handed to the network per message kind. Empty unless
+    /// [`ClusterBuilder::telemetry`] was enabled.
+    pub kind_counters: BTreeMap<(String, String), u64>,
     /// Completion timestamps (virtual) for throughput analysis.
     completions: Vec<Micros>,
 }
@@ -140,6 +145,28 @@ impl RunReport {
             return 0.0;
         }
         let total: u64 = kinds.iter().map(|k| self.sent_of_kind(k)).sum();
+        total as f64 / self.completed() as f64
+    }
+
+    /// Wire bytes sent for messages of `kind` (0 for unknown kinds, or
+    /// when telemetry was off).
+    pub fn bytes_of_kind(&self, kind: &str) -> u64 {
+        self.kind_counters
+            .get(&("net.bytes_out".to_string(), kind.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Commit-phase wire bytes per completed request: the `net.bytes_out`
+    /// totals of every commit-phase message kind, divided by the
+    /// completed-request count. The certificate-size metric the compact
+    /// O(1) certificates pin (DESIGN.md §10): explicit vote vectors grow
+    /// the commit messages O(n), the aggregate form keeps them O(1).
+    pub fn commit_bytes_per_request(&self, kinds: &[&str]) -> f64 {
+        if self.completed() == 0 {
+            return 0.0;
+        }
+        let total: u64 = kinds.iter().map(|k| self.bytes_of_kind(k)).sum();
         total as f64 / self.completed() as f64
     }
 
@@ -196,6 +223,7 @@ pub struct ClusterBuilder {
     batch_delay: Micros,
     checkpoint_interval: u64,
     commit_aggregation: bool,
+    compact_certs: bool,
     exec_workers: usize,
     exec_cost_us: u64,
     commuting_pct: u32,
@@ -223,6 +251,7 @@ impl ClusterBuilder {
             batch_delay: Micros::ZERO,
             checkpoint_interval: 0,
             commit_aggregation: false,
+            compact_certs: false,
             exec_workers: 1,
             exec_cost_us: 0,
             commuting_pct: 0,
@@ -322,6 +351,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables ezBFT compact O(1) certificates (DESIGN.md §10): quorum
+    /// certificates travel as one aggregate signature plus a signer bitmap
+    /// instead of the explicit vote vector. Only takes effect with an
+    /// aggregation-capable provider ([`CryptoKind::Agg`]); other providers
+    /// silently keep explicit votes.
+    pub fn compact_certs(mut self, enabled: bool) -> Self {
+        self.compact_certs = enabled;
+        self
+    }
+
     /// Sets the ezBFT execution-engine knobs (ignored by the baselines;
     /// DESIGN.md §8): `workers` threads drain the committed dependency
     /// graph, and each finally-executed command charges `cost_us` of
@@ -380,6 +419,7 @@ impl ClusterBuilder {
             batch_delay: self.batch_delay,
             checkpoint_interval: self.checkpoint_interval,
             commit_aggregation: self.commit_aggregation,
+            compact_certs: self.compact_certs,
             exec_workers: self.exec_workers,
             exec_cost_us: self.exec_cost_us,
         };
@@ -491,12 +531,16 @@ impl ClusterBuilder {
             }
         }
 
-        let (stage_intervals, counters) = match &recorder {
+        let (stage_intervals, counters, kind_counters) = match &recorder {
             Some(rec) => {
                 export_event_log(rec);
-                (rec.stage_interval_histograms(), rec.counters_snapshot())
+                (
+                    rec.stage_interval_histograms(),
+                    rec.counters_snapshot(),
+                    rec.kind_counters_snapshot(),
+                )
             }
-            None => (BTreeMap::new(), BTreeMap::new()),
+            None => (BTreeMap::new(), BTreeMap::new(), BTreeMap::new()),
         };
 
         RunReport {
@@ -513,6 +557,7 @@ impl ClusterBuilder {
             sent_by_kind: sim.kind_counts(),
             stage_intervals,
             counters,
+            kind_counters,
             completions,
         }
     }

@@ -85,12 +85,12 @@ impl ProtocolNode for ScriptedClient {
     }
 }
 
-fn keystores(cluster: ClusterConfig, clients: &[u64]) -> Vec<KeyStore> {
+fn keystores(kind: CryptoKind, cluster: ClusterConfig, clients: &[u64]) -> Vec<KeyStore> {
     let mut nodes: Vec<NodeId> = cluster.replicas().map(NodeId::Replica).collect();
     for id in clients {
         nodes.push(NodeId::Client(ClientId::new(*id)));
     }
-    KeyStore::cluster(CryptoKind::Mac, b"adversarial-exp", &nodes)
+    KeyStore::cluster(kind, b"adversarial-exp", &nodes)
 }
 
 /// Downcasts a *correct* (unwrapped) replica out of the simulation.
@@ -307,17 +307,24 @@ pub enum AttackMix {
     /// owner-change message plus lossy SPECORDER links, around a leader
     /// crash.
     DelayStorm,
+    /// The byzantine replica contributes bad partial signatures in its
+    /// SPECACKs under commit aggregation (DESIGN.md §10): the leader must
+    /// reject them at receipt rather than fold them into an aggregate
+    /// certificate, and commitment must degrade to the clients'
+    /// COMMITFAST fallback.
+    BadAggPartial,
 }
 
 impl AttackMix {
     /// Every mix, in campaign order.
-    pub const ALL: [AttackMix; 6] = [
+    pub const ALL: [AttackMix; 7] = [
         AttackMix::WithholdEvidence,
         AttackMix::EquivocateSafeSet,
         AttackMix::StaleNewOwnerReplay,
         AttackMix::SelectiveAck,
         AttackMix::MuteNewOwner,
         AttackMix::DelayStorm,
+        AttackMix::BadAggPartial,
     ];
 
     /// Stable name used in reports and `BENCH_adversarial.json`.
@@ -329,6 +336,7 @@ impl AttackMix {
             AttackMix::SelectiveAck => "selective_ack",
             AttackMix::MuteNewOwner => "mute_new_owner",
             AttackMix::DelayStorm => "delay_storm",
+            AttackMix::BadAggPartial => "bad_agg_partial",
         }
     }
 
@@ -343,6 +351,7 @@ impl AttackMix {
             AttackMix::SelectiveAck => Some((ReplicaId::new(1), Behaviour::SelectiveAck)),
             AttackMix::MuteNewOwner => Some((ReplicaId::new(1), Behaviour::MuteNewOwner)),
             AttackMix::DelayStorm => None,
+            AttackMix::BadAggPartial => Some((ReplicaId::new(1), Behaviour::BadAggPartial)),
         }
     }
 
@@ -359,7 +368,7 @@ impl AttackMix {
             | AttackMix::StaleNewOwnerReplay
             | AttackMix::MuteNewOwner
             | AttackMix::DelayStorm => Some(ReplicaId::new(0)),
-            AttackMix::SelectiveAck => None,
+            AttackMix::SelectiveAck | AttackMix::BadAggPartial => None,
         }
     }
 }
@@ -377,6 +386,9 @@ pub struct AttackOutcome {
     pub seed: u64,
     /// Whether the owner-change hardening was on (`false` = as published).
     pub hardened: bool,
+    /// Whether compact O(1) certificates were on (DESIGN.md §10; implies
+    /// the aggregation-capable crypto provider).
+    pub compact: bool,
     /// Safety-invariant violations (with offending schedules).
     pub violations: Vec<Violation>,
     /// Client requests that completed within the bound.
@@ -401,11 +413,18 @@ impl AttackOutcome {
 
 const VICTIM_KEY: Key = Key(7);
 
+/// Runs one adversarial schedule with explicit-vote certificates.
+pub fn run_attack(mix: AttackMix, seed: u64, hardened: bool) -> AttackOutcome {
+    run_attack_certs(mix, seed, hardened, false)
+}
+
 /// Runs one adversarial schedule. Every mix follows the same skeleton:
 /// pre-GST traffic under the mix's delivery rules, the leader crash, GST
 /// (rules cleared), post-GST conflicting traffic through the recovery,
-/// then a settle window and final invariant sweep.
-pub fn run_attack(mix: AttackMix, seed: u64, hardened: bool) -> AttackOutcome {
+/// then a settle window and final invariant sweep. With `compact` the
+/// cluster runs the aggregation-capable crypto provider and compact O(1)
+/// certificates (DESIGN.md §10) — every invariant must hold unchanged.
+pub fn run_attack_certs(mix: AttackMix, seed: u64, hardened: bool, compact: bool) -> AttackOutcome {
     let cluster = ClusterConfig::for_faults(1);
     let mut cfg = EzConfig::new(cluster);
     if !hardened {
@@ -416,9 +435,23 @@ pub fn run_attack(mix: AttackMix, seed: u64, hardened: bool) -> AttackOutcome {
         cfg.oc_backoff_base = Micros::from_millis(800);
         cfg.oc_backoff_cap = Micros::from_millis(4_000);
     }
+    if compact {
+        cfg.compact_certs = true;
+    }
+    // The bad-partial mix attacks the ack tally itself, so the leader
+    // collector must be running; the fallback fires well inside the
+    // virtual-time budget.
+    if mix == AttackMix::BadAggPartial {
+        cfg.commit_aggregation = true;
+    }
+    let kind = if compact {
+        CryptoKind::Agg
+    } else {
+        CryptoKind::Mac
+    };
 
     let clients = [0u64, 1];
-    let mut stores = keystores(cluster, &clients);
+    let mut stores = keystores(kind, cluster, &clients);
     let client_stores = stores.split_off(cluster.n());
     let byz = mix.byz();
     let correct: Vec<ReplicaId> = cluster
@@ -455,7 +488,7 @@ pub fn run_attack(mix: AttackMix, seed: u64, hardened: bool) -> AttackOutcome {
         let inner = Replica::new(rid, cfg, stores.remove(0), KvStore::new());
         let node: Box<dyn ProtocolNode<Message = KvMsg, Response = KvResponse>> = match byz {
             Some((b, behaviour)) if b == rid => {
-                let wrapper_keys = keystores(cluster, &clients)
+                let wrapper_keys = keystores(kind, cluster, &clients)
                     .into_iter()
                     .nth(rid.index())
                     .expect("byz keys");
@@ -476,7 +509,7 @@ pub fn run_attack(mix: AttackMix, seed: u64, hardened: bool) -> AttackOutcome {
     let victim = mix.crashed_leader().unwrap_or(ReplicaId::new(0));
     let mut client_stores = client_stores.into_iter();
     let pre_script: VecDeque<KvOp> = match mix {
-        AttackMix::SelectiveAck => (0..4u64)
+        AttackMix::SelectiveAck | AttackMix::BadAggPartial => (0..4u64)
             .map(|i| KvOp::Put {
                 key: Key(i),
                 value: vec![0xA; 8],
@@ -501,7 +534,7 @@ pub fn run_attack(mix: AttackMix, seed: u64, hardened: bool) -> AttackOutcome {
         }),
     );
     let post_script: VecDeque<KvOp> = match mix {
-        AttackMix::SelectiveAck => (0..4u64)
+        AttackMix::SelectiveAck | AttackMix::BadAggPartial => (0..4u64)
             .map(|i| KvOp::Put {
                 key: Key(100 + i),
                 value: vec![0xB; 8],
@@ -527,7 +560,9 @@ pub fn run_attack(mix: AttackMix, seed: u64, hardened: bool) -> AttackOutcome {
     // timeouts at the two certificate-blind replicas are what vote the
     // owner change. SelectiveAck needs a live honest leader.
     let post_pref = match mix {
-        AttackMix::SelectiveAck | AttackMix::WithholdEvidence => ReplicaId::new(2),
+        AttackMix::SelectiveAck | AttackMix::BadAggPartial | AttackMix::WithholdEvidence => {
+            ReplicaId::new(2)
+        }
         _ => victim,
     };
     sim.add_node(
@@ -620,7 +655,7 @@ pub fn run_attack(mix: AttackMix, seed: u64, hardened: bool) -> AttackOutcome {
     }
 
     // Phase 3: post-GST traffic through the recovery.
-    let keys_c1 = keystores(cluster, &clients)
+    let keys_c1 = keystores(kind, cluster, &clients)
         .into_iter()
         .nth(cluster.n() + 1)
         .expect("client 1 keys");
@@ -719,6 +754,7 @@ pub fn run_attack(mix: AttackMix, seed: u64, hardened: bool) -> AttackOutcome {
         mix,
         seed,
         hardened,
+        compact,
         violations,
         completed,
         expected,
@@ -749,6 +785,8 @@ pub struct MixRow {
     pub mix: &'static str,
     /// Whether the owner-change hardening was on.
     pub hardened: bool,
+    /// Whether compact O(1) certificates were on (DESIGN.md §10).
+    pub compact: bool,
     /// Schedules run (one per seed).
     pub runs: usize,
     /// Runs with at least one safety violation.
@@ -780,6 +818,7 @@ impl MixRow {
         let mut row = MixRow {
             mix: first.mix.name(),
             hardened: first.hardened,
+            compact: first.compact,
             runs: outcomes.len(),
             broken_runs: 0,
             safety_violations: 0,
@@ -859,7 +898,11 @@ impl AdversarialReport {
         for r in &self.rows {
             t.row(vec![
                 r.mix.into(),
-                if r.hardened { "hardened" } else { "published" }.into(),
+                match (r.hardened, r.compact) {
+                    (true, true) => "hardened+compact".into(),
+                    (true, false) => "hardened".into(),
+                    (false, _) => "published".into(),
+                },
                 r.runs.to_string(),
                 if r.safety_violations == 0 {
                     "ok".into()
@@ -913,12 +956,18 @@ impl AdversarialReport {
             .map(|r| {
                 let violated: Vec<String> = r.violated.iter().map(|v| format!("\"{v}\"")).collect();
                 format!(
-                    "{{\"mix\":\"{}\",\"mode\":\"{}\",\"runs\":{},\"safety_violations\":{},\
+                    "{{\"mix\":\"{}\",\"mode\":\"{}\",\"compact\":{},\"runs\":{},\
+                     \"safety_violations\":{},\
                      \"violated\":[{}],\"liveness_failures\":{},\"completed\":{},\
                      \"expected\":{},\"slow_deliveries\":{},\"owner_changes\":{},\
                      \"expect_break\":{},\"as_expected\":{}}}",
                     r.mix,
-                    mode(r.hardened),
+                    match (r.hardened, r.compact) {
+                        (true, true) => "hardened+compact",
+                        (true, false) => "hardened",
+                        (false, _) => "published",
+                    },
+                    r.compact,
                     r.runs,
                     r.safety_violations,
                     violated.join(","),
@@ -948,7 +997,9 @@ fn mode(hardened: bool) -> &'static str {
     }
 }
 
-/// Runs the campaign: every mix over `seeds` with the hardening on, plus
+/// Runs the campaign: every mix over `seeds` with the hardening on, the
+/// same mixes with compact O(1) certificates on over the first
+/// `demo_seeds` seeds (DESIGN.md §10 — expected just as green), plus
 /// published-mode demonstration rows (evidence withholding must break
 /// safety, a mute new owner must break liveness) over the first
 /// `demo_seeds` seeds.
@@ -961,6 +1012,13 @@ pub fn adversarial(seeds: &[u64], demo_seeds: usize) -> AdversarialReport {
         rows.push(MixRow::from_outcomes(&outcomes, false));
     }
     let demo = &seeds[..demo_seeds.clamp(1, seeds.len())];
+    for mix in AttackMix::ALL {
+        let outcomes: Vec<AttackOutcome> = demo
+            .iter()
+            .map(|&s| run_attack_certs(mix, s, true, true))
+            .collect();
+        rows.push(MixRow::from_outcomes(&outcomes, false));
+    }
     for mix in [AttackMix::WithholdEvidence, AttackMix::MuteNewOwner] {
         let outcomes: Vec<AttackOutcome> =
             demo.iter().map(|&s| run_attack(mix, s, false)).collect();
@@ -1072,11 +1130,30 @@ mod tests {
             "campaign deviated:\n{}",
             report.render()
         );
-        // 6 hardened rows + 2 demonstrations.
-        assert_eq!(report.rows.len(), 8);
+        // 7 hardened rows + 7 compact rows + 2 demonstrations.
+        assert_eq!(report.rows.len(), 16);
         let json = report.to_json();
         assert!(json.contains("\"experiment\":\"adversarial\""));
         assert!(json.contains("\"mode\":\"published\""));
+        assert!(json.contains("\"compact\":true"));
         assert!(json.contains("\"as_expected\":true"));
+    }
+
+    #[test]
+    fn bad_agg_partial_degrades_cleanly_under_compact_certs() {
+        // DESIGN.md §10: a follower feeding the leader bad partial
+        // signatures must not poison an aggregate certificate or stall
+        // the cluster — every invariant holds and every request
+        // completes via the clients' fallback.
+        let o = run_attack_certs(AttackMix::BadAggPartial, 0xA11CE, true, true);
+        assert!(
+            o.violations.is_empty(),
+            "got: {:?}",
+            o.violations
+                .iter()
+                .map(|v| (v.invariant, v.detail.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(o.liveness_ok(), "completed {}/{}", o.completed, o.expected);
     }
 }

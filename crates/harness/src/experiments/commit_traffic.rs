@@ -1,15 +1,19 @@
 //! Commit-phase traffic: client-driven vs replica-driven (aggregated)
-//! commitment (beyond the paper; DESIGN.md §7).
+//! commitment (beyond the paper; DESIGN.md §7), with explicit-vote vs
+//! compact O(1) certificates (DESIGN.md §10).
 //!
 //! The paper's clients each collect their own `3f + 1` certificate and
 //! broadcast it, so commit traffic scales O(clients × n) per batch.
 //! Instance-level aggregation moves certificate collection to the
 //! command-leader: one SPECACK round plus one COMMITAGG broadcast per
-//! batch, plus one confirmation per request. This experiment measures
-//! both modes at several batch sizes over the follower-bound LAN profile
-//! and reports commit-phase messages per committed request alongside
-//! throughput.
+//! batch, plus one confirmation per request. Orthogonally, compact
+//! certificates shrink every commit-phase certificate from an O(n) vote
+//! vector to one aggregate signature plus a signer bitmap. This
+//! experiment measures the mode matrix at several batch sizes over the
+//! follower-bound LAN profile and reports commit-phase messages *and
+//! wire bytes* per committed request alongside throughput.
 
+use ezbft_crypto::CryptoKind;
 use ezbft_simnet::Topology;
 use ezbft_smr::Micros;
 
@@ -26,19 +30,25 @@ pub const COMMIT_KINDS: &[&str] = &[
     "commit-confirm",
 ];
 
-/// One (batch size, commitment mode) measurement.
+/// One (batch size, commitment mode, certificate form) measurement.
 #[derive(Clone, Debug)]
 pub struct CommitTrafficRow {
     /// SPECORDER batch size.
     pub batch: usize,
     /// Whether replica-driven aggregation was enabled.
     pub aggregated: bool,
+    /// Whether compact O(1) certificates were enabled.
+    pub compact: bool,
     /// Completed requests.
     pub completed: usize,
     /// Total commit-phase messages handed to the network.
     pub commit_msgs: u64,
     /// Commit-phase messages per committed request.
     pub per_request: f64,
+    /// Total commit-phase wire bytes handed to the network.
+    pub commit_bytes: u64,
+    /// Commit-phase wire bytes per committed request.
+    pub bytes_per_request: f64,
     /// Steady-state throughput (ops per virtual second).
     pub throughput: f64,
 }
@@ -46,7 +56,8 @@ pub struct CommitTrafficRow {
 /// The experiment's result set.
 #[derive(Clone, Debug)]
 pub struct CommitTrafficReport {
-    /// One row per (batch, mode), batch-major with client-driven first.
+    /// One row per (batch, mode, certificate form), batch-major with
+    /// client-driven/explicit first.
     pub rows: Vec<CommitTrafficRow>,
 }
 
@@ -56,9 +67,11 @@ impl CommitTrafficReport {
         let mut t = TextTable::new(&[
             "batch",
             "commitment",
+            "certs",
             "completed",
             "commit msgs",
             "msgs/req",
+            "bytes/req",
             "ops/s",
         ]);
         for r in &self.rows {
@@ -69,13 +82,19 @@ impl CommitTrafficReport {
                 } else {
                     "client-driven".into()
                 },
+                if r.compact {
+                    "compact".into()
+                } else {
+                    "votes".into()
+                },
                 r.completed.to_string(),
                 r.commit_msgs.to_string(),
                 format!("{:.2}", r.per_request),
+                format!("{:.0}", r.bytes_per_request),
                 format!("{:.0}", r.throughput),
             ]);
         }
-        format!("Commit-phase traffic (DESIGN.md §7)\n{}", t.render())
+        format!("Commit-phase traffic (DESIGN.md §7, §10)\n{}", t.render())
     }
 
     /// Machine-readable summary (the `BENCH_*.json`-style harness output):
@@ -87,8 +106,16 @@ impl CommitTrafficReport {
             .iter()
             .map(|r| {
                 format!(
-                    "{{\"batch\":{},\"aggregated\":{},\"completed\":{},\"commit_msgs\":{},\"msgs_per_request\":{:.3},\"ops_per_sec\":{:.1}}}",
-                    r.batch, r.aggregated, r.completed, r.commit_msgs, r.per_request, r.throughput
+                    "{{\"batch\":{},\"aggregated\":{},\"compact\":{},\"completed\":{},\"commit_msgs\":{},\"msgs_per_request\":{:.3},\"commit_bytes\":{},\"bytes_per_request\":{:.1},\"ops_per_sec\":{:.1}}}",
+                    r.batch,
+                    r.aggregated,
+                    r.compact,
+                    r.completed,
+                    r.commit_msgs,
+                    r.per_request,
+                    r.commit_bytes,
+                    r.bytes_per_request,
+                    r.throughput
                 )
             })
             .collect();
@@ -99,25 +126,44 @@ impl CommitTrafficReport {
     }
 
     /// The measured commit-traffic reduction factor at `batch`
-    /// (client-driven msgs/req over aggregated msgs/req).
+    /// (client-driven msgs/req over aggregated msgs/req, both with
+    /// explicit vote certificates).
     pub fn reduction_at(&self, batch: usize) -> Option<f64> {
         let find = |agg: bool| {
             self.rows
                 .iter()
-                .find(|r| r.batch == batch && r.aggregated == agg)
+                .find(|r| r.batch == batch && r.aggregated == agg && !r.compact)
         };
         let (cd, ag) = (find(false)?, find(true)?);
         (ag.per_request > 0.0).then(|| cd.per_request / ag.per_request)
     }
+
+    /// The measured commit-phase *byte* reduction factor at `batch` from
+    /// compacting certificates (vote-vector bytes/req over compact
+    /// bytes/req, same commitment mode).
+    pub fn bytes_reduction_at(&self, batch: usize, aggregated: bool) -> Option<f64> {
+        let find = |compact: bool| {
+            self.rows
+                .iter()
+                .find(|r| r.batch == batch && r.aggregated == aggregated && r.compact == compact)
+        };
+        let (votes, compact) = (find(false)?, find(true)?);
+        (compact.bytes_per_request > 0.0)
+            .then(|| votes.bytes_per_request / compact.bytes_per_request)
+    }
 }
 
-/// Runs the commit-traffic comparison: batch sizes 1 and 8, both
-/// commitment modes, `budget` of virtual time each over the
-/// follower-bound LAN cost profile.
+/// Runs the commit-traffic comparison: batch sizes 1 and 8, the
+/// commitment-mode × certificate-form matrix, `budget` of virtual time
+/// each over the follower-bound LAN cost profile. Every run uses the
+/// aggregation-capable [`CryptoKind::Agg`] provider (32-byte partial
+/// signatures either way) so vote-vector and compact wire bytes are
+/// directly comparable, and telemetry so the report carries per-kind
+/// byte counters.
 pub fn commit_traffic(budget: Micros) -> CommitTrafficReport {
     let mut rows = Vec::new();
     for batch in [1usize, 8] {
-        for aggregated in [false, true] {
+        for (aggregated, compact) in [(false, false), (false, true), (true, false), (true, true)] {
             let report = ClusterBuilder::new(ProtocolKind::EzBft)
                 .topology(Topology::lan(4))
                 .clients_per_region(&[6, 6, 6, 6])
@@ -134,16 +180,23 @@ pub fn commit_traffic(budget: Micros) -> CommitTrafficReport {
                 .batch_size(batch)
                 .batch_delay(Micros::from_millis(1))
                 .commit_aggregation(aggregated)
+                .compact_certs(compact)
+                .crypto(CryptoKind::Agg)
+                .telemetry(true)
                 .time_limit(budget)
                 .seed(11)
                 .run();
             let commit_msgs: u64 = COMMIT_KINDS.iter().map(|k| report.sent_of_kind(k)).sum();
+            let commit_bytes: u64 = COMMIT_KINDS.iter().map(|k| report.bytes_of_kind(k)).sum();
             rows.push(CommitTrafficRow {
                 batch,
                 aggregated,
+                compact,
                 completed: report.completed(),
                 commit_msgs,
                 per_request: report.commit_msgs_per_request(COMMIT_KINDS),
+                commit_bytes,
+                bytes_per_request: report.commit_bytes_per_request(COMMIT_KINDS),
                 throughput: report.throughput(),
             });
         }
@@ -163,7 +216,7 @@ mod tests {
         // acceptance bound is pinned at the 3s budget by
         // `commit_aggregation_beats_client_driven_commitment_at_batch_8`.
         let report = commit_traffic(Micros::from_secs(1));
-        assert_eq!(report.rows.len(), 4);
+        assert_eq!(report.rows.len(), 8);
         let reduction = report.reduction_at(8).expect("both modes measured");
         assert!(
             reduction >= 1.8,
@@ -172,5 +225,41 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"experiment\":\"commit_traffic\""));
         assert!(json.contains("\"aggregated\":true"));
+        assert!(json.contains("\"compact\":true"));
+        assert!(json.contains("\"bytes_per_request\""));
+    }
+
+    #[test]
+    fn compact_certs_cut_commit_bytes_at_batch_8() {
+        // The DESIGN.md §10 acceptance metric: at n=4 the explicit fast
+        // certificate carries four ~100-byte votes where the compact form
+        // carries one 32-byte aggregate plus a one-byte bitmap, so
+        // commit-phase bytes per request must drop in both commitment
+        // modes. Messages per request must NOT change — compaction only
+        // shrinks payloads.
+        let report = commit_traffic(Micros::from_secs(1));
+        for aggregated in [false, true] {
+            let reduction = report
+                .bytes_reduction_at(8, aggregated)
+                .expect("both certificate forms measured");
+            assert!(
+                reduction > 1.15,
+                "compact certs must cut commit bytes/request (aggregated={aggregated}), got {reduction:.2}x"
+            );
+        }
+        let find = |compact: bool| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.batch == 8 && r.aggregated && r.compact == compact)
+                .expect("row present")
+        };
+        let (votes, compact) = (find(false), find(true));
+        assert!(
+            (votes.per_request - compact.per_request).abs() < 0.35,
+            "compaction shrinks payloads, not message counts: {:.2} vs {:.2} msgs/req",
+            votes.per_request,
+            compact.per_request
+        );
     }
 }

@@ -20,7 +20,8 @@ pub mod table2;
 
 pub use ablation::{ablation, AblationReport};
 pub use adversarial::{
-    adversarial, campaign_seeds, run_attack, AdversarialReport, AttackMix, AttackOutcome, MixRow,
+    adversarial, campaign_seeds, run_attack, run_attack_certs, AdversarialReport, AttackMix,
+    AttackOutcome, MixRow,
 };
 pub use commit_traffic::{commit_traffic, CommitTrafficReport};
 pub use exec_scaling::{exec_scaling, ExecScalingReport};

@@ -29,6 +29,10 @@ pub struct Setup {
     /// ezBFT instance-level commit aggregation (DESIGN.md §7; ignored by
     /// the baselines, `false` = the paper's client-driven commitment).
     pub commit_aggregation: bool,
+    /// ezBFT compact O(1) certificates (DESIGN.md §10; ignored by the
+    /// baselines, `false` = explicit vote vectors everywhere). Requires an
+    /// aggregation-capable crypto provider to take effect.
+    pub compact_certs: bool,
     /// ezBFT execution-engine worker count (DESIGN.md §8; ignored by the
     /// baselines, 1 = the sequential engine).
     pub exec_workers: usize,
@@ -144,6 +148,7 @@ impl ProtocolFamily for EzBftFamily {
             .with_exec_workers(setup.exec_workers.max(1), setup.exec_cost_us);
         cfg.checkpoint_interval = setup.checkpoint_interval;
         cfg.commit_aggregation = setup.commit_aggregation;
+        cfg.compact_certs = setup.compact_certs;
         Box::new(ezbft_core::Replica::new(id, cfg, keys, KvStore::new()))
     }
 
@@ -156,6 +161,7 @@ impl ProtocolFamily for EzBftFamily {
         let mut cfg = ezbft_core::EzConfig::new(setup.cluster)
             .with_batching(setup.batch_size, setup.batch_delay);
         cfg.commit_aggregation = setup.commit_aggregation;
+        cfg.compact_certs = setup.compact_certs;
         Box::new(ezbft_core::Client::<KvOp, KvResponse>::new(
             id, cfg, keys, nearest,
         ))
@@ -198,6 +204,7 @@ impl ProtocolFamily for EzBftFamily {
             .with_exec_workers(setup.exec_workers.max(1), setup.exec_cost_us);
         cfg.checkpoint_interval = setup.checkpoint_interval;
         cfg.commit_aggregation = setup.commit_aggregation;
+        cfg.compact_certs = setup.compact_certs;
         Box::new(
             ezbft_core::Replica::new(id, cfg, keys, KvStore::new())
                 .with_recorder(Arc::clone(recorder)),
@@ -214,6 +221,7 @@ impl ProtocolFamily for EzBftFamily {
         let mut cfg = ezbft_core::EzConfig::new(setup.cluster)
             .with_batching(setup.batch_size, setup.batch_delay);
         cfg.commit_aggregation = setup.commit_aggregation;
+        cfg.compact_certs = setup.compact_certs;
         Box::new(
             ezbft_core::Client::<KvOp, KvResponse>::new(id, cfg, keys, nearest)
                 .with_recorder(Arc::clone(recorder)),

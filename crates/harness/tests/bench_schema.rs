@@ -361,14 +361,29 @@ fn adversarial_artefact_carries_the_campaign_schema() {
     assert!(seeds.iter().all(|s| matches!(s, Json::Num(_))));
 
     let rows = obj["rows"].as_arr().expect("rows array");
-    // Six attack mixes hardened + the two published-mode demonstrations.
-    assert_eq!(rows.len(), 8, "6 hardened mixes + 2 published demos");
+    // Seven attack mixes hardened (explicit votes), the same seven again
+    // under compact certificates, plus the two published-mode
+    // demonstrations.
+    assert_eq!(rows.len(), 16, "7 hardened + 7 compact + 2 published demos");
     let mut published_breaks = 0usize;
+    let mut compact_rows = 0usize;
     for row in rows {
         let row = row.as_obj().expect("row object");
         let mix = row["mix"].as_str().expect("mix name");
         let mode = row["mode"].as_str().expect("mode");
-        assert!(matches!(mode, "hardened" | "published"), "{mix}: {mode}");
+        assert!(
+            matches!(mode, "hardened" | "hardened+compact" | "published"),
+            "{mix}: {mode}"
+        );
+        let compact = row["compact"] == Json::Bool(true);
+        assert_eq!(
+            compact,
+            mode == "hardened+compact",
+            "{mix}: compact flag must track the mode"
+        );
+        if compact {
+            compact_rows += 1;
+        }
         for key in [
             "runs",
             "safety_violations",
@@ -391,8 +406,9 @@ fn adversarial_artefact_carries_the_campaign_schema() {
             Json::Bool(true),
             "{mix}/{mode}: campaign row deviated from its expectation"
         );
-        if mode == "hardened" {
-            // The fixes must hold: no safety violations, no wedged runs.
+        if mode.starts_with("hardened") {
+            // The fixes must hold — with explicit votes and with compact
+            // certificates alike: no safety violations, no wedged runs.
             assert!(!expect_break, "{mix}: hardened rows never expect a break");
             assert_eq!(row["safety_violations"], Json::Num(0.0), "{mix}: safety");
             assert_eq!(row["liveness_failures"], Json::Num(0.0), "{mix}: liveness");
@@ -404,6 +420,67 @@ fn adversarial_artefact_carries_the_campaign_schema() {
         }
     }
     assert_eq!(published_breaks, 2, "withhold_evidence + mute_new_owner");
+    assert_eq!(
+        compact_rows, 7,
+        "every mix reruns under compact certificates"
+    );
+}
+
+#[test]
+fn commit_traffic_artefact_proves_the_compact_cert_reduction() {
+    let path = repo_root().join("BENCH_commit_traffic.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_commit_traffic.json is checked in");
+    let value = Parser::parse(text.trim()).expect("valid JSON");
+    let obj = value.as_obj().expect("object envelope");
+    assert_eq!(obj["experiment"].as_str(), Some("commit_traffic"));
+
+    let rows = obj["rows"].as_arr().expect("rows array");
+    // batch in {1, 8} x {client-driven, aggregated} x {votes, compact}.
+    assert_eq!(rows.len(), 8, "2 batches x 2 commit modes x 2 cert forms");
+    let mut batch8_agg = BTreeMap::new();
+    for row in rows {
+        let row = row.as_obj().expect("row object");
+        for key in [
+            "batch",
+            "completed",
+            "commit_msgs",
+            "msgs_per_request",
+            "commit_bytes",
+            "bytes_per_request",
+            "ops_per_sec",
+        ] {
+            assert!(
+                matches!(row.get(key), Some(Json::Num(n)) if *n >= 0.0),
+                "commit_traffic row missing numeric {key}"
+            );
+        }
+        for key in ["aggregated", "compact"] {
+            assert!(
+                matches!(row.get(key), Some(Json::Bool(_))),
+                "commit_traffic row missing bool {key}"
+            );
+        }
+        assert!(
+            matches!(row["completed"], Json::Num(n) if n > 0.0),
+            "commit_traffic row made no progress"
+        );
+        if row["batch"] == Json::Num(8.0) && row["aggregated"] == Json::Bool(true) {
+            let bytes = match row["bytes_per_request"] {
+                Json::Num(n) => n,
+                _ => unreachable!(),
+            };
+            batch8_agg.insert(row["compact"] == Json::Bool(true), bytes);
+        }
+    }
+    // The ISSUE acceptance bar: at n=4, batch=8 under aggregation the
+    // compact certificate spends fewer certificate bytes per request
+    // than the explicit vote vector.
+    let votes = batch8_agg[&false];
+    let compact = batch8_agg[&true];
+    assert!(
+        compact < votes,
+        "compact certs must cut commit bytes/request at batch=8: {compact:.1} vs {votes:.1}"
+    );
 }
 
 #[test]

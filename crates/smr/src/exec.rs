@@ -160,17 +160,33 @@ struct Sched<R> {
     busy: usize,
 }
 
+/// Real-time overhead of standing up and tearing down the scoped worker
+/// pool (thread spawn + join + the scheduler handshake), in microseconds —
+/// an order-of-magnitude figure for a small pool on a contemporary Linux
+/// box. The profitability gate (DESIGN.md §8) compares a wave's *parallel
+/// savings* — serial work minus the [`estimate_makespan`] list-schedule
+/// over the pool — against this threshold and executes sequentially when
+/// the pool would cost more wall-clock than it recovers.
+pub const THREAD_SCOPE_OVERHEAD: Micros = Micros(150);
+
+/// Default per-command wall-clock estimate feeding the profitability gate
+/// when the caller supplies no hint ([`ParallelExecutor::with_cost_hint`]).
+pub const DEFAULT_CMD_COST_HINT: Micros = Micros(50);
+
 /// The conflict-keyed worker pool.
 ///
 /// Units are dispatched to `workers` OS threads through a ready-set: a unit
 /// becomes ready once every earlier unit it interferes with has completed,
 /// so disjoint units overlap and the wave drains wave-free. Falls back to
-/// [`SeqExecutor`] when the pool would not help (one worker, one unit) or
-/// when the application does not support concurrent apply
-/// ([`Application::supports_concurrent_apply`]).
+/// [`SeqExecutor`] when the pool would not help (one worker, one unit), when
+/// the application does not support concurrent apply
+/// ([`Application::supports_concurrent_apply`]), or when the profitability
+/// gate finds the wave too small to pay the pool's real-thread overhead
+/// ([`THREAD_SCOPE_OVERHEAD`]).
 #[derive(Clone)]
 pub struct ParallelExecutor {
     workers: usize,
+    cost_hint: Micros,
     recorder: Arc<dyn Recorder>,
 }
 
@@ -187,8 +203,21 @@ impl ParallelExecutor {
     pub fn new(workers: usize) -> Self {
         ParallelExecutor {
             workers: workers.max(1),
+            cost_hint: DEFAULT_CMD_COST_HINT,
             recorder: Arc::new(NullRecorder),
         }
+    }
+
+    /// Sets the per-command wall-clock estimate the profitability gate
+    /// schedules with (DESIGN.md §8). Callers with a measured or modelled
+    /// per-command cost should pass it; a zero hint is ignored (the gate
+    /// keeps [`DEFAULT_CMD_COST_HINT`]) rather than silently disabling the
+    /// pool forever.
+    pub fn with_cost_hint(mut self, per_cmd: Micros) -> Self {
+        if per_cmd > Micros::ZERO {
+            self.cost_hint = per_cmd;
+        }
+        self
     }
 
     /// Attaches a telemetry sink; the engine records per-wave unit and
@@ -214,6 +243,18 @@ impl<A: Application> Executor<A> for ParallelExecutor {
             );
         }
         if self.workers <= 1 || units.len() <= 1 || !state.supports_concurrent_apply() {
+            return SeqExecutor.execute(state, units);
+        }
+        // Profitability gate (DESIGN.md §8): the pool only pays when the
+        // list-schedule saves more wall-clock than the scoped threads cost
+        // to stand up. This also catches fully conflicting waves, whose
+        // makespan cannot shrink at all.
+        let serial = estimate_makespan(units, 1, self.cost_hint);
+        let parallel = estimate_makespan(units, self.workers, self.cost_hint);
+        if serial.saturating_sub(parallel) < THREAD_SCOPE_OVERHEAD {
+            if on {
+                rec.counter("exec.seq_fallbacks", 1);
+            }
             return SeqExecutor.execute(state, units);
         }
         let deps = unit_dependencies(units);
@@ -487,6 +528,62 @@ mod tests {
             .collect();
         assert_eq!(estimate_makespan(&chain, 4, Micros(100)), Micros(800));
         assert_eq!(estimate_makespan(&chain, 1, Micros(0)), Micros::ZERO);
+    }
+
+    #[test]
+    fn unprofitable_waves_skip_the_pool() {
+        // Two disjoint single-command units at the default 50us hint:
+        // serial work 100us, pool makespan 50us — the 50us savings are
+        // below THREAD_SCOPE_OVERHEAD, so the gate must run sequentially
+        // (visible via the exec.seq_fallbacks counter and zero
+        // worker-occupancy samples). A fully conflicting chain is gated
+        // too, however long: its makespan cannot shrink.
+        let rec = Arc::new(ezbft_obs::MemRecorder::new());
+        let units = vec![unit(vec![Op::Add(1, 1)]), unit(vec![Op::Add(2, 1)])];
+        let mut state = Counters::default();
+        let engine = ParallelExecutor::new(4).with_recorder(rec.clone());
+        let out = engine.execute(&mut state, &units);
+        assert_eq!(out, vec![vec![0], vec![0]]);
+        assert_eq!(rec.counter_value("exec.seq_fallbacks"), 1);
+        assert!(rec.histogram("exec.workers_busy").is_none());
+
+        let chain: Vec<ExecUnit<Op>> = (0..64)
+            .map(|_| unit(vec![Op::Read(9), Op::Add(9, 1)]))
+            .collect();
+        let mut chain_state = Counters::default();
+        let chained = ParallelExecutor::new(4)
+            .with_recorder(rec.clone())
+            .execute(&mut chain_state, &chain);
+        assert_eq!(chained.len(), 64);
+        assert_eq!(
+            rec.counter_value("exec.seq_fallbacks"),
+            2,
+            "a fully conflicting chain has zero parallel savings"
+        );
+
+        // A wide commuting wave clears the gate and uses the pool.
+        let wide: Vec<ExecUnit<Op>> = (0..32).map(|i| unit(vec![Op::Add(i, 1)])).collect();
+        let mut wide_state = Counters::default();
+        ParallelExecutor::new(4)
+            .with_recorder(rec.clone())
+            .execute(&mut wide_state, &wide);
+        assert_eq!(rec.counter_value("exec.seq_fallbacks"), 2);
+        assert!(rec.histogram("exec.workers_busy").is_some());
+
+        // An explicit hint reweighs the same wave: at 1us per command the
+        // two-unit wave is hopeless, at 1ms even it pays.
+        let cheap = ParallelExecutor::new(4).with_cost_hint(Micros(1));
+        let mut s = Counters::default();
+        cheap.execute(&mut s, &wide); // 32us of work: gated
+        let pricey = ParallelExecutor::new(4).with_cost_hint(Micros(1_000));
+        assert_eq!(pricey.cost_hint, Micros(1_000));
+        assert_eq!(
+            ParallelExecutor::new(4)
+                .with_cost_hint(Micros::ZERO)
+                .cost_hint,
+            DEFAULT_CMD_COST_HINT,
+            "a zero hint keeps the default instead of disabling the pool"
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use command::{interferes_by_keys, AccessMode, Command, ConflictKey};
 pub use config::{ClusterConfig, ConfigError};
 pub use exec::{
     estimate_makespan, unit_dependencies, ExecItem, ExecUnit, Executor, ParallelExecutor,
-    SeqExecutor,
+    SeqExecutor, DEFAULT_CMD_COST_HINT, THREAD_SCOPE_OVERHEAD,
 };
 pub use id::{ClientId, NodeId, ReplicaId};
 pub use node::{Action, Actions, ClientDelivery, ClientNode, ProtocolNode, TimerId};
